@@ -1,0 +1,65 @@
+// Experiment E1 (paper Fig. 1, reconstructed): example dissemination
+// graphs for one transcontinental flow -- single path, two disjoint
+// paths, targeted source/destination/robust graphs and time-constrained
+// flooding -- printed as edge lists and Graphviz DOT.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/disjoint_paths.hpp"
+#include "routing/targeted_graphs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dg;
+  auto args = bench::parseArgs(argc, argv);
+  const auto topology = trace::Topology::ltn12();
+  const auto& g = topology.graph();
+  const auto weights = g.baseLatencies();
+
+  const std::string sourceName = args.getString("source", "NYC");
+  const std::string destinationName = args.getString("destination", "SJC");
+  const util::SimTime deadline =
+      util::milliseconds(args.getInt("deadline_ms", 65));
+  const routing::Flow flow{topology.at(sourceName),
+                           topology.at(destinationName)};
+  const bool dot = args.getBool("dot", false);
+
+  const auto name = [&](graph::NodeId n) { return topology.name(n); };
+  const auto show = [&](const std::string& title,
+                        const graph::DisseminationGraph& dg) {
+    std::cout << "--- " << title << " (" << dg.edgeCount() << " edges, cost "
+              << dg.cost() << ", latency "
+              << util::formatDuration(dg.latencyToDestination(weights))
+              << ")\n";
+    if (dot) {
+      std::cout << dg.toDot(name);
+    } else {
+      for (const graph::EdgeId e : dg.edges()) {
+        std::cout << "  " << topology.edgeName(e) << " ("
+                  << util::formatDuration(g.edge(e).latency) << ")\n";
+      }
+    }
+    std::cout << '\n';
+  };
+
+  std::cout << "=== E1 / Fig. 1: dissemination graphs for " << sourceName
+            << "->" << destinationName << ", deadline "
+            << util::formatDuration(deadline) << " ===\n\n";
+
+  const auto single = graph::nodeDisjointPaths(g, flow.source,
+                                               flow.destination, weights, 1);
+  graph::DisseminationGraph singleGraph(g, flow.source, flow.destination);
+  if (!single.paths.empty()) singleGraph.addPath(single.paths.front());
+  show("single path", singleGraph);
+
+  const auto targeted =
+      routing::buildTargetedGraphs(g, flow, weights, deadline);
+  show("two node-disjoint paths", targeted.twoDisjoint);
+  show("source-problem graph", targeted.sourceProblem);
+  show("destination-problem graph", targeted.destinationProblem);
+  show("robust source-destination graph", targeted.robust);
+
+  auto flooding = graph::floodingGraph(g, flow.source, flow.destination);
+  flooding.pruneDeadlineInfeasible(weights, deadline);
+  show("time-constrained flooding", flooding);
+  return 0;
+}

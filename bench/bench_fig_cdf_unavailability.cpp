@@ -1,0 +1,22 @@
+// Experiment E5 (reconstructed figure): CDF of per-flow unavailability
+// for every routing scheme. Output is plottable text: one line per flow
+// quantile per scheme.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "playback/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dg;
+  auto args = bench::parseArgs(argc, argv);
+  const auto topology = trace::Topology::ltn12();
+  const auto synthetic = generateSyntheticTrace(
+      topology.graph(), bench::makeGeneratorParams(args));
+  const auto config = bench::makeExperimentConfig(args, topology);
+  bench::printRunHeader("E5: CDF of per-flow unavailability", synthetic,
+                        config);
+  const auto result =
+      runExperiment(topology.graph(), synthetic.trace, config);
+  std::cout << renderUnavailabilityCdf(result, config);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Experiment E10 (extension): what the cost metric means operationally.
+// The paper argues flooding is "prohibitively expensive"; with an
+// explicit per-link capacity model the expense becomes visible as
+// congestion. Several flows share the overlay while link capacity
+// shrinks; flooding's 8x transmission count turns into queueing delay
+// and drops that break its own deadline, while targeted redundancy keeps
+// near-flooding availability at two-disjoint-paths load.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/transport.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dg;
+  auto args = bench::parseArgs(argc, argv);
+  const auto topology = trace::Topology::ltn12();
+  const auto& g = topology.graph();
+
+  // A moderately problematic 5-minute trace so that redundancy earns its
+  // keep: a fluttering degradation at NYC mid-run.
+  trace::Trace tr(util::seconds(10), 30, trace::healthyBaseline(g, 1e-4));
+  util::Rng rng(static_cast<std::uint64_t>(args.getInt("seed", 3)));
+  trace::applyEvent(tr, g,
+                    trace::makeNodeEvent(g, topology.at("NYC"), 8, 16, 1.0,
+                                         0.5, 0.9, 0, rng),
+                    rng, 0.5);
+
+  const std::vector<std::pair<const char*, const char*>> flowSpecs = {
+      {"NYC", "SJC"}, {"NYC", "LAX"}, {"WAS", "SEA"}, {"ATL", "SJC"},
+  };
+  const double ratePerFlow = args.getDouble("pkts_per_s", 100.0);
+
+  std::cout << "=== E10 (extension): schemes under per-link capacity "
+               "limits ===\n"
+            << flowSpecs.size() << " flows x " << ratePerFlow
+            << " pkt/s, NYC degradation t=80-240s\n\n";
+  std::cout << util::padRight("capacity (pkt/s/link)", 24);
+  for (const auto kind : routing::allSchemeKinds()) {
+    std::cout << util::padLeft(std::string(routing::schemeName(kind)), 22);
+  }
+  std::cout << "\n";
+
+  for (const double capacity : {0.0, 2000.0, 1000.0, 500.0, 250.0}) {
+    std::cout << util::padRight(
+        capacity == 0.0 ? std::string("unlimited")
+                        : util::formatFixed(capacity, 0),
+        24);
+    for (const auto kind : routing::allSchemeKinds()) {
+      core::TransportConfig config;
+      config.linkCapacity.packetsPerSecond = capacity;
+      core::TransportService service(topology, tr, config);
+      std::vector<net::FlowId> flows;
+      for (const auto& [src, dst] : flowSpecs) {
+        flows.push_back(service.openFlow(
+            src, dst, kind,
+            static_cast<util::SimTime>(1e6 / ratePerFlow)));
+      }
+      service.run(tr.duration() - util::milliseconds(500));
+      double onTimeSum = 0;
+      for (const auto id : flows) {
+        onTimeSum += service.stats(id).onTimeRate();
+      }
+      std::cout << util::padLeft(
+          util::formatPercent(onTimeSum / static_cast<double>(flows.size()),
+                              2),
+          22);
+    }
+    std::cout << '\n';
+  }
+  std::cout << "\n(on-time rate averaged over the flows; watch flooding "
+               "collapse as capacity falls while targeted holds)\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Experiment E2 (paper Table I, reconstructed): the overlay topology and
+// evaluation workload -- sites, links, latencies, per-flow shortest /
+// disjoint-path structure against the 65 ms one-way budget.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/disjoint_paths.hpp"
+#include "graph/shortest_path.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dg;
+  auto args = bench::parseArgs(argc, argv);
+  const auto topology = trace::Topology::ltn12();
+  const auto& g = topology.graph();
+  const auto weights = g.baseLatencies();
+  const util::SimTime deadline =
+      util::milliseconds(args.getInt("deadline_ms", 65));
+
+  std::cout << "=== E2 / Table I: overlay topology and workload ===\n\n";
+  std::cout << "sites: " << topology.siteCount()
+            << ", directed overlay links: " << g.edgeCount()
+            << ", one-way deadline: " << util::formatDuration(deadline)
+            << " (130ms RTT)\n\n";
+
+  std::cout << util::padRight("site", 6) << util::padLeft("degree", 8)
+            << util::padLeft("lat", 9) << util::padLeft("lon", 10) << '\n';
+  for (graph::NodeId n = 0; n < g.nodeCount(); ++n) {
+    const auto& site = topology.site(n);
+    std::cout << util::padRight(site.name, 6)
+              << util::padLeft(std::to_string(g.outDegree(n)), 8)
+              << util::padLeft(util::formatFixed(site.latitudeDeg, 2), 9)
+              << util::padLeft(util::formatFixed(site.longitudeDeg, 2), 10)
+              << '\n';
+  }
+
+  std::cout << "\nlinks (undirected, geo-derived fiber latency):\n";
+  for (graph::EdgeId e = 0; e < g.edgeCount(); e += 2) {
+    std::cout << "  " << util::padRight(topology.edgeName(e), 10)
+              << util::padLeft(util::formatDuration(g.edge(e).latency), 10)
+              << '\n';
+  }
+
+  std::cout << "\nevaluation flows (transcontinental):\n";
+  std::cout << util::padRight("flow", 12) << util::padLeft("shortest", 10)
+            << util::padLeft("2-disjoint", 12)
+            << util::padLeft("connectivity", 14)
+            << util::padLeft("slack_vs_65ms", 15) << '\n';
+  for (const auto& flow : playback::transcontinentalFlows(topology)) {
+    const auto best =
+        graph::shortestPath(g, flow.source, flow.destination, weights);
+    const auto pair = graph::nodeDisjointPaths(g, flow.source,
+                                               flow.destination, weights, 2);
+    const int connectivity =
+        graph::maxNodeDisjointPaths(g, flow.source, flow.destination,
+                                    weights);
+    const util::SimTime second =
+        pair.paths.size() == 2 ? pair.totalLatency - best.distance : 0;
+    std::cout << util::padRight(topology.name(flow.source) + "->" +
+                                    topology.name(flow.destination),
+                                12)
+              << util::padLeft(util::formatDuration(best.distance), 10)
+              << util::padLeft(util::formatDuration(second), 12)
+              << util::padLeft(std::to_string(connectivity), 14)
+              << util::padLeft(
+                     util::formatDuration(deadline - best.distance), 15)
+              << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Problem diagnosis: what went wrong, where, and what did routing do
+// about it? Generates a synthetic trace, replays one flow under the
+// targeted-redundancy scheme, then walks its problematic intervals:
+// classifies each against the ground-truth event log and shows which
+// dissemination graph the scheme had selected (including a Graphviz DOT
+// dump of the graph used during the worst interval with --dot).
+//
+//   $ ./problem_diagnosis --source=ATL --destination=SEA --days=3 --dot
+#include <algorithm>
+#include <iostream>
+
+#include "playback/classification.hpp"
+#include "playback/report.hpp"
+#include "playback/playback.hpp"
+#include "routing/problem_detector.hpp"
+#include "trace/synth.hpp"
+#include "trace/topology.hpp"
+#include "util/config.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dg;
+  util::Config args;
+  args.applyArgs(argc, argv);
+
+  const auto topology = trace::Topology::ltn12();
+  const auto& g = topology.graph();
+  const routing::Flow flow{topology.at(args.getString("source", "NYC")),
+                           topology.at(args.getString("destination", "SJC"))};
+
+  trace::GeneratorParams generator;
+  generator.seed = static_cast<std::uint64_t>(args.getInt("seed", 3));
+  generator.duration = util::days(args.getInt("days", 3));
+  const auto synthetic = generateSyntheticTrace(g, generator);
+
+  playback::PlaybackParams params;
+  params.mcSamples = static_cast<int>(args.getInt("mc_samples", 1000));
+  const playback::PlaybackEngine engine(g, synthetic.trace, params);
+  const auto result = engine.run(
+      flow, routing::SchemeKind::TargetedRedundancy, routing::SchemeParams{});
+
+  std::cout << "flow " << topology.name(flow.source) << "->"
+            << topology.name(flow.destination) << ": unavailability "
+            << util::formatFixed(result.unavailability * 1e6, 1) << " ppm, "
+            << result.problematicIntervals << " problematic intervals\n\n";
+
+  const auto classification = playback::classifyProblems(
+      g, synthetic.events, flow, result.problems);
+  std::cout << playback::renderClassification(classification) << '\n';
+
+  // Walk the problematic intervals and narrate them.
+  const routing::ProblemDetector detector(g, routing::DetectorParams{});
+  std::cout << "worst intervals:\n";
+  auto problems = result.problems;
+  std::sort(problems.begin(), problems.end(),
+            [](const auto& a, const auto& b) {
+              return a.missProbability > b.missProbability;
+            });
+  const std::size_t show = std::min<std::size_t>(problems.size(), 10);
+  for (std::size_t i = 0; i < show; ++i) {
+    const auto& problem = problems[i];
+    const auto view =
+        routing::NetworkView::atInterval(synthetic.trace, problem.interval);
+    const auto situation =
+        detector.classify(view, flow.source, flow.destination);
+    std::cout << "  t=" << problem.interval * 10 << "s miss="
+              << util::formatPercent(problem.missProbability, 1)
+              << "  detector: "
+              << (situation.source ? "source " : "")
+              << (situation.destination ? "destination " : "")
+              << (situation.middle ? "middle " : "")
+              << (situation.any() ? "" : "(cleared by then)");
+    // Ground truth.
+    for (const auto& event : synthetic.events) {
+      if (!event.activeDuring(problem.interval)) continue;
+      std::cout << " | event: "
+                << (event.kind == trace::ProblemEvent::Kind::Node
+                        ? "site " + topology.name(event.node)
+                        : "link " + topology.edgeName(event.link))
+                << (event.severity >= 1.0 ? " outage" : " degradation");
+    }
+    std::cout << '\n';
+  }
+
+  if (args.getBool("dot", false) && !problems.empty()) {
+    // Re-select the graph the scheme would use for the worst interval and
+    // dump it.
+    auto scheme =
+        routing::makeScheme(routing::SchemeKind::TargetedRedundancy, g, flow,
+                            routing::SchemeParams{});
+    scheme->initialize(routing::NetworkView::baseline(synthetic.trace));
+    const std::size_t worst = problems.front().interval;
+    const auto view = routing::NetworkView::atInterval(
+        synthetic.trace, worst > 0 ? worst - 1 : 0);
+    const auto& dg = scheme->select(view);
+    std::cout << "\ndissemination graph in use at t=" << worst * 10
+              << "s:\n"
+              << dg.toDot([&](graph::NodeId n) { return topology.name(n); });
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Remote surgery: the paper's motivating application. A surgeon in NYC
+// operates on a patient in LAX; haptic commands flow west and video/
+// telemetry feedback flows east, both requiring 130 ms round-trip --
+// i.e. each direction must deliver within 65 ms, reliably, for the whole
+// procedure.
+//
+// The example runs the identical procedure (40 simulated minutes with a
+// realistic mix of network problems around both sites) twice: once over a
+// traditional single path and once over targeted-redundancy dissemination
+// graphs, and reports what the surgeon would experience.
+#include <iostream>
+
+#include "core/transport.hpp"
+#include "trace/synth.hpp"
+#include "trace/topology.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace dg;
+
+struct ProcedureOutcome {
+  core::FlowStats command;   // NYC -> LAX
+  core::FlowStats feedback;  // LAX -> NYC
+};
+
+ProcedureOutcome runProcedure(const trace::Topology& topology,
+                              const trace::Trace& conditions,
+                              routing::SchemeKind scheme) {
+  core::TransportService service(topology, conditions);
+  const auto command = service.openFlow("NYC", "LAX", scheme);
+  const auto feedback = service.openFlow("LAX", "NYC", scheme);
+  service.run(conditions.duration() - util::milliseconds(500));
+  return {service.stats(command), service.stats(feedback)};
+}
+
+void report(const char* label, const ProcedureOutcome& outcome) {
+  const auto line = [](const char* direction, const core::FlowStats& s) {
+    std::cout << "  " << util::padRight(direction, 20)
+              << util::padLeft(util::formatPercent(s.onTimeRate(), 3), 10)
+              << " on time, " << s.lost() << " commands lost, mean latency "
+              << util::formatFixed(s.latencyUs.mean() / 1000.0, 1)
+              << " ms, cost "
+              << util::formatFixed(s.costPerPacket(), 2) << " tx/pkt\n";
+  };
+  std::cout << label << ":\n";
+  line("surgeon -> robot", outcome.command);
+  line("robot -> surgeon", outcome.feedback);
+  // A control gap: the longest the surgeon could go without an
+  // acknowledged command is roughly bounded by consecutive losses; report
+  // the simple expectation instead.
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  const auto topology = trace::Topology::ltn12();
+  const auto& g = topology.graph();
+
+  // A 40-minute procedure. The network misbehaves: a fluttering
+  // degradation at the surgeon's site mid-procedure, a partial outage at
+  // the patient's site later, and an unrelated middle-link failure.
+  trace::Trace conditions(util::seconds(10), 240,
+                          trace::healthyBaseline(g, 1e-4));
+  util::Rng rng(7);
+  trace::applyEvent(conditions, g,
+                    trace::makeNodeEvent(g, topology.at("NYC"), 40, 50,
+                                         /*coverage=*/1.0, /*activity=*/0.5,
+                                         /*severity=*/0.9, 0, rng),
+                    rng, 0.5);
+  trace::applyEvent(conditions, g,
+                    trace::makeNodeOutageEvent(g, topology.at("LAX"), 140,
+                                               40, /*aliveLinks=*/1,
+                                               /*severity=*/1.0, 0, rng),
+                    rng, 0.5);
+  const auto chiDen = g.findEdge(topology.at("CHI"), topology.at("DEN"));
+  trace::applyEvent(conditions, g,
+                    trace::makeLinkEvent(g, *chiDen, 90, 30, 1.0, 0.95, 0),
+                    rng, 0.5);
+
+  std::cout << "=== Remote surgery, NYC surgeon -> LAX patient, 40 min ===\n"
+            << "problems: NYC degradation t=400-900s, CHI-DEN link failure "
+               "t=900-1200s, LAX partial outage t=1400-1800s\n\n";
+
+  report("Traditional single path (OSPF-like)",
+         runProcedure(topology, conditions,
+                      routing::SchemeKind::StaticSinglePath));
+  report("Two static disjoint paths",
+         runProcedure(topology, conditions,
+                      routing::SchemeKind::StaticTwoDisjoint));
+  report("Targeted-redundancy dissemination graphs",
+         runProcedure(topology, conditions,
+                      routing::SchemeKind::TargetedRedundancy));
+
+  std::cout << "A procedure is considered safe when >99.9% of commands\n"
+               "arrive within the 130 ms round-trip budget; compare the\n"
+               "on-time rates above.\n";
+  return 0;
+}

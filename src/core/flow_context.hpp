@@ -1,0 +1,41 @@
+// Shared per-flow state and the node<->service interface.
+#pragma once
+
+#include "graph/dissemination_graph.hpp"
+#include "net/packet.hpp"
+#include "routing/scheme.hpp"
+#include "util/sim_time.hpp"
+
+namespace dg::core {
+
+/// State shared by every overlay node participating in one flow. Owned by
+/// the TransportService; nodes hold it by reference through the
+/// FlowDirectory.
+struct FlowContext {
+  net::FlowId id = 0;
+  routing::Flow flow;
+  util::SimTime deadline = util::milliseconds(65);
+  util::SimTime packetInterval = util::milliseconds(10);
+  /// The dissemination graph packets of this flow are currently flooded
+  /// on. Updated by the service at decision boundaries; nodes read it on
+  /// every forward. Never null after the service starts.
+  const graph::DisseminationGraph* activeGraph = nullptr;
+  /// Distributed mode: the active graph as an edge bitmask, stamped into
+  /// each packet at the source so intermediate nodes forward without any
+  /// per-flow routing state. 0 = centralized mode (activeGraph applies).
+  std::uint64_t graphMask = 0;
+};
+
+/// What an overlay node needs from its surroundings: flow lookup and
+/// delivery notification. Implemented by the TransportService.
+class FlowDirectory {
+ public:
+  virtual ~FlowDirectory() = default;
+  /// Returns nullptr for unknown flows (packets for them are dropped).
+  virtual const FlowContext* flowContext(net::FlowId id) const = 0;
+  /// Called exactly once per (flow, sequence) when the packet first
+  /// reaches the flow destination.
+  virtual void onDelivered(net::FlowId id, const net::Packet& packet) = 0;
+};
+
+}  // namespace dg::core

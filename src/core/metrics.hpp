@@ -1,0 +1,38 @@
+// Per-flow delivery metrics for the live transport service.
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+
+namespace dg::core {
+
+struct FlowStats {
+  std::uint64_t sent = 0;
+  std::uint64_t deliveredOnTime = 0;
+  std::uint64_t deliveredLate = 0;
+  /// Transmissions (data + retransmissions) attributed to the flow; the
+  /// paper's cost metric is transmissions / sent.
+  std::uint64_t transmissions = 0;
+  /// One-way latency of on-time-or-late deliveries, microseconds.
+  util::OnlineStats latencyUs;
+
+  std::uint64_t delivered() const { return deliveredOnTime + deliveredLate; }
+  std::uint64_t lost() const {
+    return sent >= delivered() ? sent - delivered() : 0;
+  }
+  /// Fraction of sent packets delivered within the deadline.
+  double onTimeRate() const {
+    return sent > 0 ? static_cast<double>(deliveredOnTime) /
+                          static_cast<double>(sent)
+                    : 0.0;
+  }
+  double unavailability() const { return sent > 0 ? 1.0 - onTimeRate() : 0.0; }
+  double costPerPacket() const {
+    return sent > 0 ? static_cast<double>(transmissions) /
+                          static_cast<double>(sent)
+                    : 0.0;
+  }
+};
+
+}  // namespace dg::core

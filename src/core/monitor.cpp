@@ -1,0 +1,57 @@
+#include "core/monitor.hpp"
+
+#include <cmath>
+
+namespace dg::core {
+
+LinkMonitor::LinkMonitor(const graph::Graph& overlay,
+                         std::vector<trace::LinkConditions> baseline,
+                         int minSamples)
+    : baseline_(std::move(baseline)),
+      minSamples_(minSamples),
+      attempts_(overlay.edgeCount(), 0),
+      receptions_(overlay.edgeCount(), 0),
+      latencySumUs_(overlay.edgeCount(), 0.0) {
+  lossEstimate_.reserve(overlay.edgeCount());
+  latencyEstimate_.reserve(overlay.edgeCount());
+  for (const trace::LinkConditions& c : baseline_) {
+    lossEstimate_.push_back(c.lossRate);
+    latencyEstimate_.push_back(c.latency);
+  }
+}
+
+void LinkMonitor::recordTransmission(graph::EdgeId edge) {
+  ++attempts_[edge];
+}
+
+void LinkMonitor::recordReception(graph::EdgeId edge, util::SimTime latency) {
+  ++receptions_[edge];
+  latencySumUs_[edge] += static_cast<double>(latency);
+}
+
+void LinkMonitor::rollInterval() {
+  for (std::size_t e = 0; e < attempts_.size(); ++e) {
+    if (attempts_[e] >= static_cast<std::uint64_t>(minSamples_)) {
+      const double received = static_cast<double>(receptions_[e]);
+      const double sent = static_cast<double>(attempts_[e]);
+      lossEstimate_[e] = 1.0 - received / sent;
+      latencyEstimate_[e] =
+          receptions_[e] > 0
+              ? static_cast<util::SimTime>(
+                    std::llround(latencySumUs_[e] / received))
+              : baseline_[e].latency;
+    } else {
+      lossEstimate_[e] = baseline_[e].lossRate;
+      latencyEstimate_[e] = baseline_[e].latency;
+    }
+    attempts_[e] = 0;
+    receptions_[e] = 0;
+    latencySumUs_[e] = 0.0;
+  }
+}
+
+routing::NetworkView LinkMonitor::view() const {
+  return routing::NetworkView(lossEstimate_, latencyEstimate_);
+}
+
+}  // namespace dg::core

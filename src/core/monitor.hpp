@@ -1,0 +1,59 @@
+// Link monitor: turns observed per-link transmissions and receptions
+// into the per-interval loss/latency estimates that drive routing.
+//
+// This is the live counterpart of the paper's data collection: each
+// overlay link's loss rate and latency are estimated over a monitoring
+// interval from the traffic (data + probes) that crossed it, and become
+// visible to routing only when the interval closes -- the one-interval
+// staleness that the playback engine models directly.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/network_view.hpp"
+#include "trace/conditions.hpp"
+#include "util/sim_time.hpp"
+
+namespace dg::core {
+
+class LinkMonitor {
+ public:
+  /// `baseline` supplies the estimates assumed before any measurement
+  /// exists (and when an interval carries too few samples).
+  LinkMonitor(const graph::Graph& overlay,
+              std::vector<trace::LinkConditions> baseline,
+              int minSamples = 8);
+
+  /// Records a transmission attempt on `edge`.
+  void recordTransmission(graph::EdgeId edge);
+  /// Records a successful reception on `edge` with the observed one-way
+  /// latency.
+  void recordReception(graph::EdgeId edge, util::SimTime latency);
+
+  /// Closes the current measurement interval: links with at least
+  /// `minSamples` attempts get fresh loss/latency estimates; links
+  /// without enough traffic fall back to the baseline (in a real
+  /// deployment probe traffic guarantees samples on every link).
+  void rollInterval();
+
+  /// The routing view built from the most recently closed interval.
+  routing::NetworkView view() const;
+
+  std::uint64_t attempts(graph::EdgeId edge) const {
+    return attempts_[edge];
+  }
+
+ private:
+  std::vector<trace::LinkConditions> baseline_;
+  int minSamples_;
+  // Accumulating (current, not yet visible) interval.
+  std::vector<std::uint64_t> attempts_;
+  std::vector<std::uint64_t> receptions_;
+  std::vector<double> latencySumUs_;
+  // Finalized estimates (visible to routing).
+  std::vector<double> lossEstimate_;
+  std::vector<util::SimTime> latencyEstimate_;
+};
+
+}  // namespace dg::core

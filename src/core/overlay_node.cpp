@@ -1,0 +1,257 @@
+#include "core/overlay_node.hpp"
+
+#include <algorithm>
+
+namespace dg::core {
+
+OverlayNode::OverlayNode(graph::NodeId id, net::SimulatedNetwork& network,
+                         FlowDirectory& directory, OverlayNodeConfig config)
+    : id_(id), network_(&network), directory_(&directory), config_(config) {}
+
+void OverlayNode::handlePacket(graph::EdgeId arrivalEdge,
+                               const net::Packet& packet) {
+  switch (packet.type) {
+    case net::Packet::Type::Data:
+    case net::Packet::Type::Retransmission:
+      handleData(arrivalEdge, packet);
+      return;
+    case net::Packet::Type::Nack:
+      handleNack(arrivalEdge, packet);
+      return;
+    case net::Packet::Type::Probe:
+      handleProbe(arrivalEdge, packet);
+      return;
+    case net::Packet::Type::LinkState:
+      handleLinkState(arrivalEdge, packet);
+      return;
+  }
+}
+
+void OverlayNode::originate(const FlowContext& context,
+                            net::SequenceNumber sequence,
+                            util::SimTime originTime) {
+  net::Packet packet;
+  packet.type = net::Packet::Type::Data;
+  packet.flow = context.id;
+  packet.sequence = sequence;
+  packet.originTime = originTime;
+  packet.graphMask = context.graphMask;
+  seen_.try_emplace(context.id).first->second.insert(sequence);
+  forward(context, packet, graph::kInvalidEdge);
+}
+
+void OverlayNode::handleData(graph::EdgeId arrivalEdge,
+                             const net::Packet& packet) {
+  const FlowContext* context = directory_->flowContext(packet.flow);
+  if (context == nullptr) return;
+
+  // Per-hop recovery bookkeeping runs for every copy, even duplicates:
+  // link sequencing is a property of the link, not of the flood.
+  if (packet.type == net::Packet::Type::Data && config_.recoveryEnabled) {
+    noteSequenceForRecovery(arrivalEdge, packet);
+  }
+
+  // First-copy suppression.
+  auto& seen = seen_.try_emplace(packet.flow).first->second;
+  if (!seen.insert(packet.sequence)) {
+    ++duplicatesDropped_;
+    return;
+  }
+
+  if (id_ == context->flow.destination) {
+    directory_->onDelivered(packet.flow, packet);
+    // A destination can still have member out-edges (e.g. flooding); fall
+    // through so the dissemination semantics stay uniform.
+  }
+  forward(*context, packet, arrivalEdge);
+}
+
+void OverlayNode::forward(const FlowContext& context,
+                          const net::Packet& packet,
+                          graph::EdgeId arrivalEdge) {
+  const bool stamped = packet.graphMask != 0;
+  if (!stamped && context.activeGraph == nullptr) return;
+  const util::SimTime age = network_->simulator().now() - packet.originTime;
+  if (age >= context.deadline) {
+    ++expiredDropped_;
+    return;  // cannot be useful downstream anymore
+  }
+  const graph::Graph& overlay = network_->overlay();
+  const graph::NodeId arrivalNeighbor =
+      arrivalEdge == graph::kInvalidEdge ? graph::kInvalidNode
+                                         : overlay.edge(arrivalEdge).from;
+  // Member out-edges come either from the stamped mask (distributed
+  // mode) or from the locally known active graph (centralized mode).
+  const auto forwardOn = [&](graph::EdgeId out) {
+    const graph::NodeId to = overlay.edge(out).to;
+    if (to == arrivalNeighbor) return;  // no-echo rule
+    net::Packet copy = packet;
+    copy.type = net::Packet::Type::Data;
+    copy.nackSequences.clear();
+    if (config_.recoveryEnabled) bufferForRetransmit(out, copy);
+    network_->transmit(out, std::move(copy));
+  };
+  if (stamped) {
+    for (const graph::EdgeId out : overlay.outEdges(id_)) {
+      if (packet.graphMask & (std::uint64_t{1} << out)) forwardOn(out);
+    }
+  } else {
+    for (const graph::EdgeId out : context.activeGraph->outEdges(id_)) {
+      forwardOn(out);
+    }
+  }
+}
+
+void OverlayNode::enableLinkState(
+    std::vector<trace::LinkConditions> baseline, LinkStateConfig config) {
+  linkState_ = std::make_unique<LinkStateState>();
+  linkState_->config = config;
+  linkState_->lossView.reserve(baseline.size());
+  linkState_->latencyView.reserve(baseline.size());
+  for (const trace::LinkConditions& c : baseline) {
+    linkState_->lossView.push_back(c.lossRate);
+    linkState_->latencyView.push_back(c.latency);
+  }
+  linkState_->baseline = std::move(baseline);
+  linkState_->probesReceived.assign(network_->overlay().edgeCount(), 0);
+  linkState_->probeLatencySumUs.assign(network_->overlay().edgeCount(), 0.0);
+  linkState_->newestEpochFrom.assign(network_->overlay().nodeCount(), 0);
+}
+
+void OverlayNode::handleProbe(graph::EdgeId arrivalEdge,
+                              const net::Packet& packet) {
+  if (!linkState_) return;
+  ++linkState_->probesReceived[arrivalEdge];
+  linkState_->probeLatencySumUs[arrivalEdge] += static_cast<double>(
+      network_->simulator().now() - packet.hopSendTime);
+}
+
+void OverlayNode::handleLinkState(graph::EdgeId arrivalEdge,
+                                  const net::Packet& packet) {
+  if (!linkState_) return;
+  if (packet.linkStateOrigin == id_) return;  // our own update, looped
+  std::uint32_t& newest =
+      linkState_->newestEpochFrom[packet.linkStateOrigin];
+  if (packet.linkStateEpoch <= newest) return;  // old or duplicate
+  newest = packet.linkStateEpoch;
+  ++linkState_->updatesAccepted;
+  for (const net::LinkStateEntry& entry : packet.linkState) {
+    linkState_->lossView[entry.edge] = entry.conditions.lossRate;
+    linkState_->latencyView[entry.edge] = entry.conditions.latency;
+  }
+  // Re-flood the first copy on every link except back where it came from.
+  const graph::Graph& overlay = network_->overlay();
+  const graph::NodeId arrivalNeighbor = overlay.edge(arrivalEdge).from;
+  for (const graph::EdgeId out : overlay.outEdges(id_)) {
+    if (overlay.edge(out).to == arrivalNeighbor) continue;
+    network_->transmit(out, packet);
+  }
+}
+
+void OverlayNode::emitLinkState() {
+  if (!linkState_) return;
+  LinkStateState& state = *linkState_;
+  ++state.epoch;
+
+  net::Packet update;
+  update.type = net::Packet::Type::LinkState;
+  update.linkStateOrigin = id_;
+  update.linkStateEpoch = state.epoch;
+  update.originTime = network_->simulator().now();
+
+  const graph::Graph& overlay = network_->overlay();
+  const double expected =
+      static_cast<double>(state.config.expectedProbesPerInterval);
+  for (const graph::EdgeId in : overlay.inEdges(id_)) {
+    net::LinkStateEntry entry;
+    entry.edge = in;
+    if (state.config.expectedProbesPerInterval >= state.config.minSamples) {
+      const double received =
+          static_cast<double>(state.probesReceived[in]);
+      entry.conditions.lossRate =
+          std::clamp(1.0 - received / expected, 0.0, 1.0);
+      entry.conditions.latency =
+          state.probesReceived[in] > 0
+              ? static_cast<util::SimTime>(state.probeLatencySumUs[in] /
+                                           received)
+              : state.baseline[in].latency;
+    } else {
+      entry.conditions = state.baseline[in];
+    }
+    state.probesReceived[in] = 0;
+    state.probeLatencySumUs[in] = 0.0;
+    // Apply to our own view immediately.
+    state.lossView[in] = entry.conditions.lossRate;
+    state.latencyView[in] = entry.conditions.latency;
+    update.linkState.push_back(entry);
+  }
+
+  for (const graph::EdgeId out : overlay.outEdges(id_)) {
+    network_->transmit(out, update);
+  }
+}
+
+routing::NetworkView OverlayNode::view() const {
+  return routing::NetworkView(linkState_->lossView, linkState_->latencyView);
+}
+
+void OverlayNode::noteSequenceForRecovery(graph::EdgeId arrivalEdge,
+                                          const net::Packet& packet) {
+  ReceiveState& state = receive_[key(arrivalEdge, packet.flow)];
+  if (packet.sequence < state.expected) return;  // late fill, all good
+  if (packet.sequence == state.expected) {
+    state.expected = packet.sequence + 1;
+    return;
+  }
+  // Gap: request every missing sequence exactly once.
+  net::Packet nack;
+  nack.type = net::Packet::Type::Nack;
+  nack.flow = packet.flow;
+  nack.sequence = packet.sequence;
+  nack.originTime = packet.originTime;
+  for (net::SequenceNumber missing = state.expected;
+       missing < packet.sequence; ++missing) {
+    if (state.requested.insert(missing)) {
+      nack.nackSequences.push_back(missing);
+    }
+  }
+  state.expected = packet.sequence + 1;
+  if (nack.nackSequences.empty()) return;
+  const auto reverse = network_->overlay().reverseEdge(arrivalEdge);
+  if (!reverse) return;  // no reverse link: recovery impossible
+  ++nacksSent_;
+  network_->transmit(*reverse, std::move(nack));
+}
+
+void OverlayNode::handleNack(graph::EdgeId arrivalEdge,
+                             const net::Packet& packet) {
+  // The NACK arrived on the reverse of the data edge we sent on.
+  const auto dataEdge = network_->overlay().reverseEdge(arrivalEdge);
+  if (!dataEdge) return;
+  const auto it = sendBuffers_.find(key(*dataEdge, packet.flow));
+  if (it == sendBuffers_.end()) return;
+  // Linear scan: the buffer is small and recovered packets re-enter it
+  // out of sequence order, so it is not sorted.
+  const auto& buffer = it->second.packets;
+  for (const net::SequenceNumber seq : packet.nackSequences) {
+    const auto found =
+        std::find_if(buffer.begin(), buffer.end(),
+                     [seq](const net::Packet& p) { return p.sequence == seq; });
+    if (found == buffer.end()) continue;
+    net::Packet retransmission = *found;
+    retransmission.type = net::Packet::Type::Retransmission;
+    ++retransmissionsSent_;
+    network_->transmit(*dataEdge, std::move(retransmission));
+  }
+}
+
+void OverlayNode::bufferForRetransmit(graph::EdgeId outEdge,
+                                      const net::Packet& packet) {
+  SendBuffer& buffer = sendBuffers_[key(outEdge, packet.flow)];
+  buffer.packets.push_back(packet);
+  while (buffer.packets.size() > config_.sendBufferPackets) {
+    buffer.packets.pop_front();
+  }
+}
+
+}  // namespace dg::core

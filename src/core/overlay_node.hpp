@@ -1,0 +1,148 @@
+// An overlay daemon: dissemination-graph forwarding with duplicate
+// suppression, plus the per-hop real-time recovery protocol.
+//
+// Forwarding rule (the dissemination-graph semantics): the first copy of
+// a packet a node receives is forwarded on every member out-edge of the
+// flow's active graph, except back to the node it arrived from; later
+// copies are dropped. Recovery rule: data packets carry per-(link, flow)
+// sequence numbers; a receiver that observes a gap immediately NACKs the
+// missing sequences on the reverse link, once per sequence, and the
+// sender retransmits from a short buffer. A packet whose age already
+// exceeds the flow deadline is not forwarded further (it can no longer be
+// useful, only costly).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "core/flow_context.hpp"
+#include "core/sequence_window.hpp"
+#include "net/network.hpp"
+#include "routing/network_view.hpp"
+
+namespace dg::core {
+
+struct OverlayNodeConfig {
+  bool recoveryEnabled = true;
+  /// Retransmission buffer per (out-edge, flow), in packets.
+  std::size_t sendBufferPackets = 64;
+};
+
+/// Distributed monitoring (enabled per node via enableLinkState): the
+/// node measures its incoming links from the probe stream, periodically
+/// floods a link-state update, merges updates from every other node into
+/// a local view, and -- as the source of a flow -- stamps the selected
+/// dissemination graph into packets as an edge bitmask.
+struct LinkStateConfig {
+  /// Probes expected per measurement interval on each incoming link
+  /// (decision interval / probe interval); losses are inferred from the
+  /// shortfall, so a silent link reads as 100% loss.
+  int expectedProbesPerInterval = 100;
+  /// Below this many expected probes the estimate is unusable.
+  int minSamples = 8;
+};
+
+class OverlayNode {
+ public:
+  OverlayNode(graph::NodeId id, net::SimulatedNetwork& network,
+              FlowDirectory& directory, OverlayNodeConfig config);
+
+  graph::NodeId id() const { return id_; }
+
+  /// Entry point wired to the network's delivery handler.
+  void handlePacket(graph::EdgeId arrivalEdge, const net::Packet& packet);
+
+  /// Injects a fresh data packet at this node (must be the flow source).
+  /// When the context carries a graph mask, the packet is stamped with it
+  /// and every node forwards by mask (distributed mode).
+  void originate(const FlowContext& context, net::SequenceNumber sequence,
+                 util::SimTime originTime);
+
+  // --- Distributed link-state monitoring --------------------------------
+
+  /// Turns on link-state participation: the node starts measuring its
+  /// incoming links from probes and accepting/merging/re-flooding
+  /// link-state updates. `baseline` seeds the local view.
+  void enableLinkState(std::vector<trace::LinkConditions> baseline,
+                       LinkStateConfig config);
+  bool linkStateEnabled() const { return linkState_ != nullptr; }
+
+  /// Closes the node's measurement interval: updates its own view from
+  /// its incoming-link measurements and floods a link-state update to
+  /// the rest of the overlay. Call once per decision interval.
+  void emitLinkState();
+
+  /// The node's current believed network state (valid only with link
+  /// state enabled).
+  routing::NetworkView view() const;
+
+  std::uint64_t linkStateUpdatesAccepted() const {
+    return linkState_ ? linkState_->updatesAccepted : 0;
+  }
+
+  std::uint64_t duplicatesDropped() const { return duplicatesDropped_; }
+  std::uint64_t expiredDropped() const { return expiredDropped_; }
+  std::uint64_t nacksSent() const { return nacksSent_; }
+  std::uint64_t retransmissionsSent() const { return retransmissionsSent_; }
+
+ private:
+  struct ReceiveState {
+    net::SequenceNumber expected = 0;
+    SequenceWindow requested{1024};  ///< each gap is NACKed at most once
+  };
+  struct SendBuffer {
+    std::deque<net::Packet> packets;  // ascending sequence
+  };
+  /// Key for per-(edge, flow) maps.
+  static std::uint64_t key(graph::EdgeId edge, net::FlowId flow) {
+    return (static_cast<std::uint64_t>(edge) << 32) | flow;
+  }
+
+  void forward(const FlowContext& context, const net::Packet& packet,
+               graph::EdgeId arrivalEdge);
+  void handleData(graph::EdgeId arrivalEdge, const net::Packet& packet);
+  void handleNack(graph::EdgeId arrivalEdge, const net::Packet& packet);
+  void handleProbe(graph::EdgeId arrivalEdge, const net::Packet& packet);
+  void handleLinkState(graph::EdgeId arrivalEdge, const net::Packet& packet);
+  void noteSequenceForRecovery(graph::EdgeId arrivalEdge,
+                               const net::Packet& packet);
+  void bufferForRetransmit(graph::EdgeId outEdge, const net::Packet& packet);
+
+  graph::NodeId id_;
+  net::SimulatedNetwork* network_;
+  FlowDirectory* directory_;
+  OverlayNodeConfig config_;
+
+  /// First-copy suppression per flow (bounded sliding window).
+  std::unordered_map<net::FlowId, SequenceWindow> seen_;
+  /// Per (in-edge, flow) gap detection state.
+  std::unordered_map<std::uint64_t, ReceiveState> receive_;
+  /// Per (out-edge, flow) retransmission buffers.
+  std::unordered_map<std::uint64_t, SendBuffer> sendBuffers_;
+
+  /// Distributed monitoring state (absent unless enabled).
+  struct LinkStateState {
+    LinkStateConfig config;
+    std::vector<trace::LinkConditions> baseline;
+    // Local view of every link.
+    std::vector<double> lossView;
+    std::vector<util::SimTime> latencyView;
+    // Measurements of this node's incoming links, current interval.
+    std::vector<std::uint64_t> probesReceived;  // per edge
+    std::vector<double> probeLatencySumUs;      // per edge
+    // Flood dedup: newest accepted epoch per origin node.
+    std::vector<std::uint32_t> newestEpochFrom;
+    std::uint32_t epoch = 0;
+    std::uint64_t updatesAccepted = 0;
+  };
+  std::unique_ptr<LinkStateState> linkState_;
+
+  std::uint64_t duplicatesDropped_ = 0;
+  std::uint64_t expiredDropped_ = 0;
+  std::uint64_t nacksSent_ = 0;
+  std::uint64_t retransmissionsSent_ = 0;
+};
+
+}  // namespace dg::core

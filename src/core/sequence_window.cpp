@@ -1,0 +1,30 @@
+#include "core/sequence_window.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dg::core {
+
+SequenceWindow::SequenceWindow(std::size_t windowSize) {
+  if (windowSize == 0)
+    throw std::invalid_argument("SequenceWindow: zero window");
+  const std::size_t rounded = std::bit_ceil(windowSize);
+  seen_.assign(rounded, 0);
+  mask_ = rounded - 1;
+}
+
+bool SequenceWindow::insert(std::uint64_t sequence) {
+  if (belowWindow(sequence)) return false;  // too old: treat as duplicate
+  std::uint64_t& cell = seen_[slot(sequence)];
+  if (cell == sequence + 1) return false;  // duplicate
+  cell = sequence + 1;
+  if (sequence + 1 > frontier_) frontier_ = sequence + 1;
+  return true;
+}
+
+bool SequenceWindow::contains(std::uint64_t sequence) const {
+  if (belowWindow(sequence)) return true;
+  return seen_[slot(sequence)] == sequence + 1;
+}
+
+}  // namespace dg::core

@@ -1,0 +1,52 @@
+// Sliding-window duplicate suppression for per-flow sequence numbers.
+//
+// The forwarding engine must answer "have I seen (flow, seq) before?" for
+// every arriving packet. An unordered_set works but grows without bound
+// on long-running flows; this window keeps O(window) memory with O(1)
+// operations by exploiting that sequences are assigned monotonically at
+// the source: anything older than the window is treated as already seen
+// (a packet that old is far past any deadline anyway).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dg::core {
+
+class SequenceWindow {
+ public:
+  /// `windowSize` is rounded up to a power of two; it should comfortably
+  /// exceed deadline/packet-interval (the maximum useful reordering
+  /// distance). Default 4096 covers a 65 ms deadline at far beyond
+  /// realistic packet rates.
+  explicit SequenceWindow(std::size_t windowSize = 4096);
+
+  /// Marks the sequence as seen. Returns true if it was NOT seen before
+  /// (i.e. the caller holds the first copy), false for duplicates and for
+  /// sequences older than the window.
+  bool insert(std::uint64_t sequence);
+
+  /// True if the sequence has been seen (or predates the window).
+  bool contains(std::uint64_t sequence) const;
+
+  /// Highest sequence ever inserted + 1 (0 when empty).
+  std::uint64_t frontier() const { return frontier_; }
+
+  std::size_t windowSize() const { return seen_.size(); }
+
+ private:
+  std::size_t slot(std::uint64_t sequence) const {
+    return static_cast<std::size_t>(sequence) & mask_;
+  }
+  /// Sequence is below the retained range.
+  bool belowWindow(std::uint64_t sequence) const {
+    return frontier_ > seen_.size() &&
+           sequence < frontier_ - seen_.size();
+  }
+
+  std::vector<std::uint64_t> seen_;  ///< slot -> sequence + 1 (0 = empty)
+  std::size_t mask_;
+  std::uint64_t frontier_ = 0;
+};
+
+}  // namespace dg::core

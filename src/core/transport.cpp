@@ -1,0 +1,191 @@
+#include "core/transport.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace dg::core {
+
+TransportService::TransportService(const trace::Topology& topology,
+                                   const trace::Trace& trace,
+                                   TransportConfig config)
+    : topology_(&topology),
+      config_(config),
+      network_(simulator_, topology.graph(), trace, config.seed),
+      monitor_(topology.graph(),
+               [&] {
+                 std::vector<trace::LinkConditions> baseline;
+                 baseline.reserve(trace.edgeCount());
+                 for (graph::EdgeId e = 0; e < trace.edgeCount(); ++e)
+                   baseline.push_back(trace.baseline(e));
+                 return baseline;
+               }(),
+               config.monitorMinSamples) {
+  const graph::Graph& overlay = topology.graph();
+  nodes_.reserve(overlay.nodeCount());
+  for (graph::NodeId n = 0; n < overlay.nodeCount(); ++n) {
+    nodes_.push_back(
+        std::make_unique<OverlayNode>(n, network_, *this, config_.node));
+    network_.setDeliveryHandler(n, [this, n](graph::EdgeId edge,
+                                             const net::Packet& packet) {
+      nodes_[n]->handlePacket(edge, packet);
+    });
+  }
+  network_.setLinkCapacity(config_.linkCapacity);
+  network_.setTransmitObserver([this](graph::EdgeId edge,
+                                      const net::Packet& packet,
+                                      bool delivered, util::SimTime latency) {
+    monitor_.recordTransmission(edge);
+    if (delivered) monitor_.recordReception(edge, latency);
+    if ((packet.type == net::Packet::Type::Data ||
+         packet.type == net::Packet::Type::Retransmission) &&
+        packet.flow < flows_.size()) {
+      ++flows_[packet.flow]->stats.transmissions;
+    }
+  });
+  if (config_.monitorMode == MonitorMode::Distributed) {
+    if (overlay.edgeCount() > 64) {
+      throw std::invalid_argument(
+          "TransportService: distributed mode stamps graphs as 64-bit "
+          "masks; the overlay has too many directed edges");
+    }
+    LinkStateConfig linkStateConfig;
+    linkStateConfig.expectedProbesPerInterval = static_cast<int>(
+        config_.decisionInterval / config_.probeInterval);
+    linkStateConfig.minSamples = config_.monitorMinSamples;
+    std::vector<trace::LinkConditions> baseline;
+    baseline.reserve(trace.edgeCount());
+    for (graph::EdgeId e = 0; e < trace.edgeCount(); ++e)
+      baseline.push_back(trace.baseline(e));
+    for (const auto& node : nodes_) {
+      node->enableLinkState(baseline, linkStateConfig);
+    }
+  }
+  scheduleDecisionTick();
+  scheduleProbeTick();
+}
+
+net::FlowId TransportService::openFlow(std::string_view source,
+                                       std::string_view destination,
+                                       routing::SchemeKind scheme,
+                                       util::SimTime packetInterval) {
+  const routing::Flow flow{topology_->at(source), topology_->at(destination)};
+  if (flow.source == flow.destination)
+    throw std::invalid_argument("openFlow: source equals destination");
+
+  auto runtime = std::make_unique<FlowRuntime>();
+  runtime->context.id = static_cast<net::FlowId>(flows_.size());
+  runtime->context.flow = flow;
+  runtime->context.deadline = config_.schemeParams.deadline;
+  runtime->context.packetInterval = packetInterval;
+  runtime->scheme = routing::makeScheme(scheme, topology_->graph(), flow,
+                                        config_.schemeParams);
+  const routing::NetworkView initialView =
+      config_.monitorMode == MonitorMode::Distributed
+          ? nodes_[flow.source]->view()
+          : monitor_.view();
+  runtime->scheme->initialize(initialView);
+  runtime->context.activeGraph = &runtime->scheme->select(initialView);
+  if (config_.monitorMode == MonitorMode::Distributed) {
+    runtime->context.graphMask =
+        net::graphMaskOf(*runtime->context.activeGraph);
+  }
+
+  const net::FlowId id = runtime->context.id;
+  flows_.push_back(std::move(runtime));
+  DG_LOG(Info) << "flow " << id << ": " << topology_->name(flow.source)
+               << "->" << topology_->name(flow.destination) << " via "
+               << flows_[id]->scheme->name();
+  scheduleFlowTick(id);
+  return id;
+}
+
+void TransportService::setSending(net::FlowId id, bool sending) {
+  FlowRuntime& runtime = *flows_.at(id);
+  const bool wasSending = runtime.sending;
+  runtime.sending = sending;
+  if (sending && !wasSending) scheduleFlowTick(id);
+}
+
+void TransportService::run(util::SimTime duration) {
+  simulator_.runUntil(simulator_.now() + duration);
+}
+
+const FlowStats& TransportService::stats(net::FlowId id) const {
+  return flows_.at(id)->stats;
+}
+
+const FlowContext& TransportService::context(net::FlowId id) const {
+  return flows_.at(id)->context;
+}
+
+const FlowContext* TransportService::flowContext(net::FlowId id) const {
+  if (id >= flows_.size()) return nullptr;
+  return &flows_[id]->context;
+}
+
+void TransportService::onDelivered(net::FlowId id,
+                                   const net::Packet& packet) {
+  FlowRuntime& runtime = *flows_.at(id);
+  const util::SimTime latency = simulator_.now() - packet.originTime;
+  if (latency <= runtime.context.deadline) {
+    ++runtime.stats.deliveredOnTime;
+  } else {
+    ++runtime.stats.deliveredLate;
+  }
+  runtime.stats.latencyUs.add(static_cast<double>(latency));
+}
+
+void TransportService::scheduleDecisionTick() {
+  simulator_.scheduleAfter(config_.decisionInterval, [this] {
+    if (config_.monitorMode == MonitorMode::Distributed) {
+      // Every node closes its measurement interval and floods its
+      // link-state update; those updates arrive (one link latency away,
+      // loss permitting) *after* this tick's routing decisions -- the
+      // staleness is emergent, not modeled.
+      for (const auto& node : nodes_) node->emitLinkState();
+      for (const auto& runtime : flows_) {
+        const routing::NetworkView view =
+            nodes_[runtime->context.flow.source]->view();
+        runtime->context.activeGraph = &runtime->scheme->select(view);
+        runtime->context.graphMask =
+            net::graphMaskOf(*runtime->context.activeGraph);
+      }
+    } else {
+      monitor_.rollInterval();
+      const routing::NetworkView view = monitor_.view();
+      for (const auto& runtime : flows_) {
+        runtime->context.activeGraph = &runtime->scheme->select(view);
+      }
+    }
+    scheduleDecisionTick();
+  });
+}
+
+void TransportService::scheduleProbeTick() {
+  simulator_.scheduleAfter(config_.probeInterval, [this] {
+    const graph::Graph& overlay = topology_->graph();
+    for (graph::EdgeId e = 0; e < overlay.edgeCount(); ++e) {
+      net::Packet probe;
+      probe.type = net::Packet::Type::Probe;
+      probe.originTime = simulator_.now();
+      network_.transmit(e, std::move(probe));
+    }
+    scheduleProbeTick();
+  });
+}
+
+void TransportService::scheduleFlowTick(net::FlowId id) {
+  FlowRuntime& runtime = *flows_.at(id);
+  if (!runtime.sending) return;
+  simulator_.scheduleAfter(runtime.context.packetInterval, [this, id] {
+    FlowRuntime& flow = *flows_.at(id);
+    if (!flow.sending) return;
+    ++flow.stats.sent;
+    nodes_[flow.context.flow.source]->originate(
+        flow.context, flow.nextSequence++, simulator_.now());
+    scheduleFlowTick(id);
+  });
+}
+
+}  // namespace dg::core

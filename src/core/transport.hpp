@@ -1,0 +1,119 @@
+// The overlay transport service: the library's top-level public API.
+//
+// A TransportService stands up a full overlay -- one daemon per site, the
+// simulated wide-area links between them driven by a condition trace, a
+// link monitor, and per-flow routing schemes -- and delivers timely,
+// highly reliable flows over it:
+//
+//   auto topology = dg::trace::Topology::ltn12();
+//   auto synthetic = dg::trace::generateSyntheticTrace(topology.graph(), {});
+//   dg::core::TransportService service(topology, synthetic.trace, {});
+//   auto flow = service.openFlow("NYC", "SJC",
+//                                dg::routing::SchemeKind::TargetedRedundancy);
+//   service.run(dg::util::minutes(10));
+//   const auto& stats = service.stats(flow);   // on-time rate, cost, ...
+//
+// Flows emit packets at their configured rate; every decision interval
+// the monitor's measurements are rolled and each flow's scheme selects
+// the dissemination graph for the next interval.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/flow_context.hpp"
+#include "core/metrics.hpp"
+#include "core/monitor.hpp"
+#include "core/overlay_node.hpp"
+#include "net/network.hpp"
+#include "net/simulator.hpp"
+#include "routing/scheme.hpp"
+#include "trace/topology.hpp"
+#include "trace/trace.hpp"
+
+namespace dg::core {
+
+/// How routing learns about network conditions.
+enum class MonitorMode {
+  /// One service-wide monitor aggregates all link observations and every
+  /// scheme reads the same view (simple; the playback engine's model).
+  Centralized,
+  /// Spines-like: every node measures its incoming links from the probe
+  /// stream and floods link-state updates (which themselves ride the
+  /// lossy overlay); each flow's scheme runs on its *source node's* view
+  /// and the chosen dissemination graph is stamped into packets as an
+  /// edge bitmask. Convergence delays and update losses are emergent.
+  Distributed,
+};
+
+struct TransportConfig {
+  routing::SchemeParams schemeParams;
+  MonitorMode monitorMode = MonitorMode::Centralized;
+  /// How often the monitor rolls and schemes re-select graphs.
+  util::SimTime decisionInterval = util::seconds(10);
+  /// Per-link probe period (keeps the monitor fed on idle links).
+  util::SimTime probeInterval = util::milliseconds(100);
+  OverlayNodeConfig node;
+  int monitorMinSamples = 8;
+  std::uint64_t seed = 42;
+  /// Optional link capacity model (default unlimited); see
+  /// net::LinkCapacity for semantics.
+  net::LinkCapacity linkCapacity;
+};
+
+class TransportService final : public FlowDirectory {
+ public:
+  /// The topology and trace must outlive the service.
+  TransportService(const trace::Topology& topology,
+                   const trace::Trace& trace, TransportConfig config = {});
+
+  /// Opens a flow between two named sites; it starts sending one packet
+  /// per `packetInterval` immediately. `deadline` defaults to the
+  /// scheme-params deadline.
+  net::FlowId openFlow(std::string_view source, std::string_view destination,
+                       routing::SchemeKind scheme,
+                       util::SimTime packetInterval = util::milliseconds(10));
+
+  /// Pauses/resumes a flow's packet generation.
+  void setSending(net::FlowId id, bool sending);
+
+  /// Advances the simulation by `duration`.
+  void run(util::SimTime duration);
+
+  const FlowStats& stats(net::FlowId id) const;
+  const FlowContext& context(net::FlowId id) const;
+  const OverlayNode& node(graph::NodeId id) const { return *nodes_[id]; }
+  MonitorMode monitorMode() const { return config_.monitorMode; }
+  /// The monitor's current routing view (last closed interval).
+  routing::NetworkView currentView() const { return monitor_.view(); }
+  net::Simulator& simulator() { return simulator_; }
+  const trace::Topology& topology() const { return *topology_; }
+
+  // FlowDirectory:
+  const FlowContext* flowContext(net::FlowId id) const override;
+  void onDelivered(net::FlowId id, const net::Packet& packet) override;
+
+ private:
+  struct FlowRuntime {
+    FlowContext context;
+    std::unique_ptr<routing::RoutingScheme> scheme;
+    net::SequenceNumber nextSequence = 0;
+    FlowStats stats;
+    bool sending = true;
+  };
+
+  void scheduleDecisionTick();
+  void scheduleProbeTick();
+  void scheduleFlowTick(net::FlowId id);
+
+  const trace::Topology* topology_;
+  TransportConfig config_;
+  net::Simulator simulator_;
+  net::SimulatedNetwork network_;
+  LinkMonitor monitor_;
+  std::vector<std::unique_ptr<OverlayNode>> nodes_;
+  std::vector<std::unique_ptr<FlowRuntime>> flows_;
+};
+
+}  // namespace dg::core

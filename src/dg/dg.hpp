@@ -1,0 +1,48 @@
+// Umbrella header: the library's public API in one include.
+//
+//   #include "dg/dg.hpp"
+//
+// Brings in the overlay transport service, routing schemes, topology and
+// trace machinery, the playback evaluation engine and the analysis
+// helpers. Individual headers remain includable for finer-grained
+// dependencies.
+#pragma once
+
+// Substrate.
+#include "util/config.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+// Graphs and dissemination graphs.
+#include "graph/analysis.hpp"
+#include "graph/disjoint_paths.hpp"
+#include "graph/dissemination_graph.hpp"
+#include "graph/graph.hpp"
+#include "graph/k_shortest.hpp"
+#include "graph/shortest_path.hpp"
+
+// Topologies and condition traces.
+#include "trace/importer.hpp"
+#include "trace/synth.hpp"
+#include "trace/topology.hpp"
+#include "trace/trace.hpp"
+
+// Routing.
+#include "routing/network_view.hpp"
+#include "routing/problem_detector.hpp"
+#include "routing/scheme.hpp"
+#include "routing/targeted_graphs.hpp"
+
+// The live overlay transport service.
+#include "core/transport.hpp"
+
+// Evaluation.
+#include "playback/ablation.hpp"
+#include "playback/classification.hpp"
+#include "playback/experiment.hpp"
+#include "playback/graph_optimizer.hpp"
+#include "playback/playback.hpp"
+#include "playback/report.hpp"

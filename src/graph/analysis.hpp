@@ -1,0 +1,59 @@
+// Structural fragility analysis of an overlay.
+//
+// Used by the operations tooling (see examples/overlay_audit) to answer
+// "where is this overlay one failure away from violating its guarantees":
+// articulation sites (a single data-center outage disconnects someone),
+// bridge links, per-flow connectivity and minimum edge cuts, and
+// deadline-constrained connectivity (how many disjoint *timely* routes a
+// flow really has).
+//
+// All functions treat the directed overlay as its undirected support
+// (links fail in both directions together -- the failure model of the
+// paper's data and of dg::trace's generator).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dg::graph {
+
+/// Nodes whose removal disconnects the undirected support of the graph.
+std::vector<NodeId> articulationPoints(const Graph& graph);
+
+/// Edges (forward directed id of each undirected link) whose removal
+/// disconnects the undirected support.
+std::vector<EdgeId> bridges(const Graph& graph);
+
+/// True if the undirected support is connected (isolated nodes count as
+/// disconnected unless the graph has fewer than two nodes).
+bool isConnected(const Graph& graph);
+
+/// A minimum set of directed edges whose removal disconnects src from
+/// dst (unit capacities; computed via max-flow/min-cut).
+std::vector<EdgeId> minimumEdgeCut(const Graph& graph, NodeId src,
+                                   NodeId dst);
+
+/// Maximum number of node-disjoint src->dst paths that each individually
+/// meet `deadline` under `weights` -- the flow's *usable* redundancy,
+/// which can be less than its graph-theoretic connectivity when detours
+/// are too slow. Computed exactly for small k by incremental min-cost
+/// flow: paths are added in cheapest-total order until the next path set
+/// cannot keep every member within the deadline.
+int timelyDisjointConnectivity(const Graph& graph, NodeId src, NodeId dst,
+                               std::span<const util::SimTime> weights,
+                               util::SimTime deadline, int maxPaths = 8);
+
+/// Per-node fragility summary for reports.
+struct NodeFragility {
+  NodeId node = kInvalidNode;
+  std::size_t degree = 0;
+  bool articulation = false;
+  /// Number of adjacent undirected links that are bridges.
+  std::size_t adjacentBridges = 0;
+};
+
+std::vector<NodeFragility> fragilityReport(const Graph& graph);
+
+}  // namespace dg::graph

@@ -1,0 +1,156 @@
+#include "graph/flow.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace dg::graph {
+
+namespace {
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+}
+
+MinCostFlow::MinCostFlow(std::size_t nodeCount)
+    : adjacency_(nodeCount), potential_(nodeCount, 0) {}
+
+int MinCostFlow::addArc(int from, int to, std::int64_t capacity,
+                        std::int64_t cost) {
+  if (cost < 0) throw std::invalid_argument("MinCostFlow: negative cost");
+  const int id = static_cast<int>(arcs_.size());
+  arcs_.push_back(Arc{to, capacity, cost, id + 1});
+  arcs_.push_back(Arc{from, 0, -cost, id});
+  adjacency_[static_cast<std::size_t>(from)].push_back(id);
+  adjacency_[static_cast<std::size_t>(to)].push_back(id + 1);
+  originalCapacity_.push_back(capacity);
+  originalCapacity_.push_back(0);
+  return id;
+}
+
+std::pair<std::int64_t, std::int64_t> MinCostFlow::solve(
+    int src, int dst, std::int64_t maxFlow) {
+  const std::size_t n = adjacency_.size();
+  std::int64_t flow = 0;
+  std::int64_t totalCost = 0;
+  std::fill(potential_.begin(), potential_.end(), 0);
+
+  while (flow < maxFlow) {
+    // Dijkstra on reduced costs.
+    std::vector<std::int64_t> dist(n, kInf);
+    std::vector<int> parentArc(n, -1);
+    using Entry = std::pair<std::int64_t, int>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+    dist[static_cast<std::size_t>(src)] = 0;
+    queue.push({0, src});
+    while (!queue.empty()) {
+      const auto [d, u] = queue.top();
+      queue.pop();
+      if (d > dist[static_cast<std::size_t>(u)]) continue;
+      for (const int arcId : adjacency_[static_cast<std::size_t>(u)]) {
+        const Arc& arc = arcs_[static_cast<std::size_t>(arcId)];
+        if (arc.capacity <= 0) continue;
+        const std::int64_t reduced =
+            d + arc.cost + potential_[static_cast<std::size_t>(u)] -
+            potential_[static_cast<std::size_t>(arc.to)];
+        if (reduced < dist[static_cast<std::size_t>(arc.to)]) {
+          dist[static_cast<std::size_t>(arc.to)] = reduced;
+          parentArc[static_cast<std::size_t>(arc.to)] = arcId;
+          queue.push({reduced, arc.to});
+        }
+      }
+    }
+    if (dist[static_cast<std::size_t>(dst)] >= kInf) break;  // no more paths
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dist[i] < kInf) potential_[i] += dist[i];
+    }
+
+    // Find bottleneck and augment by it (capacities here are small).
+    std::int64_t bottleneck = maxFlow - flow;
+    for (int v = dst; v != src;) {
+      const Arc& arc = arcs_[static_cast<std::size_t>(parentArc[static_cast<std::size_t>(v)])];
+      bottleneck = std::min(bottleneck, arc.capacity);
+      v = arcs_[static_cast<std::size_t>(arc.twin)].to;
+    }
+    for (int v = dst; v != src;) {
+      Arc& arc = arcs_[static_cast<std::size_t>(parentArc[static_cast<std::size_t>(v)])];
+      arc.capacity -= bottleneck;
+      arcs_[static_cast<std::size_t>(arc.twin)].capacity += bottleneck;
+      totalCost += bottleneck * arc.cost;
+      v = arcs_[static_cast<std::size_t>(arc.twin)].to;
+    }
+    flow += bottleneck;
+  }
+  return {flow, totalCost};
+}
+
+std::int64_t MinCostFlow::flowOn(int arc) const {
+  return originalCapacity_[static_cast<std::size_t>(arc)] -
+         arcs_[static_cast<std::size_t>(arc)].capacity;
+}
+
+MaxFlow::MaxFlow(std::size_t nodeCount)
+    : adjacency_(nodeCount), level_(nodeCount), iter_(nodeCount) {}
+
+int MaxFlow::addArc(int from, int to, std::int64_t capacity) {
+  const int id = static_cast<int>(arcs_.size());
+  arcs_.push_back(Arc{to, capacity, id + 1});
+  arcs_.push_back(Arc{from, 0, id});
+  adjacency_[static_cast<std::size_t>(from)].push_back(id);
+  adjacency_[static_cast<std::size_t>(to)].push_back(id + 1);
+  return id;
+}
+
+bool MaxFlow::buildLevels(int src, int dst) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<int> queue;
+  level_[static_cast<std::size_t>(src)] = 0;
+  queue.push(src);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop();
+    for (const int arcId : adjacency_[static_cast<std::size_t>(u)]) {
+      const Arc& arc = arcs_[static_cast<std::size_t>(arcId)];
+      if (arc.capacity > 0 && level_[static_cast<std::size_t>(arc.to)] < 0) {
+        level_[static_cast<std::size_t>(arc.to)] =
+            level_[static_cast<std::size_t>(u)] + 1;
+        queue.push(arc.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(dst)] >= 0;
+}
+
+std::int64_t MaxFlow::push(int node, int dst, std::int64_t limit) {
+  if (node == dst) return limit;
+  for (std::size_t& i = iter_[static_cast<std::size_t>(node)];
+       i < adjacency_[static_cast<std::size_t>(node)].size(); ++i) {
+    const int arcId = adjacency_[static_cast<std::size_t>(node)][i];
+    Arc& arc = arcs_[static_cast<std::size_t>(arcId)];
+    if (arc.capacity <= 0 || level_[static_cast<std::size_t>(arc.to)] !=
+                                 level_[static_cast<std::size_t>(node)] + 1)
+      continue;
+    const std::int64_t pushed =
+        push(arc.to, dst, std::min(limit, arc.capacity));
+    if (pushed > 0) {
+      arc.capacity -= pushed;
+      arcs_[static_cast<std::size_t>(arc.twin)].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::solve(int src, int dst) {
+  std::int64_t flow = 0;
+  while (buildLevels(src, dst)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    while (true) {
+      const std::int64_t pushed = push(src, dst, kInf);
+      if (pushed == 0) break;
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+}  // namespace dg::graph

@@ -1,0 +1,68 @@
+// Flow algorithms used by the disjoint-path machinery and analysis tools:
+//  - MinCostFlow: successive shortest paths with Johnson potentials
+//    (costs must be non-negative), used to find k node-disjoint paths of
+//    minimum total latency.
+//  - MaxFlow (Dinic): used to measure connectivity (how many disjoint
+//    paths exist at all) in analysis and as an independent oracle in
+//    property tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dg::graph {
+
+/// Min-cost flow on a directed graph with integer capacities and
+/// non-negative integer costs. Nodes are dense 0-based ids declared up
+/// front. Arcs are addressed by the id returned from addArc.
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(std::size_t nodeCount);
+
+  /// Adds a directed arc and its residual twin; returns the arc id.
+  int addArc(int from, int to, std::int64_t capacity, std::int64_t cost);
+
+  /// Sends up to `maxFlow` units from src to dst along successive
+  /// cheapest augmenting paths. Returns (flow actually sent, total cost).
+  std::pair<std::int64_t, std::int64_t> solve(int src, int dst,
+                                              std::int64_t maxFlow);
+
+  /// Flow currently on an arc (after solve).
+  std::int64_t flowOn(int arc) const;
+
+ private:
+  struct Arc {
+    int to;
+    std::int64_t capacity;
+    std::int64_t cost;
+    int twin;  ///< index of the residual arc
+  };
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<std::int64_t> potential_;
+  std::vector<std::int64_t> originalCapacity_;
+};
+
+/// Dinic max-flow with unit-friendly performance; integer capacities.
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t nodeCount);
+  int addArc(int from, int to, std::int64_t capacity);
+  std::int64_t solve(int src, int dst);
+
+ private:
+  struct Arc {
+    int to;
+    std::int64_t capacity;
+    int twin;
+  };
+  bool buildLevels(int src, int dst);
+  std::int64_t push(int node, int dst, std::int64_t limit);
+
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace dg::graph

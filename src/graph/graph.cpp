@@ -1,0 +1,101 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dg::graph {
+
+NodeId Graph::addNode() {
+  outEdges_.emplace_back();
+  inEdges_.emplace_back();
+  return static_cast<NodeId>(outEdges_.size() - 1);
+}
+
+NodeId Graph::addNodes(std::size_t count) {
+  const NodeId first = static_cast<NodeId>(outEdges_.size());
+  for (std::size_t i = 0; i < count; ++i) addNode();
+  return first;
+}
+
+EdgeId Graph::addEdge(NodeId from, NodeId to, util::SimTime latency) {
+  if (from >= nodeCount() || to >= nodeCount())
+    throw std::out_of_range("Graph::addEdge: node id out of range");
+  if (latency < 0)
+    throw std::invalid_argument("Graph::addEdge: negative latency");
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{from, to, latency});
+  outEdges_[from].push_back(id);
+  inEdges_[to].push_back(id);
+  return id;
+}
+
+EdgeId Graph::addBidirectional(NodeId a, NodeId b, util::SimTime latency) {
+  const EdgeId forward = addEdge(a, b, latency);
+  addEdge(b, a, latency);
+  return forward;
+}
+
+std::optional<EdgeId> Graph::findEdge(NodeId from, NodeId to) const {
+  for (const EdgeId id : outEdges_[from]) {
+    if (edges_[id].to == to) return id;
+  }
+  return std::nullopt;
+}
+
+std::optional<EdgeId> Graph::reverseEdge(EdgeId id) const {
+  const Edge& e = edges_[id];
+  return findEdge(e.to, e.from);
+}
+
+std::vector<util::SimTime> Graph::baseLatencies() const {
+  std::vector<util::SimTime> weights;
+  weights.reserve(edges_.size());
+  for (const Edge& e : edges_) weights.push_back(e.latency);
+  return weights;
+}
+
+util::SimTime pathLatency(const Graph& graph, const Path& path,
+                          std::span<const util::SimTime> weights) {
+  (void)graph;
+  util::SimTime total = 0;
+  for (const EdgeId id : path) {
+    const util::SimTime w = weights[id];
+    if (w == util::kNever) return util::kNever;
+    total += w;
+  }
+  return total;
+}
+
+std::vector<NodeId> pathNodes(const Graph& graph, NodeId src,
+                              const Path& path) {
+  std::vector<NodeId> nodes{src};
+  for (const EdgeId id : path) nodes.push_back(graph.edge(id).to);
+  return nodes;
+}
+
+bool isValidPath(const Graph& graph, NodeId src, NodeId dst,
+                 const Path& path) {
+  NodeId at = src;
+  for (const EdgeId id : path) {
+    if (id >= graph.edgeCount()) return false;
+    const Edge& e = graph.edge(id);
+    if (e.from != at) return false;
+    at = e.to;
+  }
+  return at == dst;
+}
+
+bool pathsShareInteriorNode(const Graph& graph, NodeId src, NodeId dst,
+                            const Path& a, const Path& b) {
+  std::unordered_set<NodeId> interior;
+  for (const NodeId n : pathNodes(graph, src, a)) {
+    if (n != src && n != dst) interior.insert(n);
+  }
+  for (const NodeId n : pathNodes(graph, src, b)) {
+    if (n != src && n != dst && interior.count(n) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace dg::graph

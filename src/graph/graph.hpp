@@ -1,0 +1,103 @@
+// Directed graph with latency-weighted edges.
+//
+// This is the structural substrate for the whole library: the overlay
+// topology, routing computations and dissemination graphs are all
+// expressed against it.  Nodes and edges are dense integer ids so that
+// per-edge state (current loss/latency, membership bitsets, Monte-Carlo
+// samples) can live in flat arrays.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace dg::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// A directed edge with its base (uncongested) propagation latency.
+struct Edge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  util::SimTime latency = 0;  ///< base one-way latency in microseconds
+};
+
+/// Directed multigraph-capable container (the overlay never needs
+/// parallel edges, but nothing here forbids them).  Append-only: overlay
+/// topologies are immutable once constructed.
+class Graph {
+ public:
+  /// Adds an isolated node and returns its id (ids are dense, 0-based).
+  NodeId addNode();
+
+  /// Adds `count` nodes at once; returns the id of the first.
+  NodeId addNodes(std::size_t count);
+
+  /// Adds a directed edge; latency must be >= 0.
+  EdgeId addEdge(NodeId from, NodeId to, util::SimTime latency);
+
+  /// Adds a pair of antiparallel edges with the same latency; returns the
+  /// id of the forward (from->to) edge. The backward edge id is always
+  /// forward id + 1 when added through this call.
+  EdgeId addBidirectional(NodeId a, NodeId b, util::SimTime latency);
+
+  std::size_t nodeCount() const { return outEdges_.size(); }
+  std::size_t edgeCount() const { return edges_.size(); }
+
+  const Edge& edge(EdgeId id) const { return edges_[id]; }
+
+  /// Out-edge / in-edge ids of a node, in insertion order.
+  std::span<const EdgeId> outEdges(NodeId node) const {
+    return outEdges_[node];
+  }
+  std::span<const EdgeId> inEdges(NodeId node) const { return inEdges_[node]; }
+
+  std::size_t outDegree(NodeId node) const { return outEdges_[node].size(); }
+  std::size_t inDegree(NodeId node) const { return inEdges_[node].size(); }
+
+  /// Finds the first edge from->to, if any.
+  std::optional<EdgeId> findEdge(NodeId from, NodeId to) const;
+
+  /// Finds the reverse of an edge (an edge to->from), if any.
+  std::optional<EdgeId> reverseEdge(EdgeId id) const;
+
+  /// All base latencies as a flat weight vector (the "healthy network"
+  /// weights); routing under current conditions copies and perturbs this.
+  std::vector<util::SimTime> baseLatencies() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> outEdges_;
+  std::vector<std::vector<EdgeId>> inEdges_;
+};
+
+/// A path is a sequence of edge ids where consecutive edges share the
+/// intermediate node. An empty path means "src == dst" or "not found"
+/// depending on context; prefer PathResult for search results.
+using Path = std::vector<EdgeId>;
+
+/// Total latency of a path under the given per-edge weights.
+util::SimTime pathLatency(const Graph& graph, const Path& path,
+                          std::span<const util::SimTime> weights);
+
+/// The ordered node sequence visited by a path starting at `src`.
+std::vector<NodeId> pathNodes(const Graph& graph, NodeId src,
+                              const Path& path);
+
+/// Validates that `path` is a connected src -> dst edge sequence.
+bool isValidPath(const Graph& graph, NodeId src, NodeId dst,
+                 const Path& path);
+
+/// True if the two paths share any node other than src/dst.
+bool pathsShareInteriorNode(const Graph& graph, NodeId src, NodeId dst,
+                            const Path& a, const Path& b);
+
+}  // namespace dg::graph

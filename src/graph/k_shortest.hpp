@@ -1,0 +1,22 @@
+// Yen's algorithm for k loopless shortest paths.
+//
+// Used by analysis tooling (alternative-route inspection) and as a
+// building block for deadline-feasible route enumeration in the targeted
+// redundancy constructions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dg::graph {
+
+/// Returns up to k loopless shortest paths src -> dst in nondecreasing
+/// latency order. Ties are broken deterministically (lexicographically by
+/// edge ids) so results are stable across runs.
+std::vector<Path> kShortestPaths(const Graph& graph, NodeId src, NodeId dst,
+                                 std::span<const util::SimTime> weights,
+                                 std::size_t k);
+
+}  // namespace dg::graph

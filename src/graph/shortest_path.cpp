@@ -1,0 +1,125 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dg::graph {
+
+namespace {
+
+struct QueueEntry {
+  util::SimTime dist;
+  NodeId node;
+  bool operator>(const QueueEntry& other) const {
+    return dist > other.dist || (dist == other.dist && node > other.node);
+  }
+};
+
+using MinQueue =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
+
+}  // namespace
+
+std::vector<util::SimTime> dijkstraDistances(
+    const Graph& graph, NodeId src, std::span<const util::SimTime> weights) {
+  std::vector<util::SimTime> dist(graph.nodeCount(), util::kNever);
+  MinQueue queue;
+  dist[src] = 0;
+  queue.push({0, src});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    for (const EdgeId id : graph.outEdges(u)) {
+      const util::SimTime w = weights[id];
+      if (w == util::kNever) continue;
+      const util::SimTime nd = d + w;
+      const NodeId v = graph.edge(id).to;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        queue.push({nd, v});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<util::SimTime> dijkstraDistancesTo(
+    const Graph& graph, NodeId dst, std::span<const util::SimTime> weights) {
+  std::vector<util::SimTime> dist(graph.nodeCount(), util::kNever);
+  MinQueue queue;
+  dist[dst] = 0;
+  queue.push({0, dst});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    for (const EdgeId id : graph.inEdges(u)) {
+      const util::SimTime w = weights[id];
+      if (w == util::kNever) continue;
+      const util::SimTime nd = d + w;
+      const NodeId v = graph.edge(id).from;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        queue.push({nd, v});
+      }
+    }
+  }
+  return dist;
+}
+
+PathResult shortestPath(const Graph& graph, NodeId src, NodeId dst,
+                        std::span<const util::SimTime> weights) {
+  return shortestPathExcluding(graph, src, dst, weights, {}, {});
+}
+
+PathResult shortestPathExcluding(const Graph& graph, NodeId src, NodeId dst,
+                                 std::span<const util::SimTime> weights,
+                                 std::span<const EdgeId> excludedEdges,
+                                 std::span<const NodeId> excludedNodes) {
+  std::vector<bool> edgeBlocked(graph.edgeCount(), false);
+  for (const EdgeId id : excludedEdges) edgeBlocked[id] = true;
+  std::vector<bool> nodeBlocked(graph.nodeCount(), false);
+  for (const NodeId n : excludedNodes) {
+    if (n != src && n != dst) nodeBlocked[n] = true;
+  }
+
+  std::vector<util::SimTime> dist(graph.nodeCount(), util::kNever);
+  std::vector<EdgeId> via(graph.nodeCount(), kInvalidEdge);
+  MinQueue queue;
+  dist[src] = 0;
+  queue.push({0, src});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    for (const EdgeId id : graph.outEdges(u)) {
+      if (edgeBlocked[id]) continue;
+      const util::SimTime w = weights[id];
+      if (w == util::kNever) continue;
+      const NodeId v = graph.edge(id).to;
+      if (nodeBlocked[v]) continue;
+      const util::SimTime nd = d + w;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        via[v] = id;
+        queue.push({nd, v});
+      }
+    }
+  }
+
+  PathResult result;
+  if (dist[dst] == util::kNever) return result;
+  result.found = true;
+  result.distance = dist[dst];
+  for (NodeId at = dst; at != src;) {
+    const EdgeId id = via[at];
+    result.edges.push_back(id);
+    at = graph.edge(id).from;
+  }
+  std::reverse(result.edges.begin(), result.edges.end());
+  return result;
+}
+
+}  // namespace dg::graph

@@ -1,0 +1,47 @@
+// Shortest-path primitives (Dijkstra) over per-edge weight vectors.
+//
+// Weights are passed explicitly (rather than read from the Graph) because
+// routing always operates on *current* conditions: the monitor produces a
+// fresh weight vector per decision interval, with util::kNever marking
+// links considered unusable.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/sim_time.hpp"
+
+namespace dg::graph {
+
+struct PathResult {
+  bool found = false;
+  util::SimTime distance = util::kNever;
+  Path edges;  ///< empty when !found or src == dst
+};
+
+/// Single-source shortest distances from `src` under `weights`.
+/// Unreachable nodes get util::kNever. `weights[e] == util::kNever`
+/// excludes edge e.
+std::vector<util::SimTime> dijkstraDistances(
+    const Graph& graph, NodeId src, std::span<const util::SimTime> weights);
+
+/// Shortest path src -> dst; PathResult.found is false when disconnected.
+PathResult shortestPath(const Graph& graph, NodeId src, NodeId dst,
+                        std::span<const util::SimTime> weights);
+
+/// Shortest path that avoids a set of edges and/or interior nodes
+/// (src/dst are never excluded even if present in `excludedNodes`).
+/// Pass empty spans for "no exclusions".
+PathResult shortestPathExcluding(const Graph& graph, NodeId src, NodeId dst,
+                                 std::span<const util::SimTime> weights,
+                                 std::span<const EdgeId> excludedEdges,
+                                 std::span<const NodeId> excludedNodes);
+
+/// Shortest distance from every node TO `dst` (Dijkstra on the reverse
+/// graph). Used for deadline-feasibility pruning: a node n can still make
+/// the deadline iff arrival(n) + toDst[n] <= deadline.
+std::vector<util::SimTime> dijkstraDistancesTo(
+    const Graph& graph, NodeId dst, std::span<const util::SimTime> weights);
+
+}  // namespace dg::graph

@@ -1,0 +1,81 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace dg::net {
+
+SimulatedNetwork::SimulatedNetwork(Simulator& simulator,
+                                   const graph::Graph& overlay,
+                                   const trace::Trace& trace,
+                                   std::uint64_t seed)
+    : simulator_(&simulator),
+      overlay_(&overlay),
+      trace_(&trace),
+      handlers_(overlay.nodeCount()) {
+  if (trace.edgeCount() != overlay.edgeCount())
+    throw std::invalid_argument(
+        "SimulatedNetwork: trace edge count does not match overlay");
+  util::Rng master(seed);
+  edgeRng_.reserve(overlay.edgeCount());
+  for (graph::EdgeId e = 0; e < overlay.edgeCount(); ++e) {
+    edgeRng_.push_back(master.fork());
+  }
+}
+
+void SimulatedNetwork::transmit(graph::EdgeId edge, Packet packet) {
+  const std::size_t interval = trace_->intervalAt(simulator_->now());
+  const trace::LinkConditions conditions = trace_->at(edge, interval);
+  ++transmissions_;
+  packet.hopSendTime = simulator_->now();
+
+  // Capacity model: serialize transmissions; drop-tail when the queue
+  // behind the link exceeds its bound.
+  util::SimTime queueDelay = 0;
+  if (capacity_.limited()) {
+    const util::SimTime service = capacity_.serviceTime();
+    const util::SimTime now = simulator_->now();
+    const util::SimTime departure =
+        std::max(now, linkFreeAt_[edge]) + service;
+    // Packets waiting ahead of this one (excluding the one in service).
+    const auto queued = static_cast<std::size_t>(
+        service > 0 ? (departure - now - service) / service : 0);
+    if (queued > capacity_.queuePackets) {
+      ++drops_;
+      ++queueDrops_;
+      if (observer_) observer_(edge, packet, false, 0);
+      return;
+    }
+    linkFreeAt_[edge] = departure;
+    queueDelay = departure - now;
+  }
+
+  const bool lost = edgeRng_[edge].bernoulli(conditions.lossRate);
+  if (lost) {
+    ++drops_;
+    if (observer_) observer_(edge, packet, false, 0);
+    return;
+  }
+  const util::SimTime latency = conditions.latency + queueDelay;
+  const graph::NodeId to = overlay_->edge(edge).to;
+  simulator_->scheduleAfter(latency, [this, edge, to, latency,
+                                      packet = std::move(packet)]() {
+    if (observer_) observer_(edge, packet, true, latency);
+    if (handlers_[to]) handlers_[to](edge, packet);
+  });
+}
+
+void SimulatedNetwork::setDeliveryHandler(graph::NodeId node,
+                                          DeliveryHandler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void SimulatedNetwork::setTransmitObserver(TransmitObserver observer) {
+  observer_ = std::move(observer);
+}
+
+void SimulatedNetwork::setLinkCapacity(LinkCapacity capacity) {
+  capacity_ = capacity;
+  linkFreeAt_.assign(overlay_->edgeCount(), 0);
+}
+
+}  // namespace dg::net

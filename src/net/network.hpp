@@ -1,0 +1,99 @@
+// The simulated wide-area network under the overlay.
+//
+// Each directed overlay link delivers packets after the latency, and
+// drops them with the loss probability, that the condition trace
+// prescribes for the current interval. This is the stand-in for the real
+// Internet paths between the data centers (see DESIGN.md): the overlay
+// daemons above it cannot tell the difference -- they only see packets
+// arriving, or not.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "net/packet.hpp"
+#include "net/simulator.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace dg::net {
+
+/// Optional capacity model for the simulated links. By default links are
+/// infinitely fast (only the trace's latency/loss apply), which matches
+/// the playback engine's assumptions. With a finite rate, packets
+/// serialize: each transmission occupies the link for 1/rate seconds,
+/// excess queues (drop-tail) up to `queuePackets`, and queueing delay
+/// adds to the trace latency -- so a scheme that floods too widely can
+/// hurt itself, which is the operational meaning of the paper's cost
+/// metric.
+struct LinkCapacity {
+  /// Packets per second a link can carry; 0 = unlimited.
+  double packetsPerSecond = 0.0;
+  /// Maximum packets queued behind the link before drop-tail.
+  std::size_t queuePackets = 64;
+
+  bool limited() const { return packetsPerSecond > 0.0; }
+  util::SimTime serviceTime() const {
+    return limited() ? static_cast<util::SimTime>(1e6 / packetsPerSecond)
+                     : 0;
+  }
+};
+
+class SimulatedNetwork {
+ public:
+  /// Receives (edge the packet arrived on, the packet).
+  using DeliveryHandler = std::function<void(graph::EdgeId, const Packet&)>;
+  /// Observes transmission attempts and outcomes for link accounting:
+  /// (edge, packet, delivered, latency) -- called at *send* time for
+  /// attempts (delivered unknown, latency 0) via onTransmit and at
+  /// arrival via the delivery handler. Loss observers see drops.
+  using TransmitObserver =
+      std::function<void(graph::EdgeId, const Packet&, bool delivered,
+                         util::SimTime latency)>;
+
+  SimulatedNetwork(Simulator& simulator, const graph::Graph& overlay,
+                   const trace::Trace& trace, std::uint64_t seed);
+
+  /// Sends `packet` on the directed edge. The loss draw and latency come
+  /// from the trace conditions at the current simulation time. On
+  /// delivery the destination node's handler runs; on drop nothing
+  /// arrives (the observer still sees the outcome).
+  void transmit(graph::EdgeId edge, Packet packet);
+
+  /// Registers the handler for packets arriving at `node`.
+  void setDeliveryHandler(graph::NodeId node, DeliveryHandler handler);
+
+  /// Optional observer of every transmission outcome (for monitors and
+  /// statistics); called at the moment the outcome is decided.
+  void setTransmitObserver(TransmitObserver observer);
+
+  /// Applies a capacity model to every link (default: unlimited).
+  void setLinkCapacity(LinkCapacity capacity);
+  const LinkCapacity& linkCapacity() const { return capacity_; }
+
+  std::uint64_t queueDropCount() const { return queueDrops_; }
+
+  const graph::Graph& overlay() const { return *overlay_; }
+  const trace::Trace& trace() const { return *trace_; }
+  Simulator& simulator() { return *simulator_; }
+
+  std::uint64_t transmissionCount() const { return transmissions_; }
+  std::uint64_t dropCount() const { return drops_; }
+
+ private:
+  Simulator* simulator_;
+  const graph::Graph* overlay_;
+  const trace::Trace* trace_;
+  std::vector<util::Rng> edgeRng_;
+  std::vector<DeliveryHandler> handlers_;
+  TransmitObserver observer_;
+  LinkCapacity capacity_;
+  /// Per-edge time the link becomes free (capacity model only).
+  std::vector<util::SimTime> linkFreeAt_;
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t queueDrops_ = 0;
+};
+
+}  // namespace dg::net

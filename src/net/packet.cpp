@@ -1,0 +1,22 @@
+#include "net/packet.hpp"
+
+#include <stdexcept>
+
+#include "graph/dissemination_graph.hpp"
+
+namespace dg::net {
+
+std::uint64_t graphMaskOf(const graph::DisseminationGraph& dg) {
+  if (dg.overlay().edgeCount() > 64) {
+    throw std::length_error(
+        "graphMaskOf: stamped dissemination graphs support at most 64 "
+        "directed overlay edges");
+  }
+  std::uint64_t mask = 0;
+  for (const graph::EdgeId e : dg.edges()) {
+    mask |= std::uint64_t{1} << e;
+  }
+  return mask;
+}
+
+}  // namespace dg::net

@@ -1,0 +1,70 @@
+// Overlay packet representation for the event-driven simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "trace/conditions.hpp"
+#include "util/sim_time.hpp"
+
+namespace dg::graph {
+class DisseminationGraph;
+}
+
+namespace dg::net {
+
+using FlowId = std::uint32_t;
+using SequenceNumber = std::uint64_t;
+
+/// One link's measured conditions inside a link-state update.
+struct LinkStateEntry {
+  graph::EdgeId edge = graph::kInvalidEdge;
+  trace::LinkConditions conditions;
+};
+
+struct Packet {
+  enum class Type : std::uint8_t {
+    Data,            ///< application payload, flooded on the flow's graph
+    Retransmission,  ///< per-hop recovery copy of a Data packet
+    Nack,            ///< per-hop recovery request (list of missing seqs)
+    Probe,           ///< link measurement packet
+    LinkState,       ///< flooded link-state update (distributed mode)
+  };
+
+  Type type = Type::Data;
+  FlowId flow = 0;
+  SequenceNumber sequence = 0;
+  /// Time the packet entered the overlay at the flow source (Data /
+  /// Retransmission): delivery is on time iff arrival - originTime is
+  /// within the deadline.
+  util::SimTime originTime = 0;
+  /// Transmission timestamp of this hop (set by Link; used by the link
+  /// monitor's latency estimation).
+  util::SimTime hopSendTime = 0;
+
+  /// Dissemination graph, stamped by the source as an edge bitmask
+  /// (bit e = directed overlay edge e is a member). Intermediate nodes
+  /// forward Data/Retransmission packets according to this mask without
+  /// needing any per-flow routing state -- how a real deployment ships
+  /// per-flow graphs in-band. 0 = not stamped (the node's FlowContext
+  /// graph applies instead). Overlays are limited to 64 directed edges
+  /// in stamped mode.
+  std::uint64_t graphMask = 0;
+
+  /// Missing sequences requested (Type::Nack only).
+  std::vector<SequenceNumber> nackSequences;
+
+  /// Link-state payload (Type::LinkState only): the originating node and
+  /// its measurement epoch, plus the measured conditions of the links
+  /// *into* the origin.
+  graph::NodeId linkStateOrigin = graph::kInvalidNode;
+  std::uint32_t linkStateEpoch = 0;
+  std::vector<LinkStateEntry> linkState;
+};
+
+/// Builds the stamp mask for a dissemination graph (throws
+/// std::length_error if the overlay has more than 64 directed edges).
+std::uint64_t graphMaskOf(const graph::DisseminationGraph& dg);
+
+}  // namespace dg::net

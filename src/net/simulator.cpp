@@ -1,0 +1,42 @@
+#include "net/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dg::net {
+
+void Simulator::scheduleAt(util::SimTime at, Callback callback) {
+  if (at < now_)
+    throw std::invalid_argument("Simulator: cannot schedule in the past");
+  queue_.push(Event{at, nextSequence_++, std::move(callback)});
+}
+
+void Simulator::scheduleAfter(util::SimTime delay, Callback callback) {
+  if (delay < 0)
+    throw std::invalid_argument("Simulator: negative delay");
+  scheduleAt(now_ + delay, std::move(callback));
+}
+
+void Simulator::runUntil(util::SimTime until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    // Move the callback out before popping so it may schedule new events.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.callback();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::runAll() {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.callback();
+  }
+}
+
+}  // namespace dg::net

@@ -1,0 +1,60 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event loop with deterministic ordering: events fire
+// in (time, insertion sequence) order, so two events scheduled for the
+// same instant run in the order they were scheduled. Everything in the
+// live-transport half of the library (links, nodes, monitors, flows) is
+// driven by this loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace dg::net {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  util::SimTime now() const { return now_; }
+
+  /// Schedules `callback` to run at absolute time `at` (>= now).
+  void scheduleAt(util::SimTime at, Callback callback);
+
+  /// Schedules `callback` after `delay` (>= 0) from now.
+  void scheduleAfter(util::SimTime delay, Callback callback);
+
+  /// Runs events until the queue empties or the next event is after
+  /// `until`; the clock finishes at min(until, last event time).
+  void runUntil(util::SimTime until);
+
+  /// Runs everything (use with care: periodic generators never stop).
+  void runAll();
+
+  std::size_t pendingEvents() const { return queue_.size(); }
+  std::uint64_t processedEvents() const { return processed_; }
+
+ private:
+  struct Event {
+    util::SimTime time;
+    std::uint64_t sequence;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  util::SimTime now_ = 0;
+  std::uint64_t nextSequence_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dg::net

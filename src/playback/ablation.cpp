@@ -1,0 +1,126 @@
+#include "playback/ablation.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace dg::playback {
+
+double AblationResult::gapCoverage(routing::SchemeKind kind) const {
+  for (const SchemeSummary& s : summary) {
+    if (s.scheme == kind) return s.gapCoverage;
+  }
+  return 0.0;
+}
+
+double AblationResult::unavailability(routing::SchemeKind kind) const {
+  for (const SchemeSummary& s : summary) {
+    if (s.scheme == kind) return s.unavailability;
+  }
+  return 0.0;
+}
+
+std::vector<AblationSpec> standardAblations() {
+  using trace::GeneratorParams;
+  std::vector<AblationSpec> specs;
+  specs.push_back(
+      {"baseline", "the canonical configuration",
+       [](GeneratorParams&, ExperimentConfig&) {}});
+  specs.push_back(
+      {"oracle-monitoring",
+       "decisions see current conditions (staleness 0): upper-bounds what "
+       "faster measurement could buy",
+       [](GeneratorParams&, ExperimentConfig& config) {
+         config.playback.viewStaleness = 0;
+       }});
+  specs.push_back(
+      {"sluggish-monitoring",
+       "two-interval staleness: path chasing degrades, problem "
+       "localization barely does",
+       [](GeneratorParams&, ExperimentConfig& config) {
+         config.playback.viewStaleness = 2;
+       }});
+  specs.push_back(
+      {"no-recovery",
+       "per-hop real-time recovery disabled: every scheme loses its "
+       "loss-squaring",
+       [](GeneratorParams&, ExperimentConfig& config) {
+         config.playback.delivery.recoveryEnabled = false;
+       }});
+  specs.push_back(
+      {"all-steady-events",
+       "every degradation continuous: adaptive reroutes at their best",
+       [](GeneratorParams& generator, ExperimentConfig&) {
+         generator.nodeSteadyProb = 1.0;
+       }});
+  specs.push_back(
+      {"all-fluttering-events",
+       "every degradation intermittent: reroute-chasing is useless, only "
+       "broad redundancy helps",
+       [](GeneratorParams& generator, ExperimentConfig&) {
+         generator.nodeSteadyProb = 0.0;
+       }});
+  specs.push_back(
+      {"uniform-placement",
+       "events spread evenly over sites instead of clustering at edge "
+       "sites: middle problems (trivially covered by any redundancy) "
+       "dominate the gap",
+       [](GeneratorParams& generator, ExperimentConfig&) {
+         generator.nodePlacementDegreeExponent = 0.0;
+       }});
+  specs.push_back(
+      {"three-disjoint-paths",
+       "redundancy dial: k=3 for the disjoint and targeted schemes",
+       [](GeneratorParams&, ExperimentConfig& config) {
+         config.schemeParams.disjointPaths = 3;
+       }});
+  return specs;
+}
+
+AblationResult runAblation(const graph::Graph& overlay,
+                           const trace::GeneratorParams& baseGenerator,
+                           const ExperimentConfig& baseConfig,
+                           const AblationSpec& spec) {
+  trace::GeneratorParams generator = baseGenerator;
+  ExperimentConfig config = baseConfig;
+  spec.mutate(generator, config);
+  const auto synthetic = generateSyntheticTrace(overlay, generator);
+  AblationResult result;
+  result.name = spec.name;
+  result.summary = runExperiment(overlay, synthetic.trace, config).summary;
+  return result;
+}
+
+std::vector<AblationResult> runAblationSuite(
+    const graph::Graph& overlay, const trace::GeneratorParams& baseGenerator,
+    const ExperimentConfig& baseConfig,
+    const std::vector<AblationSpec>& specs) {
+  std::vector<AblationResult> results;
+  results.reserve(specs.size());
+  for (const AblationSpec& spec : specs) {
+    results.push_back(runAblation(overlay, baseGenerator, baseConfig, spec));
+  }
+  return results;
+}
+
+std::string renderAblationComparison(
+    const std::vector<AblationResult>& results,
+    const std::vector<routing::SchemeKind>& schemes) {
+  std::ostringstream out;
+  out << util::padRight("ablation", 26);
+  for (const routing::SchemeKind kind : schemes) {
+    out << util::padLeft(std::string(routing::schemeName(kind)), 22);
+  }
+  out << '\n';
+  for (const AblationResult& result : results) {
+    out << util::padRight(result.name, 26);
+    for (const routing::SchemeKind kind : schemes) {
+      out << util::padLeft(
+          util::formatPercent(result.gapCoverage(kind), 1), 22);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dg::playback

@@ -1,0 +1,62 @@
+// Structured ablation studies over the evaluation pipeline.
+//
+// DESIGN.md calls out the design choices whose effect should be
+// measurable: monitoring staleness, the per-hop recovery protocol, the
+// synthetic event mix (steady vs fluttering, endpoint clustering), and
+// the redundancy dial (number of disjoint paths). Each ablation mutates
+// the baseline configuration, regenerates the trace where generator
+// parameters changed, reruns the full flows x schemes experiment, and the
+// comparison renderer lines the gap coverages up side by side.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "playback/experiment.hpp"
+#include "trace/synth.hpp"
+
+namespace dg::playback {
+
+struct AblationSpec {
+  std::string name;
+  std::string rationale;  ///< one line: what this isolates
+  /// Mutates the generator and/or experiment configuration.
+  std::function<void(trace::GeneratorParams&, ExperimentConfig&)> mutate;
+};
+
+struct AblationResult {
+  std::string name;
+  std::vector<SchemeSummary> summary;  ///< experiment scheme summaries
+
+  /// Gap coverage of a scheme in this ablation (0 if absent).
+  double gapCoverage(routing::SchemeKind kind) const;
+  double unavailability(routing::SchemeKind kind) const;
+};
+
+/// The standard suite: baseline, staleness 0/2, recovery off, all-steady
+/// and all-fluttering event mixes, uniform placement, and three disjoint
+/// paths.
+std::vector<AblationSpec> standardAblations();
+
+/// Runs one ablation: applies the mutation, regenerates the synthetic
+/// trace from the (possibly mutated) generator parameters, and runs the
+/// experiment.
+AblationResult runAblation(const graph::Graph& overlay,
+                           const trace::GeneratorParams& baseGenerator,
+                           const ExperimentConfig& baseConfig,
+                           const AblationSpec& spec);
+
+/// Runs a whole suite (baseline first is conventional but not required).
+std::vector<AblationResult> runAblationSuite(
+    const graph::Graph& overlay, const trace::GeneratorParams& baseGenerator,
+    const ExperimentConfig& baseConfig,
+    const std::vector<AblationSpec>& specs);
+
+/// Side-by-side table: one row per ablation, gap-coverage columns for the
+/// given schemes.
+std::string renderAblationComparison(
+    const std::vector<AblationResult>& results,
+    const std::vector<routing::SchemeKind>& schemes);
+
+}  // namespace dg::playback

@@ -1,0 +1,74 @@
+#include "playback/classification.hpp"
+
+#include <algorithm>
+
+namespace dg::playback {
+
+double ProblemClassification::endpointInvolvedFraction() const {
+  const std::size_t attributed = total() - unattributed;
+  if (attributed == 0) return 0.0;
+  const std::size_t endpoint =
+      sourceOnly + destinationOnly + sourceAndDestination + endpointAndMiddle;
+  return static_cast<double>(endpoint) / static_cast<double>(attributed);
+}
+
+ProblemClassification classifyProblems(
+    const graph::Graph& overlay,
+    const std::vector<trace::ProblemEvent>& events, routing::Flow flow,
+    const std::vector<ProblematicInterval>& problems) {
+  ProblemClassification out;
+  for (const ProblematicInterval& problem : problems) {
+    bool source = false;
+    bool destination = false;
+    bool middle = false;
+    bool attributed = false;
+    for (const trace::ProblemEvent& event : events) {
+      if (!event.activeDuring(problem.interval)) continue;
+      attributed = true;
+      for (const graph::EdgeId e : event.affectedEdges) {
+        const graph::Edge& edge = overlay.edge(e);
+        const bool touchesSource =
+            edge.from == flow.source || edge.to == flow.source;
+        const bool touchesDestination =
+            edge.from == flow.destination || edge.to == flow.destination;
+        if (touchesSource) source = true;
+        if (touchesDestination) destination = true;
+        if (!touchesSource && !touchesDestination) middle = true;
+      }
+    }
+    if (!attributed) {
+      ++out.unattributed;
+    } else if (source && destination) {
+      // Endpoint-dominated either way; fold middle involvement in only
+      // when neither endpoint is hit, per the paper's taxonomy emphasis.
+      ++out.sourceAndDestination;
+    } else if (source && middle) {
+      ++out.endpointAndMiddle;
+    } else if (destination && middle) {
+      ++out.endpointAndMiddle;
+    } else if (source) {
+      ++out.sourceOnly;
+    } else if (destination) {
+      ++out.destinationOnly;
+    } else {
+      ++out.middleOnly;
+    }
+  }
+  return out;
+}
+
+ProblemClassification combineClassifications(
+    const std::vector<ProblemClassification>& parts) {
+  ProblemClassification out;
+  for (const ProblemClassification& p : parts) {
+    out.sourceOnly += p.sourceOnly;
+    out.destinationOnly += p.destinationOnly;
+    out.middleOnly += p.middleOnly;
+    out.sourceAndDestination += p.sourceAndDestination;
+    out.endpointAndMiddle += p.endpointAndMiddle;
+    out.unattributed += p.unattributed;
+  }
+  return out;
+}
+
+}  // namespace dg::playback

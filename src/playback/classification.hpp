@@ -1,0 +1,49 @@
+// Ground-truth classification of a flow's problematic intervals by where
+// the trouble was relative to the flow (experiment E4).
+//
+// The paper's pivotal observation -- that the intervals where two
+// disjoint paths fail are dominated by problems around the source or
+// destination -- is reproduced here by joining each problematic interval
+// against the generator's ground-truth event log and bucketing by the
+// location of the impaired links.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "playback/playback.hpp"
+#include "routing/scheme.hpp"
+#include "trace/events.hpp"
+
+namespace dg::playback {
+
+struct ProblemClassification {
+  std::size_t sourceOnly = 0;       ///< impaired links touch only the source
+  std::size_t destinationOnly = 0;  ///< ... only the destination
+  std::size_t middleOnly = 0;       ///< ... neither endpoint
+  std::size_t sourceAndDestination = 0;  ///< both endpoints, no middle
+  std::size_t endpointAndMiddle = 0;     ///< an endpoint plus mid-network
+  std::size_t unattributed = 0;  ///< no ground-truth event was active
+
+  std::size_t total() const {
+    return sourceOnly + destinationOnly + middleOnly + sourceAndDestination +
+           endpointAndMiddle + unattributed;
+  }
+  /// Fraction of attributed intervals that involve an endpoint problem.
+  double endpointInvolvedFraction() const;
+};
+
+/// Classifies each problematic interval of `problems` for `flow` using
+/// the ground-truth `events`. An interval is attributed to the locations
+/// of every impaired link of every event active during it.
+ProblemClassification classifyProblems(
+    const graph::Graph& overlay, const std::vector<trace::ProblemEvent>& events,
+    routing::Flow flow, const std::vector<ProblematicInterval>& problems);
+
+/// Sums counts across flows.
+ProblemClassification combineClassifications(
+    const std::vector<ProblemClassification>& parts);
+
+}  // namespace dg::playback

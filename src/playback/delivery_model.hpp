@@ -1,0 +1,63 @@
+// Per-packet delivery semantics shared by the playback engine and
+// (conceptually) the event-driven simulator.
+//
+// A packet is flooded on a dissemination graph. On each hop it is lost
+// with the link's current loss probability; a lost transmission can be
+// recovered at most once per hop by the real-time link protocol: the gap
+// is noticed when the next packet arrives (one inter-packet interval),
+// then a NACK crosses the link and the retransmission crosses it again,
+// so a recovered hop costs 3*latency + packetInterval instead of latency.
+// A packet counts as delivered iff some causal chain of successful (or
+// once-recovered) transmissions reaches the destination within the
+// deadline.
+#pragma once
+
+#include <span>
+
+#include "graph/dissemination_graph.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace dg::playback {
+
+struct DeliveryModelParams {
+  util::SimTime deadline = util::milliseconds(65);
+  /// Inter-packet gap of the flow; bounds loss-detection delay.
+  util::SimTime packetInterval = util::milliseconds(10);
+  /// Master switch for the per-hop real-time recovery protocol.
+  bool recoveryEnabled = true;
+};
+
+/// Effective hop outcome distribution on a link with loss rate p and
+/// latency `lat`:
+///   on-time transit  w.p. (1-p)          after lat
+///   recovered        w.p. p(1-p)         after 3*lat + packetInterval
+///   lost             w.p. p^2
+/// (without recovery: transit w.p. 1-p, lost w.p. p).
+util::SimTime sampleHopLatency(double lossRate, util::SimTime latency,
+                               const DeliveryModelParams& params,
+                               util::Rng& rng);
+
+/// Monte-Carlo estimate of P(packet delivered within deadline) when
+/// flooded on `dg` under the given per-edge conditions.
+double onTimeProbabilityMC(const graph::DisseminationGraph& dg,
+                           std::span<const double> lossRates,
+                           std::span<const util::SimTime> latencies,
+                           const DeliveryModelParams& params,
+                           int samples, util::Rng& rng);
+
+/// Exact fast path valid when every member edge's loss rate is tiny
+/// (<= lossEpsilon): delivery is then deterministic up to a residual miss
+/// probability bounded by the sum of per-hop unrecoverable losses along
+/// the best path. Returns the miss probability (0 area or 1 when even the
+/// lossless earliest arrival exceeds the deadline).
+double missProbabilityNearLossless(const graph::DisseminationGraph& dg,
+                                   std::span<const double> lossRates,
+                                   std::span<const util::SimTime> latencies,
+                                   const DeliveryModelParams& params);
+
+/// True if the fast path above is applicable.
+bool nearLossless(const graph::DisseminationGraph& dg,
+                  std::span<const double> lossRates, double lossEpsilon);
+
+}  // namespace dg::playback

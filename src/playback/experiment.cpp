@@ -1,0 +1,115 @@
+#include "playback/experiment.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace dg::playback {
+
+ExperimentResult runExperiment(const graph::Graph& overlay,
+                               const trace::Trace& trace,
+                               const ExperimentConfig& config) {
+  if (config.flows.empty() || config.schemes.empty())
+    throw std::invalid_argument("runExperiment: empty flows or schemes");
+
+  const PlaybackEngine engine(overlay, trace, config.playback);
+  const std::size_t schemeCount = config.schemes.size();
+  const std::size_t jobs = config.flows.size() * schemeCount;
+
+  ExperimentResult result;
+  result.perFlow.resize(jobs);
+
+  unsigned threadCount = config.threads != 0
+                             ? config.threads
+                             : std::thread::hardware_concurrency();
+  threadCount = std::max(1u, std::min<unsigned>(threadCount,
+                                                static_cast<unsigned>(jobs)));
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t job = next.fetch_add(1);
+      if (job >= jobs) return;
+      const std::size_t flowIndex = job / schemeCount;
+      const std::size_t schemeIndex = job % schemeCount;
+      result.perFlow[job] =
+          engine.run(config.flows[flowIndex], config.schemes[schemeIndex],
+                     config.schemeParams);
+    }
+  };
+  if (threadCount == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(threadCount);
+    for (unsigned i = 0; i < threadCount; ++i) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+
+  // ---- Aggregate per scheme -------------------------------------------
+  double baselineUnavailability = 0.0;
+  double optimalUnavailability = 0.0;
+  double twoDisjointCost = 0.0;
+  bool haveTwoDisjoint = false;
+  std::vector<SchemeSummary> summaries(schemeCount);
+  for (std::size_t s = 0; s < schemeCount; ++s) {
+    SchemeSummary& summary = summaries[s];
+    summary.scheme = config.schemes[s];
+    util::OnlineStats unavail;
+    util::OnlineStats cost;
+    for (std::size_t f = 0; f < config.flows.size(); ++f) {
+      const FlowSchemeResult& r = result.at(f, s, schemeCount);
+      unavail.add(r.unavailability);
+      cost.add(r.averageCost);
+      summary.unavailableSeconds += r.unavailableSeconds;
+      summary.problematicIntervals += r.problematicIntervals;
+    }
+    summary.unavailability = unavail.mean();
+    summary.averageCost = cost.mean();
+    if (summary.scheme == config.gapBaseline)
+      baselineUnavailability = summary.unavailability;
+    if (summary.scheme == config.gapOptimal)
+      optimalUnavailability = summary.unavailability;
+    if (summary.scheme == routing::SchemeKind::StaticTwoDisjoint) {
+      twoDisjointCost = summary.averageCost;
+      haveTwoDisjoint = true;
+    }
+  }
+
+  const double gap = baselineUnavailability - optimalUnavailability;
+  for (SchemeSummary& summary : summaries) {
+    summary.gapCoverage =
+        gap > 0 ? (baselineUnavailability - summary.unavailability) / gap
+                : 0.0;
+    summary.costVsTwoDisjoint =
+        haveTwoDisjoint && twoDisjointCost > 0
+            ? summary.averageCost / twoDisjointCost
+            : 0.0;
+  }
+  result.summary = std::move(summaries);
+  DG_LOG(Info) << "experiment complete: " << jobs << " runs";
+  return result;
+}
+
+std::vector<routing::Flow> transcontinentalFlows(
+    const trace::Topology& topology) {
+  const std::vector<std::pair<const char*, const char*>> pairs = {
+      {"NYC", "SJC"}, {"NYC", "LAX"}, {"JHU", "SEA"}, {"JHU", "SJC"},
+      {"WAS", "LAX"}, {"WAS", "SEA"}, {"ATL", "SJC"}, {"ATL", "SEA"},
+  };
+  std::vector<routing::Flow> flows;
+  flows.reserve(pairs.size() * 2);
+  for (const auto& [east, west] : pairs) {
+    const graph::NodeId e = topology.at(east);
+    const graph::NodeId w = topology.at(west);
+    flows.push_back(routing::Flow{e, w});
+    flows.push_back(routing::Flow{w, e});
+  }
+  return flows;
+}
+
+}  // namespace dg::playback

@@ -1,0 +1,68 @@
+// Experiment runner: the full flows x schemes sweep over one trace, with
+// gap-coverage aggregation (experiment E3 / the paper's headline table).
+#pragma once
+
+#include <vector>
+
+#include "playback/playback.hpp"
+#include "routing/scheme.hpp"
+#include "trace/topology.hpp"
+
+namespace dg::playback {
+
+struct ExperimentConfig {
+  std::vector<routing::Flow> flows;
+  std::vector<routing::SchemeKind> schemes = routing::allSchemeKinds();
+  routing::SchemeParams schemeParams;
+  PlaybackParams playback;
+  /// The "traditional" end of the gap (abstract: single-path approach).
+  routing::SchemeKind gapBaseline = routing::SchemeKind::StaticSinglePath;
+  /// The optimal-but-expensive end of the gap.
+  routing::SchemeKind gapOptimal =
+      routing::SchemeKind::TimeConstrainedFlooding;
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned threads = 0;
+};
+
+struct SchemeSummary {
+  routing::SchemeKind scheme{};
+  /// Mean unavailability across flows (flows weighted equally).
+  double unavailability = 0.0;
+  /// Total expected unavailable seconds, summed across flows.
+  double unavailableSeconds = 0.0;
+  std::size_t problematicIntervals = 0;
+  /// Mean transmissions per packet across flows.
+  double averageCost = 0.0;
+  /// Fraction of the baseline->optimal unavailability gap this scheme
+  /// covers: (unavail(baseline) - unavail(scheme)) /
+  ///         (unavail(baseline) - unavail(optimal)).
+  double gapCoverage = 0.0;
+  /// Cost relative to the static two-disjoint-paths scheme.
+  double costVsTwoDisjoint = 0.0;
+};
+
+struct ExperimentResult {
+  /// flows-major: perFlow[f * schemes.size() + s].
+  std::vector<FlowSchemeResult> perFlow;
+  std::vector<SchemeSummary> summary;  ///< in config.schemes order
+
+  const FlowSchemeResult& at(std::size_t flowIndex,
+                             std::size_t schemeIndex,
+                             std::size_t schemeCount) const {
+    return perFlow[flowIndex * schemeCount + schemeIndex];
+  }
+};
+
+/// Runs every (flow, scheme) pair of the config over the trace;
+/// deterministic regardless of thread count.
+ExperimentResult runExperiment(const graph::Graph& overlay,
+                               const trace::Trace& trace,
+                               const ExperimentConfig& config);
+
+/// The default 16 transcontinental evaluation flows on the ltn12
+/// topology: four east-coast sites paired with four western sites, both
+/// directions.
+std::vector<routing::Flow> transcontinentalFlows(
+    const trace::Topology& topology);
+
+}  // namespace dg::playback

@@ -1,0 +1,141 @@
+#include "playback/graph_optimizer.hpp"
+
+#include <algorithm>
+
+#include "graph/k_shortest.hpp"
+#include "graph/shortest_path.hpp"
+#include "util/rng.hpp"
+
+namespace dg::playback {
+
+namespace {
+
+/// Candidate paths: Yen's k shortest on current latencies, plus the best
+/// deadline-feasible path through every source out-link and destination
+/// in-link (the augmentations the targeted constructions use), all
+/// filtered to the deadline.
+std::vector<graph::Path> buildCandidates(
+    const graph::Graph& overlay, routing::Flow flow,
+    std::span<const util::SimTime> latencies, const OptimizerParams& params) {
+  std::vector<graph::Path> candidates = graph::kShortestPaths(
+      overlay, flow.source, flow.destination, latencies,
+      static_cast<std::size_t>(params.candidatePaths));
+
+  const auto pushUnique = [&](graph::Path path) {
+    if (std::find(candidates.begin(), candidates.end(), path) ==
+        candidates.end()) {
+      candidates.push_back(std::move(path));
+    }
+  };
+
+  for (const graph::EdgeId out : overlay.outEdges(flow.source)) {
+    if (latencies[out] == util::kNever) continue;
+    const graph::NodeId n = overlay.edge(out).to;
+    if (n == flow.destination) {
+      pushUnique(graph::Path{out});
+      continue;
+    }
+    const auto rest = graph::shortestPathExcluding(
+        overlay, n, flow.destination, latencies, {},
+        std::vector<graph::NodeId>{flow.source});
+    if (!rest.found) continue;
+    graph::Path path{out};
+    path.insert(path.end(), rest.edges.begin(), rest.edges.end());
+    pushUnique(std::move(path));
+  }
+  for (const graph::EdgeId in : overlay.inEdges(flow.destination)) {
+    if (latencies[in] == util::kNever) continue;
+    const graph::NodeId n = overlay.edge(in).from;
+    if (n == flow.source) continue;
+    const auto head = graph::shortestPathExcluding(
+        overlay, flow.source, n, latencies, {},
+        std::vector<graph::NodeId>{flow.destination});
+    if (!head.found) continue;
+    graph::Path path = head.edges;
+    path.push_back(in);
+    pushUnique(std::move(path));
+  }
+
+  // Deadline filter.
+  std::erase_if(candidates, [&](const graph::Path& path) {
+    const util::SimTime latency =
+        graph::pathLatency(overlay, path, latencies);
+    return latency == util::kNever || latency > params.delivery.deadline;
+  });
+  return candidates;
+}
+
+}  // namespace
+
+OptimizedGraph optimizeDisseminationGraph(
+    const graph::Graph& overlay, routing::Flow flow,
+    std::span<const double> lossRates,
+    std::span<const util::SimTime> latencies,
+    const OptimizerParams& params) {
+  OptimizedGraph result{
+      graph::DisseminationGraph(overlay, flow.source, flow.destination), 0.0,
+      {}};
+
+  const auto candidates = buildCandidates(overlay, flow, latencies, params);
+  if (candidates.empty()) return result;
+
+  // Common-random-number evaluation: identical seed per call so that
+  // candidate comparisons within a round share their randomness.
+  const auto evaluate = [&](const graph::DisseminationGraph& dg) {
+    util::Rng rng(params.seed);
+    return onTimeProbabilityMC(dg, lossRates, latencies, params.delivery,
+                               params.mcSamples, rng);
+  };
+
+  // Seed with the single best candidate path.
+  double bestSeedScore = -1.0;
+  const graph::Path* bestSeed = nullptr;
+  for (const graph::Path& path : candidates) {
+    if (static_cast<int>(path.size()) > params.edgeBudget) continue;
+    graph::DisseminationGraph dg(overlay, flow.source, flow.destination);
+    dg.addPath(path);
+    const double score = evaluate(dg);
+    if (score > bestSeedScore) {
+      bestSeedScore = score;
+      bestSeed = &path;
+    }
+  }
+  if (bestSeed == nullptr) return result;
+  result.graph.addPath(*bestSeed);
+  result.onTimeProbability = bestSeedScore;
+  result.steps.emplace_back(result.graph.edgeCount(), bestSeedScore);
+
+  // Greedy augmentation.
+  std::vector<char> used(candidates.size(), 0);
+  for (;;) {
+    double bestGain = params.minGain;
+    std::size_t bestIndex = candidates.size();
+    double bestScore = result.onTimeProbability;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      graph::DisseminationGraph tentative = result.graph;
+      tentative.addPath(candidates[i]);
+      if (tentative.edgeCount() == result.graph.edgeCount()) {
+        used[i] = 1;  // fully contained already
+        continue;
+      }
+      if (static_cast<int>(tentative.edgeCount()) > params.edgeBudget)
+        continue;
+      const double score = evaluate(tentative);
+      const double gain = score - result.onTimeProbability;
+      if (gain >= bestGain) {
+        bestGain = gain;
+        bestIndex = i;
+        bestScore = score;
+      }
+    }
+    if (bestIndex == candidates.size()) break;
+    used[bestIndex] = 1;
+    result.graph.addPath(candidates[bestIndex]);
+    result.onTimeProbability = bestScore;
+    result.steps.emplace_back(result.graph.edgeCount(), bestScore);
+  }
+  return result;
+}
+
+}  // namespace dg::playback

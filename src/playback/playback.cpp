@@ -1,0 +1,178 @@
+#include "playback/playback.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace dg::playback {
+
+namespace {
+
+/// Deterministic per-(flow, scheme, interval) RNG stream so results do
+/// not depend on evaluation order.
+std::uint64_t mixSeed(std::uint64_t seed, routing::Flow flow,
+                      routing::SchemeKind kind, std::size_t interval) {
+  std::uint64_t x = seed;
+  const auto mix = [&x](std::uint64_t v) {
+    x ^= v + 0x9E3779B97F4A7C15ULL + (x << 6) + (x >> 2);
+  };
+  mix(flow.source);
+  mix(flow.destination);
+  mix(static_cast<std::uint64_t>(kind));
+  mix(interval);
+  return x;
+}
+
+}  // namespace
+
+PlaybackEngine::PlaybackEngine(const graph::Graph& overlay,
+                               const trace::Trace& trace,
+                               PlaybackParams params)
+    : overlay_(&overlay), trace_(&trace), params_(params) {
+  if (trace.edgeCount() != overlay.edgeCount())
+    throw std::invalid_argument(
+        "PlaybackEngine: trace edge count does not match overlay");
+  if (params_.viewStaleness < 0)
+    throw std::invalid_argument("PlaybackEngine: negative staleness");
+}
+
+PlaybackEngine::IntervalEval PlaybackEngine::evaluateInterval(
+    const graph::DisseminationGraph& dg, routing::Flow flow,
+    routing::SchemeKind kind, std::size_t interval) const {
+  const std::vector<double> lossRates = trace_->lossRatesAt(interval);
+  const std::vector<util::SimTime> latencies =
+      trace_->latenciesAt(interval);
+
+  IntervalEval eval;
+  if (nearLossless(dg, lossRates, params_.lossEpsilon)) {
+    eval.miss = missProbabilityNearLossless(dg, lossRates, latencies,
+                                            params_.delivery);
+  } else {
+    util::Rng rng(mixSeed(params_.seed, flow, kind, interval));
+    eval.miss = 1.0 - onTimeProbabilityMC(dg, lossRates, latencies,
+                                          params_.delivery,
+                                          params_.mcSamples, rng);
+  }
+  eval.cost = static_cast<double>(dg.cost(latencies));
+  eval.latency = dg.latencyToDestination(latencies);
+  return eval;
+}
+
+FlowSchemeResult PlaybackEngine::run(
+    routing::Flow flow, routing::SchemeKind kind,
+    const routing::SchemeParams& schemeParams) const {
+  return runRange(flow, kind, schemeParams, 0, trace_->intervalCount());
+}
+
+FlowSchemeResult PlaybackEngine::runRange(
+    routing::Flow flow, routing::SchemeKind kind,
+    const routing::SchemeParams& schemeParams, std::size_t first,
+    std::size_t last) const {
+  if (first > last || last > trace_->intervalCount())
+    throw std::out_of_range("PlaybackEngine::runRange: bad range");
+
+  auto scheme = routing::makeScheme(kind, *overlay_, flow, schemeParams);
+  const routing::NetworkView baselineView =
+      routing::NetworkView::baseline(*trace_);
+  scheme->initialize(baselineView);
+
+  FlowSchemeResult result;
+  result.flow = flow;
+  result.scheme = kind;
+
+  util::WeightedMean missMean;
+  util::OnlineStats costStats;
+  util::OnlineStats latencyStats;
+  const double intervalSeconds =
+      util::toSeconds(trace_->intervalLength());
+
+  // Cache: when the interval has no deviations and the scheme returns the
+  // same graph as last time, the evaluation is unchanged.
+  std::vector<graph::EdgeId> cachedEdges;
+  IntervalEval cachedEval;
+  bool cacheValid = false;
+
+  const auto staleness = static_cast<std::size_t>(params_.viewStaleness);
+  for (std::size_t t = first; t < last; ++t) {
+    // --- Decision: what does the scheme believe right now? -------------
+    const graph::DisseminationGraph* dg = nullptr;
+    if (t < first + staleness) {
+      dg = &scheme->select(baselineView);
+    } else {
+      const std::size_t viewInterval = t - staleness;
+      if (!trace_->hasDeviation(viewInterval)) {
+        dg = &scheme->select(baselineView);
+      } else {
+        const routing::NetworkView view =
+            routing::NetworkView::atInterval(*trace_, viewInterval);
+        dg = &scheme->select(view);
+      }
+    }
+
+    // --- Outcome under the interval's true conditions ------------------
+    IntervalEval eval;
+    const bool clean = !trace_->hasDeviation(t);
+    if (clean && cacheValid && dg->edges() == cachedEdges) {
+      eval = cachedEval;
+    } else {
+      eval = evaluateInterval(*dg, flow, kind, t);
+      if (clean) {
+        cachedEdges = dg->edges();
+        cachedEval = eval;
+        cacheValid = true;
+      }
+    }
+
+    missMean.add(eval.miss, 1.0);
+    costStats.add(eval.cost);
+    if (eval.latency != util::kNever) {
+      latencyStats.add(static_cast<double>(eval.latency));
+      if (params_.collectIntervalLatencies) {
+        result.intervalLatenciesUs.push_back(
+            static_cast<double>(eval.latency));
+      }
+    }
+    result.unavailableSeconds += eval.miss * intervalSeconds;
+    if (eval.miss > params_.problematicThreshold) {
+      ++result.problematicIntervals;
+      result.problems.push_back(ProblematicInterval{t, eval.miss});
+    }
+  }
+
+  result.unavailability = missMean.mean();
+  result.averageCost = costStats.mean();
+  result.averageLatencyUs = latencyStats.mean();
+  return result;
+}
+
+std::vector<double> PlaybackEngine::missTimeline(
+    routing::Flow flow, routing::SchemeKind kind,
+    const routing::SchemeParams& schemeParams, std::size_t first,
+    std::size_t last) const {
+  if (first > last || last > trace_->intervalCount())
+    throw std::out_of_range("PlaybackEngine::missTimeline: bad range");
+
+  auto scheme = routing::makeScheme(kind, *overlay_, flow, schemeParams);
+  const routing::NetworkView baselineView =
+      routing::NetworkView::baseline(*trace_);
+  scheme->initialize(baselineView);
+
+  std::vector<double> timeline;
+  timeline.reserve(last - first);
+  const auto staleness = static_cast<std::size_t>(params_.viewStaleness);
+  for (std::size_t t = first; t < last; ++t) {
+    const graph::DisseminationGraph* dg = nullptr;
+    if (t < first + staleness || !trace_->hasDeviation(t - staleness)) {
+      dg = &scheme->select(baselineView);
+    } else {
+      const routing::NetworkView view =
+          routing::NetworkView::atInterval(*trace_, t - staleness);
+      dg = &scheme->select(view);
+    }
+    timeline.push_back(evaluateInterval(*dg, flow, kind, t).miss);
+  }
+  return timeline;
+}
+
+}  // namespace dg::playback

@@ -1,0 +1,121 @@
+// The playback engine: replays a recorded (or synthetic) condition trace
+// for one flow under one routing scheme and computes, per 10-second
+// interval, the probability that a packet sent in that interval arrives
+// within the deadline -- plus the scheme's cost in transmissions per
+// packet.
+//
+// This mirrors the paper's Playback Network Simulator methodology: all
+// schemes replay the *identical* condition stream; adaptive schemes see
+// conditions with a configurable staleness (default one interval, since
+// loss statistics cannot be acted upon before they are collected).
+//
+// Healthy intervals (the overwhelming majority) take an exact fast path;
+// intervals where any member link of the current dissemination graph is
+// lossy are evaluated by Monte-Carlo over the per-hop outcome model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/scheme.hpp"
+#include "trace/trace.hpp"
+#include "playback/delivery_model.hpp"
+
+namespace dg::playback {
+
+struct PlaybackParams {
+  DeliveryModelParams delivery;
+  /// Monte-Carlo samples per lossy interval.
+  int mcSamples = 1000;
+  /// Member-link loss rate above which an interval needs Monte-Carlo.
+  double lossEpsilon = 1e-3;
+  /// How stale the view driving adaptive decisions is, in intervals.
+  /// 0 = oracle (decisions see current conditions), 1 = realistic.
+  int viewStaleness = 1;
+  /// An interval is counted as "problematic" for a flow/scheme when its
+  /// miss probability exceeds this.
+  double problematicThreshold = 1e-3;
+  /// Seed driving all Monte-Carlo sampling (per-interval streams are
+  /// derived deterministically, so results are independent of run order).
+  std::uint64_t seed = 7;
+  /// When set, FlowSchemeResult::intervalLatenciesUs records the selected
+  /// graph's earliest-arrival latency for every interval where delivery
+  /// is possible (for latency-distribution figures).
+  bool collectIntervalLatencies = false;
+};
+
+/// One problematic interval of a flow/scheme run (sparse record).
+struct ProblematicInterval {
+  std::size_t interval = 0;
+  double missProbability = 0.0;
+};
+
+struct FlowSchemeResult {
+  routing::Flow flow;
+  routing::SchemeKind scheme{};
+
+  /// Packet-weighted mean miss probability over the whole trace.
+  double unavailability = 0.0;
+  /// Sum over intervals of missProbability * interval length, in seconds:
+  /// the expected total unavailable time ("unavailable seconds").
+  double unavailableSeconds = 0.0;
+  /// Number of intervals with miss probability > problematicThreshold.
+  std::size_t problematicIntervals = 0;
+  /// Mean transmissions per packet (the paper's cost metric).
+  double averageCost = 0.0;
+  /// Mean on-time one-way latency proxy: earliest-arrival latency of the
+  /// selected graph under current conditions, averaged over intervals
+  /// where delivery is possible, in microseconds.
+  double averageLatencyUs = 0.0;
+
+  /// Sparse list of the problematic intervals (for classification and
+  /// case-study plots).
+  std::vector<ProblematicInterval> problems;
+  /// Dense per-interval delivery latency (microseconds; only intervals
+  /// where delivery is possible). Populated only when
+  /// PlaybackParams::collectIntervalLatencies is set.
+  std::vector<double> intervalLatenciesUs;
+};
+
+class PlaybackEngine {
+ public:
+  PlaybackEngine(const graph::Graph& overlay, const trace::Trace& trace,
+                 PlaybackParams params);
+
+  /// Replays the whole trace for one flow under one scheme.
+  FlowSchemeResult run(routing::Flow flow, routing::SchemeKind kind,
+                       const routing::SchemeParams& schemeParams) const;
+
+  /// Replays an interval range [first, last) -- used by the case-study
+  /// experiment and by tests.
+  FlowSchemeResult runRange(routing::Flow flow, routing::SchemeKind kind,
+                            const routing::SchemeParams& schemeParams,
+                            std::size_t first, std::size_t last) const;
+
+  /// Per-interval miss probabilities over a range (dense; for timelines).
+  std::vector<double> missTimeline(routing::Flow flow,
+                                   routing::SchemeKind kind,
+                                   const routing::SchemeParams& schemeParams,
+                                   std::size_t first, std::size_t last) const;
+
+  const trace::Trace& trace() const { return *trace_; }
+  const PlaybackParams& params() const { return params_; }
+
+ private:
+  struct IntervalEval {
+    double miss = 0.0;
+    double cost = 0.0;
+    util::SimTime latency = util::kNever;
+  };
+  IntervalEval evaluateInterval(const graph::DisseminationGraph& dg,
+                                routing::Flow flow,
+                                routing::SchemeKind kind,
+                                std::size_t interval) const;
+
+  const graph::Graph* overlay_;
+  const trace::Trace* trace_;
+  PlaybackParams params_;
+};
+
+}  // namespace dg::playback

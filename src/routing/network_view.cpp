@@ -1,0 +1,51 @@
+#include "routing/network_view.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dg::routing {
+
+NetworkView::NetworkView(std::vector<double> lossRates,
+                         std::vector<util::SimTime> latencies)
+    : lossRates_(std::move(lossRates)), latencies_(std::move(latencies)) {
+  if (lossRates_.size() != latencies_.size())
+    throw std::invalid_argument("NetworkView: size mismatch");
+}
+
+NetworkView NetworkView::baseline(const trace::Trace& trace) {
+  std::vector<double> loss;
+  std::vector<util::SimTime> latency;
+  loss.reserve(trace.edgeCount());
+  latency.reserve(trace.edgeCount());
+  for (graph::EdgeId e = 0; e < trace.edgeCount(); ++e) {
+    loss.push_back(trace.baseline(e).lossRate);
+    latency.push_back(trace.baseline(e).latency);
+  }
+  return NetworkView(std::move(loss), std::move(latency));
+}
+
+NetworkView NetworkView::atInterval(const trace::Trace& trace,
+                                    std::size_t interval) {
+  return NetworkView(trace.lossRatesAt(interval),
+                     trace.latenciesAt(interval));
+}
+
+std::vector<util::SimTime> NetworkView::routingWeights(
+    const ViewParams& params) const {
+  std::vector<util::SimTime> weights(lossRates_.size());
+  for (std::size_t e = 0; e < lossRates_.size(); ++e) {
+    const double loss = lossRates_[e];
+    if (loss >= params.unusableLoss) {
+      weights[e] = util::kNever;
+      continue;
+    }
+    double weight = static_cast<double>(latencies_[e]);
+    if (loss >= params.degradedLoss) {
+      weight *= 1.0 + params.lossPenaltyFactor * loss;
+    }
+    weights[e] = static_cast<util::SimTime>(std::llround(weight));
+  }
+  return weights;
+}
+
+}  // namespace dg::routing

@@ -1,0 +1,60 @@
+// The network state as seen by a routing decision.
+//
+// Routing never sees ground truth: it sees per-link loss/latency as
+// measured over a *previous* monitoring interval (one-interval staleness
+// by default -- loss statistics cannot be acted on before they are
+// collected). A NetworkView is that snapshot, plus the policy that turns
+// it into routing weights: links above the unusable-loss threshold are
+// excluded and degraded links are latency-penalized so that path
+// selection prefers clean routes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "trace/trace.hpp"
+#include "util/sim_time.hpp"
+
+namespace dg::routing {
+
+struct ViewParams {
+  /// Loss rate at or above which a link is excluded from route
+  /// computation entirely.
+  double unusableLoss = 0.5;
+  /// Loss rate above which a link is penalized in routing weights.
+  double degradedLoss = 0.01;
+  /// Weight multiplier: weight = latency * (1 + factor * lossRate) for
+  /// degraded links.
+  double lossPenaltyFactor = 10.0;
+};
+
+class NetworkView {
+ public:
+  /// View with every link at its healthy baseline.
+  static NetworkView baseline(const trace::Trace& trace);
+
+  /// View of one trace interval's measured conditions.
+  static NetworkView atInterval(const trace::Trace& trace,
+                                std::size_t interval);
+
+  /// Direct construction from per-edge vectors (used by the live monitor
+  /// in dg::core, which aggregates its own measurements).
+  NetworkView(std::vector<double> lossRates,
+              std::vector<util::SimTime> latencies);
+
+  std::size_t edgeCount() const { return lossRates_.size(); }
+  double lossRate(graph::EdgeId e) const { return lossRates_[e]; }
+  util::SimTime latency(graph::EdgeId e) const { return latencies_[e]; }
+  std::span<const util::SimTime> latencies() const { return latencies_; }
+  std::span<const double> lossRates() const { return lossRates_; }
+
+  /// Weights for path selection under `params` (util::kNever = excluded).
+  std::vector<util::SimTime> routingWeights(const ViewParams& params) const;
+
+ private:
+  std::vector<double> lossRates_;
+  std::vector<util::SimTime> latencies_;
+};
+
+}  // namespace dg::routing

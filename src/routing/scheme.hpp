@@ -1,0 +1,97 @@
+// Routing scheme interface.
+//
+// Every routing approach in the paper -- single path, k disjoint paths,
+// targeted-redundancy dissemination graphs, time-constrained flooding --
+// is expressed the same way: given the current (stale) network view,
+// produce the dissemination graph to flood the next packets on. The
+// playback engine and the live transport service drive schemes through
+// this one interface, which is what makes the head-to-head evaluation
+// apples-to-apples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/dissemination_graph.hpp"
+#include "graph/graph.hpp"
+#include "routing/network_view.hpp"
+#include "routing/problem_detector.hpp"
+
+namespace dg::routing {
+
+/// A unidirectional communication flow between two overlay nodes.
+struct Flow {
+  graph::NodeId source = graph::kInvalidNode;
+  graph::NodeId destination = graph::kInvalidNode;
+  bool operator==(const Flow&) const = default;
+};
+
+enum class SchemeKind {
+  StaticSinglePath,
+  DynamicSinglePath,
+  StaticTwoDisjoint,
+  DynamicTwoDisjoint,
+  TargetedRedundancy,
+  TimeConstrainedFlooding,
+};
+
+/// Canonical short name ("static-single", "targeted", ...).
+std::string_view schemeName(SchemeKind kind);
+/// Parses a canonical name; throws std::invalid_argument on unknown.
+SchemeKind parseSchemeKind(std::string_view name);
+/// All kinds in evaluation order (single -> ... -> flooding).
+std::vector<SchemeKind> allSchemeKinds();
+
+struct SchemeParams {
+  ViewParams view;
+  DetectorParams detector;
+  /// One-way delivery deadline (the paper's 65 ms for 130 ms RTT).
+  util::SimTime deadline = util::milliseconds(65);
+  /// Number of disjoint paths for the disjoint-path schemes.
+  int disjointPaths = 2;
+  /// Targeted redundancy: once a source/destination problem is detected,
+  /// keep the targeted graph for this many further decision intervals
+  /// after the detector stops firing (flap damping -- intermittent
+  /// problems briefly look healthy between bursts, and falling back too
+  /// eagerly forfeits the redundancy exactly when it is needed).
+  int holdDownIntervals = 3;
+};
+
+class RoutingScheme {
+ public:
+  RoutingScheme(const graph::Graph& overlay, Flow flow, SchemeParams params)
+      : overlay_(&overlay), flow_(flow), params_(params) {}
+  virtual ~RoutingScheme() = default;
+  RoutingScheme(const RoutingScheme&) = delete;
+  RoutingScheme& operator=(const RoutingScheme&) = delete;
+
+  virtual std::string_view name() const = 0;
+
+  /// Computes any precomputed structure from the healthy baseline view.
+  /// Must be called before select().
+  virtual void initialize(const NetworkView& baselineView) = 0;
+
+  /// Returns the dissemination graph to use while `view` describes the
+  /// believed network state. The reference stays valid until the next
+  /// select()/initialize() call on this scheme.
+  virtual const graph::DisseminationGraph& select(const NetworkView& view) = 0;
+
+  const graph::Graph& overlay() const { return *overlay_; }
+  Flow flow() const { return flow_; }
+  const SchemeParams& params() const { return params_; }
+
+ protected:
+  const graph::Graph* overlay_;
+  Flow flow_;
+  SchemeParams params_;
+};
+
+/// Creates a scheme instance for one flow.
+std::unique_ptr<RoutingScheme> makeScheme(SchemeKind kind,
+                                          const graph::Graph& overlay,
+                                          Flow flow,
+                                          const SchemeParams& params);
+
+}  // namespace dg::routing

@@ -1,0 +1,333 @@
+#include "routing/scheme.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/disjoint_paths.hpp"
+#include "graph/shortest_path.hpp"
+#include "routing/targeted_graphs.hpp"
+
+namespace dg::routing {
+
+std::string_view schemeName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::StaticSinglePath: return "static-single";
+    case SchemeKind::DynamicSinglePath: return "dynamic-single";
+    case SchemeKind::StaticTwoDisjoint: return "static-two-disjoint";
+    case SchemeKind::DynamicTwoDisjoint: return "dynamic-two-disjoint";
+    case SchemeKind::TargetedRedundancy: return "targeted";
+    case SchemeKind::TimeConstrainedFlooding: return "flooding";
+  }
+  return "unknown";
+}
+
+SchemeKind parseSchemeKind(std::string_view name) {
+  for (const SchemeKind kind : allSchemeKinds()) {
+    if (schemeName(kind) == name) return kind;
+  }
+  throw std::invalid_argument("unknown routing scheme: " + std::string(name));
+}
+
+std::vector<SchemeKind> allSchemeKinds() {
+  return {SchemeKind::StaticSinglePath,   SchemeKind::DynamicSinglePath,
+          SchemeKind::StaticTwoDisjoint,  SchemeKind::DynamicTwoDisjoint,
+          SchemeKind::TargetedRedundancy, SchemeKind::TimeConstrainedFlooding};
+}
+
+namespace {
+
+using graph::DisseminationGraph;
+
+/// Deadline-constrained path selection shared by the dynamic schemes.
+///
+/// Routing weights penalize lossy links, which can make a detour look
+/// attractive even though its *actual* latency violates the deadline --
+/// and a clean route that arrives late is strictly worse than a lossy
+/// route that can still deliver (loss is probabilistic, lateness is
+/// certain). So: compute up to k node-disjoint paths on the penalized
+/// weights, keep only those whose true latency meets the deadline, and if
+/// fewer than k survive, top up with deadline-feasible paths computed on
+/// pure latencies (loss-blind), which is exactly what the static schemes
+/// would use.
+std::vector<graph::Path> timelyDisjointPaths(const graph::Graph& overlay,
+                                             Flow flow,
+                                             const NetworkView& view,
+                                             const SchemeParams& params,
+                                             int k) {
+  const std::vector<util::SimTime> latencies(view.latencies().begin(),
+                                             view.latencies().end());
+  const auto feasible = [&](const graph::Path& path) {
+    const util::SimTime latency = pathLatency(overlay, path, latencies);
+    return latency != util::kNever && latency <= params.deadline;
+  };
+
+  std::vector<graph::Path> chosen;
+  const auto penalized = view.routingWeights(params.view);
+  for (graph::Path& path :
+       graph::nodeDisjointPaths(overlay, flow.source, flow.destination,
+                                penalized, k)
+           .paths) {
+    if (feasible(path)) chosen.push_back(std::move(path));
+  }
+  if (static_cast<int>(chosen.size()) < k) {
+    for (graph::Path& path :
+         graph::nodeDisjointPaths(overlay, flow.source, flow.destination,
+                                  latencies, k)
+             .paths) {
+      if (static_cast<int>(chosen.size()) >= k) break;
+      if (!feasible(path)) continue;
+      if (std::find(chosen.begin(), chosen.end(), path) != chosen.end())
+        continue;
+      chosen.push_back(std::move(path));
+    }
+  }
+  return chosen;
+}
+
+/// Shared helper state: a current graph plus a cache of the weight vector
+/// it was computed from, so healthy steady-state intervals cost nothing.
+class CachedGraphScheme : public RoutingScheme {
+ public:
+  CachedGraphScheme(const graph::Graph& overlay, Flow flow,
+                    SchemeParams params)
+      : RoutingScheme(overlay, flow, params),
+        current_(overlay, flow.source, flow.destination) {}
+
+ protected:
+  DisseminationGraph current_;
+  std::vector<util::SimTime> cachedWeights_;
+
+  bool weightsUnchanged(const std::vector<util::SimTime>& weights) const {
+    return weights == cachedWeights_;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Single path.
+// ---------------------------------------------------------------------
+
+class SinglePathScheme : public CachedGraphScheme {
+ public:
+  SinglePathScheme(const graph::Graph& overlay, Flow flow,
+                   SchemeParams params, bool dynamic)
+      : CachedGraphScheme(overlay, flow, params), dynamic_(dynamic) {}
+
+  std::string_view name() const override {
+    return dynamic_ ? schemeName(SchemeKind::DynamicSinglePath)
+                    : schemeName(SchemeKind::StaticSinglePath);
+  }
+
+  void initialize(const NetworkView& baselineView) override {
+    recompute(baselineView);
+  }
+
+  const DisseminationGraph& select(const NetworkView& view) override {
+    if (dynamic_) recompute(view);
+    return current_;
+  }
+
+ private:
+  void recompute(const NetworkView& view) {
+    const auto weights = view.routingWeights(params_.view);
+    if (weightsUnchanged(weights)) return;
+    cachedWeights_ = weights;
+    const auto paths =
+        timelyDisjointPaths(*overlay_, flow_, view, params_, 1);
+    // When the view offers no timely route, keep the previous graph:
+    // sending on a possibly-degraded route beats sending on nothing.
+    if (paths.empty()) return;
+    DisseminationGraph next(*overlay_, flow_.source, flow_.destination);
+    next.addPath(paths.front());
+    current_ = std::move(next);
+  }
+
+  bool dynamic_;
+};
+
+// ---------------------------------------------------------------------
+// k node-disjoint paths.
+// ---------------------------------------------------------------------
+
+class DisjointPathsScheme : public CachedGraphScheme {
+ public:
+  DisjointPathsScheme(const graph::Graph& overlay, Flow flow,
+                      SchemeParams params, bool dynamic)
+      : CachedGraphScheme(overlay, flow, params), dynamic_(dynamic) {}
+
+  std::string_view name() const override {
+    return dynamic_ ? schemeName(SchemeKind::DynamicTwoDisjoint)
+                    : schemeName(SchemeKind::StaticTwoDisjoint);
+  }
+
+  void initialize(const NetworkView& baselineView) override {
+    recompute(baselineView);
+  }
+
+  const DisseminationGraph& select(const NetworkView& view) override {
+    if (dynamic_) recompute(view);
+    return current_;
+  }
+
+ private:
+  void recompute(const NetworkView& view) {
+    const auto weights = view.routingWeights(params_.view);
+    if (weightsUnchanged(weights)) return;
+    cachedWeights_ = weights;
+    const auto paths = timelyDisjointPaths(*overlay_, flow_, view, params_,
+                                           params_.disjointPaths);
+    if (paths.empty()) return;  // keep previous graph
+    DisseminationGraph next(*overlay_, flow_.source, flow_.destination);
+    for (const graph::Path& path : paths) next.addPath(path);
+    current_ = std::move(next);
+  }
+
+  bool dynamic_;
+};
+
+// ---------------------------------------------------------------------
+// Time-constrained flooding: every overlay edge that can contribute an
+// on-time delivery under healthy propagation latencies. The structure is
+// *static*: reacting to measurements could only remove edges that might
+// turn out useful an instant later, and the point of this scheme is to be
+// the never-wrong (but prohibitively expensive) upper bound.
+// ---------------------------------------------------------------------
+
+class FloodingScheme : public CachedGraphScheme {
+ public:
+  using CachedGraphScheme::CachedGraphScheme;
+
+  std::string_view name() const override {
+    return schemeName(SchemeKind::TimeConstrainedFlooding);
+  }
+
+  void initialize(const NetworkView& baselineView) override {
+    // Pruning uses plain latencies (not loss-penalized weights): flooding
+    // never avoids lossy links, it only refuses to pay for edges that
+    // cannot possibly deliver in time.
+    const std::vector<util::SimTime> latencies(
+        baselineView.latencies().begin(), baselineView.latencies().end());
+    current_ =
+        graph::floodingGraph(*overlay_, flow_.source, flow_.destination);
+    current_.pruneDeadlineInfeasible(latencies, params_.deadline);
+  }
+
+  const DisseminationGraph& select(const NetworkView&) override {
+    return current_;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Targeted redundancy: precomputed graphs + problem-class switching.
+// ---------------------------------------------------------------------
+
+class TargetedScheme : public RoutingScheme {
+ public:
+  TargetedScheme(const graph::Graph& overlay, Flow flow, SchemeParams params)
+      : RoutingScheme(overlay, flow, params),
+        detector_(overlay, params.detector),
+        graphs_{DisseminationGraph(overlay, flow.source, flow.destination),
+                DisseminationGraph(overlay, flow.source, flow.destination),
+                DisseminationGraph(overlay, flow.source, flow.destination),
+                DisseminationGraph(overlay, flow.source, flow.destination)},
+        dynamicFallback_(overlay, flow.source, flow.destination) {}
+
+  std::string_view name() const override {
+    return schemeName(SchemeKind::TargetedRedundancy);
+  }
+
+  void initialize(const NetworkView& baselineView) override {
+    const auto weights = baselineView.routingWeights(params_.view);
+    graphs_ = buildTargetedGraphs(*overlay_, flow_, weights,
+                                  params_.deadline, params_.disjointPaths);
+    dynamicFallback_ = graphs_.twoDisjoint;
+    dynamicWeights_.clear();
+    sourceHold_ = 0;
+    destinationHold_ = 0;
+  }
+
+  const DisseminationGraph& select(const NetworkView& view) override {
+    const FlowProblem detected =
+        detector_.classify(view, flow_.source, flow_.destination);
+    // Flap damping: hold targeted graphs for holdDownIntervals further
+    // decisions after the detector stops firing.
+    FlowProblem problem = detected;
+    problem.source = detected.source || sourceHold_ > 0;
+    problem.destination = detected.destination || destinationHold_ > 0;
+    if (detected.source) {
+      sourceHold_ = params_.holdDownIntervals;
+    } else if (sourceHold_ > 0) {
+      --sourceHold_;
+    }
+    if (detected.destination) {
+      destinationHold_ = params_.holdDownIntervals;
+    } else if (destinationHold_ > 0) {
+      --destinationHold_;
+    }
+    lastProblem_ = problem;
+    if (problem.source && problem.destination) return graphs_.robust;
+    if (problem.source) return graphs_.sourceProblem;
+    if (problem.destination) return graphs_.destinationProblem;
+    if (problem.middle) {
+      // A mid-network problem: recompute two disjoint paths around it
+      // (classic dynamic behaviour; middle problems are the minority and
+      // rarely hit both precomputed paths, but recomputing is cheap).
+      const auto weights = view.routingWeights(params_.view);
+      if (weights != dynamicWeights_) {
+        dynamicWeights_ = weights;
+        const auto paths = timelyDisjointPaths(*overlay_, flow_, view,
+                                               params_,
+                                               params_.disjointPaths);
+        if (!paths.empty()) {
+          DisseminationGraph next(*overlay_, flow_.source,
+                                  flow_.destination);
+          for (const graph::Path& path : paths) next.addPath(path);
+          dynamicFallback_ = std::move(next);
+        }
+      }
+      return dynamicFallback_;
+    }
+    return graphs_.twoDisjoint;
+  }
+
+  /// The classification used by the most recent select() (for analysis).
+  FlowProblem lastProblem() const { return lastProblem_; }
+  const TargetedGraphs& graphs() const { return graphs_; }
+
+ private:
+  ProblemDetector detector_;
+  TargetedGraphs graphs_;
+  DisseminationGraph dynamicFallback_;
+  std::vector<util::SimTime> dynamicWeights_;
+  FlowProblem lastProblem_;
+  int sourceHold_ = 0;
+  int destinationHold_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<RoutingScheme> makeScheme(SchemeKind kind,
+                                          const graph::Graph& overlay,
+                                          Flow flow,
+                                          const SchemeParams& params) {
+  switch (kind) {
+    case SchemeKind::StaticSinglePath:
+      return std::make_unique<SinglePathScheme>(overlay, flow, params,
+                                                /*dynamic=*/false);
+    case SchemeKind::DynamicSinglePath:
+      return std::make_unique<SinglePathScheme>(overlay, flow, params,
+                                                /*dynamic=*/true);
+    case SchemeKind::StaticTwoDisjoint:
+      return std::make_unique<DisjointPathsScheme>(overlay, flow, params,
+                                                   /*dynamic=*/false);
+    case SchemeKind::DynamicTwoDisjoint:
+      return std::make_unique<DisjointPathsScheme>(overlay, flow, params,
+                                                   /*dynamic=*/true);
+    case SchemeKind::TargetedRedundancy:
+      return std::make_unique<TargetedScheme>(overlay, flow, params);
+    case SchemeKind::TimeConstrainedFlooding:
+      return std::make_unique<FloodingScheme>(overlay, flow, params);
+  }
+  throw std::invalid_argument("makeScheme: unknown kind");
+}
+
+}  // namespace dg::routing

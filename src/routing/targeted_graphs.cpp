@@ -1,0 +1,76 @@
+#include "routing/targeted_graphs.hpp"
+
+#include "graph/disjoint_paths.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace dg::routing {
+
+namespace {
+
+/// Adds, for every out-edge (src -> n), the edge plus the shortest
+/// continuation n -> dst, provided the whole detour meets the deadline.
+void addSourceRedundancy(graph::DisseminationGraph& dg,
+                         const graph::Graph& overlay, Flow flow,
+                         std::span<const util::SimTime> weights,
+                         util::SimTime deadline) {
+  // Shortest distances from every node to the destination, once.
+  const auto toDst =
+      graph::dijkstraDistancesTo(overlay, flow.destination, weights);
+  for (const graph::EdgeId out : overlay.outEdges(flow.source)) {
+    const util::SimTime w = weights[out];
+    if (w == util::kNever) continue;
+    const graph::NodeId n = overlay.edge(out).to;
+    if (n == flow.source) continue;
+    if (toDst[n] == util::kNever || w + toDst[n] > deadline) continue;
+    dg.addEdge(out);
+    if (n == flow.destination) continue;
+    const auto continuation =
+        graph::shortestPath(overlay, n, flow.destination, weights);
+    if (continuation.found) dg.addPath(continuation.edges);
+  }
+}
+
+/// Symmetric: for every in-edge (n -> dst), the shortest approach
+/// src -> n plus the edge, deadline permitting.
+void addDestinationRedundancy(graph::DisseminationGraph& dg,
+                              const graph::Graph& overlay, Flow flow,
+                              std::span<const util::SimTime> weights,
+                              util::SimTime deadline) {
+  const auto fromSrc =
+      graph::dijkstraDistances(overlay, flow.source, weights);
+  for (const graph::EdgeId in : overlay.inEdges(flow.destination)) {
+    const util::SimTime w = weights[in];
+    if (w == util::kNever) continue;
+    const graph::NodeId n = overlay.edge(in).from;
+    if (n == flow.destination) continue;
+    if (fromSrc[n] == util::kNever || fromSrc[n] + w > deadline) continue;
+    dg.addEdge(in);
+    if (n == flow.source) continue;
+    const auto approach =
+        graph::shortestPath(overlay, flow.source, n, weights);
+    if (approach.found) dg.addPath(approach.edges);
+  }
+}
+
+}  // namespace
+
+TargetedGraphs buildTargetedGraphs(const graph::Graph& overlay, Flow flow,
+                                   std::span<const util::SimTime> weights,
+                                   util::SimTime deadline,
+                                   int disjointPaths) {
+  graph::DisseminationGraph base(overlay, flow.source, flow.destination);
+  const auto disjoint = graph::nodeDisjointPaths(
+      overlay, flow.source, flow.destination, weights, disjointPaths);
+  for (const graph::Path& path : disjoint.paths) base.addPath(path);
+
+  TargetedGraphs graphs{base, base, base, base};
+  addSourceRedundancy(graphs.sourceProblem, overlay, flow, weights,
+                      deadline);
+  addDestinationRedundancy(graphs.destinationProblem, overlay, flow, weights,
+                           deadline);
+  graphs.robust.unite(graphs.sourceProblem);
+  graphs.robust.unite(graphs.destinationProblem);
+  return graphs;
+}
+
+}  // namespace dg::routing

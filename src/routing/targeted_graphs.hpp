@@ -1,0 +1,39 @@
+// Targeted-redundancy dissemination graph construction.
+//
+// The paper's key contribution: because problems cluster around sources
+// and destinations, a flow can precompute three dissemination graphs that
+// add redundancy exactly where it will be needed --
+//   * source-problem graph: the two disjoint paths, plus every
+//     deadline-feasible way *out of the source* funneled into shortest
+//     continuations, so the flow survives as long as any source link
+//     works at each instant;
+//   * destination-problem graph: symmetric, into the destination;
+//   * robust source-destination graph: both at once.
+// The graphs are computed once per flow on healthy conditions; at run
+// time the scheme merely *selects* among them, which is why it reacts
+// instantly once a problem area is identified, without path recomputation.
+#pragma once
+
+#include <span>
+
+#include "graph/dissemination_graph.hpp"
+#include "routing/scheme.hpp"
+
+namespace dg::routing {
+
+struct TargetedGraphs {
+  graph::DisseminationGraph twoDisjoint;        ///< default (no problem)
+  graph::DisseminationGraph sourceProblem;
+  graph::DisseminationGraph destinationProblem;
+  graph::DisseminationGraph robust;
+};
+
+/// Builds all four graphs for a flow under healthy-baseline weights.
+/// `weights` are the routing weights (typically base latencies); paths
+/// added for redundancy must meet `deadline` end-to-end to be included.
+TargetedGraphs buildTargetedGraphs(const graph::Graph& overlay, Flow flow,
+                                   std::span<const util::SimTime> weights,
+                                   util::SimTime deadline,
+                                   int disjointPaths = 2);
+
+}  // namespace dg::routing

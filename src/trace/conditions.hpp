@@ -1,0 +1,35 @@
+// Per-link network conditions over one measurement interval.
+//
+// This mirrors what the paper's data collection recorded on the
+// commercial overlay: for every directed overlay link and every 10-second
+// interval, an observed loss rate and one-way latency.
+#pragma once
+
+#include <algorithm>
+
+#include "util/sim_time.hpp"
+
+namespace dg::trace {
+
+struct LinkConditions {
+  /// Probability that a single transmission on this link is lost.
+  double lossRate = 0.0;
+  /// Current one-way latency of the link (propagation + queueing).
+  util::SimTime latency = 0;
+
+  bool operator==(const LinkConditions&) const = default;
+};
+
+/// Combines two independent impairments acting on the same link: losses
+/// compose as independent Bernoulli events, latency penalties take the
+/// larger of the two (concurrent congestion does not add linearly at
+/// these magnitudes, and max keeps the model conservative).
+inline LinkConditions combineConditions(const LinkConditions& a,
+                                        const LinkConditions& b) {
+  LinkConditions out;
+  out.lossRate = 1.0 - (1.0 - a.lossRate) * (1.0 - b.lossRate);
+  out.latency = std::max(a.latency, b.latency);
+  return out;
+}
+
+}  // namespace dg::trace

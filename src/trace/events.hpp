@@ -1,0 +1,64 @@
+// Ground-truth problem events underlying a synthetic trace.
+//
+// The paper's empirical analysis of weeks of real overlay data found that
+// the problems that defeat two disjoint paths overwhelmingly cluster
+// *around a source or destination data center*, with a minority of
+// isolated mid-network link problems. The synthetic generator reproduces
+// that taxonomy; the ground-truth events are retained so that the
+// problem-classification experiment (E4) can compare the detector's
+// output against what actually happened.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/sim_time.hpp"
+
+namespace dg::trace {
+
+struct ProblemEvent {
+  /// Where the problem lives.
+  enum class Kind {
+    Node,  ///< a data-center problem affecting (some of) a node's links
+    Link,  ///< an isolated problem on one overlay link
+  };
+  /// What the problem does to affected links while active.
+  enum class Impairment {
+    Loss,     ///< packet loss at `severity`
+    Latency,  ///< latency inflated by `latencyPenalty`
+  };
+
+  Kind kind = Kind::Node;
+  Impairment impairment = Impairment::Loss;
+
+  /// Valid for Kind::Node.
+  graph::NodeId node = graph::kInvalidNode;
+  /// Valid for Kind::Link: the forward directed edge (its reverse is
+  /// affected too).
+  graph::EdgeId link = graph::kInvalidEdge;
+
+  std::size_t startInterval = 0;
+  std::size_t intervalCount = 0;
+
+  /// Loss rate on an affected link while the event is active on it.
+  double severity = 0.0;
+  /// Latency added on an affected link while active (Impairment::Latency).
+  util::SimTime latencyPenalty = 0;
+
+  /// Per-interval probability that the event is actually degrading a
+  /// given affected link ("fluttering"): real problems are intermittent,
+  /// which is what makes chasing the momentarily-best path ineffective.
+  double activity = 1.0;
+
+  /// Node events: the undirected adjacent links selected as affected
+  /// (stored as directed edge ids, both directions present). Link events:
+  /// the link and its reverse.
+  std::vector<graph::EdgeId> affectedEdges;
+
+  std::size_t endInterval() const { return startInterval + intervalCount; }
+  bool activeDuring(std::size_t interval) const {
+    return interval >= startInterval && interval < endInterval();
+  }
+};
+
+}  // namespace dg::trace

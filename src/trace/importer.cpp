@@ -1,0 +1,144 @@
+#include "trace/importer.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace dg::trace {
+
+namespace {
+
+struct Accumulator {
+  double lossSum = 0.0;
+  double latencySum = 0.0;
+  std::size_t count = 0;
+};
+
+[[noreturn]] void fail(std::size_t lineNo, const std::string& why) {
+  throw std::runtime_error("importMeasurementsCsv line " +
+                           std::to_string(lineNo) + ": " + why);
+}
+
+}  // namespace
+
+Trace importMeasurementsCsv(const Topology& topology, std::string_view csv,
+                            const ImportOptions& options) {
+  if (options.intervalLength <= 0)
+    throw std::invalid_argument("importMeasurementsCsv: bad interval");
+
+  // First pass: parse records, find the time horizon.
+  struct Record {
+    graph::EdgeId edge;
+    util::SimTime time;
+    double loss;
+    util::SimTime latency;
+  };
+  std::vector<Record> records;
+  util::SimTime horizon = 0;
+  std::size_t lineNo = 0;
+  for (const auto& rawLine : util::split(csv, '\n')) {
+    ++lineNo;
+    const std::string_view line = util::trim(rawLine);
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = util::split(line, ',');
+    if (fields.size() != 5)
+      fail(lineNo, "expected: time_s,from,to,loss_rate,latency_us");
+    double timeSeconds = 0, loss = 0;
+    std::int64_t latencyUs = 0;
+    if (!util::parseDouble(fields[0], timeSeconds))
+      fail(lineNo, "bad time");
+    if (!util::parseDouble(fields[3], loss) || loss < 0.0 || loss > 1.0)
+      fail(lineNo, "bad loss rate (must be in [0,1])");
+    if (!util::parseInt64(util::trim(fields[4]), latencyUs) || latencyUs < 0)
+      fail(lineNo, "bad latency");
+
+    const auto from = topology.byName(util::trim(fields[1]));
+    const auto to = topology.byName(util::trim(fields[2]));
+    if (!from || !to) {
+      if (options.skipUnknownSites) continue;
+      fail(lineNo, "unknown site");
+    }
+    const auto edge = topology.graph().findEdge(*from, *to);
+    if (!edge) {
+      if (options.skipUnknownSites) continue;
+      fail(lineNo, "no overlay link " + std::string(util::trim(fields[1])) +
+                       "->" + std::string(util::trim(fields[2])));
+    }
+    const auto time = static_cast<util::SimTime>(
+        std::llround(timeSeconds * 1e6));
+    if (time < options.startTime) continue;
+    records.push_back(
+        Record{*edge, time - options.startTime, loss, latencyUs});
+    horizon = std::max(horizon, time - options.startTime);
+  }
+  if (records.empty())
+    throw std::runtime_error("importMeasurementsCsv: no usable records");
+
+  const std::size_t intervals =
+      static_cast<std::size_t>(horizon / options.intervalLength) + 1;
+  Trace trace(options.intervalLength, intervals,
+              healthyBaseline(topology.graph(), options.residualLoss));
+
+  // Second pass: bucket and average.
+  std::map<std::pair<graph::EdgeId, std::size_t>, Accumulator> buckets;
+  for (const Record& record : records) {
+    const std::size_t interval = trace.intervalAt(record.time);
+    Accumulator& acc = buckets[{record.edge, interval}];
+    acc.lossSum += record.loss;
+    acc.latencySum += static_cast<double>(record.latency);
+    ++acc.count;
+  }
+  for (const auto& [key, acc] : buckets) {
+    const auto [edge, interval] = key;
+    const double n = static_cast<double>(acc.count);
+    LinkConditions conditions;
+    conditions.lossRate = acc.lossSum / n;
+    conditions.latency =
+        static_cast<util::SimTime>(std::llround(acc.latencySum / n));
+    // Only store a deviation when it differs from baseline; keeps the
+    // trace sparse for healthy measurements.
+    if (conditions == trace.baseline(edge)) continue;
+    trace.setCondition(edge, interval, conditions);
+  }
+  return trace;
+}
+
+Trace importMeasurementsCsvFile(const Topology& topology,
+                                const std::string& path,
+                                const ImportOptions& options) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("importMeasurementsCsvFile: cannot open " +
+                             path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return importMeasurementsCsv(topology, buffer.str(), options);
+}
+
+std::string exportMeasurementsCsv(const Topology& topology,
+                                  const Trace& trace) {
+  std::ostringstream out;
+  out.precision(12);  // loss rates must round-trip through the importer
+  out << "# time_s,from,to,loss_rate,latency_us\n";
+  out << "# interval_length_s=" << util::toSeconds(trace.intervalLength())
+      << " intervals=" << trace.intervalCount() << '\n';
+  for (std::size_t i = 0; i < trace.intervalCount(); ++i) {
+    for (const auto& [edge, conditions] : trace.deviationsAt(i)) {
+      const graph::Edge& e = topology.graph().edge(edge);
+      out << util::formatFixed(
+                 util::toSeconds(static_cast<util::SimTime>(i) *
+                                 trace.intervalLength()),
+                 1)
+          << ',' << topology.name(e.from) << ',' << topology.name(e.to)
+          << ',' << conditions.lossRate << ',' << conditions.latency
+          << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace dg::trace

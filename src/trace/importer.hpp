@@ -1,0 +1,57 @@
+// Importer for externally collected link measurements.
+//
+// The evaluation in this repository runs on synthetic traces, but the
+// pipeline is measurement-agnostic: anyone with real per-link probe data
+// (as the paper's authors had from their commercial overlay) can import
+// it here and replay the identical experiments. The input format is a
+// plain CSV of individual measurement records:
+//
+//     # time_s, from_site, to_site, loss_rate, latency_us
+//     0.0,  NYC, CHI, 0.0,   8991
+//     10.0, NYC, CHI, 0.02,  9120
+//     ...
+//
+// Records are bucketed into the trace's fixed intervals; multiple records
+// for the same (link, interval) are averaged; intervals without records
+// keep the link's healthy baseline (continuously probed deployments have
+// no such gaps; sparse data degrades gracefully).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "trace/topology.hpp"
+#include "trace/trace.hpp"
+
+namespace dg::trace {
+
+struct ImportOptions {
+  util::SimTime intervalLength = util::seconds(10);
+  /// Healthy residual loss assumed where no measurement exists.
+  double residualLoss = 1e-4;
+  /// Records before this time are dropped; interval 0 starts here.
+  util::SimTime startTime = 0;
+  /// Ignore records whose sites are unknown instead of failing (useful
+  /// when importing a larger mesh than the overlay models).
+  bool skipUnknownSites = false;
+};
+
+/// Parses CSV measurement text into a Trace over `topology`'s links.
+/// Throws std::runtime_error with a line number on malformed input, on
+/// unknown sites (unless skipUnknownSites), on links absent from the
+/// topology, and on out-of-range values.
+Trace importMeasurementsCsv(const Topology& topology, std::string_view csv,
+                            const ImportOptions& options = {});
+
+/// File variant of importMeasurementsCsv.
+Trace importMeasurementsCsvFile(const Topology& topology,
+                                const std::string& path,
+                                const ImportOptions& options = {});
+
+/// Exports a trace to the same CSV format (one record per deviation,
+/// plus a baseline comment header) -- round-trips with the importer for
+/// inspection and external tooling.
+std::string exportMeasurementsCsv(const Topology& topology,
+                                  const Trace& trace);
+
+}  // namespace dg::trace

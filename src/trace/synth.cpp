@@ -1,0 +1,335 @@
+#include "trace/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace dg::trace {
+
+namespace {
+
+/// Draws the number of events for a Poisson process with the given mean
+/// (inversion by sequential search; means here are small).
+std::size_t poisson(double mean, util::Rng& rng) {
+  if (mean <= 0) return 0;
+  const double limit = std::exp(-mean);
+  double product = rng.uniform();
+  std::size_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= rng.uniform();
+  }
+  return count;
+}
+
+std::size_t durationIntervals(double medianSeconds, double sigma,
+                              util::SimTime intervalLength, util::Rng& rng) {
+  const double seconds = rng.lognormalMedian(medianSeconds, sigma);
+  const double intervals =
+      seconds / util::toSeconds(intervalLength);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(
+                                      std::llround(intervals)));
+}
+
+}  // namespace
+
+void applyEvent(Trace& trace, const graph::Graph& graph,
+                const ProblemEvent& event, util::Rng& rng,
+                double boundaryActivityFactor) {
+  // Group the affected directed edges into undirected links so both
+  // directions share one activity draw per interval (a congested or
+  // failing site degrades a link in both directions at once).
+  std::vector<std::pair<graph::EdgeId, graph::EdgeId>> links;
+  std::vector<char> used(graph.edgeCount(), 0);
+  for (const graph::EdgeId e : event.affectedEdges) {
+    if (used[e]) continue;
+    used[e] = 1;
+    graph::EdgeId reverse = graph::kInvalidEdge;
+    if (const auto r = graph.reverseEdge(e); r.has_value() && !used[*r]) {
+      const bool reverseAffected =
+          std::find(event.affectedEdges.begin(), event.affectedEdges.end(),
+                    *r) != event.affectedEdges.end();
+      if (reverseAffected) {
+        reverse = *r;
+        used[*r] = 1;
+      }
+    }
+    links.emplace_back(e, reverse);
+  }
+
+  const std::size_t end =
+      std::min(event.endInterval(), trace.intervalCount());
+  for (std::size_t interval = event.startInterval; interval < end;
+       ++interval) {
+    const bool boundary =
+        interval == event.startInterval || interval + 1 == end;
+    const double activity =
+        boundary ? event.activity * boundaryActivityFactor : event.activity;
+    for (const auto& [forward, reverse] : links) {
+      if (!rng.bernoulli(activity)) continue;
+      LinkConditions impairment;
+      if (event.impairment == ProblemEvent::Impairment::Loss) {
+        impairment.lossRate = event.severity;
+        impairment.latency = trace.baseline(forward).latency;
+      } else {
+        impairment.lossRate = 0.0;
+        impairment.latency =
+            trace.baseline(forward).latency + event.latencyPenalty;
+      }
+      trace.applyImpairment(forward, interval, impairment);
+      if (reverse != graph::kInvalidEdge) {
+        LinkConditions reverseImpairment = impairment;
+        if (event.impairment == ProblemEvent::Impairment::Latency) {
+          reverseImpairment.latency =
+              trace.baseline(reverse).latency + event.latencyPenalty;
+        } else {
+          reverseImpairment.latency = trace.baseline(reverse).latency;
+        }
+        trace.applyImpairment(reverse, interval, reverseImpairment);
+      }
+    }
+  }
+}
+
+ProblemEvent makeNodeEvent(const graph::Graph& graph, graph::NodeId node,
+                           std::size_t startInterval,
+                           std::size_t intervalCount, double coverage,
+                           double activity, double severity,
+                           util::SimTime latencyPenalty, util::Rng& rng) {
+  ProblemEvent event;
+  event.kind = ProblemEvent::Kind::Node;
+  event.impairment = latencyPenalty > 0 ? ProblemEvent::Impairment::Latency
+                                        : ProblemEvent::Impairment::Loss;
+  event.node = node;
+  event.startInterval = startInterval;
+  event.intervalCount = intervalCount;
+  event.severity = severity;
+  event.latencyPenalty = latencyPenalty;
+  event.activity = activity;
+
+  // Select affected undirected links with probability `coverage` each;
+  // force at least one so the event is never a no-op.
+  std::vector<graph::EdgeId> candidates(graph.outEdges(node).begin(),
+                                        graph.outEdges(node).end());
+  for (const graph::EdgeId e : candidates) {
+    if (!rng.bernoulli(coverage)) continue;
+    event.affectedEdges.push_back(e);
+    if (const auto r = graph.reverseEdge(e)) event.affectedEdges.push_back(*r);
+  }
+  if (event.affectedEdges.empty() && !candidates.empty()) {
+    const graph::EdgeId e =
+        candidates[rng.uniformInt(candidates.size())];
+    event.affectedEdges.push_back(e);
+    if (const auto r = graph.reverseEdge(e)) event.affectedEdges.push_back(*r);
+  }
+  std::sort(event.affectedEdges.begin(), event.affectedEdges.end());
+  return event;
+}
+
+ProblemEvent makeNodeOutageEvent(const graph::Graph& graph,
+                                 graph::NodeId node,
+                                 std::size_t startInterval,
+                                 std::size_t intervalCount, int aliveLinks,
+                                 double severity,
+                                 util::SimTime latencyPenalty,
+                                 util::Rng& rng) {
+  ProblemEvent event;
+  event.kind = ProblemEvent::Kind::Node;
+  event.impairment = latencyPenalty > 0 ? ProblemEvent::Impairment::Latency
+                                        : ProblemEvent::Impairment::Loss;
+  event.node = node;
+  event.startInterval = startInterval;
+  event.intervalCount = intervalCount;
+  event.severity = severity;
+  event.latencyPenalty = latencyPenalty;
+  event.activity = 1.0;
+
+  // Spare `aliveLinks` random undirected links; affect all others.
+  std::vector<graph::EdgeId> links(graph.outEdges(node).begin(),
+                                   graph.outEdges(node).end());
+  // Fisher-Yates partial shuffle: the first `spared` entries survive.
+  const std::size_t spared = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(0, aliveLinks)),
+      links.empty() ? 0 : links.size() - 1);
+  for (std::size_t i = 0; i < spared; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniformInt(links.size() - i));
+    std::swap(links[i], links[j]);
+  }
+  for (std::size_t i = spared; i < links.size(); ++i) {
+    event.affectedEdges.push_back(links[i]);
+    if (const auto r = graph.reverseEdge(links[i]))
+      event.affectedEdges.push_back(*r);
+  }
+  std::sort(event.affectedEdges.begin(), event.affectedEdges.end());
+  return event;
+}
+
+ProblemEvent makeLinkEvent(const graph::Graph& graph, graph::EdgeId edge,
+                           std::size_t startInterval,
+                           std::size_t intervalCount, double activity,
+                           double severity, util::SimTime latencyPenalty) {
+  ProblemEvent event;
+  event.kind = ProblemEvent::Kind::Link;
+  event.impairment = latencyPenalty > 0 ? ProblemEvent::Impairment::Latency
+                                        : ProblemEvent::Impairment::Loss;
+  event.link = edge;
+  event.startInterval = startInterval;
+  event.intervalCount = intervalCount;
+  event.severity = severity;
+  event.latencyPenalty = latencyPenalty;
+  event.activity = activity;
+  event.affectedEdges.push_back(edge);
+  if (const auto r = graph.reverseEdge(edge))
+    event.affectedEdges.push_back(*r);
+  std::sort(event.affectedEdges.begin(), event.affectedEdges.end());
+  return event;
+}
+
+SyntheticTrace generateSyntheticTrace(const graph::Graph& graph,
+                                      const GeneratorParams& params) {
+  if (params.duration <= 0 || params.intervalLength <= 0)
+    throw std::invalid_argument("generateSyntheticTrace: bad durations");
+  const auto intervalCount = static_cast<std::size_t>(
+      params.duration / params.intervalLength);
+  if (intervalCount == 0)
+    throw std::invalid_argument(
+        "generateSyntheticTrace: duration shorter than one interval");
+
+  util::Rng master(params.seed);
+  util::Rng placementRng = master.fork();
+  util::Rng shapeRng = master.fork();
+  util::Rng activityRng = master.fork();
+  util::Rng blipRng = master.fork();
+
+  SyntheticTrace result{
+      Trace(params.intervalLength, intervalCount,
+            healthyBaseline(graph, params.residualLoss)),
+      {}};
+
+  const double durationDays =
+      util::toSeconds(params.duration) / 86'400.0;
+
+  // --- Node (data-center) events -------------------------------------
+  // Placement weights: degree^-exponent (edge sites over core POPs).
+  std::vector<double> nodeWeights(graph.nodeCount(), 1.0);
+  if (params.nodePlacementDegreeExponent != 0.0) {
+    for (graph::NodeId n = 0; n < graph.nodeCount(); ++n) {
+      const double degree =
+          std::max<double>(1.0, static_cast<double>(graph.outDegree(n)));
+      nodeWeights[n] =
+          std::pow(degree, -params.nodePlacementDegreeExponent);
+    }
+  }
+  const std::size_t nodeEvents =
+      poisson(params.nodeEventsPerDay * durationDays, placementRng);
+  for (std::size_t i = 0; i < nodeEvents; ++i) {
+    const auto node =
+        static_cast<graph::NodeId>(placementRng.weightedIndex(nodeWeights));
+    const std::size_t start = static_cast<std::size_t>(
+        placementRng.uniformInt(intervalCount));
+    const std::size_t length = durationIntervals(
+        params.nodeEventMedianSeconds, params.nodeEventSigma,
+        params.intervalLength, shapeRng);
+
+    const bool blackout = shapeRng.bernoulli(params.nodeBlackoutProb);
+    if (blackout) {
+      // Hard full-site outage: nothing survives.
+      result.events.push_back(makeNodeEvent(graph, node, start, length,
+                                            /*coverage=*/1.0,
+                                            /*activity=*/1.0,
+                                            /*severity=*/1.0, 0, shapeRng));
+    } else if (shapeRng.bernoulli(params.nodePartialOutageProb)) {
+      // Partial outage: all links dark except a surviving few.
+      const int alive = static_cast<int>(shapeRng.uniformInt(
+          params.outageAliveLinksMin, params.outageAliveLinksMax));
+      double severity = 1.0;
+      util::SimTime latencyPenalty = 0;
+      if (shapeRng.bernoulli(params.latencyEventProb)) {
+        severity = 0.0;
+        latencyPenalty = static_cast<util::SimTime>(shapeRng.uniform(
+            static_cast<double>(params.latencyPenaltyMin),
+            static_cast<double>(params.latencyPenaltyMax)));
+      }
+      result.events.push_back(makeNodeOutageEvent(graph, node, start, length,
+                                                  alive, severity,
+                                                  latencyPenalty, shapeRng));
+    } else {
+      // Site degradation: every link impaired, moderately, possibly
+      // intermittently.
+      const double activity =
+          shapeRng.bernoulli(params.nodeSteadyProb)
+              ? 1.0
+              : shapeRng.uniform(params.nodeFlutterActivityMin,
+                                 params.nodeFlutterActivityMax);
+      const double severity =
+          shapeRng.uniform(params.lossSeverityMin, params.lossSeverityMax);
+      result.events.push_back(makeNodeEvent(graph, node, start, length,
+                                            /*coverage=*/1.0, activity,
+                                            severity, 0, shapeRng));
+    }
+  }
+
+  // --- Isolated link events -------------------------------------------
+  const std::size_t linkEvents =
+      poisson(params.linkEventsPerDay * durationDays, placementRng);
+  for (std::size_t i = 0; i < linkEvents; ++i) {
+    const auto edge = static_cast<graph::EdgeId>(
+        placementRng.uniformInt(graph.edgeCount()));
+    const std::size_t start = static_cast<std::size_t>(
+        placementRng.uniformInt(intervalCount));
+    const std::size_t length = durationIntervals(
+        params.linkEventMedianSeconds, params.linkEventSigma,
+        params.intervalLength, shapeRng);
+    const double activity =
+        shapeRng.uniform(params.linkActivityMin, params.linkActivityMax);
+    double severity = 0.0;
+    util::SimTime latencyPenalty = 0;
+    if (shapeRng.bernoulli(params.latencyEventProb)) {
+      latencyPenalty = static_cast<util::SimTime>(shapeRng.uniform(
+          static_cast<double>(params.latencyPenaltyMin),
+          static_cast<double>(params.latencyPenaltyMax)));
+    } else {
+      severity =
+          shapeRng.uniform(params.lossSeverityMin, params.lossSeverityMax);
+    }
+    result.events.push_back(
+        makeLinkEvent(graph, edge, start, length, activity, severity,
+                      latencyPenalty));
+  }
+
+  std::sort(result.events.begin(), result.events.end(),
+            [](const ProblemEvent& a, const ProblemEvent& b) {
+              if (a.startInterval != b.startInterval)
+                return a.startInterval < b.startInterval;
+              return a.intervalCount < b.intervalCount;
+            });
+  for (const ProblemEvent& event : result.events) {
+    applyEvent(result.trace, graph, event, activityRng,
+               params.boundaryActivityFactor);
+  }
+
+  // --- Benign single-interval blips ------------------------------------
+  // Applied after events; they combine multiplicatively where they overlap.
+  const double blipMean = params.blipsPerLinkPerDay * durationDays;
+  for (graph::EdgeId e = 0; e < graph.edgeCount(); ++e) {
+    const std::size_t blips = poisson(blipMean, blipRng);
+    for (std::size_t i = 0; i < blips; ++i) {
+      const std::size_t interval = static_cast<std::size_t>(
+          blipRng.uniformInt(intervalCount));
+      LinkConditions impairment;
+      impairment.lossRate =
+          blipRng.uniform(params.blipLossMin, params.blipLossMax);
+      impairment.latency = result.trace.baseline(e).latency;
+      result.trace.applyImpairment(e, interval, impairment);
+    }
+  }
+
+  DG_LOG(Info) << "synthetic trace: " << intervalCount << " intervals, "
+               << result.events.size() << " events";
+  return result;
+}
+
+}  // namespace dg::trace

@@ -1,0 +1,157 @@
+// Synthetic network-condition trace generator.
+//
+// Substitutes for the proprietary multi-week measurements of the
+// commercial overlay used in the paper. The generator is calibrated to
+// the problem taxonomy the paper reports from that data:
+//   - most serious problems are *data-center local*: site degradations
+//     (all links moderately lossy, steadily or intermittently) and
+//     partial outages (all links but one or two completely dark),
+//     concentrated at edge sites rather than core transit POPs;
+//   - a minority are isolated middle-link problems;
+//   - durations are heavy-tailed (tens of seconds to many minutes) and
+//     events rarely align with measurement-interval boundaries;
+//   - a few events are full-site blackouts (unavoidable by any scheme)
+//     or latency inflations that push links past the deadline.
+// The default parameters were calibrated (see EXPERIMENTS.md) so that
+// the schemes' relative behaviour reproduces the paper's headline
+// gap-coverage structure. Everything is derived deterministically from
+// one seed.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/events.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace dg::trace {
+
+struct GeneratorParams {
+  std::uint64_t seed = 1;
+  util::SimTime duration = util::days(28);
+  util::SimTime intervalLength = util::seconds(10);
+
+  /// Healthy residual loss on every link.
+  double residualLoss = 1e-4;
+
+  /// Expected number of events per day across the whole network.
+  double nodeEventsPerDay = 6.0;
+  double linkEventsPerDay = 0.5;
+  /// Short benign single-interval loss blips, per link per day.
+  double blipsPerLinkPerDay = 2.0;
+
+  /// Event durations: lognormal(median, sigma of underlying normal), in
+  /// seconds, clamped to at least one interval.
+  double nodeEventMedianSeconds = 480.0;
+  double nodeEventSigma = 0.8;
+  double linkEventMedianSeconds = 300.0;
+  double linkEventSigma = 1.2;
+
+  /// Node events come in two empirically-motivated classes.
+  ///
+  /// (1) *Site degradation*: something at the data center (uplink
+  /// congestion, router stress) degrades ALL of its overlay links with a
+  /// moderate loss rate. No reroute escapes it -- every path out of the
+  /// site is impaired -- but redundancy width mitigates it: each extra
+  /// simultaneously-used link multiplies another (loss^2) recovery-
+  /// residual factor into the miss probability.
+  ///
+  /// (2) *Partial outage*: the site loses all but a handful of its
+  /// links -- they go completely dark (hard loss, or latency beyond any
+  /// deadline). Think "all uplinks but one provider failed". Adaptive
+  /// schemes escape via the surviving links after one monitoring
+  /// interval; static schemes whose fixed links are down stay down.
+  ///
+  /// Fraction of node events that are partial outages:
+  double nodePartialOutageProb = 0.3;
+  /// Number of undirected links that survive a partial outage (uniform
+  /// in [min, max], clamped below the node's degree).
+  int outageAliveLinksMin = 1;
+  int outageAliveLinksMax = 1;
+
+  /// Class 1 (site degradation) -- loss severity while active:
+  double lossSeverityMin = 0.8;
+  double lossSeverityMax = 0.95;
+  /// Fraction of degradation events that are *steady* (continuously
+  /// degraded; adaptive schemes at least know what they are dealing
+  /// with). The rest are *fluttering*: each link is degraded only
+  /// intermittently, which defeats reroute-chasing but not broad
+  /// redundancy.
+  double nodeSteadyProb = 0.9;
+  /// Per-interval activity of fluttering degradation events.
+  double nodeFlutterActivityMin = 0.35;
+  double nodeFlutterActivityMax = 0.6;
+
+  /// Fraction of node events that are hard full-site outages (all links,
+  /// 100% loss). These defeat every scheme including flooding.
+  double nodeBlackoutProb = 0.02;
+  /// Node-event placement weight is degree^-exponent: poorly connected
+  /// edge sites suffer proportionally more problems than core transit
+  /// POPs, reproducing the paper's finding that serious problems cluster
+  /// around flow endpoints. 0 = uniform.
+  double nodePlacementDegreeExponent = 4.0;
+
+  /// Link events: steadier activity.
+  double linkActivityMin = 0.7;
+  double linkActivityMax = 1.0;
+
+  /// Events rarely start or stop exactly on a 10-second measurement
+  /// boundary; the first and last interval of an event carry this
+  /// fraction of its activity (partial-interval aggregation).
+  double boundaryActivityFactor = 0.5;
+  /// Fraction of (non-blackout) events that inflate latency instead of
+  /// dropping packets.
+  double latencyEventProb = 0.25;
+  util::SimTime latencyPenaltyMin = util::milliseconds(30);
+  util::SimTime latencyPenaltyMax = util::milliseconds(200);
+
+  /// Benign blips: loss range.
+  double blipLossMin = 0.005;
+  double blipLossMax = 0.05;
+};
+
+struct SyntheticTrace {
+  Trace trace;
+  std::vector<ProblemEvent> events;  ///< ground truth, start-sorted
+};
+
+/// Materializes `event` into `trace`: for every interval of the event and
+/// every affected undirected link, with probability `event.activity` the
+/// link (both directions) is impaired during that interval (scaled by
+/// `boundaryActivityFactor` in the event's first and last interval).
+/// `rng` drives the activity sampling only (the event itself is already
+/// resolved).
+void applyEvent(Trace& trace, const graph::Graph& graph,
+                const ProblemEvent& event, util::Rng& rng,
+                double boundaryActivityFactor = 1.0);
+
+/// Builds a fully-resolved node event (selects affected links with the
+/// given per-link coverage probability; at least one link is selected).
+ProblemEvent makeNodeEvent(const graph::Graph& graph, graph::NodeId node,
+                           std::size_t startInterval,
+                           std::size_t intervalCount, double coverage,
+                           double activity, double severity,
+                           util::SimTime latencyPenalty, util::Rng& rng);
+
+/// Builds a partial-outage node event: all of the node's undirected links
+/// except `aliveLinks` randomly-spared ones are affected (at least one
+/// link is always affected).
+ProblemEvent makeNodeOutageEvent(const graph::Graph& graph,
+                                 graph::NodeId node,
+                                 std::size_t startInterval,
+                                 std::size_t intervalCount, int aliveLinks,
+                                 double severity,
+                                 util::SimTime latencyPenalty,
+                                 util::Rng& rng);
+
+/// Builds a fully-resolved link event (the edge and its reverse).
+ProblemEvent makeLinkEvent(const graph::Graph& graph, graph::EdgeId edge,
+                           std::size_t startInterval,
+                           std::size_t intervalCount, double activity,
+                           double severity, util::SimTime latencyPenalty);
+
+/// Generates a trace plus its ground-truth event log.
+SyntheticTrace generateSyntheticTrace(const graph::Graph& graph,
+                                      const GeneratorParams& params);
+
+}  // namespace dg::trace

@@ -1,0 +1,230 @@
+#include "trace/topology.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace dg::trace {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kFiberKmPerSecond = 200'000.0;  // ~2/3 c
+}  // namespace
+
+double haversineKm(double lat1Deg, double lon1Deg, double lat2Deg,
+                   double lon2Deg) {
+  const auto rad = [](double deg) { return deg * std::numbers::pi / 180.0; };
+  const double dLat = rad(lat2Deg - lat1Deg);
+  const double dLon = rad(lon2Deg - lon1Deg);
+  const double a = std::sin(dLat / 2) * std::sin(dLat / 2) +
+                   std::cos(rad(lat1Deg)) * std::cos(rad(lat2Deg)) *
+                       std::sin(dLon / 2) * std::sin(dLon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(a)));
+}
+
+util::SimTime fiberLatency(double km, double inflation) {
+  const double seconds = km * inflation / kFiberKmPerSecond;
+  return static_cast<util::SimTime>(std::llround(seconds * 1e6));
+}
+
+graph::NodeId Topology::addSite(Site site) {
+  if (byName_.count(site.name) > 0)
+    throw std::invalid_argument("Topology: duplicate site " + site.name);
+  const graph::NodeId id = graph_.addNode();
+  byName_[site.name] = id;
+  sites_.push_back(std::move(site));
+  return id;
+}
+
+graph::EdgeId Topology::connect(std::string_view a, std::string_view b) {
+  const graph::NodeId na = at(a);
+  const graph::NodeId nb = at(b);
+  const double km =
+      haversineKm(sites_[na].latitudeDeg, sites_[na].longitudeDeg,
+                  sites_[nb].latitudeDeg, sites_[nb].longitudeDeg);
+  return graph_.addBidirectional(na, nb, fiberLatency(km));
+}
+
+graph::EdgeId Topology::connectWithLatency(std::string_view a,
+                                           std::string_view b,
+                                           util::SimTime latency) {
+  return graph_.addBidirectional(at(a), at(b), latency);
+}
+
+std::optional<graph::NodeId> Topology::byName(std::string_view name) const {
+  const auto it = byName_.find(std::string(name));
+  if (it == byName_.end()) return std::nullopt;
+  return it->second;
+}
+
+graph::NodeId Topology::at(std::string_view name) const {
+  const auto id = byName(name);
+  if (!id) throw std::out_of_range("Topology: unknown site " +
+                                   std::string(name));
+  return *id;
+}
+
+std::string Topology::edgeName(graph::EdgeId id) const {
+  const graph::Edge& e = graph_.edge(id);
+  return sites_[e.from].name + "->" + sites_[e.to].name;
+}
+
+Topology Topology::ltn12() {
+  Topology t;
+  // Ten US sites plus London and Frankfurt -- a 12-data-center global
+  // overlay in the mould of the commercial network the paper measured.
+  t.addSite({"NYC", 40.71, -74.01});
+  t.addSite({"JHU", 39.33, -76.62});  // Baltimore (Johns Hopkins)
+  t.addSite({"WAS", 38.91, -77.04});
+  t.addSite({"ATL", 33.75, -84.39});
+  t.addSite({"CHI", 41.88, -87.63});
+  t.addSite({"DFW", 32.78, -96.80});
+  t.addSite({"DEN", 39.74, -104.99});
+  t.addSite({"LAX", 34.05, -118.24});
+  t.addSite({"SJC", 37.34, -121.89});
+  t.addSite({"SEA", 47.61, -122.33});
+  t.addSite({"LON", 51.51, -0.13});
+  t.addSite({"FRA", 50.11, 8.68});
+
+  // 32 undirected links = 64 directed overlay edges.
+  // East-coast mesh.
+  t.connect("NYC", "JHU");
+  t.connect("NYC", "WAS");
+  t.connect("JHU", "WAS");
+  t.connect("NYC", "ATL");
+  t.connect("JHU", "ATL");
+  t.connect("WAS", "ATL");
+  // East <-> middle.
+  t.connect("NYC", "CHI");
+  t.connect("JHU", "CHI");
+  t.connect("WAS", "CHI");
+  t.connect("ATL", "CHI");
+  t.connect("ATL", "DFW");
+  t.connect("ATL", "DEN");
+  // Middle mesh.
+  t.connect("CHI", "DEN");
+  t.connect("CHI", "DFW");
+  t.connect("DFW", "DEN");
+  t.connect("CHI", "SEA");
+  // West-coast mesh.
+  t.connect("DEN", "SEA");
+  t.connect("DEN", "SJC");
+  t.connect("DEN", "LAX");
+  t.connect("DFW", "LAX");
+  t.connect("DFW", "SJC");
+  t.connect("LAX", "SJC");
+  t.connect("SJC", "SEA");
+  t.connect("LAX", "SEA");
+  // Southern transcontinental shortcut.
+  t.connect("ATL", "LAX");
+  // Transatlantic and Europe.
+  t.connect("NYC", "LON");
+  t.connect("WAS", "LON");
+  t.connect("JHU", "LON");
+  t.connect("NYC", "FRA");
+  t.connect("WAS", "FRA");
+  t.connect("LON", "FRA");
+  t.connect("CHI", "LON");
+  return t;
+}
+
+Topology Topology::abilene11() {
+  Topology t;
+  t.addSite({"SEA", 47.61, -122.33});
+  t.addSite({"SNV", 37.37, -122.04});  // Sunnyvale
+  t.addSite({"LAX", 34.05, -118.24});
+  t.addSite({"DEN", 39.74, -104.99});
+  t.addSite({"KSC", 39.10, -94.58});   // Kansas City
+  t.addSite({"HOU", 29.76, -95.37});
+  t.addSite({"CHI", 41.88, -87.63});
+  t.addSite({"IPL", 39.77, -86.16});   // Indianapolis
+  t.addSite({"ATL", 33.75, -84.39});
+  t.addSite({"WDC", 38.91, -77.04});
+  t.addSite({"NYC", 40.71, -74.01});
+
+  // The 14 Abilene backbone links.
+  t.connect("SEA", "SNV");
+  t.connect("SEA", "DEN");
+  t.connect("SNV", "LAX");
+  t.connect("SNV", "DEN");
+  t.connect("LAX", "HOU");
+  t.connect("DEN", "KSC");
+  t.connect("KSC", "HOU");
+  t.connect("KSC", "IPL");
+  t.connect("HOU", "ATL");
+  t.connect("IPL", "CHI");
+  t.connect("IPL", "ATL");
+  t.connect("CHI", "NYC");
+  t.connect("ATL", "WDC");
+  t.connect("NYC", "WDC");
+  return t;
+}
+
+Topology Topology::fromString(std::string_view text) {
+  Topology t;
+  std::size_t lineNo = 0;
+  for (const auto& rawLine : util::split(text, '\n')) {
+    ++lineNo;
+    const std::string_view line = util::trim(rawLine);
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = util::splitWhitespace(line);
+    const auto fail = [&](const std::string& why) {
+      throw std::runtime_error("Topology line " + std::to_string(lineNo) +
+                               ": " + why);
+    };
+    if (fields[0] == "site") {
+      if (fields.size() != 4) fail("expected: site NAME LAT LON");
+      double lat = 0, lon = 0;
+      if (!util::parseDouble(fields[2], lat) ||
+          !util::parseDouble(fields[3], lon))
+        fail("bad coordinates");
+      t.addSite({fields[1], lat, lon});
+    } else if (fields[0] == "link") {
+      if (fields.size() != 3 && fields.size() != 4)
+        fail("expected: link A B [LATENCY_US]");
+      if (!t.byName(fields[1]) || !t.byName(fields[2]))
+        fail("unknown site in link");
+      if (fields.size() == 4) {
+        std::int64_t latency = 0;
+        if (!util::parseInt64(fields[3], latency) || latency < 0)
+          fail("bad latency");
+        t.connectWithLatency(fields[1], fields[2], latency);
+      } else {
+        t.connect(fields[1], fields[2]);
+      }
+    } else {
+      fail("unknown directive " + fields[0]);
+    }
+  }
+  return t;
+}
+
+Topology Topology::fromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Topology: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return fromString(buffer.str());
+}
+
+std::string Topology::toString() const {
+  std::ostringstream out;
+  for (const Site& s : sites_) {
+    out << "site " << s.name << ' ' << s.latitudeDeg << ' ' << s.longitudeDeg
+        << '\n';
+  }
+  // Emit each undirected pair once (forward edge only, assuming the
+  // addBidirectional forward/backward adjacency produced by this class).
+  for (graph::EdgeId id = 0; id < graph_.edgeCount(); id += 2) {
+    const graph::Edge& e = graph_.edge(id);
+    out << "link " << sites_[e.from].name << ' ' << sites_[e.to].name << ' '
+        << e.latency << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dg::trace

@@ -1,0 +1,87 @@
+// Overlay topology: named geographic sites plus the directed overlay
+// graph connecting them, with propagation latencies derived from
+// great-circle distances over fiber.
+//
+// The builtin `ltn12()` topology is a synthetic stand-in for the 12-data-
+// center commercial overlay the paper evaluated on (proprietary): same
+// node count, same 64-directed-edge scale, and comparable transcontinental
+// latency structure, so the paper's 65 ms one-way budget is binding for
+// cross-US flows exactly as in the original evaluation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/sim_time.hpp"
+
+namespace dg::trace {
+
+/// A data-center site hosting one overlay node.
+struct Site {
+  std::string name;      ///< short code, e.g. "NYC"
+  double latitudeDeg = 0.0;
+  double longitudeDeg = 0.0;
+};
+
+/// Great-circle distance between two coordinates, in kilometres.
+double haversineKm(double lat1Deg, double lon1Deg, double lat2Deg,
+                   double lon2Deg);
+
+/// One-way propagation latency of a fiber route covering `km`
+/// great-circle kilometres: light in fiber travels ~200,000 km/s and real
+/// routes are longer than great circles by `inflation` (default 1.4).
+util::SimTime fiberLatency(double km, double inflation = 1.4);
+
+class Topology {
+ public:
+  /// Adds a site; names must be unique. Returns the overlay node id.
+  graph::NodeId addSite(Site site);
+
+  /// Connects two sites bidirectionally with geo-derived latency.
+  /// Returns the forward edge id (backward is forward + 1).
+  graph::EdgeId connect(std::string_view a, std::string_view b);
+
+  /// Connects two sites bidirectionally with an explicit latency.
+  graph::EdgeId connectWithLatency(std::string_view a, std::string_view b,
+                                   util::SimTime latency);
+
+  const graph::Graph& graph() const { return graph_; }
+  std::size_t siteCount() const { return sites_.size(); }
+  const Site& site(graph::NodeId id) const { return sites_[id]; }
+  const std::string& name(graph::NodeId id) const { return sites_[id].name; }
+  std::optional<graph::NodeId> byName(std::string_view name) const;
+  /// byName or throws std::out_of_range with the name in the message.
+  graph::NodeId at(std::string_view name) const;
+
+  /// Human-readable edge description "NYC->CHI".
+  std::string edgeName(graph::EdgeId id) const;
+
+  /// The LTN-like builtin: 12 sites (10 US, 2 EU), 32 undirected /
+  /// 64 directed links.
+  static Topology ltn12();
+
+  /// The classic Internet2 Abilene backbone: 11 US sites, 14 undirected
+  /// links. Much sparser than ltn12 (several flows have only one or two
+  /// node-disjoint paths), useful for studying the schemes when
+  /// redundancy is scarce and for testing on a second real-world shape.
+  static Topology abilene11();
+
+  /// Parses the text format produced by toString():
+  ///   site NAME LAT LON
+  ///   link NAME_A NAME_B [LATENCY_US]
+  /// '#' starts a comment. Throws std::runtime_error on malformed input.
+  static Topology fromString(std::string_view text);
+  static Topology fromFile(const std::string& path);
+  std::string toString() const;
+
+ private:
+  graph::Graph graph_;
+  std::vector<Site> sites_;
+  std::unordered_map<std::string, graph::NodeId> byName_;
+};
+
+}  // namespace dg::trace

@@ -1,0 +1,176 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace dg::trace {
+
+Trace::Trace(util::SimTime intervalLength, std::size_t intervalCount,
+             std::vector<LinkConditions> baseline)
+    : intervalLength_(intervalLength),
+      baseline_(std::move(baseline)),
+      intervals_(intervalCount) {
+  if (intervalLength <= 0)
+    throw std::invalid_argument("Trace: interval length must be positive");
+}
+
+std::size_t Trace::intervalAt(util::SimTime t) const {
+  if (t < 0) return 0;
+  const auto idx = static_cast<std::size_t>(t / intervalLength_);
+  return std::min(idx, intervals_.size() - 1);
+}
+
+void Trace::setCondition(graph::EdgeId edge, std::size_t interval,
+                         LinkConditions conditions) {
+  auto& devs = intervals_[interval];
+  const auto it = std::lower_bound(
+      devs.begin(), devs.end(), edge,
+      [](const auto& pair, graph::EdgeId id) { return pair.first < id; });
+  if (it != devs.end() && it->first == edge) {
+    it->second = conditions;
+  } else {
+    devs.insert(it, {edge, conditions});
+  }
+}
+
+void Trace::applyImpairment(graph::EdgeId edge, std::size_t interval,
+                            const LinkConditions& impairment) {
+  // The impairment is combined with the *current* condition: latency
+  // penalties are expressed as absolute link latency, loss multiplies in.
+  const LinkConditions current = at(edge, interval);
+  setCondition(edge, interval, combineConditions(current, impairment));
+}
+
+const LinkConditions& Trace::at(graph::EdgeId edge,
+                                std::size_t interval) const {
+  const auto& devs = intervals_[interval];
+  const auto it = std::lower_bound(
+      devs.begin(), devs.end(), edge,
+      [](const auto& pair, graph::EdgeId id) { return pair.first < id; });
+  if (it != devs.end() && it->first == edge) return it->second;
+  return baseline_[edge];
+}
+
+std::vector<util::SimTime> Trace::latenciesAt(std::size_t interval) const {
+  std::vector<util::SimTime> out;
+  out.reserve(baseline_.size());
+  for (const LinkConditions& c : baseline_) out.push_back(c.latency);
+  for (const auto& [edge, conditions] : intervals_[interval])
+    out[edge] = conditions.latency;
+  return out;
+}
+
+std::vector<double> Trace::lossRatesAt(std::size_t interval) const {
+  std::vector<double> out;
+  out.reserve(baseline_.size());
+  for (const LinkConditions& c : baseline_) out.push_back(c.lossRate);
+  for (const auto& [edge, conditions] : intervals_[interval])
+    out[edge] = conditions.lossRate;
+  return out;
+}
+
+std::string Trace::toString() const {
+  std::ostringstream out;
+  out << "trace " << intervalLength_ << ' ' << intervals_.size() << ' '
+      << baseline_.size() << '\n';
+  for (std::size_t e = 0; e < baseline_.size(); ++e) {
+    out << "base " << e << ' ' << baseline_[e].lossRate << ' '
+        << baseline_[e].latency << '\n';
+  }
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    for (const auto& [edge, c] : intervals_[i]) {
+      out << "dev " << i << ' ' << edge << ' ' << c.lossRate << ' '
+          << c.latency << '\n';
+    }
+  }
+  return out.str();
+}
+
+Trace Trace::fromString(std::string_view text) {
+  std::optional<Trace> trace;
+  std::size_t lineNo = 0;
+  for (const auto& rawLine : util::split(text, '\n')) {
+    ++lineNo;
+    const std::string_view line = util::trim(rawLine);
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = util::splitWhitespace(line);
+    const auto fail = [&](const std::string& why) {
+      throw std::runtime_error("Trace line " + std::to_string(lineNo) + ": " +
+                               why);
+    };
+    if (fields[0] == "trace") {
+      if (trace) fail("duplicate header");
+      if (fields.size() != 4) fail("expected: trace INTERVAL COUNT EDGES");
+      std::int64_t intervalUs = 0, count = 0, edges = 0;
+      if (!util::parseInt64(fields[1], intervalUs) ||
+          !util::parseInt64(fields[2], count) ||
+          !util::parseInt64(fields[3], edges) || count <= 0 || edges <= 0)
+        fail("bad header values");
+      trace.emplace(intervalUs, static_cast<std::size_t>(count),
+                    std::vector<LinkConditions>(
+                        static_cast<std::size_t>(edges)));
+    } else if (fields[0] == "base") {
+      if (!trace) fail("base before header");
+      if (fields.size() != 4) fail("expected: base EDGE LOSS LATENCY");
+      std::int64_t edge = 0, latency = 0;
+      double loss = 0;
+      if (!util::parseInt64(fields[1], edge) ||
+          !util::parseDouble(fields[2], loss) ||
+          !util::parseInt64(fields[3], latency) || edge < 0 ||
+          static_cast<std::size_t>(edge) >= trace->baseline_.size())
+        fail("bad base record");
+      trace->baseline_[static_cast<std::size_t>(edge)] =
+          LinkConditions{loss, latency};
+    } else if (fields[0] == "dev") {
+      if (!trace) fail("dev before header");
+      if (fields.size() != 5) fail("expected: dev INTERVAL EDGE LOSS LATENCY");
+      std::int64_t interval = 0, edge = 0, latency = 0;
+      double loss = 0;
+      if (!util::parseInt64(fields[1], interval) ||
+          !util::parseInt64(fields[2], edge) ||
+          !util::parseDouble(fields[3], loss) ||
+          !util::parseInt64(fields[4], latency) || interval < 0 ||
+          static_cast<std::size_t>(interval) >= trace->intervals_.size() ||
+          edge < 0 ||
+          static_cast<std::size_t>(edge) >= trace->baseline_.size())
+        fail("bad dev record");
+      trace->setCondition(static_cast<graph::EdgeId>(edge),
+                          static_cast<std::size_t>(interval),
+                          LinkConditions{loss, latency});
+    } else {
+      fail("unknown directive " + fields[0]);
+    }
+  }
+  if (!trace) throw std::runtime_error("Trace: missing header");
+  return std::move(*trace);
+}
+
+void Trace::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Trace: cannot write " + path);
+  out << toString();
+}
+
+Trace Trace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Trace: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return fromString(buffer.str());
+}
+
+std::vector<LinkConditions> healthyBaseline(const graph::Graph& graph,
+                                            double residualLoss) {
+  std::vector<LinkConditions> baseline;
+  baseline.reserve(graph.edgeCount());
+  for (graph::EdgeId e = 0; e < graph.edgeCount(); ++e) {
+    baseline.push_back(LinkConditions{residualLoss, graph.edge(e).latency});
+  }
+  return baseline;
+}
+
+}  // namespace dg::trace

@@ -1,0 +1,94 @@
+// A recorded (or synthesized) network-condition trace: per directed
+// overlay link, per fixed-length interval, the observed loss rate and
+// latency.
+//
+// Storage is sparse: almost all intervals on almost all links are
+// healthy, so the trace stores a per-link baseline plus per-interval
+// deviation lists. This keeps multi-week 64-link traces in a few
+// megabytes and gives the playback engine an O(1) "is anything wrong in
+// this interval?" fast path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "trace/conditions.hpp"
+#include "util/sim_time.hpp"
+
+namespace dg::trace {
+
+class Trace {
+ public:
+  /// `baseline[e]` is the healthy condition of edge e (its propagation
+  /// latency and residual loss).
+  Trace(util::SimTime intervalLength, std::size_t intervalCount,
+        std::vector<LinkConditions> baseline);
+
+  util::SimTime intervalLength() const { return intervalLength_; }
+  std::size_t intervalCount() const { return intervals_.size(); }
+  std::size_t edgeCount() const { return baseline_.size(); }
+  util::SimTime duration() const {
+    return intervalLength_ * static_cast<util::SimTime>(intervals_.size());
+  }
+
+  const LinkConditions& baseline(graph::EdgeId edge) const {
+    return baseline_[edge];
+  }
+
+  /// Interval index containing time t (clamped to the trace range).
+  std::size_t intervalAt(util::SimTime t) const;
+
+  /// Overrides an edge's condition in one interval. Overwrites any
+  /// previous override for the same (edge, interval).
+  void setCondition(graph::EdgeId edge, std::size_t interval,
+                    LinkConditions conditions);
+
+  /// Combines (see combineConditions) an impairment into the current
+  /// condition of (edge, interval); used when events overlap.
+  void applyImpairment(graph::EdgeId edge, std::size_t interval,
+                       const LinkConditions& impairment);
+
+  /// Condition of edge in interval (baseline unless overridden).
+  const LinkConditions& at(graph::EdgeId edge, std::size_t interval) const;
+
+  /// True if any edge deviates from baseline in the interval.
+  bool hasDeviation(std::size_t interval) const {
+    return !intervals_[interval].empty();
+  }
+
+  /// The deviating (edge, condition) pairs of an interval, edge-sorted.
+  std::span<const std::pair<graph::EdgeId, LinkConditions>> deviationsAt(
+      std::size_t interval) const {
+    return intervals_[interval];
+  }
+
+  /// Latency weight vector for routing at an interval (every edge).
+  std::vector<util::SimTime> latenciesAt(std::size_t interval) const;
+  /// Loss-rate vector at an interval (every edge).
+  std::vector<double> lossRatesAt(std::size_t interval) const;
+
+  /// Text serialization:
+  ///   trace INTERVAL_US INTERVAL_COUNT EDGE_COUNT
+  ///   base EDGE LOSS LATENCY_US          (one per edge)
+  ///   dev INTERVAL EDGE LOSS LATENCY_US  (one per deviation)
+  std::string toString() const;
+  static Trace fromString(std::string_view text);
+  void save(const std::string& path) const;
+  static Trace load(const std::string& path);
+
+ private:
+  util::SimTime intervalLength_;
+  std::vector<LinkConditions> baseline_;
+  std::vector<std::vector<std::pair<graph::EdgeId, LinkConditions>>>
+      intervals_;
+};
+
+/// Builds the healthy baseline for a topology graph: each edge at its
+/// propagation latency with the given residual loss rate.
+std::vector<LinkConditions> healthyBaseline(const graph::Graph& graph,
+                                            double residualLoss = 1e-4);
+
+}  // namespace dg::trace

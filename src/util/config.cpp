@@ -1,0 +1,123 @@
+#include "util/config.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace dg::util {
+
+Config Config::fromString(std::string_view text) {
+  Config config;
+  std::size_t lineNo = 0;
+  for (const auto& rawLine : split(text, '\n')) {
+    ++lineNo;
+    const std::string_view line = trim(rawLine);
+    if (line.empty() || line.front() == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::runtime_error("Config: missing '=' on line " +
+                               std::to_string(lineNo));
+    }
+    const std::string key{trim(line.substr(0, eq))};
+    const std::string value{trim(line.substr(eq + 1))};
+    if (key.empty()) {
+      throw std::runtime_error("Config: empty key on line " +
+                               std::to_string(lineNo));
+    }
+    config.values_[key] = value;
+  }
+  return config;
+}
+
+Config Config::fromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Config: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return fromString(buffer.str());
+}
+
+void Config::applyArgs(int argc, const char* const argv[],
+                       std::vector<std::string>* positional) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!startsWith(arg, "--")) {
+      if (positional != nullptr) positional->emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      values_[std::string(body)] = "true";
+    } else {
+      values_[std::string(body.substr(0, eq))] =
+          std::string(body.substr(eq + 1));
+    }
+  }
+}
+
+void Config::set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+bool Config::has(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::string Config::getString(std::string_view key,
+                              std::string_view fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::string(fallback) : it->second;
+}
+
+double Config::getDouble(std::string_view key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  double out = 0;
+  if (!parseDouble(it->second, out)) {
+    throw std::runtime_error("Config: key '" + std::string(key) +
+                             "' is not a number: " + it->second);
+  }
+  return out;
+}
+
+std::int64_t Config::getInt(std::string_view key,
+                            std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::int64_t out = 0;
+  if (!parseInt64(it->second, out)) {
+    throw std::runtime_error("Config: key '" + std::string(key) +
+                             "' is not an integer: " + it->second);
+  }
+  return out;
+}
+
+bool Config::getBool(std::string_view key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string lower = toLower(it->second);
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on")
+    return true;
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off")
+    return false;
+  throw std::runtime_error("Config: key '" + std::string(key) +
+                           "' is not a boolean: " + it->second);
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+std::string Config::toString() const {
+  std::ostringstream out;
+  for (const auto& [key, value] : values_) out << key << " = " << value << '\n';
+  return out.str();
+}
+
+}  // namespace dg::util

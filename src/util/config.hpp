@@ -1,0 +1,52 @@
+// Tiny key=value configuration store used by the benchmark/experiment
+// binaries and examples: loads `key = value` files with `#` comments, and
+// overlays `--key=value` command-line overrides, so every experiment knob
+// is scriptable without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dg::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `key = value` lines. Blank lines and lines starting with `#`
+  /// are ignored. Throws std::runtime_error with the offending line number
+  /// on malformed input.
+  static Config fromString(std::string_view text);
+
+  /// Loads a file via fromString. Throws std::runtime_error if unreadable.
+  static Config fromFile(const std::string& path);
+
+  /// Consumes `--key=value` and `--flag` arguments (flag => "true").
+  /// Non `--` arguments are returned in `positional` order.
+  void applyArgs(int argc, const char* const argv[],
+                 std::vector<std::string>* positional = nullptr);
+
+  void set(std::string key, std::string value);
+  bool has(std::string_view key) const;
+
+  /// Typed getters with defaults. Throw std::runtime_error when the key is
+  /// present but unparsable (silent fallback would hide typos in sweeps).
+  std::string getString(std::string_view key,
+                        std::string_view fallback = "") const;
+  double getDouble(std::string_view key, double fallback) const;
+  std::int64_t getInt(std::string_view key, std::int64_t fallback) const;
+  bool getBool(std::string_view key, bool fallback) const;
+
+  /// All keys, sorted; handy for echoing the effective configuration.
+  std::vector<std::string> keys() const;
+  std::string toString() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace dg::util

@@ -1,0 +1,52 @@
+#include "util/logging.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+
+namespace dg::util {
+
+std::string_view logLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "trace";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "info";
+}
+
+LogLevel parseLogLevel(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return LogLevel::Info;
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::setSink(std::ostream* sink) { sink_ = sink; }
+
+void Logger::write(LogLevel level, std::string_view file, int line,
+                   std::string_view message) {
+  if (!enabled(level)) return;
+  std::ostream& out = sink_ != nullptr ? *sink_ : std::clog;
+  // Keep only the basename of the file for compact records.
+  const auto slash = file.find_last_of('/');
+  if (slash != std::string_view::npos) file.remove_prefix(slash + 1);
+  out << '[' << logLevelName(level) << "] " << file << ':' << line << ": "
+      << message << '\n';
+}
+
+}  // namespace dg::util

@@ -1,0 +1,87 @@
+// Minimal leveled logger.
+//
+// The library is deterministic and single-threaded by design (discrete
+// event simulation), so the logger favours simplicity: a global level,
+// a stream sink, and printf-free formatting via operator<< chaining.
+//
+// Usage:
+//   DG_LOG(Info) << "link " << id << " degraded, loss=" << loss;
+//
+// Statements below the active level compile to a cheap branch.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dg::util {
+
+enum class LogLevel : int {
+  Trace = 0,
+  Debug = 1,
+  Info = 2,
+  Warn = 3,
+  Error = 4,
+  Off = 5,
+};
+
+/// Returns the canonical lowercase name of a level ("info", ...).
+std::string_view logLevelName(LogLevel level);
+
+/// Parses a level name (case-insensitive); returns Info on unknown input.
+LogLevel parseLogLevel(std::string_view name);
+
+class Logger {
+ public:
+  /// Process-wide logger instance.
+  static Logger& instance();
+
+  void setLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Redirects output (defaults to std::clog). The sink must outlive the
+  /// logger's use; pass nullptr to restore the default.
+  void setSink(std::ostream* sink);
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Writes one complete, newline-terminated record.
+  void write(LogLevel level, std::string_view file, int line,
+             std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+  std::ostream* sink_ = nullptr;
+};
+
+/// RAII line builder used by the DG_LOG macro.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::instance().write(level_, file_, line_, out_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    out_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream out_;
+};
+
+}  // namespace dg::util
+
+#define DG_LOG(level)                                                       \
+  if (!::dg::util::Logger::instance().enabled(::dg::util::LogLevel::level)) \
+    ;                                                                       \
+  else                                                                      \
+    ::dg::util::LogLine(::dg::util::LogLevel::level, __FILE__, __LINE__)

@@ -1,0 +1,42 @@
+// Simulation time representation shared by every layer of the library.
+//
+// All latencies, deadlines and timestamps are carried as integral
+// microseconds (`SimTime`).  Integral time avoids the accumulation of
+// floating-point error in long discrete-event runs and makes event
+// ordering deterministic across platforms.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dg::util {
+
+/// Absolute simulation time or a duration, in microseconds.
+using SimTime = std::int64_t;
+
+/// Sentinel for "never" / "not delivered".
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+inline constexpr SimTime microseconds(std::int64_t us) { return us; }
+inline constexpr SimTime milliseconds(std::int64_t ms) { return ms * 1000; }
+inline constexpr SimTime seconds(std::int64_t s) { return s * 1'000'000; }
+inline constexpr SimTime minutes(std::int64_t m) { return m * 60'000'000; }
+inline constexpr SimTime hours(std::int64_t h) { return h * 3'600'000'000LL; }
+inline constexpr SimTime days(std::int64_t d) { return d * 86'400'000'000LL; }
+
+/// Converts a time to fractional milliseconds (for reporting only).
+inline constexpr double toMillis(SimTime t) {
+  return static_cast<double>(t) / 1000.0;
+}
+
+/// Converts a time to fractional seconds (for reporting only).
+inline constexpr double toSeconds(SimTime t) {
+  return static_cast<double>(t) / 1'000'000.0;
+}
+
+/// Renders a duration as a compact human-readable string, e.g. "65ms",
+/// "10s", "1.5ms".  Intended for logs and reports.
+std::string formatDuration(SimTime t);
+
+}  // namespace dg::util

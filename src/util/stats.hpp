@@ -1,0 +1,103 @@
+// Streaming statistics, histograms and empirical CDFs used by the
+// metrics, playback and reporting layers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dg::util {
+
+/// Numerically stable streaming mean/variance/min/max (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples are
+/// clamped into the first/last bucket so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::size_t bucketCount() const { return counts_.size(); }
+  std::uint64_t bucketValue(std::size_t i) const { return counts_.at(i); }
+  /// Inclusive lower edge of bucket i.
+  double bucketLow(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation within the
+  /// containing bucket. Returns lo for an empty histogram.
+  double quantile(double q) const;
+
+  /// One line per non-empty bucket: "lo..hi count", for reports.
+  std::string toString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact empirical CDF built from stored samples. Suitable for the
+/// per-flow distributions in the evaluation (hundreds of points), not for
+/// per-packet data (use Histogram there).
+class EmpiricalCdf {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  std::size_t count() const { return samples_.size(); }
+
+  /// Exact quantile q in [0,1] (nearest-rank with interpolation).
+  double quantile(double q) const;
+  /// Fraction of samples <= x.
+  double fractionAtOrBelow(double x) const;
+
+  /// Evaluates the CDF at `points` evenly spaced quantiles, returning
+  /// (value, cumulative fraction) pairs for plotting.
+  std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+  const std::vector<double>& sortedSamples() const;
+
+ private:
+  void ensureSorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Weighted mean accumulator (e.g. unavailability weighted by interval
+/// packet counts).
+class WeightedMean {
+ public:
+  void add(double value, double weight);
+  double mean() const { return weight_ > 0 ? sum_ / weight_ : 0.0; }
+  double totalWeight() const { return weight_; }
+
+ private:
+  double sum_ = 0.0;
+  double weight_ = 0.0;
+};
+
+}  // namespace dg::util

@@ -1,0 +1,39 @@
+// Small string helpers shared across modules (parsing topology/trace
+// files, rendering report tables).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dg::util {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on arbitrary whitespace runs; empty fields are dropped.
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+bool startsWith(std::string_view text, std::string_view prefix);
+
+std::string toLower(std::string_view text);
+
+/// Parses helpers returning false on malformed input instead of throwing,
+/// for use in file parsers that want to report line numbers.
+bool parseDouble(std::string_view text, double& out);
+bool parseInt64(std::string_view text, std::int64_t& out);
+
+/// Formats a double with fixed precision (report tables).
+std::string formatFixed(double value, int decimals);
+
+/// Formats a fraction as a percentage string, e.g. 0.9912 -> "99.12%".
+std::string formatPercent(double fraction, int decimals = 2);
+
+/// Left-pads / right-pads to a column width with spaces.
+std::string padLeft(std::string_view text, std::size_t width);
+std::string padRight(std::string_view text, std::size_t width);
+
+}  // namespace dg::util

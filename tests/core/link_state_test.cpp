@@ -1,0 +1,162 @@
+// Distributed (Spines-like) monitoring: per-node measurement, flooded
+// link-state updates, source-stamped dissemination graphs.
+#include <gtest/gtest.h>
+
+#include "core/transport.hpp"
+#include "net/packet.hpp"
+#include "test_support.hpp"
+#include "trace/synth.hpp"
+
+namespace dg::core {
+namespace {
+
+class DistributedMode : public ::testing::Test {
+ protected:
+  DistributedMode() : topology_(trace::Topology::ltn12()) {}
+
+  trace::Trace healthyTrace(std::size_t intervals = 30) const {
+    return trace::Trace(util::seconds(10), intervals,
+                        trace::healthyBaseline(topology_.graph(), 1e-4));
+  }
+
+  TransportConfig distributedConfig() const {
+    TransportConfig config;
+    config.monitorMode = MonitorMode::Distributed;
+    return config;
+  }
+
+  trace::Topology topology_;
+};
+
+TEST(GraphMask, EncodesMemberEdges) {
+  test::Diamond d;
+  graph::DisseminationGraph dg(d.g, d.s, d.d);
+  dg.addPath({d.sa, d.ad});
+  const auto mask = net::graphMaskOf(dg);
+  EXPECT_EQ(mask, (std::uint64_t{1} << d.sa) | (std::uint64_t{1} << d.ad));
+}
+
+TEST(GraphMask, RejectsOversizedOverlays) {
+  graph::Graph g;
+  g.addNodes(34);
+  for (graph::NodeId n = 0; n + 1 < 34; ++n) g.addBidirectional(n, n + 1, 1);
+  ASSERT_GT(g.edgeCount(), 64u);
+  graph::DisseminationGraph dg(g, 0, 33);
+  EXPECT_THROW(net::graphMaskOf(dg), std::length_error);
+}
+
+TEST_F(DistributedMode, DeliversOnHealthyNetwork) {
+  const auto trace = healthyTrace();
+  TransportService service(topology_, trace, distributedConfig());
+  const auto flow = service.openFlow(
+      "NYC", "SJC", routing::SchemeKind::TargetedRedundancy);
+  service.run(util::seconds(300) - util::milliseconds(200));
+  const auto& stats = service.stats(flow);
+  EXPECT_GT(stats.sent, 25'000u);
+  EXPECT_GE(stats.onTimeRate(), 0.999);
+  // The stamped mask must be in force.
+  EXPECT_NE(service.context(flow).graphMask, 0u);
+}
+
+TEST_F(DistributedMode, LinkStateUpdatesPropagateToEveryNode) {
+  const auto trace = healthyTrace();
+  TransportService service(topology_, trace, distributedConfig());
+  service.run(util::seconds(35));
+  // After 3 decision ticks each node has accepted updates from the other
+  // 11 nodes repeatedly.
+  for (graph::NodeId n = 0; n < topology_.graph().nodeCount(); ++n) {
+    EXPECT_GE(service.node(n).linkStateUpdatesAccepted(), 22u)
+        << topology_.name(n);
+  }
+}
+
+TEST_F(DistributedMode, NodesLearnRemoteConditions) {
+  auto trace = healthyTrace(30);
+  // A persistent 40% loss on CHI->DEN from t=0.
+  const auto& g = topology_.graph();
+  const auto chiDen = g.findEdge(topology_.at("CHI"), topology_.at("DEN"));
+  for (std::size_t i = 0; i < trace.intervalCount(); ++i) {
+    trace.setCondition(*chiDen, i,
+                       trace::LinkConditions{0.4, g.edge(*chiDen).latency});
+  }
+  TransportService service(topology_, trace, distributedConfig());
+  service.run(util::seconds(25));
+  // A node far from the link (SEA) must see roughly the right loss rate
+  // through the flooded updates.
+  const auto view = service.node(topology_.at("SEA")).view();
+  EXPECT_NEAR(view.lossRate(*chiDen), 0.4, 0.15);
+  EXPECT_LT(view.lossRate(*chiDen + 1), 0.1);
+}
+
+TEST_F(DistributedMode, SilentLinkReadsAsFullLoss) {
+  auto trace = healthyTrace(30);
+  const auto& g = topology_.graph();
+  const auto nycChi = g.findEdge(topology_.at("NYC"), topology_.at("CHI"));
+  for (std::size_t i = 0; i < trace.intervalCount(); ++i) {
+    trace.setCondition(*nycChi, i,
+                       trace::LinkConditions{1.0, g.edge(*nycChi).latency});
+  }
+  TransportService service(topology_, trace, distributedConfig());
+  service.run(util::seconds(25));
+  const auto view = service.node(topology_.at("CHI")).view();
+  EXPECT_GT(view.lossRate(*nycChi), 0.95);
+}
+
+TEST_F(DistributedMode, TargetedSwitchesViaDistributedDetection) {
+  auto trace = healthyTrace(60);
+  const auto& g = topology_.graph();
+  const auto nyc = topology_.at("NYC");
+  for (std::size_t i = 5; i < 40; ++i) {
+    for (const graph::EdgeId e : g.outEdges(nyc)) {
+      trace.setCondition(e, i, trace::LinkConditions{0.6, g.edge(e).latency});
+      if (const auto r = g.reverseEdge(e))
+        trace.setCondition(*r, i,
+                           trace::LinkConditions{0.6, g.edge(*r).latency});
+    }
+  }
+  TransportService targetedService(topology_, trace, distributedConfig());
+  const auto targeted = targetedService.openFlow(
+      "NYC", "SJC", routing::SchemeKind::TargetedRedundancy);
+  targetedService.run(util::seconds(500));
+
+  TransportService staticService(topology_, trace, distributedConfig());
+  const auto twoStatic = staticService.openFlow(
+      "NYC", "SJC", routing::SchemeKind::StaticTwoDisjoint);
+  staticService.run(util::seconds(500));
+
+  EXPECT_GT(targetedService.stats(targeted).onTimeRate(),
+            staticService.stats(twoStatic).onTimeRate());
+}
+
+TEST_F(DistributedMode, ComparableToCentralizedOnHealthyNetwork) {
+  const auto trace = healthyTrace();
+  const auto run = [&](MonitorMode mode) {
+    TransportConfig config;
+    config.monitorMode = mode;
+    TransportService service(topology_, trace, config);
+    const auto flow = service.openFlow(
+        "NYC", "SJC", routing::SchemeKind::DynamicTwoDisjoint);
+    service.run(util::seconds(200));
+    return service.stats(flow).onTimeRate();
+  };
+  const double centralized = run(MonitorMode::Centralized);
+  const double distributed = run(MonitorMode::Distributed);
+  EXPECT_NEAR(centralized, distributed, 0.002);
+}
+
+TEST_F(DistributedMode, StampedForwardingMatchesGraph) {
+  // With a static single path, exactly path-length transmissions per
+  // packet (mask forwarding must not leak onto other edges). Probes and
+  // link-state traffic are excluded via the flow's own cost counter.
+  const auto trace = healthyTrace(6);
+  TransportService service(topology_, trace, distributedConfig());
+  const auto flow = service.openFlow(
+      "NYC", "SJC", routing::SchemeKind::StaticSinglePath);
+  service.run(util::seconds(50));
+  const auto& stats = service.stats(flow);
+  ASSERT_GT(stats.sent, 0u);
+  EXPECT_NEAR(stats.costPerPacket(), 3.0, 0.05);
+}
+
+}  // namespace
+}  // namespace dg::core

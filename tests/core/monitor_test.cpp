@@ -1,0 +1,94 @@
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace dg::core {
+namespace {
+
+std::vector<trace::LinkConditions> lineBaseline(const graph::Graph& g) {
+  return trace::healthyBaseline(g, 1e-4);
+}
+
+TEST(LinkMonitor, StartsAtBaseline) {
+  test::Line line;
+  const LinkMonitor monitor(line.g, lineBaseline(line.g));
+  const auto view = monitor.view();
+  EXPECT_DOUBLE_EQ(view.lossRate(line.sm), 1e-4);
+  EXPECT_EQ(view.latency(line.sm), util::milliseconds(10));
+}
+
+TEST(LinkMonitor, EstimatesLossFromCounts) {
+  test::Line line;
+  LinkMonitor monitor(line.g, lineBaseline(line.g), /*minSamples=*/8);
+  for (int i = 0; i < 100; ++i) monitor.recordTransmission(line.sm);
+  for (int i = 0; i < 80; ++i)
+    monitor.recordReception(line.sm, util::milliseconds(10));
+  monitor.rollInterval();
+  const auto view = monitor.view();
+  EXPECT_NEAR(view.lossRate(line.sm), 0.2, 1e-9);
+  EXPECT_EQ(view.latency(line.sm), util::milliseconds(10));
+}
+
+TEST(LinkMonitor, EstimatesLatencyAverage) {
+  test::Line line;
+  LinkMonitor monitor(line.g, lineBaseline(line.g));
+  for (int i = 0; i < 10; ++i) {
+    monitor.recordTransmission(line.md);
+    monitor.recordReception(
+        line.md, util::milliseconds(10) + util::milliseconds(i));
+  }
+  monitor.rollInterval();
+  // Mean of 10..19 ms = 14.5 ms.
+  EXPECT_EQ(monitor.view().latency(line.md), util::microseconds(14'500));
+}
+
+TEST(LinkMonitor, TooFewSamplesFallsBackToBaseline) {
+  test::Line line;
+  LinkMonitor monitor(line.g, lineBaseline(line.g), /*minSamples=*/8);
+  for (int i = 0; i < 5; ++i) monitor.recordTransmission(line.sm);
+  // All five lost -- but below minSamples, so baseline wins.
+  monitor.rollInterval();
+  EXPECT_DOUBLE_EQ(monitor.view().lossRate(line.sm), 1e-4);
+}
+
+TEST(LinkMonitor, TotalBlackoutKeepsBaselineLatency) {
+  test::Line line;
+  LinkMonitor monitor(line.g, lineBaseline(line.g), 4);
+  for (int i = 0; i < 20; ++i) monitor.recordTransmission(line.sm);
+  monitor.rollInterval();
+  const auto view = monitor.view();
+  EXPECT_DOUBLE_EQ(view.lossRate(line.sm), 1.0);
+  EXPECT_EQ(view.latency(line.sm), util::milliseconds(10));
+}
+
+TEST(LinkMonitor, RollResetsCounters) {
+  test::Line line;
+  LinkMonitor monitor(line.g, lineBaseline(line.g), 4);
+  for (int i = 0; i < 10; ++i) monitor.recordTransmission(line.sm);
+  monitor.rollInterval();
+  EXPECT_DOUBLE_EQ(monitor.view().lossRate(line.sm), 1.0);
+  // Next interval has no samples: back to baseline.
+  monitor.rollInterval();
+  EXPECT_DOUBLE_EQ(monitor.view().lossRate(line.sm), 1e-4);
+  EXPECT_EQ(monitor.attempts(line.sm), 0u);
+}
+
+TEST(LinkMonitor, ViewStableUntilNextRoll) {
+  test::Line line;
+  LinkMonitor monitor(line.g, lineBaseline(line.g), 4);
+  for (int i = 0; i < 10; ++i) monitor.recordTransmission(line.sm);
+  monitor.rollInterval();
+  // New measurements accumulate but do not change the view until rolled.
+  for (int i = 0; i < 10; ++i) {
+    monitor.recordTransmission(line.sm);
+    monitor.recordReception(line.sm, util::milliseconds(10));
+  }
+  EXPECT_DOUBLE_EQ(monitor.view().lossRate(line.sm), 1.0);
+  monitor.rollInterval();
+  EXPECT_DOUBLE_EQ(monitor.view().lossRate(line.sm), 0.0);
+}
+
+}  // namespace
+}  // namespace dg::core

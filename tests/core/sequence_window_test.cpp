@@ -1,0 +1,89 @@
+#include "core/sequence_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace dg::core {
+namespace {
+
+TEST(SequenceWindow, FirstInsertIsFresh) {
+  SequenceWindow window(16);
+  EXPECT_FALSE(window.contains(0));
+  EXPECT_TRUE(window.insert(0));
+  EXPECT_TRUE(window.contains(0));
+  EXPECT_FALSE(window.insert(0));
+}
+
+TEST(SequenceWindow, RejectsZeroWindow) {
+  EXPECT_THROW(SequenceWindow(0), std::invalid_argument);
+}
+
+TEST(SequenceWindow, RoundsWindowToPowerOfTwo) {
+  SequenceWindow window(100);
+  EXPECT_EQ(window.windowSize(), 128u);
+}
+
+TEST(SequenceWindow, OutOfOrderWithinWindow) {
+  SequenceWindow window(16);
+  EXPECT_TRUE(window.insert(5));
+  EXPECT_TRUE(window.insert(3));
+  EXPECT_TRUE(window.insert(4));
+  EXPECT_FALSE(window.insert(5));
+  EXPECT_FALSE(window.insert(3));
+  EXPECT_TRUE(window.insert(6));
+  EXPECT_EQ(window.frontier(), 7u);
+}
+
+TEST(SequenceWindow, AncientSequencesTreatedAsSeen) {
+  SequenceWindow window(16);
+  window.insert(100);
+  // 100 - 16 = 84 is the oldest retained; anything below is "seen".
+  EXPECT_TRUE(window.contains(50));
+  EXPECT_FALSE(window.insert(50));
+  EXPECT_TRUE(window.insert(90));
+}
+
+TEST(SequenceWindow, SlotReuseAfterWrap) {
+  SequenceWindow window(16);
+  EXPECT_TRUE(window.insert(1));
+  EXPECT_TRUE(window.insert(17));  // same slot as 1 (17 & 15 == 1)
+  // 1 is now below the window once frontier reaches 18.
+  EXPECT_TRUE(window.contains(1));
+  EXPECT_TRUE(window.contains(17));
+  EXPECT_FALSE(window.insert(17));
+}
+
+TEST(SequenceWindow, DenseStreamAllFresh) {
+  SequenceWindow window(64);
+  for (std::uint64_t seq = 0; seq < 10'000; ++seq) {
+    EXPECT_TRUE(window.insert(seq)) << seq;
+  }
+  EXPECT_EQ(window.frontier(), 10'000u);
+  EXPECT_FALSE(window.insert(9'999));
+  EXPECT_TRUE(window.contains(1));  // ancient => reported seen
+}
+
+TEST(SequenceWindow, PropertyMatchesSetOracle) {
+  // Random in-window insertions must agree exactly with a set-based
+  // oracle as long as reordering stays below the window size.
+  util::Rng rng(12345);
+  SequenceWindow window(256);
+  std::vector<bool> oracle(5000, false);
+  std::uint64_t high = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t back =
+        rng.uniformInt(std::uint64_t{200});  // reorder depth < 256
+    const std::uint64_t seq = high > back ? high - back : 0;
+    const bool fresh = window.insert(seq);
+    EXPECT_EQ(fresh, !oracle[seq]) << "seq " << seq;
+    oracle[seq] = true;
+    if (rng.bernoulli(0.7)) {
+      ++high;
+      if (high >= oracle.size()) break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dg::core

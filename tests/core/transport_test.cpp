@@ -1,0 +1,190 @@
+#include "core/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/synth.hpp"
+
+namespace dg::core {
+namespace {
+
+class TransportOnLtn : public ::testing::Test {
+ protected:
+  TransportOnLtn() : topology_(trace::Topology::ltn12()) {}
+
+  trace::Trace healthyTrace(std::size_t intervals = 30) const {
+    return trace::Trace(util::seconds(10), intervals,
+                        trace::healthyBaseline(topology_.graph(), 1e-4));
+  }
+
+  trace::Topology topology_;
+};
+
+TEST_F(TransportOnLtn, DeliversOnHealthyNetwork) {
+  const auto trace = healthyTrace();
+  TransportService service(topology_, trace);
+  const auto flow = service.openFlow(
+      "NYC", "SJC", routing::SchemeKind::TargetedRedundancy);
+  service.run(util::seconds(30));
+  service.setSending(flow, false);
+  service.run(util::seconds(1));
+  const auto& stats = service.stats(flow);
+  EXPECT_GT(stats.sent, 2500u);
+  EXPECT_GE(stats.onTimeRate(), 0.999);
+  EXPECT_EQ(stats.deliveredLate, 0u);
+  // Two disjoint paths: cost per packet is the sum of both path lengths.
+  EXPECT_GE(stats.costPerPacket(), 4.0);
+  EXPECT_LT(stats.costPerPacket(), 12.0);
+  // Latency within the deadline.
+  EXPECT_LT(stats.latencyUs.mean(), 65'000.0);
+}
+
+TEST_F(TransportOnLtn, RejectsSelfFlow) {
+  const auto trace = healthyTrace(5);
+  TransportService service(topology_, trace);
+  EXPECT_THROW(service.openFlow("NYC", "NYC",
+                                routing::SchemeKind::StaticSinglePath),
+               std::invalid_argument);
+  EXPECT_THROW(service.openFlow("NYC", "XXX",
+                                routing::SchemeKind::StaticSinglePath),
+               std::out_of_range);
+}
+
+TEST_F(TransportOnLtn, SingleVsTwoDisjointCost) {
+  const auto trace = healthyTrace();
+  TransportService service(topology_, trace);
+  const auto one =
+      service.openFlow("NYC", "SJC", routing::SchemeKind::StaticSinglePath);
+  const auto two =
+      service.openFlow("NYC", "SJC", routing::SchemeKind::StaticTwoDisjoint);
+  service.run(util::seconds(20));
+  EXPECT_GT(service.stats(two).costPerPacket(),
+            service.stats(one).costPerPacket() * 1.5);
+  EXPECT_GE(service.stats(one).onTimeRate(), 0.99);
+  EXPECT_GE(service.stats(two).onTimeRate(), 0.99);
+}
+
+TEST_F(TransportOnLtn, RecoveryMasksModerateLossWithinDeadline) {
+  auto trace = healthyTrace(60);
+  // Sustained 20% loss on every NYC link, both directions, for the whole
+  // run: single path must rely on per-hop recovery.
+  const auto& g = topology_.graph();
+  const auto nyc = topology_.at("NYC");
+  for (std::size_t i = 0; i < trace.intervalCount(); ++i) {
+    for (const graph::EdgeId e : g.outEdges(nyc)) {
+      trace.setCondition(e, i,
+                         trace::LinkConditions{0.2, g.edge(e).latency});
+      if (const auto r = g.reverseEdge(e))
+        trace.setCondition(*r, i,
+                           trace::LinkConditions{0.2, g.edge(*r).latency});
+    }
+  }
+  TransportConfig config;
+  TransportService service(topology_, trace, config);
+  const auto flow =
+      service.openFlow("NYC", "SJC", routing::SchemeKind::StaticSinglePath);
+  service.run(util::seconds(60));
+  const auto& stats = service.stats(flow);
+  // Without recovery ~20% would be lost; with one recovery per hop the
+  // on-time rate should be well above 90%.
+  EXPECT_GT(stats.onTimeRate(), 0.9);
+  EXPECT_LT(stats.onTimeRate(), 0.9999);
+  // Retransmissions cost extra.
+  EXPECT_GT(stats.costPerPacket(), 3.0);
+}
+
+TEST_F(TransportOnLtn, NoRecoveryLosesAtLinkRate) {
+  auto trace = healthyTrace(30);
+  const auto& g = topology_.graph();
+  const auto nyc = topology_.at("NYC");
+  for (std::size_t i = 0; i < trace.intervalCount(); ++i) {
+    for (const graph::EdgeId e : g.outEdges(nyc)) {
+      trace.setCondition(e, i,
+                         trace::LinkConditions{0.2, g.edge(e).latency});
+    }
+  }
+  TransportConfig config;
+  config.node.recoveryEnabled = false;
+  TransportService service(topology_, trace, config);
+  const auto flow =
+      service.openFlow("NYC", "SJC", routing::SchemeKind::StaticSinglePath);
+  service.run(util::seconds(30));
+  const auto& stats = service.stats(flow);
+  EXPECT_NEAR(stats.onTimeRate(), 0.8, 0.03);
+}
+
+TEST_F(TransportOnLtn, MonitorSeesInjectedLoss) {
+  auto trace = healthyTrace(30);
+  const auto& g = topology_.graph();
+  const auto nycChi = g.findEdge(topology_.at("NYC"), topology_.at("CHI"));
+  ASSERT_TRUE(nycChi.has_value());
+  for (std::size_t i = 0; i < trace.intervalCount(); ++i) {
+    trace.setCondition(*nycChi, i,
+                       trace::LinkConditions{0.5, g.edge(*nycChi).latency});
+  }
+  TransportService service(topology_, trace);
+  service.run(util::seconds(25));
+  const auto view = service.currentView();
+  EXPECT_NEAR(view.lossRate(*nycChi), 0.5, 0.15);
+  EXPECT_LT(view.lossRate(*nycChi + 1), 0.05);
+}
+
+TEST_F(TransportOnLtn, TargetedSchemeSwitchesUnderSourceProblem) {
+  auto trace = healthyTrace(60);
+  const auto& g = topology_.graph();
+  const auto nyc = topology_.at("NYC");
+  // Source problem from interval 5 to 40 with heavy loss on all links.
+  for (std::size_t i = 5; i < 40; ++i) {
+    for (const graph::EdgeId e : g.outEdges(nyc)) {
+      trace.setCondition(e, i,
+                         trace::LinkConditions{0.6, g.edge(e).latency});
+      if (const auto r = g.reverseEdge(e))
+        trace.setCondition(*r, i,
+                           trace::LinkConditions{0.6, g.edge(*r).latency});
+    }
+  }
+  TransportService targetedService(topology_, trace);
+  const auto targeted = targetedService.openFlow(
+      "NYC", "SJC", routing::SchemeKind::TargetedRedundancy);
+  targetedService.run(util::seconds(500));
+
+  TransportService staticService(topology_, trace);
+  const auto twoStatic = staticService.openFlow(
+      "NYC", "SJC", routing::SchemeKind::StaticTwoDisjoint);
+  staticService.run(util::seconds(500));
+
+  EXPECT_GT(targetedService.stats(targeted).onTimeRate(),
+            staticService.stats(twoStatic).onTimeRate());
+  // The targeted flow pays more while the problem is active.
+  EXPECT_GT(targetedService.stats(targeted).costPerPacket(),
+            staticService.stats(twoStatic).costPerPacket());
+}
+
+TEST_F(TransportOnLtn, SetSendingPausesAndResumes) {
+  const auto trace = healthyTrace();
+  TransportService service(topology_, trace);
+  const auto flow =
+      service.openFlow("NYC", "SJC", routing::SchemeKind::StaticSinglePath);
+  service.run(util::seconds(5));
+  const auto sentAfter5s = service.stats(flow).sent;
+  EXPECT_GT(sentAfter5s, 0u);
+  service.setSending(flow, false);
+  service.run(util::seconds(5));
+  EXPECT_EQ(service.stats(flow).sent, sentAfter5s);
+  service.setSending(flow, true);
+  service.run(util::seconds(5));
+  EXPECT_GT(service.stats(flow).sent, sentAfter5s);
+}
+
+TEST_F(TransportOnLtn, StatsAccessorsValidate) {
+  const auto trace = healthyTrace(5);
+  TransportService service(topology_, trace);
+  EXPECT_THROW(service.stats(0), std::out_of_range);
+  const auto flow =
+      service.openFlow("NYC", "SJC", routing::SchemeKind::StaticSinglePath);
+  EXPECT_NO_THROW(service.stats(flow));
+  EXPECT_EQ(service.context(flow).flow.source, topology_.at("NYC"));
+  EXPECT_EQ(service.flowContext(99), nullptr);
+}
+
+}  // namespace
+}  // namespace dg::core

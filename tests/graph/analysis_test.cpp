@@ -1,0 +1,151 @@
+#include "graph/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/disjoint_paths.hpp"
+#include "test_support.hpp"
+#include "trace/topology.hpp"
+#include "util/rng.hpp"
+
+namespace dg::graph {
+namespace {
+
+/// A barbell: two triangles joined by one bridge through a middle node.
+///   0-1-2 triangle, 3-4-5 triangle, bridge 2-3.
+struct Barbell {
+  Graph g;
+  EdgeId bridge;
+  Barbell() {
+    g.addNodes(6);
+    g.addBidirectional(0, 1, 1);
+    g.addBidirectional(1, 2, 1);
+    g.addBidirectional(0, 2, 1);
+    bridge = g.addBidirectional(2, 3, 1);
+    g.addBidirectional(3, 4, 1);
+    g.addBidirectional(4, 5, 1);
+    g.addBidirectional(3, 5, 1);
+  }
+};
+
+TEST(Analysis, BarbellArticulationAndBridge) {
+  Barbell b;
+  const auto cuts = articulationPoints(b.g);
+  EXPECT_EQ(cuts, (std::vector<NodeId>{2, 3}));
+  const auto bridgeLinks = bridges(b.g);
+  ASSERT_EQ(bridgeLinks.size(), 1u);
+  EXPECT_EQ(bridgeLinks[0], b.bridge);
+}
+
+TEST(Analysis, TriangleHasNoWeakPoints) {
+  test::Diamond d;
+  EXPECT_TRUE(articulationPoints(d.g).empty());
+  EXPECT_TRUE(bridges(d.g).empty());
+}
+
+TEST(Analysis, LineIsAllBridges) {
+  test::Line line;
+  const auto cuts = articulationPoints(line.g);
+  EXPECT_EQ(cuts, (std::vector<NodeId>{line.m}));
+  EXPECT_EQ(bridges(line.g).size(), 2u);
+}
+
+TEST(Analysis, Connectivity) {
+  test::Diamond d;
+  EXPECT_TRUE(isConnected(d.g));
+  Graph disconnected;
+  disconnected.addNodes(3);
+  disconnected.addBidirectional(0, 1, 1);
+  EXPECT_FALSE(isConnected(disconnected));
+  Graph trivial;
+  trivial.addNode();
+  EXPECT_TRUE(isConnected(trivial));
+}
+
+TEST(Analysis, Ltn12IsTwoConnected) {
+  // The evaluation overlay has no single point of failure.
+  const auto topology = trace::Topology::ltn12();
+  EXPECT_TRUE(isConnected(topology.graph()));
+  EXPECT_TRUE(articulationPoints(topology.graph()).empty());
+  EXPECT_TRUE(bridges(topology.graph()).empty());
+}
+
+TEST(Analysis, MinimumCutSizeMatchesConnectivity) {
+  test::Diamond d;
+  const auto cut = minimumEdgeCut(d.g, d.s, d.d);
+  // Diamond S->D: edge connectivity 2 (via A and via B).
+  EXPECT_EQ(cut.size(), 2u);
+  // Removing the cut must actually disconnect the flow.
+  auto weights = d.g.baseLatencies();
+  for (const EdgeId e : cut) weights[e] = util::kNever;
+  EXPECT_TRUE(
+      nodeDisjointPaths(d.g, d.s, d.d, weights, 1).paths.empty());
+}
+
+TEST(Analysis, MinimumCutOnLineIsOneEdge) {
+  test::Line line;
+  const auto cut = minimumEdgeCut(line.g, line.s, line.d);
+  EXPECT_EQ(cut.size(), 1u);
+}
+
+TEST(Analysis, MinimumCutPropertyRandomGraphs) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 15; ++trial) {
+    Graph g;
+    const std::size_t n = 6 + rng.uniformInt(std::uint64_t{5});
+    g.addNodes(n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (rng.bernoulli(0.4)) g.addBidirectional(u, v, 1);
+      }
+    }
+    const NodeId src = 0;
+    const NodeId dst = static_cast<NodeId>(n - 1);
+    const auto weights = g.baseLatencies();
+    const auto cut = minimumEdgeCut(g, src, dst);
+    // Removing the cut disconnects; by max-flow duality its size equals
+    // the number of edge-disjoint paths.
+    auto cutWeights = weights;
+    for (const EdgeId e : cut) cutWeights[e] = util::kNever;
+    EXPECT_TRUE(
+        nodeDisjointPaths(g, src, dst, cutWeights, 1).paths.empty());
+    const auto edgeDisjoint = edgeDisjointPaths(g, src, dst, weights, 16);
+    EXPECT_EQ(cut.size(), edgeDisjoint.paths.size());
+  }
+}
+
+TEST(Analysis, TimelyConnectivityRespectsDeadline) {
+  const auto topology = trace::Topology::ltn12();
+  const auto& g = topology.graph();
+  const auto weights = g.baseLatencies();
+  const auto nyc = topology.at("NYC");
+  const auto sjc = topology.at("SJC");
+  const int loose =
+      timelyDisjointConnectivity(g, nyc, sjc, weights, util::seconds(1));
+  const int tight = timelyDisjointConnectivity(g, nyc, sjc, weights,
+                                               util::milliseconds(65));
+  const int impossible = timelyDisjointConnectivity(
+      g, nyc, sjc, weights, util::milliseconds(10));
+  EXPECT_GE(loose, tight);
+  EXPECT_GE(tight, 2);  // the 2-disjoint schemes' premise
+  EXPECT_EQ(impossible, 0);
+  EXPECT_EQ(loose, maxNodeDisjointPaths(g, nyc, sjc, weights));
+}
+
+TEST(Analysis, FragilityReportShape) {
+  Barbell b;
+  const auto report = fragilityReport(b.g);
+  ASSERT_EQ(report.size(), 6u);
+  EXPECT_TRUE(report[2].articulation);
+  EXPECT_TRUE(report[3].articulation);
+  EXPECT_FALSE(report[0].articulation);
+  EXPECT_EQ(report[2].adjacentBridges, 1u);
+  EXPECT_EQ(report[3].adjacentBridges, 1u);
+  EXPECT_EQ(report[0].adjacentBridges, 0u);
+  EXPECT_EQ(report[2].degree, 3u);
+}
+
+}  // namespace
+}  // namespace dg::graph

@@ -1,0 +1,169 @@
+#include "graph/disjoint_paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_support.hpp"
+#include "trace/topology.hpp"
+#include "util/rng.hpp"
+
+namespace dg::graph {
+namespace {
+
+TEST(NodeDisjointPaths, DiamondPair) {
+  test::Diamond d;
+  const auto weights = d.g.baseLatencies();
+  const auto result = nodeDisjointPaths(d.g, d.s, d.d, weights, 2);
+  ASSERT_EQ(result.paths.size(), 2u);
+  EXPECT_TRUE(isValidPath(d.g, d.s, d.d, result.paths[0]));
+  EXPECT_TRUE(isValidPath(d.g, d.s, d.d, result.paths[1]));
+  EXPECT_FALSE(pathsShareInteriorNode(d.g, d.s, d.d, result.paths[0],
+                                      result.paths[1]));
+  // Minimum total: S-A-D (20) + S-B-D (30) = 50ms.
+  EXPECT_EQ(result.totalLatency, util::milliseconds(50));
+  // Sorted by individual latency.
+  EXPECT_EQ(result.paths[0], (Path{d.sa, d.ad}));
+}
+
+TEST(NodeDisjointPaths, OnlyOnePathOnLine) {
+  test::Line line;
+  const auto weights = line.g.baseLatencies();
+  const auto result = nodeDisjointPaths(line.g, line.s, line.d, weights, 2);
+  ASSERT_EQ(result.paths.size(), 1u);
+  EXPECT_EQ(result.totalLatency, util::milliseconds(20));
+}
+
+TEST(NodeDisjointPaths, TrapCaseNeedsJointOptimization) {
+  // The classic Suurballe trap: the shortest path uses a node that both
+  // disjoint paths would need. Greedy "shortest, then shortest-avoiding"
+  // fails; min-cost flow must re-route.
+  //   s -> a (1), a -> t (1)          (shortest path via a)
+  //   s -> b (2), b -> a (0), b -> t (4)
+  Graph g;
+  const NodeId s = g.addNode();
+  const NodeId a = g.addNode();
+  const NodeId b = g.addNode();
+  const NodeId t = g.addNode();
+  g.addEdge(s, a, 1);
+  g.addEdge(a, t, 1);
+  g.addEdge(s, b, 2);
+  g.addEdge(b, a, 0);
+  g.addEdge(b, t, 4);
+  const auto weights = g.baseLatencies();
+  const auto result = nodeDisjointPaths(g, s, t, weights, 2);
+  ASSERT_EQ(result.paths.size(), 2u);
+  EXPECT_FALSE(
+      pathsShareInteriorNode(g, s, t, result.paths[0], result.paths[1]));
+  EXPECT_EQ(result.totalLatency, 8);  // s-a-t (2) + s-b-t (6)
+}
+
+TEST(NodeDisjointPaths, RespectsExcludedEdges) {
+  test::Diamond d;
+  auto weights = d.g.baseLatencies();
+  weights[d.sa] = util::kNever;
+  const auto result = nodeDisjointPaths(d.g, d.s, d.d, weights, 2);
+  // Without S->A only one node-disjoint path remains (via B).
+  ASSERT_EQ(result.paths.size(), 1u);
+  EXPECT_EQ(result.paths[0], (Path{d.sb, d.bd}));
+}
+
+TEST(NodeDisjointPaths, SameSourceDestination) {
+  test::Diamond d;
+  const auto weights = d.g.baseLatencies();
+  EXPECT_TRUE(nodeDisjointPaths(d.g, d.s, d.s, weights, 2).paths.empty());
+  EXPECT_TRUE(nodeDisjointPaths(d.g, d.s, d.d, weights, 0).paths.empty());
+}
+
+TEST(EdgeDisjointPaths, CanShareNodes) {
+  // Two edge-disjoint paths through the same middle node:
+  // s->m (two parallel edges), m->t (two parallel edges).
+  Graph g;
+  const NodeId s = g.addNode();
+  const NodeId m = g.addNode();
+  const NodeId t = g.addNode();
+  g.addEdge(s, m, 1);
+  g.addEdge(s, m, 2);
+  g.addEdge(m, t, 1);
+  g.addEdge(m, t, 2);
+  const auto weights = g.baseLatencies();
+  EXPECT_EQ(edgeDisjointPaths(g, s, t, weights, 2).paths.size(), 2u);
+  EXPECT_EQ(nodeDisjointPaths(g, s, t, weights, 2).paths.size(), 1u);
+}
+
+TEST(MaxNodeDisjointPaths, Ltn12Connectivity) {
+  const auto topology = trace::Topology::ltn12();
+  const auto weights = topology.graph().baseLatencies();
+  // Every transcontinental pair in the evaluation has at least two
+  // node-disjoint paths (the premise of the 2-disjoint schemes).
+  const auto nyc = topology.at("NYC");
+  const auto sjc = topology.at("SJC");
+  EXPECT_GE(maxNodeDisjointPaths(topology.graph(), nyc, sjc, weights), 2);
+}
+
+// Property test: on random graphs, the number of paths found by the
+// min-cost-flow construction equals min(k, max-flow connectivity), and
+// the paths returned are valid and pairwise interior-disjoint.
+class DisjointPathsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DisjointPathsProperty, MatchesMaxFlowOracle) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 8 + rng.uniformInt(std::uint64_t{5});
+  Graph g;
+  g.addNodes(n);
+  // Random sparse bidirectional graph.
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(0.35)) {
+        g.addBidirectional(u, v,
+                           util::milliseconds(rng.uniformInt(1, 30)));
+      }
+    }
+  }
+  const auto weights = g.baseLatencies();
+  const NodeId src = 0;
+  const NodeId dst = static_cast<NodeId>(n - 1);
+  const int connectivity = maxNodeDisjointPaths(g, src, dst, weights);
+  for (const int k : {1, 2, 3}) {
+    const auto result = nodeDisjointPaths(g, src, dst, weights, k);
+    EXPECT_EQ(static_cast<int>(result.paths.size()),
+              std::min(k, connectivity));
+    std::set<NodeId> interior;
+    for (const Path& path : result.paths) {
+      ASSERT_TRUE(isValidPath(g, src, dst, path));
+      for (const NodeId node : pathNodes(g, src, path)) {
+        if (node == src || node == dst) continue;
+        EXPECT_TRUE(interior.insert(node).second)
+            << "interior node " << node << " shared between paths";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, DisjointPathsProperty,
+                         ::testing::Range(1, 21));
+
+// Property: total latency of the pair is never better than twice the
+// single shortest path, and the best single path latency lower-bounds
+// each returned path... (sanity relations).
+TEST(NodeDisjointPaths, TotalLatencyDominatesShortest) {
+  const auto topology = trace::Topology::ltn12();
+  const auto& g = topology.graph();
+  const auto weights = g.baseLatencies();
+  util::Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const NodeId src =
+        static_cast<NodeId>(rng.uniformInt(g.nodeCount()));
+    NodeId dst = static_cast<NodeId>(rng.uniformInt(g.nodeCount()));
+    if (src == dst) continue;
+    const auto pair = nodeDisjointPaths(g, src, dst, weights, 2);
+    if (pair.paths.size() < 2) continue;
+    const auto lat0 = pathLatency(g, pair.paths[0], weights);
+    const auto lat1 = pathLatency(g, pair.paths[1], weights);
+    EXPECT_LE(lat0, lat1);
+    EXPECT_EQ(pair.totalLatency, lat0 + lat1);
+  }
+}
+
+}  // namespace
+}  // namespace dg::graph

@@ -1,0 +1,103 @@
+#include "graph/flow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dg::graph {
+namespace {
+
+TEST(MaxFlow, SimpleSeriesParallel) {
+  // s -> a -> t and s -> b -> t, unit capacities: max flow 2.
+  MaxFlow flow(4);
+  flow.addArc(0, 1, 1);
+  flow.addArc(1, 3, 1);
+  flow.addArc(0, 2, 1);
+  flow.addArc(2, 3, 1);
+  EXPECT_EQ(flow.solve(0, 3), 2);
+}
+
+TEST(MaxFlow, BottleneckLimits) {
+  // s -> m (capacity 3), m -> t (capacity 1).
+  MaxFlow flow(3);
+  flow.addArc(0, 1, 3);
+  flow.addArc(1, 2, 1);
+  EXPECT_EQ(flow.solve(0, 2), 1);
+}
+
+TEST(MaxFlow, Disconnected) {
+  MaxFlow flow(2);
+  EXPECT_EQ(flow.solve(0, 1), 0);
+}
+
+TEST(MaxFlow, ClassicExample) {
+  // CLRS-style network with known max flow 23.
+  MaxFlow flow(6);
+  flow.addArc(0, 1, 16);
+  flow.addArc(0, 2, 13);
+  flow.addArc(1, 2, 10);
+  flow.addArc(2, 1, 4);
+  flow.addArc(1, 3, 12);
+  flow.addArc(3, 2, 9);
+  flow.addArc(2, 4, 14);
+  flow.addArc(4, 3, 7);
+  flow.addArc(3, 5, 20);
+  flow.addArc(4, 5, 4);
+  EXPECT_EQ(flow.solve(0, 5), 23);
+}
+
+TEST(MinCostFlow, PrefersCheapPath) {
+  // Two unit paths s->t: direct cost 10, detour cost 2+2=4. Asking for
+  // one unit must take the detour.
+  MinCostFlow flow(3);
+  const int direct = flow.addArc(0, 2, 1, 10);
+  const int leg1 = flow.addArc(0, 1, 1, 2);
+  const int leg2 = flow.addArc(1, 2, 1, 2);
+  const auto [sent, cost] = flow.solve(0, 2, 1);
+  EXPECT_EQ(sent, 1);
+  EXPECT_EQ(cost, 4);
+  EXPECT_EQ(flow.flowOn(direct), 0);
+  EXPECT_EQ(flow.flowOn(leg1), 1);
+  EXPECT_EQ(flow.flowOn(leg2), 1);
+}
+
+TEST(MinCostFlow, SecondUnitTakesSecondCheapest) {
+  MinCostFlow flow(3);
+  const int direct = flow.addArc(0, 2, 1, 10);
+  flow.addArc(0, 1, 1, 2);
+  flow.addArc(1, 2, 1, 2);
+  const auto [sent, cost] = flow.solve(0, 2, 2);
+  EXPECT_EQ(sent, 2);
+  EXPECT_EQ(cost, 14);
+  EXPECT_EQ(flow.flowOn(direct), 1);
+}
+
+TEST(MinCostFlow, CapsAtAvailableFlow) {
+  MinCostFlow flow(2);
+  flow.addArc(0, 1, 1, 1);
+  const auto [sent, cost] = flow.solve(0, 1, 5);
+  EXPECT_EQ(sent, 1);
+  EXPECT_EQ(cost, 1);
+}
+
+TEST(MinCostFlow, RejectsNegativeCost) {
+  MinCostFlow flow(2);
+  EXPECT_THROW(flow.addArc(0, 1, 1, -1), std::invalid_argument);
+}
+
+TEST(MinCostFlow, ResidualReroutingFindsOptimum) {
+  // Classic case where the second augmentation must push flow back:
+  //   s->a (1, cost 1), a->t (1, cost 1), s->b (1, cost 2),
+  //   b->t (1, cost 2), a->b (1, cost 0).
+  // Max flow 2; optimal cost uses s-a-t and s-b-t (total 6).
+  MinCostFlow flow(4);
+  flow.addArc(0, 1, 1, 1);
+  flow.addArc(1, 3, 1, 1);
+  flow.addArc(0, 2, 1, 2);
+  flow.addArc(2, 3, 1, 2);
+  flow.addArc(1, 2, 1, 0);
+  const auto [sent, cost] = flow.solve(0, 3, 2);
+  EXPECT_EQ(sent, 2);
+  EXPECT_EQ(cost, 6);
+}
+
+}  // namespace
+}  // namespace dg::graph

@@ -1,0 +1,106 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace dg::graph {
+namespace {
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g;
+  const NodeId a = g.addNode();
+  const NodeId b = g.addNode();
+  EXPECT_EQ(g.nodeCount(), 2u);
+  const EdgeId e = g.addEdge(a, b, 100);
+  EXPECT_EQ(g.edgeCount(), 1u);
+  EXPECT_EQ(g.edge(e).from, a);
+  EXPECT_EQ(g.edge(e).to, b);
+  EXPECT_EQ(g.edge(e).latency, 100);
+}
+
+TEST(Graph, AddNodesBulk) {
+  Graph g;
+  const NodeId first = g.addNodes(5);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(g.nodeCount(), 5u);
+}
+
+TEST(Graph, RejectsInvalidEdges) {
+  Graph g;
+  const NodeId a = g.addNode();
+  EXPECT_THROW(g.addEdge(a, 5, 10), std::out_of_range);
+  EXPECT_THROW(g.addEdge(a, a, -1), std::invalid_argument);
+}
+
+TEST(Graph, BidirectionalPairsAdjacentIds) {
+  Graph g;
+  const NodeId a = g.addNode();
+  const NodeId b = g.addNode();
+  const EdgeId forward = g.addBidirectional(a, b, 50);
+  EXPECT_EQ(g.edge(forward).from, a);
+  EXPECT_EQ(g.edge(forward + 1).from, b);
+  EXPECT_EQ(g.edge(forward + 1).to, a);
+  EXPECT_EQ(*g.reverseEdge(forward), forward + 1);
+  EXPECT_EQ(*g.reverseEdge(forward + 1), forward);
+}
+
+TEST(Graph, AdjacencyLists) {
+  test::Diamond d;
+  EXPECT_EQ(d.g.outDegree(d.s), 2u);
+  EXPECT_EQ(d.g.inDegree(d.s), 2u);
+  EXPECT_EQ(d.g.outDegree(d.a), 3u);  // to S, D, B
+}
+
+TEST(Graph, FindEdge) {
+  test::Diamond d;
+  EXPECT_EQ(*d.g.findEdge(d.s, d.a), d.sa);
+  EXPECT_FALSE(d.g.findEdge(d.s, d.d).has_value());
+}
+
+TEST(Graph, BaseLatencies) {
+  test::Line line;
+  const auto weights = line.g.baseLatencies();
+  ASSERT_EQ(weights.size(), 4u);
+  EXPECT_EQ(weights[line.sm], util::milliseconds(10));
+}
+
+TEST(PathHelpers, PathLatencyAndNodes) {
+  test::Diamond d;
+  const Path path{d.sa, d.ad};
+  const auto weights = d.g.baseLatencies();
+  EXPECT_EQ(pathLatency(d.g, path, weights), util::milliseconds(20));
+  const auto nodes = pathNodes(d.g, d.s, path);
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0], d.s);
+  EXPECT_EQ(nodes[1], d.a);
+  EXPECT_EQ(nodes[2], d.d);
+}
+
+TEST(PathHelpers, PathLatencyWithExcludedEdgeIsNever) {
+  test::Diamond d;
+  auto weights = d.g.baseLatencies();
+  weights[d.ad] = util::kNever;
+  EXPECT_EQ(pathLatency(d.g, Path{d.sa, d.ad}, weights), util::kNever);
+}
+
+TEST(PathHelpers, IsValidPath) {
+  test::Diamond d;
+  EXPECT_TRUE(isValidPath(d.g, d.s, d.d, Path{d.sa, d.ad}));
+  EXPECT_TRUE(isValidPath(d.g, d.s, d.s, Path{}));
+  EXPECT_FALSE(isValidPath(d.g, d.s, d.d, Path{d.ad, d.sa}));
+  EXPECT_FALSE(isValidPath(d.g, d.s, d.d, Path{d.sa}));
+  EXPECT_FALSE(isValidPath(d.g, d.s, d.d, Path{999}));
+}
+
+TEST(PathHelpers, InteriorNodeSharing) {
+  test::Diamond d;
+  const Path viaA{d.sa, d.ad};
+  const Path viaB{d.sb, d.bd};
+  const Path viaAB{d.sa, d.ab, d.bd};
+  EXPECT_FALSE(pathsShareInteriorNode(d.g, d.s, d.d, viaA, viaB));
+  EXPECT_TRUE(pathsShareInteriorNode(d.g, d.s, d.d, viaA, viaAB));
+}
+
+}  // namespace
+}  // namespace dg::graph

@@ -1,0 +1,81 @@
+#include "graph/k_shortest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/shortest_path.hpp"
+#include "test_support.hpp"
+#include "trace/topology.hpp"
+
+namespace dg::graph {
+namespace {
+
+TEST(KShortest, FirstMatchesDijkstra) {
+  test::Diamond d;
+  const auto weights = d.g.baseLatencies();
+  const auto paths = kShortestPaths(d.g, d.s, d.d, weights, 3);
+  ASSERT_GE(paths.size(), 1u);
+  const auto dijkstra = shortestPath(d.g, d.s, d.d, weights);
+  EXPECT_EQ(paths[0], dijkstra.edges);
+}
+
+TEST(KShortest, NondecreasingLatency) {
+  test::Diamond d;
+  const auto weights = d.g.baseLatencies();
+  const auto paths = kShortestPaths(d.g, d.s, d.d, weights, 5);
+  ASSERT_GE(paths.size(), 3u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(pathLatency(d.g, paths[i], weights),
+              pathLatency(d.g, paths[i - 1], weights));
+  }
+}
+
+TEST(KShortest, PathsAreDistinctAndLoopless) {
+  const auto topology = trace::Topology::ltn12();
+  const auto& g = topology.graph();
+  const auto weights = g.baseLatencies();
+  const auto paths =
+      kShortestPaths(g, topology.at("NYC"), topology.at("SJC"), weights, 8);
+  EXPECT_EQ(paths.size(), 8u);
+  std::set<Path> unique(paths.begin(), paths.end());
+  EXPECT_EQ(unique.size(), paths.size());
+  for (const Path& path : paths) {
+    ASSERT_TRUE(
+        isValidPath(g, topology.at("NYC"), topology.at("SJC"), path));
+    const auto nodes = pathNodes(g, topology.at("NYC"), path);
+    std::set<NodeId> seen(nodes.begin(), nodes.end());
+    EXPECT_EQ(seen.size(), nodes.size()) << "loop detected";
+  }
+}
+
+TEST(KShortest, ExhaustsSmallGraph) {
+  test::Line line;
+  const auto weights = line.g.baseLatencies();
+  // Exactly one loopless path exists.
+  const auto paths = kShortestPaths(line.g, line.s, line.d, weights, 10);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(KShortest, ZeroKOrSameEndpoints) {
+  test::Diamond d;
+  const auto weights = d.g.baseLatencies();
+  EXPECT_TRUE(kShortestPaths(d.g, d.s, d.d, weights, 0).empty());
+  EXPECT_TRUE(kShortestPaths(d.g, d.s, d.s, weights, 3).empty());
+}
+
+TEST(KShortest, DiamondEnumeratesKnownPaths) {
+  test::Diamond d;
+  const auto weights = d.g.baseLatencies();
+  const auto paths = kShortestPaths(d.g, d.s, d.d, weights, 10);
+  // Loopless S->D paths: S-A-D (20), then S-A-B-D, S-B-D and S-B-A-D all
+  // at 30. All four must be found.
+  EXPECT_EQ(paths.size(), 4u);
+  EXPECT_EQ(pathLatency(d.g, paths[0], weights), util::milliseconds(20));
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_EQ(pathLatency(d.g, paths[i], weights), util::milliseconds(30));
+  }
+}
+
+}  // namespace
+}  // namespace dg::graph

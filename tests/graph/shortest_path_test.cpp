@@ -1,0 +1,114 @@
+#include "graph/shortest_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "trace/topology.hpp"
+
+namespace dg::graph {
+namespace {
+
+TEST(ShortestPath, FindsDiamondShortest) {
+  test::Diamond d;
+  const auto weights = d.g.baseLatencies();
+  const auto result = shortestPath(d.g, d.s, d.d, weights);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.distance, util::milliseconds(20));
+  EXPECT_EQ(result.edges, (Path{d.sa, d.ad}));
+}
+
+TEST(ShortestPath, RespectsExcludedEdgeWeights) {
+  test::Diamond d;
+  auto weights = d.g.baseLatencies();
+  weights[d.ad] = util::kNever;
+  const auto result = shortestPath(d.g, d.s, d.d, weights);
+  ASSERT_TRUE(result.found);
+  // Best detour: S-A-B-D (10+5+15=30) ties with S-B-D (30).
+  EXPECT_EQ(result.distance, util::milliseconds(30));
+}
+
+TEST(ShortestPath, UnreachableReportsNotFound) {
+  Graph g;
+  const NodeId a = g.addNode();
+  const NodeId b = g.addNode();
+  const auto result = shortestPath(g, a, b, std::vector<util::SimTime>{});
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.distance, util::kNever);
+}
+
+TEST(ShortestPath, ExcludingNodes) {
+  test::Diamond d;
+  const auto weights = d.g.baseLatencies();
+  const std::vector<NodeId> excluded{d.a};
+  const auto result =
+      shortestPathExcluding(d.g, d.s, d.d, weights, {}, excluded);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.edges, (Path{d.sb, d.bd}));
+}
+
+TEST(ShortestPath, ExcludingEdges) {
+  test::Diamond d;
+  const auto weights = d.g.baseLatencies();
+  const std::vector<EdgeId> excluded{d.sa};
+  const auto result =
+      shortestPathExcluding(d.g, d.s, d.d, weights, excluded, {});
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.edges.front(), d.sb);
+}
+
+TEST(ShortestPath, SrcDstNeverExcluded) {
+  test::Line line;
+  const auto weights = line.g.baseLatencies();
+  const std::vector<NodeId> excluded{line.s, line.d};
+  const auto result =
+      shortestPathExcluding(line.g, line.s, line.d, weights, {}, excluded);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.distance, util::milliseconds(20));
+}
+
+TEST(DijkstraDistances, AllNodes) {
+  test::Diamond d;
+  const auto weights = d.g.baseLatencies();
+  const auto dist = dijkstraDistances(d.g, d.s, weights);
+  EXPECT_EQ(dist[d.s], 0);
+  EXPECT_EQ(dist[d.a], util::milliseconds(10));
+  EXPECT_EQ(dist[d.b], util::milliseconds(15));
+  EXPECT_EQ(dist[d.d], util::milliseconds(20));
+}
+
+TEST(DijkstraDistancesTo, MatchesForwardOnSymmetricGraph) {
+  test::Diamond d;
+  const auto weights = d.g.baseLatencies();
+  const auto from = dijkstraDistances(d.g, d.s, weights);
+  const auto to = dijkstraDistancesTo(d.g, d.s, weights);
+  // All links are symmetric, so distances to S equal distances from S.
+  for (NodeId n = 0; n < d.g.nodeCount(); ++n) EXPECT_EQ(from[n], to[n]);
+}
+
+TEST(DijkstraDistancesTo, AsymmetricWeights) {
+  Graph g;
+  const NodeId a = g.addNode();
+  const NodeId b = g.addNode();
+  g.addEdge(a, b, 10);  // a->b cheap
+  g.addEdge(b, a, 99);  // b->a expensive
+  const std::vector<util::SimTime> weights{10, 99};
+  const auto toB = dijkstraDistancesTo(g, b, weights);
+  EXPECT_EQ(toB[a], 10);
+  const auto toA = dijkstraDistancesTo(g, a, weights);
+  EXPECT_EQ(toA[b], 99);
+}
+
+TEST(ShortestPath, Ltn12TranscontinentalWithinDeadline) {
+  const auto topology = trace::Topology::ltn12();
+  const auto weights = topology.graph().baseLatencies();
+  const auto result = shortestPath(topology.graph(), topology.at("NYC"),
+                                   topology.at("SJC"), weights);
+  ASSERT_TRUE(result.found);
+  // A cross-US one-way route must fit comfortably inside the paper's
+  // 65 ms budget but still be tens of milliseconds.
+  EXPECT_LT(result.distance, util::milliseconds(50));
+  EXPECT_GT(result.distance, util::milliseconds(15));
+}
+
+}  // namespace
+}  // namespace dg::graph

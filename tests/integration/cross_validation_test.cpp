@@ -1,0 +1,84 @@
+// Cross-validation between the two halves of the system: the analytic
+// playback engine and the packet-level event-driven transport service
+// must agree (within Monte-Carlo/sampling noise) on delivery rates for
+// the same topology, trace and scheme -- evidence that the playback
+// results used for the paper-scale experiments reflect what the real
+// forwarding/recovery machinery does.
+#include <gtest/gtest.h>
+
+#include "core/transport.hpp"
+#include "playback/playback.hpp"
+#include "trace/topology.hpp"
+
+namespace dg {
+namespace {
+
+struct Scenario {
+  std::string name;
+  routing::SchemeKind scheme;
+  double lossOnSourceLinks;
+};
+
+class CrossValidation : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(CrossValidation, PlaybackMatchesEventSimulation) {
+  const auto& scenario = GetParam();
+  const auto topology = trace::Topology::ltn12();
+  const auto& g = topology.graph();
+  const std::size_t intervals = 60;
+  trace::Trace trace(util::seconds(10), intervals,
+                     trace::healthyBaseline(g, 1e-4));
+  // A steady source-area impairment over the whole run (steady state
+  // avoids start-edge effects that the two engines model differently).
+  const auto nyc = topology.at("NYC");
+  if (scenario.lossOnSourceLinks > 0) {
+    for (std::size_t i = 0; i < intervals; ++i) {
+      for (const graph::EdgeId e : g.outEdges(nyc)) {
+        trace.setCondition(
+            e, i, trace::LinkConditions{scenario.lossOnSourceLinks,
+                                        g.edge(e).latency});
+      }
+    }
+  }
+
+  // --- Playback ------------------------------------------------------
+  playback::PlaybackParams playbackParams;
+  playbackParams.mcSamples = 4000;
+  const playback::PlaybackEngine engine(g, trace, playbackParams);
+  const routing::Flow flow{topology.at("NYC"), topology.at("SJC")};
+  const auto analytic =
+      engine.run(flow, scenario.scheme, routing::SchemeParams{});
+
+  // --- Event-driven ----------------------------------------------------
+  core::TransportService service(topology, trace);
+  const auto flowId = service.openFlow("NYC", "SJC", scenario.scheme);
+  service.run(util::seconds(10) * static_cast<util::SimTime>(intervals) -
+              util::milliseconds(200));
+  const auto& stats = service.stats(flowId);
+
+  const double analyticOnTime = 1.0 - analytic.unavailability;
+  const double measuredOnTime = stats.onTimeRate();
+  EXPECT_NEAR(measuredOnTime, analyticOnTime, 0.02)
+      << scenario.name << ": playback=" << analyticOnTime
+      << " event-sim=" << measuredOnTime;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, CrossValidation,
+    ::testing::Values(
+        Scenario{"healthy_single", routing::SchemeKind::StaticSinglePath,
+                 0.0},
+        Scenario{"healthy_targeted", routing::SchemeKind::TargetedRedundancy,
+                 0.0},
+        Scenario{"lossy_src_single", routing::SchemeKind::StaticSinglePath,
+                 0.3},
+        Scenario{"lossy_src_two_disjoint",
+                 routing::SchemeKind::StaticTwoDisjoint, 0.3},
+        Scenario{"lossy_src_flooding",
+                 routing::SchemeKind::TimeConstrainedFlooding, 0.3}),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace dg

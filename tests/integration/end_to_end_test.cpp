@@ -1,0 +1,155 @@
+// End-to-end: generate a synthetic multi-day trace with the calibrated
+// problem taxonomy, run the full flows x schemes experiment, and assert
+// the paper's qualitative structure -- scheme ordering, gap-coverage
+// ordering, cost ordering and endpoint-dominated problem classification.
+#include <gtest/gtest.h>
+
+#include "playback/classification.hpp"
+#include "playback/experiment.hpp"
+#include "trace/synth.hpp"
+#include "trace/topology.hpp"
+
+namespace dg {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    topology_ = new trace::Topology(trace::Topology::ltn12());
+    trace::GeneratorParams gen;
+    gen.seed = 20170605;  // ICDCS'17 opening day
+    gen.duration = util::days(10);
+    synthetic_ = new trace::SyntheticTrace(
+        generateSyntheticTrace(topology_->graph(), gen));
+
+    playback::ExperimentConfig config;
+    config.flows = playback::transcontinentalFlows(*topology_);
+    config.playback.mcSamples = 300;
+    result_ = new playback::ExperimentResult(
+        runExperiment(topology_->graph(), synthetic_->trace, config));
+    config_ = new playback::ExperimentConfig(std::move(config));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete config_;
+    delete synthetic_;
+    delete topology_;
+    result_ = nullptr;
+    config_ = nullptr;
+    synthetic_ = nullptr;
+    topology_ = nullptr;
+  }
+
+  static const playback::SchemeSummary& summary(routing::SchemeKind kind) {
+    for (const auto& s : result_->summary) {
+      if (s.scheme == kind) return s;
+    }
+    throw std::logic_error("missing scheme summary");
+  }
+
+  static trace::Topology* topology_;
+  static trace::SyntheticTrace* synthetic_;
+  static playback::ExperimentResult* result_;
+  static playback::ExperimentConfig* config_;
+};
+
+trace::Topology* EndToEnd::topology_ = nullptr;
+trace::SyntheticTrace* EndToEnd::synthetic_ = nullptr;
+playback::ExperimentResult* EndToEnd::result_ = nullptr;
+playback::ExperimentConfig* EndToEnd::config_ = nullptr;
+
+TEST_F(EndToEnd, UnavailabilityOrdering) {
+  using routing::SchemeKind;
+  const double singleStatic =
+      summary(SchemeKind::StaticSinglePath).unavailability;
+  const double twoStatic =
+      summary(SchemeKind::StaticTwoDisjoint).unavailability;
+  const double twoDynamic =
+      summary(SchemeKind::DynamicTwoDisjoint).unavailability;
+  const double targeted =
+      summary(SchemeKind::TargetedRedundancy).unavailability;
+  const double flooding =
+      summary(SchemeKind::TimeConstrainedFlooding).unavailability;
+
+  EXPECT_GT(singleStatic, twoStatic);
+  EXPECT_GT(twoStatic, twoDynamic);
+  EXPECT_GT(twoDynamic, targeted);
+  EXPECT_GE(targeted, flooding - 1e-12);
+}
+
+TEST_F(EndToEnd, GapCoverageBands) {
+  using routing::SchemeKind;
+  // The abstract's bands, with tolerance appropriate to a 4-day sample:
+  // static-2 ~45%, dynamic-2 ~70%, targeted >= 99%.
+  const double twoStatic = summary(SchemeKind::StaticTwoDisjoint).gapCoverage;
+  const double twoDynamic =
+      summary(SchemeKind::DynamicTwoDisjoint).gapCoverage;
+  const double targeted =
+      summary(SchemeKind::TargetedRedundancy).gapCoverage;
+  EXPECT_GT(twoStatic, 0.25);
+  EXPECT_LT(twoStatic, 0.75);
+  EXPECT_GT(twoDynamic, twoStatic);
+  EXPECT_GT(targeted, 0.93);
+}
+
+TEST_F(EndToEnd, CostStructure) {
+  using routing::SchemeKind;
+  const auto& single = summary(SchemeKind::StaticSinglePath);
+  const auto& twoStatic = summary(SchemeKind::StaticTwoDisjoint);
+  const auto& targeted = summary(SchemeKind::TargetedRedundancy);
+  const auto& flooding = summary(SchemeKind::TimeConstrainedFlooding);
+
+  EXPECT_LT(single.averageCost, twoStatic.averageCost);
+  // The headline cost claim: targeted redundancy costs only a few percent
+  // more than two disjoint paths...
+  EXPECT_GT(targeted.costVsTwoDisjoint, 1.0);
+  EXPECT_LT(targeted.costVsTwoDisjoint, 1.10);
+  // ...while flooding costs several times as much.
+  EXPECT_GT(flooding.averageCost, twoStatic.averageCost * 3.0);
+}
+
+TEST_F(EndToEnd, ProblemsAreEndpointDominated) {
+  // Join the static-two-disjoint problematic intervals against ground
+  // truth: the paper's key finding is that they are dominated by
+  // problems around an endpoint.
+  const std::size_t schemeCount = config_->schemes.size();
+  std::size_t schemeIndex = schemeCount;
+  for (std::size_t s = 0; s < schemeCount; ++s) {
+    if (config_->schemes[s] == routing::SchemeKind::StaticTwoDisjoint)
+      schemeIndex = s;
+  }
+  ASSERT_LT(schemeIndex, schemeCount);
+  std::vector<playback::ProblemClassification> parts;
+  for (std::size_t f = 0; f < config_->flows.size(); ++f) {
+    const auto& r = result_->at(f, schemeIndex, schemeCount);
+    parts.push_back(playback::classifyProblems(
+        topology_->graph(), synthetic_->events, config_->flows[f],
+        r.problems));
+  }
+  const auto combined = playback::combineClassifications(parts);
+  ASSERT_GT(combined.total(), 0u);
+  EXPECT_EQ(combined.unattributed, 0u);
+  EXPECT_GT(combined.endpointInvolvedFraction(), 0.5);
+}
+
+TEST_F(EndToEnd, FloodingIsNotFree) {
+  // Even the optimal scheme cannot beat hard blackouts: with the
+  // generator's site-outage events, flooding unavailability is nonzero.
+  EXPECT_GT(summary(routing::SchemeKind::TimeConstrainedFlooding)
+                .unavailableSeconds,
+            0.0);
+}
+
+TEST_F(EndToEnd, PerFlowResultsAreComplete) {
+  EXPECT_EQ(result_->perFlow.size(),
+            config_->flows.size() * config_->schemes.size());
+  for (const auto& r : result_->perFlow) {
+    EXPECT_GE(r.unavailability, 0.0);
+    EXPECT_LE(r.unavailability, 1.0);
+    EXPECT_GT(r.averageCost, 0.0);
+    EXPECT_GT(r.averageLatencyUs, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dg

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/transport.hpp"
+#include "net/network.hpp"
+#include "test_support.hpp"
+
+namespace dg::net {
+namespace {
+
+TEST(LinkCapacity, DefaultsUnlimited) {
+  LinkCapacity capacity;
+  EXPECT_FALSE(capacity.limited());
+  EXPECT_EQ(capacity.serviceTime(), 0);
+}
+
+TEST(LinkCapacity, ServiceTimeFromRate) {
+  LinkCapacity capacity;
+  capacity.packetsPerSecond = 1000.0;
+  EXPECT_TRUE(capacity.limited());
+  EXPECT_EQ(capacity.serviceTime(), util::milliseconds(1));
+}
+
+class CapacityNetwork : public ::testing::Test {
+ protected:
+  CapacityNetwork()
+      : trace(test::healthyTrace(line.g, 10)), network(sim, line.g, trace, 1) {
+    network.setDeliveryHandler(line.m, [this](graph::EdgeId, const Packet&) {
+      arrivals.push_back(sim.now());
+    });
+  }
+
+  test::Line line;
+  trace::Trace trace;
+  Simulator sim;
+  SimulatedNetwork network;
+  std::vector<util::SimTime> arrivals;
+};
+
+TEST_F(CapacityNetwork, SerializationSpacesArrivals) {
+  LinkCapacity capacity;
+  capacity.packetsPerSecond = 100.0;  // 10 ms service time
+  network.setLinkCapacity(capacity);
+  // Send a burst of 5 packets at t=0: arrivals at latency + k*10ms.
+  for (int i = 0; i < 5; ++i) network.transmit(line.sm, Packet{});
+  sim.runUntil(util::seconds(1));
+  ASSERT_EQ(arrivals.size(), 5u);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i], util::milliseconds(10) /* propagation */ +
+                               util::milliseconds(10) *
+                                   static_cast<util::SimTime>(i + 1));
+  }
+}
+
+TEST_F(CapacityNetwork, QueueOverflowDropsTail) {
+  LinkCapacity capacity;
+  capacity.packetsPerSecond = 100.0;
+  capacity.queuePackets = 3;
+  network.setLinkCapacity(capacity);
+  for (int i = 0; i < 10; ++i) network.transmit(line.sm, Packet{});
+  sim.runUntil(util::seconds(1));
+  // Exactly queuePackets + 1 fit: one in service plus 3 queued.
+  EXPECT_EQ(arrivals.size(), 4u);
+  EXPECT_EQ(network.queueDropCount(), 6u);
+  EXPECT_EQ(network.transmissionCount(), 10u);
+}
+
+TEST_F(CapacityNetwork, UnlimitedHasNoQueueing) {
+  for (int i = 0; i < 100; ++i) network.transmit(line.sm, Packet{});
+  sim.runUntil(util::seconds(1));
+  ASSERT_EQ(arrivals.size(), 100u);
+  for (const util::SimTime t : arrivals) {
+    EXPECT_EQ(t, util::milliseconds(10));
+  }
+  EXPECT_EQ(network.queueDropCount(), 0u);
+}
+
+TEST_F(CapacityNetwork, LinkDrainsAndRecovers) {
+  LinkCapacity capacity;
+  capacity.packetsPerSecond = 100.0;
+  capacity.queuePackets = 2;
+  network.setLinkCapacity(capacity);
+  for (int i = 0; i < 3; ++i) network.transmit(line.sm, Packet{});
+  sim.runUntil(util::seconds(1));
+  const auto firstBatch = arrivals.size();
+  EXPECT_EQ(firstBatch, 3u);
+  // After draining, a later packet goes straight through.
+  network.transmit(line.sm, Packet{});
+  sim.runUntil(util::seconds(2));
+  ASSERT_EQ(arrivals.size(), firstBatch + 1);
+  EXPECT_EQ(arrivals.back(),
+            util::seconds(1) + util::milliseconds(10) +
+                util::milliseconds(10));
+}
+
+TEST(CapacityTransport, FloodingSelfCongests) {
+  // Flooding multiplies every flow onto (nearly) every link, so four
+  // 100 pkt/s flows overload 250 pkt/s links under flooding (aggregate
+  // ~400 pkt/s per shared link) while their single paths, which barely
+  // overlap, fit comfortably.
+  const auto topology = trace::Topology::ltn12();
+  trace::Trace tr(util::seconds(10), 12,
+                  trace::healthyBaseline(topology.graph(), 0.0));
+  core::TransportConfig config;
+  config.linkCapacity.packetsPerSecond = 250.0;
+
+  const auto run = [&](routing::SchemeKind kind) {
+    core::TransportService service(topology, tr, config);
+    std::vector<net::FlowId> flows;
+    for (const auto& [src, dst] :
+         std::vector<std::pair<const char*, const char*>>{
+             {"NYC", "SJC"}, {"NYC", "LAX"}, {"WAS", "SEA"}, {"ATL", "SJC"}}) {
+      flows.push_back(service.openFlow(src, dst, kind));
+    }
+    service.run(util::seconds(60));
+    double sum = 0;
+    for (const auto id : flows) sum += service.stats(id).onTimeRate();
+    return sum / static_cast<double>(flows.size());
+  };
+  const double single = run(routing::SchemeKind::StaticSinglePath);
+  const double targeted = run(routing::SchemeKind::TargetedRedundancy);
+  const double flooding = run(routing::SchemeKind::TimeConstrainedFlooding);
+  EXPECT_GT(single, 0.99);
+  EXPECT_GT(targeted, 0.99);  // 2DP load also fits
+  EXPECT_LT(flooding, 0.9);   // self-congestion
+}
+
+}  // namespace
+}  // namespace dg::net

@@ -1,0 +1,123 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace dg::net {
+namespace {
+
+TEST(SimulatedNetwork, DeliversAfterTraceLatency) {
+  test::Line line;
+  const auto trace = test::healthyTrace(line.g, 5);
+  Simulator sim;
+  SimulatedNetwork network(sim, line.g, trace, 1);
+  util::SimTime arrival = -1;
+  graph::EdgeId arrivalEdge = graph::kInvalidEdge;
+  network.setDeliveryHandler(line.m, [&](graph::EdgeId e, const Packet&) {
+    arrival = sim.now();
+    arrivalEdge = e;
+  });
+  Packet packet;
+  packet.type = Packet::Type::Data;
+  network.transmit(line.sm, packet);
+  sim.runUntil(util::seconds(1));
+  EXPECT_EQ(arrival, util::milliseconds(10));
+  EXPECT_EQ(arrivalEdge, line.sm);
+  EXPECT_EQ(network.transmissionCount(), 1u);
+  EXPECT_EQ(network.dropCount(), 0u);
+}
+
+TEST(SimulatedNetwork, DropsAtTraceLossRate) {
+  test::Line line;
+  auto trace = test::healthyTrace(line.g, 5);
+  for (std::size_t i = 0; i < trace.intervalCount(); ++i) {
+    trace.setCondition(line.sm, i,
+                       trace::LinkConditions{0.5, util::milliseconds(10)});
+  }
+  Simulator sim;
+  SimulatedNetwork network(sim, line.g, trace, 7);
+  int received = 0;
+  network.setDeliveryHandler(line.m,
+                             [&](graph::EdgeId, const Packet&) { ++received; });
+  const int sent = 10'000;
+  for (int i = 0; i < sent; ++i) network.transmit(line.sm, Packet{});
+  sim.runUntil(util::seconds(40));
+  EXPECT_NEAR(received / static_cast<double>(sent), 0.5, 0.03);
+  EXPECT_EQ(network.dropCount() + static_cast<std::uint64_t>(received),
+            network.transmissionCount());
+}
+
+TEST(SimulatedNetwork, ConditionsFollowIntervals) {
+  test::Line line;
+  auto trace = test::healthyTrace(line.g, 3);
+  trace.setCondition(line.sm, 1,
+                     trace::LinkConditions{0.0, util::milliseconds(42)});
+  Simulator sim;
+  SimulatedNetwork network(sim, line.g, trace, 1);
+  std::vector<util::SimTime> latencies;
+  network.setTransmitObserver([&](graph::EdgeId, const Packet&, bool ok,
+                                  util::SimTime latency) {
+    if (ok) latencies.push_back(latency);
+  });
+  network.setDeliveryHandler(line.m, [](graph::EdgeId, const Packet&) {});
+  network.transmit(line.sm, Packet{});              // interval 0
+  sim.runUntil(util::seconds(12));
+  network.transmit(line.sm, Packet{});              // interval 1
+  sim.runUntil(util::seconds(25));
+  network.transmit(line.sm, Packet{});              // interval 2
+  sim.runUntil(util::seconds(30));
+  ASSERT_EQ(latencies.size(), 3u);
+  EXPECT_EQ(latencies[0], util::milliseconds(10));
+  EXPECT_EQ(latencies[1], util::milliseconds(42));
+  EXPECT_EQ(latencies[2], util::milliseconds(10));
+}
+
+TEST(SimulatedNetwork, ObserverSeesDrops) {
+  test::Line line;
+  auto trace = test::healthyTrace(line.g, 2);
+  trace.setCondition(line.sm, 0, trace::LinkConditions{1.0, 1000});
+  Simulator sim;
+  SimulatedNetwork network(sim, line.g, trace, 1);
+  int drops = 0;
+  network.setTransmitObserver(
+      [&](graph::EdgeId, const Packet&, bool ok, util::SimTime) {
+        if (!ok) ++drops;
+      });
+  network.transmit(line.sm, Packet{});
+  sim.runUntil(util::seconds(1));
+  EXPECT_EQ(drops, 1);
+  EXPECT_EQ(network.dropCount(), 1u);
+}
+
+TEST(SimulatedNetwork, RejectsMismatchedTrace) {
+  test::Line line;
+  test::Diamond diamond;
+  const auto trace = test::healthyTrace(line.g, 2);
+  Simulator sim;
+  EXPECT_THROW(SimulatedNetwork(sim, diamond.g, trace, 1),
+               std::invalid_argument);
+}
+
+TEST(SimulatedNetwork, DeterministicForSeed) {
+  test::Line line;
+  auto trace = test::healthyTrace(line.g, 5);
+  for (std::size_t i = 0; i < trace.intervalCount(); ++i) {
+    trace.setCondition(line.sm, i, trace::LinkConditions{0.3, 1000});
+  }
+  const auto countDeliveries = [&](std::uint64_t seed) {
+    Simulator sim;
+    SimulatedNetwork network(sim, line.g, trace, seed);
+    int received = 0;
+    network.setDeliveryHandler(
+        line.m, [&](graph::EdgeId, const Packet&) { ++received; });
+    for (int i = 0; i < 1000; ++i) network.transmit(line.sm, Packet{});
+    sim.runUntil(util::seconds(40));
+    return received;
+  };
+  EXPECT_EQ(countDeliveries(5), countDeliveries(5));
+  EXPECT_NE(countDeliveries(5), countDeliveries(6));
+}
+
+}  // namespace
+}  // namespace dg::net

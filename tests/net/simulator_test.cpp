@@ -1,0 +1,88 @@
+#include "net/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dg::net {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.scheduleAt(30, [&] { order.push_back(3); });
+  sim.scheduleAt(10, [&] { order.push_back(1); });
+  sim.scheduleAt(20, [&] { order.push_back(2); });
+  sim.runUntil(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_EQ(sim.processedEvents(), 3u);
+}
+
+TEST(Simulator, SameTimeFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.scheduleAt(10, [&order, i] { order.push_back(i); });
+  }
+  sim.runAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.scheduleAt(10, [&] { ++fired; });
+  sim.scheduleAt(20, [&] { ++fired; });
+  sim.runUntil(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 15);
+  EXPECT_EQ(sim.pendingEvents(), 1u);
+  sim.runUntil(25);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventAtBoundaryFires) {
+  Simulator sim;
+  int fired = 0;
+  sim.scheduleAt(10, [&] { ++fired; });
+  sim.runUntil(10);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.scheduleAfter(10, recurse);
+  };
+  sim.scheduleAfter(0, recurse);
+  sim.runUntil(1000);
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.processedEvents(), 5u);
+}
+
+TEST(Simulator, RejectsPastAndNegative) {
+  Simulator sim;
+  sim.scheduleAt(10, [] {});
+  sim.runUntil(10);
+  EXPECT_THROW(sim.scheduleAt(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.scheduleAfter(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, NowAdvancesDuringCallbacks) {
+  Simulator sim;
+  util::SimTime seen = -1;
+  sim.scheduleAt(42, [&] { seen = sim.now(); });
+  sim.runAll();
+  EXPECT_EQ(seen, 42);
+}
+
+}  // namespace
+}  // namespace dg::net

@@ -1,0 +1,117 @@
+#include "playback/ablation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/topology.hpp"
+
+namespace dg::playback {
+namespace {
+
+class AblationOnLtn : public ::testing::Test {
+ protected:
+  AblationOnLtn() : topology_(trace::Topology::ltn12()) {
+    generator_.seed = 31;
+    generator_.duration = util::days(2);
+    config_.flows = {
+        routing::Flow{topology_.at("NYC"), topology_.at("SJC")},
+        routing::Flow{topology_.at("WAS"), topology_.at("SEA")},
+    };
+    config_.playback.mcSamples = 200;
+  }
+
+  trace::Topology topology_;
+  trace::GeneratorParams generator_;
+  ExperimentConfig config_;
+};
+
+TEST_F(AblationOnLtn, StandardSuiteHasBaselineFirst) {
+  const auto specs = standardAblations();
+  ASSERT_GE(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "baseline");
+  for (const auto& spec : specs) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.rationale.empty());
+    EXPECT_TRUE(spec.mutate != nullptr);
+  }
+}
+
+TEST_F(AblationOnLtn, BaselineMatchesDirectExperiment) {
+  const auto specs = standardAblations();
+  const auto baseline =
+      runAblation(topology_.graph(), generator_, config_, specs[0]);
+  const auto synthetic = generateSyntheticTrace(topology_.graph(),
+                                                generator_);
+  const auto direct =
+      runExperiment(topology_.graph(), synthetic.trace, config_);
+  ASSERT_EQ(baseline.summary.size(), direct.summary.size());
+  for (std::size_t i = 0; i < direct.summary.size(); ++i) {
+    EXPECT_DOUBLE_EQ(baseline.summary[i].unavailability,
+                     direct.summary[i].unavailability);
+  }
+}
+
+TEST_F(AblationOnLtn, OracleMonitoringHelpsAdaptiveSchemes) {
+  AblationSpec baseline{"baseline", "", [](auto&, auto&) {}};
+  AblationSpec oracle{"oracle", "", [](trace::GeneratorParams&,
+                                       ExperimentConfig& config) {
+                        config.playback.viewStaleness = 0;
+                      }};
+  const auto base =
+      runAblation(topology_.graph(), generator_, config_, baseline);
+  const auto instant =
+      runAblation(topology_.graph(), generator_, config_, oracle);
+  EXPECT_LE(
+      instant.unavailability(routing::SchemeKind::DynamicTwoDisjoint),
+      base.unavailability(routing::SchemeKind::DynamicTwoDisjoint) + 1e-12);
+  // Static schemes are untouched by monitoring speed.
+  EXPECT_DOUBLE_EQ(
+      instant.unavailability(routing::SchemeKind::StaticSinglePath),
+      base.unavailability(routing::SchemeKind::StaticSinglePath));
+}
+
+TEST_F(AblationOnLtn, NoRecoveryHurtsEveryScheme) {
+  AblationSpec noRecovery{"no-recovery", "",
+                          [](trace::GeneratorParams&,
+                             ExperimentConfig& config) {
+                            config.playback.delivery.recoveryEnabled = false;
+                          }};
+  AblationSpec baseline{"baseline", "", [](auto&, auto&) {}};
+  const auto base =
+      runAblation(topology_.graph(), generator_, config_, baseline);
+  const auto crippled =
+      runAblation(topology_.graph(), generator_, config_, noRecovery);
+  for (const auto kind :
+       {routing::SchemeKind::StaticSinglePath,
+        routing::SchemeKind::StaticTwoDisjoint,
+        routing::SchemeKind::TargetedRedundancy}) {
+    EXPECT_GE(crippled.unavailability(kind), base.unavailability(kind))
+        << routing::schemeName(kind);
+  }
+}
+
+TEST_F(AblationOnLtn, RenderComparisonListsAllRows) {
+  std::vector<AblationResult> results(2);
+  results[0].name = "alpha";
+  results[1].name = "beta";
+  SchemeSummary summary;
+  summary.scheme = routing::SchemeKind::TargetedRedundancy;
+  summary.gapCoverage = 0.5;
+  results[0].summary.push_back(summary);
+  const auto table = renderAblationComparison(
+      results, {routing::SchemeKind::TargetedRedundancy});
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("beta"), std::string::npos);
+  EXPECT_NE(table.find("50.0%"), std::string::npos);
+  EXPECT_NE(table.find("targeted"), std::string::npos);
+}
+
+TEST(AblationResultAccessors, MissingSchemeIsZero) {
+  AblationResult result;
+  EXPECT_DOUBLE_EQ(
+      result.gapCoverage(routing::SchemeKind::TargetedRedundancy), 0.0);
+  EXPECT_DOUBLE_EQ(
+      result.unavailability(routing::SchemeKind::TargetedRedundancy), 0.0);
+}
+
+}  // namespace
+}  // namespace dg::playback

@@ -1,0 +1,133 @@
+#include "playback/classification.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/synth.hpp"
+#include "trace/topology.hpp"
+#include "util/rng.hpp"
+
+namespace dg::playback {
+namespace {
+
+class ClassificationOnLtn : public ::testing::Test {
+ protected:
+  ClassificationOnLtn()
+      : topology_(trace::Topology::ltn12()),
+        flow_{topology_.at("NYC"), topology_.at("SJC")},
+        rng_(1) {}
+
+  trace::ProblemEvent nodeEvent(graph::NodeId node, std::size_t start,
+                                std::size_t count) {
+    return trace::makeNodeEvent(topology_.graph(), node, start, count, 1.0,
+                                1.0, 0.9, 0, rng_);
+  }
+
+  /// A link event on CHI-DEN: touches neither NYC nor SJC.
+  trace::ProblemEvent middleLinkEvent(std::size_t start, std::size_t count) {
+    const auto edge = topology_.graph().findEdge(topology_.at("CHI"),
+                                                 topology_.at("DEN"));
+    return trace::makeLinkEvent(topology_.graph(), *edge, start, count, 1.0,
+                                0.9, 0);
+  }
+
+  static std::vector<ProblematicInterval> intervals(
+      std::initializer_list<std::size_t> which) {
+    std::vector<ProblematicInterval> out;
+    for (const std::size_t i : which) out.push_back({i, 0.5});
+    return out;
+  }
+
+  trace::Topology topology_;
+  routing::Flow flow_;
+  util::Rng rng_;
+};
+
+TEST_F(ClassificationOnLtn, SourceEventClassifiedSourceOnly) {
+  const std::vector<trace::ProblemEvent> events{
+      nodeEvent(flow_.source, 5, 10)};
+  const auto counts = classifyProblems(topology_.graph(), events, flow_,
+                                       intervals({6, 7, 8}));
+  EXPECT_EQ(counts.sourceOnly, 3u);
+  EXPECT_EQ(counts.total(), 3u);
+  EXPECT_DOUBLE_EQ(counts.endpointInvolvedFraction(), 1.0);
+}
+
+TEST_F(ClassificationOnLtn, DestinationEventClassifiedDestinationOnly) {
+  const std::vector<trace::ProblemEvent> events{
+      nodeEvent(flow_.destination, 0, 10)};
+  const auto counts = classifyProblems(topology_.graph(), events, flow_,
+                                       intervals({1, 2}));
+  EXPECT_EQ(counts.destinationOnly, 2u);
+}
+
+TEST_F(ClassificationOnLtn, MiddleEventsClassifiedMiddle) {
+  const std::vector<trace::ProblemEvent> events{middleLinkEvent(0, 10)};
+  const auto counts = classifyProblems(topology_.graph(), events, flow_,
+                                       intervals({3}));
+  EXPECT_EQ(counts.middleOnly, 1u);
+  EXPECT_DOUBLE_EQ(counts.endpointInvolvedFraction(), 0.0);
+}
+
+TEST_F(ClassificationOnLtn, NodeEventAtNeighborOfDestinationTouchesIt) {
+  // DEN is adjacent to SJC, so a DEN node event that impairs the DEN-SJC
+  // link counts as destination involvement for the NYC->SJC flow.
+  const std::vector<trace::ProblemEvent> events{
+      nodeEvent(topology_.at("DEN"), 0, 10)};
+  const auto counts = classifyProblems(topology_.graph(), events, flow_,
+                                       intervals({3}));
+  EXPECT_EQ(counts.endpointAndMiddle, 1u);
+}
+
+TEST_F(ClassificationOnLtn, SimultaneousSourceAndDestination) {
+  const std::vector<trace::ProblemEvent> events{
+      nodeEvent(flow_.source, 0, 10), nodeEvent(flow_.destination, 5, 10)};
+  const auto counts = classifyProblems(topology_.graph(), events, flow_,
+                                       intervals({2, 7}));
+  EXPECT_EQ(counts.sourceOnly, 1u);        // interval 2: only source event
+  EXPECT_EQ(counts.sourceAndDestination, 1u);  // interval 7: both
+}
+
+TEST_F(ClassificationOnLtn, EndpointPlusMiddle) {
+  const std::vector<trace::ProblemEvent> events{
+      nodeEvent(flow_.source, 0, 10), middleLinkEvent(0, 10)};
+  const auto counts = classifyProblems(topology_.graph(), events, flow_,
+                                       intervals({4}));
+  EXPECT_EQ(counts.endpointAndMiddle, 1u);
+}
+
+TEST_F(ClassificationOnLtn, UnattributedWhenNoEventActive) {
+  const std::vector<trace::ProblemEvent> events{
+      nodeEvent(flow_.source, 0, 3)};
+  const auto counts = classifyProblems(topology_.graph(), events, flow_,
+                                       intervals({9}));
+  EXPECT_EQ(counts.unattributed, 1u);
+  EXPECT_DOUBLE_EQ(counts.endpointInvolvedFraction(), 0.0);
+}
+
+TEST_F(ClassificationOnLtn, NeighborNodeEventTouchingSourceLinkIsSourceArea) {
+  // An event at CHI (a neighbor of NYC) impairs the CHI<->NYC link; for
+  // the NYC->SJC flow its affected links touch the source, so the
+  // classification reports source involvement (possibly with middle).
+  const std::vector<trace::ProblemEvent> events{
+      nodeEvent(topology_.at("CHI"), 0, 10)};
+  const auto counts = classifyProblems(topology_.graph(), events, flow_,
+                                       intervals({1}));
+  EXPECT_EQ(counts.endpointAndMiddle, 1u);
+}
+
+TEST_F(ClassificationOnLtn, CombineSums) {
+  ProblemClassification a;
+  a.sourceOnly = 2;
+  a.middleOnly = 1;
+  ProblemClassification b;
+  b.sourceOnly = 1;
+  b.unattributed = 3;
+  const auto combined = combineClassifications({a, b});
+  EXPECT_EQ(combined.sourceOnly, 3u);
+  EXPECT_EQ(combined.middleOnly, 1u);
+  EXPECT_EQ(combined.unattributed, 3u);
+  EXPECT_EQ(combined.total(), 7u);
+}
+
+}  // namespace
+}  // namespace dg::playback

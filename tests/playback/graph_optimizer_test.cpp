@@ -1,0 +1,125 @@
+#include "playback/graph_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/targeted_graphs.hpp"
+#include "test_support.hpp"
+#include "trace/topology.hpp"
+#include "util/rng.hpp"
+
+namespace dg::playback {
+namespace {
+
+class OptimizerOnLtn : public ::testing::Test {
+ protected:
+  OptimizerOnLtn()
+      : topology_(trace::Topology::ltn12()),
+        flow_{topology_.at("NYC"), topology_.at("SJC")},
+        latencies_(topology_.graph().baseLatencies()),
+        losses_(topology_.graph().edgeCount(), 0.0) {}
+
+  trace::Topology topology_;
+  routing::Flow flow_;
+  std::vector<util::SimTime> latencies_;
+  std::vector<double> losses_;
+  OptimizerParams params_;
+};
+
+TEST_F(OptimizerOnLtn, HealthyNetworkNeedsOnePath) {
+  // With lossless links, a single timely path already achieves 1.0; the
+  // greedy loop must stop immediately (no gain to be had).
+  const auto result = optimizeDisseminationGraph(
+      topology_.graph(), flow_, losses_, latencies_, params_);
+  EXPECT_DOUBLE_EQ(result.onTimeProbability, 1.0);
+  EXPECT_EQ(result.steps.size(), 1u);
+  EXPECT_LE(result.graph.edgeCount(), 4u);
+  EXPECT_TRUE(result.graph.connectsFlow());
+}
+
+TEST_F(OptimizerOnLtn, RespectsEdgeBudget) {
+  for (const graph::EdgeId e : topology_.graph().outEdges(flow_.source)) {
+    losses_[e] = 0.5;
+  }
+  params_.edgeBudget = 7;
+  params_.mcSamples = 1000;
+  const auto result = optimizeDisseminationGraph(
+      topology_.graph(), flow_, losses_, latencies_, params_);
+  EXPECT_LE(result.graph.edgeCount(), 7u);
+  EXPECT_TRUE(result.graph.connectsFlow());
+}
+
+TEST_F(OptimizerOnLtn, GainsAreMonotone) {
+  for (const graph::EdgeId e : topology_.graph().outEdges(flow_.source)) {
+    losses_[e] = 0.6;
+  }
+  params_.mcSamples = 1500;
+  const auto result = optimizeDisseminationGraph(
+      topology_.graph(), flow_, losses_, latencies_, params_);
+  ASSERT_GE(result.steps.size(), 2u);
+  for (std::size_t i = 1; i < result.steps.size(); ++i) {
+    EXPECT_GT(result.steps[i].second, result.steps[i - 1].second);
+    EXPECT_GT(result.steps[i].first, result.steps[i - 1].first);
+  }
+}
+
+TEST_F(OptimizerOnLtn, UsesSourceRedundancyUnderSourceLoss) {
+  // Every source link lossy: the optimizer should fan out over several
+  // source links, just like the targeted source-problem graph does.
+  for (const graph::EdgeId e : topology_.graph().outEdges(flow_.source)) {
+    losses_[e] = 0.6;
+  }
+  params_.mcSamples = 2000;
+  const auto result = optimizeDisseminationGraph(
+      topology_.graph(), flow_, losses_, latencies_, params_);
+  EXPECT_GE(result.graph.outEdges(flow_.source).size(), 3u);
+  // And it must approach the targeted source-problem graph's quality.
+  const auto targeted = routing::buildTargetedGraphs(
+      topology_.graph(), flow_, latencies_, params_.delivery.deadline);
+  util::Rng rng(5);
+  const double targetedScore =
+      onTimeProbabilityMC(targeted.sourceProblem, losses_, latencies_,
+                          params_.delivery, 20'000, rng);
+  EXPECT_GE(result.onTimeProbability, targetedScore - 0.03);
+}
+
+TEST_F(OptimizerOnLtn, AvoidsDeadLink) {
+  // One source link completely dead: an optimized graph should waste no
+  // budget on it when a budget squeeze is on.
+  const auto dead = topology_.graph().outEdges(flow_.source)[0];
+  losses_[dead] = 1.0;
+  params_.edgeBudget = 6;
+  params_.mcSamples = 1500;
+  const auto result = optimizeDisseminationGraph(
+      topology_.graph(), flow_, losses_, latencies_, params_);
+  EXPECT_TRUE(result.graph.connectsFlow());
+  EXPECT_GT(result.onTimeProbability, 0.99);
+}
+
+TEST_F(OptimizerOnLtn, NoFeasibleRouteReturnsEmpty) {
+  OptimizerParams params;
+  params.delivery.deadline = util::milliseconds(5);  // impossible
+  const auto result = optimizeDisseminationGraph(
+      topology_.graph(), flow_, losses_, latencies_, params);
+  EXPECT_EQ(result.graph.edgeCount(), 0u);
+  EXPECT_DOUBLE_EQ(result.onTimeProbability, 0.0);
+}
+
+TEST(OptimizerDiamond, ExactOnTinyGraph) {
+  // Diamond with both first hops at 50% loss and no recovery: one path
+  // delivers 50%, both paths 75%. The optimizer must find the union.
+  test::Diamond d;
+  std::vector<double> losses(d.g.edgeCount(), 0.0);
+  losses[d.sa] = 0.5;
+  losses[d.sb] = 0.5;
+  OptimizerParams params;
+  params.delivery.recoveryEnabled = false;
+  params.delivery.deadline = util::milliseconds(40);
+  params.mcSamples = 20'000;
+  const auto result = optimizeDisseminationGraph(
+      d.g, routing::Flow{d.s, d.d}, losses, d.g.baseLatencies(), params);
+  EXPECT_GE(result.graph.outEdges(d.s).size(), 2u);
+  EXPECT_NEAR(result.onTimeProbability, 0.75, 0.02);
+}
+
+}  // namespace
+}  // namespace dg::playback

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "playback/playback.hpp"
+#include "trace/synth.hpp"
+#include "trace/topology.hpp"
+
+namespace dg::playback {
+namespace {
+
+class LatencyCollection : public ::testing::Test {
+ protected:
+  LatencyCollection()
+      : topology_(trace::Topology::ltn12()),
+        trace_(util::seconds(10), 20,
+               trace::healthyBaseline(topology_.graph(), 1e-4)),
+        flow_{topology_.at("NYC"), topology_.at("SJC")} {}
+
+  trace::Topology topology_;
+  trace::Trace trace_;
+  routing::Flow flow_;
+};
+
+TEST_F(LatencyCollection, DisabledByDefault) {
+  const PlaybackEngine engine(topology_.graph(), trace_, PlaybackParams{});
+  const auto result = engine.run(flow_, routing::SchemeKind::StaticSinglePath,
+                                 routing::SchemeParams{});
+  EXPECT_TRUE(result.intervalLatenciesUs.empty());
+  EXPECT_GT(result.averageLatencyUs, 0.0);
+}
+
+TEST_F(LatencyCollection, CollectsOnePerReachableInterval) {
+  PlaybackParams params;
+  params.collectIntervalLatencies = true;
+  const PlaybackEngine engine(topology_.graph(), trace_, params);
+  const auto result = engine.run(flow_, routing::SchemeKind::StaticSinglePath,
+                                 routing::SchemeParams{});
+  ASSERT_EQ(result.intervalLatenciesUs.size(), trace_.intervalCount());
+  // Healthy network: every interval at the shortest-path latency, and the
+  // mean equals the summary statistic.
+  double sum = 0;
+  for (const double latency : result.intervalLatenciesUs) {
+    EXPECT_DOUBLE_EQ(latency, result.intervalLatenciesUs.front());
+    sum += latency;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(result.intervalLatenciesUs.size()),
+              result.averageLatencyUs, 1e-9);
+}
+
+TEST_F(LatencyCollection, LatencyEventShowsInTail) {
+  // Inflate every NYC link's latency by 20ms for intervals 5..9: the
+  // single static path's collected latencies must rise there.
+  const auto& g = topology_.graph();
+  const auto nyc = topology_.at("NYC");
+  for (std::size_t i = 5; i < 10; ++i) {
+    for (const graph::EdgeId e : g.outEdges(nyc)) {
+      trace_.setCondition(
+          e, i,
+          trace::LinkConditions{1e-4, g.edge(e).latency +
+                                          util::milliseconds(20)});
+    }
+  }
+  PlaybackParams params;
+  params.collectIntervalLatencies = true;
+  const PlaybackEngine engine(topology_.graph(), trace_, params);
+  const auto result = engine.run(flow_, routing::SchemeKind::StaticSinglePath,
+                                 routing::SchemeParams{});
+  ASSERT_EQ(result.intervalLatenciesUs.size(), trace_.intervalCount());
+  const double healthy = result.intervalLatenciesUs.front();
+  for (std::size_t i = 5; i < 10; ++i) {
+    EXPECT_NEAR(result.intervalLatenciesUs[i], healthy + 20'000.0, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(result.intervalLatenciesUs[12], healthy);
+}
+
+TEST_F(LatencyCollection, UnreachableIntervalsAreSkipped) {
+  // Source completely isolated in intervals 3..5: no latency recorded.
+  const auto& g = topology_.graph();
+  const auto nyc = topology_.at("NYC");
+  for (std::size_t i = 3; i < 6; ++i) {
+    for (const graph::EdgeId e : g.outEdges(nyc)) {
+      trace_.setCondition(e, i,
+                          trace::LinkConditions{1e-4, util::kNever});
+    }
+  }
+  PlaybackParams params;
+  params.collectIntervalLatencies = true;
+  const PlaybackEngine engine(topology_.graph(), trace_, params);
+  const auto result = engine.run(flow_, routing::SchemeKind::StaticSinglePath,
+                                 routing::SchemeParams{});
+  EXPECT_EQ(result.intervalLatenciesUs.size(), trace_.intervalCount() - 3);
+}
+
+}  // namespace
+}  // namespace dg::playback

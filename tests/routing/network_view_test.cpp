@@ -1,0 +1,62 @@
+#include "routing/network_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace dg::routing {
+namespace {
+
+TEST(NetworkView, BaselineFromTrace) {
+  test::Line line;
+  const auto trace = test::healthyTrace(line.g, 5, util::seconds(10), 1e-4);
+  const auto view = NetworkView::baseline(trace);
+  EXPECT_EQ(view.edgeCount(), 4u);
+  EXPECT_DOUBLE_EQ(view.lossRate(line.sm), 1e-4);
+  EXPECT_EQ(view.latency(line.sm), util::milliseconds(10));
+}
+
+TEST(NetworkView, AtIntervalReflectsDeviation) {
+  test::Line line;
+  auto trace = test::healthyTrace(line.g, 5);
+  trace.setCondition(line.md, 2,
+                     trace::LinkConditions{0.3, util::milliseconds(25)});
+  const auto view = NetworkView::atInterval(trace, 2);
+  EXPECT_DOUBLE_EQ(view.lossRate(line.md), 0.3);
+  EXPECT_EQ(view.latency(line.md), util::milliseconds(25));
+  const auto healthy = NetworkView::atInterval(trace, 1);
+  EXPECT_DOUBLE_EQ(healthy.lossRate(line.md), 0.0);
+}
+
+TEST(NetworkView, SizeMismatchThrows) {
+  EXPECT_THROW(NetworkView({0.0}, {}), std::invalid_argument);
+}
+
+TEST(RoutingWeights, HealthyLinksKeepLatency) {
+  NetworkView view({0.0, 0.005}, {1000, 2000});
+  const auto weights = view.routingWeights(ViewParams{});
+  EXPECT_EQ(weights[0], 1000);
+  EXPECT_EQ(weights[1], 2000);  // below degraded threshold: no penalty
+}
+
+TEST(RoutingWeights, DegradedLinksPenalized) {
+  ViewParams params;
+  params.degradedLoss = 0.01;
+  params.lossPenaltyFactor = 10.0;
+  NetworkView view({0.1}, {1000});
+  const auto weights = view.routingWeights(params);
+  EXPECT_EQ(weights[0], 2000);  // 1000 * (1 + 10*0.1)
+}
+
+TEST(RoutingWeights, UnusableLinksExcluded) {
+  ViewParams params;
+  params.unusableLoss = 0.5;
+  NetworkView view({0.5, 0.99, 0.49}, {1000, 1000, 1000});
+  const auto weights = view.routingWeights(params);
+  EXPECT_EQ(weights[0], util::kNever);
+  EXPECT_EQ(weights[1], util::kNever);
+  EXPECT_NE(weights[2], util::kNever);
+}
+
+}  // namespace
+}  // namespace dg::routing

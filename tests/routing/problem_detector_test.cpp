@@ -1,0 +1,172 @@
+#include "routing/problem_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "trace/topology.hpp"
+
+namespace dg::routing {
+namespace {
+
+class DetectorOnLtn : public ::testing::Test {
+ protected:
+  DetectorOnLtn()
+      : topology_(trace::Topology::ltn12()),
+        detector_(topology_.graph(), DetectorParams{}) {}
+
+  NetworkView healthyView() const {
+    const auto& g = topology_.graph();
+    return NetworkView(std::vector<double>(g.edgeCount(), 1e-4),
+                       g.baseLatencies());
+  }
+
+  /// Degrades every link adjacent to `node` (both directions) to `loss`.
+  NetworkView nodeProblemView(graph::NodeId node, double loss) const {
+    const auto& g = topology_.graph();
+    std::vector<double> losses(g.edgeCount(), 1e-4);
+    for (const graph::EdgeId e : g.outEdges(node)) {
+      losses[e] = loss;
+      if (const auto r = g.reverseEdge(e)) losses[*r] = loss;
+    }
+    return NetworkView(std::move(losses), g.baseLatencies());
+  }
+
+  trace::Topology topology_;
+  ProblemDetector detector_;
+};
+
+TEST_F(DetectorOnLtn, HealthyNetworkHasNoProblems) {
+  const auto view = healthyView();
+  const auto flags = detector_.problematicEdges(view);
+  for (const char f : flags) EXPECT_EQ(f, 0);
+  const auto problem =
+      detector_.classify(view, topology_.at("NYC"), topology_.at("SJC"));
+  EXPECT_FALSE(problem.any());
+}
+
+TEST_F(DetectorOnLtn, LossAboveThresholdFlagsEdge) {
+  const auto& g = topology_.graph();
+  std::vector<double> losses(g.edgeCount(), 1e-4);
+  losses[5] = 0.06;
+  const NetworkView view(std::move(losses), g.baseLatencies());
+  const auto flags = detector_.problematicEdges(view);
+  EXPECT_EQ(flags[5], 1);
+}
+
+TEST_F(DetectorOnLtn, LatencyInflationFlagsEdge) {
+  const auto& g = topology_.graph();
+  auto latencies = g.baseLatencies();
+  latencies[3] += util::milliseconds(20);
+  const NetworkView view(std::vector<double>(g.edgeCount(), 0.0),
+                         std::move(latencies));
+  const auto flags = detector_.problematicEdges(view);
+  EXPECT_EQ(flags[3], 1);
+  for (std::size_t e = 0; e < flags.size(); ++e) {
+    if (e != 3) EXPECT_EQ(flags[e], 0) << e;
+  }
+}
+
+TEST_F(DetectorOnLtn, NodeProblemRequiresMultipleLinks) {
+  const auto& g = topology_.graph();
+  const auto nyc = topology_.at("NYC");
+  // One bad adjacent link is not a node problem.
+  std::vector<double> losses(g.edgeCount(), 1e-4);
+  losses[g.outEdges(nyc)[0]] = 0.5;
+  EXPECT_FALSE(detector_.nodeProblem(
+      NetworkView(std::move(losses), g.baseLatencies()), nyc));
+  // All adjacent links bad is.
+  EXPECT_TRUE(detector_.nodeProblem(nodeProblemView(nyc, 0.5), nyc));
+}
+
+TEST_F(DetectorOnLtn, ClassifySourceProblem) {
+  const auto nyc = topology_.at("NYC");
+  const auto sjc = topology_.at("SJC");
+  const auto problem = detector_.classify(nodeProblemView(nyc, 0.5), nyc, sjc);
+  EXPECT_TRUE(problem.source);
+  EXPECT_FALSE(problem.destination);
+  // NYC's links are source-adjacent for this flow, not middle.
+  EXPECT_FALSE(problem.middle);
+}
+
+TEST_F(DetectorOnLtn, ClassifyDestinationProblem) {
+  const auto nyc = topology_.at("NYC");
+  const auto sjc = topology_.at("SJC");
+  const auto problem = detector_.classify(nodeProblemView(sjc, 0.5), nyc, sjc);
+  EXPECT_FALSE(problem.source);
+  EXPECT_TRUE(problem.destination);
+}
+
+TEST_F(DetectorOnLtn, ClassifyMiddleProblem) {
+  const auto nyc = topology_.at("NYC");
+  const auto sjc = topology_.at("SJC");
+  const auto den = topology_.at("DEN");
+  const auto problem = detector_.classify(nodeProblemView(den, 0.5), nyc, sjc);
+  EXPECT_FALSE(problem.source);
+  EXPECT_FALSE(problem.destination);
+  EXPECT_TRUE(problem.middle);
+}
+
+TEST_F(DetectorOnLtn, ClassifySourceAndDestination) {
+  const auto& g = topology_.graph();
+  const auto nyc = topology_.at("NYC");
+  const auto sjc = topology_.at("SJC");
+  std::vector<double> losses(g.edgeCount(), 1e-4);
+  for (const graph::NodeId node : {nyc, sjc}) {
+    for (const graph::EdgeId e : g.outEdges(node)) {
+      losses[e] = 0.5;
+      if (const auto r = g.reverseEdge(e)) losses[*r] = 0.5;
+    }
+  }
+  const auto problem = detector_.classify(
+      NetworkView(std::move(losses), g.baseLatencies()), nyc, sjc);
+  EXPECT_TRUE(problem.source);
+  EXPECT_TRUE(problem.destination);
+}
+
+TEST_F(DetectorOnLtn, NeighborEventCountsTowardBothNodes) {
+  // A problem on the NYC-CHI link (one link only) is problematic for the
+  // edge but a node problem for neither endpoint under default params.
+  const auto& g = topology_.graph();
+  const auto nyc = topology_.at("NYC");
+  const auto chi = topology_.at("CHI");
+  std::vector<double> losses(g.edgeCount(), 1e-4);
+  const auto e = g.findEdge(nyc, chi);
+  ASSERT_TRUE(e.has_value());
+  losses[*e] = 0.8;
+  const NetworkView view(std::move(losses), g.baseLatencies());
+  EXPECT_FALSE(detector_.nodeProblem(view, nyc));
+  EXPECT_FALSE(detector_.nodeProblem(view, chi));
+}
+
+TEST(ProblemDetectorParams, FractionRequirementScalesWithDegree) {
+  // Node with 8 links and nodeMinFraction 0.3 requires ceil(2.4) = 3.
+  const auto topology = trace::Topology::ltn12();
+  const auto& g = topology.graph();
+  const auto chi = topology.at("CHI");
+  ASSERT_EQ(g.outDegree(chi), 8u);
+  DetectorParams params;
+  params.nodeMinLinks = 2;
+  params.nodeMinFraction = 0.3;
+  const ProblemDetector detector(g, params);
+  std::vector<double> losses(g.edgeCount(), 1e-4);
+  // Two bad links: below ceil(0.3*8)=3.
+  losses[g.outEdges(chi)[0]] = 0.5;
+  losses[g.outEdges(chi)[1]] = 0.5;
+  EXPECT_FALSE(detector.nodeProblem(
+      NetworkView(losses, g.baseLatencies()), chi));
+  losses[g.outEdges(chi)[2]] = 0.5;
+  EXPECT_TRUE(detector.nodeProblem(
+      NetworkView(losses, g.baseLatencies()), chi));
+}
+
+TEST(FlowProblem, AnyAndEquality) {
+  FlowProblem none;
+  EXPECT_FALSE(none.any());
+  FlowProblem src{true, false, false};
+  EXPECT_TRUE(src.any());
+  EXPECT_EQ(src, (FlowProblem{true, false, false}));
+  EXPECT_NE(src, none);
+}
+
+}  // namespace
+}  // namespace dg::routing

@@ -1,0 +1,133 @@
+// Parameterized invariants: every scheme, across parameter sweeps
+// (disjoint-path count, hold-down, deadline), must produce dissemination
+// graphs that connect the flow, meet the deadline on a healthy network,
+// and stay within sane size bounds. These are the contracts the playback
+// engine and transport service rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "routing/scheme.hpp"
+#include "util/rng.hpp"
+#include "trace/topology.hpp"
+#include "trace/trace.hpp"
+
+namespace dg::routing {
+namespace {
+
+struct SweepCase {
+  SchemeKind kind;
+  int disjointPaths;
+  int holdDown;
+  int deadlineMs;
+};
+
+std::string caseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name{schemeName(info.param.kind)};
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name + "_k" + std::to_string(info.param.disjointPaths) + "_h" +
+         std::to_string(info.param.holdDown) + "_d" +
+         std::to_string(info.param.deadlineMs);
+}
+
+class SchemeSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  SchemeSweep()
+      : topology_(trace::Topology::ltn12()),
+        trace_(util::seconds(10), 4,
+               trace::healthyBaseline(topology_.graph(), 1e-4)) {}
+
+  trace::Topology topology_;
+  trace::Trace trace_;
+};
+
+TEST_P(SchemeSweep, HealthyInvariants) {
+  const SweepCase& c = GetParam();
+  SchemeParams params;
+  params.disjointPaths = c.disjointPaths;
+  params.holdDownIntervals = c.holdDown;
+  params.deadline = util::milliseconds(c.deadlineMs);
+
+  for (const auto& [srcName, dstName] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"NYC", "SJC"}, {"SEA", "ATL"}, {"JHU", "LAX"}}) {
+    const Flow flow{topology_.at(srcName), topology_.at(dstName)};
+    auto scheme = makeScheme(c.kind, topology_.graph(), flow, params);
+    const auto baseline = NetworkView::baseline(trace_);
+    scheme->initialize(baseline);
+    const auto& dg = scheme->select(baseline);
+
+    EXPECT_TRUE(dg.connectsFlow()) << srcName << "->" << dstName;
+    EXPECT_EQ(dg.source(), flow.source);
+    EXPECT_EQ(dg.destination(), flow.destination);
+    const auto weights = topology_.graph().baseLatencies();
+    EXPECT_TRUE(dg.meetsDeadline(weights, params.deadline));
+    EXPECT_GE(dg.edgeCount(), 2u);
+    EXPECT_LE(dg.edgeCount(), topology_.graph().edgeCount());
+    // Selecting again with the same view is stable.
+    EXPECT_EQ(scheme->select(baseline), dg);
+  }
+}
+
+TEST_P(SchemeSweep, SurvivesChaoticViews) {
+  // Feed the scheme a sequence of adversarial views (random loss spikes,
+  // latency inflation, blackouts); it must always return a usable graph
+  // object (never crash, never return a graph for the wrong flow).
+  const SweepCase& c = GetParam();
+  SchemeParams params;
+  params.disjointPaths = c.disjointPaths;
+  params.holdDownIntervals = c.holdDown;
+  params.deadline = util::milliseconds(c.deadlineMs);
+  const Flow flow{topology_.at("NYC"), topology_.at("SJC")};
+  auto scheme = makeScheme(c.kind, topology_.graph(), flow, params);
+  scheme->initialize(NetworkView::baseline(trace_));
+
+  util::Rng rng(1234);
+  const auto& g = topology_.graph();
+  for (int step = 0; step < 40; ++step) {
+    std::vector<double> losses(g.edgeCount());
+    auto latencies = g.baseLatencies();
+    for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) {
+      const double roll = rng.uniform();
+      if (roll < 0.1) {
+        losses[e] = 1.0;
+      } else if (roll < 0.3) {
+        losses[e] = rng.uniform(0.05, 0.95);
+      } else {
+        losses[e] = 1e-4;
+      }
+      if (rng.bernoulli(0.1)) {
+        latencies[e] += util::milliseconds(
+            static_cast<std::int64_t>(rng.uniformInt(1, 200)));
+      }
+    }
+    const NetworkView view(std::move(losses), std::move(latencies));
+    const auto& dg = scheme->select(view);
+    EXPECT_EQ(dg.source(), flow.source);
+    EXPECT_EQ(dg.destination(), flow.destination);
+    // Whatever the view, the scheme keeps *some* forwarding structure.
+    EXPECT_GT(dg.edgeCount(), 0u);
+  }
+}
+
+std::vector<SweepCase> sweepCases() {
+  std::vector<SweepCase> cases;
+  for (const SchemeKind kind : allSchemeKinds()) {
+    cases.push_back({kind, 2, 3, 65});
+  }
+  // Parameter variations on the schemes they matter for.
+  cases.push_back({SchemeKind::DynamicTwoDisjoint, 1, 3, 65});
+  cases.push_back({SchemeKind::DynamicTwoDisjoint, 3, 3, 65});
+  cases.push_back({SchemeKind::StaticTwoDisjoint, 3, 3, 65});
+  cases.push_back({SchemeKind::TargetedRedundancy, 2, 0, 65});
+  cases.push_back({SchemeKind::TargetedRedundancy, 2, 10, 65});
+  cases.push_back({SchemeKind::TargetedRedundancy, 2, 3, 100});
+  cases.push_back({SchemeKind::TimeConstrainedFlooding, 2, 3, 45});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeSweep,
+                         ::testing::ValuesIn(sweepCases()), caseName);
+
+}  // namespace
+}  // namespace dg::routing

@@ -1,0 +1,236 @@
+#include "routing/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/disjoint_paths.hpp"
+#include "trace/topology.hpp"
+#include "trace/trace.hpp"
+
+namespace dg::routing {
+namespace {
+
+class SchemesOnLtn : public ::testing::Test {
+ protected:
+  SchemesOnLtn()
+      : topology_(trace::Topology::ltn12()),
+        trace_(util::seconds(10), 4,
+               trace::healthyBaseline(topology_.graph(), 1e-4)),
+        flow_{topology_.at("NYC"), topology_.at("SJC")} {}
+
+  std::unique_ptr<RoutingScheme> makeInitialized(SchemeKind kind) {
+    auto scheme = makeScheme(kind, topology_.graph(), flow_, params_);
+    scheme->initialize(NetworkView::baseline(trace_));
+    return scheme;
+  }
+
+  /// A view where every link adjacent to `node` is heavily lossy.
+  NetworkView degradedNodeView(graph::NodeId node, double loss) const {
+    const auto& g = topology_.graph();
+    std::vector<double> losses(g.edgeCount(), 1e-4);
+    for (const graph::EdgeId e : g.outEdges(node)) {
+      losses[e] = loss;
+      if (const auto r = g.reverseEdge(e)) losses[*r] = loss;
+    }
+    return NetworkView(std::move(losses), g.baseLatencies());
+  }
+
+  trace::Topology topology_;
+  trace::Trace trace_;
+  Flow flow_;
+  SchemeParams params_;
+};
+
+TEST(SchemeNames, RoundTrip) {
+  for (const SchemeKind kind : allSchemeKinds()) {
+    EXPECT_EQ(parseSchemeKind(schemeName(kind)), kind);
+  }
+  EXPECT_THROW(parseSchemeKind("nope"), std::invalid_argument);
+  EXPECT_EQ(allSchemeKinds().size(), 6u);
+}
+
+TEST_F(SchemesOnLtn, EverySchemeConnectsOnHealthyNetwork) {
+  for (const SchemeKind kind : allSchemeKinds()) {
+    auto scheme = makeInitialized(kind);
+    const auto& dg = scheme->select(NetworkView::baseline(trace_));
+    EXPECT_TRUE(dg.connectsFlow()) << schemeName(kind);
+    EXPECT_TRUE(dg.meetsDeadline(topology_.graph().baseLatencies(),
+                                 params_.deadline))
+        << schemeName(kind);
+    EXPECT_EQ(std::string_view(scheme->name()), schemeName(kind));
+  }
+}
+
+TEST_F(SchemesOnLtn, SingleStaticIsShortestPathAndStable) {
+  auto scheme = makeInitialized(SchemeKind::StaticSinglePath);
+  const auto baseline = NetworkView::baseline(trace_);
+  const auto& dg = scheme->select(baseline);
+  const auto weights = topology_.graph().baseLatencies();
+  // Edge count equals shortest path hop count.
+  const auto best = graph::nodeDisjointPaths(topology_.graph(), flow_.source,
+                                             flow_.destination, weights, 1);
+  EXPECT_EQ(dg.edgeCount(), best.paths.at(0).size());
+  // Static: stays put even when its path degrades.
+  const auto degraded = degradedNodeView(flow_.source, 0.9);
+  EXPECT_EQ(scheme->select(degraded), dg);
+}
+
+TEST_F(SchemesOnLtn, DynamicSingleRoutesAroundMiddleProblem) {
+  auto scheme = makeInitialized(SchemeKind::DynamicSinglePath);
+  const auto baseline = NetworkView::baseline(trace_);
+  const auto healthyDg = scheme->select(baseline);
+  // Degrade the first middle link of the current path beyond the
+  // unusable threshold.
+  const auto& g = topology_.graph();
+  graph::EdgeId victim = graph::kInvalidEdge;
+  for (const graph::EdgeId e : healthyDg.edges()) {
+    if (g.edge(e).from != flow_.source) {
+      victim = e;
+      break;
+    }
+  }
+  ASSERT_NE(victim, graph::kInvalidEdge);
+  std::vector<double> losses(g.edgeCount(), 1e-4);
+  losses[victim] = 0.9;
+  const NetworkView degraded(std::move(losses), g.baseLatencies());
+  const auto& rerouted = scheme->select(degraded);
+  EXPECT_FALSE(rerouted.contains(victim));
+  EXPECT_TRUE(rerouted.connectsFlow());
+}
+
+TEST_F(SchemesOnLtn, DynamicSingleKeepsGraphWhenNoRouteExists) {
+  auto scheme = makeInitialized(SchemeKind::DynamicSinglePath);
+  const auto baseline = NetworkView::baseline(trace_);
+  const auto healthy = scheme->select(baseline);
+  // Total source blackout: no route in the view; scheme keeps previous.
+  const auto dead = degradedNodeView(flow_.source, 1.0);
+  EXPECT_EQ(scheme->select(dead), healthy);
+}
+
+TEST_F(SchemesOnLtn, StaticTwoDisjointHasTwoFirstHops) {
+  auto scheme = makeInitialized(SchemeKind::StaticTwoDisjoint);
+  const auto& dg = scheme->select(NetworkView::baseline(trace_));
+  EXPECT_EQ(dg.outEdges(flow_.source).size(), 2u);
+}
+
+TEST_F(SchemesOnLtn, DynamicTwoDisjointAvoidsDegradedFirstHops) {
+  auto scheme = makeInitialized(SchemeKind::DynamicTwoDisjoint);
+  const auto baseline = NetworkView::baseline(trace_);
+  const auto healthy = scheme->select(baseline);
+  const auto firstHops = healthy.outEdges(flow_.source);
+  ASSERT_EQ(firstHops.size(), 2u);
+  // Make both current first hops unusable; dynamic must pick others.
+  const auto& g = topology_.graph();
+  std::vector<double> losses(g.edgeCount(), 1e-4);
+  std::vector<graph::EdgeId> oldHops(firstHops.begin(), firstHops.end());
+  for (const graph::EdgeId e : oldHops) losses[e] = 0.9;
+  const NetworkView degraded(std::move(losses), g.baseLatencies());
+  const auto& rerouted = scheme->select(degraded);
+  for (const graph::EdgeId e : oldHops) {
+    EXPECT_FALSE(rerouted.contains(e));
+  }
+  EXPECT_TRUE(rerouted.connectsFlow());
+}
+
+TEST_F(SchemesOnLtn, FloodingUsesDeadlineFeasibleEdgesOnly) {
+  auto scheme = makeInitialized(SchemeKind::TimeConstrainedFlooding);
+  const auto& dg = scheme->select(NetworkView::baseline(trace_));
+  EXPECT_TRUE(dg.connectsFlow());
+  // Far fewer than all 64 edges can contribute to a 65 ms NYC->SJC
+  // delivery (transatlantic detours cannot), but many can.
+  EXPECT_LT(dg.edgeCount(), topology_.graph().edgeCount());
+  EXPECT_GT(dg.edgeCount(), 10u);
+}
+
+TEST_F(SchemesOnLtn, FloodingStructureIsStatic) {
+  // The optimal benchmark never reacts to measurements: reacting could
+  // only remove edges that might be useful an instant later.
+  auto scheme = makeInitialized(SchemeKind::TimeConstrainedFlooding);
+  const auto baseline = NetworkView::baseline(trace_);
+  const auto healthy = scheme->select(baseline);
+  const auto& g = topology_.graph();
+  auto latencies = g.baseLatencies();
+  latencies[healthy.outEdges(flow_.source)[0]] = util::milliseconds(500);
+  const NetworkView slowView(std::vector<double>(g.edgeCount(), 0.9),
+                             std::move(latencies));
+  EXPECT_EQ(scheme->select(slowView), healthy);
+}
+
+TEST_F(SchemesOnLtn, TargetedSwitchesOnSourceProblem) {
+  auto scheme = makeInitialized(SchemeKind::TargetedRedundancy);
+  const auto baseline = NetworkView::baseline(trace_);
+  const auto& normal = scheme->select(baseline);
+  const std::size_t normalFirstHops = normal.outEdges(flow_.source).size();
+  EXPECT_EQ(normalFirstHops, 2u);
+
+  const auto& switched =
+      scheme->select(degradedNodeView(flow_.source, 0.4));
+  EXPECT_GT(switched.outEdges(flow_.source).size(), normalFirstHops);
+  // Flap damping: the targeted graph is held for holdDownIntervals
+  // healthy views before falling back to the default.
+  for (int i = 0; i < params_.holdDownIntervals; ++i) {
+    EXPECT_GT(scheme->select(baseline).outEdges(flow_.source).size(),
+              normalFirstHops)
+        << "hold-down interval " << i;
+  }
+  EXPECT_EQ(scheme->select(baseline).outEdges(flow_.source).size(),
+            normalFirstHops);
+}
+
+TEST_F(SchemesOnLtn, TargetedSwitchesOnDestinationProblem) {
+  auto scheme = makeInitialized(SchemeKind::TargetedRedundancy);
+  const auto& g = topology_.graph();
+  const auto& switched =
+      scheme->select(degradedNodeView(flow_.destination, 0.4));
+  std::size_t lastHops = 0;
+  for (const graph::EdgeId e : switched.edges()) {
+    if (g.edge(e).to == flow_.destination) ++lastHops;
+  }
+  EXPECT_GT(lastHops, 2u);
+}
+
+TEST_F(SchemesOnLtn, TargetedUsesRobustOnDoubleProblem) {
+  auto scheme = makeInitialized(SchemeKind::TargetedRedundancy);
+  const auto& g = topology_.graph();
+  std::vector<double> losses(g.edgeCount(), 1e-4);
+  for (const graph::NodeId node : {flow_.source, flow_.destination}) {
+    for (const graph::EdgeId e : g.outEdges(node)) {
+      losses[e] = 0.4;
+      if (const auto r = g.reverseEdge(e)) losses[*r] = 0.4;
+    }
+  }
+  const NetworkView doubled(std::move(losses), g.baseLatencies());
+  const auto& robust = scheme->select(doubled);
+  EXPECT_GT(robust.outEdges(flow_.source).size(), 2u);
+  std::size_t lastHops = 0;
+  for (const graph::EdgeId e : robust.edges()) {
+    if (g.edge(e).to == flow_.destination) ++lastHops;
+  }
+  EXPECT_GT(lastHops, 2u);
+}
+
+TEST_F(SchemesOnLtn, TargetedRecomputesOnMiddleProblem) {
+  auto scheme = makeInitialized(SchemeKind::TargetedRedundancy);
+  const auto baseline = NetworkView::baseline(trace_);
+  const auto normal = scheme->select(baseline);
+  // Break a middle link on the default graph.
+  const auto& g = topology_.graph();
+  graph::EdgeId victim = graph::kInvalidEdge;
+  for (const graph::EdgeId e : normal.edges()) {
+    if (g.edge(e).from != flow_.source && g.edge(e).to != flow_.destination) {
+      victim = e;
+      break;
+    }
+  }
+  ASSERT_NE(victim, graph::kInvalidEdge);
+  std::vector<double> losses(g.edgeCount(), 1e-4);
+  losses[victim] = 0.9;
+  const NetworkView degraded(std::move(losses), g.baseLatencies());
+  const auto& rerouted = scheme->select(degraded);
+  EXPECT_FALSE(rerouted.contains(victim));
+  EXPECT_TRUE(rerouted.connectsFlow());
+  // Still a two-disjoint-paths style graph, not broad redundancy.
+  EXPECT_EQ(rerouted.outEdges(flow_.source).size(), 2u);
+}
+
+}  // namespace
+}  // namespace dg::routing

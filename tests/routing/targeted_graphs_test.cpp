@@ -1,0 +1,139 @@
+#include "routing/targeted_graphs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/disjoint_paths.hpp"
+#include "graph/shortest_path.hpp"
+#include "trace/topology.hpp"
+
+namespace dg::routing {
+namespace {
+
+class TargetedOnLtn : public ::testing::Test {
+ protected:
+  TargetedOnLtn()
+      : topology_(trace::Topology::ltn12()),
+        weights_(topology_.graph().baseLatencies()),
+        flow_{topology_.at("NYC"), topology_.at("SJC")},
+        graphs_(buildTargetedGraphs(topology_.graph(), flow_, weights_,
+                                    util::milliseconds(65))) {}
+
+  trace::Topology topology_;
+  std::vector<util::SimTime> weights_;
+  Flow flow_;
+  TargetedGraphs graphs_;
+};
+
+TEST_F(TargetedOnLtn, DefaultIsTwoDisjointPaths) {
+  const auto disjoint = graph::nodeDisjointPaths(
+      topology_.graph(), flow_.source, flow_.destination, weights_, 2);
+  ASSERT_EQ(disjoint.paths.size(), 2u);
+  std::size_t expectedEdges = 0;
+  for (const auto& path : disjoint.paths) expectedEdges += path.size();
+  EXPECT_EQ(graphs_.twoDisjoint.edgeCount(), expectedEdges);
+  EXPECT_TRUE(graphs_.twoDisjoint.connectsFlow());
+}
+
+TEST_F(TargetedOnLtn, SourceGraphUsesEverySourceLink) {
+  // The source-problem graph must leave the source on every adjacent
+  // link that can still meet the deadline -- that is its whole point.
+  const auto& g = topology_.graph();
+  std::size_t feasibleOutLinks = 0;
+  const auto toDst =
+      graph::dijkstraDistancesTo(g, flow_.destination, weights_);
+  for (const graph::EdgeId e : g.outEdges(flow_.source)) {
+    if (weights_[e] + toDst[g.edge(e).to] <= util::milliseconds(65))
+      ++feasibleOutLinks;
+  }
+  EXPECT_GE(feasibleOutLinks, 3u);
+  EXPECT_EQ(graphs_.sourceProblem.outEdges(flow_.source).size(),
+            feasibleOutLinks);
+}
+
+TEST_F(TargetedOnLtn, DestinationGraphUsesEveryDestinationLink) {
+  const auto& g = topology_.graph();
+  std::size_t feasibleInLinks = 0;
+  const auto fromSrc = graph::dijkstraDistances(g, flow_.source, weights_);
+  for (const graph::EdgeId e : g.inEdges(flow_.destination)) {
+    if (fromSrc[g.edge(e).from] + weights_[e] <= util::milliseconds(65))
+      ++feasibleInLinks;
+  }
+  EXPECT_GE(feasibleInLinks, 3u);
+  std::size_t memberInLinks = 0;
+  for (const graph::EdgeId e : graphs_.destinationProblem.edges()) {
+    if (g.edge(e).to == flow_.destination) ++memberInLinks;
+  }
+  EXPECT_EQ(memberInLinks, feasibleInLinks);
+}
+
+TEST_F(TargetedOnLtn, GraphsContainTheDefault) {
+  for (const auto* dg : {&graphs_.sourceProblem, &graphs_.destinationProblem,
+                         &graphs_.robust}) {
+    for (const graph::EdgeId e : graphs_.twoDisjoint.edges()) {
+      EXPECT_TRUE(dg->contains(e));
+    }
+  }
+}
+
+TEST_F(TargetedOnLtn, RobustIsUnionOfSourceAndDestination) {
+  for (const graph::EdgeId e : graphs_.sourceProblem.edges())
+    EXPECT_TRUE(graphs_.robust.contains(e));
+  for (const graph::EdgeId e : graphs_.destinationProblem.edges())
+    EXPECT_TRUE(graphs_.robust.contains(e));
+  EXPECT_LE(graphs_.robust.edgeCount(),
+            graphs_.sourceProblem.edgeCount() +
+                graphs_.destinationProblem.edgeCount());
+}
+
+TEST_F(TargetedOnLtn, AllGraphsMeetDeadline) {
+  for (const auto* dg : {&graphs_.twoDisjoint, &graphs_.sourceProblem,
+                         &graphs_.destinationProblem, &graphs_.robust}) {
+    EXPECT_TRUE(dg->meetsDeadline(weights_, util::milliseconds(65)));
+  }
+}
+
+TEST_F(TargetedOnLtn, TargetedCostModeratelyAboveTwoDisjoint) {
+  const int base = graphs_.twoDisjoint.cost();
+  const int src = graphs_.sourceProblem.cost();
+  const int robust = graphs_.robust.cost();
+  EXPECT_GT(src, base);
+  EXPECT_GE(robust, src);
+  // Targeted redundancy is far cheaper than flooding the whole overlay.
+  const auto flooding = graph::floodingGraph(topology_.graph(), flow_.source,
+                                             flow_.destination);
+  EXPECT_LT(robust, flooding.cost());
+}
+
+TEST_F(TargetedOnLtn, SourceGraphSurvivesPrimaryLinkFailures) {
+  // Kill the two first-hop links the disjoint pair uses; the source
+  // graph must still connect the flow (that is the scenario it exists
+  // for), while the two-disjoint graph must not.
+  auto weights = weights_;
+  for (const graph::EdgeId e :
+       graphs_.twoDisjoint.outEdges(flow_.source)) {
+    weights[e] = util::kNever;
+  }
+  EXPECT_EQ(graphs_.twoDisjoint.latencyToDestination(weights),
+            util::kNever);
+  EXPECT_NE(graphs_.sourceProblem.latencyToDestination(weights),
+            util::kNever);
+}
+
+TEST(TargetedGraphs, TightDeadlineLimitsRedundancy) {
+  const auto topology = trace::Topology::ltn12();
+  const auto weights = topology.graph().baseLatencies();
+  const Flow flow{topology.at("NYC"), topology.at("SJC")};
+  // With a deadline barely above the shortest path, almost no detours
+  // qualify.
+  const auto shortest = graph::nodeDisjointPaths(
+      topology.graph(), flow.source, flow.destination, weights, 1);
+  const auto tight = buildTargetedGraphs(
+      topology.graph(), flow, weights,
+      shortest.totalLatency + util::milliseconds(1));
+  const auto loose = buildTargetedGraphs(topology.graph(), flow, weights,
+                                         util::milliseconds(100));
+  EXPECT_LT(tight.robust.edgeCount(), loose.robust.edgeCount());
+}
+
+}  // namespace
+}  // namespace dg::routing

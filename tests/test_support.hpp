@@ -1,0 +1,66 @@
+// Shared fixtures for the test suite: small canonical graphs with known
+// shortest paths and disjoint-path structure.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "trace/topology.hpp"
+#include "trace/trace.hpp"
+#include "util/sim_time.hpp"
+
+namespace dg::test {
+
+/// Diamond: S=0, A=1, B=2, D=3 with bidirectional links
+///   S-A (10ms), A-D (10ms), S-B (15ms), B-D (15ms), A-B (5ms).
+/// Shortest S->D is S-A-D (20ms); the node-disjoint alternative is
+/// S-B-D (30ms).
+struct Diamond {
+  graph::Graph g;
+  graph::NodeId s, a, b, d;
+  graph::EdgeId sa, as, ad, da, sb, bs, bd, db, ab, ba;
+
+  Diamond() {
+    s = g.addNode();
+    a = g.addNode();
+    b = g.addNode();
+    d = g.addNode();
+    sa = g.addBidirectional(s, a, util::milliseconds(10));
+    as = sa + 1;
+    ad = g.addBidirectional(a, d, util::milliseconds(10));
+    da = ad + 1;
+    sb = g.addBidirectional(s, b, util::milliseconds(15));
+    bs = sb + 1;
+    bd = g.addBidirectional(b, d, util::milliseconds(15));
+    db = bd + 1;
+    ab = g.addBidirectional(a, b, util::milliseconds(5));
+    ba = ab + 1;
+  }
+};
+
+/// A simple line S=0 - M=1 - D=2 (10ms each hop).
+struct Line {
+  graph::Graph g;
+  graph::NodeId s, m, d;
+  graph::EdgeId sm, ms, md, dm;
+
+  Line() {
+    s = g.addNode();
+    m = g.addNode();
+    d = g.addNode();
+    sm = g.addBidirectional(s, m, util::milliseconds(10));
+    ms = sm + 1;
+    md = g.addBidirectional(m, d, util::milliseconds(10));
+    dm = md + 1;
+  }
+};
+
+/// A healthy trace over any graph.
+inline trace::Trace healthyTrace(const graph::Graph& g,
+                                 std::size_t intervals = 10,
+                                 util::SimTime intervalLength =
+                                     util::seconds(10),
+                                 double residualLoss = 0.0) {
+  return trace::Trace(intervalLength, intervals,
+                      trace::healthyBaseline(g, residualLoss));
+}
+
+}  // namespace dg::test

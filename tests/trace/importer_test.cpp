@@ -1,0 +1,116 @@
+#include "trace/importer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/synth.hpp"
+
+namespace dg::trace {
+namespace {
+
+class ImporterTest : public ::testing::Test {
+ protected:
+  ImporterTest() : topology_(Topology::ltn12()) {}
+  Topology topology_;
+};
+
+TEST_F(ImporterTest, ParsesRecordsIntoIntervals) {
+  const auto trace = importMeasurementsCsv(topology_,
+                                           "# comment\n"
+                                           "0.0,NYC,CHI,0.0,9000\n"
+                                           "12.0,NYC,CHI,0.5,9500\n"
+                                           "25.0,NYC,CHI,0.0,9000\n");
+  EXPECT_EQ(trace.intervalCount(), 3u);
+  const auto edge =
+      topology_.graph().findEdge(topology_.at("NYC"), topology_.at("CHI"));
+  EXPECT_DOUBLE_EQ(trace.at(*edge, 1).lossRate, 0.5);
+  EXPECT_EQ(trace.at(*edge, 1).latency, 9500);
+}
+
+TEST_F(ImporterTest, AveragesRecordsInSameInterval) {
+  const auto trace = importMeasurementsCsv(topology_,
+                                           "0.0,NYC,CHI,0.2,9000\n"
+                                           "5.0,NYC,CHI,0.4,11000\n");
+  const auto edge =
+      topology_.graph().findEdge(topology_.at("NYC"), topology_.at("CHI"));
+  EXPECT_NEAR(trace.at(*edge, 0).lossRate, 0.3, 1e-12);
+  EXPECT_EQ(trace.at(*edge, 0).latency, 10000);
+}
+
+TEST_F(ImporterTest, UnmeasuredLinksKeepBaseline) {
+  const auto trace =
+      importMeasurementsCsv(topology_, "0.0,NYC,CHI,0.5,9000\n");
+  const auto other =
+      topology_.graph().findEdge(topology_.at("CHI"), topology_.at("DEN"));
+  EXPECT_DOUBLE_EQ(trace.at(*other, 0).lossRate, 1e-4);
+}
+
+TEST_F(ImporterTest, ErrorsCarryLineNumbers) {
+  const auto expectFailure = [&](std::string_view csv,
+                                 std::string_view needle) {
+    try {
+      importMeasurementsCsv(topology_, csv);
+      FAIL() << "expected throw for: " << csv;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expectFailure("0.0,NYC,CHI,0.5\n", "line 1");
+  expectFailure("x,NYC,CHI,0.5,9000\n", "bad time");
+  expectFailure("0.0,NYC,CHI,1.5,9000\n", "bad loss");
+  expectFailure("0.0,NYC,CHI,0.5,-3\n", "bad latency");
+  expectFailure("0.0,NYC,XXX,0.5,9000\n", "unknown site");
+  expectFailure("0.0,NYC,SEA,0.5,9000\n", "no overlay link");
+  expectFailure("# only comments\n", "no usable records");
+}
+
+TEST_F(ImporterTest, SkipUnknownSitesOption) {
+  ImportOptions options;
+  options.skipUnknownSites = true;
+  const auto trace = importMeasurementsCsv(topology_,
+                                           "0.0,NYC,XXX,0.5,9000\n"
+                                           "0.0,NYC,SEA,0.5,9000\n"
+                                           "0.0,NYC,CHI,0.5,9000\n",
+                                           options);
+  EXPECT_TRUE(trace.hasDeviation(0));
+}
+
+TEST_F(ImporterTest, StartTimeShiftsIntervalZero) {
+  ImportOptions options;
+  options.startTime = util::seconds(100);
+  const auto trace = importMeasurementsCsv(topology_,
+                                           "50.0,NYC,CHI,0.9,9000\n"
+                                           "105.0,NYC,CHI,0.5,9000\n",
+                                           options);
+  // The record at t=50 is dropped; t=105 lands in interval 0.
+  EXPECT_EQ(trace.intervalCount(), 1u);
+  const auto edge =
+      topology_.graph().findEdge(topology_.at("NYC"), topology_.at("CHI"));
+  EXPECT_DOUBLE_EQ(trace.at(*edge, 0).lossRate, 0.5);
+}
+
+TEST_F(ImporterTest, RoundTripThroughExport) {
+  GeneratorParams params;
+  params.seed = 11;
+  params.duration = util::hours(6);
+  const auto synthetic = generateSyntheticTrace(topology_.graph(), params);
+  const std::string csv =
+      exportMeasurementsCsv(topology_, synthetic.trace);
+
+  ImportOptions options;
+  options.residualLoss = 1e-4;
+  const auto imported = importMeasurementsCsv(topology_, csv, options);
+  // Every deviation survives the round trip (times are interval-aligned
+  // so no re-bucketing error).
+  for (std::size_t i = 0; i < synthetic.trace.intervalCount(); ++i) {
+    for (const auto& [edge, conditions] : synthetic.trace.deviationsAt(i)) {
+      ASSERT_LT(i, imported.intervalCount());
+      EXPECT_NEAR(imported.at(edge, i).lossRate, conditions.lossRate, 1e-9)
+          << "interval " << i << " edge " << edge;
+      EXPECT_EQ(imported.at(edge, i).latency, conditions.latency);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dg::trace

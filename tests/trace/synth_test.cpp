@@ -1,0 +1,195 @@
+#include "trace/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "trace/topology.hpp"
+
+namespace dg::trace {
+namespace {
+
+GeneratorParams shortParams(std::uint64_t seed = 1) {
+  GeneratorParams params;
+  params.seed = seed;
+  params.duration = util::days(2);
+  return params;
+}
+
+TEST(Synth, DeterministicForSeed) {
+  const auto topology = Topology::ltn12();
+  const auto a = generateSyntheticTrace(topology.graph(), shortParams(5));
+  const auto b = generateSyntheticTrace(topology.graph(), shortParams(5));
+  EXPECT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(a.trace.toString(), b.trace.toString());
+}
+
+TEST(Synth, DifferentSeedsDiffer) {
+  const auto topology = Topology::ltn12();
+  const auto a = generateSyntheticTrace(topology.graph(), shortParams(5));
+  const auto b = generateSyntheticTrace(topology.graph(), shortParams(6));
+  EXPECT_NE(a.trace.toString(), b.trace.toString());
+}
+
+TEST(Synth, EventCountsNearExpectation) {
+  const auto topology = Topology::ltn12();
+  GeneratorParams params = shortParams(7);
+  params.duration = util::days(20);
+  params.nodeEventsPerDay = 6.0;
+  params.linkEventsPerDay = 3.0;
+  const auto result = generateSyntheticTrace(topology.graph(), params);
+  // Expect ~180 events over 20 days; allow generous Poisson slack.
+  EXPECT_GT(result.events.size(), 120u);
+  EXPECT_LT(result.events.size(), 260u);
+}
+
+TEST(Synth, EventsAreSortedAndWithinTrace) {
+  const auto topology = Topology::ltn12();
+  const auto result = generateSyntheticTrace(topology.graph(), shortParams(9));
+  std::size_t previous = 0;
+  for (const ProblemEvent& event : result.events) {
+    EXPECT_GE(event.startInterval, previous);
+    previous = event.startInterval;
+    EXPECT_LT(event.startInterval, result.trace.intervalCount());
+    EXPECT_GE(event.intervalCount, 1u);
+    EXPECT_FALSE(event.affectedEdges.empty());
+  }
+}
+
+TEST(Synth, NodeEventsAffectOnlyAdjacentLinks) {
+  const auto topology = Topology::ltn12();
+  const auto& g = topology.graph();
+  const auto result = generateSyntheticTrace(g, shortParams(11));
+  for (const ProblemEvent& event : result.events) {
+    if (event.kind != ProblemEvent::Kind::Node) continue;
+    for (const graph::EdgeId e : event.affectedEdges) {
+      const graph::Edge& edge = g.edge(e);
+      EXPECT_TRUE(edge.from == event.node || edge.to == event.node);
+    }
+  }
+}
+
+TEST(Synth, LinkEventsAffectBothDirections) {
+  const auto topology = Topology::ltn12();
+  const auto& g = topology.graph();
+  const auto result = generateSyntheticTrace(g, shortParams(13));
+  for (const ProblemEvent& event : result.events) {
+    if (event.kind != ProblemEvent::Kind::Link) continue;
+    ASSERT_EQ(event.affectedEdges.size(), 2u);
+    const auto reverse = g.reverseEdge(event.affectedEdges[0]);
+    ASSERT_TRUE(reverse.has_value());
+    EXPECT_EQ(event.affectedEdges[1], *reverse);
+  }
+}
+
+TEST(Synth, BlackoutEventsAreTotalLoss) {
+  const auto topology = Topology::ltn12();
+  GeneratorParams params = shortParams(17);
+  params.duration = util::days(30);
+  params.nodeBlackoutProb = 1.0;
+  params.linkEventsPerDay = 0.0;
+  params.blipsPerLinkPerDay = 0.0;
+  const auto result = generateSyntheticTrace(topology.graph(), params);
+  ASSERT_FALSE(result.events.empty());
+  for (const ProblemEvent& event : result.events) {
+    EXPECT_DOUBLE_EQ(event.severity, 1.0);
+    EXPECT_DOUBLE_EQ(event.activity, 1.0);
+    // Blackout covers every adjacent undirected link.
+    EXPECT_EQ(event.affectedEdges.size(),
+              2 * topology.graph().outDegree(event.node));
+  }
+}
+
+TEST(Synth, TraceConditionsMatchEventsGroundTruth) {
+  // Every deviated loss condition must be explainable by an active event
+  // or a benign blip; with blips disabled, by an active event.
+  const auto topology = Topology::ltn12();
+  GeneratorParams params = shortParams(19);
+  params.blipsPerLinkPerDay = 0.0;
+  const auto result = generateSyntheticTrace(topology.graph(), params);
+  const auto& trace = result.trace;
+  for (std::size_t i = 0; i < trace.intervalCount(); ++i) {
+    for (const auto& [edge, conditions] : trace.deviationsAt(i)) {
+      bool explained = false;
+      for (const ProblemEvent& event : result.events) {
+        if (!event.activeDuring(i)) continue;
+        if (std::find(event.affectedEdges.begin(), event.affectedEdges.end(),
+                      edge) != event.affectedEdges.end()) {
+          explained = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(explained) << "interval " << i << " edge " << edge;
+    }
+  }
+}
+
+TEST(Synth, LatencyEventsInflateLatencyNotLoss) {
+  const auto topology = Topology::ltn12();
+  GeneratorParams params = shortParams(23);
+  // Latency impairment applies to partial outages and link events; force
+  // every node event into the outage class.
+  params.nodePartialOutageProb = 1.0;
+  params.latencyEventProb = 1.0;
+  params.nodeBlackoutProb = 0.0;
+  params.blipsPerLinkPerDay = 0.0;
+  const auto result = generateSyntheticTrace(topology.graph(), params);
+  for (const ProblemEvent& event : result.events) {
+    EXPECT_EQ(event.impairment, ProblemEvent::Impairment::Latency);
+    EXPECT_GE(event.latencyPenalty, params.latencyPenaltyMin);
+    EXPECT_LE(event.latencyPenalty, params.latencyPenaltyMax);
+  }
+  for (std::size_t i = 0; i < result.trace.intervalCount(); ++i) {
+    for (const auto& [edge, conditions] : result.trace.deviationsAt(i)) {
+      EXPECT_LT(conditions.lossRate, 0.01);
+      EXPECT_GT(conditions.latency, result.trace.baseline(edge).latency);
+    }
+  }
+}
+
+TEST(Synth, RejectsBadDurations) {
+  const auto topology = Topology::ltn12();
+  GeneratorParams params;
+  params.duration = 0;
+  EXPECT_THROW(generateSyntheticTrace(topology.graph(), params),
+               std::invalid_argument);
+  params.duration = util::seconds(5);
+  params.intervalLength = util::seconds(10);
+  EXPECT_THROW(generateSyntheticTrace(topology.graph(), params),
+               std::invalid_argument);
+}
+
+TEST(ApplyEvent, FullActivityImpairsEveryInterval) {
+  test::Line line;
+  auto trace = test::healthyTrace(line.g, 10);
+  util::Rng rng(1);
+  const auto event =
+      makeLinkEvent(line.g, line.sm, 2, 4, 1.0, 0.8, 0);
+  applyEvent(trace, line.g, event, rng);
+  for (std::size_t i = 0; i < trace.intervalCount(); ++i) {
+    const bool within = i >= 2 && i < 6;
+    EXPECT_EQ(trace.at(line.sm, i).lossRate > 0.5, within) << i;
+    EXPECT_EQ(trace.at(line.ms, i).lossRate > 0.5, within) << i;
+  }
+}
+
+TEST(ApplyEvent, ClampsAtTraceEnd) {
+  test::Line line;
+  auto trace = test::healthyTrace(line.g, 5);
+  util::Rng rng(1);
+  const auto event = makeLinkEvent(line.g, line.sm, 3, 100, 1.0, 0.8, 0);
+  EXPECT_NO_THROW(applyEvent(trace, line.g, event, rng));
+  EXPECT_GT(trace.at(line.sm, 4).lossRate, 0.5);
+}
+
+TEST(MakeNodeEvent, AlwaysAffectsAtLeastOneLink) {
+  test::Diamond d;
+  util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto event =
+        makeNodeEvent(d.g, d.s, 0, 1, /*coverage=*/0.01, 0.5, 0.5, 0, rng);
+    EXPECT_GE(event.affectedEdges.size(), 2u);  // link + reverse
+  }
+}
+
+}  // namespace
+}  // namespace dg::trace

@@ -1,0 +1,142 @@
+#include "trace/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/shortest_path.hpp"
+
+namespace dg::trace {
+namespace {
+
+TEST(Geo, HaversineKnownDistances) {
+  // NYC <-> LA great-circle distance is ~3936 km.
+  const double km = haversineKm(40.71, -74.01, 34.05, -118.24);
+  EXPECT_NEAR(km, 3936.0, 40.0);
+  EXPECT_DOUBLE_EQ(haversineKm(10, 20, 10, 20), 0.0);
+}
+
+TEST(Geo, FiberLatencyScaling) {
+  // 200,000 km/s with 1.4 inflation: 1000 km -> 7 ms.
+  EXPECT_EQ(fiberLatency(1000.0), util::microseconds(7000));
+  EXPECT_EQ(fiberLatency(1000.0, 1.0), util::microseconds(5000));
+  EXPECT_EQ(fiberLatency(0.0), 0);
+}
+
+TEST(Topology, AddSiteAndLookup) {
+  Topology t;
+  const auto id = t.addSite({"AAA", 1.0, 2.0});
+  EXPECT_EQ(t.siteCount(), 1u);
+  EXPECT_EQ(t.byName("AAA"), id);
+  EXPECT_EQ(t.at("AAA"), id);
+  EXPECT_FALSE(t.byName("BBB").has_value());
+  EXPECT_THROW(t.at("BBB"), std::out_of_range);
+  EXPECT_THROW(t.addSite({"AAA", 0, 0}), std::invalid_argument);
+}
+
+TEST(Topology, ConnectUsesGeoLatency) {
+  Topology t;
+  t.addSite({"NYC", 40.71, -74.01});
+  t.addSite({"LAX", 34.05, -118.24});
+  const auto e = t.connect("NYC", "LAX");
+  // ~3936 km * 7 us/km ~ 27.5 ms.
+  EXPECT_NEAR(static_cast<double>(t.graph().edge(e).latency), 27'500.0,
+              500.0);
+  // Both directions exist with equal latency.
+  EXPECT_EQ(t.graph().edge(e).latency, t.graph().edge(e + 1).latency);
+}
+
+TEST(Topology, EdgeName) {
+  Topology t;
+  t.addSite({"A", 0, 0});
+  t.addSite({"B", 0, 1});
+  const auto e = t.connectWithLatency("A", "B", 100);
+  EXPECT_EQ(t.edgeName(e), "A->B");
+  EXPECT_EQ(t.edgeName(e + 1), "B->A");
+}
+
+TEST(Topology, Ltn12Shape) {
+  const auto t = Topology::ltn12();
+  EXPECT_EQ(t.siteCount(), 12u);
+  EXPECT_EQ(t.graph().nodeCount(), 12u);
+  // The paper's overlay scale: 64 directed edges.
+  EXPECT_EQ(t.graph().edgeCount(), 64u);
+  // Every site is connected (degree >= 3 keeps disjoint options).
+  for (graph::NodeId n = 0; n < t.graph().nodeCount(); ++n) {
+    EXPECT_GE(t.graph().outDegree(n), 3u) << t.name(n);
+  }
+}
+
+TEST(Topology, Ltn12AllPairsReachable) {
+  const auto t = Topology::ltn12();
+  const auto weights = t.graph().baseLatencies();
+  for (graph::NodeId a = 0; a < t.graph().nodeCount(); ++a) {
+    const auto dist = graph::dijkstraDistances(t.graph(), a, weights);
+    for (graph::NodeId b = 0; b < t.graph().nodeCount(); ++b) {
+      EXPECT_NE(dist[b], util::kNever)
+          << t.name(a) << " cannot reach " << t.name(b);
+    }
+  }
+}
+
+TEST(Topology, RoundTripSerialization) {
+  const auto t = Topology::ltn12();
+  const auto copy = Topology::fromString(t.toString());
+  EXPECT_EQ(copy.siteCount(), t.siteCount());
+  EXPECT_EQ(copy.graph().edgeCount(), t.graph().edgeCount());
+  for (graph::EdgeId e = 0; e < t.graph().edgeCount(); ++e) {
+    EXPECT_EQ(copy.graph().edge(e).from, t.graph().edge(e).from);
+    EXPECT_EQ(copy.graph().edge(e).to, t.graph().edge(e).to);
+    EXPECT_EQ(copy.graph().edge(e).latency, t.graph().edge(e).latency);
+  }
+}
+
+TEST(Topology, FromStringErrors) {
+  EXPECT_THROW(Topology::fromString("bogus A B\n"), std::runtime_error);
+  EXPECT_THROW(Topology::fromString("site X\n"), std::runtime_error);
+  EXPECT_THROW(Topology::fromString("site X 0 0\nlink X Y\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      Topology::fromString("site X 0 0\nsite Y 0 1\nlink X Y -5\n"),
+      std::runtime_error);
+}
+
+TEST(Topology, FromStringWithCommentsAndExplicitLatency) {
+  const auto t = Topology::fromString(
+      "# test topology\n"
+      "site A 0 0\n"
+      "site B 0 10\n"
+      "link A B 12345\n");
+  EXPECT_EQ(t.graph().edge(0).latency, 12345);
+}
+
+
+TEST(Topology, Abilene11Shape) {
+  const auto t = Topology::abilene11();
+  EXPECT_EQ(t.siteCount(), 11u);
+  EXPECT_EQ(t.graph().edgeCount(), 28u);  // 14 undirected links
+  // Abilene is a sparse ring-like backbone: minimum degree 2.
+  for (graph::NodeId n = 0; n < t.graph().nodeCount(); ++n) {
+    EXPECT_GE(t.graph().outDegree(n), 2u) << t.name(n);
+  }
+}
+
+TEST(Topology, Abilene11AllPairsReachable) {
+  const auto t = Topology::abilene11();
+  const auto weights = t.graph().baseLatencies();
+  for (graph::NodeId a = 0; a < t.graph().nodeCount(); ++a) {
+    const auto dist = graph::dijkstraDistances(t.graph(), a, weights);
+    for (graph::NodeId b = 0; b < t.graph().nodeCount(); ++b) {
+      EXPECT_NE(dist[b], util::kNever)
+          << t.name(a) << " cannot reach " << t.name(b);
+    }
+  }
+}
+
+TEST(Topology, Abilene11RoundTrips) {
+  const auto t = Topology::abilene11();
+  const auto copy = Topology::fromString(t.toString());
+  EXPECT_EQ(copy.siteCount(), t.siteCount());
+  EXPECT_EQ(copy.graph().edgeCount(), t.graph().edgeCount());
+}
+
+}  // namespace
+}  // namespace dg::trace

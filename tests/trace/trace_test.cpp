@@ -1,0 +1,110 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace dg::trace {
+namespace {
+
+Trace makeTrace() {
+  test::Line line;
+  return test::healthyTrace(line.g, 5, util::seconds(10), 1e-4);
+}
+
+TEST(Trace, BaselineEverywhereInitially) {
+  const auto trace = makeTrace();
+  EXPECT_EQ(trace.intervalCount(), 5u);
+  EXPECT_EQ(trace.edgeCount(), 4u);
+  EXPECT_EQ(trace.duration(), util::seconds(50));
+  for (std::size_t i = 0; i < trace.intervalCount(); ++i) {
+    EXPECT_FALSE(trace.hasDeviation(i));
+    EXPECT_EQ(trace.at(0, i), trace.baseline(0));
+  }
+}
+
+TEST(Trace, SetConditionOverrides) {
+  auto trace = makeTrace();
+  const LinkConditions degraded{0.5, util::milliseconds(30)};
+  trace.setCondition(1, 2, degraded);
+  EXPECT_TRUE(trace.hasDeviation(2));
+  EXPECT_EQ(trace.at(1, 2), degraded);
+  EXPECT_EQ(trace.at(1, 1), trace.baseline(1));
+  EXPECT_EQ(trace.at(0, 2), trace.baseline(0));
+  // Overwrite.
+  const LinkConditions worse{0.9, util::milliseconds(40)};
+  trace.setCondition(1, 2, worse);
+  EXPECT_EQ(trace.at(1, 2), worse);
+  EXPECT_EQ(trace.deviationsAt(2).size(), 1u);
+}
+
+TEST(Trace, ApplyImpairmentCombines) {
+  auto trace = makeTrace();
+  trace.applyImpairment(0, 1, LinkConditions{0.5, util::milliseconds(10)});
+  trace.applyImpairment(0, 1, LinkConditions{0.5, util::milliseconds(20)});
+  const auto& c = trace.at(0, 1);
+  // Independent losses compose: 1 - (1-1e-4)(1-0.5)(1-0.5) ~ 0.750025.
+  EXPECT_NEAR(c.lossRate, 0.750025, 1e-6);
+  EXPECT_EQ(c.latency, util::milliseconds(20));
+}
+
+TEST(Trace, IntervalAtClampsRange) {
+  const auto trace = makeTrace();
+  EXPECT_EQ(trace.intervalAt(-5), 0u);
+  EXPECT_EQ(trace.intervalAt(0), 0u);
+  EXPECT_EQ(trace.intervalAt(util::seconds(10)), 1u);
+  EXPECT_EQ(trace.intervalAt(util::seconds(10) - 1), 0u);
+  EXPECT_EQ(trace.intervalAt(util::seconds(500)), 4u);
+}
+
+TEST(Trace, VectorsReflectDeviations) {
+  auto trace = makeTrace();
+  trace.setCondition(2, 3, LinkConditions{0.25, util::milliseconds(99)});
+  const auto losses = trace.lossRatesAt(3);
+  const auto latencies = trace.latenciesAt(3);
+  EXPECT_DOUBLE_EQ(losses[2], 0.25);
+  EXPECT_EQ(latencies[2], util::milliseconds(99));
+  EXPECT_DOUBLE_EQ(losses[0], 1e-4);
+}
+
+TEST(Trace, RoundTripSerialization) {
+  auto trace = makeTrace();
+  trace.setCondition(1, 2, LinkConditions{0.5, util::milliseconds(30)});
+  trace.setCondition(3, 4, LinkConditions{1.0, util::milliseconds(10)});
+  const auto copy = Trace::fromString(trace.toString());
+  EXPECT_EQ(copy.intervalCount(), trace.intervalCount());
+  EXPECT_EQ(copy.edgeCount(), trace.edgeCount());
+  EXPECT_EQ(copy.intervalLength(), trace.intervalLength());
+  for (graph::EdgeId e = 0; e < trace.edgeCount(); ++e) {
+    for (std::size_t i = 0; i < trace.intervalCount(); ++i) {
+      EXPECT_EQ(copy.at(e, i), trace.at(e, i)) << "edge " << e << " ivl " << i;
+    }
+  }
+}
+
+TEST(Trace, FromStringErrors) {
+  EXPECT_THROW(Trace::fromString(""), std::runtime_error);
+  EXPECT_THROW(Trace::fromString("dev 0 0 0.5 100\n"), std::runtime_error);
+  EXPECT_THROW(Trace::fromString("trace 10 0 4\n"), std::runtime_error);
+  EXPECT_THROW(
+      Trace::fromString("trace 1000000 2 2\ndev 5 0 0.5 100\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      Trace::fromString("trace 1000000 2 2\nbase 9 0.1 100\n"),
+      std::runtime_error);
+}
+
+TEST(Trace, RejectsBadConstruction) {
+  EXPECT_THROW(Trace(0, 5, {}), std::invalid_argument);
+}
+
+TEST(HealthyBaseline, MatchesGraph) {
+  test::Diamond d;
+  const auto baseline = healthyBaseline(d.g, 2e-4);
+  ASSERT_EQ(baseline.size(), d.g.edgeCount());
+  EXPECT_DOUBLE_EQ(baseline[d.sa].lossRate, 2e-4);
+  EXPECT_EQ(baseline[d.sa].latency, util::milliseconds(10));
+}
+
+}  // namespace
+}  // namespace dg::trace

@@ -1,0 +1,22 @@
+// Compilation test for the umbrella header plus a minimal end-to-end
+// smoke through it.
+#include "dg/dg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndSmoke) {
+  using namespace dg;
+  const auto topology = trace::Topology::ltn12();
+  const trace::Trace tr(util::seconds(10), 3,
+                        trace::healthyBaseline(topology.graph(), 1e-4));
+  core::TransportService service(topology, tr);
+  const auto flow = service.openFlow(
+      "NYC", "SJC", routing::SchemeKind::TargetedRedundancy);
+  service.run(util::seconds(5));
+  EXPECT_GT(service.stats(flow).sent, 0u);
+  EXPECT_GT(service.stats(flow).onTimeRate(), 0.99);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dg::util {
+namespace {
+
+TEST(Config, ParsesKeyValues) {
+  const auto config = Config::fromString(
+      "# comment\n"
+      "alpha = 1\n"
+      "  beta=two words  \n"
+      "\n"
+      "gamma = 2.5\n");
+  EXPECT_EQ(config.getInt("alpha", 0), 1);
+  EXPECT_EQ(config.getString("beta"), "two words");
+  EXPECT_DOUBLE_EQ(config.getDouble("gamma", 0.0), 2.5);
+}
+
+TEST(Config, MissingKeysUseFallback) {
+  const Config config;
+  EXPECT_EQ(config.getInt("nope", 9), 9);
+  EXPECT_EQ(config.getString("nope", "dflt"), "dflt");
+  EXPECT_TRUE(config.getBool("nope", true));
+  EXPECT_FALSE(config.has("nope"));
+}
+
+TEST(Config, MalformedLineThrowsWithLineNumber) {
+  try {
+    Config::fromString("good = 1\nbad line\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Config, BadNumberThrows) {
+  const auto config = Config::fromString("x = abc\n");
+  EXPECT_THROW(config.getInt("x", 0), std::runtime_error);
+  EXPECT_THROW(config.getDouble("x", 0.0), std::runtime_error);
+  EXPECT_THROW(config.getBool("x", false), std::runtime_error);
+}
+
+TEST(Config, BoolSpellings) {
+  const auto config = Config::fromString(
+      "a = true\nb = YES\nc = 0\nd = off\n");
+  EXPECT_TRUE(config.getBool("a", false));
+  EXPECT_TRUE(config.getBool("b", false));
+  EXPECT_FALSE(config.getBool("c", true));
+  EXPECT_FALSE(config.getBool("d", true));
+}
+
+TEST(Config, ApplyArgsOverridesAndFlags) {
+  auto config = Config::fromString("x = 1\n");
+  const char* argv[] = {"prog", "--x=2", "--verbose", "positional"};
+  std::vector<std::string> positional;
+  config.applyArgs(4, argv, &positional);
+  EXPECT_EQ(config.getInt("x", 0), 2);
+  EXPECT_TRUE(config.getBool("verbose", false));
+  ASSERT_EQ(positional.size(), 1u);
+  EXPECT_EQ(positional[0], "positional");
+}
+
+TEST(Config, KeysSorted) {
+  auto config = Config::fromString("b = 1\na = 2\n");
+  const auto keys = config.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+TEST(Config, RoundTripToString) {
+  const auto config = Config::fromString("k = v\n");
+  const auto again = Config::fromString(config.toString());
+  EXPECT_EQ(again.getString("k"), "v");
+}
+
+}  // namespace
+}  // namespace dg::util

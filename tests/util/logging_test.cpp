@@ -1,0 +1,77 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dg::util {
+namespace {
+
+/// RAII guard restoring logger state after each test.
+class LoggerGuard {
+ public:
+  LoggerGuard() : previousLevel_(Logger::instance().level()) {}
+  ~LoggerGuard() {
+    Logger::instance().setLevel(previousLevel_);
+    Logger::instance().setSink(nullptr);
+  }
+
+ private:
+  LogLevel previousLevel_;
+};
+
+TEST(Logging, LevelNamesRoundTrip) {
+  for (const LogLevel level :
+       {LogLevel::Trace, LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+        LogLevel::Error, LogLevel::Off}) {
+    EXPECT_EQ(parseLogLevel(logLevelName(level)), level);
+  }
+  EXPECT_EQ(parseLogLevel("WARNING"), LogLevel::Warn);
+  EXPECT_EQ(parseLogLevel("none"), LogLevel::Off);
+  EXPECT_EQ(parseLogLevel("bogus"), LogLevel::Info);
+}
+
+TEST(Logging, RespectsLevelThreshold) {
+  LoggerGuard guard;
+  std::ostringstream sink;
+  Logger::instance().setSink(&sink);
+  Logger::instance().setLevel(LogLevel::Warn);
+  DG_LOG(Info) << "hidden";
+  DG_LOG(Warn) << "visible";
+  EXPECT_EQ(sink.str().find("hidden"), std::string::npos);
+  EXPECT_NE(sink.str().find("visible"), std::string::npos);
+}
+
+TEST(Logging, RecordsLevelAndLocation) {
+  LoggerGuard guard;
+  std::ostringstream sink;
+  Logger::instance().setSink(&sink);
+  Logger::instance().setLevel(LogLevel::Debug);
+  DG_LOG(Error) << "value=" << 42;
+  const std::string record = sink.str();
+  EXPECT_NE(record.find("[error]"), std::string::npos);
+  EXPECT_NE(record.find("logging_test.cpp"), std::string::npos);
+  EXPECT_NE(record.find("value=42"), std::string::npos);
+  EXPECT_EQ(record.back(), '\n');
+}
+
+TEST(Logging, OffSilencesEverything) {
+  LoggerGuard guard;
+  std::ostringstream sink;
+  Logger::instance().setSink(&sink);
+  Logger::instance().setLevel(LogLevel::Off);
+  DG_LOG(Error) << "nope";
+  EXPECT_TRUE(sink.str().empty());
+}
+
+TEST(Logging, StreamOperatorsChain) {
+  LoggerGuard guard;
+  std::ostringstream sink;
+  Logger::instance().setSink(&sink);
+  Logger::instance().setLevel(LogLevel::Trace);
+  DG_LOG(Trace) << "a" << 1 << 'b' << 2.5;
+  EXPECT_NE(sink.str().find("a1b2.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dg::util

@@ -1,0 +1,97 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/sim_time.hpp"
+
+namespace dg::util {
+namespace {
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitWhitespace, DropsRuns) {
+  const auto parts = splitWhitespace("  a \t b\n  c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWhitespace, EmptyInput) {
+  EXPECT_TRUE(splitWhitespace("").empty());
+  EXPECT_TRUE(splitWhitespace("   \t\n").empty());
+}
+
+TEST(Trim, BothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(startsWith("--flag", "--"));
+  EXPECT_FALSE(startsWith("-", "--"));
+  EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(ToLower, MixedCase) { EXPECT_EQ(toLower("AbC-9"), "abc-9"); }
+
+TEST(ParseDouble, ValidAndInvalid) {
+  double out = 0;
+  EXPECT_TRUE(parseDouble("3.5", out));
+  EXPECT_DOUBLE_EQ(out, 3.5);
+  EXPECT_TRUE(parseDouble(" -0.25 ", out));
+  EXPECT_DOUBLE_EQ(out, -0.25);
+  EXPECT_FALSE(parseDouble("abc", out));
+  EXPECT_FALSE(parseDouble("1.5x", out));
+  EXPECT_FALSE(parseDouble("", out));
+}
+
+TEST(ParseInt64, ValidAndInvalid) {
+  std::int64_t out = 0;
+  EXPECT_TRUE(parseInt64("42", out));
+  EXPECT_EQ(out, 42);
+  EXPECT_TRUE(parseInt64("-7", out));
+  EXPECT_EQ(out, -7);
+  EXPECT_FALSE(parseInt64("4.2", out));
+  EXPECT_FALSE(parseInt64("", out));
+}
+
+TEST(Format, FixedAndPercent) {
+  EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(formatPercent(0.9912, 2), "99.12%");
+  EXPECT_EQ(formatPercent(0.5, 0), "50%");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(padLeft("x", 3), "  x");
+  EXPECT_EQ(padRight("x", 3), "x  ");
+  EXPECT_EQ(padLeft("abcd", 3), "abcd");
+}
+
+TEST(FormatDuration, CommonValues) {
+  EXPECT_EQ(formatDuration(milliseconds(65)), "65ms");
+  EXPECT_EQ(formatDuration(seconds(10)), "10s");
+  EXPECT_EQ(formatDuration(minutes(2)), "2min");
+  EXPECT_EQ(formatDuration(hours(3)), "3h");
+  EXPECT_EQ(formatDuration(days(28)), "28d");
+  EXPECT_EQ(formatDuration(500), "500us");
+  EXPECT_EQ(formatDuration(kNever), "never");
+}
+
+}  // namespace
+}  // namespace dg::util

@@ -1,0 +1,237 @@
+// dgnet -- command-line front end for the dissemination-graphs library.
+//
+//   dgnet topology   [--topology=FILE]
+//       Print the overlay (sites, links, latencies).
+//   dgnet gen-trace  --days=N [--seed=S] --out=FILE [--csv=FILE]
+//       Generate a synthetic condition trace (and optionally a CSV
+//       measurement export) plus its ground-truth event log on stderr.
+//   dgnet inspect    --trace=FILE
+//       Summarize a trace: horizon, deviation density, worst links.
+//   dgnet import     --csv=FILE --out=FILE [--interval_s=10]
+//       Convert external CSV measurements into the trace format.
+//   dgnet playback   --source=A --destination=B --scheme=NAME
+//                    (--trace=FILE | --days=N [--seed=S])
+//       Replay a flow/scheme over a trace and print availability/cost.
+//   dgnet simulate   --source=A --destination=B --scheme=NAME --seconds=N
+//                    (--trace=FILE | --days=N [--seed=S])
+//       Drive the packet-level overlay (forwarding + recovery) live.
+//
+// All schemes: static-single dynamic-single static-two-disjoint
+// dynamic-two-disjoint targeted flooding.
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "core/transport.hpp"
+#include "playback/playback.hpp"
+#include "trace/importer.hpp"
+#include "trace/synth.hpp"
+#include "trace/topology.hpp"
+#include "util/config.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace dg;
+
+trace::Topology loadTopology(const util::Config& args) {
+  if (args.has("topology"))
+    return trace::Topology::fromFile(args.getString("topology"));
+  return trace::Topology::ltn12();
+}
+
+trace::Trace loadOrGenerateTrace(const trace::Topology& topology,
+                                 const util::Config& args) {
+  if (args.has("trace")) return trace::Trace::load(args.getString("trace"));
+  trace::GeneratorParams params;
+  params.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  params.duration = util::days(args.getInt("days", 1));
+  auto synthetic = generateSyntheticTrace(topology.graph(), params);
+  std::cerr << "generated " << args.getInt("days", 1)
+            << "-day synthetic trace (" << synthetic.events.size()
+            << " events, seed " << params.seed << ")\n";
+  return std::move(synthetic.trace);
+}
+
+int cmdTopology(const util::Config& args) {
+  const auto topology = loadTopology(args);
+  std::cout << topology.toString();
+  return 0;
+}
+
+int cmdGenTrace(const util::Config& args) {
+  if (!args.has("out")) {
+    std::cerr << "gen-trace: --out=FILE required\n";
+    return 2;
+  }
+  const auto topology = loadTopology(args);
+  trace::GeneratorParams params;
+  params.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  params.duration = util::days(args.getInt("days", 1));
+  const auto synthetic = generateSyntheticTrace(topology.graph(), params);
+  synthetic.trace.save(args.getString("out"));
+  if (args.has("csv")) {
+    std::ofstream csv(args.getString("csv"));
+    csv << exportMeasurementsCsv(topology, synthetic.trace);
+  }
+  std::cerr << "wrote " << args.getString("out") << ": "
+            << synthetic.trace.intervalCount() << " intervals, "
+            << synthetic.events.size() << " ground-truth events\n";
+  for (const auto& event : synthetic.events) {
+    std::cerr << "  t=" << event.startInterval * 10 << "s +"
+              << event.intervalCount * 10 << "s "
+              << (event.kind == trace::ProblemEvent::Kind::Node
+                      ? "site " + topology.name(event.node)
+                      : "link " + topology.edgeName(event.link))
+              << (event.impairment == trace::ProblemEvent::Impairment::Loss
+                      ? " loss " + util::formatFixed(event.severity, 2)
+                      : " latency +" +
+                            util::formatDuration(event.latencyPenalty))
+              << (event.activity < 1.0 ? " (fluttering)" : "") << '\n';
+  }
+  return 0;
+}
+
+int cmdInspect(const util::Config& args) {
+  if (!args.has("trace")) {
+    std::cerr << "inspect: --trace=FILE required\n";
+    return 2;
+  }
+  const auto topology = loadTopology(args);
+  const auto tr = trace::Trace::load(args.getString("trace"));
+  std::size_t deviatedIntervals = 0;
+  std::vector<std::size_t> perEdge(tr.edgeCount(), 0);
+  std::size_t deviations = 0;
+  for (std::size_t i = 0; i < tr.intervalCount(); ++i) {
+    if (!tr.hasDeviation(i)) continue;
+    ++deviatedIntervals;
+    for (const auto& [edge, conditions] : tr.deviationsAt(i)) {
+      ++perEdge[edge];
+      ++deviations;
+    }
+  }
+  std::cout << "intervals: " << tr.intervalCount() << " x "
+            << util::formatDuration(tr.intervalLength()) << " = "
+            << util::formatDuration(tr.duration()) << '\n'
+            << "links: " << tr.edgeCount() << '\n'
+            << "intervals with any deviation: " << deviatedIntervals << " ("
+            << util::formatPercent(
+                   static_cast<double>(deviatedIntervals) /
+                       static_cast<double>(tr.intervalCount()),
+                   2)
+            << ")\n"
+            << "total link-interval deviations: " << deviations << '\n';
+  std::cout << "most-affected links:\n";
+  std::vector<graph::EdgeId> order(tr.edgeCount());
+  for (graph::EdgeId e = 0; e < tr.edgeCount(); ++e) order[e] = e;
+  std::sort(order.begin(), order.end(), [&](graph::EdgeId a, graph::EdgeId b) {
+    return perEdge[a] > perEdge[b];
+  });
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, order.size()); ++i) {
+    if (perEdge[order[i]] == 0) break;
+    std::cout << "  " << util::padRight(topology.edgeName(order[i]), 10)
+              << perEdge[order[i]] << " deviated intervals\n";
+  }
+  return 0;
+}
+
+int cmdImport(const util::Config& args) {
+  if (!args.has("csv") || !args.has("out")) {
+    std::cerr << "import: --csv=FILE --out=FILE required\n";
+    return 2;
+  }
+  const auto topology = loadTopology(args);
+  trace::ImportOptions options;
+  options.intervalLength = util::seconds(args.getInt("interval_s", 10));
+  options.skipUnknownSites = args.getBool("skip_unknown", false);
+  const auto tr = trace::importMeasurementsCsvFile(
+      topology, args.getString("csv"), options);
+  tr.save(args.getString("out"));
+  std::cerr << "imported " << tr.intervalCount() << " intervals -> "
+            << args.getString("out") << '\n';
+  return 0;
+}
+
+int cmdPlayback(const util::Config& args) {
+  const auto topology = loadTopology(args);
+  const auto tr = loadOrGenerateTrace(topology, args);
+  const routing::Flow flow{topology.at(args.getString("source", "NYC")),
+                           topology.at(args.getString("destination", "SJC"))};
+  const auto kind = routing::parseSchemeKind(
+      args.getString("scheme", "targeted"));
+  playback::PlaybackParams params;
+  params.mcSamples = static_cast<int>(args.getInt("mc_samples", 1000));
+  const playback::PlaybackEngine engine(topology.graph(), tr, params);
+  const auto result = engine.run(flow, kind, routing::SchemeParams{});
+  std::cout << "scheme:                 " << routing::schemeName(kind) << '\n'
+            << "unavailability:         "
+            << util::formatFixed(result.unavailability * 1e6, 1) << " ppm\n"
+            << "expected unavailable:   "
+            << util::formatFixed(result.unavailableSeconds, 1) << " s of "
+            << util::formatFixed(util::toSeconds(tr.duration()), 0)
+            << " s\n"
+            << "problematic intervals:  " << result.problematicIntervals
+            << '\n'
+            << "cost:                   "
+            << util::formatFixed(result.averageCost, 2)
+            << " transmissions/packet\n";
+  return 0;
+}
+
+int cmdSimulate(const util::Config& args) {
+  const auto topology = loadTopology(args);
+  const auto tr = loadOrGenerateTrace(topology, args);
+  const auto kind = routing::parseSchemeKind(
+      args.getString("scheme", "targeted"));
+  core::TransportService service(topology, tr);
+  const auto flow = service.openFlow(args.getString("source", "NYC"),
+                                     args.getString("destination", "SJC"),
+                                     kind);
+  const auto seconds = args.getInt("seconds", 60);
+  service.run(util::seconds(seconds));
+  const auto& stats = service.stats(flow);
+  std::cout << "scheme:        " << routing::schemeName(kind) << '\n'
+            << "sent:          " << stats.sent << '\n'
+            << "on time:       " << stats.deliveredOnTime << " ("
+            << util::formatPercent(stats.onTimeRate(), 3) << ")\n"
+            << "late:          " << stats.deliveredLate << '\n'
+            << "lost:          " << stats.lost() << '\n'
+            << "mean latency:  "
+            << util::formatFixed(stats.latencyUs.mean() / 1000.0, 2)
+            << " ms\n"
+            << "cost:          "
+            << util::formatFixed(stats.costPerPacket(), 2) << " tx/pkt\n";
+  return 0;
+}
+
+void usage() {
+  std::cerr << "usage: dgnet <topology|gen-trace|inspect|import|playback|"
+               "simulate> [--key=value ...]\n"
+               "see the header of tools/dgnet.cpp for details\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Config args;
+  std::vector<std::string> positional;
+  args.applyArgs(argc, argv, &positional);
+  if (positional.empty()) {
+    usage();
+    return 2;
+  }
+  const std::string& command = positional.front();
+  try {
+    if (command == "topology") return cmdTopology(args);
+    if (command == "gen-trace") return cmdGenTrace(args);
+    if (command == "inspect") return cmdInspect(args);
+    if (command == "import") return cmdImport(args);
+    if (command == "playback") return cmdPlayback(args);
+    if (command == "simulate") return cmdSimulate(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "dgnet " << command << ": " << e.what() << '\n';
+    return 1;
+  }
+}
