@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_dissemination_graphs.dir/bench_fig1_dissemination_graphs.cpp.o"
+  "CMakeFiles/bench_fig1_dissemination_graphs.dir/bench_fig1_dissemination_graphs.cpp.o.d"
+  "bench_fig1_dissemination_graphs"
+  "bench_fig1_dissemination_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_dissemination_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

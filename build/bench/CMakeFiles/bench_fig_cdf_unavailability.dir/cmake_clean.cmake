@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_cdf_unavailability.dir/bench_fig_cdf_unavailability.cpp.o"
+  "CMakeFiles/bench_fig_cdf_unavailability.dir/bench_fig_cdf_unavailability.cpp.o.d"
+  "bench_fig_cdf_unavailability"
+  "bench_fig_cdf_unavailability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_cdf_unavailability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_congestion.dir/bench_fig_congestion.cpp.o"
+  "CMakeFiles/bench_fig_congestion.dir/bench_fig_congestion.cpp.o.d"
+  "bench_fig_congestion"
+  "bench_fig_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

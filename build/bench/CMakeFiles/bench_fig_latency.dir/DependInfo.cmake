@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig_latency.cpp" "bench/CMakeFiles/bench_fig_latency.dir/bench_fig_latency.cpp.o" "gcc" "bench/CMakeFiles/bench_fig_latency.dir/bench_fig_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/playback/CMakeFiles/dg_playback.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dg_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

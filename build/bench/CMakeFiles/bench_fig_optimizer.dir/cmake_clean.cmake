@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_optimizer.dir/bench_fig_optimizer.cpp.o"
+  "CMakeFiles/bench_fig_optimizer.dir/bench_fig_optimizer.cpp.o.d"
+  "bench_fig_optimizer"
+  "bench_fig_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_algorithms.dir/bench_micro_algorithms.cpp.o"
+  "CMakeFiles/bench_micro_algorithms.dir/bench_micro_algorithms.cpp.o.d"
+  "bench_micro_algorithms"
+  "bench_micro_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

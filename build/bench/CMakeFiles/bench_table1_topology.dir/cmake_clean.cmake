@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_topology.dir/bench_table1_topology.cpp.o"
+  "CMakeFiles/bench_table1_topology.dir/bench_table1_topology.cpp.o.d"
+  "bench_table1_topology"
+  "bench_table1_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

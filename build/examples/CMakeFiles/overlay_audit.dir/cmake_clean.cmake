@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_audit.dir/overlay_audit.cpp.o"
+  "CMakeFiles/overlay_audit.dir/overlay_audit.cpp.o.d"
+  "overlay_audit"
+  "overlay_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

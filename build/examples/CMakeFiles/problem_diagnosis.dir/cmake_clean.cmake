@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/problem_diagnosis.dir/problem_diagnosis.cpp.o"
+  "CMakeFiles/problem_diagnosis.dir/problem_diagnosis.cpp.o.d"
+  "problem_diagnosis"
+  "problem_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/problem_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

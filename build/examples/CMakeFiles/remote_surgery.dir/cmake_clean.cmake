@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_surgery.dir/remote_surgery.cpp.o"
+  "CMakeFiles/remote_surgery.dir/remote_surgery.cpp.o.d"
+  "remote_surgery"
+  "remote_surgery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_surgery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for remote_surgery.
+# This may be replaced when dependencies are built.

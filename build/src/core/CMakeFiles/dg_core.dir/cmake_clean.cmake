@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_core.dir/monitor.cpp.o"
+  "CMakeFiles/dg_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/dg_core.dir/overlay_node.cpp.o"
+  "CMakeFiles/dg_core.dir/overlay_node.cpp.o.d"
+  "CMakeFiles/dg_core.dir/sequence_window.cpp.o"
+  "CMakeFiles/dg_core.dir/sequence_window.cpp.o.d"
+  "CMakeFiles/dg_core.dir/transport.cpp.o"
+  "CMakeFiles/dg_core.dir/transport.cpp.o.d"
+  "libdg_core.a"
+  "libdg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

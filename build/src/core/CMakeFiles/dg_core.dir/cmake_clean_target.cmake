@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdg_core.a"
+)

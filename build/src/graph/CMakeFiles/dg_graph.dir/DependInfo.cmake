@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/analysis.cpp" "src/graph/CMakeFiles/dg_graph.dir/analysis.cpp.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/analysis.cpp.o.d"
+  "/root/repo/src/graph/disjoint_paths.cpp" "src/graph/CMakeFiles/dg_graph.dir/disjoint_paths.cpp.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/disjoint_paths.cpp.o.d"
+  "/root/repo/src/graph/dissemination_graph.cpp" "src/graph/CMakeFiles/dg_graph.dir/dissemination_graph.cpp.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/dissemination_graph.cpp.o.d"
+  "/root/repo/src/graph/flow.cpp" "src/graph/CMakeFiles/dg_graph.dir/flow.cpp.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/flow.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/dg_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/k_shortest.cpp" "src/graph/CMakeFiles/dg_graph.dir/k_shortest.cpp.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/k_shortest.cpp.o.d"
+  "/root/repo/src/graph/shortest_path.cpp" "src/graph/CMakeFiles/dg_graph.dir/shortest_path.cpp.o" "gcc" "src/graph/CMakeFiles/dg_graph.dir/shortest_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

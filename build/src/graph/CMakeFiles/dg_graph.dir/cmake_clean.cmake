@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_graph.dir/analysis.cpp.o"
+  "CMakeFiles/dg_graph.dir/analysis.cpp.o.d"
+  "CMakeFiles/dg_graph.dir/disjoint_paths.cpp.o"
+  "CMakeFiles/dg_graph.dir/disjoint_paths.cpp.o.d"
+  "CMakeFiles/dg_graph.dir/dissemination_graph.cpp.o"
+  "CMakeFiles/dg_graph.dir/dissemination_graph.cpp.o.d"
+  "CMakeFiles/dg_graph.dir/flow.cpp.o"
+  "CMakeFiles/dg_graph.dir/flow.cpp.o.d"
+  "CMakeFiles/dg_graph.dir/graph.cpp.o"
+  "CMakeFiles/dg_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/dg_graph.dir/k_shortest.cpp.o"
+  "CMakeFiles/dg_graph.dir/k_shortest.cpp.o.d"
+  "CMakeFiles/dg_graph.dir/shortest_path.cpp.o"
+  "CMakeFiles/dg_graph.dir/shortest_path.cpp.o.d"
+  "libdg_graph.a"
+  "libdg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

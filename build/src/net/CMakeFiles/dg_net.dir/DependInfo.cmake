@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/dg_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/dg_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/dg_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/dg_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/simulator.cpp" "src/net/CMakeFiles/dg_net.dir/simulator.cpp.o" "gcc" "src/net/CMakeFiles/dg_net.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

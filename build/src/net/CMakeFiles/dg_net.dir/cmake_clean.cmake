@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_net.dir/network.cpp.o"
+  "CMakeFiles/dg_net.dir/network.cpp.o.d"
+  "CMakeFiles/dg_net.dir/packet.cpp.o"
+  "CMakeFiles/dg_net.dir/packet.cpp.o.d"
+  "CMakeFiles/dg_net.dir/simulator.cpp.o"
+  "CMakeFiles/dg_net.dir/simulator.cpp.o.d"
+  "libdg_net.a"
+  "libdg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/playback/ablation.cpp" "src/playback/CMakeFiles/dg_playback.dir/ablation.cpp.o" "gcc" "src/playback/CMakeFiles/dg_playback.dir/ablation.cpp.o.d"
+  "/root/repo/src/playback/classification.cpp" "src/playback/CMakeFiles/dg_playback.dir/classification.cpp.o" "gcc" "src/playback/CMakeFiles/dg_playback.dir/classification.cpp.o.d"
+  "/root/repo/src/playback/delivery_model.cpp" "src/playback/CMakeFiles/dg_playback.dir/delivery_model.cpp.o" "gcc" "src/playback/CMakeFiles/dg_playback.dir/delivery_model.cpp.o.d"
+  "/root/repo/src/playback/experiment.cpp" "src/playback/CMakeFiles/dg_playback.dir/experiment.cpp.o" "gcc" "src/playback/CMakeFiles/dg_playback.dir/experiment.cpp.o.d"
+  "/root/repo/src/playback/graph_optimizer.cpp" "src/playback/CMakeFiles/dg_playback.dir/graph_optimizer.cpp.o" "gcc" "src/playback/CMakeFiles/dg_playback.dir/graph_optimizer.cpp.o.d"
+  "/root/repo/src/playback/playback.cpp" "src/playback/CMakeFiles/dg_playback.dir/playback.cpp.o" "gcc" "src/playback/CMakeFiles/dg_playback.dir/playback.cpp.o.d"
+  "/root/repo/src/playback/report.cpp" "src/playback/CMakeFiles/dg_playback.dir/report.cpp.o" "gcc" "src/playback/CMakeFiles/dg_playback.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/dg_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_playback.dir/ablation.cpp.o"
+  "CMakeFiles/dg_playback.dir/ablation.cpp.o.d"
+  "CMakeFiles/dg_playback.dir/classification.cpp.o"
+  "CMakeFiles/dg_playback.dir/classification.cpp.o.d"
+  "CMakeFiles/dg_playback.dir/delivery_model.cpp.o"
+  "CMakeFiles/dg_playback.dir/delivery_model.cpp.o.d"
+  "CMakeFiles/dg_playback.dir/experiment.cpp.o"
+  "CMakeFiles/dg_playback.dir/experiment.cpp.o.d"
+  "CMakeFiles/dg_playback.dir/graph_optimizer.cpp.o"
+  "CMakeFiles/dg_playback.dir/graph_optimizer.cpp.o.d"
+  "CMakeFiles/dg_playback.dir/playback.cpp.o"
+  "CMakeFiles/dg_playback.dir/playback.cpp.o.d"
+  "CMakeFiles/dg_playback.dir/report.cpp.o"
+  "CMakeFiles/dg_playback.dir/report.cpp.o.d"
+  "libdg_playback.a"
+  "libdg_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/network_view.cpp" "src/routing/CMakeFiles/dg_routing.dir/network_view.cpp.o" "gcc" "src/routing/CMakeFiles/dg_routing.dir/network_view.cpp.o.d"
+  "/root/repo/src/routing/problem_detector.cpp" "src/routing/CMakeFiles/dg_routing.dir/problem_detector.cpp.o" "gcc" "src/routing/CMakeFiles/dg_routing.dir/problem_detector.cpp.o.d"
+  "/root/repo/src/routing/schemes.cpp" "src/routing/CMakeFiles/dg_routing.dir/schemes.cpp.o" "gcc" "src/routing/CMakeFiles/dg_routing.dir/schemes.cpp.o.d"
+  "/root/repo/src/routing/targeted_graphs.cpp" "src/routing/CMakeFiles/dg_routing.dir/targeted_graphs.cpp.o" "gcc" "src/routing/CMakeFiles/dg_routing.dir/targeted_graphs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

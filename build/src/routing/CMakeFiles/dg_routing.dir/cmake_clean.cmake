@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_routing.dir/network_view.cpp.o"
+  "CMakeFiles/dg_routing.dir/network_view.cpp.o.d"
+  "CMakeFiles/dg_routing.dir/problem_detector.cpp.o"
+  "CMakeFiles/dg_routing.dir/problem_detector.cpp.o.d"
+  "CMakeFiles/dg_routing.dir/schemes.cpp.o"
+  "CMakeFiles/dg_routing.dir/schemes.cpp.o.d"
+  "CMakeFiles/dg_routing.dir/targeted_graphs.cpp.o"
+  "CMakeFiles/dg_routing.dir/targeted_graphs.cpp.o.d"
+  "libdg_routing.a"
+  "libdg_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_trace.dir/importer.cpp.o"
+  "CMakeFiles/dg_trace.dir/importer.cpp.o.d"
+  "CMakeFiles/dg_trace.dir/synth.cpp.o"
+  "CMakeFiles/dg_trace.dir/synth.cpp.o.d"
+  "CMakeFiles/dg_trace.dir/topology.cpp.o"
+  "CMakeFiles/dg_trace.dir/topology.cpp.o.d"
+  "CMakeFiles/dg_trace.dir/trace.cpp.o"
+  "CMakeFiles/dg_trace.dir/trace.cpp.o.d"
+  "libdg_trace.a"
+  "libdg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_util.dir/config.cpp.o"
+  "CMakeFiles/dg_util.dir/config.cpp.o.d"
+  "CMakeFiles/dg_util.dir/logging.cpp.o"
+  "CMakeFiles/dg_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dg_util.dir/stats.cpp.o"
+  "CMakeFiles/dg_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dg_util.dir/strings.cpp.o"
+  "CMakeFiles/dg_util.dir/strings.cpp.o.d"
+  "libdg_util.a"
+  "libdg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

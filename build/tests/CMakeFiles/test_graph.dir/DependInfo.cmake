@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/analysis_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/analysis_test.cpp.o.d"
+  "/root/repo/tests/graph/disjoint_paths_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/disjoint_paths_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/disjoint_paths_test.cpp.o.d"
+  "/root/repo/tests/graph/dissemination_graph_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/dissemination_graph_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/dissemination_graph_test.cpp.o.d"
+  "/root/repo/tests/graph/flow_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/flow_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/flow_test.cpp.o.d"
+  "/root/repo/tests/graph/graph_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/graph_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/graph_test.cpp.o.d"
+  "/root/repo/tests/graph/k_shortest_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/k_shortest_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/k_shortest_test.cpp.o.d"
+  "/root/repo/tests/graph/shortest_path_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/shortest_path_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/shortest_path_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/playback/CMakeFiles/dg_playback.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dg_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

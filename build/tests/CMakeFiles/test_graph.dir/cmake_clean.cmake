@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/graph/analysis_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/analysis_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/disjoint_paths_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/disjoint_paths_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/dissemination_graph_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/dissemination_graph_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/flow_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/flow_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/graph_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/graph_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/k_shortest_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/k_shortest_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/shortest_path_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/shortest_path_test.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_playback.dir/playback/ablation_test.cpp.o"
+  "CMakeFiles/test_playback.dir/playback/ablation_test.cpp.o.d"
+  "CMakeFiles/test_playback.dir/playback/classification_test.cpp.o"
+  "CMakeFiles/test_playback.dir/playback/classification_test.cpp.o.d"
+  "CMakeFiles/test_playback.dir/playback/delivery_model_test.cpp.o"
+  "CMakeFiles/test_playback.dir/playback/delivery_model_test.cpp.o.d"
+  "CMakeFiles/test_playback.dir/playback/experiment_test.cpp.o"
+  "CMakeFiles/test_playback.dir/playback/experiment_test.cpp.o.d"
+  "CMakeFiles/test_playback.dir/playback/graph_optimizer_test.cpp.o"
+  "CMakeFiles/test_playback.dir/playback/graph_optimizer_test.cpp.o.d"
+  "CMakeFiles/test_playback.dir/playback/latency_collection_test.cpp.o"
+  "CMakeFiles/test_playback.dir/playback/latency_collection_test.cpp.o.d"
+  "CMakeFiles/test_playback.dir/playback/playback_test.cpp.o"
+  "CMakeFiles/test_playback.dir/playback/playback_test.cpp.o.d"
+  "test_playback"
+  "test_playback.pdb"
+  "test_playback[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

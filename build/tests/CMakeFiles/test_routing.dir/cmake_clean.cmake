@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing.dir/routing/network_view_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/network_view_test.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/problem_detector_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/problem_detector_test.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/scheme_sweep_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/scheme_sweep_test.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/schemes_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/schemes_test.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/targeted_graphs_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/targeted_graphs_test.cpp.o.d"
+  "test_routing"
+  "test_routing.pdb"
+  "test_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/config_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/config_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/logging_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/logging_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/rng_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/stats_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/strings_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/strings_test.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

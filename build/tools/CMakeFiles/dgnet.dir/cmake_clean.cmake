@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgnet.dir/dgnet.cpp.o"
+  "CMakeFiles/dgnet.dir/dgnet.cpp.o.d"
+  "dgnet"
+  "dgnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dgnet.
+# This may be replaced when dependencies are built.
