@@ -11,6 +11,7 @@
 #include "graph/shortest_path.hpp"
 #include "playback/playback.hpp"
 #include "routing/targeted_graphs.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/synth.hpp"
 #include "trace/topology.hpp"
 
@@ -135,6 +136,46 @@ void BM_EventSimSecond(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventSimSecond)->Unit(benchmark::kMillisecond);
+
+// Telemetry overhead guards: the same workloads as BM_PlaybackHealthyDay
+// and BM_EventSimSecond with a full Telemetry attached. The registry's
+// design target is <5% slowdown on these hot paths (cached handles; one
+// add per event) -- compare against the un-instrumented twins above.
+void BM_PlaybackHealthyDayTelemetry(benchmark::State& state) {
+  const auto& g = ltn().graph();
+  static const trace::Trace tr(util::seconds(10), 8640,
+                               trace::healthyBaseline(g, 1e-4));
+  playback::PlaybackParams params;
+  const playback::PlaybackEngine engine(g, tr, params);
+  for (auto _ : state) {
+    telemetry::Telemetry telemetry;
+    benchmark::DoNotOptimize(engine.run(
+        nycSjc(), routing::SchemeKind::TargetedRedundancy,
+        routing::SchemeParams{}, &telemetry));
+  }
+  state.SetItemsProcessed(state.iterations() * 8640);
+}
+BENCHMARK(BM_PlaybackHealthyDayTelemetry)->Unit(benchmark::kMillisecond);
+
+void BM_EventSimSecondTelemetry(benchmark::State& state) {
+  const auto& topology = ltn();
+  static const trace::Trace tr(util::seconds(10), 360,
+                               trace::healthyBaseline(topology.graph(),
+                                                      1e-4));
+  for (auto _ : state) {
+    state.PauseTiming();
+    telemetry::Telemetry telemetry;
+    core::TransportService service(topology, tr);
+    service.setTelemetry(&telemetry);
+    const auto id = service.openFlow("NYC", "SJC",
+                                     routing::SchemeKind::TargetedRedundancy);
+    state.ResumeTiming();
+    service.run(util::seconds(1));
+    benchmark::DoNotOptimize(service.stats(id).sent);
+    benchmark::DoNotOptimize(telemetry.metrics.empty());
+  }
+}
+BENCHMARK(BM_EventSimSecondTelemetry)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -27,7 +27,11 @@ struct FlowStats {
                           static_cast<double>(sent)
                     : 0.0;
   }
-  double unavailability() const { return sent > 0 ? 1.0 - onTimeRate() : 0.0; }
+  /// Fraction of sent packets NOT delivered within the deadline. A flow
+  /// that never sent has demonstrated no availability at all: report it
+  /// as fully unavailable rather than the (previous, misleading) 0.0,
+  /// which read as a perfect score for an idle flow.
+  double unavailability() const { return sent > 0 ? 1.0 - onTimeRate() : 1.0; }
   double costPerPacket() const {
     return sent > 0 ? static_cast<double>(transmissions) /
                           static_cast<double>(sent)

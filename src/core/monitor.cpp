@@ -29,7 +29,22 @@ void LinkMonitor::recordReception(graph::EdgeId edge, util::SimTime latency) {
   latencySumUs_[edge] += static_cast<double>(latency);
 }
 
+void LinkMonitor::setTelemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  rollsCounter_ = nullptr;
+  staleLinksCounter_ = nullptr;
+  lossSummary_ = nullptr;
+  if (telemetry_ == nullptr) return;
+  rollsCounter_ =
+      &telemetry_->metrics.counter("dg_core_monitor_rolls_total");
+  staleLinksCounter_ =
+      &telemetry_->metrics.counter("dg_core_monitor_stale_links_total");
+  lossSummary_ =
+      &telemetry_->metrics.summary("dg_core_monitor_loss_estimate");
+}
+
 void LinkMonitor::rollInterval() {
+  std::uint64_t staleLinks = 0;
   for (std::size_t e = 0; e < attempts_.size(); ++e) {
     if (attempts_[e] >= static_cast<std::uint64_t>(minSamples_)) {
       const double received = static_cast<double>(receptions_[e]);
@@ -41,12 +56,23 @@ void LinkMonitor::rollInterval() {
                     std::llround(latencySumUs_[e] / received))
               : baseline_[e].latency;
     } else {
+      // Too little traffic: the estimate falls back to the baseline and
+      // routing sees stale information for this link.
+      ++staleLinks;
       lossEstimate_[e] = baseline_[e].lossRate;
       latencyEstimate_[e] = baseline_[e].latency;
     }
+    if (lossSummary_ != nullptr) lossSummary_->observe(lossEstimate_[e]);
     attempts_[e] = 0;
     receptions_[e] = 0;
     latencySumUs_[e] = 0.0;
+  }
+  if (telemetry_ != nullptr) {
+    rollsCounter_->inc();
+    staleLinksCounter_->inc(staleLinks);
+    telemetry_->trace.record(telemetry_->now,
+                             telemetry::TraceEventKind::IntervalRolled, -1,
+                             -1, -1, static_cast<double>(staleLinks));
   }
 }
 

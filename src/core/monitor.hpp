@@ -12,6 +12,7 @@
 
 #include "graph/graph.hpp"
 #include "routing/network_view.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/conditions.hpp"
 #include "util/sim_time.hpp"
 
@@ -44,6 +45,12 @@ class LinkMonitor {
     return attempts_[edge];
   }
 
+  /// Attaches telemetry (nullable): counts rolled intervals, summarizes
+  /// the fresh loss estimates of each roll, tracks how many links fell
+  /// back to the baseline (staleness), and records IntervalRolled trace
+  /// events stamped with `telemetry->now`.
+  void setTelemetry(telemetry::Telemetry* telemetry);
+
  private:
   std::vector<trace::LinkConditions> baseline_;
   int minSamples_;
@@ -54,6 +61,11 @@ class LinkMonitor {
   // Finalized estimates (visible to routing).
   std::vector<double> lossEstimate_;
   std::vector<util::SimTime> latencyEstimate_;
+
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Counter* rollsCounter_ = nullptr;
+  telemetry::Counter* staleLinksCounter_ = nullptr;
+  telemetry::SummaryMetric* lossSummary_ = nullptr;
 };
 
 }  // namespace dg::core

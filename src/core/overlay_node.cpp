@@ -8,6 +8,30 @@ OverlayNode::OverlayNode(graph::NodeId id, net::SimulatedNetwork& network,
                          FlowDirectory& directory, OverlayNodeConfig config)
     : id_(id), network_(&network), directory_(&directory), config_(config) {}
 
+void OverlayNode::setTelemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  duplicatesCounter_ = nullptr;
+  expiredCounter_ = nullptr;
+  nacksCounter_ = nullptr;
+  retransmissionsCounter_ = nullptr;
+  linkStateFloodsCounter_ = nullptr;
+  linkStateAcceptedCounter_ = nullptr;
+  if (telemetry_ == nullptr) return;
+  const telemetry::Labels labels{{"node", std::to_string(id_)}};
+  duplicatesCounter_ = &telemetry_->metrics.counter(
+      "dg_core_duplicates_dropped_total", labels);
+  expiredCounter_ =
+      &telemetry_->metrics.counter("dg_core_expired_dropped_total", labels);
+  nacksCounter_ =
+      &telemetry_->metrics.counter("dg_core_nacks_sent_total", labels);
+  retransmissionsCounter_ = &telemetry_->metrics.counter(
+      "dg_core_retransmissions_sent_total", labels);
+  linkStateFloodsCounter_ = &telemetry_->metrics.counter(
+      "dg_core_link_state_floods_total", labels);
+  linkStateAcceptedCounter_ = &telemetry_->metrics.counter(
+      "dg_core_link_state_accepted_total", labels);
+}
+
 void OverlayNode::handlePacket(graph::EdgeId arrivalEdge,
                                const net::Packet& packet) {
   switch (packet.type) {
@@ -55,6 +79,7 @@ void OverlayNode::handleData(graph::EdgeId arrivalEdge,
   auto& seen = seen_.try_emplace(packet.flow).first->second;
   if (!seen.insert(packet.sequence)) {
     ++duplicatesDropped_;
+    if (duplicatesCounter_ != nullptr) duplicatesCounter_->inc();
     return;
   }
 
@@ -74,6 +99,7 @@ void OverlayNode::forward(const FlowContext& context,
   const util::SimTime age = network_->simulator().now() - packet.originTime;
   if (age >= context.deadline) {
     ++expiredDropped_;
+    if (expiredCounter_ != nullptr) expiredCounter_->inc();
     return;  // cannot be useful downstream anymore
   }
   const graph::Graph& overlay = network_->overlay();
@@ -135,6 +161,13 @@ void OverlayNode::handleLinkState(graph::EdgeId arrivalEdge,
   if (packet.linkStateEpoch <= newest) return;  // old or duplicate
   newest = packet.linkStateEpoch;
   ++linkState_->updatesAccepted;
+  if (telemetry_ != nullptr) {
+    linkStateAcceptedCounter_->inc();
+    telemetry_->trace.record(network_->simulator().now(),
+                             telemetry::TraceEventKind::LinkStateAccepted,
+                             -1, id_, arrivalEdge,
+                             static_cast<double>(packet.linkStateEpoch));
+  }
   for (const net::LinkStateEntry& entry : packet.linkState) {
     linkState_->lossView[entry.edge] = entry.conditions.lossRate;
     linkState_->latencyView[entry.edge] = entry.conditions.latency;
@@ -152,6 +185,12 @@ void OverlayNode::emitLinkState() {
   if (!linkState_) return;
   LinkStateState& state = *linkState_;
   ++state.epoch;
+  if (telemetry_ != nullptr) {
+    linkStateFloodsCounter_->inc();
+    telemetry_->trace.record(network_->simulator().now(),
+                             telemetry::TraceEventKind::LinkStateFlood,
+                             -1, id_, -1, static_cast<double>(state.epoch));
+  }
 
   net::Packet update;
   update.type = net::Packet::Type::LinkState;
@@ -220,6 +259,13 @@ void OverlayNode::noteSequenceForRecovery(graph::EdgeId arrivalEdge,
   const auto reverse = network_->overlay().reverseEdge(arrivalEdge);
   if (!reverse) return;  // no reverse link: recovery impossible
   ++nacksSent_;
+  if (telemetry_ != nullptr) {
+    nacksCounter_->inc();
+    telemetry_->trace.record(network_->simulator().now(),
+                             telemetry::TraceEventKind::NackSent,
+                             packet.flow, id_, arrivalEdge,
+                             static_cast<double>(nack.nackSequences.size()));
+  }
   network_->transmit(*reverse, std::move(nack));
 }
 
@@ -241,6 +287,13 @@ void OverlayNode::handleNack(graph::EdgeId arrivalEdge,
     net::Packet retransmission = *found;
     retransmission.type = net::Packet::Type::Retransmission;
     ++retransmissionsSent_;
+    if (telemetry_ != nullptr) {
+      retransmissionsCounter_->inc();
+      telemetry_->trace.record(network_->simulator().now(),
+                               telemetry::TraceEventKind::Retransmission,
+                               packet.flow, id_, *dataEdge,
+                               static_cast<double>(seq));
+    }
     network_->transmit(*dataEdge, std::move(retransmission));
   }
 }

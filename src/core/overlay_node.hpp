@@ -21,6 +21,7 @@
 #include "core/sequence_window.hpp"
 #include "net/network.hpp"
 #include "routing/network_view.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace dg::core {
 
@@ -87,6 +88,12 @@ class OverlayNode {
   std::uint64_t nacksSent() const { return nacksSent_; }
   std::uint64_t retransmissionsSent() const { return retransmissionsSent_; }
 
+  /// Attaches telemetry (nullable): per-node counters for duplicate and
+  /// expired drops, NACKs, retransmissions and link-state activity, plus
+  /// NackSent / Retransmission / LinkStateFlood / LinkStateAccepted trace
+  /// events.
+  void setTelemetry(telemetry::Telemetry* telemetry);
+
  private:
   struct ReceiveState {
     net::SequenceNumber expected = 0;
@@ -143,6 +150,14 @@ class OverlayNode {
   std::uint64_t expiredDropped_ = 0;
   std::uint64_t nacksSent_ = 0;
   std::uint64_t retransmissionsSent_ = 0;
+
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Counter* duplicatesCounter_ = nullptr;
+  telemetry::Counter* expiredCounter_ = nullptr;
+  telemetry::Counter* nacksCounter_ = nullptr;
+  telemetry::Counter* retransmissionsCounter_ = nullptr;
+  telemetry::Counter* linkStateFloodsCounter_ = nullptr;
+  telemetry::Counter* linkStateAcceptedCounter_ = nullptr;
 };
 
 }  // namespace dg::core

@@ -93,6 +93,7 @@ net::FlowId TransportService::openFlow(std::string_view source,
 
   const net::FlowId id = runtime->context.id;
   flows_.push_back(std::move(runtime));
+  if (telemetry_ != nullptr) attachFlowTelemetry(*flows_[id]);
   DG_LOG(Info) << "flow " << id << ": " << topology_->name(flow.source)
                << "->" << topology_->name(flow.destination) << " via "
                << flows_[id]->scheme->name();
@@ -130,10 +131,74 @@ void TransportService::onDelivered(net::FlowId id,
   const util::SimTime latency = simulator_.now() - packet.originTime;
   if (latency <= runtime.context.deadline) {
     ++runtime.stats.deliveredOnTime;
+    if (runtime.onTimeCounter != nullptr) runtime.onTimeCounter->inc();
   } else {
     ++runtime.stats.deliveredLate;
+    if (runtime.lateCounter != nullptr) runtime.lateCounter->inc();
   }
   runtime.stats.latencyUs.add(static_cast<double>(latency));
+  if (telemetry_ != nullptr) {
+    runtime.latencyHistogram->observe(static_cast<double>(latency) / 1000.0);
+    if (packet.type == net::Packet::Type::Retransmission) {
+      // A first copy that arrived as a retransmission: the per-hop
+      // recovery protocol saved this delivery.
+      runtime.recoveredCounter->inc();
+      telemetry_->trace.record(
+          simulator_.now(), telemetry::TraceEventKind::RecoveredDelivery, id,
+          runtime.context.flow.destination, -1,
+          static_cast<double>(packet.sequence));
+    }
+  }
+}
+
+void TransportService::setTelemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  simulator_.setTelemetry(telemetry);
+  network_.setTelemetry(telemetry);
+  monitor_.setTelemetry(telemetry);
+  for (const auto& node : nodes_) node->setTelemetry(telemetry);
+  for (const auto& runtime : flows_) attachFlowTelemetry(*runtime);
+}
+
+void TransportService::attachFlowTelemetry(FlowRuntime& runtime) {
+  const std::string flowLabel = std::to_string(runtime.context.id);
+  runtime.scheme->setTelemetry(telemetry_, flowLabel);
+  runtime.sentCounter = nullptr;
+  runtime.onTimeCounter = nullptr;
+  runtime.lateCounter = nullptr;
+  runtime.recoveredCounter = nullptr;
+  runtime.latencyHistogram = nullptr;
+  runtime.graphSwitchCounter = nullptr;
+  if (telemetry_ == nullptr) return;
+  const telemetry::Labels labels{{"flow", flowLabel}};
+  telemetry::MetricsRegistry& metrics = telemetry_->metrics;
+  runtime.sentCounter = &metrics.counter("dg_core_sent_total", labels);
+  runtime.onTimeCounter =
+      &metrics.counter("dg_core_delivered_on_time_total", labels);
+  runtime.lateCounter =
+      &metrics.counter("dg_core_delivered_late_total", labels);
+  runtime.recoveredCounter =
+      &metrics.counter("dg_core_recovered_deliveries_total", labels);
+  runtime.latencyHistogram = &metrics.histogram(
+      "dg_core_delivery_latency_ms", 0.0, 200.0, 40, labels);
+  runtime.graphSwitchCounter = &metrics.counter(
+      "dg_routing_graph_switches_total",
+      {{"flow", flowLabel}, {"scheme", std::string(runtime.scheme->name())}});
+  runtime.lastGraphEdges = runtime.context.activeGraph->edges();
+}
+
+void TransportService::noteGraphSelected(FlowRuntime& runtime) {
+  if (telemetry_ == nullptr) return;
+  const std::vector<graph::EdgeId>& edges =
+      runtime.context.activeGraph->edges();
+  if (edges == runtime.lastGraphEdges) return;
+  runtime.lastGraphEdges = edges;
+  runtime.graphSwitchCounter->inc();
+  telemetry_->trace.record(simulator_.now(),
+                           telemetry::TraceEventKind::GraphSwitch,
+                           runtime.context.id, runtime.context.flow.source,
+                           -1, static_cast<double>(edges.size()),
+                           std::string(runtime.scheme->name()));
 }
 
 void TransportService::scheduleDecisionTick() {
@@ -150,12 +215,14 @@ void TransportService::scheduleDecisionTick() {
         runtime->context.activeGraph = &runtime->scheme->select(view);
         runtime->context.graphMask =
             net::graphMaskOf(*runtime->context.activeGraph);
+        noteGraphSelected(*runtime);
       }
     } else {
       monitor_.rollInterval();
       const routing::NetworkView view = monitor_.view();
       for (const auto& runtime : flows_) {
         runtime->context.activeGraph = &runtime->scheme->select(view);
+        noteGraphSelected(*runtime);
       }
     }
     scheduleDecisionTick();
@@ -182,6 +249,7 @@ void TransportService::scheduleFlowTick(net::FlowId id) {
     FlowRuntime& flow = *flows_.at(id);
     if (!flow.sending) return;
     ++flow.stats.sent;
+    if (flow.sentCounter != nullptr) flow.sentCounter->inc();
     nodes_[flow.context.flow.source]->originate(
         flow.context, flow.nextSequence++, simulator_.now());
     scheduleFlowTick(id);

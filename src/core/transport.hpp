@@ -94,6 +94,14 @@ class TransportService final : public FlowDirectory {
   const FlowContext* flowContext(net::FlowId id) const override;
   void onDelivered(net::FlowId id, const net::Packet& packet) override;
 
+  /// Attaches telemetry (nullable) across every layer the service owns:
+  /// the event simulator, the simulated network, the link monitor, every
+  /// overlay node, and every flow's routing scheme -- plus per-flow send
+  /// / delivery / recovery counters, a delivery-latency histogram, and
+  /// GraphSwitch trace events whenever a decision tick changes a flow's
+  /// dissemination graph. Flows opened later inherit the telemetry.
+  void setTelemetry(telemetry::Telemetry* telemetry);
+
  private:
   struct FlowRuntime {
     FlowContext context;
@@ -101,11 +109,24 @@ class TransportService final : public FlowDirectory {
     net::SequenceNumber nextSequence = 0;
     FlowStats stats;
     bool sending = true;
+    // Telemetry handles (null when telemetry is detached).
+    telemetry::Counter* sentCounter = nullptr;
+    telemetry::Counter* onTimeCounter = nullptr;
+    telemetry::Counter* lateCounter = nullptr;
+    telemetry::Counter* recoveredCounter = nullptr;
+    telemetry::HistogramMetric* latencyHistogram = nullptr;
+    telemetry::Counter* graphSwitchCounter = nullptr;
+    /// Member edges of the last selected graph (graph-switch detection).
+    std::vector<graph::EdgeId> lastGraphEdges;
   };
 
   void scheduleDecisionTick();
   void scheduleProbeTick();
   void scheduleFlowTick(net::FlowId id);
+  void attachFlowTelemetry(FlowRuntime& runtime);
+  /// Called after each select(): counts a graph switch when the member
+  /// edge set changed since the previous decision.
+  void noteGraphSelected(FlowRuntime& runtime);
 
   const trace::Topology* topology_;
   TransportConfig config_;
@@ -114,6 +135,7 @@ class TransportService final : public FlowDirectory {
   LinkMonitor monitor_;
   std::vector<std::unique_ptr<OverlayNode>> nodes_;
   std::vector<std::unique_ptr<FlowRuntime>> flows_;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace dg::core

@@ -22,10 +22,47 @@ SimulatedNetwork::SimulatedNetwork(Simulator& simulator,
   }
 }
 
+void SimulatedNetwork::setTelemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  dropCounters_.clear();
+  queueDropCounters_.clear();
+  transmitCounter_ = nullptr;
+  if (telemetry_ == nullptr) return;
+  transmitCounter_ =
+      &telemetry_->metrics.counter("dg_net_transmissions_total");
+  dropCounters_.reserve(overlay_->edgeCount());
+  queueDropCounters_.reserve(overlay_->edgeCount());
+  for (graph::EdgeId e = 0; e < overlay_->edgeCount(); ++e) {
+    const telemetry::Labels labels{{"edge", std::to_string(e)}};
+    dropCounters_.push_back(
+        &telemetry_->metrics.counter("dg_net_link_drops_total", labels));
+    queueDropCounters_.push_back(&telemetry_->metrics.counter(
+        "dg_net_link_queue_drops_total", labels));
+  }
+}
+
+void SimulatedNetwork::recordDrop(graph::EdgeId edge, const Packet& packet,
+                                  telemetry::TraceEventKind kind) {
+  if (telemetry_ == nullptr) return;
+  (kind == telemetry::TraceEventKind::QueueDrop ? queueDropCounters_
+                                                : dropCounters_)[edge]
+      ->inc();
+  // Only data-bearing drops are worth a trace-log slot; probe and
+  // link-state losses are routine and would crowd out the ring.
+  if (packet.type != Packet::Type::Data &&
+      packet.type != Packet::Type::Retransmission) {
+    return;
+  }
+  telemetry_->trace.record(simulator_->now(), kind, packet.flow,
+                           overlay_->edge(edge).to, edge,
+                           static_cast<double>(packet.sequence));
+}
+
 void SimulatedNetwork::transmit(graph::EdgeId edge, Packet packet) {
   const std::size_t interval = trace_->intervalAt(simulator_->now());
   const trace::LinkConditions conditions = trace_->at(edge, interval);
   ++transmissions_;
+  if (transmitCounter_ != nullptr) transmitCounter_->inc();
   packet.hopSendTime = simulator_->now();
 
   // Capacity model: serialize transmissions; drop-tail when the queue
@@ -42,6 +79,7 @@ void SimulatedNetwork::transmit(graph::EdgeId edge, Packet packet) {
     if (queued > capacity_.queuePackets) {
       ++drops_;
       ++queueDrops_;
+      recordDrop(edge, packet, telemetry::TraceEventKind::QueueDrop);
       if (observer_) observer_(edge, packet, false, 0);
       return;
     }
@@ -52,6 +90,7 @@ void SimulatedNetwork::transmit(graph::EdgeId edge, Packet packet) {
   const bool lost = edgeRng_[edge].bernoulli(conditions.lossRate);
   if (lost) {
     ++drops_;
+    recordDrop(edge, packet, telemetry::TraceEventKind::PacketDrop);
     if (observer_) observer_(edge, packet, false, 0);
     return;
   }

@@ -14,6 +14,7 @@
 #include "graph/graph.hpp"
 #include "net/packet.hpp"
 #include "net/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 
@@ -68,6 +69,12 @@ class SimulatedNetwork {
   /// statistics); called at the moment the outcome is decided.
   void setTransmitObserver(TransmitObserver observer);
 
+  /// Attaches telemetry (nullable): per-link drop counters
+  /// (`dg_net_link_drops_total{edge}`), queue-drop counters, a global
+  /// transmission counter, and PacketDrop/QueueDrop trace events for
+  /// data-bearing packets. Pass nullptr to detach.
+  void setTelemetry(telemetry::Telemetry* telemetry);
+
   /// Applies a capacity model to every link (default: unlimited).
   void setLinkCapacity(LinkCapacity capacity);
   const LinkCapacity& linkCapacity() const { return capacity_; }
@@ -94,6 +101,14 @@ class SimulatedNetwork {
   std::uint64_t transmissions_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t queueDrops_ = 0;
+
+  void recordDrop(graph::EdgeId edge, const Packet& packet,
+                  telemetry::TraceEventKind kind);
+
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Counter* transmitCounter_ = nullptr;
+  std::vector<telemetry::Counter*> dropCounters_;       // per edge
+  std::vector<telemetry::Counter*> queueDropCounters_;  // per edge
 };
 
 }  // namespace dg::net

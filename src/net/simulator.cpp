@@ -5,6 +5,19 @@
 
 namespace dg::net {
 
+void Simulator::setTelemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    eventsProcessed_ = nullptr;
+    queueDepthHigh_ = nullptr;
+    return;
+  }
+  eventsProcessed_ =
+      &telemetry_->metrics.counter("dg_sim_events_processed_total");
+  queueDepthHigh_ = &telemetry_->metrics.gauge("dg_sim_queue_depth_high");
+  telemetry_->now = now_;
+}
+
 void Simulator::scheduleAt(util::SimTime at, Callback callback) {
   if (at < now_)
     throw std::invalid_argument("Simulator: cannot schedule in the past");
@@ -24,9 +37,11 @@ void Simulator::runUntil(util::SimTime until) {
     queue_.pop();
     now_ = event.time;
     ++processed_;
+    noteProcessed();
     event.callback();
   }
   if (now_ < until) now_ = until;
+  if (telemetry_ != nullptr) telemetry_->now = now_;
 }
 
 void Simulator::runAll() {
@@ -35,6 +50,7 @@ void Simulator::runAll() {
     queue_.pop();
     now_ = event.time;
     ++processed_;
+    noteProcessed();
     event.callback();
   }
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 
@@ -12,7 +13,8 @@ namespace dg::playback {
 
 ExperimentResult runExperiment(const graph::Graph& overlay,
                                const trace::Trace& trace,
-                               const ExperimentConfig& config) {
+                               const ExperimentConfig& config,
+                               telemetry::Telemetry* telemetry) {
   if (config.flows.empty() || config.schemes.empty())
     throw std::invalid_argument("runExperiment: empty flows or schemes");
 
@@ -29,6 +31,16 @@ ExperimentResult runExperiment(const graph::Graph& overlay,
   threadCount = std::max(1u, std::min<unsigned>(threadCount,
                                                 static_cast<unsigned>(jobs)));
 
+  // One private Telemetry per job: workers never share an instrument, and
+  // the sequential job-order merge below is what keeps exports
+  // byte-identical across thread counts.
+  std::vector<std::unique_ptr<telemetry::Telemetry>> jobTelemetry;
+  if (telemetry != nullptr) {
+    jobTelemetry.resize(jobs);
+    for (auto& t : jobTelemetry)
+      t = std::make_unique<telemetry::Telemetry>(telemetry->trace.capacity());
+  }
+
   std::atomic<std::size_t> next{0};
   const auto worker = [&] {
     for (;;) {
@@ -38,7 +50,8 @@ ExperimentResult runExperiment(const graph::Graph& overlay,
       const std::size_t schemeIndex = job % schemeCount;
       result.perFlow[job] =
           engine.run(config.flows[flowIndex], config.schemes[schemeIndex],
-                     config.schemeParams);
+                     config.schemeParams,
+                     telemetry != nullptr ? jobTelemetry[job].get() : nullptr);
     }
   };
   if (threadCount == 1) {
@@ -48,6 +61,15 @@ ExperimentResult runExperiment(const graph::Graph& overlay,
     threads.reserve(threadCount);
     for (unsigned i = 0; i < threadCount; ++i) threads.emplace_back(worker);
     for (std::thread& t : threads) t.join();
+  }
+
+  if (telemetry != nullptr) {
+    for (const auto& jobResult : jobTelemetry) telemetry->merge(*jobResult);
+    telemetry->metrics.counter("dg_playback_jobs_total").inc(jobs);
+    telemetry::SummaryMetric& perJobUnavailable =
+        telemetry->metrics.summary("dg_playback_job_unavailable_seconds");
+    for (const FlowSchemeResult& r : result.perFlow)
+      perJobUnavailable.observe(r.unavailableSeconds);
   }
 
   // ---- Aggregate per scheme -------------------------------------------

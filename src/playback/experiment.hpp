@@ -54,10 +54,16 @@ struct ExperimentResult {
 };
 
 /// Runs every (flow, scheme) pair of the config over the trace;
-/// deterministic regardless of thread count.
+/// deterministic regardless of thread count. When `telemetry` is given,
+/// each worker job records into its own private Telemetry and the
+/// per-job objects are folded into `telemetry` sequentially in job-index
+/// order after the join -- so the merged metrics and trace log (and
+/// therefore every export format) are byte-identical for any `threads`
+/// setting.
 ExperimentResult runExperiment(const graph::Graph& overlay,
                                const trace::Trace& trace,
-                               const ExperimentConfig& config);
+                               const ExperimentConfig& config,
+                               telemetry::Telemetry* telemetry = nullptr);
 
 /// The default 16 transcontinental evaluation flows on the ltn12
 /// topology: four east-coast sites paired with four western sites, both

@@ -53,6 +53,7 @@ PlaybackEngine::IntervalEval PlaybackEngine::evaluateInterval(
     eval.miss = 1.0 - onTimeProbabilityMC(dg, lossRates, latencies,
                                           params_.delivery,
                                           params_.mcSamples, rng);
+    eval.monteCarlo = true;
   }
   eval.cost = static_cast<double>(dg.cost(latencies));
   eval.latency = dg.latencyToDestination(latencies);
@@ -61,14 +62,16 @@ PlaybackEngine::IntervalEval PlaybackEngine::evaluateInterval(
 
 FlowSchemeResult PlaybackEngine::run(
     routing::Flow flow, routing::SchemeKind kind,
-    const routing::SchemeParams& schemeParams) const {
-  return runRange(flow, kind, schemeParams, 0, trace_->intervalCount());
+    const routing::SchemeParams& schemeParams,
+    telemetry::Telemetry* telemetry) const {
+  return runRange(flow, kind, schemeParams, 0, trace_->intervalCount(),
+                  telemetry);
 }
 
 FlowSchemeResult PlaybackEngine::runRange(
     routing::Flow flow, routing::SchemeKind kind,
     const routing::SchemeParams& schemeParams, std::size_t first,
-    std::size_t last) const {
+    std::size_t last, telemetry::Telemetry* telemetry) const {
   if (first > last || last > trace_->intervalCount())
     throw std::out_of_range("PlaybackEngine::runRange: bad range");
 
@@ -76,6 +79,34 @@ FlowSchemeResult PlaybackEngine::runRange(
   const routing::NetworkView baselineView =
       routing::NetworkView::baseline(*trace_);
   scheme->initialize(baselineView);
+
+  // Telemetry handles, resolved once per run (null when detached).
+  telemetry::Counter* intervalsCounter = nullptr;
+  telemetry::Counter* mcIntervalsCounter = nullptr;
+  telemetry::Counter* mcSamplesCounter = nullptr;
+  telemetry::Counter* switchCounter = nullptr;
+  telemetry::HistogramMetric* missHistogram = nullptr;
+  if (telemetry != nullptr) {
+    const std::string flowLabel = std::to_string(flow.source) + "->" +
+                                  std::to_string(flow.destination);
+    const std::string schemeLabel{routing::schemeName(kind)};
+    scheme->setTelemetry(telemetry, flowLabel);
+    const telemetry::Labels labels{{"flow", flowLabel},
+                                   {"scheme", schemeLabel}};
+    telemetry::MetricsRegistry& metrics = telemetry->metrics;
+    intervalsCounter =
+        &metrics.counter("dg_playback_intervals_total", labels);
+    mcIntervalsCounter =
+        &metrics.counter("dg_playback_mc_intervals_total", labels);
+    mcSamplesCounter =
+        &metrics.counter("dg_playback_mc_samples_total", labels);
+    switchCounter =
+        &metrics.counter("dg_routing_graph_switches_total", labels);
+    missHistogram = &metrics.histogram("dg_playback_miss_probability", 0.0,
+                                       1.0, 20, labels);
+  }
+  std::vector<graph::EdgeId> lastSelectedEdges;
+  bool haveSelected = false;
 
   FlowSchemeResult result;
   result.flow = flow;
@@ -95,6 +126,10 @@ FlowSchemeResult PlaybackEngine::runRange(
 
   const auto staleness = static_cast<std::size_t>(params_.viewStaleness);
   for (std::size_t t = first; t < last; ++t) {
+    if (telemetry != nullptr) {
+      telemetry->now =
+          static_cast<util::SimTime>(t) * trace_->intervalLength();
+    }
     // --- Decision: what does the scheme believe right now? -------------
     const graph::DisseminationGraph* dg = nullptr;
     if (t < first + staleness) {
@@ -109,6 +144,17 @@ FlowSchemeResult PlaybackEngine::runRange(
         dg = &scheme->select(view);
       }
     }
+    if (telemetry != nullptr) {
+      if (haveSelected && dg->edges() != lastSelectedEdges) {
+        switchCounter->inc();
+        telemetry->trace.record(
+            telemetry->now, telemetry::TraceEventKind::GraphSwitch, -1,
+            flow.source, -1, static_cast<double>(dg->edges().size()),
+            std::string(routing::schemeName(kind)));
+      }
+      lastSelectedEdges = dg->edges();
+      haveSelected = true;
+    }
 
     // --- Outcome under the interval's true conditions ------------------
     IntervalEval eval;
@@ -122,6 +168,14 @@ FlowSchemeResult PlaybackEngine::runRange(
         cachedEval = eval;
         cacheValid = true;
       }
+      if (eval.monteCarlo && mcIntervalsCounter != nullptr) {
+        mcIntervalsCounter->inc();
+        mcSamplesCounter->inc(static_cast<std::uint64_t>(params_.mcSamples));
+      }
+    }
+    if (intervalsCounter != nullptr) {
+      intervalsCounter->inc();
+      missHistogram->observe(eval.miss);
     }
 
     missMean.add(eval.miss, 1.0);

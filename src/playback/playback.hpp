@@ -19,6 +19,7 @@
 
 #include "graph/graph.hpp"
 #include "routing/scheme.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 #include "playback/delivery_model.hpp"
 
@@ -83,15 +84,21 @@ class PlaybackEngine {
   PlaybackEngine(const graph::Graph& overlay, const trace::Trace& trace,
                  PlaybackParams params);
 
-  /// Replays the whole trace for one flow under one scheme.
+  /// Replays the whole trace for one flow under one scheme. `telemetry`
+  /// (nullable) collects per-interval counters and histograms labeled
+  /// {flow="src->dst", scheme=...}, classification counts from the
+  /// scheme, and GraphSwitch trace events; `telemetry->now` tracks the
+  /// sim-time start of the interval being replayed.
   FlowSchemeResult run(routing::Flow flow, routing::SchemeKind kind,
-                       const routing::SchemeParams& schemeParams) const;
+                       const routing::SchemeParams& schemeParams,
+                       telemetry::Telemetry* telemetry = nullptr) const;
 
   /// Replays an interval range [first, last) -- used by the case-study
   /// experiment and by tests.
   FlowSchemeResult runRange(routing::Flow flow, routing::SchemeKind kind,
                             const routing::SchemeParams& schemeParams,
-                            std::size_t first, std::size_t last) const;
+                            std::size_t first, std::size_t last,
+                            telemetry::Telemetry* telemetry = nullptr) const;
 
   /// Per-interval miss probabilities over a range (dense; for timelines).
   std::vector<double> missTimeline(routing::Flow flow,
@@ -107,6 +114,7 @@ class PlaybackEngine {
     double miss = 0.0;
     double cost = 0.0;
     util::SimTime latency = util::kNever;
+    bool monteCarlo = false;  ///< the lossy path actually sampled
   };
   IntervalEval evaluateInterval(const graph::DisseminationGraph& dg,
                                 routing::Flow flow,

@@ -9,6 +9,7 @@
 // apples-to-apples.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -18,6 +19,7 @@
 #include "graph/graph.hpp"
 #include "routing/network_view.hpp"
 #include "routing/problem_detector.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace dg::routing {
 
@@ -82,11 +84,42 @@ class RoutingScheme {
   Flow flow() const { return flow_; }
   const SchemeParams& params() const { return params_; }
 
+  /// Attaches telemetry (nullable). `flowLabel` identifies the flow in
+  /// metric labels (the live service uses the flow id, the playback
+  /// engine "src->dst"). Schemes stamp trace events with
+  /// `telemetry->now`, which the driving layer keeps current.
+  void setTelemetry(telemetry::Telemetry* telemetry, std::string flowLabel) {
+    telemetry_ = telemetry;
+    flowLabel_ = std::move(flowLabel);
+    classificationCounters_.fill(nullptr);
+  }
+  telemetry::Telemetry* telemetry() const { return telemetry_; }
+
  protected:
+  /// Counts a problem-detector classification under
+  /// `dg_routing_classifications_total{flow,scheme,class}` and records a
+  /// ProblemClassified trace event whenever the classification changes.
+  void recordClassification(const FlowProblem& detected);
+
   const graph::Graph* overlay_;
   Flow flow_;
   SchemeParams params_;
+
+  telemetry::Telemetry* telemetry_ = nullptr;
+  std::string flowLabel_;
+
+ private:
+  /// Lazily resolved counter per classification bitmask
+  /// (source | destination<<1 | middle<<2).
+  std::array<telemetry::Counter*, 8> classificationCounters_{};
+  FlowProblem lastRecorded_;
+  bool haveRecorded_ = false;
 };
+
+/// Human-readable classification label: "none", "source",
+/// "source+destination", ... (flags joined in source/destination/middle
+/// order).
+std::string flowProblemLabel(const FlowProblem& problem);
 
 /// Creates a scheme instance for one flow.
 std::unique_ptr<RoutingScheme> makeScheme(SchemeKind kind,

@@ -34,6 +34,42 @@ std::vector<SchemeKind> allSchemeKinds() {
           SchemeKind::TargetedRedundancy, SchemeKind::TimeConstrainedFlooding};
 }
 
+std::string flowProblemLabel(const FlowProblem& problem) {
+  std::string label;
+  const auto append = [&label](std::string_view flag) {
+    if (!label.empty()) label += '+';
+    label += flag;
+  };
+  if (problem.source) append("source");
+  if (problem.destination) append("destination");
+  if (problem.middle) append("middle");
+  return label.empty() ? "none" : label;
+}
+
+void RoutingScheme::recordClassification(const FlowProblem& detected) {
+  if (telemetry_ == nullptr) return;
+  const std::size_t index = (detected.source ? 1u : 0u) |
+                            (detected.destination ? 2u : 0u) |
+                            (detected.middle ? 4u : 0u);
+  telemetry::Counter*& counter = classificationCounters_[index];
+  if (counter == nullptr) {
+    counter = &telemetry_->metrics.counter(
+        "dg_routing_classifications_total",
+        {{"flow", flowLabel_},
+         {"scheme", std::string(name())},
+         {"class", flowProblemLabel(detected)}});
+  }
+  counter->inc();
+  if (!haveRecorded_ || !(detected == lastRecorded_)) {
+    telemetry_->trace.record(telemetry_->now,
+                             telemetry::TraceEventKind::ProblemClassified,
+                             -1, flow_.source, -1, 0.0,
+                             flowProblemLabel(detected));
+    lastRecorded_ = detected;
+    haveRecorded_ = true;
+  }
+}
+
 namespace {
 
 using graph::DisseminationGraph;
@@ -248,6 +284,7 @@ class TargetedScheme : public RoutingScheme {
   const DisseminationGraph& select(const NetworkView& view) override {
     const FlowProblem detected =
         detector_.classify(view, flow_.source, flow_.destination);
+    recordClassification(detected);
     // Flap damping: hold targeted graphs for holdDownIntervals further
     // decisions after the detector stops firing.
     FlowProblem problem = detected;

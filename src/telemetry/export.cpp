@@ -1,0 +1,257 @@
+#include "telemetry/export.hpp"
+
+#include <charconv>
+#include <cstdint>
+#include <stdexcept>
+
+namespace dg::telemetry {
+
+namespace {
+
+/// Escapes `"` and `\` (and newlines) for JSON string literals and
+/// Prometheus label values; metric/label text never needs more.
+std::string escaped(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string labelsJson(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + escaped(k) + "\":\"" + escaped(v) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string labelsCsv(const Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ';';
+    out += k + '=' + v;
+  }
+  return out;
+}
+
+void typeHeader(std::string& out, const std::string& name,
+                std::string_view type, std::string& lastTyped) {
+  if (name == lastTyped) return;
+  lastTyped = name;
+  out += "# TYPE " + name + ' ' + std::string(type) + '\n';
+}
+
+}  // namespace
+
+std::string toPrometheus(const MetricsRegistry& registry) {
+  std::string out;
+  std::string lastTyped;
+  for (const auto& [key, metric] : registry.counters()) {
+    typeHeader(out, key.name, "counter", lastTyped);
+    out += sampleKey(key.name, key.labels) + ' ' +
+           std::to_string(metric->value()) + '\n';
+  }
+  for (const auto& [key, metric] : registry.gauges()) {
+    typeHeader(out, key.name, "gauge", lastTyped);
+    out += sampleKey(key.name, key.labels) + ' ' +
+           formatDouble(metric->value()) + '\n';
+  }
+  for (const auto& [key, metric] : registry.histograms()) {
+    typeHeader(out, key.name, "histogram", lastTyped);
+    const util::Histogram& h = metric->histogram();
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.bucketCount(); ++b) {
+      cumulative += h.bucketValue(b);
+      Labels labels = normalizedLabels([&] {
+        Labels l = key.labels;
+        l.emplace_back("le", b + 1 < h.bucketCount()
+                                 ? formatDouble(h.bucketLow(b + 1))
+                                 : std::string("+Inf"));
+        return l;
+      }());
+      out += sampleKey(key.name + "_bucket", labels) + ' ' +
+             std::to_string(cumulative) + '\n';
+    }
+    out += sampleKey(key.name + "_sum", key.labels) + ' ' +
+           formatDouble(metric->sum()) + '\n';
+    out += sampleKey(key.name + "_count", key.labels) + ' ' +
+           std::to_string(metric->count()) + '\n';
+  }
+  for (const auto& [key, metric] : registry.summaries()) {
+    typeHeader(out, key.name, "summary", lastTyped);
+    const util::OnlineStats& s = metric->stats();
+    out += sampleKey(key.name + "_count", key.labels) + ' ' +
+           std::to_string(s.count()) + '\n';
+    out += sampleKey(key.name + "_sum", key.labels) + ' ' +
+           formatDouble(s.sum()) + '\n';
+    out += sampleKey(key.name + "_min", key.labels) + ' ' +
+           formatDouble(s.min()) + '\n';
+    out += sampleKey(key.name + "_max", key.labels) + ' ' +
+           formatDouble(s.max()) + '\n';
+  }
+  return out;
+}
+
+std::string toJson(const MetricsRegistry& registry) {
+  std::string out = "{\n  \"counters\": [";
+  bool first = true;
+  for (const auto& [key, metric] : registry.counters()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\":\"" + escaped(key.name) +
+           "\",\"labels\":" + labelsJson(key.labels) +
+           ",\"value\":" + std::to_string(metric->value()) + '}';
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"gauges\": [";
+  first = true;
+  for (const auto& [key, metric] : registry.gauges()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\":\"" + escaped(key.name) +
+           "\",\"labels\":" + labelsJson(key.labels) +
+           ",\"value\":" + formatDouble(metric->value()) + '}';
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"histograms\": [";
+  first = true;
+  for (const auto& [key, metric] : registry.histograms()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const util::Histogram& h = metric->histogram();
+    out += "    {\"name\":\"" + escaped(key.name) +
+           "\",\"labels\":" + labelsJson(key.labels) +
+           ",\"lo\":" + formatDouble(h.bucketLow(0)) +
+           ",\"hi\":" + formatDouble(h.bucketLow(h.bucketCount())) +
+           ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.bucketCount(); ++b) {
+      if (b > 0) out += ',';
+      out += std::to_string(h.bucketValue(b));
+    }
+    out += "],\"sum\":" + formatDouble(metric->sum()) +
+           ",\"count\":" + std::to_string(metric->count()) + '}';
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"summaries\": [";
+  first = true;
+  for (const auto& [key, metric] : registry.summaries()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const util::OnlineStats& s = metric->stats();
+    out += "    {\"name\":\"" + escaped(key.name) +
+           "\",\"labels\":" + labelsJson(key.labels) +
+           ",\"count\":" + std::to_string(s.count()) +
+           ",\"sum\":" + formatDouble(s.sum()) +
+           ",\"min\":" + formatDouble(s.min()) +
+           ",\"max\":" + formatDouble(s.max()) +
+           ",\"mean\":" + formatDouble(s.mean()) + '}';
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string toCsv(const MetricsRegistry& registry) {
+  std::string out = "type,name,labels,sample,value\n";
+  for (const auto& [key, metric] : registry.counters()) {
+    out += "counter," + key.name + ',' + labelsCsv(key.labels) + ",value," +
+           std::to_string(metric->value()) + '\n';
+  }
+  for (const auto& [key, metric] : registry.gauges()) {
+    out += "gauge," + key.name + ',' + labelsCsv(key.labels) + ",value," +
+           formatDouble(metric->value()) + '\n';
+  }
+  for (const auto& [key, metric] : registry.histograms()) {
+    const util::Histogram& h = metric->histogram();
+    for (std::size_t b = 0; b < h.bucketCount(); ++b) {
+      out += "histogram," + key.name + ',' + labelsCsv(key.labels) +
+             ",le=" +
+             (b + 1 < h.bucketCount() ? formatDouble(h.bucketLow(b + 1))
+                                      : std::string("+Inf")) +
+             ',' + std::to_string(h.bucketValue(b)) + '\n';
+    }
+    out += "histogram," + key.name + ',' + labelsCsv(key.labels) + ",sum," +
+           formatDouble(metric->sum()) + '\n';
+    out += "histogram," + key.name + ',' + labelsCsv(key.labels) +
+           ",count," + std::to_string(metric->count()) + '\n';
+  }
+  for (const auto& [key, metric] : registry.summaries()) {
+    const util::OnlineStats& s = metric->stats();
+    out += "summary," + key.name + ',' + labelsCsv(key.labels) + ",count," +
+           std::to_string(s.count()) + '\n';
+    out += "summary," + key.name + ',' + labelsCsv(key.labels) + ",sum," +
+           formatDouble(s.sum()) + '\n';
+    out += "summary," + key.name + ',' + labelsCsv(key.labels) + ",min," +
+           formatDouble(s.min()) + '\n';
+    out += "summary," + key.name + ',' + labelsCsv(key.labels) + ",max," +
+           formatDouble(s.max()) + '\n';
+  }
+  return out;
+}
+
+std::string toJson(const TraceLog& log) {
+  std::string out = "{\n  \"recorded\": " + std::to_string(log.recorded()) +
+                    ",\n  \"dropped\": " + std::to_string(log.dropped()) +
+                    ",\n  \"events\": [";
+  bool first = true;
+  for (const TraceEvent& event : log.events()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"time_us\":" + std::to_string(event.time) +
+           ",\"kind\":\"" + std::string(traceEventKindName(event.kind)) +
+           "\",\"flow\":" + std::to_string(event.flow) +
+           ",\"node\":" + std::to_string(event.node) +
+           ",\"edge\":" + std::to_string(event.edge) +
+           ",\"value\":" + formatDouble(event.value) + ",\"detail\":\"" +
+           escaped(event.detail) + "\"}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::map<std::string, double> parsePrometheus(std::string_view text) {
+  std::map<std::string, double> samples;
+  std::size_t lineStart = 0;
+  int lineNumber = 0;
+  while (lineStart <= text.size()) {
+    std::size_t lineEnd = text.find('\n', lineStart);
+    if (lineEnd == std::string_view::npos) lineEnd = text.size();
+    const std::string_view line =
+        text.substr(lineStart, lineEnd - lineStart);
+    lineStart = lineEnd + 1;
+    ++lineNumber;
+    if (line.empty() || line.front() == '#') continue;
+    // Split on the last space: label values may not contain spaces in our
+    // exports, but keys may contain `{...}` so search from the end.
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string_view::npos || space + 1 >= line.size()) {
+      throw std::runtime_error("parsePrometheus: malformed line " +
+                               std::to_string(lineNumber));
+    }
+    const std::string_view value = line.substr(space + 1);
+    double parsed = 0.0;
+    const auto [end, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc() || end != value.data() + value.size()) {
+      throw std::runtime_error("parsePrometheus: bad value on line " +
+                               std::to_string(lineNumber));
+    }
+    samples[std::string(line.substr(0, space))] = parsed;
+  }
+  return samples;
+}
+
+}  // namespace dg::telemetry

@@ -1,0 +1,43 @@
+// Telemetry exporters: Prometheus exposition text, JSON and CSV for the
+// metrics registry, JSON for the trace-event log, plus a minimal
+// Prometheus text parser used by round-trip tests and tooling.
+//
+// All renderings are deterministic: metrics iterate in registry key
+// order, doubles use shortest round-trip formatting (std::to_chars), and
+// nothing wall-clock-dependent is ever emitted -- identical runs produce
+// byte-identical files.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_log.hpp"
+
+namespace dg::telemetry {
+
+/// Prometheus exposition format: `# TYPE` headers plus one sample per
+/// line. Histograms render cumulative `_bucket{le=...}` series with
+/// `_sum`/`_count`; summaries render `_count`/`_sum`/`_min`/`_max`.
+std::string toPrometheus(const MetricsRegistry& registry);
+
+/// JSON object with "counters" / "gauges" / "histograms" / "summaries"
+/// arrays, each entry carrying name, labels and values.
+std::string toJson(const MetricsRegistry& registry);
+
+/// CSV with header `type,name,labels,sample,value`; labels rendered as
+/// `k=v;k=v`.
+std::string toCsv(const MetricsRegistry& registry);
+
+/// JSON array of trace events (time in sim-time microseconds), oldest
+/// first, wrapped with recorded/dropped totals.
+std::string toJson(const TraceLog& log);
+
+/// Parses Prometheus exposition text back into a sampleKey -> value map
+/// (comments and blank lines ignored; histogram buckets appear as their
+/// `_bucket{...,le="..."}` samples, cumulative exactly as exported).
+/// Throws std::runtime_error on malformed lines.
+std::map<std::string, double> parsePrometheus(std::string_view text);
+
+}  // namespace dg::telemetry

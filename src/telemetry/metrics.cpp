@@ -1,0 +1,193 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <stdexcept>
+
+namespace dg::telemetry {
+
+std::string formatDouble(double value) {
+  std::array<char, 64> buffer;
+  const auto [end, ec] =
+      std::to_chars(buffer.data(), buffer.data() + buffer.size(), value);
+  if (ec != std::errc()) return "0";
+  return std::string(buffer.data(), end);
+}
+
+Labels normalizedLabels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string sampleKey(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  if (labels.empty()) return key;
+  key += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) key += ',';
+    first = false;
+    key += k;
+    key += "=\"";
+    key += v;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+namespace {
+
+template <typename T, typename Factory>
+T& findOrCreate(std::map<MetricsRegistry::Key, std::unique_ptr<T>>& metrics,
+                std::string_view name, Labels labels, Factory factory) {
+  MetricsRegistry::Key key{std::string(name),
+                           normalizedLabels(std::move(labels))};
+  auto it = metrics.find(key);
+  if (it == metrics.end()) {
+    it = metrics.emplace(std::move(key), factory()).first;
+  }
+  return *it->second;
+}
+
+template <typename T>
+const T* findExisting(
+    const std::map<MetricsRegistry::Key, std::unique_ptr<T>>& metrics,
+    std::string_view name, const Labels& labels) {
+  const MetricsRegistry::Key key{std::string(name),
+                                 normalizedLabels(labels)};
+  const auto it = metrics.find(key);
+  return it == metrics.end() ? nullptr : it->second.get();
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  return findOrCreate(counters_, name, std::move(labels),
+                      [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  return findOrCreate(gauges_, name, std::move(labels),
+                      [] { return std::make_unique<Gauge>(); });
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name, double lo,
+                                            double hi, std::size_t buckets,
+                                            Labels labels) {
+  HistogramMetric& metric =
+      findOrCreate(histograms_, name, std::move(labels), [&] {
+        return std::make_unique<HistogramMetric>(lo, hi, buckets);
+      });
+  if (metric.histogram().bucketCount() != buckets ||
+      metric.histogram().bucketLow(0) != lo ||
+      metric.histogram().bucketLow(buckets) != hi) {
+    throw std::invalid_argument("MetricsRegistry: histogram '" +
+                                std::string(name) +
+                                "' re-registered with different geometry");
+  }
+  return metric;
+}
+
+SummaryMetric& MetricsRegistry::summary(std::string_view name,
+                                        Labels labels) {
+  return findOrCreate(summaries_, name, std::move(labels),
+                      [] { return std::make_unique<SummaryMetric>(); });
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [key, metric] : other.counters_) {
+    counter(key.name, key.labels).inc(metric->value());
+  }
+  for (const auto& [key, metric] : other.gauges_) {
+    gauge(key.name, key.labels).high(metric->value());
+  }
+  for (const auto& [key, metric] : other.histograms_) {
+    const util::Histogram& source = metric->histogram();
+    HistogramMetric& target = findOrCreate(histograms_, key.name,
+                                           key.labels, [&] {
+                                             return std::make_unique<
+                                                 HistogramMetric>(
+                                                 source.bucketLow(0),
+                                                 source.bucketLow(
+                                                     source.bucketCount()),
+                                                 source.bucketCount());
+                                           });
+    target.mergeFrom(*metric);
+  }
+  for (const auto& [key, metric] : other.summaries_) {
+    summary(key.name, key.labels).mergeFrom(*metric);
+  }
+}
+
+std::uint64_t MetricsRegistry::counterValue(std::string_view name,
+                                            const Labels& labels) const {
+  const Counter* metric = findCounter(name, labels);
+  return metric ? metric->value() : 0;
+}
+
+const Counter* MetricsRegistry::findCounter(std::string_view name,
+                                            const Labels& labels) const {
+  return findExisting(counters_, name, labels);
+}
+
+const Gauge* MetricsRegistry::findGauge(std::string_view name,
+                                        const Labels& labels) const {
+  return findExisting(gauges_, name, labels);
+}
+
+const HistogramMetric* MetricsRegistry::findHistogram(
+    std::string_view name, const Labels& labels) const {
+  return findExisting(histograms_, name, labels);
+}
+
+const SummaryMetric* MetricsRegistry::findSummary(std::string_view name,
+                                                  const Labels& labels) const {
+  return findExisting(summaries_, name, labels);
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::samples() const {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [key, metric] : counters_) {
+    out.emplace_back(sampleKey(key.name, key.labels),
+                     static_cast<double>(metric->value()));
+  }
+  for (const auto& [key, metric] : gauges_) {
+    out.emplace_back(sampleKey(key.name, key.labels), metric->value());
+  }
+  for (const auto& [key, metric] : histograms_) {
+    const util::Histogram& h = metric->histogram();
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.bucketCount(); ++b) {
+      cumulative += h.bucketValue(b);
+      // Buckets are cumulative (Prometheus convention); out-of-range
+      // samples are clamped into the edge buckets, so the last bucket is
+      // effectively +Inf-bounded.
+      Labels labels = normalizedLabels([&] {
+        Labels l = key.labels;
+        l.emplace_back("le", b + 1 < h.bucketCount()
+                                 ? formatDouble(h.bucketLow(b + 1))
+                                 : std::string("+Inf"));
+        return l;
+      }());
+      out.emplace_back(sampleKey(key.name + "_bucket", labels),
+                       static_cast<double>(cumulative));
+    }
+    out.emplace_back(sampleKey(key.name + "_sum", key.labels),
+                     metric->sum());
+    out.emplace_back(sampleKey(key.name + "_count", key.labels),
+                     static_cast<double>(metric->count()));
+  }
+  for (const auto& [key, metric] : summaries_) {
+    const util::OnlineStats& s = metric->stats();
+    out.emplace_back(sampleKey(key.name + "_count", key.labels),
+                     static_cast<double>(s.count()));
+    out.emplace_back(sampleKey(key.name + "_sum", key.labels), s.sum());
+    out.emplace_back(sampleKey(key.name + "_min", key.labels), s.min());
+    out.emplace_back(sampleKey(key.name + "_max", key.labels), s.max());
+  }
+  return out;
+}
+
+}  // namespace dg::telemetry

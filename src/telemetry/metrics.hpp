@@ -1,0 +1,187 @@
+// Cross-layer metrics registry.
+//
+// A MetricsRegistry is a flat namespace of named instruments -- counters,
+// gauges, histograms (util::Histogram) and summaries (util::OnlineStats)
+// -- each optionally qualified by a sorted label set such as
+// {flow="0->9", scheme="targeted"}. The registry is designed for the
+// discrete-event hot path: instrument handles are resolved once (a map
+// lookup) and then held as plain references whose update is a single
+// add/compare, so an instrumented layer with a null registry pointer or a
+// cached handle costs nothing measurable.
+//
+// Registries are single-threaded by design (like the rest of the
+// library); concurrency is handled the same way the experiment runner
+// handles it -- one registry per worker job, merged afterwards in job
+// order. merge() is deterministic given a fixed merge order, which makes
+// exports byte-identical regardless of worker-thread count.
+//
+// Naming convention (see DESIGN.md "Telemetry & observability"):
+//   dg_<layer>_<what>[_total]   e.g. dg_net_link_drops_total
+// with label keys drawn from {flow, node, edge, scheme, class}.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace dg::telemetry {
+
+/// A metric's label set: (key, value) pairs, kept sorted by key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Returns `labels` sorted by key (the registry's canonical order).
+Labels normalizedLabels(Labels labels);
+
+/// Canonical sample key as rendered by the Prometheus exporter, e.g.
+/// `dg_net_link_drops_total{edge="3"}`. Exposed so tests can address
+/// samples the same way external scrapers do.
+std::string sampleKey(std::string_view name, const Labels& labels);
+
+/// Shortest round-trippable decimal rendering of a double
+/// (std::to_chars): locale-independent and deterministic, so exports are
+/// byte-comparable and parse back to the exact value.
+std::string formatDouble(double value);
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-set instantaneous value. Gauges merge by taking the maximum,
+/// which is the only order-independent choice that keeps "high-water
+/// mark" semantics (the registry's main gauge use) meaningful.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  /// Raises the gauge to `v` if larger (high-water-mark update).
+  void high(double v) {
+    if (v > value_) value_ = v;
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket distribution (util::Histogram) plus an exact sum.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t buckets)
+      : histogram_(lo, hi, buckets) {}
+
+  void observe(double x) {
+    histogram_.add(x);
+    sum_ += x;
+  }
+
+  void mergeFrom(const HistogramMetric& other) {
+    histogram_.merge(other.histogram_);
+    sum_ += other.sum_;
+  }
+
+  const util::Histogram& histogram() const { return histogram_; }
+  double sum() const { return sum_; }
+  std::uint64_t count() const { return histogram_.total(); }
+
+ private:
+  util::Histogram histogram_;
+  double sum_ = 0.0;
+};
+
+/// Streaming count/sum/min/max/mean (util::OnlineStats).
+class SummaryMetric {
+ public:
+  void observe(double x) { stats_.add(x); }
+  void mergeFrom(const SummaryMetric& other) { stats_.merge(other.stats_); }
+  const util::OnlineStats& stats() const { return stats_; }
+
+ private:
+  util::OnlineStats stats_;
+};
+
+class MetricsRegistry {
+ public:
+  /// A metric's identity: name plus normalized labels. Ordered, so every
+  /// export iterates in one deterministic order.
+  struct Key {
+    std::string name;
+    Labels labels;
+    bool operator<(const Key& other) const {
+      if (name != other.name) return name < other.name;
+      return labels < other.labels;
+    }
+  };
+
+  // Find-or-create. Returned references stay valid for the registry's
+  // lifetime (instruments are heap-allocated and never removed), so hot
+  // paths resolve a handle once and update through it.
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  /// Histograms with the same key must agree on geometry (throws
+  /// std::invalid_argument otherwise; merging would be meaningless).
+  HistogramMetric& histogram(std::string_view name, double lo, double hi,
+                             std::size_t buckets, Labels labels = {});
+  SummaryMetric& summary(std::string_view name, Labels labels = {});
+
+  /// Folds `other` into this registry: counters, histogram buckets and
+  /// summaries add; gauges keep the maximum. Deterministic for any fixed
+  /// sequence of merges (the experiment runner merges per-job registries
+  /// in job order, making results independent of worker-thread count).
+  void merge(const MetricsRegistry& other);
+
+  // Lookup without creation (0 / nullptr when absent) -- for tests and
+  // report code that asserts on instrumented values.
+  std::uint64_t counterValue(std::string_view name,
+                             const Labels& labels = {}) const;
+  const Counter* findCounter(std::string_view name,
+                             const Labels& labels = {}) const;
+  const Gauge* findGauge(std::string_view name,
+                         const Labels& labels = {}) const;
+  const HistogramMetric* findHistogram(std::string_view name,
+                                       const Labels& labels = {}) const;
+  const SummaryMetric* findSummary(std::string_view name,
+                                   const Labels& labels = {}) const;
+
+  /// Every exported sample as (sampleKey, value), in export order: the
+  /// exact flattening the Prometheus exporter renders, which is what the
+  /// round-trip tests compare against.
+  std::vector<std::pair<std::string, double>> samples() const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           summaries_.empty();
+  }
+
+  // Sorted instrument maps, for the exporters.
+  const std::map<Key, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<Key, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<Key, std::unique_ptr<HistogramMetric>>& histograms() const {
+    return histograms_;
+  }
+  const std::map<Key, std::unique_ptr<SummaryMetric>>& summaries() const {
+    return summaries_;
+  }
+
+ private:
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<HistogramMetric>> histograms_;
+  std::map<Key, std::unique_ptr<SummaryMetric>> summaries_;
+};
+
+}  // namespace dg::telemetry

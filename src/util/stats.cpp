@@ -63,6 +63,17 @@ void Histogram::add(double x, std::uint64_t weight) {
   total_ += weight;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: geometry mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
 double Histogram::bucketLow(std::size_t i) const {
   return lo_ + width_ * static_cast<double>(i);
 }

@@ -41,6 +41,12 @@ class Histogram {
 
   void add(double x, std::uint64_t weight = 1);
 
+  /// Bucket-wise accumulation of another histogram with identical
+  /// geometry (throws std::invalid_argument otherwise). Associative and
+  /// exact (integer bucket counts), so merged results are independent of
+  /// merge grouping.
+  void merge(const Histogram& other);
+
   std::size_t bucketCount() const { return counts_.size(); }
   std::uint64_t bucketValue(std::size_t i) const { return counts_.at(i); }
   /// Inclusive lower edge of bucket i.

@@ -1,0 +1,40 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dg::core {
+namespace {
+
+TEST(FlowStats, RatesOnNormalTraffic) {
+  FlowStats stats;
+  stats.sent = 100;
+  stats.deliveredOnTime = 90;
+  stats.deliveredLate = 5;
+  stats.transmissions = 300;
+  EXPECT_EQ(stats.delivered(), 95u);
+  EXPECT_EQ(stats.lost(), 5u);
+  EXPECT_DOUBLE_EQ(stats.onTimeRate(), 0.9);
+  EXPECT_DOUBLE_EQ(stats.unavailability(), 1.0 - 0.9);
+  EXPECT_DOUBLE_EQ(stats.costPerPacket(), 3.0);
+}
+
+TEST(FlowStats, ZeroTrafficIsFullyUnavailable) {
+  // A flow that never sent has demonstrated no availability: the old
+  // behavior reported 0.0 (a perfect score) for an idle flow, which made
+  // "min unavailability across flows" silently pick idle flows.
+  const FlowStats stats;
+  EXPECT_EQ(stats.sent, 0u);
+  EXPECT_DOUBLE_EQ(stats.onTimeRate(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.unavailability(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.costPerPacket(), 0.0);
+}
+
+TEST(FlowStats, LostNeverUnderflows) {
+  FlowStats stats;
+  stats.sent = 1;
+  stats.deliveredOnTime = 2;  // duplicate-free invariant violated upstream
+  EXPECT_EQ(stats.lost(), 0u);
+}
+
+}  // namespace
+}  // namespace dg::core

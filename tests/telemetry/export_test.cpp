@@ -1,0 +1,101 @@
+#include "telemetry/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/telemetry.hpp"
+
+namespace dg::telemetry {
+namespace {
+
+MetricsRegistry populatedRegistry() {
+  MetricsRegistry registry;
+  registry.counter("dg_net_link_drops_total", {{"edge", "3"}}).inc(17);
+  registry.counter("dg_net_link_drops_total", {{"edge", "7"}}).inc(2);
+  registry.counter("dg_core_sent_total", {{"flow", "0"}}).inc(1000);
+  registry.gauge("dg_sim_queue_depth_high").high(42.0);
+  HistogramMetric& h =
+      registry.histogram("dg_core_delivery_latency_ms", 0.0, 100.0, 4,
+                         {{"flow", "0"}});
+  h.observe(10.0);
+  h.observe(30.0);
+  h.observe(250.0);  // overflow bucket
+  SummaryMetric& s = registry.summary("dg_core_monitor_loss_estimate");
+  s.observe(0.001);
+  s.observe(0.25);
+  return registry;
+}
+
+// The acceptance criterion: export -> parse -> identical values, for the
+// exact flattening samples() exposes.
+TEST(Exporters, PrometheusRoundTripsEverySample) {
+  const MetricsRegistry registry = populatedRegistry();
+  const std::string text = toPrometheus(registry);
+  const auto parsed = parsePrometheus(text);
+  const auto samples = registry.samples();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_EQ(parsed.size(), samples.size());
+  for (const auto& [key, value] : samples) {
+    const auto it = parsed.find(key);
+    ASSERT_NE(it, parsed.end()) << "missing sample " << key;
+    EXPECT_DOUBLE_EQ(it->second, value) << key;
+  }
+}
+
+TEST(Exporters, PrometheusIsDeterministic) {
+  EXPECT_EQ(toPrometheus(populatedRegistry()),
+            toPrometheus(populatedRegistry()));
+  EXPECT_EQ(toJson(populatedRegistry()), toJson(populatedRegistry()));
+  EXPECT_EQ(toCsv(populatedRegistry()), toCsv(populatedRegistry()));
+}
+
+TEST(Exporters, PrometheusHasTypeHeadersAndCumulativeBuckets) {
+  const std::string text = toPrometheus(populatedRegistry());
+  EXPECT_NE(text.find("# TYPE dg_net_link_drops_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dg_core_delivery_latency_ms histogram"),
+            std::string::npos);
+  // 3 observations total, one beyond the top edge: +Inf bucket must carry
+  // the full count and the _count sample must agree.
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("dg_core_delivery_latency_ms_count{flow=\"0\"} 3"),
+            std::string::npos);
+}
+
+TEST(Exporters, JsonCarriesAllInstrumentKinds) {
+  const std::string json = toJson(populatedRegistry());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"summaries\""), std::string::npos);
+  EXPECT_NE(json.find("\"dg_net_link_drops_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"edge\":\"3\""), std::string::npos);
+}
+
+TEST(Exporters, CsvHasHeaderAndOneRowPerSampleFamily) {
+  const std::string csv = toCsv(populatedRegistry());
+  EXPECT_EQ(csv.rfind("type,name,labels,sample,value", 0), 0u);
+  EXPECT_NE(csv.find("counter,dg_net_link_drops_total,edge=3"),
+            std::string::npos);
+}
+
+TEST(Exporters, ParsePrometheusRejectsMalformedLines) {
+  EXPECT_THROW(parsePrometheus("dg_x_total"), std::runtime_error);
+  EXPECT_THROW(parsePrometheus("dg_x_total not-a-number"),
+               std::runtime_error);
+  EXPECT_TRUE(parsePrometheus("# just a comment\n\n").empty());
+}
+
+TEST(Exporters, TraceLogJsonCarriesEventsAndAccounting) {
+  TraceLog log(8);
+  log.record(util::seconds(2), TraceEventKind::GraphSwitch, 0, 1, -1, 5.0,
+             "targeted");
+  const std::string json = toJson(log);
+  EXPECT_NE(json.find("\"recorded\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"graph-switch\""), std::string::npos);
+  EXPECT_NE(json.find("\"time_us\":2000000"), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"targeted\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dg::telemetry

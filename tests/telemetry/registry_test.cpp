@@ -1,0 +1,164 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dg::telemetry {
+namespace {
+
+TEST(MetricsRegistry, CounterFindOrCreateAndLookup) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("dg_test_total");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(registry.counterValue("dg_test_total"), 5u);
+  EXPECT_EQ(&registry.counter("dg_test_total"), &c);
+  EXPECT_EQ(registry.counterValue("dg_other_total"), 0u);
+  EXPECT_EQ(registry.findCounter("dg_other_total"), nullptr);
+}
+
+TEST(MetricsRegistry, LabelsAreNormalizedToSortedOrder) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("dg_test_total",
+                                {{"scheme", "targeted"}, {"flow", "0"}});
+  Counter& b = registry.counter("dg_test_total",
+                                {{"flow", "0"}, {"scheme", "targeted"}});
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(
+      registry.counterValue("dg_test_total",
+                            {{"scheme", "targeted"}, {"flow", "0"}}),
+      1u);
+}
+
+TEST(MetricsRegistry, GaugeKeepsHighWaterMark) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("dg_depth_high");
+  g.high(3.0);
+  g.high(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 0.5);
+}
+
+TEST(MetricsRegistry, HistogramGeometryMismatchThrows) {
+  MetricsRegistry registry;
+  registry.histogram("dg_lat_ms", 0.0, 100.0, 10);
+  EXPECT_NO_THROW(registry.histogram("dg_lat_ms", 0.0, 100.0, 10));
+  EXPECT_THROW(registry.histogram("dg_lat_ms", 0.0, 100.0, 20),
+               std::invalid_argument);
+  EXPECT_THROW(registry.histogram("dg_lat_ms", 0.0, 50.0, 10),
+               std::invalid_argument);
+}
+
+TEST(MetricsRegistry, MergeAddsCountersAndHistogramsMaxesGauges) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("dg_c_total").inc(2);
+  b.counter("dg_c_total").inc(5);
+  b.counter("dg_only_in_b_total").inc(7);
+  a.gauge("dg_g_high").high(4.0);
+  b.gauge("dg_g_high").high(9.0);
+  a.histogram("dg_h", 0.0, 10.0, 5).observe(1.0);
+  b.histogram("dg_h", 0.0, 10.0, 5).observe(9.0);
+  a.summary("dg_s").observe(2.0);
+  b.summary("dg_s").observe(4.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counterValue("dg_c_total"), 7u);
+  EXPECT_EQ(a.counterValue("dg_only_in_b_total"), 7u);
+  EXPECT_DOUBLE_EQ(a.findGauge("dg_g_high")->value(), 9.0);
+  EXPECT_EQ(a.findHistogram("dg_h")->count(), 2u);
+  EXPECT_DOUBLE_EQ(a.findHistogram("dg_h")->sum(), 10.0);
+  EXPECT_EQ(a.findSummary("dg_s")->stats().count(), 2u);
+  EXPECT_DOUBLE_EQ(a.findSummary("dg_s")->stats().mean(), 3.0);
+}
+
+// The experiment runner's determinism argument: observations distributed
+// over per-worker registries and merged in a fixed order reproduce the
+// single-registry result for any partitioning -- exactly for counters,
+// gauges and histogram buckets (integer adds / max), and to floating-
+// point rounding for summary sums (the byte-identical guarantee across
+// thread counts comes from the runner's *fixed* per-job partitioning,
+// which makes the merge sequence independent of the thread count).
+TEST(MetricsRegistry, PartitionedMergeMatchesSingleRegistryForAnyWorkerCount) {
+  const int observations = 97;
+  const auto observe = [](MetricsRegistry& r, int i) {
+    r.counter("dg_events_total", {{"flow", std::to_string(i % 3)}}).inc();
+    r.gauge("dg_depth_high").high(static_cast<double>(i % 13));
+    r.histogram("dg_lat_ms", 0.0, 50.0, 10)
+        .observe(static_cast<double>(i % 50));
+    r.summary("dg_loss").observe(static_cast<double>(i) / observations);
+  };
+
+  MetricsRegistry reference;
+  for (int i = 0; i < observations; ++i) observe(reference, i);
+
+  for (const int workers : {1, 2, 3, 4, 7}) {
+    std::vector<MetricsRegistry> parts(static_cast<std::size_t>(workers));
+    for (int i = 0; i < observations; ++i) {
+      observe(parts[static_cast<std::size_t>(i % workers)], i);
+    }
+    MetricsRegistry merged;
+    for (const MetricsRegistry& part : parts) merged.merge(part);
+
+    for (int f = 0; f < 3; ++f) {
+      const Labels labels{{"flow", std::to_string(f)}};
+      EXPECT_EQ(merged.counterValue("dg_events_total", labels),
+                reference.counterValue("dg_events_total", labels))
+          << "workers=" << workers;
+    }
+    EXPECT_DOUBLE_EQ(merged.findGauge("dg_depth_high")->value(),
+                     reference.findGauge("dg_depth_high")->value());
+    const util::Histogram& mh = merged.findHistogram("dg_lat_ms")->histogram();
+    const util::Histogram& rh =
+        reference.findHistogram("dg_lat_ms")->histogram();
+    ASSERT_EQ(mh.bucketCount(), rh.bucketCount());
+    for (std::size_t b = 0; b < mh.bucketCount(); ++b) {
+      EXPECT_EQ(mh.bucketValue(b), rh.bucketValue(b)) << "workers=" << workers;
+    }
+    const util::OnlineStats& ms = merged.findSummary("dg_loss")->stats();
+    const util::OnlineStats& rs = reference.findSummary("dg_loss")->stats();
+    EXPECT_EQ(ms.count(), rs.count());
+    EXPECT_DOUBLE_EQ(ms.min(), rs.min());
+    EXPECT_DOUBLE_EQ(ms.max(), rs.max());
+    EXPECT_NEAR(ms.sum(), rs.sum(), 1e-9);  // FP addition order differs
+  }
+}
+
+// The guarantee the runner actually relies on: the SAME per-job
+// partitioning merged in the SAME order yields byte-identical samples,
+// however many threads executed the jobs.
+TEST(MetricsRegistry, FixedJobPartitioningMergesIdentically) {
+  const auto buildJobs = [] {
+    std::vector<MetricsRegistry> jobs(4);
+    for (int j = 0; j < 4; ++j) {
+      auto& r = jobs[static_cast<std::size_t>(j)];
+      for (int i = 0; i < 10 + j; ++i) {
+        r.counter("dg_events_total").inc();
+        r.summary("dg_loss").observe(static_cast<double>(i * (j + 1)) / 7.0);
+      }
+    }
+    return jobs;
+  };
+  const auto mergeAll = [](const std::vector<MetricsRegistry>& jobs) {
+    MetricsRegistry merged;
+    for (const MetricsRegistry& job : jobs) merged.merge(job);
+    return merged.samples();
+  };
+  EXPECT_EQ(mergeAll(buildJobs()), mergeAll(buildJobs()));
+}
+
+TEST(MetricsRegistry, SampleKeyRendersPrometheusStyle) {
+  EXPECT_EQ(sampleKey("dg_x_total", {}), "dg_x_total");
+  EXPECT_EQ(sampleKey("dg_x_total", {{"flow", "0"}, {"scheme", "targeted"}}),
+            "dg_x_total{flow=\"0\",scheme=\"targeted\"}");
+}
+
+TEST(MetricsRegistry, FormatDoubleIsShortestRoundTrip) {
+  EXPECT_EQ(formatDouble(0.1), "0.1");
+  EXPECT_EQ(formatDouble(2.0), "2");
+  EXPECT_EQ(std::stod(formatDouble(1.0 / 3.0)), 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace dg::telemetry

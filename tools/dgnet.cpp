@@ -15,6 +15,15 @@
 //   dgnet simulate   --source=A --destination=B --scheme=NAME --seconds=N
 //                    (--trace=FILE | --days=N [--seed=S])
 //       Drive the packet-level overlay (forwarding + recovery) live.
+//   dgnet telemetry  [--schemes=a,b,...] [--threads=N]
+//                    (--trace=FILE | --days=N [--seed=S])
+//       Run the flows x schemes playback sweep with full telemetry and
+//       print the merged metrics (byte-identical for any --threads).
+//
+// playback/simulate/telemetry accept the shared telemetry flags:
+//   --metrics-out=FILE     write collected metrics (- = stdout)
+//   --metrics-format=FMT   prom (default) | json | csv
+//   --trace-out=FILE       write the sim-time trace-event log as JSON
 //
 // All schemes: static-single dynamic-single static-two-disjoint
 // dynamic-two-disjoint targeted flooding.
@@ -23,7 +32,10 @@
 #include <optional>
 
 #include "core/transport.hpp"
+#include "playback/experiment.hpp"
 #include "playback/playback.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/importer.hpp"
 #include "trace/synth.hpp"
 #include "trace/topology.hpp"
@@ -51,6 +63,44 @@ trace::Trace loadOrGenerateTrace(const trace::Topology& topology,
             << "-day synthetic trace (" << synthetic.events.size()
             << " events, seed " << params.seed << ")\n";
   return std::move(synthetic.trace);
+}
+
+/// True when any telemetry output flag is present.
+bool telemetryRequested(const util::Config& args) {
+  return args.has("metrics-out") || args.has("trace-out");
+}
+
+void writeOrPrint(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::cout << content;
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << content;
+}
+
+std::string renderMetrics(const telemetry::MetricsRegistry& metrics,
+                          const std::string& format) {
+  if (format == "prom") return telemetry::toPrometheus(metrics);
+  if (format == "json") return telemetry::toJson(metrics);
+  if (format == "csv") return telemetry::toCsv(metrics);
+  throw std::runtime_error("unknown --metrics-format '" + format +
+                           "' (want prom, json or csv)");
+}
+
+/// Writes --metrics-out / --trace-out as requested.
+void emitTelemetry(const telemetry::Telemetry& telemetry,
+                   const util::Config& args) {
+  if (args.has("metrics-out")) {
+    writeOrPrint(args.getString("metrics-out"),
+                 renderMetrics(telemetry.metrics,
+                               args.getString("metrics-format", "prom")));
+  }
+  if (args.has("trace-out")) {
+    writeOrPrint(args.getString("trace-out"),
+                 telemetry::toJson(telemetry.trace));
+  }
 }
 
 int cmdTopology(const util::Config& args) {
@@ -162,7 +212,11 @@ int cmdPlayback(const util::Config& args) {
   playback::PlaybackParams params;
   params.mcSamples = static_cast<int>(args.getInt("mc_samples", 1000));
   const playback::PlaybackEngine engine(topology.graph(), tr, params);
-  const auto result = engine.run(flow, kind, routing::SchemeParams{});
+  std::optional<telemetry::Telemetry> telemetry;
+  if (telemetryRequested(args)) telemetry.emplace();
+  const auto result = engine.run(flow, kind, routing::SchemeParams{},
+                                 telemetry ? &*telemetry : nullptr);
+  if (telemetry) emitTelemetry(*telemetry, args);
   std::cout << "scheme:                 " << routing::schemeName(kind) << '\n'
             << "unavailability:         "
             << util::formatFixed(result.unavailability * 1e6, 1) << " ppm\n"
@@ -184,11 +238,17 @@ int cmdSimulate(const util::Config& args) {
   const auto kind = routing::parseSchemeKind(
       args.getString("scheme", "targeted"));
   core::TransportService service(topology, tr);
+  std::optional<telemetry::Telemetry> telemetry;
+  if (telemetryRequested(args)) {
+    telemetry.emplace();
+    service.setTelemetry(&*telemetry);
+  }
   const auto flow = service.openFlow(args.getString("source", "NYC"),
                                      args.getString("destination", "SJC"),
                                      kind);
   const auto seconds = args.getInt("seconds", 60);
   service.run(util::seconds(seconds));
+  if (telemetry) emitTelemetry(*telemetry, args);
   const auto& stats = service.stats(flow);
   std::cout << "scheme:        " << routing::schemeName(kind) << '\n'
             << "sent:          " << stats.sent << '\n'
@@ -204,9 +264,40 @@ int cmdSimulate(const util::Config& args) {
   return 0;
 }
 
+int cmdTelemetry(const util::Config& args) {
+  const auto topology = loadTopology(args);
+  const auto tr = loadOrGenerateTrace(topology, args);
+
+  playback::ExperimentConfig config;
+  config.flows = playback::transcontinentalFlows(topology);
+  if (args.has("schemes")) {
+    config.schemes.clear();
+    for (const std::string& name : util::split(args.getString("schemes"), ','))
+      config.schemes.push_back(routing::parseSchemeKind(name));
+  }
+  config.playback.mcSamples = static_cast<int>(args.getInt("mc_samples", 1000));
+  config.threads = static_cast<unsigned>(args.getInt("threads", 0));
+
+  telemetry::Telemetry telemetry;
+  playback::runExperiment(topology.graph(), tr, config, &telemetry);
+
+  if (telemetryRequested(args)) {
+    emitTelemetry(telemetry, args);
+  } else {
+    // No output flag: the metrics themselves are the command's product.
+    std::cout << renderMetrics(telemetry.metrics,
+                               args.getString("metrics-format", "prom"));
+  }
+  std::cerr << "telemetry: " << telemetry.metrics.samples().size()
+            << " samples, " << telemetry.trace.recorded()
+            << " trace events (" << telemetry.trace.dropped()
+            << " dropped)\n";
+  return 0;
+}
+
 void usage() {
   std::cerr << "usage: dgnet <topology|gen-trace|inspect|import|playback|"
-               "simulate> [--key=value ...]\n"
+               "simulate|telemetry> [--key=value ...]\n"
                "see the header of tools/dgnet.cpp for details\n";
 }
 
@@ -228,6 +319,7 @@ int main(int argc, char** argv) {
     if (command == "import") return cmdImport(args);
     if (command == "playback") return cmdPlayback(args);
     if (command == "simulate") return cmdSimulate(args);
+    if (command == "telemetry") return cmdTelemetry(args);
     usage();
     return 2;
   } catch (const std::exception& e) {
