@@ -1,0 +1,250 @@
+// Playback hot-path throughput benchmark.
+//
+// Replays the full transcontinental flows x schemes experiment over a
+// synthetic week-long trace twice with the same engine parameters:
+// once on the legacy path (per-interval vector materialization, no
+// memoization -- the pre-optimization baseline, still selectable via
+// PlaybackParams) and once on the optimized path (condition-timeline
+// cursor + cross-job decision/evaluation memos). It reports wall time,
+// replayed intervals per second and heap allocations (counted by the
+// operator new replacement below) for both runs, verifies the two
+// produce *identical* results, and writes everything to
+// BENCH_playback.json.
+//
+// Keys: --days=7 --threads=1 --seed=S --mc_samples=N --out=FILE plus the
+// trace-generator keys of bench_common.hpp.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <new>
+#include <sstream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "playback/playback.hpp"
+
+// ---------------------------------------------------------------------
+// Allocation instrumentation: global counters fed by replacing the
+// default operator new/delete for this binary. The array and sized forms
+// forward here per the standard's default behavior.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocationCount{0};
+std::atomic<std::uint64_t> g_allocationBytes{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocationCount.fetch_add(1, std::memory_order_relaxed);
+  g_allocationBytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace dg;
+
+struct RunMeasurement {
+  double wallSeconds = 0.0;
+  double intervalsPerSecond = 0.0;
+  std::uint64_t allocations = 0;
+  std::uint64_t allocatedBytes = 0;
+  std::vector<playback::FlowSchemeResult> results;
+};
+
+/// Runs every (flow, scheme) job on one shared engine, mirroring
+/// runExperiment's worker pool (kept local so the engine's memo
+/// statistics stay accessible).
+RunMeasurement runAllJobs(const playback::PlaybackEngine& engine,
+                          const std::vector<routing::Flow>& flows,
+                          const std::vector<routing::SchemeKind>& schemes,
+                          const routing::SchemeParams& schemeParams,
+                          unsigned threadCount) {
+  const trace::Trace& trace = engine.trace();
+  const std::size_t jobs = flows.size() * schemes.size();
+  RunMeasurement m;
+  m.results.resize(jobs);
+
+  const std::uint64_t allocBefore =
+      g_allocationCount.load(std::memory_order_relaxed);
+  const std::uint64_t bytesBefore =
+      g_allocationBytes.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t job = next.fetch_add(1);
+      if (job >= jobs) return;
+      const std::size_t flowIndex = job / schemes.size();
+      const std::size_t schemeIndex = job % schemes.size();
+      m.results[job] = engine.run(flows[flowIndex], schemes[schemeIndex],
+                                  schemeParams);
+    }
+  };
+  if (threadCount <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threadCount);
+    for (unsigned i = 0; i < threadCount; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  m.wallSeconds = std::chrono::duration<double>(end - start).count();
+  m.allocations =
+      g_allocationCount.load(std::memory_order_relaxed) - allocBefore;
+  m.allocatedBytes =
+      g_allocationBytes.load(std::memory_order_relaxed) - bytesBefore;
+  const double replayed =
+      static_cast<double>(jobs) * static_cast<double>(trace.intervalCount());
+  m.intervalsPerSecond = m.wallSeconds > 0 ? replayed / m.wallSeconds : 0.0;
+  return m;
+}
+
+bool resultsIdentical(const std::vector<playback::FlowSchemeResult>& a,
+                      const std::vector<playback::FlowSchemeResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a[i];
+    const auto& y = b[i];
+    if (x.unavailability != y.unavailability ||
+        x.unavailableSeconds != y.unavailableSeconds ||
+        x.problematicIntervals != y.problematicIntervals ||
+        x.averageCost != y.averageCost ||
+        x.averageLatencyUs != y.averageLatencyUs ||
+        x.problems.size() != y.problems.size()) {
+      return false;
+    }
+    for (std::size_t p = 0; p < x.problems.size(); ++p) {
+      if (x.problems[p].interval != y.problems[p].interval ||
+          x.problems[p].missProbability != y.problems[p].missProbability) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void appendRunJson(std::ostringstream& json, const char* name,
+                   const RunMeasurement& m) {
+  json << "  \"" << name << "\": {\n"
+       << "    \"wall_seconds\": " << m.wallSeconds << ",\n"
+       << "    \"intervals_per_second\": " << m.intervalsPerSecond << ",\n"
+       << "    \"allocations\": " << m.allocations << ",\n"
+       << "    \"allocated_bytes\": " << m.allocatedBytes << "\n"
+       << "  }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parseArgs(argc, argv);
+  const auto topology = trace::Topology::ltn12();
+
+  auto generator = bench::makeGeneratorParams(args);
+  generator.duration = util::hours(
+      static_cast<std::int64_t>(args.getDouble("days", 7.0) * 24.0));
+  const auto synthetic =
+      generateSyntheticTrace(topology.graph(), generator);
+  const trace::Trace& trace = synthetic.trace;
+
+  const auto flows = playback::transcontinentalFlows(topology);
+  const auto schemes = routing::allSchemeKinds();
+  const unsigned threads =
+      static_cast<unsigned>(args.getInt("threads", 1));
+
+  routing::SchemeParams schemeParams;
+  playback::PlaybackParams base;
+  base.mcSamples = static_cast<int>(args.getInt("mc_samples", 1000));
+
+  std::cout << "=== playback throughput: " << flows.size() << " flows x "
+            << schemes.size() << " schemes over "
+            << trace.intervalCount() << " intervals ("
+            << util::toSeconds(trace.duration()) / 86'400.0 << " days), "
+            << threads << " thread(s) ===\n";
+
+  // Legacy path: per-interval vector materialization, no memoization.
+  playback::PlaybackParams legacyParams = base;
+  legacyParams.decisionMemo = false;
+  legacyParams.conditionCursor = false;
+  const playback::PlaybackEngine legacyEngine(topology.graph(), trace,
+                                              legacyParams);
+  const RunMeasurement legacy =
+      runAllJobs(legacyEngine, flows, schemes, schemeParams, threads);
+  std::cout << "baseline (legacy):  " << legacy.wallSeconds << " s, "
+            << legacy.intervalsPerSecond << " intervals/s, "
+            << legacy.allocations << " allocations\n";
+
+  // Optimized path: condition cursor + cross-job memos.
+  const playback::PlaybackEngine optimizedEngine(topology.graph(), trace,
+                                                 base);
+  const RunMeasurement optimized =
+      runAllJobs(optimizedEngine, flows, schemes, schemeParams, threads);
+  const routing::DecisionMemo::Stats memoStats =
+      optimizedEngine.decisionMemo().stats();
+  std::cout << "optimized (cursor+memo): " << optimized.wallSeconds
+            << " s, " << optimized.intervalsPerSecond << " intervals/s, "
+            << optimized.allocations << " allocations\n";
+
+  const double speedup =
+      legacy.wallSeconds > 0 && optimized.wallSeconds > 0
+          ? legacy.wallSeconds / optimized.wallSeconds
+          : 0.0;
+  const bool identical =
+      resultsIdentical(legacy.results, optimized.results);
+  std::cout << "speedup: " << speedup << "x; results identical: "
+            << (identical ? "yes" : "NO") << "; decision memo: "
+            << memoStats.decisionHits << " hits / "
+            << memoStats.decisionMisses << " misses\n";
+
+  std::ostringstream json;
+  json << std::setprecision(17);
+  json << "{\n"
+       << "  \"days\": " << args.getDouble("days", 7.0) << ",\n"
+       << "  \"intervals\": " << trace.intervalCount() << ",\n"
+       << "  \"flows\": " << flows.size() << ",\n"
+       << "  \"schemes\": " << schemes.size() << ",\n"
+       << "  \"jobs\": " << flows.size() * schemes.size() << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"mc_samples\": " << base.mcSamples << ",\n";
+  appendRunJson(json, "baseline", legacy);
+  json << ",\n";
+  appendRunJson(json, "optimized", optimized);
+  json << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"results_identical\": " << (identical ? "true" : "false")
+       << ",\n"
+       << "  \"decision_memo\": {\n"
+       << "    \"hits\": " << memoStats.decisionHits << ",\n"
+       << "    \"misses\": " << memoStats.decisionMisses << ",\n"
+       << "    \"decisions\": " << memoStats.decisions << ",\n"
+       << "    \"edge_lists\": " << memoStats.edgeLists << ",\n"
+       << "    \"contexts\": " << memoStats.contexts << "\n"
+       << "  }\n"
+       << "}\n";
+
+  const std::string outPath =
+      args.getString("out", "BENCH_playback.json");
+  std::ofstream out(outPath);
+  if (!out) {
+    std::cerr << "cannot open " << outPath << '\n';
+    return 1;
+  }
+  out << json.str();
+  std::cout << "wrote " << outPath << '\n';
+
+  if (!identical) {
+    std::cerr << "FAIL: legacy and optimized results differ\n";
+    return 1;
+  }
+  return 0;
+}

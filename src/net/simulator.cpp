@@ -5,6 +5,36 @@
 
 namespace dg::net {
 
+void Simulator::EventQueue::push(Event event) {
+  events_.push_back(std::move(event));
+  std::size_t i = events_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(events_[i], events_[parent])) break;
+    std::swap(events_[i], events_[parent]);
+    i = parent;
+  }
+}
+
+Simulator::Event Simulator::EventQueue::pop() {
+  Event top = std::move(events_.front());
+  if (events_.size() > 1) events_.front() = std::move(events_.back());
+  events_.pop_back();
+  const std::size_t n = events_.size();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    const std::size_t right = left + 1;
+    std::size_t best = left;
+    if (right < n && earlier(events_[right], events_[left])) best = right;
+    if (!earlier(events_[best], events_[i])) break;
+    std::swap(events_[i], events_[best]);
+    i = best;
+  }
+  return top;
+}
+
 void Simulator::setTelemetry(telemetry::Telemetry* telemetry) {
   telemetry_ = telemetry;
   if (telemetry_ == nullptr) {
@@ -32,9 +62,9 @@ void Simulator::scheduleAfter(util::SimTime delay, Callback callback) {
 
 void Simulator::runUntil(util::SimTime until) {
   while (!queue_.empty() && queue_.top().time <= until) {
-    // Move the callback out before popping so it may schedule new events.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    // The event is moved out before running so its callback may schedule
+    // new events (including reallocating the queue's storage).
+    Event event = queue_.pop();
     now_ = event.time;
     ++processed_;
     noteProcessed();
@@ -46,8 +76,7 @@ void Simulator::runUntil(util::SimTime until) {
 
 void Simulator::runAll() {
   while (!queue_.empty()) {
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    Event event = queue_.pop();
     now_ = event.time;
     ++processed_;
     noteProcessed();

@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
@@ -50,11 +49,28 @@ class Simulator {
     std::uint64_t sequence;
     Callback callback;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.sequence > b.sequence;
+
+  /// Binary min-heap over (time, sequence). Unlike std::priority_queue,
+  /// pop() moves the event *out* (the callback must be movable so it can
+  /// schedule new events while running), which a std::priority_queue only
+  /// allows through a const_cast of top(). Sequence numbers are unique,
+  /// so the order is total and pops are fully deterministic.
+  class EventQueue {
+   public:
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+    /// Earliest event. Precondition: !empty().
+    const Event& top() const { return events_.front(); }
+    void push(Event event);
+    /// Removes and returns the earliest event. Precondition: !empty().
+    Event pop();
+
+   private:
+    static bool earlier(const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time < b.time;
+      return a.sequence < b.sequence;
     }
+    std::vector<Event> events_;
   };
 
   // Inline: runs once per simulated event, so it must stay a null check
@@ -69,7 +85,7 @@ class Simulator {
   util::SimTime now_ = 0;
   std::uint64_t nextSequence_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
 
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::Counter* eventsProcessed_ = nullptr;

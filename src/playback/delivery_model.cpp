@@ -1,9 +1,91 @@
 #include "playback/delivery_model.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <queue>
+#include <utility>
 #include <vector>
 
 namespace dg::playback {
+
+namespace detail {
+
+void DaryHeap::push(util::SimTime time, graph::NodeId node) {
+  entries_.push_back(Entry{time, node});
+  std::size_t i = entries_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!less(entries_[i], entries_[parent])) break;
+    std::swap(entries_[i], entries_[parent]);
+    i = parent;
+  }
+}
+
+DaryHeap::Entry DaryHeap::popMin() {
+  const Entry top = entries_.front();
+  entries_.front() = entries_.back();
+  entries_.pop_back();
+  const std::size_t n = entries_.size();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t firstChild = i * kArity + 1;
+    if (firstChild >= n) break;
+    const std::size_t lastChild = std::min(firstChild + kArity, n);
+    std::size_t best = firstChild;
+    for (std::size_t c = firstChild + 1; c < lastChild; ++c) {
+      if (less(entries_[c], entries_[best])) best = c;
+    }
+    if (!less(entries_[best], entries_[i])) break;
+    std::swap(entries_[i], entries_[best]);
+    i = best;
+  }
+  return top;
+}
+
+void SampleOutcomeCache::beginEpoch() {
+  if (slots_.empty()) slots_.resize(kSlots);
+  if (++epoch_ == 0) {  // uint32 wrap: stale tags could alias, hard-reset
+    std::fill(slots_.begin(), slots_.end(), Slot{});
+    epoch_ = 1;
+  }
+}
+
+int SampleOutcomeCache::find(std::uint64_t keyLo, std::uint64_t keyHi) {
+  std::uint64_t h = keyLo * 0x9E3779B97F4A7C15ULL + keyHi;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  for (std::size_t probe = 0; probe < kMaxProbes; ++probe) {
+    const std::size_t i = (static_cast<std::size_t>(h) + probe) & (kSlots - 1);
+    Slot& slot = slots_[i];
+    if (slot.epoch != epoch_) {
+      slot.keyLo = keyLo;
+      slot.keyHi = keyHi;
+      slot.epoch = epoch_;
+      pending_ = i;
+      return kMiss;
+    }
+    if (slot.keyLo == keyLo && slot.keyHi == keyHi) {
+      return slot.onTime ? 1 : 0;
+    }
+  }
+  return kFull;
+}
+
+void SampleOutcomeCache::store(bool onTime) {
+  slots_[pending_].onTime = onTime;
+}
+
+}  // namespace detail
+
+void DeliveryWorkspace::prepare(const graph::Graph& overlay) {
+  if (sampledHop.size() < overlay.edgeCount())
+    sampledHop.resize(overlay.edgeCount());
+  if (dist.size() < overlay.nodeCount()) dist.resize(overlay.nodeCount());
+  if (via.size() < overlay.nodeCount()) via.resize(overlay.nodeCount());
+  heap.clear();
+}
 
 util::SimTime sampleHopLatency(double lossRate, util::SimTime latency,
                                const DeliveryModelParams& params,
@@ -17,11 +99,350 @@ util::SimTime sampleHopLatency(double lossRate, util::SimTime latency,
   return util::kNever;
 }
 
+namespace {
+
+/// Earliest-arrival deadline check shared by the Monte-Carlo sample loop
+/// and its clean-sample precomputation: true iff the destination is
+/// reachable within the deadline when member edge e delivers after
+/// weights[e] (kNever = lost). Dijkstra on the workspace's flat heap; see
+/// DaryHeap for why the result is identical to a std::priority_queue run.
+bool onTimeUnder(const graph::DisseminationGraph& dg,
+                 std::span<const util::SimTime> weights,
+                 util::SimTime deadline, DeliveryWorkspace& ws) {
+  const graph::Graph& overlay = dg.overlay();
+  std::fill_n(ws.dist.begin(),
+              static_cast<std::ptrdiff_t>(overlay.nodeCount()),
+              util::kNever);
+  ws.heap.clear();
+  ws.dist[dg.source()] = 0;
+  ws.heap.push(0, dg.source());
+  while (!ws.heap.empty()) {
+    const auto [d, u] = ws.heap.popMin();
+    if (d > ws.dist[u]) continue;
+    if (u == dg.destination()) return d <= deadline;
+    if (d > deadline) return false;  // nothing reachable in time anymore
+    for (const graph::EdgeId e : dg.outEdges(u)) {
+      if (weights[e] == util::kNever) continue;
+      const graph::NodeId v = overlay.edge(e).to;
+      const util::SimTime nd = d + weights[e];
+      if (nd < ws.dist[v]) {
+        ws.dist[v] = nd;
+        ws.heap.push(nd, v);
+      }
+    }
+  }
+  return false;
+}
+
+/// Like onTimeUnder, but finalizes *every* node whose earliest arrival is
+/// within the deadline (no destination early-exit), leaving those exact
+/// distances in ws.dist: when the loop stops, all unpopped tentative
+/// distances exceed the heap minimum that triggered the stop, so a node
+/// has ws.dist <= deadline iff its true distance is. Returns the same
+/// on-time verdict as onTimeUnder.
+bool distancesWithin(const graph::DisseminationGraph& dg,
+                     std::span<const util::SimTime> weights,
+                     util::SimTime deadline, DeliveryWorkspace& ws) {
+  const graph::Graph& overlay = dg.overlay();
+  const std::size_t nodeCount = overlay.nodeCount();
+  std::fill_n(ws.dist.begin(), static_cast<std::ptrdiff_t>(nodeCount),
+              util::kNever);
+  std::fill_n(ws.via.begin(), static_cast<std::ptrdiff_t>(nodeCount),
+              graph::kInvalidEdge);
+  ws.heap.clear();
+  ws.dist[dg.source()] = 0;
+  ws.heap.push(0, dg.source());
+  while (!ws.heap.empty()) {
+    const auto [d, u] = ws.heap.popMin();
+    if (d > ws.dist[u]) continue;
+    if (d > deadline) break;
+    for (const graph::EdgeId e : dg.outEdges(u)) {
+      if (weights[e] == util::kNever) continue;
+      const graph::NodeId v = overlay.edge(e).to;
+      const util::SimTime nd = d + weights[e];
+      if (nd < ws.dist[v]) {
+        ws.dist[v] = nd;
+        ws.via[v] = e;
+        ws.heap.push(nd, v);
+      }
+    }
+  }
+  return ws.dist[dg.destination()] <= deadline;
+}
+
+}  // namespace
+
+double onTimeProbabilityMC(const graph::DisseminationGraph& dg,
+                           std::span<const double> lossRates,
+                           std::span<const util::SimTime> latencies,
+                           const DeliveryModelParams& params,
+                           int samples, util::Rng& rng,
+                           DeliveryWorkspace& ws) {
+  if (samples <= 0) return 0.0;
+  ws.prepare(dg.overlay());
+  int delivered = 0;
+
+  // Clean-sample shortcut: when every member edge draws its on-time
+  // transit outcome, the sampled array *equals* the latency array, so the
+  // per-sample Dijkstra would reproduce this no-loss run exactly --
+  // typically the majority of samples, since per-hop loss is well below 1
+  // even on problematic links. The RNG is still advanced identically for
+  // every sample, so results match the reference implementation bit for
+  // bit.
+  const bool cleanOnTime =
+      distancesWithin(dg, latencies, params.deadline, ws);
+
+  // Deviating samples repeat themselves: each member edge lands on one of
+  // three outcomes, so the sample's weight vector is captured by 2 bits
+  // per member edge (0 = on-time, 1 = recovered, 2 = lost). Identical
+  // patterns imply identical Dijkstra runs -- memoize the verdict per
+  // pattern for the duration of this call. Graphs with more than 64
+  // member edges overflow the 128-bit key and simply skip the memo.
+  const std::vector<graph::EdgeId>& members = dg.edges();
+  const std::size_t memberCount = members.size();
+  const bool patternMemo = memberCount <= 64;
+  if (patternMemo) ws.outcomeCache.beginEpoch();
+
+  // Hoist the per-edge sampling arithmetic out of the sample loop, and
+  // classify each draw on the raw 53-bit integer instead of the double:
+  // sampleHopLatency draws u = (next() >> 11) * 2^-53 and compares
+  // u < thr. Both u and thr * 2^53 are exact doubles (a 53-bit integer
+  // scaled by a power of two), so u < thr is *equivalent* to the integer
+  // comparison (next() >> 11) < ceil(thr * 2^53) -- every draw classifies
+  // identically, bit for bit. With recovery disabled the recovered
+  // threshold is pinned to the on-time one so that band is empty.
+  if (ws.mcThrOnTime.size() < memberCount) {
+    ws.mcThrOnTime.resize(memberCount);
+    ws.mcThrRecovered.resize(memberCount);
+    ws.mcLatency.resize(memberCount);
+    ws.mcRecoveredLatency.resize(memberCount);
+  }
+  constexpr double kScale53 = 9007199254740992.0;  // 2^53
+  for (std::size_t i = 0; i < memberCount; ++i) {
+    const double p = lossRates[members[i]];
+    const util::SimTime lat = latencies[members[i]];
+    ws.mcThrOnTime[i] =
+        static_cast<std::uint64_t>(std::ceil((1.0 - p) * kScale53));
+    ws.mcThrRecovered[i] =
+        params.recoveryEnabled
+            ? static_cast<std::uint64_t>(std::ceil((1.0 - p * p) * kScale53))
+            : ws.mcThrOnTime[i];
+    ws.mcLatency[i] = lat;
+    ws.mcRecoveredLatency[i] = 3 * lat + params.packetInterval;
+  }
+  // Pre-fill the sampled weights with the clean (on-time) outcome; each
+  // memoized-pattern miss below only patches the deviating edges in and
+  // back out again. Alongside, mark the clean earliest path's member
+  // edges (in the key's even bit positions). Sampled outcomes only ever
+  // slow an edge down (recovered > on-time, lost = never), which makes
+  // the verdict monotone in the clean one:
+  //   - clean misses the deadline  -> every sample misses it too;
+  //   - clean on time and a sample's deviating edges all avoid the clean
+  //     earliest path -> that path is intact, the sample is on time.
+  // Only samples that actually slow the earliest path down need a memo
+  // lookup or a Dijkstra run.
+  std::uint64_t cleanPathLo = 0;
+  std::uint64_t cleanPathHi = 0;
+  if (patternMemo) {
+    for (std::size_t i = 0; i < memberCount; ++i) {
+      ws.sampledHop[members[i]] = ws.mcLatency[i];
+    }
+    if (cleanOnTime) {
+      const graph::Graph& overlay = dg.overlay();
+      for (graph::NodeId n = dg.destination(); n != dg.source();) {
+        const graph::EdgeId e = ws.via[n];
+        const std::size_t i = static_cast<std::size_t>(
+            std::lower_bound(members.begin(), members.end(), e) -
+            members.begin());
+        (i < 32 ? cleanPathLo : cleanPathHi) |= std::uint64_t{1}
+                                                << (2 * (i & 31));
+        n = overlay.edge(e).from;
+      }
+    }
+  }
+
+  // Draw through a local generator so the four state words live in
+  // registers for the whole loop nest (the caller's rng is advanced to
+  // the same final state below).
+  util::Rng localRng = rng;
+
+  for (int s = 0; s < samples; ++s) {
+    bool onTime;
+    if (patternMemo) {
+      // Draw loop: 2-bit outcome code per member edge (0 = on-time,
+      // 1 = recovered, 2 = lost; the thresholds nest, so 1 + the second
+      // comparison is the band index). The on-time branch is the
+      // overwhelmingly common case -- with baseline loss rates it is
+      // taken ~99.99% of the time -- so the key-building work is kept
+      // off that path entirely.
+      std::uint64_t keyLo = 0;
+      std::uint64_t keyHi = 0;
+      const std::size_t lowCount = std::min<std::size_t>(memberCount, 32);
+      for (std::size_t i = 0; i < lowCount; ++i) {
+        const std::uint64_t k = localRng.next() >> 11;
+        if (k >= ws.mcThrOnTime[i]) [[unlikely]] {
+          const std::uint64_t code =
+              1 + static_cast<std::uint64_t>(k >= ws.mcThrRecovered[i]);
+          keyLo |= code << (2 * i);
+        }
+      }
+      for (std::size_t i = 32; i < memberCount; ++i) {
+        const std::uint64_t k = localRng.next() >> 11;
+        if (k >= ws.mcThrOnTime[i]) [[unlikely]] {
+          const std::uint64_t code =
+              1 + static_cast<std::uint64_t>(k >= ws.mcThrRecovered[i]);
+          keyHi |= code << (2 * (i - 32));
+        }
+      }
+      // Collapse each 2-bit code to its even bit (a pair is never 11) and
+      // intersect with the clean-path mask: empty means the clean
+      // earliest path is intact (covers the all-on-time case as well).
+      if (!cleanOnTime) {
+        onTime = false;
+      } else if ((((keyLo | (keyLo >> 1)) & cleanPathLo) |
+                  ((keyHi | (keyHi >> 1)) & cleanPathHi)) == 0) {
+        onTime = true;
+      } else {
+        const int cached = ws.outcomeCache.find(keyLo, keyHi);
+        if (cached >= 0) {
+          onTime = cached != 0;
+        } else {
+          // A Dijkstra run is actually needed: patch the deviating edges
+          // into the pre-filled clean weights. A code pair is never 11,
+          // so every set key bit identifies one deviating edge -- even
+          // bit means recovered, odd bit means lost.
+          const auto patch = [&](std::uint64_t bits, std::size_t base,
+                                 bool restore) {
+            while (bits != 0) {
+              const int b = std::countr_zero(bits);
+              bits &= bits - 1;
+              const std::size_t i = base + static_cast<std::size_t>(b >> 1);
+              ws.sampledHop[members[i]] =
+                  restore ? ws.mcLatency[i]
+                  : (b & 1) != 0 ? util::kNever
+                                 : ws.mcRecoveredLatency[i];
+            }
+          };
+          patch(keyLo, 0, false);
+          patch(keyHi, 32, false);
+          onTime = onTimeUnder(dg, ws.sampledHop, params.deadline, ws);
+          patch(keyLo, 0, true);
+          patch(keyHi, 32, true);
+          if (cached == detail::SampleOutcomeCache::kMiss) {
+            ws.outcomeCache.store(onTime);
+          }
+        }
+      }
+    } else {
+      // Too many member edges for a 128-bit pattern key: sample straight
+      // into the weight array.
+      bool deviates = false;
+      for (std::size_t i = 0; i < memberCount; ++i) {
+        const std::uint64_t k = localRng.next() >> 11;
+        const util::SimTime hop = k < ws.mcThrOnTime[i] ? ws.mcLatency[i]
+                                  : k < ws.mcThrRecovered[i]
+                                      ? ws.mcRecoveredLatency[i]
+                                      : util::kNever;
+        ws.sampledHop[members[i]] = hop;
+        deviates |= hop != ws.mcLatency[i];
+      }
+      onTime = deviates && cleanOnTime
+                   ? onTimeUnder(dg, ws.sampledHop, params.deadline, ws)
+                   : cleanOnTime;
+    }
+    if (onTime) ++delivered;
+  }
+  rng = localRng;
+  return static_cast<double>(delivered) / static_cast<double>(samples);
+}
+
 double onTimeProbabilityMC(const graph::DisseminationGraph& dg,
                            std::span<const double> lossRates,
                            std::span<const util::SimTime> latencies,
                            const DeliveryModelParams& params,
                            int samples, util::Rng& rng) {
+  DeliveryWorkspace ws;
+  return onTimeProbabilityMC(dg, lossRates, latencies, params, samples, rng,
+                             ws);
+}
+
+bool nearLossless(const graph::DisseminationGraph& dg,
+                  std::span<const double> lossRates, double lossEpsilon) {
+  for (const graph::EdgeId e : dg.edges()) {
+    if (lossRates[e] > lossEpsilon) return false;
+  }
+  return true;
+}
+
+double missProbabilityNearLossless(const graph::DisseminationGraph& dg,
+                                   std::span<const double> lossRates,
+                                   std::span<const util::SimTime> latencies,
+                                   const DeliveryModelParams& params,
+                                   DeliveryWorkspace& ws) {
+  // With near-zero loss, delivery timing is deterministic: the earliest
+  // arrival under current latencies either meets the deadline or not.
+  // Track predecessors so the residual can be computed along the actual
+  // earliest path.
+  const graph::Graph& overlay = dg.overlay();
+  ws.prepare(overlay);
+  const std::size_t nodeCount = overlay.nodeCount();
+  std::fill_n(ws.dist.begin(), static_cast<std::ptrdiff_t>(nodeCount),
+              util::kNever);
+  std::fill_n(ws.via.begin(), static_cast<std::ptrdiff_t>(nodeCount),
+              graph::kInvalidEdge);
+  ws.heap.clear();
+  ws.dist[dg.source()] = 0;
+  ws.heap.push(0, dg.source());
+  while (!ws.heap.empty()) {
+    const auto [d, u] = ws.heap.popMin();
+    if (d > ws.dist[u]) continue;
+    for (const graph::EdgeId e : dg.outEdges(u)) {
+      const util::SimTime w = latencies[e];
+      if (w == util::kNever) continue;
+      const graph::NodeId v = overlay.edge(e).to;
+      if (d + w < ws.dist[v]) {
+        ws.dist[v] = d + w;
+        ws.via[v] = e;
+        ws.heap.push(d + w, v);
+      }
+    }
+  }
+  const util::SimTime at = ws.dist[dg.destination()];
+  if (at == util::kNever || at > params.deadline) return 1.0;
+
+  // Residual miss: a packet is only lost if it is dropped (beyond
+  // recovery) on *every* usable route; the per-hop residual summed along
+  // the single earliest path is therefore a valid upper bound (extra
+  // redundancy in the graph only shrinks the truth further).
+  double residual = 0.0;
+  for (graph::NodeId n = dg.destination(); n != dg.source();) {
+    const graph::EdgeId e = ws.via[n];
+    const double p = lossRates[e];
+    residual += params.recoveryEnabled ? p * p : p;
+    n = overlay.edge(e).from;
+  }
+  return std::min(residual, 1.0);
+}
+
+double missProbabilityNearLossless(const graph::DisseminationGraph& dg,
+                                   std::span<const double> lossRates,
+                                   std::span<const util::SimTime> latencies,
+                                   const DeliveryModelParams& params) {
+  DeliveryWorkspace ws;
+  return missProbabilityNearLossless(dg, lossRates, latencies, params, ws);
+}
+
+// ---------------------------------------------------------------------
+// Reference implementations: the pre-optimization code, frozen. Do not
+// "improve" these -- their entire value is being the unchanged baseline
+// the optimized versions are proven bit-identical against.
+// ---------------------------------------------------------------------
+
+double onTimeProbabilityMCReference(const graph::DisseminationGraph& dg,
+                                    std::span<const double> lossRates,
+                                    std::span<const util::SimTime> latencies,
+                                    const DeliveryModelParams& params,
+                                    int samples, util::Rng& rng) {
   if (samples <= 0) return 0.0;
   const graph::Graph& overlay = dg.overlay();
   std::vector<util::SimTime> sampled(overlay.edgeCount(), util::kNever);
@@ -29,12 +450,9 @@ double onTimeProbabilityMC(const graph::DisseminationGraph& dg,
   int delivered = 0;
 
   for (int s = 0; s < samples; ++s) {
-    // Sample every member edge's hop outcome for this packet.
     for (const graph::EdgeId e : dg.edges()) {
       sampled[e] = sampleHopLatency(lossRates[e], latencies[e], params, rng);
     }
-    // Earliest arrival over the sampled outcomes (Dijkstra; graphs are
-    // tiny, a flat array scan is fine for the priority queue).
     std::fill(dist.begin(), dist.end(), util::kNever);
     using Entry = std::pair<util::SimTime, graph::NodeId>;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
@@ -49,7 +467,7 @@ double onTimeProbabilityMC(const graph::DisseminationGraph& dg,
         onTime = d <= params.deadline;
         break;
       }
-      if (d > params.deadline) break;  // nothing reachable in time anymore
+      if (d > params.deadline) break;
       for (const graph::EdgeId e : dg.outEdges(u)) {
         if (sampled[e] == util::kNever) continue;
         const graph::NodeId v = overlay.edge(e).to;
@@ -65,22 +483,10 @@ double onTimeProbabilityMC(const graph::DisseminationGraph& dg,
   return static_cast<double>(delivered) / static_cast<double>(samples);
 }
 
-bool nearLossless(const graph::DisseminationGraph& dg,
-                  std::span<const double> lossRates, double lossEpsilon) {
-  for (const graph::EdgeId e : dg.edges()) {
-    if (lossRates[e] > lossEpsilon) return false;
-  }
-  return true;
-}
-
-double missProbabilityNearLossless(const graph::DisseminationGraph& dg,
-                                   std::span<const double> lossRates,
-                                   std::span<const util::SimTime> latencies,
-                                   const DeliveryModelParams& params) {
-  // With near-zero loss, delivery timing is deterministic: the earliest
-  // arrival under current latencies either meets the deadline or not.
-  // Track predecessors so the residual can be computed along the actual
-  // earliest path.
+double missProbabilityNearLosslessReference(
+    const graph::DisseminationGraph& dg, std::span<const double> lossRates,
+    std::span<const util::SimTime> latencies,
+    const DeliveryModelParams& params) {
   const graph::Graph& overlay = dg.overlay();
   std::vector<util::SimTime> dist(overlay.nodeCount(), util::kNever);
   std::vector<graph::EdgeId> via(overlay.nodeCount(), graph::kInvalidEdge);
@@ -106,10 +512,6 @@ double missProbabilityNearLossless(const graph::DisseminationGraph& dg,
   const util::SimTime at = dist[dg.destination()];
   if (at == util::kNever || at > params.deadline) return 1.0;
 
-  // Residual miss: a packet is only lost if it is dropped (beyond
-  // recovery) on *every* usable route; the per-hop residual summed along
-  // the single earliest path is therefore a valid upper bound (extra
-  // redundancy in the graph only shrinks the truth further).
   double residual = 0.0;
   for (graph::NodeId n = dg.destination(); n != dg.source();) {
     const graph::EdgeId e = via[n];

@@ -12,7 +12,10 @@
 // deadline.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "graph/dissemination_graph.hpp"
 #include "util/rng.hpp"
@@ -28,6 +31,104 @@ struct DeliveryModelParams {
   bool recoveryEnabled = true;
 };
 
+namespace detail {
+
+/// Flat 4-ary min-heap over (time, node) entries, ordered by the full
+/// pair. Because the order is total (up to exact duplicates, which are
+/// interchangeable), the pop sequence equals sorted order and is
+/// therefore identical to std::priority_queue's regardless of heap shape
+/// -- Dijkstra results stay bit-for-bit unchanged. The 4-ary layout
+/// trades slightly more sift-down comparisons for half the tree depth and
+/// better cache locality, and the backing vector is reused across
+/// samples/intervals without reallocating.
+class DaryHeap {
+ public:
+  struct Entry {
+    util::SimTime time;
+    graph::NodeId node;
+  };
+
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  void push(util::SimTime time, graph::NodeId node);
+  /// Removes and returns the minimum entry. Precondition: !empty().
+  Entry popMin();
+
+ private:
+  static constexpr std::size_t kArity = 4;
+  static bool less(const Entry& a, const Entry& b) {
+    return a.time < b.time || (a.time == b.time && a.node < b.node);
+  }
+  std::vector<Entry> entries_;
+};
+
+/// Per-Monte-Carlo-call memo of sampled outcome patterns. Within one call
+/// every member edge draws one of three outcomes (on-time / recovered /
+/// lost), so a sample's effective weight vector is fully described by 2
+/// bits per member edge -- and with realistic loss rates only a handful
+/// of patterns ever occur across the 1000 samples. Caching the Dijkstra
+/// verdict per pattern skips the redundant re-runs while every RNG draw
+/// still happens, so results are bit-identical to evaluating each sample
+/// directly. Epoch-tagged open addressing: beginEpoch() is O(1), lookups
+/// probe a bounded window and simply decline to cache on contention.
+class SampleOutcomeCache {
+ public:
+  static constexpr int kMiss = -1;  ///< reserved a slot; store() next
+  static constexpr int kFull = -2;  ///< probe window busy; do not store
+
+  /// Starts a new memo epoch, logically clearing all entries.
+  void beginEpoch();
+
+  /// Returns 0/1 for a cached verdict. On kMiss the slot is reserved and
+  /// the caller MUST follow up with store(); on kFull it must not.
+  int find(std::uint64_t keyLo, std::uint64_t keyHi);
+
+  /// Fills the slot reserved by the preceding find() == kMiss.
+  void store(bool onTime);
+
+ private:
+  struct Slot {
+    std::uint64_t keyLo = 0;
+    std::uint64_t keyHi = 0;
+    std::uint32_t epoch = 0;
+    bool onTime = false;
+  };
+  static constexpr std::size_t kSlots = 4096;  // power of two
+  static constexpr std::size_t kMaxProbes = 8;
+
+  std::vector<Slot> slots_;
+  std::uint32_t epoch_ = 0;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace detail
+
+/// Caller-owned scratch memory for the delivery evaluators. One workspace
+/// serves any number of calls (its arrays are sized on demand); reusing it
+/// across the playback hot loop removes every per-call allocation. The
+/// contents carry no state between calls -- results are identical whether
+/// a workspace is reused, fresh, or (via the wrapper overloads) implicit.
+struct DeliveryWorkspace {
+  std::vector<util::SimTime> sampledHop;  ///< per-edge sampled hop latency
+  std::vector<util::SimTime> dist;        ///< per-node tentative arrival
+  std::vector<graph::EdgeId> via;         ///< per-node predecessor edge
+  detail::DaryHeap heap;
+  detail::SampleOutcomeCache outcomeCache;
+  /// Per-member-edge sampling tables, rebuilt per Monte-Carlo call: the
+  /// hop-outcome thresholds as exact 53-bit integers (see
+  /// onTimeProbabilityMC for the u < thr equivalence proof) and the
+  /// on-time / recovered hop latencies, laid out densely in
+  /// dissemination-graph edge order.
+  std::vector<std::uint64_t> mcThrOnTime;
+  std::vector<std::uint64_t> mcThrRecovered;
+  std::vector<util::SimTime> mcLatency;
+  std::vector<util::SimTime> mcRecoveredLatency;
+
+  /// Ensures the per-edge/per-node arrays cover `overlay`.
+  void prepare(const graph::Graph& overlay);
+};
+
 /// Effective hop outcome distribution on a link with loss rate p and
 /// latency `lat`:
 ///   on-time transit  w.p. (1-p)          after lat
@@ -39,7 +140,17 @@ util::SimTime sampleHopLatency(double lossRate, util::SimTime latency,
                                util::Rng& rng);
 
 /// Monte-Carlo estimate of P(packet delivered within deadline) when
-/// flooded on `dg` under the given per-edge conditions.
+/// flooded on `dg` under the given per-edge conditions. Scratch memory
+/// comes from `workspace`; for a given rng state the result does not
+/// depend on the workspace's prior contents.
+double onTimeProbabilityMC(const graph::DisseminationGraph& dg,
+                           std::span<const double> lossRates,
+                           std::span<const util::SimTime> latencies,
+                           const DeliveryModelParams& params,
+                           int samples, util::Rng& rng,
+                           DeliveryWorkspace& workspace);
+
+/// Convenience overload with a private throwaway workspace.
 double onTimeProbabilityMC(const graph::DisseminationGraph& dg,
                            std::span<const double> lossRates,
                            std::span<const util::SimTime> latencies,
@@ -54,10 +165,32 @@ double onTimeProbabilityMC(const graph::DisseminationGraph& dg,
 double missProbabilityNearLossless(const graph::DisseminationGraph& dg,
                                    std::span<const double> lossRates,
                                    std::span<const util::SimTime> latencies,
+                                   const DeliveryModelParams& params,
+                                   DeliveryWorkspace& workspace);
+
+/// Convenience overload with a private throwaway workspace.
+double missProbabilityNearLossless(const graph::DisseminationGraph& dg,
+                                   std::span<const double> lossRates,
+                                   std::span<const util::SimTime> latencies,
                                    const DeliveryModelParams& params);
 
 /// True if the fast path above is applicable.
 bool nearLossless(const graph::DisseminationGraph& dg,
                   std::span<const double> lossRates, double lossEpsilon);
+
+/// Pre-optimization reference implementations (per-call vector
+/// allocations, per-sample std::priority_queue, no clean-sample
+/// shortcut). Kept as the baseline arm of the throughput benchmark and
+/// for the equivalence tests, which assert the optimized versions above
+/// are bit-identical to these on every input.
+double onTimeProbabilityMCReference(const graph::DisseminationGraph& dg,
+                                    std::span<const double> lossRates,
+                                    std::span<const util::SimTime> latencies,
+                                    const DeliveryModelParams& params,
+                                    int samples, util::Rng& rng);
+double missProbabilityNearLosslessReference(
+    const graph::DisseminationGraph& dg, std::span<const double> lossRates,
+    std::span<const util::SimTime> latencies,
+    const DeliveryModelParams& params);
 
 }  // namespace dg::playback

@@ -80,11 +80,13 @@ OptimizedGraph optimizeDisseminationGraph(
   if (candidates.empty()) return result;
 
   // Common-random-number evaluation: identical seed per call so that
-  // candidate comparisons within a round share their randomness.
+  // candidate comparisons within a round share their randomness. One
+  // workspace serves every candidate evaluation.
+  DeliveryWorkspace workspace;
   const auto evaluate = [&](const graph::DisseminationGraph& dg) {
     util::Rng rng(params.seed);
     return onTimeProbabilityMC(dg, lossRates, latencies, params.delivery,
-                               params.mcSamples, rng);
+                               params.mcSamples, rng, workspace);
   };
 
   // Seed with the single best candidate path.

@@ -12,16 +12,31 @@
 // Healthy intervals (the overwhelming majority) take an exact fast path;
 // intervals where any member link of the current dissemination graph is
 // lossy are evaluated by Monte-Carlo over the per-hop outcome model.
+//
+// Hot-path architecture (see DESIGN.md, "Playback performance
+// architecture"): replay is driven by trace::ConditionTimeline cursors
+// (O(changes) per interval, zero allocation) handing out fingerprinted
+// borrowed NetworkViews; routing decisions and deterministic interval
+// evaluations are memoized across jobs in engine-owned, exact-keyed,
+// internally synchronized memos. Monte-Carlo evaluations are never
+// memoized -- each interval draws from its own deterministic RNG stream
+// -- so results are bit-identical with the memos and cursor on or off.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "playback/delivery_model.hpp"
+#include "routing/decision_memo.hpp"
 #include "routing/scheme.hpp"
 #include "telemetry/telemetry.hpp"
+#include "trace/condition_timeline.hpp"
 #include "trace/trace.hpp"
-#include "playback/delivery_model.hpp"
 
 namespace dg::playback {
 
@@ -44,6 +59,14 @@ struct PlaybackParams {
   /// graph's earliest-arrival latency for every interval where delivery
   /// is possible (for latency-distribution figures).
   bool collectIntervalLatencies = false;
+  /// Consult/populate the engine's cross-job decision and evaluation
+  /// memos (results are bit-identical either way; off = recompute
+  /// everything, for benchmarking and equivalence tests).
+  bool decisionMemo = true;
+  /// Drive replay with the condition-timeline cursor and fingerprinted
+  /// views (off = legacy per-interval vector materialization; results
+  /// are bit-identical either way).
+  bool conditionCursor = true;
 };
 
 /// One problematic interval of a flow/scheme run (sparse record).
@@ -101,6 +124,8 @@ class PlaybackEngine {
                             telemetry::Telemetry* telemetry = nullptr) const;
 
   /// Per-interval miss probabilities over a range (dense; for timelines).
+  /// Every interval is evaluated fresh (no run-local reuse), so
+  /// Monte-Carlo intervals reflect their own per-interval RNG streams.
   std::vector<double> missTimeline(routing::Flow flow,
                                    routing::SchemeKind kind,
                                    const routing::SchemeParams& schemeParams,
@@ -109,6 +134,14 @@ class PlaybackEngine {
   const trace::Trace& trace() const { return *trace_; }
   const PlaybackParams& params() const { return params_; }
 
+  /// The per-interval content index built over the trace (exact
+  /// memoization fingerprints; also useful for deviation statistics).
+  const trace::ConditionIndex& conditionIndex() const {
+    return conditionIndex_;
+  }
+  /// The engine's cross-job decision memo (for hit-rate reporting).
+  const routing::DecisionMemo& decisionMemo() const { return decisionMemo_; }
+
  private:
   struct IntervalEval {
     double miss = 0.0;
@@ -116,14 +149,36 @@ class PlaybackEngine {
     util::SimTime latency = util::kNever;
     bool monteCarlo = false;  ///< the lossy path actually sampled
   };
-  IntervalEval evaluateInterval(const graph::DisseminationGraph& dg,
-                                routing::Flow flow,
-                                routing::SchemeKind kind,
-                                std::size_t interval) const;
+  /// Exact key of a memoized deterministic interval evaluation:
+  /// {flow source, flow destination, interned edge-list id, interval
+  /// content id}. Engine-level delivery params are fixed per engine, so
+  /// these four components determine the evaluation completely.
+  using EvalKey = std::array<std::uint32_t, 4>;
+
+  /// Shared replay core behind runRange (timelineOut == nullptr) and
+  /// missTimeline (timelineOut != nullptr; per-interval miss appended,
+  /// no run-local evaluation reuse, no telemetry).
+  FlowSchemeResult runCore(routing::Flow flow, routing::SchemeKind kind,
+                           const routing::SchemeParams& schemeParams,
+                           std::size_t first, std::size_t last,
+                           telemetry::Telemetry* telemetry,
+                           std::vector<double>* timelineOut) const;
+
+  std::optional<IntervalEval> findEval(const EvalKey& key) const;
+  void storeEval(const EvalKey& key, const IntervalEval& eval) const;
 
   const graph::Graph* overlay_;
   const trace::Trace* trace_;
   PlaybackParams params_;
+  trace::ConditionIndex conditionIndex_;
+
+  // Cross-job memos. Mutable + internally synchronized: one const engine
+  // is shared across experiment worker threads, and every memoized value
+  // is a pure function of its exact key, so results are independent of
+  // thread count and insertion order.
+  mutable routing::DecisionMemo decisionMemo_;
+  mutable std::mutex evalMutex_;
+  mutable std::map<EvalKey, IntervalEval> evalMemo_;
 };
 
 }  // namespace dg::playback

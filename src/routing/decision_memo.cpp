@@ -1,0 +1,88 @@
+#include "routing/decision_memo.hpp"
+
+#include <stdexcept>
+
+#include "routing/scheme.hpp"
+
+namespace dg::routing {
+
+struct DecisionMemo::Context {
+  SchemeKind kind;
+  Flow flow;
+  SchemeParams params;
+};
+
+DecisionMemo::DecisionMemo() = default;
+DecisionMemo::~DecisionMemo() = default;
+
+namespace {
+
+std::uint64_t packKey(std::uint64_t contextKey, std::uint64_t fingerprint) {
+  // Both components are dense interned ids, so 32 bits each is ample; the
+  // packed key therefore stays exact (no lossy hashing).
+  return (contextKey << 32) | (fingerprint & 0xFFFFFFFFULL);
+}
+
+}  // namespace
+
+std::uint64_t DecisionMemo::contextKey(SchemeKind kind, const Flow& flow,
+                                       const SchemeParams& params) {
+  const std::scoped_lock lock(mutex_);
+  for (std::size_t i = 0; i < contexts_.size(); ++i) {
+    const Context& c = contexts_[i];
+    if (c.kind == kind && c.flow == flow && c.params == params) return i;
+  }
+  if (contexts_.size() >= 0xFFFFFFFFULL)
+    throw std::length_error("DecisionMemo: too many contexts");
+  contexts_.push_back(Context{kind, flow, params});
+  return contexts_.size() - 1;
+}
+
+std::optional<std::uint32_t> DecisionMemo::findDecision(
+    std::uint64_t contextKey, std::uint64_t viewFingerprint) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = decisions_.find(packKey(contextKey, viewFingerprint));
+  if (it == decisions_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void DecisionMemo::storeDecision(std::uint64_t contextKey,
+                                 std::uint64_t viewFingerprint,
+                                 std::uint32_t edgeListId) {
+  const std::scoped_lock lock(mutex_);
+  decisions_.emplace(packKey(contextKey, viewFingerprint), edgeListId);
+}
+
+std::uint32_t DecisionMemo::internEdgeList(
+    std::span<const graph::EdgeId> edges) {
+  const std::scoped_lock lock(mutex_);
+  std::vector<graph::EdgeId> key(edges.begin(), edges.end());
+  const auto [it, inserted] = edgeListIndex_.emplace(
+      std::move(key), static_cast<std::uint32_t>(edgeLists_.size()));
+  if (inserted) edgeLists_.push_back(&it->first);
+  return it->second;
+}
+
+void DecisionMemo::edgeListInto(std::uint32_t id,
+                                std::vector<graph::EdgeId>& out) const {
+  const std::scoped_lock lock(mutex_);
+  const std::vector<graph::EdgeId>& list = *edgeLists_.at(id);
+  out.assign(list.begin(), list.end());
+}
+
+DecisionMemo::Stats DecisionMemo::stats() const {
+  const std::scoped_lock lock(mutex_);
+  Stats s;
+  s.decisionHits = hits_;
+  s.decisionMisses = misses_;
+  s.decisions = decisions_.size();
+  s.edgeLists = edgeLists_.size();
+  s.contexts = contexts_.size();
+  return s;
+}
+
+}  // namespace dg::routing

@@ -1,0 +1,97 @@
+// Cross-job routing-decision memoization.
+//
+// A scheme's path selection for a given network view is (for every scheme
+// whose decision is a pure function of the view) fully determined by
+// (scheme kind, scheme params, flow, view content). The playback engine
+// replays the same trace for every (flow, scheme) pair and across
+// repeated runs (timelines, ablations, benches), so identical views recur
+// constantly; this memo lets a scheme skip the Dijkstra / k-shortest /
+// disjoint-path construction when the decision for its exact context and
+// the view's exact content fingerprint has already been made.
+//
+// Exactness: every key component is interned by full value comparison --
+// contexts by (kind, flow, params) equality, edge lists lexicographically,
+// view fingerprints are trace::ConditionIndex content ids. Hashes are
+// never trusted on their own, so a memo hit always reproduces bit-for-bit
+// what the recomputation would have produced. Decisions that are *not*
+// pure in the view (the targeted scheme's hold-down state machine) must
+// simply not consult the memo.
+//
+// Thread safety: all methods are internally synchronized; the playback
+// experiment runner shares one memo across its worker threads. Stored
+// values are pure functions of their keys, so results are independent of
+// which thread inserts first.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dg::routing {
+
+struct Flow;
+enum class SchemeKind;
+struct SchemeParams;
+
+class DecisionMemo {
+ public:
+  /// Edge-list id stored for "the view offered no timely route": the
+  /// scheme keeps its previous graph (see CachedGraphScheme::recompute).
+  static constexpr std::uint32_t kNoRoute = static_cast<std::uint32_t>(-1);
+
+  DecisionMemo();
+  ~DecisionMemo();
+  DecisionMemo(const DecisionMemo&) = delete;
+  DecisionMemo& operator=(const DecisionMemo&) = delete;
+
+  /// Interns a decision context; equal (kind, flow, params) triples map
+  /// to the same key. Called once per playback job, not per interval.
+  std::uint64_t contextKey(SchemeKind kind, const Flow& flow,
+                           const SchemeParams& params);
+
+  /// Looks up the decision for (context, view fingerprint). Returns the
+  /// interned edge-list id, kNoRoute for a memoized no-route decision,
+  /// or nullopt on a miss.
+  std::optional<std::uint32_t> findDecision(std::uint64_t contextKey,
+                                            std::uint64_t viewFingerprint);
+
+  void storeDecision(std::uint64_t contextKey, std::uint64_t viewFingerprint,
+                     std::uint32_t edgeListId);
+
+  /// Interns an edge list (sorted member edges of a dissemination graph);
+  /// equal lists map to the same id.
+  std::uint32_t internEdgeList(std::span<const graph::EdgeId> edges);
+
+  /// Copies the interned list `id` into `out` (cleared first).
+  void edgeListInto(std::uint32_t id, std::vector<graph::EdgeId>& out) const;
+
+  struct Stats {
+    std::uint64_t decisionHits = 0;
+    std::uint64_t decisionMisses = 0;
+    std::size_t decisions = 0;
+    std::size_t edgeLists = 0;
+    std::size_t contexts = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Context;
+
+  mutable std::mutex mutex_;
+  std::vector<Context> contexts_;
+  // (contextKey, fingerprint) -> edge-list id. Both components are dense
+  // interned ids, so the packed key is exact.
+  std::unordered_map<std::uint64_t, std::uint32_t> decisions_;
+  std::map<std::vector<graph::EdgeId>, std::uint32_t> edgeListIndex_;
+  std::vector<const std::vector<graph::EdgeId>*> edgeLists_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dg::routing

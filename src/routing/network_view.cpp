@@ -2,14 +2,64 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace dg::routing {
 
 NetworkView::NetworkView(std::vector<double> lossRates,
                          std::vector<util::SimTime> latencies)
-    : lossRates_(std::move(lossRates)), latencies_(std::move(latencies)) {
-  if (lossRates_.size() != latencies_.size())
+    : ownedLossRates_(std::move(lossRates)),
+      ownedLatencies_(std::move(latencies)) {
+  if (ownedLossRates_.size() != ownedLatencies_.size())
     throw std::invalid_argument("NetworkView: size mismatch");
+  rebindSpans();
+}
+
+NetworkView::NetworkView(const NetworkView& other)
+    : ownedLossRates_(other.ownedLossRates_),
+      ownedLatencies_(other.ownedLatencies_),
+      lossRates_(other.lossRates_),
+      latencies_(other.latencies_),
+      fingerprint_(other.fingerprint_) {
+  // An owning view's spans must point at *this* object's storage.
+  if (other.lossRates_.data() == other.ownedLossRates_.data() &&
+      other.latencies_.data() == other.ownedLatencies_.data()) {
+    rebindSpans();
+  }
+}
+
+NetworkView::NetworkView(NetworkView&& other) noexcept
+    : ownedLossRates_(std::move(other.ownedLossRates_)),
+      ownedLatencies_(std::move(other.ownedLatencies_)),
+      lossRates_(other.lossRates_),
+      latencies_(other.latencies_),
+      fingerprint_(other.fingerprint_) {
+  if (lossRates_.data() == ownedLossRates_.data() &&
+      latencies_.data() == ownedLatencies_.data()) {
+    // Moved vectors keep their heap buffers, so the spans stay valid;
+    // rebinding anyway keeps the invariant obvious.
+    rebindSpans();
+  }
+}
+
+NetworkView& NetworkView::operator=(const NetworkView& other) {
+  if (this == &other) return *this;
+  NetworkView copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+NetworkView& NetworkView::operator=(NetworkView&& other) noexcept {
+  if (this == &other) return *this;
+  const bool owned = other.lossRates_.data() == other.ownedLossRates_.data() &&
+                     other.latencies_.data() == other.ownedLatencies_.data();
+  ownedLossRates_ = std::move(other.ownedLossRates_);
+  ownedLatencies_ = std::move(other.ownedLatencies_);
+  lossRates_ = other.lossRates_;
+  latencies_ = other.latencies_;
+  fingerprint_ = other.fingerprint_;
+  if (owned) rebindSpans();
+  return *this;
 }
 
 NetworkView NetworkView::baseline(const trace::Trace& trace) {
@@ -21,7 +71,9 @@ NetworkView NetworkView::baseline(const trace::Trace& trace) {
     loss.push_back(trace.baseline(e).lossRate);
     latency.push_back(trace.baseline(e).latency);
   }
-  return NetworkView(std::move(loss), std::move(latency));
+  NetworkView view(std::move(loss), std::move(latency));
+  view.fingerprint_ = kBaselineFingerprint;
+  return view;
 }
 
 NetworkView NetworkView::atInterval(const trace::Trace& trace,
@@ -30,22 +82,33 @@ NetworkView NetworkView::atInterval(const trace::Trace& trace,
                      trace.latenciesAt(interval));
 }
 
+NetworkView NetworkView::borrowing(const trace::ConditionTimeline& cursor,
+                                   std::uint64_t fingerprint) {
+  return NetworkView(cursor.lossRates(), cursor.latencies(), fingerprint);
+}
+
 std::vector<util::SimTime> NetworkView::routingWeights(
     const ViewParams& params) const {
-  std::vector<util::SimTime> weights(lossRates_.size());
+  std::vector<util::SimTime> weights;
+  routingWeightsInto(params, weights);
+  return weights;
+}
+
+void NetworkView::routingWeightsInto(const ViewParams& params,
+                                     std::vector<util::SimTime>& out) const {
+  out.resize(lossRates_.size());
   for (std::size_t e = 0; e < lossRates_.size(); ++e) {
     const double loss = lossRates_[e];
     if (loss >= params.unusableLoss) {
-      weights[e] = util::kNever;
+      out[e] = util::kNever;
       continue;
     }
     double weight = static_cast<double>(latencies_[e]);
     if (loss >= params.degradedLoss) {
       weight *= 1.0 + params.lossPenaltyFactor * loss;
     }
-    weights[e] = static_cast<util::SimTime>(std::llround(weight));
+    out[e] = static_cast<util::SimTime>(std::llround(weight));
   }
-  return weights;
 }
 
 }  // namespace dg::routing

@@ -7,12 +7,22 @@
 // it into routing weights: links above the unusable-loss threshold are
 // excluded and degraded links are latency-penalized so that path
 // selection prefers clean routes.
+//
+// A view either *owns* its per-edge vectors (the live monitor, tests) or
+// *borrows* spans from a trace::ConditionTimeline cursor -- the playback
+// hot path, where materializing vectors per interval would dominate the
+// replay cost. Borrowed views carry an exact content fingerprint (the
+// cursor's interval content id) that downstream decision caches use as a
+// memoization key; views without one report kNoFingerprint and are never
+// memoized.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "trace/condition_timeline.hpp"
 #include "trace/trace.hpp"
 #include "util/sim_time.hpp"
 
@@ -27,16 +37,36 @@ struct ViewParams {
   /// Weight multiplier: weight = latency * (1 + factor * lossRate) for
   /// degraded links.
   double lossPenaltyFactor = 10.0;
+
+  bool operator==(const ViewParams&) const = default;
 };
 
 class NetworkView {
  public:
-  /// View with every link at its healthy baseline.
+  /// Sentinel: this view has no content fingerprint (decision caches
+  /// must not memoize by it).
+  static constexpr std::uint64_t kNoFingerprint =
+      static_cast<std::uint64_t>(-1);
+  /// Fingerprint of the clean/baseline content of a trace (matches
+  /// trace::ConditionIndex::kCleanContent). Fingerprints are comparable
+  /// only between views of the same trace.
+  static constexpr std::uint64_t kBaselineFingerprint = 0;
+
+  /// View with every link at its healthy baseline (fingerprinted as the
+  /// clean content).
   static NetworkView baseline(const trace::Trace& trace);
 
-  /// View of one trace interval's measured conditions.
+  /// View of one trace interval's measured conditions (owning; no
+  /// fingerprint -- use borrowing() with a cursor for the memoizable
+  /// fast path).
   static NetworkView atInterval(const trace::Trace& trace,
                                 std::size_t interval);
+
+  /// Non-owning view over a cursor's current arrays, fingerprinted with
+  /// the interval's exact content id. The cursor must outlive the view
+  /// and must not be re-seeked while the view is in use.
+  static NetworkView borrowing(const trace::ConditionTimeline& cursor,
+                               std::uint64_t fingerprint);
 
   /// Direct construction from per-edge vectors (used by the live monitor
   /// in dg::core, which aggregates its own measurements).
@@ -49,12 +79,47 @@ class NetworkView {
   std::span<const util::SimTime> latencies() const { return latencies_; }
   std::span<const double> lossRates() const { return lossRates_; }
 
+  /// Exact content fingerprint, or kNoFingerprint when unknown. Equal
+  /// fingerprints (within one trace) imply element-wise equal contents;
+  /// unequal fingerprints imply nothing.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+  bool hasFingerprint() const { return fingerprint_ != kNoFingerprint; }
+
   /// Weights for path selection under `params` (util::kNever = excluded).
   std::vector<util::SimTime> routingWeights(const ViewParams& params) const;
+  /// Allocation-free variant: writes the weights into `out` (resized).
+  void routingWeightsInto(const ViewParams& params,
+                          std::vector<util::SimTime>& out) const;
 
  private:
-  std::vector<double> lossRates_;
-  std::vector<util::SimTime> latencies_;
+  NetworkView(std::span<const double> lossRates,
+              std::span<const util::SimTime> latencies,
+              std::uint64_t fingerprint)
+      : lossRates_(lossRates),
+        latencies_(latencies),
+        fingerprint_(fingerprint) {}
+
+  void rebindSpans() {
+    lossRates_ = ownedLossRates_;
+    latencies_ = ownedLatencies_;
+  }
+
+  // Owning views keep their data here; borrowed views leave these empty.
+  std::vector<double> ownedLossRates_;
+  std::vector<util::SimTime> ownedLatencies_;
+  // The accessor spans: into the owned vectors, or into a cursor's
+  // arrays. Copying/moving an owning view must rebind them (see the
+  // out-of-line copy/move operations).
+  std::span<const double> lossRates_;
+  std::span<const util::SimTime> latencies_;
+  std::uint64_t fingerprint_ = kNoFingerprint;
+
+ public:
+  NetworkView(const NetworkView& other);
+  NetworkView(NetworkView&& other) noexcept;
+  NetworkView& operator=(const NetworkView& other);
+  NetworkView& operator=(NetworkView&& other) noexcept;
+  ~NetworkView() = default;
 };
 
 }  // namespace dg::routing

@@ -27,6 +27,8 @@ struct DetectorParams {
   int nodeMinLinks = 2;
   /// ...and at least this fraction of them.
   double nodeMinFraction = 0.3;
+
+  bool operator==(const DetectorParams&) const = default;
 };
 
 /// Per-flow classification of the current situation.

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -59,7 +60,11 @@ struct SchemeParams {
   /// problems briefly look healthy between bursts, and falling back too
   /// eagerly forfeits the redundancy exactly when it is needed).
   int holdDownIntervals = 3;
+
+  bool operator==(const SchemeParams&) const = default;
 };
+
+class DecisionMemo;
 
 class RoutingScheme {
  public:
@@ -95,6 +100,17 @@ class RoutingScheme {
   }
   telemetry::Telemetry* telemetry() const { return telemetry_; }
 
+  /// Attaches a shared decision memo (nullable). `contextKey` must come
+  /// from DecisionMemo::contextKey for this scheme's exact (kind, flow,
+  /// params). Schemes whose selection is a pure function of the view
+  /// consult the memo for fingerprinted views; stateful schemes (targeted
+  /// redundancy) ignore it. Selection results are bit-identical with and
+  /// without a memo attached.
+  void setDecisionMemo(DecisionMemo* memo, std::uint64_t contextKey) {
+    memo_ = memo;
+    memoContext_ = contextKey;
+  }
+
  protected:
   /// Counts a problem-detector classification under
   /// `dg_routing_classifications_total{flow,scheme,class}` and records a
@@ -107,6 +123,9 @@ class RoutingScheme {
 
   telemetry::Telemetry* telemetry_ = nullptr;
   std::string flowLabel_;
+
+  DecisionMemo* memo_ = nullptr;
+  std::uint64_t memoContext_ = 0;
 
  private:
   /// Lazily resolved counter per classification bitmask

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "graph/disjoint_paths.hpp"
 #include "graph/shortest_path.hpp"
+#include "routing/decision_memo.hpp"
 #include "routing/targeted_graphs.hpp"
 
 namespace dg::routing {
@@ -120,8 +122,18 @@ std::vector<graph::Path> timelyDisjointPaths(const graph::Graph& overlay,
   return chosen;
 }
 
-/// Shared helper state: a current graph plus a cache of the weight vector
-/// it was computed from, so healthy steady-state intervals cost nothing.
+/// Shared helper state for schemes whose route computation is a pure
+/// function of the view: a current graph, a same-view fast path, and the
+/// shared decision memo.
+///
+/// The same-view fast path has two tiers. Fingerprinted views (the
+/// playback cursor) compare content ids in O(1); unfingerprinted views
+/// (the live monitor, tests) fall back to comparing the computed weight
+/// vector, as before. On a fingerprint miss the shared DecisionMemo (when
+/// attached) is consulted before recomputing: a hit replays the memoized
+/// edge list -- or, for a memoized no-route decision, keeps the previous
+/// graph, exactly as recomputation would. All three paths produce
+/// bit-identical selections.
 class CachedGraphScheme : public RoutingScheme {
  public:
   CachedGraphScheme(const graph::Graph& overlay, Flow flow,
@@ -132,9 +144,62 @@ class CachedGraphScheme : public RoutingScheme {
  protected:
   DisseminationGraph current_;
   std::vector<util::SimTime> cachedWeights_;
+  std::vector<util::SimTime> weightsScratch_;
+  std::vector<graph::EdgeId> edgeScratch_;
+  std::uint64_t lastFingerprint_ = NetworkView::kNoFingerprint;
 
-  bool weightsUnchanged(const std::vector<util::SimTime>& weights) const {
-    return weights == cachedWeights_;
+  void noteDecision(const NetworkView& view) {
+    lastFingerprint_ = view.fingerprint();
+    view.routingWeightsInto(params_.view, cachedWeights_);
+  }
+
+  void rebuildCurrent(const std::vector<graph::EdgeId>& edges) {
+    if (current_.edges() == edges) return;
+    DisseminationGraph next(*overlay_, flow_.source, flow_.destination);
+    for (const graph::EdgeId e : edges) next.addEdge(e);
+    current_ = std::move(next);
+  }
+
+  /// Selection driver for dynamic schemes. `recompute(view)` must install
+  /// the newly selected graph into current_ and return true, or return
+  /// false when the view offers no timely route (keeping the previous
+  /// graph -- sending on a possibly-degraded route beats sending on
+  /// nothing).
+  template <typename RecomputeFn>
+  const DisseminationGraph& selectDynamic(const NetworkView& view,
+                                          RecomputeFn&& recompute) {
+    const std::uint64_t fp = view.fingerprint();
+    if (fp != NetworkView::kNoFingerprint) {
+      if (fp == lastFingerprint_) return current_;
+      if (memo_ != nullptr) {
+        if (const auto id = memo_->findDecision(memoContext_, fp)) {
+          if (*id != DecisionMemo::kNoRoute) {
+            memo_->edgeListInto(*id, edgeScratch_);
+            rebuildCurrent(edgeScratch_);
+          }
+          cachedWeights_.clear();
+          lastFingerprint_ = fp;
+          return current_;
+        }
+      }
+      const bool found = recompute(view);
+      if (memo_ != nullptr) {
+        memo_->storeDecision(memoContext_, fp,
+                             found ? memo_->internEdgeList(current_.edges())
+                                   : DecisionMemo::kNoRoute);
+      }
+      cachedWeights_.clear();
+      lastFingerprint_ = fp;
+      return current_;
+    }
+    // Unfingerprinted view: compare the computed weight vector.
+    lastFingerprint_ = NetworkView::kNoFingerprint;
+    view.routingWeightsInto(params_.view, weightsScratch_);
+    if (weightsScratch_ == cachedWeights_ && !cachedWeights_.empty())
+      return current_;
+    std::swap(cachedWeights_, weightsScratch_);
+    recompute(view);
+    return current_;
   }
 };
 
@@ -155,26 +220,26 @@ class SinglePathScheme : public CachedGraphScheme {
 
   void initialize(const NetworkView& baselineView) override {
     recompute(baselineView);
+    noteDecision(baselineView);
   }
 
   const DisseminationGraph& select(const NetworkView& view) override {
-    if (dynamic_) recompute(view);
-    return current_;
+    if (!dynamic_) return current_;
+    return selectDynamic(view,
+                         [this](const NetworkView& v) { return recompute(v); });
   }
 
  private:
-  void recompute(const NetworkView& view) {
-    const auto weights = view.routingWeights(params_.view);
-    if (weightsUnchanged(weights)) return;
-    cachedWeights_ = weights;
+  bool recompute(const NetworkView& view) {
     const auto paths =
         timelyDisjointPaths(*overlay_, flow_, view, params_, 1);
     // When the view offers no timely route, keep the previous graph:
     // sending on a possibly-degraded route beats sending on nothing.
-    if (paths.empty()) return;
+    if (paths.empty()) return false;
     DisseminationGraph next(*overlay_, flow_.source, flow_.destination);
     next.addPath(paths.front());
     current_ = std::move(next);
+    return true;
   }
 
   bool dynamic_;
@@ -197,24 +262,24 @@ class DisjointPathsScheme : public CachedGraphScheme {
 
   void initialize(const NetworkView& baselineView) override {
     recompute(baselineView);
+    noteDecision(baselineView);
   }
 
   const DisseminationGraph& select(const NetworkView& view) override {
-    if (dynamic_) recompute(view);
-    return current_;
+    if (!dynamic_) return current_;
+    return selectDynamic(view,
+                         [this](const NetworkView& v) { return recompute(v); });
   }
 
  private:
-  void recompute(const NetworkView& view) {
-    const auto weights = view.routingWeights(params_.view);
-    if (weightsUnchanged(weights)) return;
-    cachedWeights_ = weights;
+  bool recompute(const NetworkView& view) {
     const auto paths = timelyDisjointPaths(*overlay_, flow_, view, params_,
                                            params_.disjointPaths);
-    if (paths.empty()) return;  // keep previous graph
+    if (paths.empty()) return false;  // keep previous graph
     DisseminationGraph next(*overlay_, flow_.source, flow_.destination);
     for (const graph::Path& path : paths) next.addPath(path);
     current_ = std::move(next);
+    return true;
   }
 
   bool dynamic_;

@@ -1,0 +1,78 @@
+#include "trace/condition_timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace dg::trace {
+
+namespace {
+
+using DeviationList = std::vector<std::pair<graph::EdgeId, LinkConditions>>;
+
+struct DeviationListLess {
+  static int compare(const std::pair<graph::EdgeId, LinkConditions>& a,
+                     const std::pair<graph::EdgeId, LinkConditions>& b) {
+    if (a.first != b.first) return a.first < b.first ? -1 : 1;
+    if (a.second.lossRate != b.second.lossRate)
+      return a.second.lossRate < b.second.lossRate ? -1 : 1;
+    if (a.second.latency != b.second.latency)
+      return a.second.latency < b.second.latency ? -1 : 1;
+    return 0;
+  }
+  bool operator()(const DeviationList& a, const DeviationList& b) const {
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const int c = compare(a[i], b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+}  // namespace
+
+ConditionIndex::ConditionIndex(const Trace& trace)
+    : ids_(trace.intervalCount(), kCleanContent) {
+  // Intern by full lexicographic comparison: hash collisions can never
+  // alias two different contents, which is what makes content ids valid
+  // exact memoization keys.
+  std::map<DeviationList, std::uint32_t, DeviationListLess> interned;
+  for (std::size_t i = 0; i < trace.intervalCount(); ++i) {
+    if (!trace.hasDeviation(i)) continue;
+    const auto devs = trace.deviationsAt(i);
+    DeviationList key(devs.begin(), devs.end());
+    const auto [it, inserted] = interned.emplace(
+        std::move(key), static_cast<std::uint32_t>(interned.size() + 1));
+    ids_[i] = it->second;
+  }
+  distinct_ = interned.size() + 1;
+}
+
+ConditionTimeline::ConditionTimeline(const Trace& trace) : trace_(&trace) {
+  loss_.reserve(trace.edgeCount());
+  latency_.reserve(trace.edgeCount());
+  for (graph::EdgeId e = 0; e < trace.edgeCount(); ++e) {
+    loss_.push_back(trace.baseline(e).lossRate);
+    latency_.push_back(trace.baseline(e).latency);
+  }
+}
+
+void ConditionTimeline::seek(std::size_t interval) {
+  if (interval >= trace_->intervalCount())
+    throw std::out_of_range("ConditionTimeline::seek: interval out of range");
+  if (interval == interval_) return;
+  if (interval_ != kUnpositioned) {
+    for (const auto& [edge, conditions] : trace_->deviationsAt(interval_)) {
+      loss_[edge] = trace_->baseline(edge).lossRate;
+      latency_[edge] = trace_->baseline(edge).latency;
+    }
+  }
+  for (const auto& [edge, conditions] : trace_->deviationsAt(interval)) {
+    loss_[edge] = conditions.lossRate;
+    latency_[edge] = conditions.latency;
+  }
+  interval_ = interval;
+}
+
+}  // namespace dg::trace

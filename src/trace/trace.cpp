@@ -16,10 +16,12 @@ Trace::Trace(util::SimTime intervalLength, std::size_t intervalCount,
       intervals_(intervalCount) {
   if (intervalLength <= 0)
     throw std::invalid_argument("Trace: interval length must be positive");
+  if (intervalCount == 0)
+    throw std::invalid_argument("Trace: interval count must be positive");
 }
 
 std::size_t Trace::intervalAt(util::SimTime t) const {
-  if (t < 0) return 0;
+  if (t < 0 || intervals_.empty()) return 0;
   const auto idx = static_cast<std::size_t>(t / intervalLength_);
   return std::min(idx, intervals_.size() - 1);
 }

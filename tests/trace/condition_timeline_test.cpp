@@ -1,0 +1,142 @@
+// Cursor-vs-materialized equivalence and exact content interning for the
+// condition timeline (the playback hot path's view of the trace).
+#include "trace/condition_timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace dg {
+namespace {
+
+/// A trace with randomized loss/latency deviations scattered over random
+/// (edge, interval) cells, on top of a small residual baseline loss.
+trace::Trace randomTrace(const graph::Graph& g, std::size_t intervals,
+                         std::uint64_t seed) {
+  trace::Trace tr =
+      test::healthyTrace(g, intervals, util::seconds(10), 1e-4);
+  util::Rng rng(seed);
+  const std::size_t events = intervals;
+  for (std::size_t k = 0; k < events; ++k) {
+    const auto e = static_cast<graph::EdgeId>(
+        rng.uniformInt(static_cast<std::uint64_t>(g.edgeCount())));
+    const auto t = static_cast<std::size_t>(
+        rng.uniformInt(static_cast<std::uint64_t>(intervals)));
+    trace::LinkConditions c = tr.baseline(e);
+    if (rng.bernoulli(0.5)) {
+      c.lossRate = rng.uniform(0.05, 0.9);
+    } else {
+      c.latency = 3 * c.latency + util::milliseconds(5);
+    }
+    tr.setCondition(e, t, c);
+  }
+  return tr;
+}
+
+void expectCursorMatches(const trace::ConditionTimeline& cursor,
+                         const trace::Trace& tr, std::size_t t) {
+  const std::vector<double> loss = tr.lossRatesAt(t);
+  const std::vector<util::SimTime> latency = tr.latenciesAt(t);
+  ASSERT_EQ(cursor.lossRates().size(), loss.size());
+  ASSERT_EQ(cursor.latencies().size(), latency.size());
+  for (std::size_t e = 0; e < loss.size(); ++e) {
+    EXPECT_EQ(cursor.lossRates()[e], loss[e]) << "edge " << e;
+    EXPECT_EQ(cursor.latencies()[e], latency[e]) << "edge " << e;
+  }
+}
+
+TEST(ConditionTimeline, MatchesMaterializedAccessorsSequentially) {
+  const test::Diamond d;
+  const trace::Trace tr = randomTrace(d.g, 64, 1);
+  trace::ConditionTimeline cursor(tr);
+  for (std::size_t t = 0; t < tr.intervalCount(); ++t) {
+    cursor.seek(t);
+    ASSERT_EQ(cursor.interval(), t);
+    expectCursorMatches(cursor, tr, t);
+  }
+}
+
+TEST(ConditionTimeline, MatchesMaterializedAccessorsOnRandomSeeks) {
+  const auto topology = trace::Topology::ltn12();
+  const trace::Trace tr = randomTrace(topology.graph(), 128, 7);
+  trace::ConditionTimeline cursor(tr);
+  util::Rng rng(99);
+  for (int step = 0; step < 500; ++step) {
+    const auto t = static_cast<std::size_t>(
+        rng.uniformInt(static_cast<std::uint64_t>(tr.intervalCount())));
+    cursor.seek(t);
+    expectCursorMatches(cursor, tr, t);
+  }
+}
+
+TEST(ConditionTimeline, SpansStayValidAcrossSeeks) {
+  const test::Line l;
+  trace::Trace tr = test::healthyTrace(l.g, 4);
+  tr.setCondition(l.sm, 2, {0.5, util::milliseconds(40)});
+  trace::ConditionTimeline cursor(tr);
+  cursor.seek(0);
+  const std::span<const double> loss = cursor.lossRates();
+  cursor.seek(2);
+  EXPECT_EQ(loss[l.sm], 0.5);  // same storage, updated in place
+  cursor.seek(1);
+  EXPECT_EQ(loss[l.sm], tr.baseline(l.sm).lossRate);
+}
+
+TEST(ConditionTimeline, SeekPastEndThrows) {
+  const test::Line l;
+  const trace::Trace tr = test::healthyTrace(l.g, 4);
+  trace::ConditionTimeline cursor(tr);
+  EXPECT_THROW(cursor.seek(4), std::out_of_range);
+}
+
+TEST(ConditionIndex, CleanIntervalsShareTheCleanContent) {
+  const test::Line l;
+  trace::Trace tr = test::healthyTrace(l.g, 6);
+  tr.setCondition(l.sm, 3, {0.5, util::milliseconds(40)});
+  const trace::ConditionIndex index(tr);
+  for (std::size_t t = 0; t < tr.intervalCount(); ++t) {
+    if (t == 3) {
+      EXPECT_NE(index.contentId(t), trace::ConditionIndex::kCleanContent);
+    } else {
+      EXPECT_EQ(index.contentId(t), trace::ConditionIndex::kCleanContent);
+    }
+  }
+  EXPECT_EQ(index.distinctContents(), 2u);
+}
+
+TEST(ConditionIndex, InternsByExactContentNotByInterval) {
+  const test::Diamond d;
+  trace::Trace tr = test::healthyTrace(d.g, 8);
+  const trace::LinkConditions lossy{0.3, util::milliseconds(10)};
+  const trace::LinkConditions lossier{0.4, util::milliseconds(10)};
+  tr.setCondition(d.sa, 1, lossy);
+  tr.setCondition(d.sa, 5, lossy);   // identical content, distant interval
+  tr.setCondition(d.sa, 2, lossier); // same edge, different value
+  tr.setCondition(d.ad, 3, lossy);   // same value, different edge
+  const trace::ConditionIndex index(tr);
+  EXPECT_EQ(index.contentId(1), index.contentId(5));
+  EXPECT_NE(index.contentId(1), index.contentId(2));
+  EXPECT_NE(index.contentId(1), index.contentId(3));
+  EXPECT_EQ(index.distinctContents(), 4u);  // clean + three distinct
+}
+
+TEST(TraceValidation, ZeroIntervalCountThrows) {
+  const test::Line l;
+  EXPECT_THROW(trace::Trace(util::seconds(10), 0,
+                            trace::healthyBaseline(l.g, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(TraceValidation, NonPositiveIntervalLengthThrows) {
+  const test::Line l;
+  EXPECT_THROW(
+      trace::Trace(0, 4, trace::healthyBaseline(l.g, 0.0)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dg

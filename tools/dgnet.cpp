@@ -11,11 +11,16 @@
 //       Convert external CSV measurements into the trace format.
 //   dgnet playback   --source=A --destination=B --scheme=NAME
 //                    (--trace=FILE | --days=N [--seed=S])
+//                    [--memo=0] [--cursor=0]
 //       Replay a flow/scheme over a trace and print availability/cost.
+//       --memo=0 / --cursor=0 disable the decision/evaluation memos and
+//       the condition-timeline cursor (results are bit-identical either
+//       way; for benchmarking and equivalence checks).
 //   dgnet simulate   --source=A --destination=B --scheme=NAME --seconds=N
 //                    (--trace=FILE | --days=N [--seed=S])
 //       Drive the packet-level overlay (forwarding + recovery) live.
 //   dgnet telemetry  [--schemes=a,b,...] [--threads=N]
+//                    [--memo=0] [--cursor=0]
 //                    (--trace=FILE | --days=N [--seed=S])
 //       Run the flows x schemes playback sweep with full telemetry and
 //       print the merged metrics (byte-identical for any --threads).
@@ -211,6 +216,8 @@ int cmdPlayback(const util::Config& args) {
       args.getString("scheme", "targeted"));
   playback::PlaybackParams params;
   params.mcSamples = static_cast<int>(args.getInt("mc_samples", 1000));
+  params.decisionMemo = args.getBool("memo", true);
+  params.conditionCursor = args.getBool("cursor", true);
   const playback::PlaybackEngine engine(topology.graph(), tr, params);
   std::optional<telemetry::Telemetry> telemetry;
   if (telemetryRequested(args)) telemetry.emplace();
@@ -276,6 +283,8 @@ int cmdTelemetry(const util::Config& args) {
       config.schemes.push_back(routing::parseSchemeKind(name));
   }
   config.playback.mcSamples = static_cast<int>(args.getInt("mc_samples", 1000));
+  config.playback.decisionMemo = args.getBool("memo", true);
+  config.playback.conditionCursor = args.getBool("cursor", true);
   config.threads = static_cast<unsigned>(args.getInt("threads", 0));
 
   telemetry::Telemetry telemetry;
