@@ -1,0 +1,162 @@
+#include "chaos/bridge.hpp"
+
+#include <algorithm>
+
+#include "chaos/injector.hpp"
+#include "core/transport.hpp"
+
+namespace dg::chaos {
+
+namespace {
+
+/// Time the fault is actively impairing inside [a, b) (flap-aware).
+util::SimTime activeTimeIn(const ChaosFault& fault, util::SimTime a,
+                           util::SimTime b) {
+  const util::SimTime lo = std::max(a, fault.start);
+  const util::SimTime hi = std::min(b, fault.end());
+  if (lo >= hi) return 0;
+  if (fault.kind != ChaosFault::Kind::LinkFlap) return hi - lo;
+  const util::SimTime period = fault.flapOn + fault.flapOff;
+  util::SimTime active = 0;
+  // Walk the on-phases overlapping [lo, hi). Phases repeat from
+  // fault.start; the count is tiny, so the linear walk is fine.
+  const util::SimTime firstPeriod = (lo - fault.start) / period;
+  for (util::SimTime k = firstPeriod;; ++k) {
+    const util::SimTime onStart = fault.start + k * period;
+    if (onStart >= hi) break;
+    const util::SimTime onEnd =
+        std::min(onStart + fault.flapOn, fault.end());
+    active += std::max<util::SimTime>(
+        0, std::min(onEnd, hi) - std::max(onStart, lo));
+  }
+  return active;
+}
+
+trace::Trace compileInto(const ChaosSchedule& schedule,
+                         const trace::Topology& topology,
+                         std::size_t intervalCount, double residualLoss) {
+  const graph::Graph& overlay = topology.graph();
+  schedule.validateAgainst(overlay);
+  const util::SimTime interval = schedule.intervalLength();
+  trace::Trace trace(interval, intervalCount,
+                     trace::healthyBaseline(overlay, residualLoss));
+  const std::size_t faultIntervals =
+      std::min(intervalCount, schedule.intervalCount());
+  for (const ChaosFault& fault : schedule.faults()) {
+    if (!fault.impairsConditions()) continue;
+    const std::vector<graph::EdgeId> edges = affectedEdges(fault, overlay);
+    const trace::LinkConditions impairment = impairmentOf(fault);
+    for (std::size_t i = 0; i < faultIntervals; ++i) {
+      const util::SimTime a = static_cast<util::SimTime>(i) * interval;
+      // Majority quantization: exact for interval-aligned schedules.
+      if (2 * activeTimeIn(fault, a, a + interval) < interval) continue;
+      for (const graph::EdgeId edge : edges) {
+        trace.applyImpairment(edge, i, impairment);
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace
+
+trace::Trace compileToTrace(const ChaosSchedule& schedule,
+                            const trace::Topology& topology,
+                            double residualLoss) {
+  return compileInto(schedule, topology, schedule.intervalCount(),
+                     residualLoss);
+}
+
+double DifferentialFlowResult::tolerance() const {
+  if (sent == 0) return 1.0;
+  // A small systematic allowance (decision-boundary and drain edge
+  // effects, matching the cross-validation suite's 0.02 precedent) plus
+  // four binomial standard errors of the live estimate around the
+  // predicted rate.
+  const double p =
+      std::clamp(predictedUnavailability, 1e-3, 1.0 - 1e-3);
+  const double n = static_cast<double>(sent);
+  return 0.02 + 4.0 * std::sqrt(p * (1.0 - p) / n);
+}
+
+DifferentialResult runDifferential(
+    const trace::Topology& topology, const ChaosSchedule& schedule,
+    const std::vector<DifferentialFlowSpec>& flows,
+    const DifferentialParams& params, telemetry::Telemetry* telemetry) {
+  const util::SimTime interval = schedule.intervalLength();
+  const std::size_t horizonIntervals = schedule.intervalCount();
+  const auto drainIntervals = static_cast<std::size_t>(
+      (params.drain + interval - 1) / interval);
+  const std::size_t totalIntervals = horizonIntervals + drainIntervals;
+
+  // Both traces carry healthy tail intervals for the drain, so in-flight
+  // packets see identical (healthy) conditions on both sides after the
+  // horizon.
+  const trace::Trace liveTrace(interval, totalIntervals,
+                               trace::healthyBaseline(topology.graph()));
+  const trace::Trace compiled =
+      compileInto(schedule, topology, totalIntervals, 1e-4);
+
+  core::TransportConfig config;
+  config.schemeParams = params.schemeParams;
+  config.monitorMode = core::MonitorMode::Centralized;
+  config.decisionInterval = interval;
+  config.node.recoveryEnabled = params.recoveryEnabled;
+  config.seed = params.networkSeed;
+  core::TransportService service(topology, liveTrace, config);
+  if (telemetry != nullptr) service.setTelemetry(telemetry);
+
+  ChaosInjector injector(service, schedule);
+  if (telemetry != nullptr) injector.setTelemetry(telemetry);
+  injector.arm();
+  InvariantChecker checker(service, schedule, params.invariants);
+  if (telemetry != nullptr) checker.setTelemetry(telemetry);
+  checker.attach();
+
+  std::vector<net::FlowId> ids;
+  ids.reserve(flows.size());
+  for (const DifferentialFlowSpec& spec : flows) {
+    ids.push_back(service.openFlow(spec.source, spec.destination, spec.scheme,
+                                   spec.packetInterval));
+  }
+  service.simulator().scheduleAt(schedule.horizon(), [&service, &ids] {
+    for (const net::FlowId id : ids) service.setSending(id, false);
+  });
+  service.run(schedule.horizon() + params.drain);
+  checker.finalize();
+
+  DifferentialResult result;
+  result.violations = checker.violations();
+  result.invariantChecksRun = checker.checksRun();
+  result.flows.reserve(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const DifferentialFlowSpec& spec = flows[i];
+    const core::FlowStats& stats = service.stats(ids[i]);
+
+    playback::PlaybackParams pb;
+    pb.delivery.deadline = params.schemeParams.deadline;
+    pb.delivery.packetInterval = spec.packetInterval;
+    pb.delivery.recoveryEnabled = params.recoveryEnabled;
+    pb.mcSamples = params.mcSamples;
+    pb.seed = params.playbackSeed;
+    const playback::PlaybackEngine engine(topology.graph(), compiled, pb);
+    const routing::Flow flow{topology.at(spec.source),
+                             topology.at(spec.destination)};
+    const playback::FlowSchemeResult predicted = engine.runRange(
+        flow, spec.scheme, params.schemeParams, 0, horizonIntervals);
+
+    DifferentialFlowResult entry;
+    entry.spec = spec;
+    entry.liveUnavailability = stats.unavailability();
+    entry.predictedUnavailability = predicted.unavailability;
+    entry.liveCost = stats.costPerPacket();
+    entry.predictedCost = predicted.averageCost;
+    entry.sent = stats.sent;
+    entry.deliveredOnTime = stats.deliveredOnTime;
+    entry.deliveredLate = stats.deliveredLate;
+    result.flows.push_back(std::move(entry));
+  }
+  return result;
+}
+
+}  // namespace dg::chaos

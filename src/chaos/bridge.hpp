@@ -1,0 +1,118 @@
+// Bridge between the chaos harness and the playback engine: compiles a
+// ChaosSchedule into a trace::Trace and runs the same scenario through
+// both halves of the system for differential comparison.
+//
+// Equivalence argument: the live injector composes each active fault
+// into a per-edge condition override with combineConditions, and the
+// network composes that override with the underlying trace conditions
+// the same way. compileToTrace() folds the same faults into the same
+// baseline with Trace::applyImpairment -- also combineConditions, which
+// is associative and commutative -- so for interval-aligned schedules
+// the conditions every transmission sees are IDENTICAL in the two
+// setups, and a live run over (healthy trace + injector) is bit-equal
+// to a live run over (compiled trace, no injector). The differential
+// then compares the live stack against the playback *model* of the
+// compiled trace, where remaining differences are real modeling gaps
+// (sampling noise, recovery-protocol asymmetries), not wiring bugs.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "chaos/invariants.hpp"
+#include "chaos/schedule.hpp"
+#include "playback/playback.hpp"
+#include "routing/scheme.hpp"
+#include "trace/topology.hpp"
+#include "trace/trace.hpp"
+
+namespace dg::chaos {
+
+/// Compiles a schedule into a playback trace over the topology: a
+/// healthy baseline (residualLoss on every edge) with every fault's
+/// impairment folded into the intervals it is active in. Faults aligned
+/// to the interval grid compile exactly; an unaligned fault covers an
+/// interval iff it is active for the majority of it (quantization --
+/// the differential tolerance does not cover unaligned schedules).
+trace::Trace compileToTrace(const ChaosSchedule& schedule,
+                            const trace::Topology& topology,
+                            double residualLoss = 1e-4);
+
+/// One flow of a differential scenario.
+struct DifferentialFlowSpec {
+  std::string source;
+  std::string destination;
+  routing::SchemeKind scheme = routing::SchemeKind::DynamicSinglePath;
+  util::SimTime packetInterval = util::milliseconds(10);
+};
+
+struct DifferentialParams {
+  routing::SchemeParams schemeParams;
+  /// Seed of the live network's per-edge loss streams.
+  std::uint64_t networkSeed = 42;
+  /// Per-hop recovery on both sides. The live protocol's NACK path is
+  /// weaker than the playback model's per-hop recovery term (requests
+  /// cross the same lossy link, and each gap is requested once), so the
+  /// tight tolerance below is only honest with recovery off, or with
+  /// hardFaultsOnly schedules where recovery cannot change outcomes.
+  bool recoveryEnabled = false;
+  /// Monte-Carlo samples per lossy interval on the playback side.
+  int mcSamples = 4000;
+  std::uint64_t playbackSeed = 7;
+  /// Extra simulated time after the horizon for in-flight packets to
+  /// land (flows stop sending at the horizon).
+  util::SimTime drain = util::seconds(1);
+  InvariantCheckerConfig invariants;
+};
+
+struct DifferentialFlowResult {
+  DifferentialFlowSpec spec;
+  /// Live stack: fraction of sent packets not delivered on time.
+  double liveUnavailability = 0.0;
+  /// Playback model prediction for the compiled trace.
+  double predictedUnavailability = 0.0;
+  /// Live transmissions per packet vs the model's structural cost.
+  double liveCost = 0.0;
+  double predictedCost = 0.0;
+  std::uint64_t sent = 0;
+  std::uint64_t deliveredOnTime = 0;
+  std::uint64_t deliveredLate = 0;
+
+  double unavailabilityDelta() const {
+    return liveUnavailability - predictedUnavailability;
+  }
+  /// The documented differential bound: a small systematic term plus a
+  /// binomial confidence band around the predicted rate at `n` sent
+  /// packets (see DESIGN.md, "Chaos harness and invariants").
+  double tolerance() const;
+  bool withinTolerance() const {
+    return std::abs(unavailabilityDelta()) <= tolerance();
+  }
+};
+
+struct DifferentialResult {
+  std::vector<DifferentialFlowResult> flows;
+  std::vector<InvariantViolation> violations;
+  std::uint64_t invariantChecksRun = 0;
+  bool allWithinTolerance() const {
+    for (const DifferentialFlowResult& flow : flows) {
+      if (!flow.withinTolerance()) return false;
+    }
+    return true;
+  }
+  bool passed() const { return violations.empty() && allWithinTolerance(); }
+};
+
+/// Runs one schedule through the live stack (healthy trace + injector +
+/// invariant checker) and the playback model (compiled trace) and
+/// compares per-flow delivery. Deterministic: identical inputs give an
+/// identical result, bit for bit. `telemetry` (nullable) is attached
+/// across the live service, the injector and the invariant checker.
+DifferentialResult runDifferential(const trace::Topology& topology,
+                                   const ChaosSchedule& schedule,
+                                   const std::vector<DifferentialFlowSpec>& flows,
+                                   const DifferentialParams& params = {},
+                                   telemetry::Telemetry* telemetry = nullptr);
+
+}  // namespace dg::chaos

@@ -1,0 +1,134 @@
+#include "chaos/injector.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace dg::chaos {
+
+namespace {
+
+constexpr std::size_t kKindCount = 8;
+
+std::size_t kindIndex(ChaosFault::Kind kind) {
+  return static_cast<std::size_t>(kind);
+}
+
+}  // namespace
+
+ChaosInjector::ChaosInjector(core::TransportService& service,
+                             const ChaosSchedule& schedule)
+    : service_(&service), schedule_(&schedule) {
+  const graph::Graph& overlay = service.topology().graph();
+  schedule.validateAgainst(overlay);
+  faultEdges_.reserve(schedule.faults().size());
+  for (const ChaosFault& fault : schedule.faults()) {
+    faultEdges_.push_back(affectedEdges(fault, overlay));
+  }
+  wasActive_.assign(schedule.faults().size(), false);
+}
+
+void ChaosInjector::setTelemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  startCounters_.clear();
+  endCounters_.clear();
+  transitionCounter_ = nullptr;
+  if (telemetry_ == nullptr) return;
+  startCounters_.reserve(kKindCount);
+  endCounters_.reserve(kKindCount);
+  for (std::size_t k = 0; k < kKindCount; ++k) {
+    const telemetry::Labels labels{
+        {"kind", std::string(faultKindName(static_cast<ChaosFault::Kind>(k)))}};
+    startCounters_.push_back(&telemetry_->metrics.counter(
+        "dg_chaos_faults_injected_total", labels));
+    endCounters_.push_back(
+        &telemetry_->metrics.counter("dg_chaos_faults_ended_total", labels));
+  }
+  transitionCounter_ =
+      &telemetry_->metrics.counter("dg_chaos_transitions_total");
+}
+
+bool ChaosInjector::activeAt(std::size_t faultIndex) const {
+  return faultActiveAt(schedule_->faults()[faultIndex],
+                       service_->simulator().now());
+}
+
+void ChaosInjector::arm() {
+  net::Simulator& simulator = service_->simulator();
+  const util::SimTime now = simulator.now();
+  const auto scheduleTransition = [&](util::SimTime at) {
+    if (at < now) return;  // already past: arm() before running
+    simulator.scheduleAt(at, [this] { applyTransitions(); });
+  };
+  for (const ChaosFault& fault : schedule_->faults()) {
+    scheduleTransition(fault.start);
+    scheduleTransition(fault.end());
+    if (fault.kind == ChaosFault::Kind::LinkFlap) {
+      const util::SimTime period = fault.flapOn + fault.flapOff;
+      for (util::SimTime t = fault.start; t < fault.end(); t += period) {
+        const util::SimTime off = t + fault.flapOn;
+        if (off < fault.end()) scheduleTransition(off);
+        const util::SimTime on = t + period;
+        if (on < fault.end()) scheduleTransition(on);
+      }
+    }
+  }
+}
+
+void ChaosInjector::applyTransitions() {
+  const util::SimTime now = service_->simulator().now();
+  const std::vector<ChaosFault>& faults = schedule_->faults();
+  net::SimulatedNetwork& network = service_->network();
+  const std::size_t edgeCount = network.overlay().edgeCount();
+  ++stats_.transitions;
+  if (transitionCounter_ != nullptr) transitionCounter_->inc();
+
+  // Re-fold the complete override state from the set of active faults.
+  // Transitions are rare (a handful per run), so the O(faults x edges)
+  // rebuild is simpler and safer than incremental bookkeeping.
+  std::vector<trace::LinkConditions> folded(edgeCount);
+  std::vector<bool> impaired(edgeCount, false);
+  util::SimTime decisionDelay = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const ChaosFault& fault = faults[i];
+    const bool active = faultActiveAt(fault, now);
+    if (active != wasActive_[i]) {
+      wasActive_[i] = active;
+      ++(active ? stats_.faultsStarted : stats_.faultsEnded);
+      if (telemetry_ != nullptr) {
+        (active ? startCounters_ : endCounters_)[kindIndex(fault.kind)]->inc();
+        telemetry_->trace.record(
+            now,
+            active ? telemetry::TraceEventKind::ChaosFaultStart
+                   : telemetry::TraceEventKind::ChaosFaultEnd,
+            -1, fault.targetsNode() ? static_cast<std::int64_t>(fault.node) : -1,
+            fault.targetsLink() ? static_cast<std::int64_t>(fault.link) : -1,
+            static_cast<double>(i), std::string(faultKindName(fault.kind)));
+      }
+      if (fault.kind == ChaosFault::Kind::NodeCrash) {
+        service_->node(fault.node).setCrashed(active);
+      }
+    }
+    if (!active) continue;
+    if (fault.kind == ChaosFault::Kind::MonitorDelay) {
+      decisionDelay = std::max(decisionDelay, fault.reportDelay);
+      continue;
+    }
+    const trace::LinkConditions impairment = impairmentOf(fault);
+    for (const graph::EdgeId edge : faultEdges_[i]) {
+      folded[edge] = impaired[edge]
+                         ? trace::combineConditions(folded[edge], impairment)
+                         : impairment;
+      impaired[edge] = true;
+    }
+  }
+  for (graph::EdgeId edge = 0; edge < edgeCount; ++edge) {
+    if (impaired[edge]) {
+      network.setConditionOverride(edge, folded[edge]);
+    } else {
+      network.clearConditionOverride(edge);
+    }
+  }
+  service_->setDecisionTickDelay(decisionDelay);
+}
+
+}  // namespace dg::chaos

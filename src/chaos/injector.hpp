@@ -1,0 +1,73 @@
+// ChaosInjector: turns a ChaosSchedule into simulator events against a
+// live TransportService.
+//
+// arm() schedules one event per fault transition (start, end, and each
+// flap phase toggle) on the service's simulator; nothing runs until the
+// service itself runs. At each transition the injector re-folds the set
+// of active faults into per-edge condition overrides on the simulated
+// network (composing concurrent faults with combineConditions, which is
+// associative and commutative -- so a live run under overrides is
+// statistically identical to running over the same schedule compiled
+// into a trace, see chaos/bridge.hpp). NodeCrash faults additionally
+// flip the node's crashed flag; MonitorDelay faults stretch the
+// service's decision-tick cadence while active.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/schedule.hpp"
+#include "core/transport.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace dg::chaos {
+
+struct InjectorStats {
+  std::uint64_t faultsStarted = 0;
+  std::uint64_t faultsEnded = 0;
+  std::uint64_t transitions = 0;  ///< includes flap phase toggles
+};
+
+class ChaosInjector {
+ public:
+  /// The service and schedule must outlive the injector. Validates the
+  /// schedule against the service's topology (throws on mismatch).
+  ChaosInjector(core::TransportService& service,
+                const ChaosSchedule& schedule);
+
+  /// Schedules every fault transition on the service's simulator. Call
+  /// once, before running the service past the first fault start. Safe
+  /// at any simulator time >= 0; transitions already in the past are
+  /// skipped (their end-state is NOT applied -- arm before running).
+  void arm();
+
+  const InjectorStats& stats() const { return stats_; }
+
+  /// True when fault index `i` of the schedule is actively impairing at
+  /// the service's current simulator time.
+  bool activeAt(std::size_t faultIndex) const;
+
+  /// Attaches telemetry (nullable): per-kind injection counters
+  /// (`dg_chaos_faults_injected_total{kind}`, `..._ended_total{kind}`,
+  /// `dg_chaos_transitions_total`) and ChaosFaultStart/End trace events.
+  void setTelemetry(telemetry::Telemetry* telemetry);
+
+ private:
+  void applyTransitions();
+
+  core::TransportService* service_;
+  const ChaosSchedule* schedule_;
+  /// Per-fault impaired edge lists, resolved once against the topology.
+  std::vector<std::vector<graph::EdgeId>> faultEdges_;
+  /// Per-fault "was active at the last transition" (edge detection for
+  /// telemetry and crash flips).
+  std::vector<bool> wasActive_;
+  InjectorStats stats_;
+
+  telemetry::Telemetry* telemetry_ = nullptr;
+  std::vector<telemetry::Counter*> startCounters_;  // per kind
+  std::vector<telemetry::Counter*> endCounters_;    // per kind
+  telemetry::Counter* transitionCounter_ = nullptr;
+};
+
+}  // namespace dg::chaos

@@ -1,0 +1,282 @@
+#include "chaos/invariants.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace dg::chaos {
+
+InvariantChecker::InvariantChecker(core::TransportService& service,
+                                   const ChaosSchedule& schedule,
+                                   InvariantCheckerConfig config)
+    : service_(&service), schedule_(&schedule), config_(config) {
+  const graph::Graph& overlay = service.topology().graph();
+  schedule.validateAgainst(overlay);
+  faultEdges_.reserve(schedule.faults().size());
+  for (const ChaosFault& fault : schedule.faults()) {
+    faultEdges_.push_back(affectedEdges(fault, overlay));
+  }
+}
+
+void InvariantChecker::setTelemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  checksCounter_ = nullptr;
+  if (telemetry_ == nullptr) return;
+  checksCounter_ =
+      &telemetry_->metrics.counter("dg_chaos_invariant_checks_total");
+}
+
+void InvariantChecker::violate(const std::string& invariant,
+                               std::string detail) {
+  const util::SimTime now = service_->simulator().now();
+  violations_.push_back(InvariantViolation{now, invariant, detail});
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics
+        .counter("dg_chaos_invariant_violations_total",
+                 {{"invariant", invariant}})
+        .inc();
+    telemetry_->trace.record(now,
+                             telemetry::TraceEventKind::InvariantViolation,
+                             -1, -1, -1, 0.0, invariant);
+  }
+}
+
+void InvariantChecker::noteClock() {
+  ++checksRun_;
+  if (checksCounter_ != nullptr) checksCounter_->inc();
+  const util::SimTime now = service_->simulator().now();
+  if (now < lastClock_) {
+    violate("clock-monotone",
+            "time " + std::to_string(now) + " after " +
+                std::to_string(lastClock_));
+  }
+  lastClock_ = now;
+}
+
+void InvariantChecker::onDelivery(net::FlowId flow, const net::Packet& packet,
+                                  util::SimTime latency, bool onTime) {
+  noteClock();
+  const util::SimTime now = service_->simulator().now();
+  FlowAccount& account = accounts_[flow];
+
+  ++checksRun_;
+  if (checksCounter_ != nullptr) checksCounter_->inc();
+  if (!account.delivered.insert(packet.sequence).second) {
+    violate("duplicate-delivery",
+            "flow " + std::to_string(flow) + " seq " +
+                std::to_string(packet.sequence));
+  }
+
+  ++checksRun_;
+  if (checksCounter_ != nullptr) checksCounter_->inc();
+  if (packet.sequence >= service_->stats(flow).sent) {
+    violate("sequence-sanity",
+            "flow " + std::to_string(flow) + " delivered seq " +
+                std::to_string(packet.sequence) + " with only " +
+                std::to_string(service_->stats(flow).sent) + " sent");
+  }
+
+  // Timely accounting: re-derive the classification from first
+  // principles (arrival time minus origin time vs the flow's deadline)
+  // and hold the service to it.
+  ++checksRun_;
+  if (checksCounter_ != nullptr) checksCounter_->inc();
+  const util::SimTime trueLatency = now - packet.originTime;
+  const bool trueOnTime =
+      trueLatency <= service_->context(flow).deadline;
+  if (latency != trueLatency || onTime != trueOnTime) {
+    violate("timely-accounting",
+            "flow " + std::to_string(flow) + " seq " +
+                std::to_string(packet.sequence) + " reported latency " +
+                std::to_string(latency) + "/onTime " +
+                std::to_string(onTime) + ", derived " +
+                std::to_string(trueLatency) + "/" +
+                std::to_string(trueOnTime));
+  }
+  (trueOnTime ? account.onTime : account.late) += 1;
+}
+
+trace::LinkConditions InvariantChecker::expectedConditionsAt(
+    graph::EdgeId edge, util::SimTime t) const {
+  const trace::Trace& trace = service_->network().trace();
+  trace::LinkConditions expected = trace.at(edge, trace.intervalAt(t));
+  const std::vector<ChaosFault>& faults = schedule_->faults();
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (!faults[i].impairsConditions()) continue;
+    if (!faultActiveAt(faults[i], t)) continue;
+    bool touches = false;
+    for (const graph::EdgeId e : faultEdges_[i]) {
+      if (e == edge) {
+        touches = true;
+        break;
+      }
+    }
+    if (touches) {
+      expected = trace::combineConditions(expected, impairmentOf(faults[i]));
+    }
+  }
+  return expected;
+}
+
+bool InvariantChecker::monitorDelayedIn(util::SimTime from,
+                                        util::SimTime to) const {
+  for (const ChaosFault& fault : schedule_->faults()) {
+    if (fault.kind != ChaosFault::Kind::MonitorDelay) continue;
+    if (fault.start <= to && fault.end() > from) return true;
+  }
+  return false;
+}
+
+void InvariantChecker::checkMonitorAgainst(std::size_t faultIndex,
+                                           bool expectImpaired) {
+  noteClock();
+  const util::SimTime now = service_->simulator().now();
+  const util::SimTime interval = schedule_->intervalLength();
+  // The view visible now was measured over [lastTick - I, lastTick]. Skip
+  // when the decision cadence was perturbed or the expected conditions
+  // were not stable across that window (another fault started/ended
+  // inside it) -- the estimate legitimately blends two regimes then.
+  const util::SimTime windowStart = now - 2 * interval;
+  if (monitorDelayedIn(0, now)) {
+    ++checksSkipped_;
+    return;
+  }
+  const routing::NetworkView view = service_->currentView();
+  for (const graph::EdgeId edge : faultEdges_[faultIndex]) {
+    const trace::LinkConditions atEnd = expectedConditionsAt(edge, now);
+    // Stability must hold across the WHOLE window, not just at its
+    // endpoints: a flap phase (>= one interval) can start and end inside
+    // it, so sample at quarter-interval steps (dense enough to hit any
+    // interval-aligned excursion).
+    bool stable = true;
+    const util::SimTime from = windowStart < 0 ? 0 : windowStart;
+    for (util::SimTime t = from; t < now; t += interval / 4) {
+      if (expectedConditionsAt(edge, t) != atEnd) {
+        stable = false;
+        break;
+      }
+    }
+    if (!stable) {
+      ++checksSkipped_;
+      continue;
+    }
+    const double estimate = view.lossRate(edge);
+    const double expected = atEnd.lossRate;
+    ++checksRun_;
+    if (checksCounter_ != nullptr) checksCounter_->inc();
+    if (expectImpaired && expected >= 0.999) {
+      if (estimate < config_.deadLossThreshold) {
+        violate("monitor-consistency",
+                "edge " + std::to_string(edge) + " injected dead, estimated " +
+                    util::formatFixed(estimate, 3));
+      }
+    } else if (expectImpaired) {
+      if (std::abs(estimate - expected) > config_.moderateLossTolerance) {
+        violate("monitor-consistency",
+                "edge " + std::to_string(edge) + " injected " +
+                    util::formatFixed(expected, 3) + ", estimated " +
+                    util::formatFixed(estimate, 3));
+      }
+    } else {
+      if (expected > config_.recoveredLossThreshold) {
+        // Another fault is legitimately impairing this edge right now.
+        ++checksSkipped_;
+        continue;
+      }
+      if (estimate > config_.recoveredLossThreshold) {
+        violate("monitor-consistency",
+                "edge " + std::to_string(edge) + " healthy again, estimated " +
+                    util::formatFixed(estimate, 3));
+      }
+    }
+    // Latency estimates come from actual receptions, so they are only
+    // trustworthy when most transmissions get through.
+    if (expected < 0.5) {
+      ++checksRun_;
+      if (checksCounter_ != nullptr) checksCounter_->inc();
+      const util::SimTime latencyEstimate = view.latency(edge);
+      if (std::llabs(latencyEstimate - atEnd.latency) >
+          config_.latencyToleranceUs) {
+        violate("monitor-consistency",
+                "edge " + std::to_string(edge) + " latency injected " +
+                    std::to_string(atEnd.latency) + "us, estimated " +
+                    std::to_string(latencyEstimate) + "us");
+      }
+    }
+  }
+}
+
+void InvariantChecker::attach() {
+  service_->setDeliveryObserver(
+      [this](net::FlowId flow, const net::Packet& packet,
+             util::SimTime latency, bool onTime) {
+        onDelivery(flow, packet, latency, onTime);
+      });
+
+  // Monitor consistency only holds where there is one service-wide
+  // monitor being fed by every transmission.
+  if (service_->monitorMode() != core::MonitorMode::Centralized) return;
+
+  net::Simulator& simulator = service_->simulator();
+  const util::SimTime interval = schedule_->intervalLength();
+  const util::SimTime settle =
+      static_cast<util::SimTime>(config_.settleIntervals) * interval;
+  const std::vector<ChaosFault>& faults = schedule_->faults();
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const ChaosFault& fault = faults[i];
+    if (!fault.impairsConditions()) continue;
+    if (fault.kind == ChaosFault::Kind::LinkFlap) continue;
+    // NodeCrash kills the node's daemon too; its adjacent-link estimates
+    // still read dead (probes stop flowing) so the check applies.
+    if (fault.duration < settle + interval) continue;
+    // While impaired: probe just before the fault ends, when the last
+    // closed measurement interval lies entirely inside the fault.
+    const util::SimTime impairedProbe = fault.end() - 1;
+    if (impairedProbe > fault.start + settle &&
+        impairedProbe < schedule_->horizon()) {
+      simulator.scheduleAt(impairedProbe,
+                           [this, i] { checkMonitorAgainst(i, true); });
+    }
+    // After recovery: probe once the estimate had `settle` worth of
+    // healthy measurements to converge back.
+    const util::SimTime recoveredProbe = fault.end() + settle + interval / 2;
+    if (recoveredProbe < schedule_->horizon()) {
+      simulator.scheduleAt(recoveredProbe,
+                           [this, i] { checkMonitorAgainst(i, false); });
+    }
+  }
+}
+
+void InvariantChecker::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  noteClock();
+  for (net::FlowId id = 0; id < service_->flowCount(); ++id) {
+    const core::FlowStats& stats = service_->stats(id);
+    const FlowAccount& account = accounts_[id];
+    ++checksRun_;
+    if (checksCounter_ != nullptr) checksCounter_->inc();
+    if (account.onTime != stats.deliveredOnTime ||
+        account.late != stats.deliveredLate) {
+      violate("timely-accounting",
+              "flow " + std::to_string(id) + " stats say " +
+                  std::to_string(stats.deliveredOnTime) + " on-time/" +
+                  std::to_string(stats.deliveredLate) +
+                  " late, checker derived " +
+                  std::to_string(account.onTime) + "/" +
+                  std::to_string(account.late));
+    }
+    ++checksRun_;
+    if (checksCounter_ != nullptr) checksCounter_->inc();
+    if (account.delivered.size() != stats.delivered()) {
+      violate("duplicate-delivery",
+              "flow " + std::to_string(id) + " delivered " +
+                  std::to_string(stats.delivered()) + " packets but only " +
+                  std::to_string(account.delivered.size()) +
+                  " distinct sequences");
+    }
+  }
+}
+
+}  // namespace dg::chaos

@@ -1,0 +1,123 @@
+// InvariantChecker: runs alongside a chaos-injected live simulation and
+// verifies properties the stack must hold under ANY fault schedule:
+//
+//   duplicate-delivery   the app layer never sees the same (flow, seq)
+//                        twice
+//   sequence-sanity      a delivered sequence was actually sent (seq <
+//                        the flow's sent count at delivery time)
+//   timely-accounting    a delivery is counted on-time iff its end-to-
+//                        end latency (arrival - origin) is within the
+//                        flow deadline; finalize() re-derives the
+//                        per-flow on-time/late totals independently and
+//                        compares them to FlowStats exactly
+//   clock-monotone       simulation time never decreases across any
+//                        observed callback
+//   monitor-consistency  for long-lived condition faults, the monitor's
+//                        routing view eventually reflects the injected
+//                        conditions (dead links read ~1.0 loss, degraded
+//                        links read near the injected rate, and the view
+//                        recovers to ~baseline after the fault clears)
+//
+// The checker is passive: it installs the service's delivery observer
+// and schedules read-only probe events; it never transmits, draws
+// randomness, or perturbs the run's RNG streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chaos/schedule.hpp"
+#include "core/transport.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace dg::chaos {
+
+struct InvariantViolation {
+  util::SimTime time = 0;
+  std::string invariant;  ///< "duplicate-delivery", "clock-monotone", ...
+  std::string detail;
+};
+
+struct InvariantCheckerConfig {
+  /// Decision intervals a fault must span before the monitor is expected
+  /// to have caught up (and to have recovered after it ends).
+  int settleIntervals = 2;
+  /// A link injected at >= ~1.0 loss must be estimated at least this.
+  double deadLossThreshold = 0.9;
+  /// |estimate - injected| bound for moderate (non-dead) loss faults.
+  double moderateLossTolerance = 0.3;
+  /// A recovered link's estimate must drop back below this.
+  double recoveredLossThreshold = 0.1;
+  /// Latency estimate tolerance (checked only when loss < 0.5, where the
+  /// estimator has plenty of samples).
+  util::SimTime latencyToleranceUs = util::milliseconds(2);
+};
+
+class InvariantChecker {
+ public:
+  /// The service and schedule must outlive the checker. Call attach()
+  /// before running the service; call finalize() after the run (and any
+  /// drain) completes to run the accounting cross-check.
+  InvariantChecker(core::TransportService& service,
+                   const ChaosSchedule& schedule,
+                   InvariantCheckerConfig config = {});
+
+  /// Installs the delivery observer and schedules the monitor
+  /// consistency probes. The service's delivery-observer slot is taken
+  /// over (there is only one).
+  void attach();
+
+  /// Re-derives per-flow delivery accounting and compares it to the
+  /// service's FlowStats. Call exactly once, after the run.
+  void finalize();
+
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  std::uint64_t checksRun() const { return checksRun_; }
+  std::uint64_t checksSkipped() const { return checksSkipped_; }
+
+  /// Attaches telemetry (nullable): `dg_chaos_invariant_checks_total`,
+  /// `dg_chaos_invariant_violations_total{invariant}` and
+  /// InvariantViolation trace events.
+  void setTelemetry(telemetry::Telemetry* telemetry);
+
+ private:
+  struct FlowAccount {
+    std::unordered_set<net::SequenceNumber> delivered;
+    std::uint64_t onTime = 0;
+    std::uint64_t late = 0;
+  };
+
+  void onDelivery(net::FlowId flow, const net::Packet& packet,
+                  util::SimTime latency, bool onTime);
+  void noteClock();
+  void violate(const std::string& invariant, std::string detail);
+  void checkMonitorAgainst(std::size_t faultIndex, bool expectImpaired);
+  /// Folds every fault active at `t` into the expected conditions of
+  /// `edge` (combined with the service trace's conditions at `t`).
+  trace::LinkConditions expectedConditionsAt(graph::EdgeId edge,
+                                             util::SimTime t) const;
+  /// True when a MonitorDelay fault is active anywhere in [from, to]
+  /// (the decision cadence is perturbed; monitor timing checks skip).
+  bool monitorDelayedIn(util::SimTime from, util::SimTime to) const;
+
+  core::TransportService* service_;
+  const ChaosSchedule* schedule_;
+  InvariantCheckerConfig config_;
+  std::vector<std::vector<graph::EdgeId>> faultEdges_;
+  std::unordered_map<net::FlowId, FlowAccount> accounts_;
+  std::vector<InvariantViolation> violations_;
+  util::SimTime lastClock_ = 0;
+  std::uint64_t checksRun_ = 0;
+  std::uint64_t checksSkipped_ = 0;
+  bool finalized_ = false;
+
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Counter* checksCounter_ = nullptr;
+};
+
+}  // namespace dg::chaos

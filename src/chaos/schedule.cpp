@@ -1,0 +1,421 @@
+#include "chaos/schedule.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace dg::chaos {
+
+namespace {
+
+struct KindName {
+  ChaosFault::Kind kind;
+  std::string_view name;
+};
+
+constexpr KindName kKindNames[] = {
+    {ChaosFault::Kind::LinkLoss, "link-loss"},
+    {ChaosFault::Kind::LinkLatency, "link-latency"},
+    {ChaosFault::Kind::LinkFlap, "link-flap"},
+    {ChaosFault::Kind::SiteDegrade, "site-degrade"},
+    {ChaosFault::Kind::SitePartialOutage, "site-partial-outage"},
+    {ChaosFault::Kind::SiteBlackout, "site-blackout"},
+    {ChaosFault::Kind::NodeCrash, "node-crash"},
+    {ChaosFault::Kind::MonitorDelay, "monitor-delay"},
+};
+
+[[noreturn]] void malformed(std::size_t lineNumber, const std::string& why) {
+  throw std::runtime_error("ChaosSchedule: line " +
+                           std::to_string(lineNumber) + ": " + why);
+}
+
+}  // namespace
+
+std::string_view faultKindName(ChaosFault::Kind kind) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.kind == kind) return entry.name;
+  }
+  return "unknown";
+}
+
+ChaosFault::Kind parseFaultKind(std::string_view name) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.name == name) return entry.kind;
+  }
+  throw std::invalid_argument("unknown chaos fault kind '" +
+                              std::string(name) + "'");
+}
+
+void ChaosSchedule::add(ChaosFault fault) {
+  if (fault.duration <= 0)
+    throw std::invalid_argument("ChaosFault: duration must be > 0");
+  if (fault.start < 0)
+    throw std::invalid_argument("ChaosFault: start must be >= 0");
+  if (fault.targetsNode() && fault.node == graph::kInvalidNode)
+    throw std::invalid_argument("ChaosFault: site fault without a node");
+  if (fault.targetsLink() && fault.link == graph::kInvalidEdge)
+    throw std::invalid_argument("ChaosFault: link fault without a link");
+  if (fault.kind == ChaosFault::Kind::LinkFlap &&
+      (fault.flapOn <= 0 || fault.flapOff <= 0)) {
+    throw std::invalid_argument("ChaosFault: flap needs flapOn/flapOff > 0");
+  }
+  if (fault.kind == ChaosFault::Kind::SitePartialOutage &&
+      fault.aliveLinks < 1) {
+    throw std::invalid_argument("ChaosFault: partial outage needs alive >= 1");
+  }
+  const auto position = std::upper_bound(
+      faults_.begin(), faults_.end(), fault,
+      [](const ChaosFault& a, const ChaosFault& b) { return a.start < b.start; });
+  faults_.insert(position, std::move(fault));
+}
+
+bool ChaosSchedule::alignedToIntervals() const {
+  const util::SimTime grid = intervalLength_;
+  for (const ChaosFault& fault : faults_) {
+    if (fault.start % grid != 0 || fault.duration % grid != 0) return false;
+    if (fault.kind == ChaosFault::Kind::LinkFlap &&
+        (fault.flapOn % grid != 0 || fault.flapOff % grid != 0)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ChaosSchedule::validateAgainst(const graph::Graph& overlay) const {
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    const ChaosFault& fault = faults_[i];
+    if (fault.targetsNode() && fault.node >= overlay.nodeCount()) {
+      throw std::invalid_argument("ChaosSchedule: fault " + std::to_string(i) +
+                                  " targets node " +
+                                  std::to_string(fault.node) +
+                                  " outside the topology");
+    }
+    if (fault.targetsLink() && fault.link >= overlay.edgeCount()) {
+      throw std::invalid_argument("ChaosSchedule: fault " + std::to_string(i) +
+                                  " targets link " +
+                                  std::to_string(fault.link) +
+                                  " outside the topology");
+    }
+  }
+}
+
+std::string ChaosSchedule::toString() const {
+  std::ostringstream out;
+  // max_digits10: loss rates round-trip bit-exactly, so a recorded
+  // schedule replays the identical run.
+  out.precision(17);
+  out << "chaos v1 " << horizon_ << ' ' << intervalLength_ << '\n';
+  for (const ChaosFault& fault : faults_) {
+    out << "fault " << faultKindName(fault.kind) << ' ' << fault.start << ' '
+        << fault.duration;
+    if (fault.targetsNode()) out << " node=" << fault.node;
+    if (fault.targetsLink()) out << " link=" << fault.link;
+    if (fault.lossRate > 0.0) out << " loss=" << fault.lossRate;
+    if (fault.latencyPenalty > 0) out << " latency=" << fault.latencyPenalty;
+    if (fault.kind == ChaosFault::Kind::LinkFlap) {
+      out << " flap_on=" << fault.flapOn << " flap_off=" << fault.flapOff;
+    }
+    if (fault.kind == ChaosFault::Kind::SitePartialOutage) {
+      out << " alive=" << fault.aliveLinks;
+    }
+    if (fault.kind == ChaosFault::Kind::MonitorDelay) {
+      out << " delay=" << fault.reportDelay;
+    }
+    if (fault.salt != 0) out << " salt=" << fault.salt;
+    out << '\n';
+  }
+  return out.str();
+}
+
+ChaosSchedule ChaosSchedule::fromString(std::string_view text) {
+  ChaosSchedule schedule;
+  bool sawHeader = false;
+  std::size_t lineNumber = 0;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lineNumber;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::vector<std::string> tokens = util::splitWhitespace(trimmed);
+    if (tokens[0] == "chaos") {
+      if (tokens.size() != 4 || tokens[1] != "v1")
+        malformed(lineNumber, "want 'chaos v1 HORIZON_US INTERVAL_US'");
+      std::int64_t horizon = 0;
+      std::int64_t interval = 0;
+      if (!util::parseInt64(tokens[2], horizon) ||
+          !util::parseInt64(tokens[3], interval) || horizon <= 0 ||
+          interval <= 0) {
+        malformed(lineNumber, "bad horizon/interval");
+      }
+      schedule.horizon_ = horizon;
+      schedule.intervalLength_ = interval;
+      sawHeader = true;
+      continue;
+    }
+    if (tokens[0] != "fault")
+      malformed(lineNumber, "unknown directive '" + tokens[0] + "'");
+    if (!sawHeader) malformed(lineNumber, "fault before 'chaos v1' header");
+    if (tokens.size() < 4)
+      malformed(lineNumber, "want 'fault KIND START_US DURATION_US ...'");
+    ChaosFault fault;
+    try {
+      fault.kind = parseFaultKind(tokens[1]);
+    } catch (const std::invalid_argument& e) {
+      malformed(lineNumber, e.what());
+    }
+    std::int64_t start = 0;
+    std::int64_t duration = 0;
+    if (!util::parseInt64(tokens[2], start) ||
+        !util::parseInt64(tokens[3], duration)) {
+      malformed(lineNumber, "bad start/duration");
+    }
+    fault.start = start;
+    fault.duration = duration;
+    for (std::size_t i = 4; i < tokens.size(); ++i) {
+      const auto eq = tokens[i].find('=');
+      if (eq == std::string::npos)
+        malformed(lineNumber, "want key=value, got '" + tokens[i] + "'");
+      const std::string key = tokens[i].substr(0, eq);
+      const std::string value = tokens[i].substr(eq + 1);
+      std::int64_t asInt = 0;
+      double asDouble = 0.0;
+      const bool isInt = util::parseInt64(value, asInt);
+      const bool isDouble = util::parseDouble(value, asDouble);
+      const auto wantInt = [&](const char* what) {
+        if (!isInt) malformed(lineNumber, std::string("bad ") + what);
+        return asInt;
+      };
+      if (key == "node") {
+        fault.node = static_cast<graph::NodeId>(wantInt("node"));
+      } else if (key == "link") {
+        fault.link = static_cast<graph::EdgeId>(wantInt("link"));
+      } else if (key == "loss") {
+        if (!isDouble || asDouble < 0.0 || asDouble > 1.0)
+          malformed(lineNumber, "bad loss");
+        fault.lossRate = asDouble;
+      } else if (key == "latency") {
+        fault.latencyPenalty = wantInt("latency");
+      } else if (key == "flap_on") {
+        fault.flapOn = wantInt("flap_on");
+      } else if (key == "flap_off") {
+        fault.flapOff = wantInt("flap_off");
+      } else if (key == "alive") {
+        fault.aliveLinks = static_cast<int>(wantInt("alive"));
+      } else if (key == "delay") {
+        fault.reportDelay = wantInt("delay");
+      } else if (key == "salt") {
+        // Salt is a full 64-bit word (may exceed int64 range).
+        try {
+          std::size_t used = 0;
+          fault.salt = std::stoull(value, &used);
+          if (used != value.size()) malformed(lineNumber, "bad salt");
+        } catch (const std::exception&) {
+          malformed(lineNumber, "bad salt");
+        }
+      } else {
+        malformed(lineNumber, "unknown key '" + key + "'");
+      }
+    }
+    try {
+      schedule.add(std::move(fault));
+    } catch (const std::invalid_argument& e) {
+      malformed(lineNumber, e.what());
+    }
+  }
+  if (!sawHeader)
+    throw std::runtime_error("ChaosSchedule: missing 'chaos v1' header");
+  return schedule;
+}
+
+void ChaosSchedule::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("ChaosSchedule: cannot open " + path);
+  out << toString();
+}
+
+ChaosSchedule ChaosSchedule::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ChaosSchedule: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return fromString(buffer.str());
+}
+
+ChaosSchedule ChaosSchedule::random(const trace::Topology& topology,
+                                    const ChaosScheduleParams& params) {
+  const graph::Graph& overlay = topology.graph();
+  ChaosSchedule schedule(params.horizon, params.intervalLength);
+  util::Rng rng(params.seed);
+  const auto totalIntervals =
+      static_cast<std::int64_t>(schedule.intervalCount());
+  if (totalIntervals <= 0 || params.faults <= 0) return schedule;
+
+  // Site placement weights: degree^-2, echoing the synthetic generator's
+  // finding that problems cluster at poorly connected edge sites.
+  std::vector<double> siteWeights(overlay.nodeCount(), 0.0);
+  for (graph::NodeId n = 0; n < overlay.nodeCount(); ++n) {
+    const double degree = static_cast<double>(overlay.outDegree(n));
+    siteWeights[n] = degree > 0.0 ? 1.0 / (degree * degree) : 0.0;
+  }
+
+  std::vector<double> kindWeights = {
+      params.linkLossWeight,     params.linkLatencyWeight,
+      params.linkFlapWeight,     params.siteDegradeWeight,
+      params.sitePartialOutageWeight, params.siteBlackoutWeight,
+      params.nodeCrashWeight,    params.monitorDelayWeight,
+  };
+  if (params.hardFaultsOnly) {
+    // Only faults whose impairment the recovery protocol cannot soften:
+    // dead links (loss 1.0) and pure latency inflation.
+    kindWeights = {0.0, params.linkLatencyWeight, 0.0, 0.0,
+                   params.sitePartialOutageWeight, params.siteBlackoutWeight,
+                   params.nodeCrashWeight, 0.0};
+  }
+
+  for (int i = 0; i < params.faults; ++i) {
+    ChaosFault fault;
+    fault.kind = static_cast<ChaosFault::Kind>(rng.weightedIndex(kindWeights));
+    const std::int64_t durationIntervals =
+        rng.uniformInt(params.durationIntervalsMin,
+                       std::max(params.durationIntervalsMin,
+                                params.durationIntervalsMax));
+    const std::int64_t maxStart =
+        std::max<std::int64_t>(0, totalIntervals - durationIntervals);
+    fault.start = rng.uniformInt(0, maxStart) * params.intervalLength;
+    fault.duration =
+        std::min(durationIntervals,
+                 totalIntervals - fault.start / params.intervalLength) *
+        params.intervalLength;
+    fault.salt = rng.next();
+    if (fault.targetsNode()) {
+      fault.node = static_cast<graph::NodeId>(rng.weightedIndex(siteWeights));
+    }
+    if (fault.targetsLink()) {
+      // Pick an undirected link: forward edges are the even ids (the
+      // topology builder always adds bidirectional pairs).
+      const auto undirected =
+          static_cast<std::uint64_t>(overlay.edgeCount() / 2);
+      fault.link = static_cast<graph::EdgeId>(2 * rng.uniformInt(undirected));
+    }
+    switch (fault.kind) {
+      case ChaosFault::Kind::LinkLoss:
+      case ChaosFault::Kind::SiteDegrade:
+        fault.lossRate = rng.uniform(params.lossMin, params.lossMax);
+        break;
+      case ChaosFault::Kind::LinkFlap:
+        fault.lossRate = rng.uniform(params.lossMin, params.lossMax);
+        fault.flapOn = rng.uniformInt(params.flapPhaseIntervalsMin,
+                                      params.flapPhaseIntervalsMax) *
+                       params.intervalLength;
+        fault.flapOff = rng.uniformInt(params.flapPhaseIntervalsMin,
+                                       params.flapPhaseIntervalsMax) *
+                        params.intervalLength;
+        break;
+      case ChaosFault::Kind::LinkLatency:
+        fault.latencyPenalty = rng.uniformInt(params.latencyPenaltyMin,
+                                              params.latencyPenaltyMax);
+        break;
+      case ChaosFault::Kind::SitePartialOutage:
+        fault.lossRate = 1.0;
+        fault.aliveLinks = 1;
+        break;
+      case ChaosFault::Kind::SiteBlackout:
+      case ChaosFault::Kind::NodeCrash:
+        fault.lossRate = 1.0;
+        break;
+      case ChaosFault::Kind::MonitorDelay:
+        fault.reportDelay = static_cast<util::SimTime>(
+            params.reportDelayFraction *
+            static_cast<double>(params.intervalLength));
+        break;
+    }
+    schedule.add(std::move(fault));
+  }
+  return schedule;
+}
+
+std::vector<graph::EdgeId> affectedEdges(const ChaosFault& fault,
+                                         const graph::Graph& overlay) {
+  std::vector<graph::EdgeId> edges;
+  if (!fault.impairsConditions()) return edges;
+  if (fault.targetsLink()) {
+    edges.push_back(fault.link);
+    if (const auto reverse = overlay.reverseEdge(fault.link)) {
+      edges.push_back(*reverse);
+    }
+  } else {
+    for (const graph::EdgeId e : overlay.outEdges(fault.node))
+      edges.push_back(e);
+    for (const graph::EdgeId e : overlay.inEdges(fault.node))
+      edges.push_back(e);
+    if (fault.kind == ChaosFault::Kind::SitePartialOutage) {
+      // Spare `aliveLinks` undirected neighbor links, chosen
+      // deterministically from the fault's salt.
+      const auto outs = overlay.outEdges(fault.node);
+      const auto degree = static_cast<int>(outs.size());
+      const int alive = std::min(fault.aliveLinks, degree);
+      std::vector<graph::EdgeId> spared;
+      util::Rng pick(fault.salt ^ (0x51CEB10CULL + fault.node));
+      std::vector<int> candidates(static_cast<std::size_t>(degree));
+      for (int c = 0; c < degree; ++c) candidates[static_cast<std::size_t>(c)] = c;
+      for (int a = 0; a < alive; ++a) {
+        const auto slot = static_cast<std::size_t>(
+            pick.uniformInt(static_cast<std::uint64_t>(candidates.size())));
+        const graph::EdgeId out = outs[static_cast<std::size_t>(
+            candidates[slot])];
+        spared.push_back(out);
+        if (const auto reverse = overlay.reverseEdge(out))
+          spared.push_back(*reverse);
+        candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(slot));
+      }
+      std::erase_if(edges, [&](graph::EdgeId e) {
+        return std::find(spared.begin(), spared.end(), e) != spared.end();
+      });
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+trace::LinkConditions impairmentOf(const ChaosFault& fault) {
+  trace::LinkConditions impairment;
+  switch (fault.kind) {
+    case ChaosFault::Kind::LinkLoss:
+    case ChaosFault::Kind::LinkFlap:
+    case ChaosFault::Kind::SiteDegrade:
+      impairment.lossRate = fault.lossRate;
+      break;
+    case ChaosFault::Kind::SitePartialOutage:
+    case ChaosFault::Kind::SiteBlackout:
+    case ChaosFault::Kind::NodeCrash:
+      impairment.lossRate = 1.0;
+      break;
+    case ChaosFault::Kind::LinkLatency:
+      impairment.latency = fault.latencyPenalty;
+      break;
+    case ChaosFault::Kind::MonitorDelay:
+      break;
+  }
+  // Latency penalties may accompany loss kinds too (hand-written
+  // schedules); combineConditions takes the max against the trace
+  // latency, so a zero penalty is a no-op.
+  if (fault.kind != ChaosFault::Kind::LinkLatency &&
+      fault.latencyPenalty > 0) {
+    impairment.latency = fault.latencyPenalty;
+  }
+  return impairment;
+}
+
+bool faultActiveAt(const ChaosFault& fault, util::SimTime t) {
+  if (t < fault.start || t >= fault.end()) return false;
+  if (fault.kind != ChaosFault::Kind::LinkFlap) return true;
+  const util::SimTime period = fault.flapOn + fault.flapOff;
+  return (t - fault.start) % period < fault.flapOn;
+}
+
+}  // namespace dg::chaos

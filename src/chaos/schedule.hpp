@@ -1,0 +1,199 @@
+// Chaos schedules: deterministic fault-injection scripts for the live
+// overlay stack.
+//
+// A ChaosSchedule is an ordered list of timed faults -- link loss and
+// latency spikes, link flaps ("fluttering"), site degradations, partial
+// and full site blackouts, node crash/restart, and monitoring-report
+// delay -- over a fixed horizon. Schedules are plain data: they can be
+// scripted by hand, generated from a seed (bit-reproducibly), recorded to
+// a small text format and replayed from it. The ChaosInjector turns a
+// schedule into simulator events against a live TransportService; the
+// bridge (chaos/bridge.hpp) compiles the same schedule into a playback
+// trace::Trace so one scenario can be driven through both halves of the
+// system and differentially compared.
+//
+// Determinism contract: a run is a pure function of (topology, schedule,
+// seed). Faults aligned to the schedule's interval grid compile into the
+// trace exactly; unaligned faults are quantized to the majority interval
+// (see compileToTrace) and introduce boundary error in the differential.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "trace/conditions.hpp"
+#include "trace/topology.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace dg::chaos {
+
+struct ChaosFault {
+  enum class Kind : std::uint8_t {
+    LinkLoss,          ///< loss on one undirected link (both directions)
+    LinkLatency,       ///< latency penalty on one undirected link
+    LinkFlap,          ///< link alternates impaired/healthy ("fluttering")
+    SiteDegrade,       ///< every link of a site lossy at `lossRate`
+    SitePartialOutage, ///< all but `aliveLinks` links of a site dark
+    SiteBlackout,      ///< every link of a site dark (100% loss)
+    NodeCrash,         ///< node down: links dark AND soft state lost
+    MonitorDelay,      ///< decision/monitor reports delayed while active
+  };
+
+  Kind kind = Kind::LinkLoss;
+  util::SimTime start = 0;
+  util::SimTime duration = 0;
+
+  /// Target site (Site*/NodeCrash kinds).
+  graph::NodeId node = graph::kInvalidNode;
+  /// Target link (Link* kinds): the forward directed edge; the reverse
+  /// direction is always affected too.
+  graph::EdgeId link = graph::kInvalidEdge;
+
+  /// Loss rate while active (Link{Loss,Flap}, SiteDegrade; forced to 1.0
+  /// for SitePartialOutage / SiteBlackout / NodeCrash).
+  double lossRate = 0.0;
+  /// Latency added while active (LinkLatency; optional on others).
+  util::SimTime latencyPenalty = 0;
+  /// LinkFlap: impaired for `flapOn`, healthy for `flapOff`, repeating
+  /// from `start` until the fault ends. Both must be > 0 for flaps.
+  util::SimTime flapOn = 0;
+  util::SimTime flapOff = 0;
+  /// SitePartialOutage: undirected links spared (>= 1, clamped to degree).
+  int aliveLinks = 1;
+  /// MonitorDelay: extra delay added to each decision tick while active.
+  util::SimTime reportDelay = 0;
+  /// Per-fault randomness (e.g. which links a partial outage spares);
+  /// part of the schedule so replay is exact.
+  std::uint64_t salt = 0;
+
+  util::SimTime end() const { return start + duration; }
+  bool targetsNode() const {
+    return kind == Kind::SiteDegrade || kind == Kind::SitePartialOutage ||
+           kind == Kind::SiteBlackout || kind == Kind::NodeCrash;
+  }
+  bool targetsLink() const {
+    return kind == Kind::LinkLoss || kind == Kind::LinkLatency ||
+           kind == Kind::LinkFlap;
+  }
+  /// True for kinds that impair link conditions (everything except
+  /// MonitorDelay, which only perturbs control timing).
+  bool impairsConditions() const { return kind != Kind::MonitorDelay; }
+};
+
+/// Canonical lowercase-kebab kind name ("link-loss", "site-blackout", ...).
+std::string_view faultKindName(ChaosFault::Kind kind);
+/// Parses a canonical kind name; throws std::invalid_argument on unknown.
+ChaosFault::Kind parseFaultKind(std::string_view name);
+
+/// Parameters for seeded random schedule generation. Faults are aligned
+/// to the interval grid so the playback compilation is exact (see the
+/// header comment); severity and placement ranges loosely follow the
+/// synthetic-trace generator's problem taxonomy.
+struct ChaosScheduleParams {
+  std::uint64_t seed = 1;
+  util::SimTime horizon = util::minutes(2);
+  /// Fault grid; must match the decision/monitoring interval of the run.
+  util::SimTime intervalLength = util::seconds(10);
+  int faults = 6;
+
+  /// Relative kind weights (0 disables a kind).
+  double linkLossWeight = 2.0;
+  double linkLatencyWeight = 1.0;
+  double linkFlapWeight = 1.0;
+  double siteDegradeWeight = 2.0;
+  double sitePartialOutageWeight = 1.0;
+  double siteBlackoutWeight = 0.5;
+  double nodeCrashWeight = 0.5;
+  double monitorDelayWeight = 0.0;  ///< live-only; off by default
+
+  /// Loss severity for degradations (blackouts/outages/crashes use 1.0).
+  double lossMin = 0.5;
+  double lossMax = 0.95;
+  /// Latency penalty range for latency faults.
+  util::SimTime latencyPenaltyMin = util::milliseconds(30);
+  util::SimTime latencyPenaltyMax = util::milliseconds(200);
+  /// Fault durations in intervals (uniform, inclusive).
+  int durationIntervalsMin = 3;
+  int durationIntervalsMax = 6;
+  /// Flap on/off phase lengths in intervals (uniform, inclusive).
+  int flapPhaseIntervalsMin = 1;
+  int flapPhaseIntervalsMax = 2;
+  /// MonitorDelay report delay as a fraction of the interval.
+  double reportDelayFraction = 0.5;
+
+  /// When true, only loss rates in {1.0} and latency faults are
+  /// generated (blackout-style schedules where the per-hop recovery
+  /// protocol cannot change outcomes; used by the recovery-on soak).
+  bool hardFaultsOnly = false;
+};
+
+class ChaosSchedule {
+ public:
+  ChaosSchedule() = default;
+  ChaosSchedule(util::SimTime horizon, util::SimTime intervalLength)
+      : horizon_(horizon), intervalLength_(intervalLength) {}
+
+  /// Adds a fault (kept start-sorted, stable for equal starts). Throws
+  /// std::invalid_argument on malformed faults (bad target, nonpositive
+  /// duration, flap without phases).
+  void add(ChaosFault fault);
+
+  const std::vector<ChaosFault>& faults() const { return faults_; }
+  util::SimTime horizon() const { return horizon_; }
+  util::SimTime intervalLength() const { return intervalLength_; }
+  std::size_t intervalCount() const {
+    return static_cast<std::size_t>((horizon_ + intervalLength_ - 1) /
+                                    intervalLength_);
+  }
+
+  /// True when every fault's start/duration/flap phases sit on the
+  /// interval grid (exact playback compilation, see header comment).
+  bool alignedToIntervals() const;
+
+  /// Validates fault targets against a topology graph (node/edge ids in
+  /// range). Throws std::invalid_argument naming the offending fault.
+  void validateAgainst(const graph::Graph& overlay) const;
+
+  /// Text serialization:
+  ///   chaos v1 HORIZON_US INTERVAL_US
+  ///   fault KIND START_US DURATION_US [key=value ...]
+  /// with keys node=, link=, loss=, latency=, flap_on=, flap_off=,
+  /// alive=, delay=, salt=. '#' starts a comment.
+  std::string toString() const;
+  static ChaosSchedule fromString(std::string_view text);
+  void save(const std::string& path) const;
+  static ChaosSchedule load(const std::string& path);
+
+  /// Deterministic seeded random schedule over a topology: placement
+  /// follows the paper's taxonomy (site faults weighted toward
+  /// low-degree edge sites). Identical (topology, params) always yield
+  /// an identical schedule.
+  static ChaosSchedule random(const trace::Topology& topology,
+                              const ChaosScheduleParams& params);
+
+ private:
+  util::SimTime horizon_ = util::minutes(2);
+  util::SimTime intervalLength_ = util::seconds(10);
+  std::vector<ChaosFault> faults_;  ///< start-sorted
+};
+
+/// Directed edges a fault impairs (empty for MonitorDelay): both
+/// directions of the target link, or the target node's in+out edges
+/// (minus the spared links for partial outages, chosen deterministically
+/// from the fault's salt). Sorted ascending, deduplicated.
+std::vector<graph::EdgeId> affectedEdges(const ChaosFault& fault,
+                                         const graph::Graph& overlay);
+
+/// The condition impairment a fault applies to each affected edge while
+/// active (loss for loss-kinds, latency penalty for latency faults).
+trace::LinkConditions impairmentOf(const ChaosFault& fault);
+
+/// True when the fault is actively impairing at time `t` (inside the
+/// fault window and, for flaps, inside an "on" phase).
+bool faultActiveAt(const ChaosFault& fault, util::SimTime t);
+
+}  // namespace dg::chaos

@@ -32,8 +32,33 @@ void OverlayNode::setTelemetry(telemetry::Telemetry* telemetry) {
       "dg_core_link_state_accepted_total", labels);
 }
 
+void OverlayNode::setCrashed(bool crashed) {
+  if (crashed_ == crashed) return;
+  crashed_ = crashed;
+  if (crashed) return;
+  // Restart: soft state is gone. The link-state epoch deliberately
+  // survives so peers' newest-epoch dedup accepts post-restart floods.
+  seen_.clear();
+  receive_.clear();
+  sendBuffers_.clear();
+  if (linkState_) {
+    LinkStateState& state = *linkState_;
+    for (std::size_t e = 0; e < state.baseline.size(); ++e) {
+      state.lossView[e] = state.baseline[e].lossRate;
+      state.latencyView[e] = state.baseline[e].latency;
+    }
+    std::fill(state.probesReceived.begin(), state.probesReceived.end(), 0);
+    std::fill(state.probeLatencySumUs.begin(), state.probeLatencySumUs.end(),
+              0.0);
+  }
+}
+
 void OverlayNode::handlePacket(graph::EdgeId arrivalEdge,
                                const net::Packet& packet) {
+  if (crashed_) {
+    ++crashDropped_;
+    return;
+  }
   switch (packet.type) {
     case net::Packet::Type::Data:
     case net::Packet::Type::Retransmission:
@@ -54,6 +79,7 @@ void OverlayNode::handlePacket(graph::EdgeId arrivalEdge,
 void OverlayNode::originate(const FlowContext& context,
                             net::SequenceNumber sequence,
                             util::SimTime originTime) {
+  if (crashed_) return;
   net::Packet packet;
   packet.type = net::Packet::Type::Data;
   packet.flow = context.id;
@@ -182,7 +208,7 @@ void OverlayNode::handleLinkState(graph::EdgeId arrivalEdge,
 }
 
 void OverlayNode::emitLinkState() {
-  if (!linkState_) return;
+  if (!linkState_ || crashed_) return;
   LinkStateState& state = *linkState_;
   ++state.epoch;
   if (telemetry_ != nullptr) {

@@ -55,6 +55,17 @@ class OverlayNode {
   /// Entry point wired to the network's delivery handler.
   void handlePacket(graph::EdgeId arrivalEdge, const net::Packet& packet);
 
+  /// Crash/restart (chaos injection). While crashed the daemon is dead:
+  /// every arriving packet is dropped unprocessed and originate() is a
+  /// no-op. Restarting (setCrashed(false)) models a process restart --
+  /// all soft state (duplicate-suppression windows, gap-detection state,
+  /// retransmission buffers, link measurements) is lost, the link-state
+  /// view resets to baseline, but the link-state epoch survives (it keeps
+  /// increasing so peers do not discard post-restart updates as stale).
+  void setCrashed(bool crashed);
+  bool crashed() const { return crashed_; }
+  std::uint64_t crashDropped() const { return crashDropped_; }
+
   /// Injects a fresh data packet at this node (must be the flow source).
   /// When the context carries a graph mask, the packet is stamped with it
   /// and every node forwards by mask (distributed mode).
@@ -146,6 +157,8 @@ class OverlayNode {
   };
   std::unique_ptr<LinkStateState> linkState_;
 
+  bool crashed_ = false;
+  std::uint64_t crashDropped_ = 0;
   std::uint64_t duplicatesDropped_ = 0;
   std::uint64_t expiredDropped_ = 0;
   std::uint64_t nacksSent_ = 0;

@@ -137,6 +137,10 @@ void TransportService::onDelivered(net::FlowId id,
     if (runtime.lateCounter != nullptr) runtime.lateCounter->inc();
   }
   runtime.stats.latencyUs.add(static_cast<double>(latency));
+  if (deliveryObserver_) {
+    deliveryObserver_(id, packet, latency,
+                      latency <= runtime.context.deadline);
+  }
   if (telemetry_ != nullptr) {
     runtime.latencyHistogram->observe(static_cast<double>(latency) / 1000.0);
     if (packet.type == net::Packet::Type::Retransmission) {
@@ -149,6 +153,16 @@ void TransportService::onDelivered(net::FlowId id,
           static_cast<double>(packet.sequence));
     }
   }
+}
+
+void TransportService::setDeliveryObserver(DeliveryObserver observer) {
+  deliveryObserver_ = std::move(observer);
+}
+
+void TransportService::setDecisionTickDelay(util::SimTime delay) {
+  if (delay < 0)
+    throw std::invalid_argument("setDecisionTickDelay: negative delay");
+  decisionTickDelay_ = delay;
 }
 
 void TransportService::setTelemetry(telemetry::Telemetry* telemetry) {
@@ -202,7 +216,8 @@ void TransportService::noteGraphSelected(FlowRuntime& runtime) {
 }
 
 void TransportService::scheduleDecisionTick() {
-  simulator_.scheduleAfter(config_.decisionInterval, [this] {
+  simulator_.scheduleAfter(config_.decisionInterval + decisionTickDelay_,
+                           [this] {
     if (config_.monitorMode == MonitorMode::Distributed) {
       // Every node closes its measurement interval and floods its
       // link-state update; those updates arrive (one link latency away,

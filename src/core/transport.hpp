@@ -83,12 +83,29 @@ class TransportService final : public FlowDirectory {
 
   const FlowStats& stats(net::FlowId id) const;
   const FlowContext& context(net::FlowId id) const;
+  std::size_t flowCount() const { return flows_.size(); }
   const OverlayNode& node(graph::NodeId id) const { return *nodes_[id]; }
+  /// Mutable node access (chaos injection: crash/restart).
+  OverlayNode& node(graph::NodeId id) { return *nodes_[id]; }
   MonitorMode monitorMode() const { return config_.monitorMode; }
   /// The monitor's current routing view (last closed interval).
   routing::NetworkView currentView() const { return monitor_.view(); }
   net::Simulator& simulator() { return simulator_; }
+  /// The simulated network (chaos injection: condition overrides).
+  net::SimulatedNetwork& network() { return network_; }
   const trace::Topology& topology() const { return *topology_; }
+
+  /// Observes every app-layer delivery (first copy reaching the flow
+  /// destination): (flow, packet, end-to-end latency, counted on-time).
+  /// Runs after the stats update. Used by the chaos InvariantChecker.
+  using DeliveryObserver = std::function<void(
+      net::FlowId, const net::Packet&, util::SimTime latency, bool onTime)>;
+  void setDeliveryObserver(DeliveryObserver observer);
+
+  /// Delays every decision tick scheduled from now on by `delay` beyond
+  /// the configured interval (chaos monitor-delay faults; 0 restores the
+  /// normal cadence). Takes effect from the next tick scheduling.
+  void setDecisionTickDelay(util::SimTime delay);
 
   // FlowDirectory:
   const FlowContext* flowContext(net::FlowId id) const override;
@@ -135,6 +152,8 @@ class TransportService final : public FlowDirectory {
   LinkMonitor monitor_;
   std::vector<std::unique_ptr<OverlayNode>> nodes_;
   std::vector<std::unique_ptr<FlowRuntime>> flows_;
+  DeliveryObserver deliveryObserver_;
+  util::SimTime decisionTickDelay_ = 0;
   telemetry::Telemetry* telemetry_ = nullptr;
 };
 

@@ -11,6 +11,7 @@ SimulatedNetwork::SimulatedNetwork(Simulator& simulator,
     : simulator_(&simulator),
       overlay_(&overlay),
       trace_(&trace),
+      overrides_(overlay.edgeCount()),
       handlers_(overlay.nodeCount()) {
   if (trace.edgeCount() != overlay.edgeCount())
     throw std::invalid_argument(
@@ -58,9 +59,26 @@ void SimulatedNetwork::recordDrop(graph::EdgeId edge, const Packet& packet,
                            static_cast<double>(packet.sequence));
 }
 
-void SimulatedNetwork::transmit(graph::EdgeId edge, Packet packet) {
+void SimulatedNetwork::setConditionOverride(graph::EdgeId edge,
+                                            trace::LinkConditions conditions) {
+  overrides_[edge] = conditions;
+}
+
+void SimulatedNetwork::clearConditionOverride(graph::EdgeId edge) {
+  overrides_[edge].reset();
+}
+
+trace::LinkConditions SimulatedNetwork::effectiveConditions(
+    graph::EdgeId edge) const {
   const std::size_t interval = trace_->intervalAt(simulator_->now());
-  const trace::LinkConditions conditions = trace_->at(edge, interval);
+  trace::LinkConditions conditions = trace_->at(edge, interval);
+  if (overrides_[edge])
+    conditions = trace::combineConditions(conditions, *overrides_[edge]);
+  return conditions;
+}
+
+void SimulatedNetwork::transmit(graph::EdgeId edge, Packet packet) {
+  const trace::LinkConditions conditions = effectiveConditions(edge);
   ++transmissions_;
   if (transmitCounter_ != nullptr) transmitCounter_->inc();
   packet.hopSendTime = simulator_->now();

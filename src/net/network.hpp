@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -79,6 +80,25 @@ class SimulatedNetwork {
   void setLinkCapacity(LinkCapacity capacity);
   const LinkCapacity& linkCapacity() const { return capacity_; }
 
+  /// Overlays an impairment on one directed edge: while set, the
+  /// effective conditions of every transmission are
+  /// combineConditions(trace conditions, override). Used by the chaos
+  /// injector to impose faults on a live run without editing the trace;
+  /// composing this way keeps live runs equal to the same schedule
+  /// compiled into a trace (combineConditions is associative and
+  /// commutative).
+  void setConditionOverride(graph::EdgeId edge,
+                            trace::LinkConditions conditions);
+  void clearConditionOverride(graph::EdgeId edge);
+  const std::optional<trace::LinkConditions>& conditionOverride(
+      graph::EdgeId edge) const {
+    return overrides_[edge];
+  }
+
+  /// The conditions a transmission on `edge` would see right now (trace
+  /// conditions combined with any active override).
+  trace::LinkConditions effectiveConditions(graph::EdgeId edge) const;
+
   std::uint64_t queueDropCount() const { return queueDrops_; }
 
   const graph::Graph& overlay() const { return *overlay_; }
@@ -93,6 +113,7 @@ class SimulatedNetwork {
   const graph::Graph* overlay_;
   const trace::Trace* trace_;
   std::vector<util::Rng> edgeRng_;
+  std::vector<std::optional<trace::LinkConditions>> overrides_;
   std::vector<DeliveryHandler> handlers_;
   TransmitObserver observer_;
   LinkCapacity capacity_;

@@ -27,14 +27,33 @@ class Simulator {
   /// high-water mark. Pass nullptr to detach.
   void setTelemetry(telemetry::Telemetry* telemetry);
 
-  /// Schedules `callback` to run at absolute time `at` (>= now).
+  /// Schedules `callback` to run at absolute time `at`.
+  ///
+  /// Contract (tested in net/simulator_test.cpp):
+  ///  - `at < now()` throws std::invalid_argument; the simulated past is
+  ///    immutable, there is no silent clamping to now.
+  ///  - `at == now()` is allowed, including from inside a running
+  ///    callback: the new event runs in the same runUntil() pass, after
+  ///    every previously scheduled event for that instant (FIFO within a
+  ///    timestamp, by insertion sequence).
   void scheduleAt(util::SimTime at, Callback callback);
 
-  /// Schedules `callback` after `delay` (>= 0) from now.
+  /// Schedules `callback` after `delay` from now. `delay < 0` throws
+  /// std::invalid_argument; `delay == 0` follows the `at == now()` rule
+  /// above.
   void scheduleAfter(util::SimTime delay, Callback callback);
 
   /// Runs events until the queue empties or the next event is after
   /// `until`; the clock finishes at min(until, last event time).
+  ///
+  /// Contract (tested in net/simulator_test.cpp):
+  ///  - An event at exactly `until` DOES fire (inclusive bound), and so
+  ///    do same-time events it schedules.
+  ///  - `until < now()` runs nothing and leaves the clock untouched (the
+  ///    clock never moves backwards); `until == now()` runs exactly the
+  ///    events due now.
+  ///  - Back-to-back calls compose: runUntil(a); runUntil(b) with a <= b
+  ///    is equivalent to runUntil(b).
   void runUntil(util::SimTime until);
 
   /// Runs everything (use with care: periodic generators never stop).

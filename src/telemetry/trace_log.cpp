@@ -18,6 +18,9 @@ std::string_view traceEventKindName(TraceEventKind kind) {
     case TraceEventKind::IntervalRolled: return "interval-rolled";
     case TraceEventKind::ProblemClassified: return "problem-classified";
     case TraceEventKind::GraphSwitch: return "graph-switch";
+    case TraceEventKind::ChaosFaultStart: return "chaos-fault-start";
+    case TraceEventKind::ChaosFaultEnd: return "chaos-fault-end";
+    case TraceEventKind::InvariantViolation: return "invariant-violation";
   }
   return "unknown";
 }

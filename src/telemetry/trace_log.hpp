@@ -30,6 +30,9 @@ enum class TraceEventKind : std::uint8_t {
   ProblemClassified,  ///< the detector's classification changed (detail =
                       ///< "source" / "destination" / "middle" / ... / "none")
   GraphSwitch,        ///< a flow's dissemination graph changed
+  ChaosFaultStart,    ///< a chaos fault began impairing (detail = kind)
+  ChaosFaultEnd,      ///< a chaos fault stopped impairing (detail = kind)
+  InvariantViolation, ///< a chaos invariant check failed (detail = which)
 };
 
 /// Canonical lowercase-kebab name ("packet-drop", "graph-switch", ...).

@@ -1,0 +1,164 @@
+#include "chaos/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chaos/bridge.hpp"
+#include "chaos/injector.hpp"
+#include "core/transport.hpp"
+#include "net/packet.hpp"
+#include "trace/topology.hpp"
+#include "trace/trace.hpp"
+
+namespace dg::chaos {
+namespace {
+
+core::TransportConfig testConfig(const ChaosSchedule& schedule) {
+  core::TransportConfig config;
+  config.monitorMode = core::MonitorMode::Centralized;
+  config.decisionInterval = schedule.intervalLength();
+  config.seed = 42;
+  return config;
+}
+
+trace::Trace healthyTrace(const trace::Topology& topology,
+                          const ChaosSchedule& schedule) {
+  return trace::Trace(schedule.intervalLength(), schedule.intervalCount(),
+                      trace::healthyBaseline(topology.graph()));
+}
+
+TEST(InvariantChecker, CleanDifferentialRunHasNoViolations) {
+  const auto topology = trace::Topology::ltn12();
+  ChaosScheduleParams params;
+  params.seed = 1;
+  params.horizon = util::seconds(60);
+  params.faults = 3;
+  const ChaosSchedule schedule = ChaosSchedule::random(topology, params);
+
+  DifferentialParams diff;
+  diff.mcSamples = 1000;
+  const DifferentialResult result = runDifferential(
+      topology, schedule,
+      {{"NYC", "SJC", routing::SchemeKind::DynamicSinglePath}}, diff);
+  EXPECT_TRUE(result.violations.empty())
+      << result.violations.front().invariant << ": "
+      << result.violations.front().detail;
+  EXPECT_GT(result.invariantChecksRun, 0u);
+  EXPECT_TRUE(result.passed());
+}
+
+TEST(InvariantChecker, MonitorConsistencyProbesRunAndPass) {
+  const auto topology = trace::Topology::ltn12();
+  ChaosSchedule schedule(util::seconds(80), util::seconds(10));
+  ChaosFault blackout;
+  blackout.kind = ChaosFault::Kind::SiteBlackout;
+  blackout.start = 0;
+  blackout.duration = util::seconds(40);
+  blackout.node = topology.at("LON");
+  blackout.lossRate = 1.0;
+  schedule.add(blackout);
+
+  const trace::Trace healthy = healthyTrace(topology, schedule);
+  core::TransportService service(topology, healthy, testConfig(schedule));
+  ChaosInjector injector(service, schedule);
+  injector.arm();
+  InvariantChecker checker(service, schedule);
+  checker.attach();
+  const auto flow = service.openFlow(
+      "NYC", "SJC", routing::SchemeKind::DynamicSinglePath);
+  service.run(schedule.horizon());
+  checker.finalize();
+
+  EXPECT_TRUE(checker.violations().empty())
+      << checker.violations().front().invariant << ": "
+      << checker.violations().front().detail;
+  // Both the impaired probe (t = 40s - 1) and the recovered probe
+  // (t = 65s) fired on the blackout's adjacent edges, plus the per-
+  // delivery checks of the flow.
+  EXPECT_GT(checker.checksRun(), service.stats(flow).delivered());
+}
+
+TEST(InvariantChecker, DetectsDuplicateDelivery) {
+  const auto topology = trace::Topology::ltn12();
+  const ChaosSchedule schedule(util::seconds(60), util::seconds(10));
+  const trace::Trace healthy = healthyTrace(topology, schedule);
+  core::TransportService service(topology, healthy, testConfig(schedule));
+  InvariantChecker checker(service, schedule);
+  checker.attach();
+  const auto flow = service.openFlow(
+      "NYC", "SJC", routing::SchemeKind::DynamicSinglePath);
+  service.run(util::milliseconds(200));
+  ASSERT_GT(service.stats(flow).deliveredOnTime, 0u);
+
+  // Replay sequence 0 straight into the delivery path, as a buggy
+  // forwarding engine would.
+  net::Packet duplicate;
+  duplicate.type = net::Packet::Type::Data;
+  duplicate.flow = flow;
+  duplicate.sequence = 0;
+  duplicate.originTime = service.simulator().now() - util::milliseconds(1);
+  service.onDelivered(flow, duplicate);
+  checker.finalize();
+
+  ASSERT_EQ(checker.violations().size(), 2u);
+  // Once live (the repeated sequence) and once from finalize() (the
+  // distinct-sequence count no longer matches FlowStats).
+  EXPECT_EQ(checker.violations()[0].invariant, "duplicate-delivery");
+  EXPECT_EQ(checker.violations()[1].invariant, "duplicate-delivery");
+}
+
+TEST(InvariantChecker, DetectsDeliveryOfNeverSentSequence) {
+  const auto topology = trace::Topology::ltn12();
+  const ChaosSchedule schedule(util::seconds(60), util::seconds(10));
+  const trace::Trace healthy = healthyTrace(topology, schedule);
+  core::TransportService service(topology, healthy, testConfig(schedule));
+  InvariantChecker checker(service, schedule);
+  checker.attach();
+  const auto flow = service.openFlow(
+      "NYC", "SJC", routing::SchemeKind::DynamicSinglePath);
+  service.run(util::milliseconds(200));
+
+  net::Packet rogue;
+  rogue.type = net::Packet::Type::Data;
+  rogue.flow = flow;
+  rogue.sequence = 10'000'000;
+  rogue.originTime = service.simulator().now() - util::milliseconds(1);
+  service.onDelivered(flow, rogue);
+  checker.finalize();
+
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_EQ(checker.violations()[0].invariant, "sequence-sanity");
+}
+
+TEST(InvariantChecker, ViolationsCountInTelemetry) {
+  const auto topology = trace::Topology::ltn12();
+  const ChaosSchedule schedule(util::seconds(60), util::seconds(10));
+  const trace::Trace healthy = healthyTrace(topology, schedule);
+  core::TransportService service(topology, healthy, testConfig(schedule));
+  telemetry::Telemetry telemetry;
+  InvariantChecker checker(service, schedule);
+  checker.setTelemetry(&telemetry);
+  checker.attach();
+  const auto flow = service.openFlow(
+      "NYC", "SJC", routing::SchemeKind::DynamicSinglePath);
+  service.run(util::milliseconds(200));
+  ASSERT_GT(service.stats(flow).deliveredOnTime, 0u);
+
+  net::Packet duplicate;
+  duplicate.type = net::Packet::Type::Data;
+  duplicate.flow = flow;
+  duplicate.sequence = 0;
+  duplicate.originTime = service.simulator().now();
+  service.onDelivered(flow, duplicate);
+
+  EXPECT_EQ(telemetry.metrics
+                .counter("dg_chaos_invariant_violations_total",
+                         {{"invariant", "duplicate-delivery"}})
+                .value(),
+            1.0);
+  EXPECT_GT(
+      telemetry.metrics.counter("dg_chaos_invariant_checks_total").value(),
+      0.0);
+}
+
+}  // namespace
+}  // namespace dg::chaos

@@ -1,0 +1,283 @@
+#include "chaos/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "trace/topology.hpp"
+
+namespace dg::chaos {
+namespace {
+
+ChaosFault linkLoss(util::SimTime start, util::SimTime duration,
+                    graph::EdgeId link, double loss) {
+  ChaosFault fault;
+  fault.kind = ChaosFault::Kind::LinkLoss;
+  fault.start = start;
+  fault.duration = duration;
+  fault.link = link;
+  fault.lossRate = loss;
+  return fault;
+}
+
+TEST(ChaosSchedule, RandomIsDeterministic) {
+  const auto topology = trace::Topology::ltn12();
+  ChaosScheduleParams params;
+  params.seed = 99;
+  const ChaosSchedule a = ChaosSchedule::random(topology, params);
+  const ChaosSchedule b = ChaosSchedule::random(topology, params);
+  EXPECT_EQ(a.toString(), b.toString());
+
+  params.seed = 100;
+  const ChaosSchedule c = ChaosSchedule::random(topology, params);
+  EXPECT_NE(a.toString(), c.toString());
+}
+
+TEST(ChaosSchedule, RandomIsAlignedAndValid) {
+  const auto topology = trace::Topology::ltn12();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ChaosScheduleParams params;
+    params.seed = seed;
+    const ChaosSchedule schedule = ChaosSchedule::random(topology, params);
+    EXPECT_EQ(schedule.faults().size(),
+              static_cast<std::size_t>(params.faults));
+    EXPECT_TRUE(schedule.alignedToIntervals()) << "seed " << seed;
+    EXPECT_NO_THROW(schedule.validateAgainst(topology.graph()));
+    // Start-sorted, and every fault starts inside the horizon.
+    util::SimTime last = 0;
+    for (const ChaosFault& fault : schedule.faults()) {
+      EXPECT_GE(fault.start, last);
+      EXPECT_LT(fault.start, schedule.horizon());
+      last = fault.start;
+    }
+  }
+}
+
+TEST(ChaosSchedule, HardFaultsOnlyAvoidsSoftLoss) {
+  const auto topology = trace::Topology::ltn12();
+  ChaosScheduleParams params;
+  params.seed = 5;
+  params.faults = 20;
+  params.hardFaultsOnly = true;
+  const ChaosSchedule schedule = ChaosSchedule::random(topology, params);
+  for (const ChaosFault& fault : schedule.faults()) {
+    if (fault.kind == ChaosFault::Kind::LinkLatency ||
+        fault.kind == ChaosFault::Kind::MonitorDelay) {
+      continue;
+    }
+    EXPECT_DOUBLE_EQ(fault.lossRate, 1.0)
+        << faultKindName(fault.kind) << " in a hard-faults-only schedule";
+  }
+}
+
+TEST(ChaosSchedule, ToStringRoundTripsExactly) {
+  const auto topology = trace::Topology::ltn12();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ChaosScheduleParams params;
+    params.seed = seed;
+    params.monitorDelayWeight = 1.0;  // exercise every kind's keys
+    const ChaosSchedule schedule = ChaosSchedule::random(topology, params);
+    const std::string text = schedule.toString();
+    const ChaosSchedule parsed = ChaosSchedule::fromString(text);
+    EXPECT_EQ(parsed.toString(), text) << "seed " << seed;
+    EXPECT_EQ(parsed.horizon(), schedule.horizon());
+    EXPECT_EQ(parsed.intervalLength(), schedule.intervalLength());
+    EXPECT_EQ(parsed.faults().size(), schedule.faults().size());
+  }
+}
+
+TEST(ChaosSchedule, SaveLoadRoundTrip) {
+  const auto topology = trace::Topology::ltn12();
+  ChaosScheduleParams params;
+  params.seed = 3;
+  const ChaosSchedule schedule = ChaosSchedule::random(topology, params);
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "sched.txt").string();
+  schedule.save(path);
+  const ChaosSchedule loaded = ChaosSchedule::load(path);
+  EXPECT_EQ(loaded.toString(), schedule.toString());
+  std::filesystem::remove(path);
+}
+
+TEST(ChaosSchedule, FromStringAcceptsCommentsAndBlankLines) {
+  const ChaosSchedule schedule = ChaosSchedule::fromString(
+      "# a scripted scenario\n"
+      "chaos v1 60000000 10000000\n"
+      "\n"
+      "fault link-loss 10000000 20000000 link=4 loss=0.75\n"
+      "fault site-blackout 30000000 10000000 node=2 loss=1\n");
+  EXPECT_EQ(schedule.horizon(), util::seconds(60));
+  EXPECT_EQ(schedule.intervalLength(), util::seconds(10));
+  ASSERT_EQ(schedule.faults().size(), 2u);
+  EXPECT_EQ(schedule.faults()[0].kind, ChaosFault::Kind::LinkLoss);
+  EXPECT_EQ(schedule.faults()[0].link, 4u);
+  EXPECT_DOUBLE_EQ(schedule.faults()[0].lossRate, 0.75);
+  EXPECT_EQ(schedule.faults()[1].kind, ChaosFault::Kind::SiteBlackout);
+  EXPECT_EQ(schedule.faults()[1].node, 2u);
+}
+
+TEST(ChaosSchedule, FromStringRejectsGarbage) {
+  // Parse errors surface as std::runtime_error naming the bad line.
+  EXPECT_THROW(ChaosSchedule::fromString("not a schedule"),
+               std::runtime_error);
+  EXPECT_THROW(ChaosSchedule::fromString("chaos v2 10 10\n"),
+               std::runtime_error);
+  EXPECT_THROW(ChaosSchedule::fromString(
+                   "chaos v1 60000000 10000000\n"
+                   "fault warp-core-breach 0 10000000\n"),
+               std::runtime_error);
+  EXPECT_THROW(ChaosSchedule::fromString(
+                   "chaos v1 60000000 10000000\n"
+                   "fault link-loss 0 10000000 link=0 loss=many\n"),
+               std::runtime_error);
+}
+
+TEST(ChaosSchedule, AddRejectsMalformedFaults) {
+  ChaosSchedule schedule(util::minutes(1), util::seconds(10));
+  EXPECT_THROW(schedule.add(linkLoss(0, 0, 0, 0.5)), std::invalid_argument);
+  EXPECT_THROW(schedule.add(linkLoss(-1, util::seconds(10), 0, 0.5)),
+               std::invalid_argument);
+
+  ChaosFault noLink = linkLoss(0, util::seconds(10), graph::kInvalidEdge, 0.5);
+  EXPECT_THROW(schedule.add(noLink), std::invalid_argument);
+
+  ChaosFault noNode;
+  noNode.kind = ChaosFault::Kind::SiteBlackout;
+  noNode.duration = util::seconds(10);
+  EXPECT_THROW(schedule.add(noNode), std::invalid_argument);
+
+  ChaosFault flapless = linkLoss(0, util::seconds(10), 0, 1.0);
+  flapless.kind = ChaosFault::Kind::LinkFlap;
+  EXPECT_THROW(schedule.add(flapless), std::invalid_argument);
+}
+
+TEST(ChaosSchedule, AddKeepsFaultsStartSorted) {
+  ChaosSchedule schedule(util::minutes(1), util::seconds(10));
+  schedule.add(linkLoss(util::seconds(30), util::seconds(10), 0, 0.5));
+  schedule.add(linkLoss(util::seconds(10), util::seconds(10), 2, 0.5));
+  schedule.add(linkLoss(util::seconds(20), util::seconds(10), 4, 0.5));
+  ASSERT_EQ(schedule.faults().size(), 3u);
+  EXPECT_EQ(schedule.faults()[0].link, 2u);
+  EXPECT_EQ(schedule.faults()[1].link, 4u);
+  EXPECT_EQ(schedule.faults()[2].link, 0u);
+}
+
+TEST(ChaosSchedule, ValidateAgainstRejectsOutOfRangeTargets) {
+  const auto topology = trace::Topology::ltn12();
+  const auto& g = topology.graph();
+
+  ChaosSchedule badLink(util::minutes(1), util::seconds(10));
+  badLink.add(linkLoss(0, util::seconds(10),
+                       static_cast<graph::EdgeId>(g.edgeCount()), 0.5));
+  EXPECT_THROW(badLink.validateAgainst(g), std::invalid_argument);
+
+  ChaosSchedule badNode(util::minutes(1), util::seconds(10));
+  ChaosFault crash;
+  crash.kind = ChaosFault::Kind::NodeCrash;
+  crash.duration = util::seconds(10);
+  crash.node = static_cast<graph::NodeId>(g.nodeCount());
+  crash.lossRate = 1.0;
+  badNode.add(crash);
+  EXPECT_THROW(badNode.validateAgainst(g), std::invalid_argument);
+}
+
+TEST(ChaosSchedule, IntervalCountIsCeiling) {
+  const ChaosSchedule exact(util::seconds(60), util::seconds(10));
+  EXPECT_EQ(exact.intervalCount(), 6u);
+  const ChaosSchedule ragged(util::seconds(61), util::seconds(10));
+  EXPECT_EQ(ragged.intervalCount(), 7u);
+}
+
+TEST(ChaosFaultHelpers, FlapActivePhases) {
+  ChaosFault flap;
+  flap.kind = ChaosFault::Kind::LinkFlap;
+  flap.start = util::seconds(10);
+  flap.duration = util::seconds(40);
+  flap.link = 0;
+  flap.lossRate = 1.0;
+  flap.flapOn = util::seconds(10);
+  flap.flapOff = util::seconds(10);
+
+  EXPECT_FALSE(faultActiveAt(flap, util::seconds(5)));
+  EXPECT_TRUE(faultActiveAt(flap, util::seconds(15)));   // first on-phase
+  EXPECT_FALSE(faultActiveAt(flap, util::seconds(25)));  // off-phase
+  EXPECT_TRUE(faultActiveAt(flap, util::seconds(35)));   // second on-phase
+  EXPECT_FALSE(faultActiveAt(flap, util::seconds(55)));  // after end
+}
+
+TEST(ChaosFaultHelpers, AffectedEdgesCoverBothDirections) {
+  const auto topology = trace::Topology::ltn12();
+  const auto& g = topology.graph();
+  const ChaosFault fault = linkLoss(0, util::seconds(10), 0, 0.5);
+  const auto edges = affectedEdges(fault, g);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], 0u);
+  EXPECT_EQ(edges[1], g.reverseEdge(0).value());
+}
+
+TEST(ChaosFaultHelpers, NodeFaultCoversAllAdjacentEdges) {
+  const auto topology = trace::Topology::ltn12();
+  const auto& g = topology.graph();
+  const graph::NodeId nyc = topology.at("NYC");
+  ChaosFault blackout;
+  blackout.kind = ChaosFault::Kind::SiteBlackout;
+  blackout.start = 0;
+  blackout.duration = util::seconds(10);
+  blackout.node = nyc;
+  blackout.lossRate = 1.0;
+  const auto edges = affectedEdges(blackout, g);
+  EXPECT_EQ(edges.size(), g.outDegree(nyc) + g.inDegree(nyc));
+  for (const graph::EdgeId e : edges) {
+    const graph::Edge& edge = g.edge(e);
+    EXPECT_TRUE(edge.from == nyc || edge.to == nyc);
+  }
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+}
+
+TEST(ChaosFaultHelpers, PartialOutageSparesAliveLinksDeterministically) {
+  const auto topology = trace::Topology::ltn12();
+  const auto& g = topology.graph();
+  const graph::NodeId nyc = topology.at("NYC");
+  ChaosFault outage;
+  outage.kind = ChaosFault::Kind::SitePartialOutage;
+  outage.start = 0;
+  outage.duration = util::seconds(10);
+  outage.node = nyc;
+  outage.lossRate = 1.0;
+  outage.aliveLinks = 1;
+  outage.salt = 1234;
+
+  const auto edges = affectedEdges(outage, g);
+  // One undirected link spared = two directed edges fewer than blackout.
+  EXPECT_EQ(edges.size(), g.outDegree(nyc) + g.inDegree(nyc) - 2);
+  EXPECT_EQ(affectedEdges(outage, g), edges);  // salt-deterministic
+
+  ChaosFault reseeded = outage;
+  reseeded.salt = 99;  // a different salt may spare a different link
+  const auto other = affectedEdges(reseeded, g);
+  EXPECT_EQ(other.size(), edges.size());
+}
+
+TEST(ChaosFaultHelpers, ImpairmentMatchesKind) {
+  const ChaosFault loss = linkLoss(0, util::seconds(10), 0, 0.6);
+  EXPECT_DOUBLE_EQ(impairmentOf(loss).lossRate, 0.6);
+
+  ChaosFault latency;
+  latency.kind = ChaosFault::Kind::LinkLatency;
+  latency.duration = util::seconds(10);
+  latency.link = 0;
+  latency.latencyPenalty = util::milliseconds(50);
+  EXPECT_EQ(impairmentOf(latency).latency, util::milliseconds(50));
+
+  ChaosFault crash;
+  crash.kind = ChaosFault::Kind::NodeCrash;
+  crash.duration = util::seconds(10);
+  crash.node = 0;
+  crash.lossRate = 0.2;  // ignored: crashes are always total
+  EXPECT_DOUBLE_EQ(impairmentOf(crash).lossRate, 1.0);
+}
+
+}  // namespace
+}  // namespace dg::chaos

@@ -1,0 +1,164 @@
+// Transport edge cases under chaos: retransmission across a link flap,
+// duplicate suppression under systematic two-path duplication, and
+// crash-induced outage with reroute -- all with the invariant checker
+// attached.
+#include <gtest/gtest.h>
+
+#include "chaos/injector.hpp"
+#include "chaos/invariants.hpp"
+#include "chaos/schedule.hpp"
+#include "core/transport.hpp"
+#include "graph/shortest_path.hpp"
+#include "trace/topology.hpp"
+#include "trace/trace.hpp"
+
+namespace dg::chaos {
+namespace {
+
+trace::Trace healthyTrace(const trace::Topology& topology,
+                          const ChaosSchedule& schedule) {
+  return trace::Trace(schedule.intervalLength(), schedule.intervalCount(),
+                      trace::healthyBaseline(topology.graph()));
+}
+
+core::TransportConfig testConfig(const ChaosSchedule& schedule,
+                                 bool recovery) {
+  core::TransportConfig config;
+  config.monitorMode = core::MonitorMode::Centralized;
+  config.decisionInterval = schedule.intervalLength();
+  config.node.recoveryEnabled = recovery;
+  config.seed = 42;
+  return config;
+}
+
+/// The first hop of the baseline shortest NYC -> SJC path (where a
+/// single-path flow's traffic is guaranteed to cross).
+graph::EdgeId firstHopOfShortestPath(const trace::Topology& topology) {
+  const auto& g = topology.graph();
+  const auto weights = g.baseLatencies();
+  const auto result = graph::shortestPath(
+      g, topology.at("NYC"), topology.at("SJC"), weights);
+  EXPECT_TRUE(result.found);
+  EXPECT_GE(result.edges.size(), 2u);  // no direct NYC-SJC link in ltn12
+  return result.edges.front();
+}
+
+core::FlowStats runFlapScenario(bool recovery) {
+  const auto topology = trace::Topology::ltn12();
+  ChaosSchedule schedule(util::seconds(60), util::seconds(10));
+  ChaosFault flap;
+  flap.kind = ChaosFault::Kind::LinkFlap;
+  flap.start = util::seconds(10);
+  flap.duration = util::seconds(40);
+  flap.link = firstHopOfShortestPath(topology);
+  flap.lossRate = 1.0;  // dead while on: only retransmission can recover
+  flap.flapOn = util::seconds(10);
+  flap.flapOff = util::seconds(10);
+  schedule.add(flap);
+
+  const trace::Trace healthy = healthyTrace(topology, schedule);
+  core::TransportService service(topology, healthy,
+                                 testConfig(schedule, recovery));
+  ChaosInjector injector(service, schedule);
+  injector.arm();
+  InvariantChecker checker(service, schedule);
+  checker.attach();
+  // Static: the flow keeps using the impaired path, so every on-phase
+  // packet is lost in flight and only per-hop recovery can bring it back.
+  const auto flow = service.openFlow(
+      "NYC", "SJC", routing::SchemeKind::StaticSinglePath);
+  service.run(schedule.horizon() + util::seconds(1));
+  checker.finalize();
+  EXPECT_TRUE(checker.violations().empty())
+      << checker.violations().front().invariant << ": "
+      << checker.violations().front().detail;
+  return service.stats(flow);
+}
+
+TEST(TransportChaos, RetransmitRecoversAcrossLinkFlap) {
+  const core::FlowStats without = runFlapScenario(false);
+  const core::FlowStats with = runFlapScenario(true);
+  EXPECT_EQ(without.sent, with.sent);
+  // Packets stranded by the flap's on-phases come back as (late)
+  // retransmissions once the link flaps healthy again.
+  EXPECT_GT(with.delivered(), without.delivered());
+  EXPECT_GT(with.deliveredLate, without.deliveredLate);
+  EXPECT_GT(with.transmissions, without.transmissions);
+  // And the flap really did hurt: a clean 60 s run loses almost nothing.
+  EXPECT_LT(without.delivered(), without.sent);
+}
+
+TEST(TransportChaos, TwoPathDuplicationIsSuppressedAtDelivery) {
+  const auto topology = trace::Topology::ltn12();
+  const ChaosSchedule schedule(util::seconds(20), util::seconds(10));
+  const trace::Trace healthy = healthyTrace(topology, schedule);
+  core::TransportService service(topology, healthy,
+                                 testConfig(schedule, false));
+  InvariantChecker checker(service, schedule);
+  checker.attach();
+  // Two node-disjoint paths: every packet reaches SJC along both, and
+  // the delivery layer must count exactly the first copy.
+  const auto flow = service.openFlow(
+      "NYC", "SJC", routing::SchemeKind::StaticTwoDisjoint);
+  service.run(schedule.horizon());
+  checker.finalize();
+
+  const core::FlowStats& stats = service.stats(flow);
+  EXPECT_GT(stats.sent, 0u);
+  EXPECT_LE(stats.delivered(), stats.sent);
+  // On a healthy network both copies nearly always arrive; if duplicates
+  // leaked into the stats, delivered() would approach 2x sent.
+  EXPECT_GT(stats.deliveredOnTime, stats.sent * 9 / 10);
+  EXPECT_GT(stats.costPerPacket(), 1.5);
+  EXPECT_TRUE(checker.violations().empty())
+      << checker.violations().front().invariant << ": "
+      << checker.violations().front().detail;
+}
+
+TEST(TransportChaos, IntermediateCrashReroutesWithoutViolations) {
+  const auto topology = trace::Topology::ltn12();
+  const auto& g = topology.graph();
+  const auto path = graph::shortestPath(
+      g, topology.at("NYC"), topology.at("SJC"), g.baseLatencies());
+  ASSERT_TRUE(path.found);
+  const graph::NodeId relay = g.edge(path.edges.front()).to;
+
+  ChaosSchedule schedule(util::seconds(90), util::seconds(10));
+  ChaosFault crash;
+  crash.kind = ChaosFault::Kind::NodeCrash;
+  crash.start = util::seconds(20);
+  crash.duration = util::seconds(30);
+  crash.node = relay;
+  crash.lossRate = 1.0;
+  schedule.add(crash);
+
+  const trace::Trace healthy = healthyTrace(topology, schedule);
+  core::TransportService service(topology, healthy,
+                                 testConfig(schedule, false));
+  ChaosInjector injector(service, schedule);
+  injector.arm();
+  InvariantChecker checker(service, schedule);
+  checker.attach();
+  const auto flow = service.openFlow(
+      "NYC", "SJC", routing::SchemeKind::DynamicSinglePath);
+
+  service.run(util::seconds(50));
+  const std::uint64_t deliveredDuringCrash = service.stats(flow).delivered();
+  service.run(util::seconds(40));
+  checker.finalize();
+
+  const core::FlowStats& stats = service.stats(flow);
+  // Losses happen between the crash and the next decision tick, then the
+  // dynamic scheme routes around the dead relay.
+  EXPECT_LT(stats.delivered(), stats.sent);
+  EXPECT_GT(stats.deliveredOnTime, stats.sent / 2);
+  // Delivery kept making progress after the crash window too.
+  EXPECT_GT(stats.delivered(), deliveredDuringCrash);
+  EXPECT_FALSE(service.node(relay).crashed());
+  EXPECT_TRUE(checker.violations().empty())
+      << checker.violations().front().invariant << ": "
+      << checker.violations().front().detail;
+}
+
+}  // namespace
+}  // namespace dg::chaos

@@ -64,6 +64,47 @@ TEST(SequenceWindow, DenseStreamAllFresh) {
   EXPECT_TRUE(window.contains(1));  // ancient => reported seen
 }
 
+TEST(SequenceWindow, WraparoundNearWindowBound) {
+  // Sequences straddling the exact window boundary: with window 16 and
+  // frontier at 100, sequence 84 is the oldest retained slot and 83 the
+  // first "ancient" one. Off-by-one here silently re-delivers packets.
+  SequenceWindow window(16);
+  window.insert(99);  // frontier 100
+  EXPECT_EQ(window.frontier(), 100u);
+  EXPECT_TRUE(window.insert(84));    // exactly frontier - windowSize
+  EXPECT_FALSE(window.insert(84));   // now a duplicate
+  EXPECT_FALSE(window.insert(83));   // just below the window: "seen"
+  EXPECT_TRUE(window.contains(83));
+  EXPECT_TRUE(window.insert(85));
+}
+
+TEST(SequenceWindow, SlotCollisionAcrossWindowBound) {
+  // 5 and 21 share slot 5 (mod 16). Inserting 21 must evict 5's record,
+  // and 5 must then read as seen (it is below the window), never fresh.
+  SequenceWindow window(16);
+  EXPECT_TRUE(window.insert(5));
+  EXPECT_TRUE(window.insert(21));
+  EXPECT_FALSE(window.insert(5));
+  EXPECT_FALSE(window.insert(21));
+  // 37 reuses the slot again; 21 is still within [frontier-16, frontier)
+  // after frontier moves to 38, so it stays a duplicate.
+  EXPECT_TRUE(window.insert(37));
+  EXPECT_FALSE(window.insert(21));
+}
+
+TEST(SequenceWindow, ReorderAndDuplicationAtWindowEdge) {
+  // A burst that arrives reordered AND duplicated right at the window
+  // edge: each sequence must be fresh exactly once.
+  SequenceWindow window(16);
+  window.insert(63);  // frontier 64; retained range [48, 64)
+  int fresh = 0;
+  const std::uint64_t burst[] = {50, 49, 48, 50, 49, 48, 62, 48, 62};
+  for (const std::uint64_t seq : burst) {
+    if (window.insert(seq)) ++fresh;
+  }
+  EXPECT_EQ(fresh, 4);  // 50, 49, 48, 62 -- each exactly once
+}
+
 TEST(SequenceWindow, PropertyMatchesSetOracle) {
   // Random in-window insertions must agree exactly with a set-based
   // oracle as long as reordering stays below the window size.

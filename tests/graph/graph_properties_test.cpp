@@ -1,0 +1,243 @@
+// Property-based tests for the graph/ algorithm layer (see
+// tests/proptest.hpp): randomized graphs, >= 200 cases per property.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "graph/disjoint_paths.hpp"
+#include "graph/graph.hpp"
+#include "graph/k_shortest.hpp"
+#include "graph/shortest_path.hpp"
+#include "proptest.hpp"
+#include "util/rng.hpp"
+
+namespace dg::graph {
+namespace {
+
+// A random-graph case is kept as a construction recipe so the shrinker
+// can drop links one at a time and rebuild (dropping may disconnect the
+// graph, which the properties must tolerate anyway).
+struct GraphCase {
+  struct Link {
+    NodeId a = 0;
+    NodeId b = 0;
+    util::SimTime latency = 0;
+  };
+  std::size_t nodes = 2;
+  std::vector<Link> links;  ///< each becomes an addBidirectional pair
+  NodeId src = 0;
+  NodeId dst = 1;
+
+  Graph build() const {
+    Graph g;
+    g.addNodes(nodes);
+    for (const Link& link : links) {
+      g.addBidirectional(link.a, link.b, link.latency);
+    }
+    return g;
+  }
+
+  std::string describe() const {
+    std::ostringstream out;
+    out << "  nodes=" << nodes << " src=" << src << " dst=" << dst << "\n";
+    for (const Link& link : links) {
+      out << "  link " << link.a << " <-> " << link.b
+          << " latency=" << link.latency << "us\n";
+    }
+    return out.str();
+  }
+};
+
+GraphCase genGraphCase(util::Rng& rng) {
+  GraphCase c;
+  c.nodes = static_cast<std::size_t>(2 + rng.uniformInt(std::uint64_t{9}));
+  // Random spanning tree first (every node reaches node 0), then extra
+  // links for alternative routes; duplicates allowed (multigraph).
+  for (NodeId n = 1; n < c.nodes; ++n) {
+    const auto parent = static_cast<NodeId>(rng.uniformInt(std::uint64_t{n}));
+    c.links.push_back({parent, n,
+                       util::milliseconds(1 + rng.uniformInt(std::int64_t{1},
+                                                             std::int64_t{60}))});
+  }
+  const auto extras = rng.uniformInt(std::uint64_t{2 * c.nodes});
+  for (std::uint64_t i = 0; i < extras; ++i) {
+    const auto a = static_cast<NodeId>(rng.uniformInt(c.nodes));
+    auto b = static_cast<NodeId>(rng.uniformInt(c.nodes));
+    if (a == b) b = (b + 1) % static_cast<NodeId>(c.nodes);
+    c.links.push_back({a, b,
+                       util::milliseconds(1 + rng.uniformInt(std::int64_t{1},
+                                                             std::int64_t{60}))});
+  }
+  c.src = static_cast<NodeId>(rng.uniformInt(c.nodes));
+  c.dst = static_cast<NodeId>(rng.uniformInt(c.nodes - 1));
+  if (c.dst >= c.src) ++c.dst;
+  return c;
+}
+
+std::vector<GraphCase> shrinkGraphCase(const GraphCase& c) {
+  std::vector<GraphCase> out;
+  // Drop one link at a time, latest first (extras go before the
+  // spanning tree, keeping candidates connected for longer).
+  for (std::size_t i = c.links.size(); i-- > 0;) {
+    GraphCase candidate = c;
+    candidate.links.erase(candidate.links.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+std::string describeCase(const GraphCase& c) { return c.describe(); }
+
+bool isSimple(const Graph& g, NodeId src, const Path& path) {
+  const std::vector<NodeId> nodes = pathNodes(g, src, path);
+  const std::set<NodeId> unique(nodes.begin(), nodes.end());
+  return unique.size() == nodes.size();
+}
+
+TEST(GraphProperties, KShortestPathsSortedAndSimple) {
+  test::prop::forAll(
+      "k shortest paths are valid, simple, distinct and latency-sorted",
+      genGraphCase,
+      [](const GraphCase& c) {
+        const Graph g = c.build();
+        const auto weights = g.baseLatencies();
+        const auto paths = kShortestPaths(g, c.src, c.dst, weights, 5);
+        std::set<Path> unique;
+        util::SimTime previous = 0;
+        for (std::size_t i = 0; i < paths.size(); ++i) {
+          if (!isValidPath(g, c.src, c.dst, paths[i])) {
+            return test::prop::fail("path " + std::to_string(i) +
+                                    " is not a valid src->dst path");
+          }
+          if (!isSimple(g, c.src, paths[i])) {
+            return test::prop::fail("path " + std::to_string(i) +
+                                    " revisits a node");
+          }
+          const util::SimTime latency = pathLatency(g, paths[i], weights);
+          if (i > 0 && latency < previous) {
+            return test::prop::fail("latency order violated at path " +
+                                    std::to_string(i));
+          }
+          previous = latency;
+          if (!unique.insert(paths[i]).second) {
+            return test::prop::fail("duplicate path at index " +
+                                    std::to_string(i));
+          }
+        }
+        // The first path, when any exists, must be a shortest path.
+        const PathResult best = shortestPath(g, c.src, c.dst, weights);
+        if (best.found != !paths.empty()) {
+          return test::prop::fail("kShortestPaths and shortestPath disagree "
+                                  "about reachability");
+        }
+        if (best.found &&
+            pathLatency(g, paths[0], weights) != best.distance) {
+          return test::prop::fail("first of k paths is not a shortest path");
+        }
+        return test::prop::pass();
+      },
+      describeCase, shrinkGraphCase);
+}
+
+TEST(GraphProperties, DisjointPathsShareNoInteriorNodeOrEdge) {
+  test::prop::forAll(
+      "node-disjoint paths share no interior node; edge-disjoint share no "
+      "edge",
+      genGraphCase,
+      [](const GraphCase& c) {
+        const Graph g = c.build();
+        const auto weights = g.baseLatencies();
+
+        const DisjointPathsResult nd =
+            nodeDisjointPaths(g, c.src, c.dst, weights, 3);
+        for (std::size_t i = 0; i < nd.paths.size(); ++i) {
+          if (!isValidPath(g, c.src, c.dst, nd.paths[i])) {
+            return test::prop::fail("node-disjoint path " +
+                                    std::to_string(i) + " invalid");
+          }
+          for (std::size_t j = i + 1; j < nd.paths.size(); ++j) {
+            if (pathsShareInteriorNode(g, c.src, c.dst, nd.paths[i],
+                                       nd.paths[j])) {
+              return test::prop::fail(
+                  "node-disjoint paths " + std::to_string(i) + " and " +
+                  std::to_string(j) + " share an interior node");
+            }
+          }
+        }
+
+        const DisjointPathsResult ed =
+            edgeDisjointPaths(g, c.src, c.dst, weights, 3);
+        std::set<EdgeId> used;
+        for (std::size_t i = 0; i < ed.paths.size(); ++i) {
+          if (!isValidPath(g, c.src, c.dst, ed.paths[i])) {
+            return test::prop::fail("edge-disjoint path " +
+                                    std::to_string(i) + " invalid");
+          }
+          for (const EdgeId edge : ed.paths[i]) {
+            if (!used.insert(edge).second) {
+              return test::prop::fail("edge " + std::to_string(edge) +
+                                      " used by two edge-disjoint paths");
+            }
+          }
+        }
+
+        // Node-disjointness implies edge-disjointness, so the
+        // edge-disjoint optimum can never find fewer paths.
+        if (ed.paths.size() < nd.paths.size()) {
+          return test::prop::fail("fewer edge-disjoint than node-disjoint "
+                                  "paths");
+        }
+        return test::prop::pass();
+      },
+      describeCase, shrinkGraphCase);
+}
+
+TEST(GraphProperties, DijkstraDistanceEqualsPathLatency) {
+  test::prop::forAll(
+      "Dijkstra's distance equals the sum of edge latencies on the "
+      "returned path",
+      genGraphCase,
+      [](const GraphCase& c) {
+        const Graph g = c.build();
+        const auto weights = g.baseLatencies();
+        const PathResult result = shortestPath(g, c.src, c.dst, weights);
+        const auto distances = dijkstraDistances(g, c.src, weights);
+        if (!result.found) {
+          if (distances[c.dst] != util::kNever) {
+            return test::prop::fail("shortestPath found nothing but "
+                                    "dijkstraDistances disagrees");
+          }
+          return test::prop::pass();  // generator can disconnect via shrink
+        }
+        if (!isValidPath(g, c.src, c.dst, result.edges)) {
+          return test::prop::fail("returned path is not a valid src->dst "
+                                  "path");
+        }
+        if (pathLatency(g, result.edges, weights) != result.distance) {
+          return test::prop::fail("distance != sum of edge latencies along "
+                                  "the returned path");
+        }
+        if (distances[c.dst] != result.distance) {
+          return test::prop::fail("single-pair and single-source distances "
+                                  "disagree");
+        }
+        // No edge may offer a relaxation: distances are a fixed point.
+        for (EdgeId e = 0; e < g.edgeCount(); ++e) {
+          const Edge& edge = g.edge(e);
+          if (distances[edge.from] == util::kNever) continue;
+          if (distances[edge.from] + weights[e] < distances[edge.to]) {
+            return test::prop::fail("edge " + std::to_string(e) +
+                                    " relaxes the distance vector");
+          }
+        }
+        return test::prop::pass();
+      },
+      describeCase, shrinkGraphCase);
+}
+
+}  // namespace
+}  // namespace dg::graph

@@ -76,6 +76,69 @@ TEST(Simulator, RejectsPastAndNegative) {
   EXPECT_THROW(sim.scheduleAfter(-1, [] {}), std::invalid_argument);
 }
 
+// Regression tests for the documented scheduling contract (see
+// net/simulator.hpp): behavior at the edges -- scheduling at exactly
+// `now`, runUntil into the past, and boundary composition -- is part of
+// the API that the chaos injector and invariant probes rely on.
+
+TEST(Simulator, ScheduleAtNowFiresInSameRunAfterPendingPeers) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.scheduleAt(10, [&] {
+    order.push_back(1);
+    // Same-timestamp insertion from inside a callback: runs in this
+    // same pass, after everything already queued for t=10.
+    sim.scheduleAt(sim.now(), [&] { order.push_back(3); });
+  });
+  sim.scheduleAt(10, [&] { order.push_back(2); });
+  sim.runUntil(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Simulator, RunUntilBeforeNowIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  sim.scheduleAt(10, [&] { ++fired; });
+  sim.runUntil(20);
+  EXPECT_EQ(sim.now(), 20);
+  sim.runUntil(5);  // into the past: no-op, clock untouched
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(fired, 1);
+  sim.scheduleAt(25, [&] { ++fired; });
+  sim.runUntil(25);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, BackToBackRunUntilComposes) {
+  Simulator a;
+  Simulator b;
+  std::vector<int> orderA;
+  std::vector<int> orderB;
+  for (Simulator* sim : {&a, &b}) {
+    auto& order = sim == &a ? orderA : orderB;
+    sim->scheduleAt(5, [&order] { order.push_back(5); });
+    sim->scheduleAt(15, [&order] { order.push_back(15); });
+    sim->scheduleAt(25, [&order] { order.push_back(25); });
+  }
+  a.runUntil(30);
+  b.runUntil(10);
+  b.runUntil(20);
+  b.runUntil(30);
+  EXPECT_EQ(orderA, orderB);
+  EXPECT_EQ(a.now(), b.now());
+  EXPECT_EQ(a.processedEvents(), b.processedEvents());
+}
+
+TEST(Simulator, EventScheduledMidRunAtExactlyUntilFires) {
+  Simulator sim;
+  int fired = 0;
+  sim.scheduleAt(10, [&] { sim.scheduleAt(20, [&] { ++fired; }); });
+  sim.runUntil(20);  // 20 is inclusive, even for events added mid-run
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
 TEST(Simulator, NowAdvancesDuringCallbacks) {
   Simulator sim;
   util::SimTime seen = -1;

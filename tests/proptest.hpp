@@ -1,0 +1,110 @@
+// Minimal property-based testing helper over util::Rng.
+//
+// forAll() runs a property against `cases` generated inputs, each drawn
+// from its own deterministic per-case stream, so every failure is
+// reproducible from the reported (seed, case index) pair alone:
+//
+//   prop::forAll("k paths sorted", genGraphCase, [](const GraphCase& c) {
+//     ...
+//     return prop::pass();            // or prop::fail("message")
+//   });
+//
+// A generator is any callable util::Rng& -> T. A property is any
+// callable const T& -> std::string, where an empty string means "holds"
+// (use pass()/fail() for readability). An optional shrinker
+// (const T& -> std::vector<T> of strictly simpler candidates) is applied
+// greedily on failure until no candidate still falsifies the property,
+// and the shrunken counterexample's description is reported.
+//
+// This intentionally stays far smaller than a real QuickCheck: no
+// integrated shrinking, no size parameter, no type-driven generator
+// registry. Generators here are hand-written per test, which is a good
+// fit for structured inputs like random graphs.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dg::test::prop {
+
+struct Config {
+  std::uint64_t seed = 0xD15C0DE5ULL;
+  int cases = 200;
+  /// Cap on total shrink candidates evaluated (keeps pathological
+  /// shrinkers from hanging a test).
+  int maxShrinkEvals = 2000;
+};
+
+inline std::string pass() { return {}; }
+inline std::string fail(std::string message) { return message; }
+
+/// The per-case RNG seed: mixes the run seed with the case index so any
+/// single case can be replayed without re-running its predecessors.
+inline std::uint64_t caseSeed(std::uint64_t runSeed, int caseIndex) {
+  return runSeed ^ (0x9E3779B97F4A7C15ULL *
+                    (static_cast<std::uint64_t>(caseIndex) + 1));
+}
+
+/// Runs `property` on `config.cases` values drawn from `generate`.
+/// `describe` renders a counterexample for the failure message; `shrink`
+/// proposes simpler candidates (return {} for "cannot shrink").
+/// Reports at most one (shrunken) counterexample via ADD_FAILURE, so a
+/// falsified property fails the surrounding gtest test.
+template <typename GenFn, typename PropFn, typename DescribeFn,
+          typename ShrinkFn>
+void forAll(const std::string& name, GenFn&& generate, PropFn&& property,
+            DescribeFn&& describe, ShrinkFn&& shrink, Config config = {}) {
+  using T = std::decay_t<std::invoke_result_t<GenFn&, util::Rng&>>;
+  for (int i = 0; i < config.cases; ++i) {
+    const std::uint64_t seed = caseSeed(config.seed, i);
+    util::Rng rng(seed);
+    T value = generate(rng);
+    std::string failure = property(value);
+    if (failure.empty()) continue;
+
+    int evals = 0;
+    bool improved = true;
+    while (improved && evals < config.maxShrinkEvals) {
+      improved = false;
+      std::vector<T> candidates = shrink(value);
+      for (T& candidate : candidates) {
+        if (++evals > config.maxShrinkEvals) break;
+        std::string f = property(candidate);
+        if (!f.empty()) {
+          value = std::move(candidate);
+          failure = std::move(f);
+          improved = true;
+          break;
+        }
+      }
+    }
+
+    ADD_FAILURE() << "property '" << name << "' falsified\n"
+                  << "  case: " << i << " of " << config.cases
+                  << "  (replay: util::Rng rng(" << seed << "ULL))\n"
+                  << "  reason: " << failure << "\n"
+                  << "  counterexample (after " << evals
+                  << " shrink evals):\n"
+                  << describe(value);
+    return;  // first counterexample is enough; later cases add noise
+  }
+}
+
+/// forAll without a shrinker.
+template <typename GenFn, typename PropFn, typename DescribeFn>
+void forAll(const std::string& name, GenFn&& generate, PropFn&& property,
+            DescribeFn&& describe, Config config = {}) {
+  using T = std::decay_t<std::invoke_result_t<GenFn&, util::Rng&>>;
+  forAll(name, std::forward<GenFn>(generate), std::forward<PropFn>(property),
+         std::forward<DescribeFn>(describe),
+         [](const T&) { return std::vector<T>{}; }, config);
+}
+
+}  // namespace dg::test::prop

@@ -24,6 +24,16 @@
 //                    (--trace=FILE | --days=N [--seed=S])
 //       Run the flows x schemes playback sweep with full telemetry and
 //       print the merged metrics (byte-identical for any --threads).
+//   dgnet chaos      [--schedule=FILE | --seed=N [--faults=K] [--seconds=N]]
+//                    [--record=FILE] [--source=A --destination=B]
+//                    [--scheme=NAME] [--recovery=1] [--mc_samples=N]
+//       Drive the live overlay through a chaos fault schedule (scripted
+//       via --schedule, or seeded-random via --seed), differentially
+//       compare each flow's delivery against the playback model of the
+//       equivalent trace, and report invariant-check results. --record
+//       writes the schedule to FILE for replay. Bit-reproducible: the
+//       same (topology, schedule, seed) always produces byte-identical
+//       output and metrics exports.
 //
 // playback/simulate/telemetry accept the shared telemetry flags:
 //   --metrics-out=FILE     write collected metrics (- = stdout)
@@ -36,6 +46,10 @@
 #include <iostream>
 #include <optional>
 
+#include "chaos/bridge.hpp"
+#include "chaos/injector.hpp"
+#include "chaos/invariants.hpp"
+#include "chaos/schedule.hpp"
 #include "core/transport.hpp"
 #include "playback/experiment.hpp"
 #include "playback/playback.hpp"
@@ -304,18 +318,126 @@ int cmdTelemetry(const util::Config& args) {
   return 0;
 }
 
+int cmdChaos(const util::Config& args) {
+  const auto topology = loadTopology(args);
+
+  chaos::ChaosSchedule schedule;
+  if (args.has("schedule")) {
+    schedule = chaos::ChaosSchedule::load(args.getString("schedule"));
+  } else {
+    chaos::ChaosScheduleParams params;
+    params.seed = static_cast<std::uint64_t>(args.getInt("seed", 7));
+    params.faults = static_cast<int>(args.getInt("faults", 6));
+    params.horizon = util::seconds(args.getInt("seconds", 120));
+    schedule = chaos::ChaosSchedule::random(topology, params);
+  }
+  schedule.validateAgainst(topology.graph());
+  if (args.has("record")) {
+    schedule.save(args.getString("record"));
+    std::cerr << "recorded schedule -> " << args.getString("record") << '\n';
+  }
+
+  std::cout << "schedule: " << schedule.faults().size() << " faults over "
+            << util::formatDuration(schedule.horizon()) << '\n';
+  for (const chaos::ChaosFault& fault : schedule.faults()) {
+    std::cout << "  t=" << util::formatDuration(fault.start) << " +"
+              << util::formatDuration(fault.duration) << ' '
+              << chaos::faultKindName(fault.kind);
+    if (fault.targetsNode())
+      std::cout << " site " << topology.name(fault.node);
+    if (fault.targetsLink())
+      std::cout << " link " << topology.edgeName(fault.link);
+    if (fault.lossRate > 0.0 && fault.lossRate < 1.0)
+      std::cout << " loss " << util::formatFixed(fault.lossRate, 2);
+    if (fault.latencyPenalty > 0)
+      std::cout << " latency +" << util::formatDuration(fault.latencyPenalty);
+    std::cout << '\n';
+  }
+
+  std::vector<chaos::DifferentialFlowSpec> flows;
+  chaos::DifferentialFlowSpec spec;
+  spec.source = args.getString("source", "NYC");
+  spec.destination = args.getString("destination", "SJC");
+  spec.scheme = routing::parseSchemeKind(args.getString("scheme", "targeted"));
+  flows.push_back(spec);
+
+  chaos::DifferentialParams params;
+  params.recoveryEnabled = args.getBool("recovery", false);
+  params.mcSamples = static_cast<int>(args.getInt("mc_samples", 4000));
+
+  std::optional<telemetry::Telemetry> telemetry;
+  if (telemetryRequested(args)) telemetry.emplace();
+  const chaos::DifferentialResult result = chaos::runDifferential(
+      topology, schedule, flows, params, telemetry ? &*telemetry : nullptr);
+  if (telemetry) emitTelemetry(*telemetry, args);
+
+  std::cout << "\nlive vs playback (per flow):\n";
+  for (const chaos::DifferentialFlowResult& flow : result.flows) {
+    std::cout << "  " << flow.spec.source << "->" << flow.spec.destination
+              << " via " << routing::schemeName(flow.spec.scheme) << ":\n"
+              << "    sent:                  " << flow.sent << '\n'
+              << "    live unavailability:   "
+              << util::formatPercent(flow.liveUnavailability, 3) << '\n'
+              << "    predicted (playback):  "
+              << util::formatPercent(flow.predictedUnavailability, 3) << '\n'
+              << "    delta:                 "
+              << util::formatFixed(flow.unavailabilityDelta() * 100.0, 3)
+              << " pp (tolerance "
+              << util::formatFixed(flow.tolerance() * 100.0, 3) << " pp, "
+              << (flow.withinTolerance() ? "ok" : "EXCEEDED") << ")\n"
+              << "    live cost:             "
+              << util::formatFixed(flow.liveCost, 2) << " tx/pkt (model "
+              << util::formatFixed(flow.predictedCost, 2) << ")\n";
+  }
+  std::cout << "invariants: " << result.invariantChecksRun << " checks, "
+            << result.violations.size() << " violations\n";
+  for (const chaos::InvariantViolation& violation : result.violations) {
+    std::cout << "  VIOLATION t=" << util::formatDuration(violation.time)
+              << ' ' << violation.invariant << ": " << violation.detail
+              << '\n';
+  }
+  return result.passed() ? 0 : 1;
+}
+
 void usage() {
   std::cerr << "usage: dgnet <topology|gen-trace|inspect|import|playback|"
-               "simulate|telemetry> [--key=value ...]\n"
+               "simulate|telemetry|chaos> [--key=value ...]\n"
                "see the header of tools/dgnet.cpp for details\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Accept both "--key=value" and "--key value". dgnet's only positional
+  // argument is the leading command, so once it has been seen, a bare
+  // "--key" followed by a non-flag token unambiguously means key=value.
+  std::vector<std::string> normalized;
+  normalized.reserve(static_cast<std::size_t>(argc));
+  normalized.emplace_back(argv[0]);
+  bool haveCommand = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!util::startsWith(arg, "--")) {
+      haveCommand = true;
+      normalized.push_back(std::move(arg));
+      continue;
+    }
+    if (haveCommand && arg.find('=') == std::string::npos && i + 1 < argc &&
+        !util::startsWith(argv[i + 1], "--")) {
+      arg += '=';
+      arg += argv[++i];
+    }
+    normalized.push_back(std::move(arg));
+  }
+  std::vector<const char*> normalizedPtrs;
+  normalizedPtrs.reserve(normalized.size());
+  for (const std::string& arg : normalized)
+    normalizedPtrs.push_back(arg.c_str());
+
   util::Config args;
   std::vector<std::string> positional;
-  args.applyArgs(argc, argv, &positional);
+  args.applyArgs(static_cast<int>(normalizedPtrs.size()),
+                 normalizedPtrs.data(), &positional);
   if (positional.empty()) {
     usage();
     return 2;
@@ -329,6 +451,7 @@ int main(int argc, char** argv) {
     if (command == "playback") return cmdPlayback(args);
     if (command == "simulate") return cmdSimulate(args);
     if (command == "telemetry") return cmdTelemetry(args);
+    if (command == "chaos") return cmdChaos(args);
     usage();
     return 2;
   } catch (const std::exception& e) {
