@@ -14,7 +14,6 @@
 // Keys: --days=7 --threads=1 --seed=S --mc_samples=N --out=FILE plus the
 // trace-generator keys of bench_common.hpp.
 #include <atomic>
-#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -25,6 +24,7 @@
 
 #include "bench_common.hpp"
 #include "playback/playback.hpp"
+#include "util/wall_clock.hpp"
 
 // ---------------------------------------------------------------------
 // Allocation instrumentation: global counters fed by replacing the
@@ -76,7 +76,8 @@ RunMeasurement runAllJobs(const playback::PlaybackEngine& engine,
       g_allocationCount.load(std::memory_order_relaxed);
   const std::uint64_t bytesBefore =
       g_allocationBytes.load(std::memory_order_relaxed);
-  const auto start = std::chrono::steady_clock::now();
+  util::WallClock stopwatch;
+  stopwatch.start();
 
   std::atomic<std::size_t> next{0};
   const auto worker = [&] {
@@ -98,8 +99,7 @@ RunMeasurement runAllJobs(const playback::PlaybackEngine& engine,
     for (std::thread& t : pool) t.join();
   }
 
-  const auto end = std::chrono::steady_clock::now();
-  m.wallSeconds = std::chrono::duration<double>(end - start).count();
+  m.wallSeconds = stopwatch.elapsedSeconds();
   m.allocations =
       g_allocationCount.load(std::memory_order_relaxed) - allocBefore;
   m.allocatedBytes =

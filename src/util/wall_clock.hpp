@@ -1,0 +1,34 @@
+// The one sanctioned wall-clock access point (dglint rule R1).
+//
+// Library and simulation code must never read a real clock: every
+// timestamp that can influence results flows through util::SimTime so
+// runs are bit-reproducible. The only legitimate wall-clock consumers
+// are benchmarks and operational logging that *measure the harness
+// itself* (wall seconds per run, throughput). They use this shim, which
+// is the single file allowlisted by dglint for raw <chrono> clocks --
+// anywhere else, `steady_clock` & friends are a lint error.
+#pragma once
+
+#include <chrono>  // dglint: ok(R1): this shim IS the allowlisted clock site
+
+namespace dg::util {
+
+/// Opaque monotonic timestamp for measuring elapsed wall time.
+class WallClock {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  void start() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since start(); 0 if never started.
+  double elapsedSeconds() const {
+    if (start_ == std::chrono::steady_clock::time_point{}) return 0.0;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace dg::util

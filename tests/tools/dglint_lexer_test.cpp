@@ -1,0 +1,112 @@
+#include "lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dg::lint {
+namespace {
+
+std::vector<Token> lex(std::string_view src) { return tokenize(src); }
+
+TEST(DglintLexer, IdentifiersNumbersAndPunct) {
+  const auto tokens = lex("int x = 42 + 0x1f;");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(tokens[2].kind, TokenKind::Punct);
+  EXPECT_EQ(tokens[2].text, "=");
+  EXPECT_EQ(tokens[3].kind, TokenKind::Number);
+  EXPECT_EQ(tokens[3].text, "42");
+  EXPECT_EQ(tokens[5].kind, TokenKind::Number);
+  EXPECT_EQ(tokens[5].text, "0x1f");
+  EXPECT_EQ(tokens[6].text, ";");
+}
+
+TEST(DglintLexer, GreedyMultiCharPunct) {
+  const auto tokens = lex("a += b; c :: d; e -> f;");
+  std::vector<std::string> puncts;
+  for (const Token& t : tokens)
+    if (t.kind == TokenKind::Punct) puncts.push_back(t.text);
+  EXPECT_EQ(puncts,
+            (std::vector<std::string>{"+=", ";", "::", ";", "->", ";"}));
+}
+
+TEST(DglintLexer, LineAndBlockComments) {
+  const auto tokens = lex("x; // trailing note\n/* block\nspans */ y;");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::Comment);
+  EXPECT_EQ(tokens[2].text, " trailing note");
+  EXPECT_EQ(tokens[2].line, 1u);
+  EXPECT_EQ(tokens[3].kind, TokenKind::Comment);
+  EXPECT_EQ(tokens[3].text, " block\nspans ");
+  EXPECT_EQ(tokens[4].text, "y");
+  EXPECT_EQ(tokens[4].line, 3u);  // block comment advanced the line count
+}
+
+TEST(DglintLexer, StringsAreOpaque) {
+  const auto tokens = lex("f(\"std::rand() \\\" escaped\");");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::String);
+  EXPECT_EQ(tokens[2].text, "std::rand() \\\" escaped");
+}
+
+TEST(DglintLexer, RawStrings) {
+  const auto tokens = lex("auto s = R\"(line1\n\"quoted\" )\";");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[3].kind, TokenKind::String);
+  EXPECT_EQ(tokens[3].text, "line1\n\"quoted\" ");
+  EXPECT_EQ(tokens[4].text, ";");
+}
+
+TEST(DglintLexer, RawStringWithDelimiter) {
+  const auto tokens = lex("R\"xx(a )\" still inside)xx\"");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::String);
+  EXPECT_EQ(tokens[0].text, "a )\" still inside");
+}
+
+TEST(DglintLexer, CharLiterals) {
+  const auto tokens = lex("char c = '\\n'; char d = ':';");
+  ASSERT_EQ(tokens.size(), 10u);
+  EXPECT_EQ(tokens[3].kind, TokenKind::CharLiteral);
+  EXPECT_EQ(tokens[3].text, "\\n");
+  EXPECT_EQ(tokens[8].kind, TokenKind::CharLiteral);
+  EXPECT_EQ(tokens[8].text, ":");
+}
+
+TEST(DglintLexer, PreprocessorLogicalLines) {
+  const auto tokens = lex("#define X \\\n  42\n#pragma   once\nint y;");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::Preprocessor);
+  EXPECT_EQ(tokens[0].text, "#define X    42");
+  EXPECT_EQ(tokens[1].kind, TokenKind::Preprocessor);
+  EXPECT_EQ(tokens[1].text, "#pragma   once");
+  EXPECT_EQ(tokens[2].text, "int");
+  EXPECT_EQ(tokens[2].line, 4u);
+}
+
+TEST(DglintLexer, DigitSeparatorsAndExponents) {
+  const auto tokens = lex("x = 3'600'000'000; y = 1.5e-9;");
+  EXPECT_EQ(tokens[2].kind, TokenKind::Number);
+  EXPECT_EQ(tokens[2].text, "3'600'000'000");
+  EXPECT_EQ(tokens[6].kind, TokenKind::Number);
+  EXPECT_EQ(tokens[6].text, "1.5e-9");
+}
+
+TEST(DglintLexer, LineNumbersTrackNewlines) {
+  const auto tokens = lex("a\nb\n\nc");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[2].line, 4u);
+}
+
+TEST(DglintLexer, SplitLines) {
+  const auto lines = splitLines("one\r\ntwo\nthree");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[1], "two");
+  EXPECT_EQ(lines[2], "three");
+}
+
+}  // namespace
+}  // namespace dg::lint

@@ -1,0 +1,41 @@
+// dglint fixture: idiomatic project code that must produce zero
+// findings under every rule, scanned with the synthetic path
+// "src/telemetry/clean.cpp" (the strictest scope).
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+constexpr int kSamples = 100;
+const std::string kName = "clean";
+
+struct Rng {
+  unsigned long state = 1;
+  double uniform() {
+    state = state * 6364136223846793005UL + 1442695040888963407UL;
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+  }
+};
+
+struct Report {
+  std::map<std::string, double> samples;  // ordered by design
+
+  double total() const {
+    double sum = 0.0;
+    for (const auto& [name, value] : samples) {
+      sum += value;  // ordered container: deterministic order
+    }
+    return sum;
+  }
+};
+
+/// Seeded randomness via the project Rng idiom: fine under R1.
+double simulate(unsigned long seed) {
+  Rng rng{seed};
+  double acc = 0.0;
+  for (int i = 0; i < kSamples; ++i) acc += rng.uniform();
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// dglint fixture: R1 banned nondeterminism sources. Scanned by the
+// rules test with the synthetic path "src/fixture/r1_banned.cpp".
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+void bannedCalls() {
+  int a = std::rand();              // FINDING: std::rand
+  std::srand(42);                   // FINDING: srand
+  std::random_device rd;            // FINDING: random_device
+  auto t1 = std::time(nullptr);     // FINDING: time()
+  auto t2 = time(nullptr);          // FINDING: time(), unqualified
+  const char* home = std::getenv("HOME");  // FINDING: getenv
+  (void)a; (void)rd; (void)t1; (void)t2; (void)home;
+}
+
+void bannedClocks() {
+  auto n1 = std::chrono::system_clock::now();           // FINDING
+  auto n2 = std::chrono::steady_clock::now();           // FINDING
+  auto n3 = std::chrono::high_resolution_clock::now();  // FINDING
+  (void)n1; (void)n2; (void)n3;
+}
+
+struct Sim {
+  long time() const { return 0; }
+  long clock() const { return 0; }
+};
+
+void negatives(const Sim& sim) {
+  long t = sim.time();      // member call: not libc time()
+  long c = sim.clock();     // member call: not libc clock()
+  long q = myns::time(3);   // qualified non-std: allowed
+  long timer = 0;           // identifier containing "time": allowed
+  (void)t; (void)c; (void)q; (void)timer;
+  const char* s = "std::rand() in a string literal is fine";
+  (void)s;
+  // std::rand() in a comment is fine too.
+}
+
+}  // namespace fixture

@@ -1,0 +1,64 @@
+// dglint fixture: R2 unordered-container iteration in export-feeding
+// files. Scanned with the synthetic path "src/telemetry/r2_fixture.cpp"
+// (inside the default ordered scope) and again with a path outside the
+// scope, where nothing may fire.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+using FlowTable = std::unordered_map<int, double>;
+
+struct Exporter {
+  std::unordered_map<std::string, int> samples;
+  std::unordered_set<int> seen;
+  FlowTable flows;  // via alias
+  std::map<std::string, int> sorted;
+
+  int direct() const {
+    int total = 0;
+    for (const auto& [name, value] : samples) {  // FINDING: direct member
+      total += value;
+    }
+    return total;
+  }
+
+  int viaAlias() const {
+    int total = 0;
+    for (const auto& [flow, weight] : flows) {  // FINDING: alias type
+      total += static_cast<int>(weight);
+    }
+    return total;
+  }
+
+  int viaReference() const {
+    const auto& view = seen;
+    int total = 0;
+    for (const int id : view) {  // FINDING: reference binding
+      total += id;
+    }
+    return total;
+  }
+
+  int orderedIsFine() const {
+    int total = 0;
+    for (const auto& [name, value] : sorted) {  // no finding: std::map
+      total += value;
+    }
+    return total;
+  }
+
+  int annotated() const {
+    int count = 0;
+    // dglint: ordered-ok: only counts elements; order cannot reach output
+    for (const int id : seen) {
+      count += 1;
+      (void)id;
+    }
+    return count;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// dglint fixture: R3 header-hygiene violations (no include guard, a
+// `using namespace`, and non-const namespace-scope globals). Scanned
+// with the synthetic path "src/fixture/r3_header_bad.hpp".
+#include <string>
+#include <vector>
+
+using namespace std;  // FINDING: using namespace in header
+
+namespace fixture {
+
+int callCount = 0;                   // FINDING: non-const global
+static double lastValue = 0.0;       // FINDING: static non-const global
+std::vector<int> cache{1, 2, 3};     // FINDING: brace-init global
+std::string label;                   // FINDING: plain definition
+
+const int kLimit = 16;               // ok: const
+constexpr double kScale = 1.5;       // ok: constexpr
+inline constexpr int kWidth = 80;    // ok: inline constexpr
+
+int add(int a, int b);               // ok: function declaration
+inline int twice(int x) { return 2 * x; }  // ok: function definition
+
+struct Config {
+  int retries = 3;       // ok: member with default, not a global
+  double timeout = 1.0;  // ok: member
+};
+
+enum class Mode { Fast, Slow };  // ok: type definition
+
+// dglint: ok(R3): registry intentionally process-wide, guarded by init order
+int annotatedGlobal = 7;
+
+}  // namespace fixture

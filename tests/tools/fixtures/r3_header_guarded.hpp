@@ -1,0 +1,12 @@
+// dglint fixture: a classic #ifndef/#define include guard satisfies R3
+// just as well as #pragma once.
+#ifndef DG_TESTS_TOOLS_FIXTURES_R3_HEADER_GUARDED_HPP
+#define DG_TESTS_TOOLS_FIXTURES_R3_HEADER_GUARDED_HPP
+
+namespace fixture {
+
+constexpr int kGuarded = 1;
+
+}  // namespace fixture
+
+#endif  // DG_TESTS_TOOLS_FIXTURES_R3_HEADER_GUARDED_HPP

@@ -1,0 +1,52 @@
+// dglint fixture: R4 float accumulation inside unordered-container
+// loops. Scanned with the synthetic path "src/telemetry/r4_fixture.cpp"
+// (in the merge-path scope). Every unordered loop here also trips R2;
+// the R4 findings are the `+=` lines.
+#include <map>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Merger {
+  std::unordered_map<int, double> perJob;
+  std::map<int, double> perJobSorted;
+
+  double mergeHashOrder() const {
+    double sum = 0.0;
+    // dglint: ordered-ok: loop flagged separately; this tests R4 alone
+    for (const auto& [job, value] : perJob) {
+      sum += value;  // FINDING: double += in hash order
+    }
+    return sum;
+  }
+
+  long countHashOrder() const {
+    long count = 0;
+    // dglint: ordered-ok: integer count is order-independent
+    for (const auto& [job, value] : perJob) {
+      count += 1;  // no finding: integral accumulator
+      (void)value;
+    }
+    return count;
+  }
+
+  double mergeSortedOrder() const {
+    double sum = 0.0;
+    for (const auto& [job, value] : perJobSorted) {
+      sum += value;  // no finding: std::map iterates in key order
+    }
+    return sum;
+  }
+
+  double annotated() const {
+    double minimum = 0.0;
+    // dglint: ordered-ok: min is order-independent
+    for (const auto& [job, value] : perJob) {
+      // dglint: fp-merge-ok: min() is commutative and associative
+      minimum += value < minimum ? value - minimum : 0.0;
+    }
+    return minimum;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// dglint fixture: suppression-comment handling, scanned with the
+// synthetic path "src/fixture/suppressions.cpp".
+#include <cstdlib>
+
+namespace fixture {
+
+void cases() {
+  int a = std::rand();  // dglint: ok(R1): fixture exercising same-line form
+  // dglint: ok(R1): fixture exercising next-line form
+  int b = std::rand();
+  int c = std::rand();  // dglint: ok(R1):
+  // ^ FINDING (R0): missing justification, and the R1 still fires
+  int d = std::rand();  // dglint: ok(R9): no such rule
+  // ^ FINDING (R0): unknown rule, and the R1 still fires
+  // dglint: frobnicate the widgets
+  // ^ FINDING (R0): unrecognized directive
+  int e = std::rand();  // FINDING (R1): plain, unsuppressed
+  (void)a; (void)b; (void)c; (void)d; (void)e;
+}
+
+}  // namespace fixture

@@ -1,0 +1,402 @@
+#include "dglint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+namespace dg::lint {
+namespace fs = std::filesystem;
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+bool matchesAny(const std::string& path,
+                const std::vector<std::string>& patterns) {
+  for (const std::string& p : patterns) {
+    if (path.find(p) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool hasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc" ||
+         ext == ".cxx";
+}
+
+bool isHeaderPath(const std::string& path) {
+  return path.size() >= 2 &&
+         (path.ends_with(".hpp") || path.ends_with(".h"));
+}
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t h = 0xcbf29ce484222325ULL) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// One parsed suppression comment.
+struct Suppression {
+  std::size_t targetLine;
+  std::string rule;  ///< "" for malformed (already reported as R0)
+  bool used = false;
+};
+
+/// Extracts suppressions from comment tokens; malformed ones become R0
+/// findings directly.
+std::vector<Suppression> parseSuppressions(
+    const std::string& relPath, const std::vector<Token>& tokens,
+    const std::vector<std::string>& lines, std::vector<Finding>& r0) {
+  std::vector<Suppression> out;
+  for (const Token& t : tokens) {
+    if (t.kind != TokenKind::Comment) continue;
+    // Only comments that START with `dglint:` are directives; prose
+    // that merely mentions the syntax is ignored.
+    const std::string text = trim(t.text);
+    if (text.rfind("dglint:", 0) != 0) continue;
+    std::string directive = trim(text.substr(7));
+
+    std::string rule;
+    std::string reason;
+    if (directive.rfind("ordered-ok", 0) == 0) {
+      rule = "R2";
+      const std::size_t colon = directive.find(':');
+      reason = colon == std::string::npos ? ""
+                                          : trim(directive.substr(colon + 1));
+    } else if (directive.rfind("fp-merge-ok", 0) == 0) {
+      rule = "R4";
+      const std::size_t colon = directive.find(':');
+      reason = colon == std::string::npos ? ""
+                                          : trim(directive.substr(colon + 1));
+    } else if (directive.rfind("ok(", 0) == 0) {
+      const std::size_t close = directive.find(')');
+      if (close != std::string::npos) {
+        rule = trim(directive.substr(3, close - 3));
+        const std::size_t colon = directive.find(':', close);
+        reason = colon == std::string::npos
+                     ? ""
+                     : trim(directive.substr(colon + 1));
+      }
+    } else {
+      r0.push_back({relPath, t.line, "R0",
+                    "unrecognized dglint directive '" + directive +
+                        "'; expected ok(Rn): <why>, ordered-ok: <why> "
+                        "or fp-merge-ok: <why>"});
+      continue;
+    }
+    const auto& ids = allRuleIds();
+    if (rule.empty() ||
+        std::find(ids.begin(), ids.end(), rule) == ids.end()) {
+      r0.push_back({relPath, t.line, "R0",
+                    "dglint suppression names unknown rule '" + rule + "'"});
+      continue;
+    }
+    if (reason.empty()) {
+      r0.push_back({relPath, t.line, "R0",
+                    "dglint suppression for " + rule +
+                        " is missing its justification; write `// "
+                        "dglint: ...: <why this is safe>`"});
+      continue;
+    }
+    // Comment alone on its line suppresses the NEXT line; a trailing
+    // comment suppresses its own line.
+    std::size_t target = t.line;
+    if (t.line - 1 < lines.size()) {
+      const std::string lineText = trim(lines[t.line - 1]);
+      if (lineText.rfind("//", 0) == 0) target = t.line + 1;
+    }
+    out.push_back({target, rule, false});
+  }
+  return out;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> DriverOptions::defaultOrderedScope() {
+  // Files whose output must be byte-stable: exporters and everything
+  // that merges or reports in a defined order. Matched as substrings of
+  // the repo-relative path.
+  return {
+      "src/telemetry/",          "src/playback/experiment",
+      "src/playback/report",     "src/playback/classification",
+      "src/routing/decision_memo", "src/chaos/invariants",
+      "src/chaos/bridge",
+  };
+}
+
+std::vector<std::string> DriverOptions::defaultClockAllow() {
+  return {"src/util/wall_clock"};
+}
+
+SourceResult analyzeSource(const std::string& relPath,
+                           const std::string& source,
+                           const DriverOptions& options) {
+  FileContext context;
+  context.path = relPath;
+  context.tokens = tokenize(source);
+  context.isHeader = isHeaderPath(relPath);
+  context.libraryCode = relPath.rfind("src/", 0) == 0 ||
+                        relPath.rfind("tools/", 0) == 0;
+  context.orderedScope = matchesAny(relPath, options.orderedScope);
+  context.clockAllowed = matchesAny(relPath, options.clockAllow);
+
+  std::vector<Finding> raw = runRules(context);
+  const std::vector<std::string> lines = splitLines(source);
+
+  std::vector<Finding> r0;
+  std::vector<Suppression> suppressions =
+      parseSuppressions(relPath, context.tokens, lines, r0);
+
+  SourceResult result;
+  for (Finding& f : raw) {
+    if (!options.rules.empty() && options.rules.count(f.rule) == 0)
+      continue;
+    bool suppressed = false;
+    for (Suppression& s : suppressions) {
+      if (s.targetLine == f.line && s.rule == f.rule) {
+        s.used = true;
+        suppressed = true;
+        break;
+      }
+    }
+    if (suppressed) {
+      ++result.suppressed;
+    } else {
+      result.findings.push_back(std::move(f));
+    }
+  }
+  if (options.rules.empty() || options.rules.count("R0") > 0) {
+    for (Finding& f : r0) result.findings.push_back(std::move(f));
+  }
+  std::stable_sort(result.findings.begin(), result.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return result;
+}
+
+std::uint64_t baselineKey(const Finding& finding,
+                          const std::string& lineText) {
+  std::uint64_t h = fnv1a(finding.rule);
+  h = fnv1a("|", h);
+  h = fnv1a(finding.path, h);
+  h = fnv1a("|", h);
+  h = fnv1a(trim(lineText), h);
+  return h;
+}
+
+LintResult runLint(const DriverOptions& options) {
+  LintResult result;
+  const fs::path root = options.root;
+
+  // Deterministic file list: collect, normalize, sort.
+  std::vector<std::string> files;
+  for (const std::string& p : options.paths) {
+    const fs::path full = root / p;
+    std::error_code ec;
+    if (fs::is_directory(full, ec)) {
+      for (fs::recursive_directory_iterator it(full, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        const fs::path& entry = it->path();
+        const std::string name = entry.filename().string();
+        if (it->is_directory() &&
+            (name == ".git" || name.rfind("build", 0) == 0)) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && hasSourceExtension(entry))
+          files.push_back(fs::relative(entry, root).generic_string());
+      }
+    } else if (fs::exists(full, ec)) {
+      files.push_back(fs::relative(full, root).generic_string());
+    } else {
+      std::cerr << "dglint: path not found: " << full.string() << "\n";
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // Baseline: key -> unconsumed count.
+  std::map<std::uint64_t, std::size_t> baseline;
+  if (!options.baselinePath.empty()) {
+    std::ifstream in(root / options.baselinePath);
+    std::string line;
+    while (std::getline(in, line)) {
+      line = trim(line);
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream fields(line);
+      std::string rule, path, hex;
+      if (fields >> rule >> path >> hex)
+        ++baseline[std::stoull(hex, nullptr, 16)];
+    }
+  }
+
+  std::ostringstream baselineOut;
+  for (const std::string& relPath : files) {
+    std::ifstream in(root / relPath, std::ios::binary);
+    if (!in) {
+      std::cerr << "dglint: cannot read " << relPath << "\n";
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string source = buffer.str();
+    ++result.filesScanned;
+
+    SourceResult sr = analyzeSource(relPath, source, options);
+    result.suppressed += sr.suppressed;
+    const std::vector<std::string> lines = splitLines(source);
+    for (Finding& f : sr.findings) {
+      const std::string lineText =
+          f.line - 1 < lines.size() ? lines[f.line - 1] : "";
+      const std::uint64_t key = baselineKey(f, lineText);
+      const auto it = baseline.find(key);
+      if (it != baseline.end() && it->second > 0) {
+        --it->second;
+        ++result.baselined;
+        continue;
+      }
+      if (!options.writeBaselinePath.empty()) {
+        char hex[32];
+        std::snprintf(hex, sizeof hex, "%016llx",
+                      static_cast<unsigned long long>(key));
+        baselineOut << f.rule << ' ' << f.path << ' ' << hex << '\n';
+      }
+      result.findings.push_back(std::move(f));
+    }
+  }
+  for (const auto& [key, remaining] : baseline)
+    result.staleBaseline += remaining;
+
+  if (!options.writeBaselinePath.empty()) {
+    std::ofstream out(root / options.writeBaselinePath,
+                      std::ios::binary | std::ios::trunc);
+    out << baselineOut.str();
+  }
+  return result;
+}
+
+std::string formatFindings(const LintResult& result,
+                           const std::string& format) {
+  std::ostringstream out;
+  if (format == "json") {
+    out << "{\"findings\":[";
+    for (std::size_t i = 0; i < result.findings.size(); ++i) {
+      const Finding& f = result.findings[i];
+      if (i > 0) out << ',';
+      out << "{\"path\":\"" << jsonEscape(f.path) << "\",\"line\":" << f.line
+          << ",\"rule\":\"" << f.rule << "\",\"message\":\""
+          << jsonEscape(f.message) << "\"}";
+    }
+    out << "],\"suppressed\":" << result.suppressed
+        << ",\"baselined\":" << result.baselined
+        << ",\"staleBaseline\":" << result.staleBaseline
+        << ",\"filesScanned\":" << result.filesScanned << "}\n";
+    return out.str();
+  }
+  if (format == "github") {
+    for (const Finding& f : result.findings) {
+      out << "::error file=" << f.path << ",line=" << f.line
+          << ",title=dglint " << f.rule << "::" << f.message << "\n";
+    }
+    return out.str();
+  }
+  for (const Finding& f : result.findings) {
+    out << f.path << ':' << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  return out.str();
+}
+
+int lintMain(int argc, const char* const* argv) {
+  DriverOptions options;
+  options.paths.clear();
+  std::string format = "text";
+
+  const auto value = [](const std::string& arg) {
+    return arg.substr(arg.find('=') + 1);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      options.root = value(arg);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = value(arg);
+      if (format != "text" && format != "json" && format != "github") {
+        std::cerr << "dglint: unknown --format '" << format << "'\n";
+        return 2;
+      }
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      options.baselinePath = value(arg);
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      options.writeBaselinePath = value(arg);
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      std::istringstream ss(value(arg));
+      std::string rule;
+      while (std::getline(ss, rule, ',')) options.rules.insert(trim(rule));
+    } else if (arg.rfind("--ordered-scope=", 0) == 0) {
+      options.orderedScope.push_back(value(arg));
+    } else if (arg.rfind("--clock-allow=", 0) == 0) {
+      options.clockAllow.push_back(value(arg));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cerr
+          << "usage: dglint [--root=DIR] [--format=text|json|github]\n"
+          << "              [--baseline=FILE] [--write-baseline=FILE]\n"
+          << "              [--rules=R1,R2,...] [--ordered-scope=PAT]\n"
+          << "              [--clock-allow=PAT] [paths...]\n"
+          << "Scans src/ and tools/ under --root by default. Exit code\n"
+          << "is 1 when any unsuppressed, unbaselined finding remains.\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "dglint: unknown option " << arg << " (see --help)\n";
+      return 2;
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+  if (options.paths.empty()) options.paths = {"src", "tools"};
+
+  const LintResult result = runLint(options);
+  std::cout << formatFindings(result, format);
+  std::cerr << "dglint: " << result.filesScanned << " files, "
+            << result.findings.size() << " findings, " << result.suppressed
+            << " suppressed, " << result.baselined << " baselined";
+  if (result.staleBaseline > 0)
+    std::cerr << " (" << result.staleBaseline
+              << " stale baseline entries -- refresh the baseline)";
+  std::cerr << "\n";
+  return result.findings.empty() ? 0 : 1;
+}
+
+}  // namespace dg::lint

@@ -1,0 +1,84 @@
+// dglint driver: file discovery, suppression comments, baseline
+// handling and output formatting around the rule engine in rules.hpp.
+//
+// Suppressions (same line, or a comment-only line suppressing the next
+// line; a justification after the colon is mandatory — an empty reason
+// is itself a finding, rule R0):
+//
+//   // dglint: ok(R1): <why this use is sound>
+//   // dglint: ordered-ok: <why hash order cannot reach the output>
+//   // dglint: fp-merge-ok: <why the sum is order-independent>
+//
+// `ordered-ok` is sugar for ok(R2), `fp-merge-ok` for ok(R4).
+//
+// The baseline file grandfathers pre-existing findings: one
+// `<rule> <path> <hash>` line per finding, where the hash covers the
+// finding's source-line text (so it survives unrelated edits but goes
+// stale when the offending line changes). This repo's committed
+// baseline (.dglint-baseline) is empty and must stay empty.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace dg::lint {
+
+struct DriverOptions {
+  /// Repo root; findings are reported relative to it.
+  std::string root = ".";
+  /// Files or directories to scan, relative to root.
+  std::vector<std::string> paths = {"src", "tools"};
+  /// Substring patterns (matched against the repo-relative path) for
+  /// files that feed exports/reports/merges — the R2/R4 scope.
+  std::vector<std::string> orderedScope = defaultOrderedScope();
+  /// Substring patterns for files allowed to touch raw wall clocks.
+  std::vector<std::string> clockAllow = defaultClockAllow();
+  /// Enabled rules; empty = all.
+  std::set<std::string> rules;
+  std::string baselinePath;       ///< "" = no baseline filtering
+  std::string writeBaselinePath;  ///< "" = don't write one
+
+  static std::vector<std::string> defaultOrderedScope();
+  static std::vector<std::string> defaultClockAllow();
+};
+
+struct LintResult {
+  std::vector<Finding> findings;  ///< active: not suppressed/baselined
+  std::size_t suppressed = 0;
+  std::size_t baselined = 0;
+  std::size_t staleBaseline = 0;  ///< baseline entries that matched nothing
+  std::size_t filesScanned = 0;
+};
+
+/// Analyzes one in-memory source (rule pass + suppression filtering +
+/// R0 checks). `relPath` determines rule scoping. Exposed for tests.
+struct SourceResult {
+  std::vector<Finding> findings;
+  std::size_t suppressed = 0;
+};
+SourceResult analyzeSource(const std::string& relPath,
+                           const std::string& source,
+                           const DriverOptions& options);
+
+/// Full run over options.paths: walks directories (sorted, so output
+/// order is deterministic), applies the baseline, optionally writes a
+/// fresh baseline of the remaining findings.
+LintResult runLint(const DriverOptions& options);
+
+/// Renders findings as "text", "json" or "github" (workflow commands).
+std::string formatFindings(const LintResult& result,
+                           const std::string& format);
+
+/// Stable 64-bit key of a finding for the baseline file: hashes rule,
+/// path and the trimmed text of the finding's source line.
+std::uint64_t baselineKey(const Finding& finding,
+                          const std::string& lineText);
+
+/// Complete CLI (argument parsing to exit code); used by main().
+int lintMain(int argc, const char* const* argv);
+
+}  // namespace dg::lint

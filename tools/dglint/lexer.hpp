@@ -1,0 +1,42 @@
+// Lightweight C++ tokenizer for dglint.
+//
+// dglint's rules only need a token stream that is faithful about the
+// things that trip up grep-style linting -- string literals (including
+// raw strings), comments, char literals and preprocessor logical lines
+// -- plus enough punctuation fidelity to brace-match and to tell a
+// range-for `:` apart from `::`. A full C++ grammar is explicitly out of
+// scope; rules are heuristic token-pattern matchers over this stream.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dg::lint {
+
+enum class TokenKind {
+  Identifier,    ///< keywords are identifiers too; rules compare text
+  Number,        ///< integer/float literal (incl. hex, digit separators)
+  String,        ///< "...", R"(...)", prefixed variants; text excludes quotes
+  CharLiteral,   ///< '...'
+  Punct,         ///< operator / punctuator, greedily matched (e.g. "+=", "::")
+  Comment,       ///< // or /* */; text excludes the comment markers
+  Preprocessor,  ///< one logical `#...` line, continuations joined
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t line;  ///< 1-based line of the token's first character
+};
+
+/// Tokenizes `source`. Never throws on malformed input: unterminated
+/// strings/comments extend to end of file, unknown bytes become 1-char
+/// Punct tokens. `path` is only used for error context in assertions.
+std::vector<Token> tokenize(std::string_view source);
+
+/// Splits `source` into physical lines (no terminators), 0-indexed.
+std::vector<std::string> splitLines(std::string_view source);
+
+}  // namespace dg::lint
