@@ -1,0 +1,42 @@
+#include "store/crc32.hpp"
+
+#include <array>
+
+namespace dg::store {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> makeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = makeTable();
+
+}  // namespace
+
+std::uint32_t crc32Init() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32Update(std::uint32_t state,
+                          std::span<const std::byte> data) {
+  for (const std::byte b : data) {
+    state = kTable[(state ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^
+            (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32Final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  return crc32Final(crc32Update(crc32Init(), data));
+}
+
+}  // namespace dg::store

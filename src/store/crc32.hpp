@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+//
+// Every variable-length region of a dgtrace file -- header, baseline,
+// each chunk, footer -- carries its own CRC so corruption is detected at
+// read time and localized to one region. Software table implementation:
+// trace files are megabytes, not gigabytes, and the decode cost is
+// dominated by varint parsing anyway.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace dg::store {
+
+/// CRC of a whole span (init/final XOR handled internally).
+std::uint32_t crc32(std::span<const std::byte> data);
+
+/// Incremental form: feed `crc32Update` the running value (seeded with
+/// crc32Init()) and finish with crc32Final().
+std::uint32_t crc32Init();
+std::uint32_t crc32Update(std::uint32_t state,
+                          std::span<const std::byte> data);
+std::uint32_t crc32Final(std::uint32_t state);
+
+}  // namespace dg::store

@@ -1,0 +1,41 @@
+#include "store/format.hpp"
+
+namespace dg::store {
+
+const char* storeErrorKindName(StoreErrorKind kind) {
+  switch (kind) {
+    case StoreErrorKind::Io:
+      return "io-error";
+    case StoreErrorKind::BadMagic:
+      return "bad-magic";
+    case StoreErrorKind::VersionMismatch:
+      return "version-mismatch";
+    case StoreErrorKind::Truncated:
+      return "truncated";
+    case StoreErrorKind::ChecksumMismatch:
+      return "checksum-mismatch";
+    case StoreErrorKind::Corrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+int storeErrorExitCode(StoreErrorKind kind) {
+  switch (kind) {
+    case StoreErrorKind::Io:
+      return 2;
+    case StoreErrorKind::BadMagic:
+      return 3;
+    case StoreErrorKind::VersionMismatch:
+      return 4;
+    case StoreErrorKind::Truncated:
+      return 5;
+    case StoreErrorKind::ChecksumMismatch:
+      return 6;
+    case StoreErrorKind::Corrupt:
+      return 7;
+  }
+  return 1;
+}
+
+}  // namespace dg::store

@@ -1,0 +1,139 @@
+// The "dgtrace" packed trace container: on-disk layout constants, byte
+// packing helpers and the error taxonomy shared by the writer, the
+// reader and the `dgnet trace` CLI.
+//
+// Layout (version 1; all fixed-width integers little-endian, doubles as
+// raw IEEE-754 bit patterns):
+//
+//   [header, 40 bytes]
+//     0  magic             8 bytes  "dgtrace\0"
+//     8  version           u32      kFormatVersion
+//     12 intervalLengthUs  i64
+//     20 intervalCount     u64
+//     28 edgeCount         u32
+//     32 chunkIntervals    u32      intervals per data chunk
+//     36 headerCrc         u32      CRC-32 of bytes [0, 36)
+//   [baseline block]
+//     payloadBytes u32, payloadCrc u32, payload:
+//       per edge: lossRate (u64 raw double bits),
+//                 latencyUs (zigzag varint)
+//   [chunk 0] .. [chunk N-1]   N = ceil(intervalCount / chunkIntervals)
+//     payloadBytes u32, payloadCrc u32, payload:
+//       recordCount varint
+//       dictCount   varint, then dictCount raw-double-bits loss values
+//                   (first-use order; escape hatch for loss rates that
+//                   do not survive ppm quantization)
+//       columns, each recordCount entries, records sorted by
+//       (interval, edge):
+//         intervalDelta varint  (first: interval - chunkFirstInterval)
+//         edge          varint  (absolute)
+//         lossCode      varint  (even: ppm * 2; odd: dictIndex * 2 + 1)
+//         latencyDelta  zigzag varint (latencyUs - baseline latencyUs)
+//   [footer]
+//     payloadBytes u32, payloadCrc u32, payload: per chunk, 16 bytes:
+//       chunkOffset u64 (file offset of the chunk's payloadBytes field),
+//       payloadBytes u32, recordCount u32
+//   [trailer, 16 bytes at EOF]
+//     footerOffset u64, footerPayloadBytes u32, tail magic "dgT1"
+//
+// The trailer gives O(1) access to the footer and therefore O(1) seek to
+// any chunk without scanning the data section. Every variable-length
+// region is independently CRC-framed, so corruption is localized and
+// reported with a distinct error kind.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dg::store {
+
+inline constexpr std::array<char, 8> kMagic = {'d', 'g', 't', 'r',
+                                               'a', 'c', 'e', '\0'};
+inline constexpr std::array<char, 4> kTailMagic = {'d', 'g', 'T', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+inline constexpr std::size_t kHeaderBytes = 40;
+inline constexpr std::size_t kTrailerBytes = 16;
+inline constexpr std::size_t kFooterEntryBytes = 16;
+
+/// Default chunk size: one day of 10-second intervals. Chunks bound both
+/// the writer's buffered state and the reader's decode granularity.
+inline constexpr std::uint32_t kDefaultChunkIntervals = 8640;
+
+/// What went wrong, as a machine-checkable category. Every category maps
+/// to a distinct `dgnet trace` exit code so scripts can react without
+/// parsing messages.
+enum class StoreErrorKind {
+  Io,                ///< open/read/write/mmap failure (errno-level)
+  BadMagic,          ///< not a dgtrace file at all
+  VersionMismatch,   ///< dgtrace file from an incompatible (newer) format
+  Truncated,         ///< structurally cut short (missing trailer/bytes)
+  ChecksumMismatch,  ///< a CRC-framed region failed verification
+  Corrupt,           ///< framing intact but contents are inconsistent
+};
+
+/// Stable lowercase name for diagnostics ("checksum-mismatch", ...).
+const char* storeErrorKindName(StoreErrorKind kind);
+
+/// Process exit code for the CLI: 0 is success, each kind gets its own
+/// non-zero code (Io=2, BadMagic=3, VersionMismatch=4, Truncated=5,
+/// ChecksumMismatch=6, Corrupt=7).
+int storeErrorExitCode(StoreErrorKind kind);
+
+class StoreError : public std::runtime_error {
+ public:
+  StoreError(StoreErrorKind kind, const std::string& message)
+      : std::runtime_error(std::string(storeErrorKindName(kind)) + ": " +
+                           message),
+        kind_(kind) {}
+
+  StoreErrorKind kind() const { return kind_; }
+
+ private:
+  StoreErrorKind kind_;
+};
+
+// ---- little-endian byte packing -------------------------------------
+
+inline void putU32(std::vector<std::byte>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xFF));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::byte>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::byte>((v >> 24) & 0xFF));
+}
+
+inline void putU64(std::vector<std::byte>& out, std::uint64_t v) {
+  putU32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  putU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Reads a u32 from `in[offset..offset+4)`; the caller has bounds-checked.
+inline std::uint32_t getU32(std::span<const std::byte> in,
+                            std::size_t offset) {
+  return static_cast<std::uint32_t>(in[offset]) |
+         (static_cast<std::uint32_t>(in[offset + 1]) << 8) |
+         (static_cast<std::uint32_t>(in[offset + 2]) << 16) |
+         (static_cast<std::uint32_t>(in[offset + 3]) << 24);
+}
+
+inline std::uint64_t getU64(std::span<const std::byte> in,
+                            std::size_t offset) {
+  return static_cast<std::uint64_t>(getU32(in, offset)) |
+         (static_cast<std::uint64_t>(getU32(in, offset + 4)) << 32);
+}
+
+inline std::uint64_t doubleBits(double v) {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+inline double doubleFromBits(std::uint64_t bits) {
+  return std::bit_cast<double>(bits);
+}
+
+}  // namespace dg::store

@@ -1,0 +1,538 @@
+#include "store/reader.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "store/crc32.hpp"
+#include "store/varint.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DG_STORE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define DG_STORE_HAVE_MMAP 0
+#endif
+
+namespace dg::store {
+
+namespace {
+
+#if DG_STORE_HAVE_MMAP
+class MmapSource final : public ByteSource {
+ public:
+  explicit MmapSource(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+      throw StoreError(StoreErrorKind::Io, "cannot open: " + path);
+    struct ::stat st {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      throw StoreError(StoreErrorKind::Io, "cannot stat: " + path);
+    }
+    size_ = static_cast<std::uint64_t>(st.st_size);
+    if (size_ > 0) {
+      void* mapped = ::mmap(nullptr, static_cast<std::size_t>(size_),
+                            PROT_READ, MAP_PRIVATE, fd, 0);
+      if (mapped == MAP_FAILED) {
+        ::close(fd);
+        throw StoreError(StoreErrorKind::Io, "mmap failed: " + path);
+      }
+      data_ = static_cast<const std::byte*>(mapped);
+    }
+    ::close(fd);
+  }
+
+  MmapSource(const MmapSource&) = delete;
+  MmapSource& operator=(const MmapSource&) = delete;
+
+  ~MmapSource() override {
+    if (data_ != nullptr)
+      ::munmap(const_cast<std::byte*>(data_),
+               static_cast<std::size_t>(size_));
+  }
+
+  std::uint64_t size() const override { return size_; }
+
+  std::span<const std::byte> view(std::uint64_t offset,
+                                  std::size_t length) override {
+    if (offset + length > size_)
+      throw StoreError(StoreErrorKind::Io, "mmap view out of range");
+    return {data_ + offset, length};
+  }
+
+ private:
+  const std::byte* data_ = nullptr;
+  std::uint64_t size_ = 0;
+};
+#endif
+
+class StreamSource final : public ByteSource {
+ public:
+  explicit StreamSource(const std::string& path)
+      : in_(path, std::ios::binary) {
+    if (!in_)
+      throw StoreError(StoreErrorKind::Io, "cannot open: " + path);
+    in_.seekg(0, std::ios::end);
+    const std::streamoff end = in_.tellg();
+    if (end < 0)
+      throw StoreError(StoreErrorKind::Io, "cannot size: " + path);
+    size_ = static_cast<std::uint64_t>(end);
+  }
+
+  std::uint64_t size() const override { return size_; }
+
+  std::span<const std::byte> view(std::uint64_t offset,
+                                  std::size_t length) override {
+    if (offset + length > size_)
+      throw StoreError(StoreErrorKind::Io, "stream view out of range");
+    scratch_.resize(length);
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(offset));
+    in_.read(reinterpret_cast<char*>(scratch_.data()),
+             static_cast<std::streamsize>(length));
+    if (!in_)
+      throw StoreError(StoreErrorKind::Io,
+                       "read failed at offset " + std::to_string(offset));
+    return scratch_;
+  }
+
+ private:
+  std::ifstream in_;
+  std::uint64_t size_ = 0;
+  std::vector<std::byte> scratch_;
+};
+
+class BufferSource final : public ByteSource {
+ public:
+  explicit BufferSource(std::vector<std::byte> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  std::uint64_t size() const override { return bytes_.size(); }
+
+  std::span<const std::byte> view(std::uint64_t offset,
+                                  std::size_t length) override {
+    if (offset + length > bytes_.size())
+      throw StoreError(StoreErrorKind::Io, "buffer view out of range");
+    return std::span<const std::byte>(bytes_).subspan(
+        static_cast<std::size_t>(offset), length);
+  }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+}  // namespace
+
+std::unique_ptr<ByteSource> openMmapSource(const std::string& path) {
+#if DG_STORE_HAVE_MMAP
+  return std::make_unique<MmapSource>(path);
+#else
+  throw StoreError(StoreErrorKind::Io, "mmap unavailable on this platform");
+#endif
+}
+
+std::unique_ptr<ByteSource> openStreamSource(const std::string& path) {
+  return std::make_unique<StreamSource>(path);
+}
+
+std::unique_ptr<ByteSource> makeBufferSource(std::vector<std::byte> bytes) {
+  return std::make_unique<BufferSource>(std::move(bytes));
+}
+
+std::unique_ptr<ByteSource> openByteSource(const std::string& path) {
+#if DG_STORE_HAVE_MMAP
+  try {
+    return openMmapSource(path);
+  } catch (const StoreError&) {
+    // Fall through: some file systems (or zero-length placeholders)
+    // refuse mappings a plain stream can still read.
+  }
+#endif
+  return openStreamSource(path);
+}
+
+PackedTraceReader::PackedTraceReader(std::unique_ptr<ByteSource> source,
+                                     telemetry::MetricsRegistry* metrics)
+    : source_(std::move(source)) {
+  if (metrics != nullptr) {
+    bytesCounter_ = &metrics->counter("dg_store_bytes_read_total");
+    chunksDecodedCounter_ = &metrics->counter("dg_store_chunks_decoded_total");
+    chunksVerifiedCounter_ =
+        &metrics->counter("dg_store_chunks_verified_total");
+    checksumFailuresCounter_ =
+        &metrics->counter("dg_store_checksum_failures_total");
+  }
+  parseContainer();
+}
+
+PackedTraceReader PackedTraceReader::open(
+    const std::string& path, telemetry::MetricsRegistry* metrics) {
+  return PackedTraceReader(openByteSource(path), metrics);
+}
+
+std::span<const std::byte> PackedTraceReader::viewChecked(
+    std::uint64_t offset, std::uint64_t length, const char* what) {
+  if (offset > source_->size() || length > source_->size() - offset)
+    throw StoreError(StoreErrorKind::Truncated,
+                     std::string(what) + " extends past end of file (need " +
+                         std::to_string(offset + length) + " bytes, have " +
+                         std::to_string(source_->size()) + ")");
+  if (bytesCounter_ != nullptr) bytesCounter_->inc(length);
+  return source_->view(offset, static_cast<std::size_t>(length));
+}
+
+std::span<const std::byte> PackedTraceReader::readFramed(
+    std::uint64_t offset, const char* what, std::uint32_t* payloadBytes) {
+  const std::span<const std::byte> head = viewChecked(offset, 8, what);
+  const std::uint32_t length = getU32(head, 0);
+  const std::uint32_t expectedCrc = getU32(head, 4);
+  const std::span<const std::byte> payload =
+      viewChecked(offset + 8, length, what);
+  if (crc32(payload) != expectedCrc) {
+    if (checksumFailuresCounter_ != nullptr) checksumFailuresCounter_->inc();
+    throw StoreError(StoreErrorKind::ChecksumMismatch,
+                     std::string(what) + " failed CRC-32 verification");
+  }
+  if (payloadBytes != nullptr) *payloadBytes = length;
+  return payload;
+}
+
+void PackedTraceReader::parseContainer() {
+  info_.fileBytes = source_->size();
+  if (info_.fileBytes < kMagic.size())
+    throw StoreError(StoreErrorKind::Truncated,
+                     "file too small to hold a dgtrace header (" +
+                         std::to_string(info_.fileBytes) + " bytes)");
+  {
+    const std::span<const std::byte> magic =
+        viewChecked(0, kMagic.size(), "magic");
+    for (std::size_t i = 0; i < kMagic.size(); ++i) {
+      if (static_cast<char>(magic[i]) != kMagic[i])
+        throw StoreError(StoreErrorKind::BadMagic,
+                         "not a dgtrace file (bad magic)");
+    }
+  }
+  if (info_.fileBytes < kHeaderBytes)
+    throw StoreError(StoreErrorKind::Truncated, "header cut short");
+  const std::span<const std::byte> header =
+      viewChecked(0, kHeaderBytes, "header");
+  info_.version = getU32(header, 8);
+  if (info_.version != kFormatVersion)
+    throw StoreError(StoreErrorKind::VersionMismatch,
+                     "dgtrace version " + std::to_string(info_.version) +
+                         " is not supported (this build reads version " +
+                         std::to_string(kFormatVersion) + ")");
+  if (crc32(header.first(kHeaderBytes - 4)) !=
+      getU32(header, kHeaderBytes - 4)) {
+    if (checksumFailuresCounter_ != nullptr) checksumFailuresCounter_->inc();
+    throw StoreError(StoreErrorKind::ChecksumMismatch,
+                     "header failed CRC-32 verification");
+  }
+  info_.intervalLength = static_cast<util::SimTime>(getU64(header, 12));
+  info_.intervalCount = getU64(header, 20);
+  info_.edgeCount = getU32(header, 28);
+  info_.chunkIntervals = getU32(header, 32);
+  if (info_.intervalLength <= 0)
+    throw StoreError(StoreErrorKind::Corrupt,
+                     "non-positive interval length in header");
+  if (info_.chunkIntervals == 0)
+    throw StoreError(StoreErrorKind::Corrupt, "zero chunkIntervals in header");
+  info_.chunkCount = (info_.intervalCount + info_.chunkIntervals - 1) /
+                     info_.chunkIntervals;
+
+  // Trailer -> footer -> chunk index.
+  if (info_.fileBytes < kHeaderBytes + kTrailerBytes)
+    throw StoreError(StoreErrorKind::Truncated, "missing trailer");
+  const std::span<const std::byte> trailer = viewChecked(
+      info_.fileBytes - kTrailerBytes, kTrailerBytes, "trailer");
+  for (std::size_t i = 0; i < kTailMagic.size(); ++i) {
+    if (static_cast<char>(trailer[12 + i]) != kTailMagic[i])
+      throw StoreError(StoreErrorKind::Truncated,
+                       "trailer magic missing -- file truncated?");
+  }
+  const std::uint64_t footerOffset = getU64(trailer, 0);
+  const std::uint32_t footerPayloadBytes = getU32(trailer, 8);
+  if (footerOffset < kHeaderBytes ||
+      footerOffset + 8 + footerPayloadBytes + kTrailerBytes !=
+          info_.fileBytes)
+    throw StoreError(StoreErrorKind::Corrupt,
+                     "trailer's footer location is inconsistent");
+  std::uint32_t storedFooterBytes = 0;
+  const std::span<const std::byte> footer =
+      readFramed(footerOffset, "footer", &storedFooterBytes);
+  if (storedFooterBytes != footerPayloadBytes)
+    throw StoreError(StoreErrorKind::Corrupt,
+                     "footer length disagrees with trailer");
+  if (footer.size() % kFooterEntryBytes != 0 ||
+      footer.size() / kFooterEntryBytes != info_.chunkCount)
+    throw StoreError(StoreErrorKind::Corrupt,
+                     "footer index does not match header chunk count");
+
+  index_.clear();
+  index_.reserve(info_.chunkCount);
+  info_.recordCount = 0;
+  for (std::size_t i = 0; i < info_.chunkCount; ++i) {
+    IndexEntry entry;
+    entry.offset = getU64(footer, i * kFooterEntryBytes);
+    entry.payloadBytes = getU32(footer, i * kFooterEntryBytes + 8);
+    entry.recordCount = getU32(footer, i * kFooterEntryBytes + 12);
+    index_.push_back(entry);
+    info_.recordCount += entry.recordCount;
+  }
+
+  parseBaseline(kHeaderBytes);
+
+  // The chunks must exactly tile the data section between the baseline
+  // block and the footer; any gap or overlap means a corrupt index.
+  std::uint64_t expected = dataOffset_;
+  for (std::size_t i = 0; i < index_.size(); ++i) {
+    if (index_[i].offset != expected)
+      throw StoreError(StoreErrorKind::Corrupt,
+                       "chunk " + std::to_string(i) +
+                           " offset disagrees with the footer index");
+    expected += 8 + index_[i].payloadBytes;
+  }
+  if (expected != footerOffset)
+    throw StoreError(StoreErrorKind::Corrupt,
+                     "data section does not reach the footer");
+}
+
+void PackedTraceReader::parseBaseline(std::uint64_t offset) {
+  std::uint32_t payloadBytes = 0;
+  std::span<const std::byte> payload =
+      readFramed(offset, "baseline block", &payloadBytes);
+  dataOffset_ = offset + 8 + payloadBytes;
+  baseline_.clear();
+  baseline_.reserve(info_.edgeCount);
+  for (std::uint32_t e = 0; e < info_.edgeCount; ++e) {
+    if (payload.size() < 8)
+      throw StoreError(StoreErrorKind::Corrupt,
+                       "baseline block ends mid-edge");
+    trace::LinkConditions conditions;
+    conditions.lossRate = doubleFromBits(getU64(payload, 0));
+    payload = payload.subspan(8);
+    std::int64_t latency = 0;
+    if (!getZigzag(payload, latency))
+      throw StoreError(StoreErrorKind::Corrupt,
+                       "baseline block has a malformed latency varint");
+    conditions.latency = latency;
+    baseline_.push_back(conditions);
+  }
+  if (!payload.empty())
+    throw StoreError(StoreErrorKind::Corrupt,
+                     "baseline block has trailing bytes");
+}
+
+void PackedTraceReader::decodeChunk(std::uint64_t index, ChunkData& out) {
+  if (index >= info_.chunkCount)
+    throw std::out_of_range("PackedTraceReader: chunk index out of range");
+  const IndexEntry& entry = index_[static_cast<std::size_t>(index)];
+  const std::string label = "chunk " + std::to_string(index);
+  std::uint32_t payloadBytes = 0;
+  std::span<const std::byte> p =
+      readFramed(entry.offset, label.c_str(), &payloadBytes);
+  if (payloadBytes != entry.payloadBytes)
+    throw StoreError(StoreErrorKind::Corrupt,
+                     label + " length disagrees with the footer index");
+
+  out.firstInterval = index * static_cast<std::uint64_t>(info_.chunkIntervals);
+  out.intervalsInChunk = static_cast<std::size_t>(
+      std::min<std::uint64_t>(info_.chunkIntervals,
+                              info_.intervalCount - out.firstInterval));
+
+  std::uint64_t recordCount = 0;
+  if (!getVarint(p, recordCount))
+    throw StoreError(StoreErrorKind::Corrupt,
+                     label + " has a malformed record count");
+  if (recordCount != entry.recordCount)
+    throw StoreError(StoreErrorKind::Corrupt,
+                     label + " record count disagrees with the footer index");
+  if (recordCount > payloadBytes)  // each record costs >= 4 payload bytes
+    throw StoreError(StoreErrorKind::Corrupt,
+                     label + " record count exceeds payload size");
+  const auto records = static_cast<std::size_t>(recordCount);
+
+  std::uint64_t dictCount = 0;
+  if (!getVarint(p, dictCount))
+    throw StoreError(StoreErrorKind::Corrupt,
+                     label + " has a malformed dictionary count");
+  if (dictCount * 8 > p.size())
+    throw StoreError(StoreErrorKind::Corrupt,
+                     label + " dictionary overruns the payload");
+  out.dictionary.clear();
+  out.dictionary.reserve(static_cast<std::size_t>(dictCount));
+  for (std::uint64_t d = 0; d < dictCount; ++d) {
+    out.dictionary.push_back(
+        doubleFromBits(getU64(p, static_cast<std::size_t>(d) * 8)));
+  }
+  p = p.subspan(static_cast<std::size_t>(dictCount) * 8);
+
+  out.records.clear();
+  out.records.resize(records);
+  out.offsets.assign(out.intervalsInChunk + 1, 0);
+
+  // Interval column: deltas are unsigned, so intervals are automatically
+  // non-decreasing; bucket counts become the per-interval prefix index.
+  std::uint64_t current = out.firstInterval;
+  for (std::size_t i = 0; i < records; ++i) {
+    std::uint64_t delta = 0;
+    if (!getVarint(p, delta))
+      throw StoreError(StoreErrorKind::Corrupt,
+                       label + " has a malformed interval delta");
+    current += delta;
+    if (current >= out.firstInterval + out.intervalsInChunk)
+      throw StoreError(StoreErrorKind::Corrupt,
+                       label + " references an interval outside the chunk");
+    ++out.offsets[static_cast<std::size_t>(current - out.firstInterval) + 1];
+  }
+  for (std::size_t i = 1; i < out.offsets.size(); ++i)
+    out.offsets[i] += out.offsets[i - 1];
+
+  // Edge column, validated edge-sorted within each interval.
+  std::size_t bucket = 0;
+  for (std::size_t i = 0; i < records; ++i) {
+    while (i >= out.offsets[bucket + 1]) ++bucket;
+    std::uint64_t edge = 0;
+    if (!getVarint(p, edge))
+      throw StoreError(StoreErrorKind::Corrupt,
+                       label + " has a malformed edge id");
+    if (edge >= info_.edgeCount)
+      throw StoreError(StoreErrorKind::Corrupt,
+                       label + " references an out-of-range edge id");
+    if (i > out.offsets[bucket] &&
+        static_cast<graph::EdgeId>(edge) <= out.records[i - 1].first)
+      throw StoreError(StoreErrorKind::Corrupt,
+                       label + " deviations are not edge-sorted");
+    out.records[i].first = static_cast<graph::EdgeId>(edge);
+  }
+
+  // Loss column: even codes are exact ppm values, odd codes index the
+  // chunk dictionary.
+  for (std::size_t i = 0; i < records; ++i) {
+    std::uint64_t code = 0;
+    if (!getVarint(p, code))
+      throw StoreError(StoreErrorKind::Corrupt,
+                       label + " has a malformed loss code");
+    if ((code & 1) == 0) {
+      out.records[i].second.lossRate =
+          static_cast<double>(code >> 1) / 1e6;
+    } else {
+      const std::uint64_t dictIndex = code >> 1;
+      if (dictIndex >= dictCount)
+        throw StoreError(StoreErrorKind::Corrupt,
+                         label + " references a missing dictionary entry");
+      out.records[i].second.lossRate =
+          out.dictionary[static_cast<std::size_t>(dictIndex)];
+    }
+  }
+
+  // Latency column: zigzag deltas from the edge's baseline latency.
+  for (std::size_t i = 0; i < records; ++i) {
+    std::int64_t delta = 0;
+    if (!getZigzag(p, delta))
+      throw StoreError(StoreErrorKind::Corrupt,
+                       label + " has a malformed latency delta");
+    out.records[i].second.latency =
+        baseline_[out.records[i].first].latency + delta;
+  }
+
+  if (!p.empty())
+    throw StoreError(StoreErrorKind::Corrupt,
+                     label + " has trailing bytes after the columns");
+  if (chunksDecodedCounter_ != nullptr) chunksDecodedCounter_->inc();
+}
+
+trace::Trace PackedTraceReader::readAll() {
+  trace::Trace trace(info_.intervalLength,
+                     static_cast<std::size_t>(info_.intervalCount),
+                     baseline_);
+  ChunkData chunk;
+  for (std::uint64_t c = 0; c < info_.chunkCount; ++c) {
+    decodeChunk(c, chunk);
+    for (std::size_t local = 0; local < chunk.intervalsInChunk; ++local) {
+      const std::size_t interval =
+          static_cast<std::size_t>(chunk.firstInterval) + local;
+      for (std::uint32_t r = chunk.offsets[local];
+           r < chunk.offsets[local + 1]; ++r) {
+        trace.setCondition(chunk.records[r].first, interval,
+                           chunk.records[r].second);
+      }
+    }
+  }
+  return trace;
+}
+
+PackedTraceReader::VerifyReport PackedTraceReader::verify() {
+  VerifyReport report;
+  ChunkData chunk;
+  for (std::uint64_t c = 0; c < info_.chunkCount; ++c) {
+    decodeChunk(c, chunk);
+    report.recordsDecoded += chunk.records.size();
+    report.bytesRead += 8 + index_[static_cast<std::size_t>(c)].payloadBytes;
+    ++report.chunksVerified;
+    if (chunksVerifiedCounter_ != nullptr) chunksVerifiedCounter_->inc();
+  }
+  return report;
+}
+
+PackedConditionSource::PackedConditionSource(PackedTraceReader& reader)
+    : reader_(&reader), chunkIndex_(0) {}
+
+std::size_t PackedConditionSource::intervalCount() const {
+  return static_cast<std::size_t>(reader_->info().intervalCount);
+}
+
+std::size_t PackedConditionSource::edgeCount() const {
+  return reader_->info().edgeCount;
+}
+
+std::span<const trace::LinkConditions> PackedConditionSource::baseline()
+    const {
+  return reader_->baseline();
+}
+
+std::span<const std::pair<graph::EdgeId, trace::LinkConditions>>
+PackedConditionSource::deviationsAt(std::size_t interval) {
+  if (interval >= intervalCount())
+    throw std::out_of_range("PackedConditionSource: interval out of range");
+  const std::uint64_t chunk = reader_->chunkForInterval(interval);
+  if (!loaded_ || chunk != chunkIndex_) {
+    reader_->decodeChunk(chunk, chunk_);
+    chunkIndex_ = chunk;
+    loaded_ = true;
+  }
+  const std::size_t local =
+      interval - static_cast<std::size_t>(chunk_.firstInterval);
+  return std::span<const trace::Deviation>(chunk_.records)
+      .subspan(chunk_.offsets[local],
+               chunk_.offsets[local + 1] - chunk_.offsets[local]);
+}
+
+bool isPackedTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::array<char, 8> magic{};
+  in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
+  if (!in) return false;
+  return magic == kMagic;
+}
+
+trace::Trace loadPackedTrace(const std::string& path,
+                             telemetry::MetricsRegistry* metrics) {
+  return PackedTraceReader::open(path, metrics).readAll();
+}
+
+trace::Trace loadAnyTrace(const std::string& path,
+                          telemetry::MetricsRegistry* metrics) {
+  if (isPackedTraceFile(path)) return loadPackedTrace(path, metrics);
+  return trace::Trace::load(path);
+}
+
+}  // namespace dg::store

@@ -1,0 +1,70 @@
+// LEB128 varints and zigzag signed mapping for dgtrace chunk payloads.
+//
+// The columnar encoding stores interval deltas, edge ids, loss codes and
+// latency deltas as varints: the common case (consecutive intervals,
+// small edge ids, sub-second latency deltas) packs into one or two bytes
+// per field. Decoding is bounds-checked against the payload span and
+// never reads past it -- a truncated or overlong varint reports failure
+// instead of clamping, so the reader can surface Corrupt precisely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dg::store {
+
+inline void putVarint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+/// Maps a signed value to an unsigned one with small absolute values
+/// staying small: 0,-1,1,-2,... -> 0,1,2,3,...
+inline std::uint64_t zigzagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzagDecode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+inline void putZigzag(std::vector<std::byte>& out, std::int64_t v) {
+  putVarint(out, zigzagEncode(v));
+}
+
+/// Decodes one varint from the front of `in`, advancing it past the
+/// consumed bytes. Returns false (leaving `in` unspecified) on a
+/// truncated or overlong (>10 byte) encoding.
+inline bool getVarint(std::span<const std::byte>& in, std::uint64_t& out) {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  std::size_t i = 0;
+  while (i < in.size() && shift < 64) {
+    const auto b = static_cast<std::uint8_t>(in[i]);
+    value |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    ++i;
+    if ((b & 0x80) == 0) {
+      in = in.subspan(i);
+      out = value;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+inline bool getZigzag(std::span<const std::byte>& in, std::int64_t& out) {
+  std::uint64_t raw = 0;
+  if (!getVarint(in, raw)) return false;
+  out = zigzagDecode(raw);
+  return true;
+}
+
+}  // namespace dg::store

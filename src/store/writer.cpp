@@ -1,0 +1,219 @@
+#include "store/writer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "store/crc32.hpp"
+#include "store/varint.hpp"
+
+namespace dg::store {
+
+namespace {
+
+/// Loss codes: even codes carry a parts-per-million quantized value when
+/// the quantization is exact (the common case -- generator severities
+/// and blip losses are short decimals); odd codes index the chunk's
+/// raw-double dictionary. Either way the decoded double is bit-identical
+/// to the encoded one.
+constexpr std::uint64_t kNoPpm = std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t exactPpm(double loss) {
+  if (!(loss >= 0.0) || loss > 1e12) return kNoPpm;
+  const double scaled = loss * 1e6;
+  if (scaled >= 9.2e18) return kNoPpm;
+  const auto ppm = static_cast<std::int64_t>(std::llround(scaled));
+  if (ppm < 0) return kNoPpm;
+  if (static_cast<double>(ppm) / 1e6 != loss) return kNoPpm;
+  return static_cast<std::uint64_t>(ppm);
+}
+
+}  // namespace
+
+StoreWriter::StoreWriter(std::ostream& out, WriterOptions options,
+                         telemetry::MetricsRegistry* metrics)
+    : out_(&out), options_(options) {
+  if (options_.chunkIntervals == 0)
+    throw std::invalid_argument("StoreWriter: chunkIntervals must be > 0");
+  if (metrics != nullptr) {
+    bytesCounter_ = &metrics->counter("dg_store_bytes_written_total");
+    chunksCounter_ = &metrics->counter("dg_store_chunks_written_total");
+    recordsCounter_ = &metrics->counter("dg_store_records_written_total");
+  }
+}
+
+void StoreWriter::writeRaw(std::span<const std::byte> bytes) {
+  out_->write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  if (!*out_)
+    throw StoreError(StoreErrorKind::Io, "write failed after " +
+                                             std::to_string(bytesWritten_) +
+                                             " bytes");
+  bytesWritten_ += bytes.size();
+  if (bytesCounter_ != nullptr) bytesCounter_->inc(bytes.size());
+}
+
+void StoreWriter::writeFramed(std::span<const std::byte> payload) {
+  if (payload.size() > std::numeric_limits<std::uint32_t>::max())
+    throw StoreError(StoreErrorKind::Io, "region payload exceeds 4 GiB");
+  frame_.clear();
+  putU32(frame_, static_cast<std::uint32_t>(payload.size()));
+  putU32(frame_, crc32(payload));
+  writeRaw(frame_);
+  writeRaw(payload);
+}
+
+void StoreWriter::begin(util::SimTime intervalLength,
+                        std::size_t intervalCount,
+                        std::span<const trace::LinkConditions> baseline) {
+  if (begun_) throw std::logic_error("StoreWriter: begin() called twice");
+  if (intervalLength <= 0)
+    throw std::invalid_argument("StoreWriter: interval length must be > 0");
+  if (baseline.size() > std::numeric_limits<std::uint32_t>::max())
+    throw std::invalid_argument("StoreWriter: too many edges");
+  begun_ = true;
+  intervalCount_ = intervalCount;
+  edgeCount_ = static_cast<std::uint32_t>(baseline.size());
+  chunkCount_ = (intervalCount_ + options_.chunkIntervals - 1) /
+                options_.chunkIntervals;
+  baselineLatencyRef_.assign(baseline.begin(), baseline.end());
+  index_.reserve(chunkCount_);
+
+  scratch_.clear();
+  for (const char c : kMagic) scratch_.push_back(static_cast<std::byte>(c));
+  putU32(scratch_, kFormatVersion);
+  putU64(scratch_, static_cast<std::uint64_t>(intervalLength));
+  putU64(scratch_, intervalCount_);
+  putU32(scratch_, edgeCount_);
+  putU32(scratch_, options_.chunkIntervals);
+  putU32(scratch_, crc32(scratch_));
+  writeRaw(scratch_);
+
+  scratch_.clear();
+  for (const trace::LinkConditions& conditions : baseline) {
+    putU64(scratch_, doubleBits(conditions.lossRate));
+    putZigzag(scratch_, conditions.latency);
+  }
+  writeFramed(scratch_);
+}
+
+void StoreWriter::interval(std::size_t index,
+                           std::span<const trace::Deviation> deviations) {
+  if (!begun_ || ended_)
+    throw std::logic_error("StoreWriter: interval() outside begin()/end()");
+  if (index >= intervalCount_)
+    throw std::out_of_range("StoreWriter: interval index out of range");
+  if (static_cast<std::int64_t>(index) <= lastInterval_)
+    throw std::logic_error("StoreWriter: interval indices must increase");
+  lastInterval_ = static_cast<std::int64_t>(index);
+
+  while (index >= (chunkIndex_ + 1) * options_.chunkIntervals) flushChunk();
+
+  graph::EdgeId lastEdge = 0;
+  bool first = true;
+  for (const trace::Deviation& deviation : deviations) {
+    if (deviation.first >= edgeCount_)
+      throw std::out_of_range("StoreWriter: edge id out of range");
+    if (!first && deviation.first <= lastEdge)
+      throw std::logic_error("StoreWriter: deviations must be edge-sorted");
+    first = false;
+    lastEdge = deviation.first;
+    pending_.push_back(PendingRecord{index, deviation.first,
+                                     deviation.second});
+  }
+  peakBufferedRecords_ = std::max(peakBufferedRecords_, pending_.size());
+}
+
+void StoreWriter::flushChunk() {
+  const std::uint64_t firstInterval =
+      chunkIndex_ * static_cast<std::uint64_t>(options_.chunkIntervals);
+
+  scratch_.clear();
+  putVarint(scratch_, pending_.size());
+
+  // Dictionary of loss values that ppm quantization cannot represent
+  // exactly, in first-use order; lookup map keeps encode O(n log n).
+  std::vector<std::uint64_t> dictionary;
+  std::map<std::uint64_t, std::uint64_t> dictionaryIndex;
+  std::vector<std::uint64_t> lossCodes;
+  lossCodes.reserve(pending_.size());
+  for (const PendingRecord& record : pending_) {
+    const std::uint64_t ppm = exactPpm(record.conditions.lossRate);
+    if (ppm != kNoPpm) {
+      lossCodes.push_back(ppm * 2);
+      continue;
+    }
+    const std::uint64_t bits = doubleBits(record.conditions.lossRate);
+    const auto [it, inserted] =
+        dictionaryIndex.emplace(bits, dictionary.size());
+    if (inserted) dictionary.push_back(bits);
+    lossCodes.push_back(it->second * 2 + 1);
+  }
+  putVarint(scratch_, dictionary.size());
+  for (const std::uint64_t bits : dictionary) putU64(scratch_, bits);
+
+  std::uint64_t previousInterval = firstInterval;
+  for (const PendingRecord& record : pending_)
+    putVarint(scratch_, record.interval - std::exchange(previousInterval,
+                                                        record.interval));
+  for (const PendingRecord& record : pending_)
+    putVarint(scratch_, record.edge);
+  for (const std::uint64_t code : lossCodes) putVarint(scratch_, code);
+  for (const PendingRecord& record : pending_)
+    putZigzag(scratch_, record.conditions.latency -
+                            baselineLatencyRef_[record.edge].latency);
+
+  index_.push_back(ChunkIndexEntry{
+      bytesWritten_, static_cast<std::uint32_t>(scratch_.size()),
+      static_cast<std::uint32_t>(pending_.size())});
+  writeFramed(scratch_);
+  recordsWritten_ += pending_.size();
+  if (recordsCounter_ != nullptr) recordsCounter_->inc(pending_.size());
+  if (chunksCounter_ != nullptr) chunksCounter_->inc();
+  pending_.clear();
+  ++chunkIndex_;
+}
+
+void StoreWriter::end() {
+  if (!begun_ || ended_)
+    throw std::logic_error("StoreWriter: end() outside an open stream");
+  while (chunkIndex_ < chunkCount_) flushChunk();
+  ended_ = true;
+
+  const std::uint64_t footerOffset = bytesWritten_;
+  scratch_.clear();
+  for (const ChunkIndexEntry& entry : index_) {
+    putU64(scratch_, entry.offset);
+    putU32(scratch_, entry.payloadBytes);
+    putU32(scratch_, entry.recordCount);
+  }
+  writeFramed(scratch_);
+
+  scratch_.clear();
+  putU64(scratch_, footerOffset);
+  putU32(scratch_,
+         static_cast<std::uint32_t>(index_.size() * kFooterEntryBytes));
+  for (const char c : kTailMagic)
+    scratch_.push_back(static_cast<std::byte>(c));
+  writeRaw(scratch_);
+  out_->flush();
+  if (!*out_) throw StoreError(StoreErrorKind::Io, "flush failed");
+}
+
+void packTrace(const trace::Trace& trace, const std::string& path,
+               WriterOptions options, telemetry::MetricsRegistry* metrics) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    throw StoreError(StoreErrorKind::Io, "cannot open for writing: " + path);
+  StoreWriter writer(out, options, metrics);
+  trace::streamTrace(trace, writer);
+  out.close();
+  if (!out) throw StoreError(StoreErrorKind::Io, "close failed: " + path);
+}
+
+}  // namespace dg::store

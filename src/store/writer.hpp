@@ -1,0 +1,98 @@
+// Streaming dgtrace writer.
+//
+// A StoreWriter is a trace::TraceSink that encodes the stream straight
+// into the packed container: it buffers at most one chunk's records (one
+// day of intervals by default) plus the running footer index, so peak
+// memory is independent of trace length. Any trace producer that speaks
+// TraceSink -- streamTrace() over an in-memory Trace, the synthetic
+// generator's streaming path -- can therefore pack week- or year-scale
+// traces in constant space.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "store/format.hpp"
+#include "telemetry/metrics.hpp"
+#include "trace/stream.hpp"
+
+namespace dg::store {
+
+struct WriterOptions {
+  /// Intervals per chunk (default: one day of 10-second intervals).
+  std::uint32_t chunkIntervals = kDefaultChunkIntervals;
+};
+
+class StoreWriter final : public trace::TraceSink {
+ public:
+  /// Writes to `out` (binary mode; the caller keeps it alive until after
+  /// end()). I/O failures surface as StoreError{Io}. `metrics`, when
+  /// non-null, receives dg_store_bytes_written_total,
+  /// dg_store_chunks_written_total and dg_store_records_written_total.
+  explicit StoreWriter(std::ostream& out, WriterOptions options = {},
+                       telemetry::MetricsRegistry* metrics = nullptr);
+
+  void begin(util::SimTime intervalLength, std::size_t intervalCount,
+             std::span<const trace::LinkConditions> baseline) override;
+  void interval(std::size_t index,
+                std::span<const trace::Deviation> deviations) override;
+  /// Flushes the remaining chunks, footer and trailer.
+  void end() override;
+
+  std::uint64_t bytesWritten() const { return bytesWritten_; }
+  std::uint64_t recordsWritten() const { return recordsWritten_; }
+  /// Peak buffered record count across all chunks: the writer's memory
+  /// high-water mark, asserted on by the bounded-memory tests.
+  std::size_t peakBufferedRecords() const { return peakBufferedRecords_; }
+
+ private:
+  struct PendingRecord {
+    std::uint64_t interval = 0;
+    graph::EdgeId edge = 0;
+    trace::LinkConditions conditions;
+  };
+  struct ChunkIndexEntry {
+    std::uint64_t offset = 0;
+    std::uint32_t payloadBytes = 0;
+    std::uint32_t recordCount = 0;
+  };
+
+  void writeRaw(std::span<const std::byte> bytes);
+  /// Frames `payload` as payloadBytes/CRC/payload and appends it.
+  void writeFramed(std::span<const std::byte> payload);
+  /// Encodes and writes the current chunk (possibly empty), advancing
+  /// chunkIndex_.
+  void flushChunk();
+
+  std::ostream* out_;
+  WriterOptions options_;
+  telemetry::Counter* bytesCounter_ = nullptr;
+  telemetry::Counter* chunksCounter_ = nullptr;
+  telemetry::Counter* recordsCounter_ = nullptr;
+
+  bool begun_ = false;
+  bool ended_ = false;
+  std::uint64_t intervalCount_ = 0;
+  std::uint32_t edgeCount_ = 0;
+  std::uint64_t chunkCount_ = 0;
+  std::uint64_t chunkIndex_ = 0;   ///< next chunk to flush
+  std::int64_t lastInterval_ = -1; ///< last interval() index seen
+  std::vector<trace::LinkConditions> baselineLatencyRef_;
+  std::vector<PendingRecord> pending_;
+  std::vector<ChunkIndexEntry> index_;
+  std::vector<std::byte> scratch_;
+  std::vector<std::byte> frame_;
+  std::uint64_t bytesWritten_ = 0;
+  std::uint64_t recordsWritten_ = 0;
+  std::size_t peakBufferedRecords_ = 0;
+};
+
+/// Packs an in-memory trace to `path` (atomic enough for our use: the
+/// file is written in one pass and only readable once the trailer lands).
+void packTrace(const trace::Trace& trace, const std::string& path,
+               WriterOptions options = {},
+               telemetry::MetricsRegistry* metrics = nullptr);
+
+}  // namespace dg::store

@@ -58,19 +58,48 @@ ConditionTimeline::ConditionTimeline(const Trace& trace) : trace_(&trace) {
   }
 }
 
+ConditionTimeline::ConditionTimeline(ConditionSource& source)
+    : source_(&source) {
+  const auto baseline = source.baseline();
+  loss_.reserve(baseline.size());
+  latency_.reserve(baseline.size());
+  for (const LinkConditions& conditions : baseline) {
+    loss_.push_back(conditions.lossRate);
+    latency_.push_back(conditions.latency);
+  }
+}
+
 void ConditionTimeline::seek(std::size_t interval) {
-  if (interval >= trace_->intervalCount())
+  const std::size_t count =
+      trace_ ? trace_->intervalCount() : source_->intervalCount();
+  if (interval >= count)
     throw std::out_of_range("ConditionTimeline::seek: interval out of range");
   if (interval == interval_) return;
-  if (interval_ != kUnpositioned) {
-    for (const auto& [edge, conditions] : trace_->deviationsAt(interval_)) {
-      loss_[edge] = trace_->baseline(edge).lossRate;
-      latency_[edge] = trace_->baseline(edge).latency;
+  if (trace_) {
+    if (interval_ != kUnpositioned) {
+      for (const auto& [edge, conditions] : trace_->deviationsAt(interval_)) {
+        loss_[edge] = trace_->baseline(edge).lossRate;
+        latency_[edge] = trace_->baseline(edge).latency;
+      }
     }
-  }
-  for (const auto& [edge, conditions] : trace_->deviationsAt(interval)) {
-    loss_[edge] = conditions.lossRate;
-    latency_[edge] = conditions.latency;
+    for (const auto& [edge, conditions] : trace_->deviationsAt(interval)) {
+      loss_[edge] = conditions.lossRate;
+      latency_[edge] = conditions.latency;
+    }
+  } else {
+    // Undo from the saved copy (the source's previous span may already
+    // be gone), then apply and re-save the target interval's list.
+    const auto baseline = source_->baseline();
+    for (const auto& [edge, conditions] : current_) {
+      loss_[edge] = baseline[edge].lossRate;
+      latency_[edge] = baseline[edge].latency;
+    }
+    const auto deviations = source_->deviationsAt(interval);
+    for (const auto& [edge, conditions] : deviations) {
+      loss_[edge] = conditions.lossRate;
+      latency_[edge] = conditions.latency;
+    }
+    current_.assign(deviations.begin(), deviations.end());
   }
   interval_ = interval;
 }

@@ -48,11 +48,36 @@ class ConditionIndex {
   std::size_t distinct_ = 1;
 };
 
+/// Abstract per-interval deviation feed for timeline cursors. Backed by
+/// an in-memory Trace (adapter below) or by the packed-trace store's
+/// chunked reader, which decodes on demand and hands out spans into a
+/// reused workspace -- so a cursor can replay a multi-week packed trace
+/// with memory bounded by one chunk, never the whole trace.
+class ConditionSource {
+ public:
+  virtual ~ConditionSource() = default;
+
+  virtual std::size_t intervalCount() const = 0;
+  virtual std::size_t edgeCount() const = 0;
+  /// Healthy per-edge conditions; valid for the source's lifetime.
+  virtual std::span<const LinkConditions> baseline() const = 0;
+  /// Edge-sorted deviation list of one interval. The span is only
+  /// guaranteed valid until the next deviationsAt() call (chunked
+  /// sources reuse their decode workspace); callers that need the
+  /// previous interval's list across a call must copy it.
+  virtual std::span<const std::pair<graph::EdgeId, LinkConditions>>
+  deviationsAt(std::size_t interval) = 0;
+};
+
 class ConditionTimeline {
  public:
   static constexpr std::size_t kUnpositioned = static_cast<std::size_t>(-1);
 
   explicit ConditionTimeline(const Trace& trace);
+  /// Source-backed cursor: identical semantics, deviations pulled from
+  /// `source` (which must outlive the cursor). Used for streaming
+  /// playback over packed traces without materializing a Trace.
+  explicit ConditionTimeline(ConditionSource& source);
 
   std::size_t interval() const { return interval_; }
   bool positioned() const { return interval_ != kUnpositioned; }
@@ -68,13 +93,21 @@ class ConditionTimeline {
   std::span<const double> lossRates() const { return loss_; }
   std::span<const util::SimTime> latencies() const { return latency_; }
 
+  /// The backing trace. Only valid for trace-backed cursors (the
+  /// playback engine's); source-backed cursors have no Trace.
   const Trace& trace() const { return *trace_; }
 
  private:
-  const Trace* trace_;
+  const Trace* trace_ = nullptr;       ///< null when source-backed
+  ConditionSource* source_ = nullptr;  ///< null when trace-backed
   std::size_t interval_ = kUnpositioned;
   std::vector<double> loss_;
   std::vector<util::SimTime> latency_;
+  /// Source-backed mode: copy of the current interval's deviations (the
+  /// source's span may die at the next deviationsAt call, but seek()
+  /// needs it to undo). Reuses capacity, so steady-state seeks stay
+  /// allocation-free.
+  std::vector<std::pair<graph::EdgeId, LinkConditions>> current_;
 };
 
 }  // namespace dg::trace

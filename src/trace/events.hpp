@@ -55,6 +55,8 @@ struct ProblemEvent {
   /// the link and its reverse.
   std::vector<graph::EdgeId> affectedEdges;
 
+  bool operator==(const ProblemEvent&) const = default;
+
   std::size_t endInterval() const { return startInterval + intervalCount; }
   bool activeDuring(std::size_t interval) const {
     return interval >= startInterval && interval < endInterval();

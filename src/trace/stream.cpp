@@ -1,0 +1,47 @@
+#include "trace/stream.hpp"
+
+#include <stdexcept>
+
+namespace dg::trace {
+
+void TraceBuilder::begin(util::SimTime intervalLength,
+                         std::size_t intervalCount,
+                         std::span<const LinkConditions> baseline) {
+  if (trace_) throw std::logic_error("TraceBuilder: begin() called twice");
+  trace_.emplace(intervalLength, intervalCount,
+                 std::vector<LinkConditions>(baseline.begin(),
+                                             baseline.end()));
+}
+
+void TraceBuilder::interval(std::size_t index,
+                            std::span<const Deviation> deviations) {
+  if (!trace_)
+    throw std::logic_error("TraceBuilder: interval() before begin()");
+  if (index >= trace_->intervalCount())
+    throw std::out_of_range("TraceBuilder: interval index out of range");
+  for (const Deviation& deviation : deviations)
+    trace_->setCondition(deviation.first, index, deviation.second);
+}
+
+void TraceBuilder::end() { ended_ = true; }
+
+Trace TraceBuilder::take() {
+  if (!trace_ || !ended_)
+    throw std::logic_error("TraceBuilder: take() before a complete stream");
+  Trace out = std::move(*trace_);
+  trace_.reset();
+  ended_ = false;
+  return out;
+}
+
+void streamTrace(const Trace& trace, TraceSink& sink) {
+  sink.begin(trace.intervalLength(), trace.intervalCount(),
+             trace.baselines());
+  for (std::size_t i = 0; i < trace.intervalCount(); ++i) {
+    if (!trace.hasDeviation(i)) continue;
+    sink.interval(i, trace.deviationsAt(i));
+  }
+  sink.end();
+}
+
+}  // namespace dg::trace

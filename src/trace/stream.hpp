@@ -1,0 +1,70 @@
+// Interval-streaming access to traces.
+//
+// A TraceSink receives a trace as a header (interval geometry + per-edge
+// baseline) followed by per-interval deviation lists in strictly
+// increasing interval order. Producers that stream -- the synthetic
+// generator's stream path, streamTrace() over an in-memory Trace -- can
+// feed consumers with bounded memory (the packed-trace writer buffers one
+// chunk at a time) because nothing ever holds the full per-interval
+// representation.
+//
+// Clean (deviation-free) intervals may be skipped entirely: a sink must
+// treat any interval it was not told about as baseline-only.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "trace/trace.hpp"
+
+namespace dg::trace {
+
+/// One deviating (edge, condition) entry of an interval, as streamed.
+using Deviation = std::pair<graph::EdgeId, LinkConditions>;
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Starts a trace. `baseline` has one entry per directed edge and is
+  /// only guaranteed valid during the call.
+  virtual void begin(util::SimTime intervalLength, std::size_t intervalCount,
+                     std::span<const LinkConditions> baseline) = 0;
+
+  /// One non-clean interval. Indices are strictly increasing across
+  /// calls and < intervalCount; `deviations` is edge-sorted and only
+  /// valid during the call. Clean intervals are skipped.
+  virtual void interval(std::size_t index,
+                        std::span<const Deviation> deviations) = 0;
+
+  /// Ends the trace (intervals beyond the last reported one are clean).
+  virtual void end() = 0;
+};
+
+/// Sink that materializes the streamed trace as an in-memory Trace --
+/// the inverse of streamTrace(), used by round-trip tests and by the
+/// packed-trace reader's full decode.
+class TraceBuilder final : public TraceSink {
+ public:
+  void begin(util::SimTime intervalLength, std::size_t intervalCount,
+             std::span<const LinkConditions> baseline) override;
+  void interval(std::size_t index,
+                std::span<const Deviation> deviations) override;
+  void end() override;
+
+  /// The materialized trace; valid after end(). Throws std::logic_error
+  /// if the stream is incomplete.
+  Trace take();
+
+ private:
+  std::optional<Trace> trace_;
+  bool ended_ = false;
+};
+
+/// Streams an existing trace into a sink, interval by interval. The
+/// extra memory used is O(1) -- every span handed to the sink borrows
+/// from the trace's own storage.
+void streamTrace(const Trace& trace, TraceSink& sink);
+
+}  // namespace dg::trace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 #include "util/logging.hpp"
@@ -33,11 +34,19 @@ std::size_t durationIntervals(double medianSeconds, double sigma,
                                       std::llround(intervals)));
 }
 
-}  // namespace
-
-void applyEvent(Trace& trace, const graph::Graph& graph,
-                const ProblemEvent& event, util::Rng& rng,
-                double boundaryActivityFactor) {
+/// The shared core of applyEvent and the streaming generator: resolves
+/// `event` into per-(interval, edge) impairments, drawing activity from
+/// `rng` in a FIXED order (intervals outer, undirected links inner) and
+/// handing each impairment to `emit(interval, edge, impairment)`. Both
+/// callers draw identically, which is what keeps the streamed trace
+/// bit-identical to the batch one.
+template <typename Emit>
+void drawEventImpairments(const graph::Graph& graph,
+                          const ProblemEvent& event, util::Rng& rng,
+                          double boundaryActivityFactor,
+                          std::size_t intervalCount,
+                          std::span<const LinkConditions> baseline,
+                          Emit&& emit) {
   // Group the affected directed edges into undirected links so both
   // directions share one activity draw per interval (a congested or
   // failing site degrades a link in both directions at once).
@@ -59,8 +68,7 @@ void applyEvent(Trace& trace, const graph::Graph& graph,
     links.emplace_back(e, reverse);
   }
 
-  const std::size_t end =
-      std::min(event.endInterval(), trace.intervalCount());
+  const std::size_t end = std::min(event.endInterval(), intervalCount);
   for (std::size_t interval = event.startInterval; interval < end;
        ++interval) {
     const bool boundary =
@@ -72,25 +80,38 @@ void applyEvent(Trace& trace, const graph::Graph& graph,
       LinkConditions impairment;
       if (event.impairment == ProblemEvent::Impairment::Loss) {
         impairment.lossRate = event.severity;
-        impairment.latency = trace.baseline(forward).latency;
+        impairment.latency = baseline[forward].latency;
       } else {
         impairment.lossRate = 0.0;
-        impairment.latency =
-            trace.baseline(forward).latency + event.latencyPenalty;
+        impairment.latency = baseline[forward].latency + event.latencyPenalty;
       }
-      trace.applyImpairment(forward, interval, impairment);
+      emit(interval, forward, impairment);
       if (reverse != graph::kInvalidEdge) {
         LinkConditions reverseImpairment = impairment;
         if (event.impairment == ProblemEvent::Impairment::Latency) {
           reverseImpairment.latency =
-              trace.baseline(reverse).latency + event.latencyPenalty;
+              baseline[reverse].latency + event.latencyPenalty;
         } else {
-          reverseImpairment.latency = trace.baseline(reverse).latency;
+          reverseImpairment.latency = baseline[reverse].latency;
         }
-        trace.applyImpairment(reverse, interval, reverseImpairment);
+        emit(interval, reverse, reverseImpairment);
       }
     }
   }
+}
+
+}  // namespace
+
+void applyEvent(Trace& trace, const graph::Graph& graph,
+                const ProblemEvent& event, util::Rng& rng,
+                double boundaryActivityFactor) {
+  drawEventImpairments(
+      graph, event, rng, boundaryActivityFactor, trace.intervalCount(),
+      trace.baselines(),
+      [&trace](std::size_t interval, graph::EdgeId edge,
+               const LinkConditions& impairment) {
+        trace.applyImpairment(edge, interval, impairment);
+      });
 }
 
 ProblemEvent makeNodeEvent(const graph::Graph& graph, graph::NodeId node,
@@ -188,8 +209,11 @@ ProblemEvent makeLinkEvent(const graph::Graph& graph, graph::EdgeId edge,
   return event;
 }
 
-SyntheticTrace generateSyntheticTrace(const graph::Graph& graph,
-                                      const GeneratorParams& params) {
+namespace {
+
+/// Validates durations and returns the interval count (shared by the
+/// batch and streaming generators).
+std::size_t resolveIntervalCount(const GeneratorParams& params) {
   if (params.duration <= 0 || params.intervalLength <= 0)
     throw std::invalid_argument("generateSyntheticTrace: bad durations");
   const auto intervalCount = static_cast<std::size_t>(
@@ -197,17 +221,19 @@ SyntheticTrace generateSyntheticTrace(const graph::Graph& graph,
   if (intervalCount == 0)
     throw std::invalid_argument(
         "generateSyntheticTrace: duration shorter than one interval");
+  return intervalCount;
+}
 
-  util::Rng master(params.seed);
-  util::Rng placementRng = master.fork();
-  util::Rng shapeRng = master.fork();
-  util::Rng activityRng = master.fork();
-  util::Rng blipRng = master.fork();
-
-  SyntheticTrace result{
-      Trace(params.intervalLength, intervalCount,
-            healthyBaseline(graph, params.residualLoss)),
-      {}};
+/// Draws the full ground-truth event list (node + link events,
+/// start-sorted). Extracted verbatim from the batch generator so both
+/// generation paths consume placementRng/shapeRng in the identical
+/// order, which makes their event lists bit-equal.
+std::vector<ProblemEvent> generateEventList(const graph::Graph& graph,
+                                            const GeneratorParams& params,
+                                            std::size_t intervalCount,
+                                            util::Rng& placementRng,
+                                            util::Rng& shapeRng) {
+  std::vector<ProblemEvent> events;
 
   const double durationDays =
       util::toSeconds(params.duration) / 86'400.0;
@@ -237,7 +263,7 @@ SyntheticTrace generateSyntheticTrace(const graph::Graph& graph,
     const bool blackout = shapeRng.bernoulli(params.nodeBlackoutProb);
     if (blackout) {
       // Hard full-site outage: nothing survives.
-      result.events.push_back(makeNodeEvent(graph, node, start, length,
+      events.push_back(makeNodeEvent(graph, node, start, length,
                                             /*coverage=*/1.0,
                                             /*activity=*/1.0,
                                             /*severity=*/1.0, 0, shapeRng));
@@ -253,7 +279,7 @@ SyntheticTrace generateSyntheticTrace(const graph::Graph& graph,
             static_cast<double>(params.latencyPenaltyMin),
             static_cast<double>(params.latencyPenaltyMax)));
       }
-      result.events.push_back(makeNodeOutageEvent(graph, node, start, length,
+      events.push_back(makeNodeOutageEvent(graph, node, start, length,
                                                   alive, severity,
                                                   latencyPenalty, shapeRng));
     } else {
@@ -266,7 +292,7 @@ SyntheticTrace generateSyntheticTrace(const graph::Graph& graph,
                                  params.nodeFlutterActivityMax);
       const double severity =
           shapeRng.uniform(params.lossSeverityMin, params.lossSeverityMax);
-      result.events.push_back(makeNodeEvent(graph, node, start, length,
+      events.push_back(makeNodeEvent(graph, node, start, length,
                                             /*coverage=*/1.0, activity,
                                             severity, 0, shapeRng));
     }
@@ -295,17 +321,67 @@ SyntheticTrace generateSyntheticTrace(const graph::Graph& graph,
       severity =
           shapeRng.uniform(params.lossSeverityMin, params.lossSeverityMax);
     }
-    result.events.push_back(
+    events.push_back(
         makeLinkEvent(graph, edge, start, length, activity, severity,
                       latencyPenalty));
   }
 
-  std::sort(result.events.begin(), result.events.end(),
+  std::sort(events.begin(), events.end(),
             [](const ProblemEvent& a, const ProblemEvent& b) {
               if (a.startInterval != b.startInterval)
                 return a.startInterval < b.startInterval;
               return a.intervalCount < b.intervalCount;
             });
+  return events;
+}
+
+/// One scheduled benign blip, pre-drawn in the batch path's exact order
+/// (edge-major, then draw index) so the streaming sweep can fold blips
+/// with bit-equal results.
+struct ScheduledBlip {
+  std::size_t interval = 0;
+  graph::EdgeId edge = 0;
+  double loss = 0.0;
+};
+
+std::vector<ScheduledBlip> generateBlipSchedule(
+    const graph::Graph& graph, const GeneratorParams& params,
+    std::size_t intervalCount, util::Rng& blipRng) {
+  const double durationDays = util::toSeconds(params.duration) / 86'400.0;
+  const double blipMean = params.blipsPerLinkPerDay * durationDays;
+  std::vector<ScheduledBlip> schedule;
+  for (graph::EdgeId e = 0; e < graph.edgeCount(); ++e) {
+    const std::size_t blips = poisson(blipMean, blipRng);
+    for (std::size_t i = 0; i < blips; ++i) {
+      ScheduledBlip blip;
+      blip.interval = static_cast<std::size_t>(
+          blipRng.uniformInt(intervalCount));
+      blip.edge = e;
+      blip.loss = blipRng.uniform(params.blipLossMin, params.blipLossMax);
+      schedule.push_back(blip);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace
+
+SyntheticTrace generateSyntheticTrace(const graph::Graph& graph,
+                                      const GeneratorParams& params) {
+  const std::size_t intervalCount = resolveIntervalCount(params);
+
+  util::Rng master(params.seed);
+  util::Rng placementRng = master.fork();
+  util::Rng shapeRng = master.fork();
+  util::Rng activityRng = master.fork();
+  util::Rng blipRng = master.fork();
+
+  SyntheticTrace result{
+      Trace(params.intervalLength, intervalCount,
+            healthyBaseline(graph, params.residualLoss)),
+      generateEventList(graph, params, intervalCount, placementRng,
+                        shapeRng)};
+
   for (const ProblemEvent& event : result.events) {
     applyEvent(result.trace, graph, event, activityRng,
                params.boundaryActivityFactor);
@@ -313,23 +389,128 @@ SyntheticTrace generateSyntheticTrace(const graph::Graph& graph,
 
   // --- Benign single-interval blips ------------------------------------
   // Applied after events; they combine multiplicatively where they overlap.
-  const double blipMean = params.blipsPerLinkPerDay * durationDays;
-  for (graph::EdgeId e = 0; e < graph.edgeCount(); ++e) {
-    const std::size_t blips = poisson(blipMean, blipRng);
-    for (std::size_t i = 0; i < blips; ++i) {
-      const std::size_t interval = static_cast<std::size_t>(
-          blipRng.uniformInt(intervalCount));
-      LinkConditions impairment;
-      impairment.lossRate =
-          blipRng.uniform(params.blipLossMin, params.blipLossMax);
-      impairment.latency = result.trace.baseline(e).latency;
-      result.trace.applyImpairment(e, interval, impairment);
-    }
+  // Drawn through the same schedule helper the streaming path uses (the
+  // helper consumes blipRng exactly as the historical inline loop did).
+  for (const ScheduledBlip& blip :
+       generateBlipSchedule(graph, params, intervalCount, blipRng)) {
+    LinkConditions impairment;
+    impairment.lossRate = blip.loss;
+    impairment.latency = result.trace.baseline(blip.edge).latency;
+    result.trace.applyImpairment(blip.edge, blip.interval, impairment);
   }
 
   DG_LOG(Info) << "synthetic trace: " << intervalCount << " intervals, "
                << result.events.size() << " events";
   return result;
+}
+
+std::vector<ProblemEvent> streamSyntheticTrace(
+    const graph::Graph& graph, const GeneratorParams& params,
+    TraceSink& sink, StreamGenerationStats* stats) {
+  const std::size_t intervalCount = resolveIntervalCount(params);
+
+  util::Rng master(params.seed);
+  util::Rng placementRng = master.fork();
+  util::Rng shapeRng = master.fork();
+  util::Rng activityRng = master.fork();
+  util::Rng blipRng = master.fork();
+
+  const std::vector<LinkConditions> baseline =
+      healthyBaseline(graph, params.residualLoss);
+  const std::vector<ProblemEvent> events = generateEventList(
+      graph, params, intervalCount, placementRng, shapeRng);
+  std::vector<ScheduledBlip> blips =
+      generateBlipSchedule(graph, params, intervalCount, blipRng);
+  // Stable by interval: preserves the batch path's (edge, draw index)
+  // application order within an interval. Blips on different edges never
+  // interact, so this reproduces the batch fold exactly.
+  std::stable_sort(blips.begin(), blips.end(),
+                   [](const ScheduledBlip& a, const ScheduledBlip& b) {
+                     return a.interval < b.interval;
+                   });
+
+  StreamGenerationStats local;
+  local.events = events.size();
+  local.blips = blips.size();
+
+  // Impairments drawn ahead of the sweep, keyed by interval. Holds only
+  // the active-event window: an event's draws happen in full when the
+  // sweep reaches its start interval and drain as the sweep passes.
+  struct PendingOp {
+    graph::EdgeId edge = 0;
+    LinkConditions impairment;
+  };
+  std::map<std::size_t, std::vector<PendingOp>> pending;
+  std::size_t pendingOps = 0;
+
+  sink.begin(params.intervalLength, intervalCount, baseline);
+
+  std::size_t nextEvent = 0;
+  std::size_t nextBlip = 0;
+  std::map<graph::EdgeId, LinkConditions> combined;
+  std::vector<Deviation> deviations;
+  for (std::size_t t = 0; t < intervalCount; ++t) {
+    // Draw every event starting here, in list order -- events are
+    // start-sorted, so this consumes activityRng in exactly the order
+    // the batch path's applyEvent loop does.
+    while (nextEvent < events.size() &&
+           events[nextEvent].startInterval <= t) {
+      drawEventImpairments(
+          graph, events[nextEvent], activityRng,
+          params.boundaryActivityFactor, intervalCount, baseline,
+          [&pending, &pendingOps](std::size_t interval, graph::EdgeId edge,
+                                  const LinkConditions& impairment) {
+            pending[interval].push_back(PendingOp{edge, impairment});
+            ++pendingOps;
+          });
+      ++nextEvent;
+      local.peakPendingOps = std::max(local.peakPendingOps, pendingOps);
+      local.peakPendingIntervals =
+          std::max(local.peakPendingIntervals, pending.size());
+    }
+
+    // Fold this interval's ops in the batch order: events (as enqueued,
+    // which is event order), then blips. combineConditions applied in
+    // the same sequence on the same values is bit-reproducible.
+    combined.clear();
+    const auto fold = [&combined, &baseline](
+                          graph::EdgeId edge,
+                          const LinkConditions& impairment) {
+      const auto it = combined.find(edge);
+      const LinkConditions& current =
+          it != combined.end() ? it->second : baseline[edge];
+      const LinkConditions next = combineConditions(current, impairment);
+      if (it != combined.end()) {
+        it->second = next;
+      } else {
+        combined.emplace(edge, next);
+      }
+    };
+    if (const auto it = pending.find(t); it != pending.end()) {
+      for (const PendingOp& op : it->second) fold(op.edge, op.impairment);
+      pendingOps -= it->second.size();
+      pending.erase(it);
+    }
+    for (; nextBlip < blips.size() && blips[nextBlip].interval == t;
+         ++nextBlip) {
+      LinkConditions impairment;
+      impairment.lossRate = blips[nextBlip].loss;
+      impairment.latency = baseline[blips[nextBlip].edge].latency;
+      fold(blips[nextBlip].edge, impairment);
+    }
+    if (combined.empty()) continue;
+    deviations.assign(combined.begin(), combined.end());
+    sink.interval(t, deviations);
+    ++local.emittedIntervals;
+    local.emittedDeviations += deviations.size();
+  }
+  sink.end();
+
+  DG_LOG(Info) << "streamed synthetic trace: " << intervalCount
+               << " intervals, " << local.events << " events, peak pending "
+               << local.peakPendingOps << " impairments";
+  if (stats) *stats = local;
+  return events;
 }
 
 }  // namespace dg::trace

@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "trace/events.hpp"
+#include "trace/stream.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 
@@ -153,5 +154,30 @@ ProblemEvent makeLinkEvent(const graph::Graph& graph, graph::EdgeId edge,
 /// Generates a trace plus its ground-truth event log.
 SyntheticTrace generateSyntheticTrace(const graph::Graph& graph,
                                       const GeneratorParams& params);
+
+/// Workspace accounting of a streaming generation run, for the
+/// bounded-memory evidence in tests and bench_trace_store: the peak
+/// counters are functions of event density and duration *distribution*,
+/// not of the trace length.
+struct StreamGenerationStats {
+  std::size_t events = 0;          ///< ground-truth events drawn
+  std::size_t blips = 0;           ///< benign blips drawn (schedule size)
+  std::size_t peakPendingOps = 0;  ///< max buffered event impairments
+  std::size_t peakPendingIntervals = 0;  ///< max intervals with buffers
+  std::size_t emittedIntervals = 0;      ///< non-clean intervals streamed
+  std::size_t emittedDeviations = 0;
+};
+
+/// Streams the synthetic trace into `sink` interval by interval instead
+/// of materializing it. The streamed trace and the returned ground-truth
+/// event list are BIT-IDENTICAL to generateSyntheticTrace with the same
+/// params: events are start-sorted, so sweeping intervals in order and
+/// drawing each event's full activity the moment the sweep reaches its
+/// start consumes the shared activity RNG in exactly the batch order,
+/// while only the active-event window (plus the tiny event/blip
+/// schedule) is ever buffered -- never the per-interval trace itself.
+std::vector<ProblemEvent> streamSyntheticTrace(
+    const graph::Graph& graph, const GeneratorParams& params,
+    TraceSink& sink, StreamGenerationStats* stats = nullptr);
 
 }  // namespace dg::trace

@@ -38,6 +38,9 @@ class Trace {
     return baseline_[edge];
   }
 
+  /// All per-edge baselines as one borrowed span (streaming writers).
+  std::span<const LinkConditions> baselines() const { return baseline_; }
+
   /// Interval index containing time t (clamped to the trace range).
   std::size_t intervalAt(util::SimTime t) const;
 
@@ -53,6 +56,10 @@ class Trace {
 
   /// Condition of edge in interval (baseline unless overridden).
   const LinkConditions& at(graph::EdgeId edge, std::size_t interval) const;
+
+  /// Exact structural equality: same geometry, baseline and deviation
+  /// lists (used by store round-trip and stream-equivalence tests).
+  bool operator==(const Trace&) const = default;
 
   /// True if any edge deviates from baseline in the interval.
   bool hasDeviation(std::size_t interval) const {

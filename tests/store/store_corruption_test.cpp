@@ -1,0 +1,178 @@
+// Corruption fixtures: every damage class maps to its own StoreErrorKind
+// (and therefore its own `dgnet trace` exit code), with an actionable
+// message.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "store/crc32.hpp"
+#include "store/format.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
+#include "test_support.hpp"
+#include "trace/stream.hpp"
+
+namespace dg {
+namespace {
+
+std::vector<std::byte> validPackedBytes() {
+  const test::Diamond diamond;
+  trace::Trace trace(util::seconds(10), 10,
+                     trace::healthyBaseline(diamond.g, 1e-4));
+  trace.setCondition(diamond.sa, 1, {0.5, util::milliseconds(30)});
+  trace.setCondition(diamond.bd, 7, {0.9, util::milliseconds(15)});
+  std::ostringstream out(std::ios::binary);
+  store::WriterOptions options;
+  options.chunkIntervals = 4;
+  store::StoreWriter writer(out, options);
+  trace::streamTrace(trace, writer);
+  const std::string s = out.str();
+  const auto* data = reinterpret_cast<const std::byte*>(s.data());
+  return {data, data + s.size()};
+}
+
+void patchU32(std::vector<std::byte>& bytes, std::size_t offset,
+              std::uint32_t value) {
+  bytes[offset] = static_cast<std::byte>(value & 0xFF);
+  bytes[offset + 1] = static_cast<std::byte>((value >> 8) & 0xFF);
+  bytes[offset + 2] = static_cast<std::byte>((value >> 16) & 0xFF);
+  bytes[offset + 3] = static_cast<std::byte>((value >> 24) & 0xFF);
+}
+
+std::uint32_t readU32At(const std::vector<std::byte>& bytes,
+                        std::size_t offset) {
+  return store::getU32(std::span<const std::byte>(bytes), offset);
+}
+
+std::uint64_t readU64At(const std::vector<std::byte>& bytes,
+                        std::size_t offset) {
+  return store::getU64(std::span<const std::byte>(bytes), offset);
+}
+
+/// Opens + fully verifies, returning the failure kind (the fixture
+/// assertions want exactly one distinct kind per damage class).
+testing::AssertionResult failsWith(std::vector<std::byte> bytes,
+                                   store::StoreErrorKind kind,
+                                   const std::string& messageNeedle) {
+  try {
+    store::PackedTraceReader reader(
+        store::makeBufferSource(std::move(bytes)));
+    reader.verify();
+  } catch (const store::StoreError& e) {
+    if (e.kind() != kind)
+      return testing::AssertionFailure()
+             << "expected " << store::storeErrorKindName(kind) << ", got "
+             << store::storeErrorKindName(e.kind()) << ": " << e.what();
+    if (std::string(e.what()).find(messageNeedle) == std::string::npos)
+      return testing::AssertionFailure()
+             << "message '" << e.what() << "' lacks '" << messageNeedle
+             << "'";
+    return testing::AssertionSuccess();
+  }
+  return testing::AssertionFailure() << "no StoreError thrown";
+}
+
+TEST(StoreCorruption, IntactFixturePassesVerification) {
+  store::PackedTraceReader reader(
+      store::makeBufferSource(validPackedBytes()));
+  EXPECT_EQ(reader.verify().chunksVerified, 3u);
+}
+
+TEST(StoreCorruption, BadMagicIsDetected) {
+  auto bytes = validPackedBytes();
+  bytes[0] = static_cast<std::byte>('X');
+  EXPECT_TRUE(failsWith(std::move(bytes), store::StoreErrorKind::BadMagic,
+                        "not a dgtrace file"));
+}
+
+TEST(StoreCorruption, FutureVersionIsRejectedWithItsOwnKind) {
+  auto bytes = validPackedBytes();
+  patchU32(bytes, 8, store::kFormatVersion + 41);
+  // Recompute the header CRC so the ONLY problem is the version: the
+  // reader must still refuse, telling the user to upgrade.
+  patchU32(bytes, 36,
+           store::crc32(std::span<const std::byte>(bytes).first(36)));
+  EXPECT_TRUE(failsWith(std::move(bytes),
+                        store::StoreErrorKind::VersionMismatch,
+                        "version 42"));
+}
+
+TEST(StoreCorruption, TruncationIsDetectedAtAnyCut) {
+  const auto whole = validPackedBytes();
+  for (const std::size_t keep :
+       {whole.size() - 1, whole.size() - store::kTrailerBytes,
+        whole.size() / 2, store::kHeaderBytes, std::size_t{20},
+        std::size_t{3}}) {
+    auto bytes = whole;
+    bytes.resize(keep);
+    EXPECT_TRUE(failsWith(std::move(bytes),
+                          store::StoreErrorKind::Truncated, ""))
+        << "cut to " << keep << " bytes";
+  }
+}
+
+TEST(StoreCorruption, FlippedBaselineByteFailsItsChecksum) {
+  auto bytes = validPackedBytes();
+  const std::size_t baselinePayload = store::kHeaderBytes + 8;
+  bytes[baselinePayload] ^= std::byte{0x40};
+  EXPECT_TRUE(failsWith(std::move(bytes),
+                        store::StoreErrorKind::ChecksumMismatch,
+                        "baseline block"));
+}
+
+TEST(StoreCorruption, FlippedChunkByteFailsItsChecksum) {
+  auto bytes = validPackedBytes();
+  const std::uint32_t baselineBytes = readU32At(bytes, store::kHeaderBytes);
+  const std::size_t chunkStart = store::kHeaderBytes + 8 + baselineBytes;
+  bytes[chunkStart + 8] ^= std::byte{0x01};  // first chunk payload byte
+  EXPECT_TRUE(failsWith(std::move(bytes),
+                        store::StoreErrorKind::ChecksumMismatch, "chunk 0"));
+}
+
+TEST(StoreCorruption, IndexDisagreementIsCorruptNotChecksum) {
+  auto bytes = validPackedBytes();
+  // Bump chunk 0's record count in the footer index and re-CRC the
+  // footer: every checksum is now valid, but the index lies.
+  const std::size_t footerOffset = static_cast<std::size_t>(
+      readU64At(bytes, bytes.size() - store::kTrailerBytes));
+  const std::uint32_t footerBytes = readU32At(bytes, footerOffset);
+  const std::size_t recordCountAt = footerOffset + 8 + 12;
+  patchU32(bytes, recordCountAt, readU32At(bytes, recordCountAt) + 1);
+  patchU32(bytes, footerOffset + 4,
+           store::crc32(std::span<const std::byte>(bytes).subspan(
+               footerOffset + 8, footerBytes)));
+  EXPECT_TRUE(failsWith(std::move(bytes), store::StoreErrorKind::Corrupt,
+                        "record count disagrees"));
+}
+
+TEST(StoreCorruption, MissingFileIsAnIoError) {
+  try {
+    store::PackedTraceReader::open("/nonexistent/definitely-missing.dgtrace");
+    FAIL() << "open of a missing file succeeded";
+  } catch (const store::StoreError& e) {
+    EXPECT_EQ(e.kind(), store::StoreErrorKind::Io);
+  }
+}
+
+TEST(StoreCorruption, ExitCodesAreDistinctAndNonZero) {
+  const store::StoreErrorKind kinds[] = {
+      store::StoreErrorKind::Io,        store::StoreErrorKind::BadMagic,
+      store::StoreErrorKind::VersionMismatch,
+      store::StoreErrorKind::Truncated,
+      store::StoreErrorKind::ChecksumMismatch,
+      store::StoreErrorKind::Corrupt};
+  std::set<int> codes;
+  for (const store::StoreErrorKind kind : kinds) {
+    const int code = store::storeErrorExitCode(kind);
+    EXPECT_NE(code, 0) << store::storeErrorKindName(kind);
+    codes.insert(code);
+  }
+  EXPECT_EQ(codes.size(), std::size(kinds));
+}
+
+}  // namespace
+}  // namespace dg

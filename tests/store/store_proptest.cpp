@@ -1,0 +1,158 @@
+// Property-based dgtrace round trip: random traces -> writer -> reader
+// must reproduce a bit-identical Trace, for any geometry, chunking and
+// loss-value mix (ppm-quantizable and raw-double dictionary escapes).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "proptest.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace dg {
+namespace {
+
+struct DeviationSpec {
+  std::size_t interval = 0;
+  graph::EdgeId edge = 0;
+  trace::LinkConditions conditions;
+};
+
+/// A random trace case: geometry plus an explicit deviation list, so the
+/// shrinker can drop deviations without re-running the generator.
+struct TraceCase {
+  util::SimTime intervalLength = util::seconds(10);
+  std::size_t intervalCount = 1;
+  std::uint32_t chunkIntervals = 1;
+  std::vector<trace::LinkConditions> baseline;
+  std::vector<DeviationSpec> deviations;
+};
+
+trace::Trace materialize(const TraceCase& c) {
+  trace::Trace trace(c.intervalLength, c.intervalCount, c.baseline);
+  for (const DeviationSpec& d : c.deviations)
+    trace.setCondition(d.edge, d.interval, d.conditions);
+  return trace;
+}
+
+double randomLoss(util::Rng& rng) {
+  switch (rng.uniformInt(0, 3)) {
+    case 0:
+      return 0.0;
+    case 1:  // short decimal: survives ppm quantization exactly
+      return static_cast<double>(rng.uniformInt(0, 1000)) / 1000.0;
+    case 2:  // raw double in [0,1): dictionary path
+      return rng.uniform();
+    default:  // tiny sub-ppm values: dictionary path
+      return rng.uniform() * 1e-6;
+  }
+}
+
+TraceCase generateCase(util::Rng& rng) {
+  TraceCase c;
+  c.intervalLength = util::seconds(rng.uniformInt(1, 30));
+  c.intervalCount = static_cast<std::size_t>(rng.uniformInt(1, 60));
+  c.chunkIntervals = static_cast<std::uint32_t>(rng.uniformInt(1, 16));
+  const int edges = static_cast<int>(rng.uniformInt(1, 12));
+  for (int e = 0; e < edges; ++e) {
+    c.baseline.push_back(trace::LinkConditions{
+        randomLoss(rng), util::milliseconds(rng.uniformInt(1, 200))});
+  }
+  const int deviations = static_cast<int>(rng.uniformInt(0, 40));
+  for (int d = 0; d < deviations; ++d) {
+    DeviationSpec spec;
+    spec.interval = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(c.intervalCount) - 1));
+    spec.edge = static_cast<graph::EdgeId>(rng.uniformInt(0, edges - 1));
+    spec.conditions.lossRate = randomLoss(rng);
+    spec.conditions.latency =
+        util::milliseconds(rng.uniformInt(0, 5000)) -
+        util::milliseconds(rng.uniformInt(0, 100));
+    c.deviations.push_back(spec);
+  }
+  return c;
+}
+
+std::string checkRoundTrip(const TraceCase& c) {
+  const trace::Trace original = materialize(c);
+  std::ostringstream out(std::ios::binary);
+  store::WriterOptions options;
+  options.chunkIntervals = c.chunkIntervals;
+  try {
+    store::StoreWriter writer(out, options);
+    trace::streamTrace(original, writer);
+  } catch (const std::exception& e) {
+    return std::string("writer threw: ") + e.what();
+  }
+  const std::string bytes = out.str();
+  const auto* data = reinterpret_cast<const std::byte*>(bytes.data());
+  try {
+    store::PackedTraceReader reader(
+        store::makeBufferSource({data, data + bytes.size()}));
+    if (reader.verify().recordsDecoded != reader.info().recordCount)
+      return "verify record count disagrees with the index";
+    if (!(reader.readAll() == original))
+      return "decoded trace differs from the original";
+  } catch (const std::exception& e) {
+    return std::string("reader threw: ") + e.what();
+  }
+  return test::prop::pass();
+}
+
+std::string describeCase(const TraceCase& c) {
+  std::string out = "  intervals=" + std::to_string(c.intervalCount) +
+                    " edges=" + std::to_string(c.baseline.size()) +
+                    " chunkIntervals=" + std::to_string(c.chunkIntervals) +
+                    " deviations=" + std::to_string(c.deviations.size()) +
+                    "\n";
+  for (const DeviationSpec& d : c.deviations) {
+    out += "    interval=" + std::to_string(d.interval) +
+           " edge=" + std::to_string(d.edge) +
+           " loss=" + util::formatFixed(d.conditions.lossRate, 9) +
+           " latency=" + std::to_string(d.conditions.latency) + "us\n";
+  }
+  return out;
+}
+
+/// Shrink by dropping deviations (halves, then single elements): the
+/// failing geometry stays, the deviation list minimizes.
+std::vector<TraceCase> shrinkCase(const TraceCase& c) {
+  std::vector<TraceCase> candidates;
+  if (c.deviations.empty()) return candidates;
+  const std::size_t half = c.deviations.size() / 2;
+  if (half > 0) {
+    TraceCase firstHalf = c;
+    firstHalf.deviations.assign(c.deviations.begin(),
+                                c.deviations.begin() +
+                                    static_cast<std::ptrdiff_t>(half));
+    candidates.push_back(std::move(firstHalf));
+    TraceCase secondHalf = c;
+    secondHalf.deviations.assign(c.deviations.begin() +
+                                     static_cast<std::ptrdiff_t>(half),
+                                 c.deviations.end());
+    candidates.push_back(std::move(secondHalf));
+  }
+  for (std::size_t i = 0; i < c.deviations.size(); ++i) {
+    TraceCase dropOne = c;
+    dropOne.deviations.erase(dropOne.deviations.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+    candidates.push_back(std::move(dropOne));
+  }
+  return candidates;
+}
+
+TEST(StoreProperty, RandomTracesRoundTripBitIdentically) {
+  test::prop::Config config;
+  config.cases = 150;
+  test::prop::forAll("packed round trip is lossless", generateCase,
+                     checkRoundTrip, describeCase, shrinkCase, config);
+}
+
+}  // namespace
+}  // namespace dg

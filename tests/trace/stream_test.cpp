@@ -1,0 +1,94 @@
+// TraceSink streaming: builder round trips and the streaming synthetic
+// generator's bit-identity to the batch path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "test_support.hpp"
+#include "trace/stream.hpp"
+#include "trace/synth.hpp"
+#include "trace/topology.hpp"
+
+namespace dg {
+namespace {
+
+TEST(TraceStream, StreamIntoBuilderReproducesTheTrace) {
+  const test::Diamond diamond;
+  trace::Trace original(util::seconds(10), 25,
+                        trace::healthyBaseline(diamond.g, 1e-4));
+  original.setCondition(diamond.sa, 0, {0.9, util::milliseconds(10)});
+  original.setCondition(diamond.ad, 11, {0.25, util::milliseconds(400)});
+  original.setCondition(diamond.db, 11, {1.0, util::milliseconds(15)});
+  original.setCondition(diamond.ba, 24, {0.1, util::milliseconds(5)});
+
+  trace::TraceBuilder builder;
+  trace::streamTrace(original, builder);
+  EXPECT_EQ(builder.take(), original);
+}
+
+TEST(TraceStream, BuilderEnforcesItsContract) {
+  trace::TraceBuilder builder;
+  EXPECT_THROW(builder.take(), std::logic_error);
+  EXPECT_THROW(builder.interval(0, {}), std::logic_error);
+  builder.begin(util::seconds(10), 4,
+                std::vector<trace::LinkConditions>(
+                    2, trace::LinkConditions{0.0, util::milliseconds(1)}));
+  EXPECT_THROW(builder.begin(util::seconds(10), 4, {}), std::logic_error);
+  EXPECT_THROW(builder.interval(4, {}), std::out_of_range);
+  EXPECT_THROW(builder.take(), std::logic_error);  // no end() yet
+  builder.end();
+  const trace::Trace taken = builder.take();
+  EXPECT_EQ(taken.intervalCount(), 4u);
+}
+
+TEST(TraceStream, StreamedGeneratorIsBitIdenticalToBatch) {
+  const auto topology = trace::Topology::ltn12();
+  for (const std::uint64_t seed : {1ull, 7ull, 20170605ull}) {
+    trace::GeneratorParams params;
+    params.seed = seed;
+    params.duration = util::days(1);
+
+    const auto batch = generateSyntheticTrace(topology.graph(), params);
+
+    trace::TraceBuilder builder;
+    trace::StreamGenerationStats stats;
+    const auto events =
+        streamSyntheticTrace(topology.graph(), params, builder, &stats);
+    const trace::Trace streamed = builder.take();
+
+    EXPECT_EQ(streamed, batch.trace) << "seed " << seed;
+    EXPECT_EQ(events, batch.events) << "seed " << seed;
+    EXPECT_EQ(stats.events, batch.events.size());
+  }
+}
+
+TEST(TraceStream, StreamingStatsStayBoundedOnLongTraces) {
+  const auto topology = trace::Topology::ltn12();
+  trace::GeneratorParams params;
+  params.seed = 5;
+
+  params.duration = util::days(2);
+  trace::TraceBuilder shortBuilder;
+  trace::StreamGenerationStats shortStats;
+  streamSyntheticTrace(topology.graph(), params, shortBuilder, &shortStats);
+  shortBuilder.take();
+
+  params.duration = util::days(8);
+  trace::TraceBuilder longBuilder;
+  trace::StreamGenerationStats longStats;
+  streamSyntheticTrace(topology.graph(), params, longBuilder, &longStats);
+  longBuilder.take();
+
+  // 4x the horizon means ~4x the emitted work, but the pending window
+  // tracks event density, not trace length: it must not scale with the
+  // horizon. Allow generous slack for random variation in event shapes.
+  EXPECT_GT(longStats.emittedIntervals, shortStats.emittedIntervals);
+  EXPECT_LT(longStats.peakPendingOps,
+            4 * std::max<std::size_t>(shortStats.peakPendingOps, 1000));
+  EXPECT_LT(longStats.peakPendingIntervals,
+            longStats.emittedIntervals + 1);
+}
+
+}  // namespace
+}  // namespace dg

@@ -151,7 +151,7 @@ std::vector<std::string> DriverOptions::defaultOrderedScope() {
       "src/telemetry/",          "src/playback/experiment",
       "src/playback/report",     "src/playback/classification",
       "src/routing/decision_memo", "src/chaos/invariants",
-      "src/chaos/bridge",
+      "src/chaos/bridge",        "src/store/",
   };
 }
 

@@ -5,8 +5,21 @@
 //   dgnet gen-trace  --days=N [--seed=S] --out=FILE [--csv=FILE]
 //       Generate a synthetic condition trace (and optionally a CSV
 //       measurement export) plus its ground-truth event log on stderr.
+//       When --out ends in .dgtrace the trace is STREAMED into the
+//       packed binary store (bounded memory, full double precision)
+//       instead of materialized and saved as text.
 //   dgnet inspect    --trace=FILE
 //       Summarize a trace: horizon, deviation density, worst links.
+//   dgnet trace pack   --in=FILE --out=FILE [--chunk-intervals=N]
+//   dgnet trace info   --in=FILE
+//   dgnet trace verify --in=FILE
+//   dgnet trace cat    --in=FILE [--out=FILE]
+//       Packed-trace ("dgtrace") tooling: pack converts a text or packed
+//       trace into the columnar binary store; info prints the container
+//       geometry without decoding chunks; verify CRC-checks and decodes
+//       every region (exit codes: 2 io-error, 3 bad-magic,
+//       4 version-mismatch, 5 truncated, 6 checksum-mismatch,
+//       7 corrupt); cat decodes a packed trace to the text format.
 //   dgnet import     --csv=FILE --out=FILE [--interval_s=10]
 //       Convert external CSV measurements into the trace format.
 //   dgnet playback   --source=A --destination=B --scheme=NAME
@@ -25,7 +38,8 @@
 //       Run the flows x schemes playback sweep with full telemetry and
 //       print the merged metrics (byte-identical for any --threads).
 //   dgnet chaos      [--schedule=FILE | --seed=N [--faults=K] [--seconds=N]]
-//                    [--record=FILE] [--source=A --destination=B]
+//                    [--record=FILE] [--compile-out=FILE]
+//                    [--source=A --destination=B]
 //                    [--scheme=NAME] [--recovery=1] [--mc_samples=N]
 //       Drive the live overlay through a chaos fault schedule (scripted
 //       via --schedule, or seeded-random via --seed), differentially
@@ -35,7 +49,11 @@
 //       same (topology, schedule, seed) always produces byte-identical
 //       output and metrics exports.
 //
-// playback/simulate/telemetry accept the shared telemetry flags:
+// playback/simulate/telemetry accept --trace=FILE in either trace
+// format -- the packed store is detected by its magic bytes.
+//
+// playback/simulate/telemetry (and the trace subcommands) accept the
+// shared telemetry flags:
 //   --metrics-out=FILE     write collected metrics (- = stdout)
 //   --metrics-format=FMT   prom (default) | json | csv
 //   --trace-out=FILE       write the sim-time trace-event log as JSON
@@ -53,6 +71,8 @@
 #include "core/transport.hpp"
 #include "playback/experiment.hpp"
 #include "playback/playback.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/importer.hpp"
@@ -73,7 +93,8 @@ trace::Topology loadTopology(const util::Config& args) {
 
 trace::Trace loadOrGenerateTrace(const trace::Topology& topology,
                                  const util::Config& args) {
-  if (args.has("trace")) return trace::Trace::load(args.getString("trace"));
+  if (args.has("trace"))
+    return store::loadAnyTrace(args.getString("trace"));
   trace::GeneratorParams params;
   params.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
   params.duration = util::days(args.getInt("days", 1));
@@ -128,6 +149,10 @@ int cmdTopology(const util::Config& args) {
   return 0;
 }
 
+bool wantsPackedOutput(const std::string& path) {
+  return path.size() >= 8 && path.ends_with(".dgtrace");
+}
+
 int cmdGenTrace(const util::Config& args) {
   if (!args.has("out")) {
     std::cerr << "gen-trace: --out=FILE required\n";
@@ -137,16 +162,45 @@ int cmdGenTrace(const util::Config& args) {
   trace::GeneratorParams params;
   params.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
   params.duration = util::days(args.getInt("days", 1));
-  const auto synthetic = generateSyntheticTrace(topology.graph(), params);
-  synthetic.trace.save(args.getString("out"));
-  if (args.has("csv")) {
-    std::ofstream csv(args.getString("csv"));
-    csv << exportMeasurementsCsv(topology, synthetic.trace);
+  const std::string out = args.getString("out");
+
+  std::vector<trace::ProblemEvent> events;
+  std::size_t intervalCount = 0;
+  if (wantsPackedOutput(out)) {
+    // Stream the generator straight into the packed store: bit-identical
+    // to the batch path, but memory stays bounded by the active-event
+    // window plus one chunk, independent of --days.
+    std::ofstream packed(out, std::ios::binary | std::ios::trunc);
+    if (!packed) throw std::runtime_error("cannot open " + out);
+    store::StoreWriter writer(packed);
+    trace::StreamGenerationStats stats;
+    events = streamSyntheticTrace(topology.graph(), params, writer, &stats);
+    packed.close();
+    if (!packed) throw std::runtime_error("close failed: " + out);
+    intervalCount =
+        static_cast<std::size_t>(params.duration / params.intervalLength);
+    std::cerr << "streamed " << writer.bytesWritten() << " bytes ("
+              << writer.recordsWritten() << " deviation records, peak "
+              << writer.peakBufferedRecords() << " buffered; "
+              << stats.emittedIntervals << " non-clean intervals)\n";
+    if (args.has("csv")) {
+      const auto tr = store::loadPackedTrace(out);
+      std::ofstream csv(args.getString("csv"));
+      csv << exportMeasurementsCsv(topology, tr);
+    }
+  } else {
+    const auto synthetic = generateSyntheticTrace(topology.graph(), params);
+    synthetic.trace.save(out);
+    if (args.has("csv")) {
+      std::ofstream csv(args.getString("csv"));
+      csv << exportMeasurementsCsv(topology, synthetic.trace);
+    }
+    events = synthetic.events;
+    intervalCount = synthetic.trace.intervalCount();
   }
-  std::cerr << "wrote " << args.getString("out") << ": "
-            << synthetic.trace.intervalCount() << " intervals, "
-            << synthetic.events.size() << " ground-truth events\n";
-  for (const auto& event : synthetic.events) {
+  std::cerr << "wrote " << out << ": " << intervalCount << " intervals, "
+            << events.size() << " ground-truth events\n";
+  for (const auto& event : events) {
     std::cerr << "  t=" << event.startInterval * 10 << "s +"
               << event.intervalCount * 10 << "s "
               << (event.kind == trace::ProblemEvent::Kind::Node
@@ -167,7 +221,7 @@ int cmdInspect(const util::Config& args) {
     return 2;
   }
   const auto topology = loadTopology(args);
-  const auto tr = trace::Trace::load(args.getString("trace"));
+  const auto tr = store::loadAnyTrace(args.getString("trace"));
   std::size_t deviatedIntervals = 0;
   std::vector<std::size_t> perEdge(tr.edgeCount(), 0);
   std::size_t deviations = 0;
@@ -336,6 +390,18 @@ int cmdChaos(const util::Config& args) {
     schedule.save(args.getString("record"));
     std::cerr << "recorded schedule -> " << args.getString("record") << '\n';
   }
+  if (args.has("compile-out")) {
+    // The playback-model trace the differential run compares against,
+    // exported for offline replay (text, or packed when .dgtrace).
+    const auto compiled = chaos::compileToTrace(schedule, topology);
+    const std::string out = args.getString("compile-out");
+    if (wantsPackedOutput(out)) {
+      store::packTrace(compiled, out);
+    } else {
+      compiled.save(out);
+    }
+    std::cerr << "compiled schedule trace -> " << out << '\n';
+  }
 
   std::cout << "schedule: " << schedule.faults().size() << " faults over "
             << util::formatDuration(schedule.horizon()) << '\n';
@@ -399,9 +465,88 @@ int cmdChaos(const util::Config& args) {
   return result.passed() ? 0 : 1;
 }
 
+/// Resolves the input file of a `dgnet trace` subcommand: --in=FILE or
+/// the positional after the subcommand.
+std::string traceStoreInput(const util::Config& args,
+                            const std::vector<std::string>& positional) {
+  if (args.has("in")) return args.getString("in");
+  if (positional.size() >= 3) return positional[2];
+  throw std::runtime_error("--in=FILE required");
+}
+
+int cmdTraceStore(const util::Config& args,
+                  const std::vector<std::string>& positional) {
+  if (positional.size() < 2) {
+    std::cerr << "usage: dgnet trace <pack|info|verify|cat> --in=FILE ...\n";
+    return 2;
+  }
+  const std::string& sub = positional[1];
+  std::optional<telemetry::Telemetry> telemetry;
+  if (telemetryRequested(args)) telemetry.emplace();
+  telemetry::MetricsRegistry* metrics =
+      telemetry ? &telemetry->metrics : nullptr;
+  try {
+    if (sub == "pack") {
+      const std::string in = traceStoreInput(args, positional);
+      if (!args.has("out")) {
+        std::cerr << "trace pack: --out=FILE required\n";
+        return 2;
+      }
+      const auto tr = store::loadAnyTrace(in, metrics);
+      store::WriterOptions options;
+      options.chunkIntervals = static_cast<std::uint32_t>(args.getInt(
+          "chunk-intervals", store::kDefaultChunkIntervals));
+      store::packTrace(tr, args.getString("out"), options, metrics);
+      const auto reader = store::PackedTraceReader::open(args.getString("out"));
+      std::cout << "packed " << in << " -> " << args.getString("out") << ": "
+                << reader.info().fileBytes << " bytes, "
+                << reader.info().chunkCount << " chunks, "
+                << reader.info().recordCount << " deviation records\n";
+    } else if (sub == "info") {
+      const auto reader = store::PackedTraceReader::open(
+          traceStoreInput(args, positional), metrics);
+      const store::PackedTraceInfo& info = reader.info();
+      std::cout << "format:          dgtrace v" << info.version << '\n'
+                << "file size:       " << info.fileBytes << " bytes\n"
+                << "intervals:       " << info.intervalCount << " x "
+                << util::formatDuration(info.intervalLength) << " = "
+                << util::formatDuration(
+                       info.intervalLength *
+                       static_cast<util::SimTime>(info.intervalCount))
+                << '\n'
+                << "links:           " << info.edgeCount << '\n'
+                << "chunks:          " << info.chunkCount << " x "
+                << info.chunkIntervals << " intervals\n"
+                << "records:         " << info.recordCount
+                << " deviation records\n";
+    } else if (sub == "verify") {
+      auto reader = store::PackedTraceReader::open(
+          traceStoreInput(args, positional), metrics);
+      const auto report = reader.verify();
+      std::cout << "ok: " << report.chunksVerified << " chunks, "
+                << report.recordsDecoded << " records, "
+                << reader.info().fileBytes << " bytes verified\n";
+    } else if (sub == "cat") {
+      const auto tr = store::loadPackedTrace(
+          traceStoreInput(args, positional), metrics);
+      writeOrPrint(args.getString("out", "-"), tr.toString());
+    } else {
+      std::cerr << "dgnet trace: unknown subcommand '" << sub
+                << "' (want pack, info, verify or cat)\n";
+      return 2;
+    }
+  } catch (const store::StoreError& e) {
+    if (telemetry) emitTelemetry(*telemetry, args);
+    std::cerr << "dgnet trace " << sub << ": " << e.what() << '\n';
+    return store::storeErrorExitCode(e.kind());
+  }
+  if (telemetry) emitTelemetry(*telemetry, args);
+  return 0;
+}
+
 void usage() {
   std::cerr << "usage: dgnet <topology|gen-trace|inspect|import|playback|"
-               "simulate|telemetry|chaos> [--key=value ...]\n"
+               "simulate|telemetry|chaos|trace> [--key=value ...]\n"
                "see the header of tools/dgnet.cpp for details\n";
 }
 
@@ -452,6 +597,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmdSimulate(args);
     if (command == "telemetry") return cmdTelemetry(args);
     if (command == "chaos") return cmdChaos(args);
+    if (command == "trace") return cmdTraceStore(args, positional);
     usage();
     return 2;
   } catch (const std::exception& e) {
