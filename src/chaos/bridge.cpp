@@ -67,16 +67,19 @@ trace::Trace compileToTrace(const ChaosSchedule& schedule,
                      residualLoss);
 }
 
-double DifferentialFlowResult::tolerance() const {
+double differentialTolerance(double predicted, std::uint64_t sent) {
   if (sent == 0) return 1.0;
   // A small systematic allowance (decision-boundary and drain edge
   // effects, matching the cross-validation suite's 0.02 precedent) plus
   // four binomial standard errors of the live estimate around the
   // predicted rate.
-  const double p =
-      std::clamp(predictedUnavailability, 1e-3, 1.0 - 1e-3);
+  const double p = std::clamp(predicted, 1e-3, 1.0 - 1e-3);
   const double n = static_cast<double>(sent);
   return 0.02 + 4.0 * std::sqrt(p * (1.0 - p) / n);
+}
+
+double DifferentialFlowResult::tolerance() const {
+  return differentialTolerance(predictedUnavailability, sent);
 }
 
 DifferentialResult runDifferential(

@@ -39,6 +39,14 @@ trace::Trace compileToTrace(const ChaosSchedule& schedule,
                             const trace::Topology& topology,
                             double residualLoss = 1e-4);
 
+/// The documented live-vs-model bound for a flow whose predicted
+/// unavailability is `predicted` and which sent `sent` packets: a small
+/// systematic allowance (0.02, the cross-validation suite's precedent)
+/// plus four binomial standard errors of the live estimate around the
+/// predicted rate. 1.0 (always passes) when nothing was sent. Shared by
+/// the simulator differential and the live fleet soak.
+double differentialTolerance(double predicted, std::uint64_t sent);
+
 /// One flow of a differential scenario.
 struct DifferentialFlowSpec {
   std::string source;

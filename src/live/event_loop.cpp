@@ -1,0 +1,142 @@
+#include "live/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+
+#include "util/wall_clock.hpp"
+
+namespace dg::live {
+
+EventLoop::EventLoop()
+    : epochMicros_(util::nowMicros()), wheel_(kWheelSlots) {
+  epollFd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epollFd_ < 0)
+    throw std::system_error(errno, std::generic_category(), "epoll_create1");
+}
+
+EventLoop::~EventLoop() {
+  if (epollFd_ >= 0) close(epollFd_);
+}
+
+util::SimTime EventLoop::now() const {
+  return util::nowMicros() - epochMicros_;
+}
+
+void EventLoop::addFd(int fd, FdHandler onReadable) {
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = fd;
+  if (epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &event) != 0)
+    throw std::system_error(errno, std::generic_category(), "epoll_ctl(add)");
+  fdHandlers_[fd] = std::move(onReadable);
+}
+
+void EventLoop::removeFd(int fd) {
+  if (fdHandlers_.erase(fd) == 0) return;
+  epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+TimerId EventLoop::scheduleAt(util::SimTime due, TimerHandler fn) {
+  const TimerId id = nextTimerId_++;
+  due = std::max(due, now());
+  wheel_[slotOf(due)].push_back(TimerEntry{due, id, std::move(fn)});
+  ++pendingTimers_;
+  return id;
+}
+
+TimerId EventLoop::scheduleAfter(util::SimTime delay, TimerHandler fn) {
+  return scheduleAt(now() + std::max<util::SimTime>(delay, 0), std::move(fn));
+}
+
+void EventLoop::cancelTimer(TimerId id) { cancelled_.insert(id); }
+
+util::SimTime EventLoop::nextDue() const {
+  // The wheel holds few entries (heartbeats, delayed datagrams, the soak
+  // horizon), so a full scan beats maintaining a separate heap.
+  util::SimTime best = -1;
+  for (const auto& slot : wheel_)
+    for (const TimerEntry& entry : slot)
+      if (!cancelled_.contains(entry.id) && (best < 0 || entry.due < best))
+        best = entry.due;
+  return best;
+}
+
+void EventLoop::fireDueTimers(util::SimTime upTo) {
+  // Collect due entries first: handlers may schedule new timers, which
+  // must not be fired (or invalidated) inside this sweep.
+  std::vector<TimerEntry> due;
+  for (auto& slot : wheel_) {
+    auto it = slot.begin();
+    while (it != slot.end()) {
+      if (cancelled_.contains(it->id)) {
+        cancelled_.erase(it->id);
+        --pendingTimers_;
+        it = slot.erase(it);
+      } else if (it->due <= upTo) {
+        due.push_back(std::move(*it));
+        --pendingTimers_;
+        it = slot.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  std::sort(due.begin(), due.end(), [](const TimerEntry& a,
+                                       const TimerEntry& b) {
+    return a.due != b.due ? a.due < b.due : a.id < b.id;
+  });
+  for (TimerEntry& entry : due) {
+    ++timersFired_;
+    entry.fn();
+    if (stopped_) return;
+  }
+}
+
+void EventLoop::pollOnce(util::SimTime deadline) {
+  util::SimTime waitUntil = deadline;
+  const util::SimTime due = nextDue();
+  if (due >= 0 && (waitUntil < 0 || due < waitUntil)) waitUntil = due;
+
+  int timeoutMs = -1;  // block until an fd is readable
+  if (waitUntil >= 0) {
+    const util::SimTime gap = waitUntil - now();
+    // Ceil to ms so we never wake before the earliest timer is due.
+    timeoutMs = gap <= 0 ? 0 : static_cast<int>((gap + 999) / 1000);
+  }
+
+  epoll_event events[16];
+  const int n = epoll_wait(epollFd_, events, 16, timeoutMs);
+  ++wakeups_;
+  if (n < 0) {
+    if (errno == EINTR) return;
+    throw std::system_error(errno, std::generic_category(), "epoll_wait");
+  }
+  for (int i = 0; i < n && !stopped_; ++i) {
+    const auto it = fdHandlers_.find(events[i].data.fd);
+    if (it == fdHandlers_.end()) continue;
+    // Copy so a handler that removes its own fd cannot destroy the
+    // std::function it is executing from.
+    const FdHandler handler = it->second;
+    handler();
+  }
+  if (!stopped_) fireDueTimers(now());
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  while (!stopped_) pollOnce(-1);
+}
+
+void EventLoop::runUntil(util::SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && now() < deadline) pollOnce(deadline);
+}
+
+}  // namespace dg::live

@@ -1,0 +1,143 @@
+// Localhost fleet orchestration and the live-vs-model soak.
+//
+// A fleet is one daemon per topology site on 127.0.0.1, either sharing
+// the caller's event loop (in-process; ephemeral ports) or as forked
+// dgnet child processes (one loop each; portBase + node). A coordinator
+// socket drives the soak over the same UDP wire the daemons use:
+//
+//   converge:  poll StatsRequest until every daemon reports
+//              membershipAlive == n-1 (discovery done);
+//   go:        broadcast Go{horizon} (twice; daemons ignore the dup) --
+//              flows originate for [0, horizon) of soak time;
+//   collect:   at horizon + drain, poll StatsRequest until every daemon
+//              has answered with its final counters and flow stats;
+//   shutdown:  broadcast Shutdown and reap.
+//
+// The result is differential: the same ChaosSchedule is compiled to a
+// trace (chaos::compileToTrace) and replayed through the playback model,
+// and each flow's live unavailability must match the prediction within
+// chaos::differentialTolerance -- the identical bound the simulator's
+// own chaos soak is held to.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/bridge.hpp"
+#include "chaos/schedule.hpp"
+#include "live/daemon.hpp"
+#include "live/wire.hpp"
+#include "routing/scheme.hpp"
+#include "telemetry/telemetry.hpp"
+#include "trace/topology.hpp"
+
+namespace dg::live {
+
+/// One flow of a fleet soak (site names, as in the chaos differential).
+struct FleetFlowSpec {
+  std::string source;
+  std::string destination;
+  routing::SchemeKind scheme = routing::SchemeKind::StaticTwoDisjoint;
+};
+
+struct FleetParams {
+  trace::Topology topology = trace::Topology::mesh5();
+  chaos::ChaosSchedule schedule;
+  std::vector<FleetFlowSpec> flows;
+  routing::SchemeParams schemeParams;
+  util::SimTime packetInterval = util::milliseconds(5);
+  /// Seeds the daemons' impairment loss streams.
+  std::uint64_t impairmentSeed = 42;
+  double residualLoss = 1e-4;
+  /// Per-hop NACK recovery on the live side. Off by default: the tight
+  /// differential tolerance is only honest without recovery (see
+  /// chaos::DifferentialParams).
+  bool recoveryEnabled = false;
+  /// Wall time after the horizon for in-flight packets to land.
+  util::SimTime drain = util::seconds(1);
+  util::SimTime convergeTimeout = util::seconds(10);
+  util::SimTime collectTimeout = util::seconds(5);
+  util::SimTime statsPollInterval = util::milliseconds(200);
+  MembershipConfig membership;
+  /// Playback (predicted) side.
+  int mcSamples = 4000;
+  std::uint64_t playbackSeed = 7;
+  /// Multi-process mode: daemon for node i binds portBase + 1 + i and
+  /// the coordinator binds portBase (all must be free).
+  std::uint16_t portBase = 47000;
+  /// Path of the dgnet binary to exec for child daemons (multi-process
+  /// mode); typically /proc/self/exe resolved by the CLI.
+  std::string dgnetBinary;
+  /// Scratch directory for the topology/schedule files handed to child
+  /// daemons (multi-process mode).
+  std::string workDir = "/tmp";
+};
+
+struct FleetFlowResult {
+  FleetFlowSpec spec;
+  net::FlowId id = 0;
+  double liveUnavailability = 0.0;
+  double predictedUnavailability = 0.0;
+  double liveCost = 0.0;
+  double predictedCost = 0.0;
+  std::uint64_t sent = 0;
+  std::uint64_t deliveredOnTime = 0;
+  std::uint64_t deliveredLate = 0;
+  std::uint64_t transmissions = 0;
+
+  double unavailabilityDelta() const {
+    return liveUnavailability - predictedUnavailability;
+  }
+  double tolerance() const {
+    return chaos::differentialTolerance(predictedUnavailability, sent);
+  }
+  bool withinTolerance() const {
+    return std::abs(unavailabilityDelta()) <= tolerance();
+  }
+};
+
+struct FleetResult {
+  std::vector<FleetFlowResult> flows;
+  /// Final counter snapshot per node, keyed by node id.
+  std::map<graph::NodeId, DaemonCounters> nodeCounters;
+  /// Every daemon discovered all peers before the soak started.
+  bool converged = false;
+  /// Every daemon answered the final stats collection.
+  bool completed = false;
+
+  bool allWithinTolerance() const {
+    for (const FleetFlowResult& flow : flows) {
+      if (!flow.withinTolerance()) return false;
+    }
+    return true;
+  }
+  bool passed() const {
+    return converged && completed && allWithinTolerance();
+  }
+};
+
+/// Selects the dissemination graph a live flow is stamped with: the
+/// scheme's choice on the healthy baseline view, as an edge mask. Only
+/// static schemes are allowed live (static-single, static-two-disjoint,
+/// flooding); dynamic/targeted schemes need live monitoring, which the
+/// daemon does not run yet -- std::invalid_argument names the offender.
+std::uint64_t selectLiveGraphMask(const trace::Topology& topology,
+                                  routing::SchemeKind scheme,
+                                  graph::NodeId source,
+                                  graph::NodeId destination,
+                                  const routing::SchemeParams& schemeParams,
+                                  double residualLoss = 1e-4);
+
+/// Runs the soak with every daemon in this process on one event loop
+/// (ephemeral ports; portBase/dgnetBinary/workDir unused). `telemetry`
+/// (nullable) receives live churn trace events and per-daemon counters.
+FleetResult runFleetInProcess(const FleetParams& params,
+                              telemetry::Telemetry* telemetry = nullptr);
+
+/// Runs the soak with one forked dgnet child process per site.
+FleetResult runFleetProcesses(const FleetParams& params,
+                              telemetry::Telemetry* telemetry = nullptr);
+
+}  // namespace dg::live

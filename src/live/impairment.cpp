@@ -1,0 +1,50 @@
+#include "live/impairment.hpp"
+
+#include <algorithm>
+
+namespace dg::live {
+
+ImpairmentPlan::ImpairmentPlan(const graph::Graph& graph,
+                               const chaos::ChaosSchedule& schedule,
+                               std::uint64_t seed, double residualLoss)
+    : residualLoss_(residualLoss) {
+  baseline_.reserve(graph.edgeCount());
+  for (graph::EdgeId e = 0; e < graph.edgeCount(); ++e)
+    baseline_.push_back(
+        trace::LinkConditions{residualLoss, graph.edge(e).latency});
+
+  for (const chaos::ChaosFault& fault : schedule.faults()) {
+    if (!fault.impairsConditions()) continue;
+    faults_.push_back(CompiledFault{fault, chaos::affectedEdges(fault, graph),
+                                    chaos::impairmentOf(fault)});
+  }
+
+  util::Rng master(seed);
+  edgeRngs_.reserve(graph.edgeCount());
+  for (graph::EdgeId e = 0; e < graph.edgeCount(); ++e)
+    edgeRngs_.push_back(master.fork());
+}
+
+trace::LinkConditions ImpairmentPlan::conditionsAt(graph::EdgeId edge,
+                                                   util::SimTime t) const {
+  trace::LinkConditions conditions = baseline_[edge];
+  for (const CompiledFault& compiled : faults_) {
+    if (!chaos::faultActiveAt(compiled.fault, t)) continue;
+    if (!std::binary_search(compiled.edges.begin(), compiled.edges.end(),
+                            edge))
+      continue;
+    conditions = trace::combineConditions(conditions, compiled.impairment);
+  }
+  return conditions;
+}
+
+ImpairmentDecision ImpairmentPlan::decide(graph::EdgeId edge,
+                                          util::SimTime t) {
+  const trace::LinkConditions conditions = conditionsAt(edge, t);
+  ImpairmentDecision decision;
+  decision.drop = edgeRngs_[edge].bernoulli(conditions.lossRate);
+  decision.delay = conditions.latency;
+  return decision;
+}
+
+}  // namespace dg::live

@@ -1,0 +1,69 @@
+// Chaos impairment backend for the live UDP transport: a netem-like
+// shim (no root required) that replays a ChaosSchedule as real
+// socket-layer drops and delays.
+//
+// Semantics deliberately mirror chaos::compileToTrace so the live soak
+// is an honest differential against the simulator: the per-edge baseline
+// is {residualLoss, geo latency} and every active fault's impairment is
+// folded in with trace::combineConditions (losses compose as independent
+// Bernoulli trials, latencies take the max). The daemon consults
+// decide(edge, soakTime) immediately before each sendto(): a drop means
+// the datagram is never sent, a delay holds it on an event-loop timer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/schedule.hpp"
+#include "graph/graph.hpp"
+#include "trace/conditions.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace dg::live {
+
+struct ImpairmentDecision {
+  bool drop = false;
+  /// Link traversal latency (propagation plus any active penalty); the
+  /// sender holds the datagram this long before the real sendto().
+  util::SimTime delay = 0;
+};
+
+class ImpairmentPlan {
+ public:
+  /// Captures the schedule against `graph`. `seed` drives the per-edge
+  /// loss streams (each directed edge gets an independent fork).
+  ImpairmentPlan(const graph::Graph& graph,
+                 const chaos::ChaosSchedule& schedule, std::uint64_t seed,
+                 double residualLoss = 1e-4);
+
+  /// Effective conditions of a directed edge at soak time `t`: baseline
+  /// folded with every fault active at `t` that covers the edge.
+  trace::LinkConditions conditionsAt(graph::EdgeId edge,
+                                     util::SimTime t) const;
+
+  /// Samples the fate of one datagram about to traverse `edge` at `t`.
+  /// Mutates the edge's deterministic loss stream.
+  ImpairmentDecision decide(graph::EdgeId edge, util::SimTime t);
+
+  double residualLoss() const { return residualLoss_; }
+  /// The edge's unimpaired propagation latency (the baseline the shim
+  /// always emulates; anything above it is a fault's doing).
+  util::SimTime baselineLatency(graph::EdgeId edge) const {
+    return baseline_[edge].latency;
+  }
+
+ private:
+  struct CompiledFault {
+    chaos::ChaosFault fault;
+    std::vector<graph::EdgeId> edges;  ///< affected, ascending
+    trace::LinkConditions impairment;
+  };
+
+  std::vector<trace::LinkConditions> baseline_;  // per directed edge
+  std::vector<CompiledFault> faults_;
+  mutable std::vector<util::Rng> edgeRngs_;
+  double residualLoss_;
+};
+
+}  // namespace dg::live

@@ -1,0 +1,73 @@
+#include "live/membership.hpp"
+
+namespace dg::live {
+
+Membership::Membership(graph::NodeId self, MembershipConfig config)
+    : self_(self), config_(config) {}
+
+void Membership::seed(graph::NodeId peer, std::uint16_t port) {
+  if (peer == self_) return;
+  PeerInfo& info = peers_[peer];
+  info.node = peer;
+  info.port = port;
+}
+
+std::optional<std::uint16_t> Membership::lookup(graph::NodeId peer) const {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return std::nullopt;
+  return it->second.port;
+}
+
+void Membership::markAlive(PeerInfo& peer, util::SimTime now) {
+  peer.alive = true;
+  peer.lastHeard = now;
+  ++discoveries_;
+  if (onDiscover_) onDiscover_(peer);
+}
+
+void Membership::markGone(PeerInfo& peer) {
+  peer.alive = false;
+  ++disappearances_;
+  if (onDisappear_) onDisappear_(peer);
+}
+
+void Membership::recordHello(graph::NodeId peer, std::uint16_t port,
+                             std::uint64_t incarnation, util::SimTime now) {
+  if (peer == self_) return;
+  PeerInfo& info = peers_[peer];
+  info.node = peer;
+  if (port != 0) info.port = port;  // 0 = keep the seeded address
+  if (info.alive && incarnation > info.incarnation) {
+    // Restart: the old incarnation is gone, the new one just joined.
+    markGone(info);
+  }
+  if (incarnation < info.incarnation) return;  // late pre-restart heartbeat
+  info.incarnation = incarnation;
+  info.lastHeard = now;
+  if (!info.alive) markAlive(info, now);
+}
+
+void Membership::recordBye(graph::NodeId peer, util::SimTime now) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end() || !it->second.alive) return;
+  it->second.lastHeard = now;
+  markGone(it->second);
+}
+
+void Membership::tick(util::SimTime now) {
+  const util::SimTime deadAfter =
+      config_.heartbeatInterval * config_.missedHeartbeatsDead;
+  for (auto& [node, info] : peers_) {
+    if (info.alive && now - info.lastHeard > deadAfter) markGone(info);
+  }
+}
+
+std::uint32_t Membership::aliveCount() const {
+  std::uint32_t count = 0;
+  for (const auto& [node, info] : peers_) {
+    if (info.alive) ++count;
+  }
+  return count;
+}
+
+}  // namespace dg::live

@@ -1,0 +1,86 @@
+// Membership, discovery and lookup for the live overlay, modeled on the
+// Overlay discover/lookup + on_discover/on_disappear surface.
+//
+// Peers are seeded into an address book (seed()) and become *alive* on
+// their first Hello; a peer that misses `missedHeartbeatsDead`
+// heartbeat intervals, or sends Bye, disappears. A Hello carrying a
+// higher incarnation than the last one seen is a restart: the peer
+// disappears and is immediately rediscovered, so listeners observe the
+// churn. All state is synchronous and driven by explicit timestamps --
+// the daemon feeds soak time in, tests feed synthetic times.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "util/sim_time.hpp"
+
+namespace dg::live {
+
+struct MembershipConfig {
+  util::SimTime heartbeatInterval = util::milliseconds(500);
+  /// Missed consecutive heartbeats before a peer is declared gone.
+  int missedHeartbeatsDead = 3;
+};
+
+struct PeerInfo {
+  graph::NodeId node = graph::kInvalidNode;
+  std::uint16_t port = 0;
+  std::uint64_t incarnation = 0;
+  util::SimTime lastHeard = 0;
+  bool alive = false;
+};
+
+class Membership {
+ public:
+  using PeerCallback = std::function<void(const PeerInfo&)>;
+
+  Membership(graph::NodeId self, MembershipConfig config);
+
+  /// Seeds the address book (static fleet configuration). Does not mark
+  /// the peer alive -- only a Hello does that.
+  void seed(graph::NodeId peer, std::uint16_t port);
+
+  /// Endpoint (loopback port) of a known peer, dead or alive.
+  std::optional<std::uint16_t> lookup(graph::NodeId peer) const;
+
+  /// Fires when a peer transitions to alive (first Hello, or Hello after
+  /// a disappearance/restart).
+  void onDiscover(PeerCallback callback) { onDiscover_ = std::move(callback); }
+  /// Fires when an alive peer leaves (Bye), times out, or restarts.
+  void onDisappear(PeerCallback callback) {
+    onDisappear_ = std::move(callback);
+  }
+
+  /// Processes a Hello heard at `now` (also refreshes the address book
+  /// with the sender's observed port).
+  void recordHello(graph::NodeId peer, std::uint16_t port,
+                   std::uint64_t incarnation, util::SimTime now);
+  /// Processes a graceful Bye.
+  void recordBye(graph::NodeId peer, util::SimTime now);
+  /// Expires peers whose last Hello is older than the dead deadline. Call
+  /// periodically (the daemon ticks it off its heartbeat timer).
+  void tick(util::SimTime now);
+
+  const std::map<graph::NodeId, PeerInfo>& peers() const { return peers_; }
+  std::uint32_t aliveCount() const;
+  std::uint64_t discoveries() const { return discoveries_; }
+  std::uint64_t disappearances() const { return disappearances_; }
+
+ private:
+  void markAlive(PeerInfo& peer, util::SimTime now);
+  void markGone(PeerInfo& peer);
+
+  graph::NodeId self_;
+  MembershipConfig config_;
+  std::map<graph::NodeId, PeerInfo> peers_;
+  PeerCallback onDiscover_;
+  PeerCallback onDisappear_;
+  std::uint64_t discoveries_ = 0;
+  std::uint64_t disappearances_ = 0;
+};
+
+}  // namespace dg::live

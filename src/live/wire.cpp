@@ -1,0 +1,314 @@
+#include "live/wire.hpp"
+
+#include <stdexcept>
+
+namespace dg::live {
+namespace {
+
+// Node and edge ids travel as 16-bit values; the invalid sentinels map
+// to 0xFFFF. Overlays here are tens of nodes, far below the cap.
+constexpr std::uint16_t kInvalidId16 = 0xFFFF;
+
+void put8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+void put16(std::vector<std::byte>& out, std::uint16_t v) {
+  put8(out, static_cast<std::uint8_t>(v & 0xFF));
+  put8(out, static_cast<std::uint8_t>(v >> 8));
+}
+void put32(std::vector<std::byte>& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v & 0xFFFF));
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+}
+void put64(std::vector<std::byte>& out, std::uint64_t v) {
+  put32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFULL));
+  put32(out, static_cast<std::uint32_t>(v >> 32));
+}
+void putI64(std::vector<std::byte>& out, std::int64_t v) {
+  put64(out, static_cast<std::uint64_t>(v));
+}
+
+std::uint16_t nodeToWire(graph::NodeId id) {
+  if (id == graph::kInvalidNode) return kInvalidId16;
+  if (id >= kInvalidId16)
+    throw std::length_error("wire: node id exceeds 16-bit wire width");
+  return static_cast<std::uint16_t>(id);
+}
+std::uint16_t edgeToWire(graph::EdgeId id) {
+  if (id == graph::kInvalidEdge) return kInvalidId16;
+  if (id >= kInvalidId16)
+    throw std::length_error("wire: edge id exceeds 16-bit wire width");
+  return static_cast<std::uint16_t>(id);
+}
+graph::NodeId nodeFromWire(std::uint16_t v) {
+  return v == kInvalidId16 ? graph::kInvalidNode
+                           : static_cast<graph::NodeId>(v);
+}
+graph::EdgeId edgeFromWire(std::uint16_t v) {
+  return v == kInvalidId16 ? graph::kInvalidEdge
+                           : static_cast<graph::EdgeId>(v);
+}
+
+/// Bounds-checked sequential reader over one datagram.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return bytes_.size() - offset_; }
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return static_cast<std::uint8_t>(bytes_[offset_++]);
+  }
+  std::uint16_t u16() {
+    const std::uint16_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(u8())
+                                            << 8));
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    return lo | (static_cast<std::uint32_t>(u16()) << 16);
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    return lo | (static_cast<std::uint64_t>(u32()) << 32);
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  std::span<const std::byte> bytes_;
+  std::size_t offset_ = 0;
+  bool ok_ = true;
+};
+
+std::optional<Message> failDecode(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return std::nullopt;
+}
+
+void encodeDataBody(std::vector<std::byte>& out, const Message& m) {
+  put16(out, edgeToWire(m.edge));
+  put32(out, m.flow);
+  put64(out, m.sequence);
+  putI64(out, m.originTime);
+  putI64(out, m.deadline);
+  put64(out, m.graphMask);
+  put16(out, nodeToWire(m.source));
+  put16(out, nodeToWire(m.destination));
+}
+
+void decodeDataBody(Cursor& in, Message& m) {
+  m.edge = edgeFromWire(in.u16());
+  m.flow = in.u32();
+  m.sequence = in.u64();
+  m.originTime = in.i64();
+  m.deadline = in.i64();
+  m.graphMask = in.u64();
+  m.source = nodeFromWire(in.u16());
+  m.destination = nodeFromWire(in.u16());
+}
+
+void encodeCounters(std::vector<std::byte>& out, const DaemonCounters& c) {
+  put64(out, c.socketSends);
+  put64(out, c.socketReceives);
+  put64(out, c.decodeErrors);
+  put64(out, c.impairmentDrops);
+  put64(out, c.impairmentDelays);
+  put64(out, c.duplicatesDropped);
+  put64(out, c.expiredDropped);
+  put64(out, c.nacksSent);
+  put64(out, c.retransmissionsSent);
+  put64(out, c.nackRecoveries);
+  put64(out, c.membershipDiscoveries);
+  put64(out, c.membershipDisappearances);
+  put64(out, c.eventLoopWakeups);
+  put64(out, c.timersFired);
+  put32(out, c.membershipAlive);
+}
+
+void decodeCounters(Cursor& in, DaemonCounters& c) {
+  c.socketSends = in.u64();
+  c.socketReceives = in.u64();
+  c.decodeErrors = in.u64();
+  c.impairmentDrops = in.u64();
+  c.impairmentDelays = in.u64();
+  c.duplicatesDropped = in.u64();
+  c.expiredDropped = in.u64();
+  c.nacksSent = in.u64();
+  c.retransmissionsSent = in.u64();
+  c.nackRecoveries = in.u64();
+  c.membershipDiscoveries = in.u64();
+  c.membershipDisappearances = in.u64();
+  c.eventLoopWakeups = in.u64();
+  c.timersFired = in.u64();
+  c.membershipAlive = in.u32();
+}
+
+}  // namespace
+
+std::string_view messageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::Data: return "data";
+    case MessageType::Retransmission: return "retransmission";
+    case MessageType::Nack: return "nack";
+    case MessageType::Hello: return "hello";
+    case MessageType::Bye: return "bye";
+    case MessageType::Go: return "go";
+    case MessageType::StatsRequest: return "stats-request";
+    case MessageType::StatsReply: return "stats-reply";
+    case MessageType::Shutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> encodeMessage(const Message& m) {
+  std::vector<std::byte> out;
+  out.reserve(64);
+  put16(out, kWireMagic);
+  put8(out, kWireVersion);
+  put8(out, static_cast<std::uint8_t>(m.type));
+  put16(out, nodeToWire(m.sender));
+
+  switch (m.type) {
+    case MessageType::Data:
+    case MessageType::Retransmission:
+      encodeDataBody(out, m);
+      break;
+    case MessageType::Nack: {
+      if (m.nackSequences.size() > kMaxNackSequences)
+        throw std::length_error("wire: too many NACK sequences");
+      put16(out, edgeToWire(m.edge));
+      put32(out, m.flow);
+      put16(out, static_cast<std::uint16_t>(m.nackSequences.size()));
+      for (const net::SequenceNumber seq : m.nackSequences) put64(out, seq);
+      break;
+    }
+    case MessageType::Hello:
+    case MessageType::Bye:
+      put64(out, m.incarnation);
+      put32(out, m.helloSeq);
+      break;
+    case MessageType::Go:
+      putI64(out, m.horizon);
+      put32(out, m.token);
+      break;
+    case MessageType::StatsRequest:
+    case MessageType::Shutdown:
+      put32(out, m.token);
+      break;
+    case MessageType::StatsReply: {
+      if (m.flowStats.size() > kMaxFlowStats)
+        throw std::length_error("wire: too many flow-stat entries");
+      put32(out, m.token);
+      encodeCounters(out, m.counters);
+      put16(out, static_cast<std::uint16_t>(m.flowStats.size()));
+      for (const FlowStatsEntry& entry : m.flowStats) {
+        put32(out, entry.flow);
+        put64(out, entry.sent);
+        put64(out, entry.deliveredOnTime);
+        put64(out, entry.deliveredLate);
+        put64(out, entry.transmissions);
+        put64(out, entry.latencySumUs);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::optional<Message> decodeMessage(std::span<const std::byte> datagram,
+                                     std::string* error) {
+  Cursor in(datagram);
+  const std::uint16_t magic = in.u16();
+  const std::uint8_t version = in.u8();
+  const std::uint8_t rawType = in.u8();
+  const std::uint16_t sender = in.u16();
+  if (!in.ok())
+    return failDecode(error, "datagram shorter than the 6-byte header");
+  if (magic != kWireMagic) return failDecode(error, "bad wire magic");
+  if (version != kWireVersion)
+    return failDecode(error,
+                      "unsupported wire version " + std::to_string(version));
+  if (rawType < static_cast<std::uint8_t>(MessageType::Data) ||
+      rawType > static_cast<std::uint8_t>(MessageType::Shutdown))
+    return failDecode(error,
+                      "unknown message type " + std::to_string(rawType));
+
+  Message m;
+  m.type = static_cast<MessageType>(rawType);
+  m.sender = nodeFromWire(sender);
+
+  switch (m.type) {
+    case MessageType::Data:
+    case MessageType::Retransmission:
+      decodeDataBody(in, m);
+      break;
+    case MessageType::Nack: {
+      m.edge = edgeFromWire(in.u16());
+      m.flow = in.u32();
+      const std::uint16_t count = in.u16();
+      if (in.ok() && count > kMaxNackSequences)
+        return failDecode(error, "NACK sequence list exceeds cap");
+      if (in.ok() && in.remaining() < static_cast<std::size_t>(count) * 8)
+        return failDecode(error, "truncated NACK sequence list");
+      m.nackSequences.reserve(count);
+      for (std::uint16_t i = 0; in.ok() && i < count; ++i)
+        m.nackSequences.push_back(in.u64());
+      break;
+    }
+    case MessageType::Hello:
+    case MessageType::Bye:
+      m.incarnation = in.u64();
+      m.helloSeq = in.u32();
+      break;
+    case MessageType::Go:
+      m.horizon = in.i64();
+      m.token = in.u32();
+      break;
+    case MessageType::StatsRequest:
+    case MessageType::Shutdown:
+      m.token = in.u32();
+      break;
+    case MessageType::StatsReply: {
+      m.token = in.u32();
+      decodeCounters(in, m.counters);
+      const std::uint16_t count = in.u16();
+      if (in.ok() && count > kMaxFlowStats)
+        return failDecode(error, "flow-stat list exceeds cap");
+      if (in.ok() && in.remaining() < static_cast<std::size_t>(count) * 44)
+        return failDecode(error, "truncated flow-stat list");
+      m.flowStats.reserve(count);
+      for (std::uint16_t i = 0; in.ok() && i < count; ++i) {
+        FlowStatsEntry entry;
+        entry.flow = in.u32();
+        entry.sent = in.u64();
+        entry.deliveredOnTime = in.u64();
+        entry.deliveredLate = in.u64();
+        entry.transmissions = in.u64();
+        entry.latencySumUs = in.u64();
+        m.flowStats.push_back(entry);
+      }
+      break;
+    }
+  }
+  if (!in.ok())
+    return failDecode(error, "truncated " +
+                                 std::string(messageTypeName(m.type)) +
+                                 " body");
+  if (in.remaining() != 0)
+    return failDecode(error,
+                      std::to_string(in.remaining()) +
+                          " trailing bytes after " +
+                          std::string(messageTypeName(m.type)) + " body");
+  return m;
+}
+
+}  // namespace dg::live

@@ -532,6 +532,21 @@ trace::Trace loadPackedTrace(const std::string& path,
 trace::Trace loadAnyTrace(const std::string& path,
                           telemetry::MetricsRegistry* metrics) {
   if (isPackedTraceFile(path)) return loadPackedTrace(path, metrics);
+  // Not packed. Before handing the file to the text parser, rule out the
+  // cases where "not packed" really means "unreadable": a file that
+  // cannot be opened or is too small to even state a trace header would
+  // otherwise surface as a baffling text-parse error.
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe)
+    throw StoreError(StoreErrorKind::Io, "cannot open: " + path);
+  probe.seekg(0, std::ios::end);
+  const std::streamoff end = probe.tellg();
+  if (end < 0)
+    throw StoreError(StoreErrorKind::Io, "cannot size: " + path);
+  if (end < 4)
+    throw StoreError(StoreErrorKind::Io,
+                     "file too small (" + std::to_string(end) +
+                         " bytes) to be a trace: " + path);
   return trace::Trace::load(path);
 }
 

@@ -205,7 +205,8 @@ std::string toCsv(const MetricsRegistry& registry) {
 std::string toJson(const TraceLog& log) {
   std::string out = "{\n  \"recorded\": " + std::to_string(log.recorded()) +
                     ",\n  \"dropped\": " + std::to_string(log.dropped()) +
-                    ",\n  \"events\": [";
+                    ",\n  \"time_base\": \"" + escaped(log.timeBase()) +
+                    "\",\n  \"events\": [";
   bool first = true;
   for (const TraceEvent& event : log.events()) {
     out += first ? "\n" : ",\n";

@@ -21,6 +21,8 @@ std::string_view traceEventKindName(TraceEventKind kind) {
     case TraceEventKind::ChaosFaultStart: return "chaos-fault-start";
     case TraceEventKind::ChaosFaultEnd: return "chaos-fault-end";
     case TraceEventKind::InvariantViolation: return "invariant-violation";
+    case TraceEventKind::PeerDiscovered: return "peer-discovered";
+    case TraceEventKind::PeerDisappeared: return "peer-disappeared";
   }
   return "unknown";
 }

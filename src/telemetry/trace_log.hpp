@@ -3,7 +3,10 @@
 // A bounded ring buffer of TraceEvents -- packet drops, NACK recoveries,
 // link-state floods, problem-detector classifications, dissemination-
 // graph switches -- each stamped with the *simulation* time it occurred
-// at (never wall clock, so identical runs produce identical logs). When
+// at (never wall clock, so identical runs produce identical logs). The
+// one exception is the live overlay daemon, whose events genuinely
+// happen in wall time: it tags its log with timeBase "wall" so exports
+// declare which timeline the stamps live on (default "sim"). When
 // the buffer is full the oldest events are overwritten; recorded() and
 // dropped() expose how much history was lost, so tests and reports can
 // tell a quiet run from a truncated one.
@@ -33,6 +36,8 @@ enum class TraceEventKind : std::uint8_t {
   ChaosFaultStart,    ///< a chaos fault began impairing (detail = kind)
   ChaosFaultEnd,      ///< a chaos fault stopped impairing (detail = kind)
   InvariantViolation, ///< a chaos invariant check failed (detail = which)
+  PeerDiscovered,     ///< live membership: a peer became alive (value = peer)
+  PeerDisappeared,    ///< live membership: a peer left/timed out (value = peer)
 };
 
 /// Canonical lowercase-kebab name ("packet-drop", "graph-switch", ...).
@@ -60,6 +65,12 @@ class TraceLog {
               std::int64_t node, std::int64_t edge, double value = 0.0,
               std::string detail = {});
 
+  /// Which timeline event stamps live on: "sim" (default, simulation
+  /// microseconds) or "wall" (the live daemon's soak-relative wall
+  /// microseconds). Surfaced as "time_base" by the JSON exporter.
+  const std::string& timeBase() const { return timeBase_; }
+  void setTimeBase(std::string base) { timeBase_ = std::move(base); }
+
   std::size_t capacity() const { return capacity_; }
   /// Events currently retained (<= capacity).
   std::size_t size() const { return events_.size(); }
@@ -83,6 +94,7 @@ class TraceLog {
 
  private:
   std::size_t capacity_;
+  std::string timeBase_ = "sim";
   std::size_t head_ = 0;  ///< next write position once the ring is full
   std::uint64_t recorded_ = 0;
   std::vector<TraceEvent> events_;

@@ -164,6 +164,26 @@ Topology Topology::abilene11() {
   return t;
 }
 
+Topology Topology::mesh5() {
+  Topology t;
+  t.addSite({"NYC", 40.71, -74.01});
+  t.addSite({"CHI", 41.88, -87.63});
+  t.addSite({"DFW", 32.78, -96.80});
+  t.addSite({"DEN", 39.74, -104.99});
+  t.addSite({"SJC", 37.34, -121.89});
+
+  // 8 undirected links = 16 directed overlay edges.
+  t.connect("NYC", "CHI");
+  t.connect("NYC", "DFW");
+  t.connect("NYC", "DEN");
+  t.connect("CHI", "DFW");
+  t.connect("CHI", "DEN");
+  t.connect("DFW", "DEN");
+  t.connect("DFW", "SJC");
+  t.connect("DEN", "SJC");
+  return t;
+}
+
 Topology Topology::fromString(std::string_view text) {
   Topology t;
   std::size_t lineNo = 0;

@@ -70,6 +70,13 @@ class Topology {
   /// redundancy is scarce and for testing on a second real-world shape.
   static Topology abilene11();
 
+  /// A compact 5-site US mesh (NYC, CHI, DFW, DEN, SJC; 8 undirected /
+  /// 16 directed links) sized for localhost live-fleet soaks: one
+  /// process per site is cheap, NYC->SJC still has two node-disjoint
+  /// paths (via DEN and via DFW) under the 65 ms deadline, and 16 edges
+  /// sit comfortably inside the 64-bit stamped graph mask.
+  static Topology mesh5();
+
   /// Parses the text format produced by toString():
   ///   site NAME LAT LON
   ///   link NAME_A NAME_B [LATENCY_US]

@@ -1,0 +1,117 @@
+// EventLoop: timer ordering, cancellation, fd dispatch and the
+// wakeup/timer counters. Real time is involved (the loop reads the
+// wall-clock shim), so assertions use generous bounds -- ordering and
+// counts, never exact durations.
+#include "live/event_loop.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <vector>
+
+namespace dg {
+namespace {
+
+TEST(EventLoop, NowIsMonotonicFromZero) {
+  live::EventLoop loop;
+  const util::SimTime a = loop.now();
+  const util::SimTime b = loop.now();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+TEST(EventLoop, TimersFireInDueOrder) {
+  live::EventLoop loop;
+  std::vector<int> order;
+  loop.scheduleAfter(util::milliseconds(30), [&] { order.push_back(3); });
+  loop.scheduleAfter(util::milliseconds(10), [&] { order.push_back(1); });
+  loop.scheduleAfter(util::milliseconds(20), [&] {
+    order.push_back(2);
+  });
+  loop.runUntil(loop.now() + util::milliseconds(120));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.timersFired(), 3u);
+}
+
+TEST(EventLoop, EqualDueTimersFireInScheduleOrder) {
+  live::EventLoop loop;
+  std::vector<int> order;
+  const util::SimTime due = loop.now() + util::milliseconds(10);
+  loop.scheduleAt(due, [&] { order.push_back(1); });
+  loop.scheduleAt(due, [&] { order.push_back(2); });
+  loop.scheduleAt(due, [&] { order.push_back(3); });
+  loop.runUntil(due + util::milliseconds(60));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, CancelledTimerNeverFires) {
+  live::EventLoop loop;
+  int fired = 0;
+  const live::TimerId id =
+      loop.scheduleAfter(util::milliseconds(10), [&] { ++fired; });
+  loop.scheduleAfter(util::milliseconds(20), [&] { loop.stop(); });
+  loop.cancelTimer(id);
+  loop.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(loop.timersFired(), 1u);  // only the stop timer
+}
+
+TEST(EventLoop, TimerBeyondOneWheelTurnFires) {
+  // 512 slots x 1 ms = one turn; a 600 ms timer wraps the wheel and must
+  // not fire a turn early.
+  live::EventLoop loop;
+  util::SimTime firedAt = -1;
+  const util::SimTime start = loop.now();
+  loop.scheduleAfter(util::milliseconds(600), [&] {
+    firedAt = loop.now();
+    loop.stop();
+  });
+  loop.run();
+  ASSERT_GE(firedAt, 0);
+  EXPECT_GE(firedAt - start, util::milliseconds(600));
+}
+
+TEST(EventLoop, FdHandlerDispatchesAndSelfRemovalIsSafe) {
+  live::EventLoop loop;
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(pipe(fds), 0);
+  int reads = 0;
+  loop.addFd(fds[0], [&] {
+    char buffer[16];
+    (void)read(fds[0], buffer, sizeof(buffer));
+    ++reads;
+    // Removing the fd from inside its own handler must not invalidate
+    // the running callback.
+    loop.removeFd(fds[0]);
+    loop.stop();
+  });
+  ASSERT_EQ(write(fds[1], "x", 1), 1);
+  loop.run();
+  EXPECT_EQ(reads, 1);
+  EXPECT_GE(loop.wakeups(), 1u);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(EventLoop, RunUntilReturnsWithoutTimers) {
+  live::EventLoop loop;
+  const util::SimTime start = loop.now();
+  loop.runUntil(start + util::milliseconds(20));
+  EXPECT_GE(loop.now() - start, util::milliseconds(20));
+}
+
+TEST(EventLoop, HandlerSchedulingFromTimerRuns) {
+  live::EventLoop loop;
+  int chained = 0;
+  loop.scheduleAfter(util::milliseconds(5), [&] {
+    loop.scheduleAfter(util::milliseconds(5), [&] {
+      ++chained;
+      loop.stop();
+    });
+  });
+  loop.run();
+  EXPECT_EQ(chained, 1);
+}
+
+}  // namespace
+}  // namespace dg

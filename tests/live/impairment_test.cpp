@@ -1,0 +1,157 @@
+// Impairment shim vs chaos::compileToTrace: for interval-aligned
+// schedules, the conditions the shim applies at any time inside an
+// interval must equal the compiled trace's conditions for that interval
+// -- that equivalence is what makes the live soak an honest
+// differential against the playback model.
+#include "live/impairment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chaos/bridge.hpp"
+#include "trace/topology.hpp"
+
+namespace dg {
+namespace {
+
+constexpr double kResidualLoss = 1e-4;
+
+chaos::ChaosSchedule alignedSchedule(const trace::Topology& topology) {
+  chaos::ChaosSchedule schedule(util::seconds(6), util::seconds(1));
+  chaos::ChaosFault loss;
+  loss.kind = chaos::ChaosFault::Kind::LinkLoss;
+  loss.start = util::seconds(1);
+  loss.duration = util::seconds(2);
+  loss.link = 0;
+  loss.lossRate = 0.5;
+  schedule.add(loss);
+
+  chaos::ChaosFault latency;
+  latency.kind = chaos::ChaosFault::Kind::LinkLatency;
+  latency.start = util::seconds(2);
+  latency.duration = util::seconds(2);
+  latency.link = 0;
+  latency.latencyPenalty = util::milliseconds(80);
+  schedule.add(latency);
+
+  chaos::ChaosFault blackout;
+  blackout.kind = chaos::ChaosFault::Kind::SiteBlackout;
+  blackout.start = util::seconds(4);
+  blackout.duration = util::seconds(1);
+  blackout.node = topology.at("DEN");
+  blackout.lossRate = 1.0;
+  schedule.add(blackout);
+  return schedule;
+}
+
+TEST(Impairment, ConditionsMatchCompiledTraceEveryInterval) {
+  const auto topology = trace::Topology::mesh5();
+  const auto schedule = alignedSchedule(topology);
+  schedule.validateAgainst(topology.graph());
+
+  live::ImpairmentPlan plan(topology.graph(), schedule, 42, kResidualLoss);
+  const trace::Trace compiled =
+      chaos::compileToTrace(schedule, topology, kResidualLoss);
+
+  for (std::size_t interval = 0; interval < schedule.intervalCount();
+       ++interval) {
+    // Mid-interval probe: alignment means any t inside works.
+    const util::SimTime t =
+        static_cast<util::SimTime>(interval) * schedule.intervalLength() +
+        schedule.intervalLength() / 2;
+    for (graph::EdgeId e = 0; e < topology.graph().edgeCount(); ++e) {
+      const trace::LinkConditions live = plan.conditionsAt(e, t);
+      const trace::LinkConditions& model = compiled.at(e, interval);
+      EXPECT_DOUBLE_EQ(live.lossRate, model.lossRate)
+          << "edge " << e << " interval " << interval;
+      EXPECT_EQ(live.latency, model.latency)
+          << "edge " << e << " interval " << interval;
+    }
+  }
+}
+
+TEST(Impairment, BaselineOutsideFaultWindows) {
+  const auto topology = trace::Topology::mesh5();
+  const auto schedule = alignedSchedule(topology);
+  live::ImpairmentPlan plan(topology.graph(), schedule, 42, kResidualLoss);
+  for (graph::EdgeId e = 0; e < topology.graph().edgeCount(); ++e) {
+    const trace::LinkConditions c = plan.conditionsAt(e, 0);
+    EXPECT_DOUBLE_EQ(c.lossRate, kResidualLoss);
+    EXPECT_EQ(c.latency, topology.graph().edge(e).latency);
+    EXPECT_EQ(plan.baselineLatency(e), topology.graph().edge(e).latency);
+  }
+}
+
+TEST(Impairment, FaultAffectsBothDirectionsOfTheLink) {
+  const auto topology = trace::Topology::mesh5();
+  const auto schedule = alignedSchedule(topology);
+  live::ImpairmentPlan plan(topology.graph(), schedule, 42, kResidualLoss);
+  // Link fault on link=0 (forward edge 0): the reverse edge is impaired
+  // too, everything else stays at baseline.
+  const util::SimTime inWindow = util::milliseconds(1500);
+  EXPECT_GT(plan.conditionsAt(0, inWindow).lossRate, 0.49);
+  EXPECT_GT(plan.conditionsAt(1, inWindow).lossRate, 0.49);
+  EXPECT_DOUBLE_EQ(plan.conditionsAt(2, inWindow).lossRate, kResidualLoss);
+}
+
+TEST(Impairment, DecideDropsAlwaysUnderBlackoutNeverWhenClean) {
+  const auto topology = trace::Topology::mesh5();
+  const auto schedule = alignedSchedule(topology);
+  // Zero residual loss so a clean edge is deterministic.
+  live::ImpairmentPlan plan(topology.graph(), schedule, 42, 0.0);
+
+  // Every edge into/out of DEN is dark during the blackout second.
+  const util::SimTime blackout = util::milliseconds(4500);
+  const graph::NodeId den = topology.at("DEN");
+  for (graph::EdgeId e = 0; e < topology.graph().edgeCount(); ++e) {
+    const graph::Edge& edge = topology.graph().edge(e);
+    if (edge.from != den && edge.to != den) continue;
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_TRUE(plan.decide(e, blackout).drop) << "edge " << e;
+    }
+  }
+
+  // A clean edge at a clean time: never drops, delay = propagation.
+  for (int i = 0; i < 64; ++i) {
+    const live::ImpairmentDecision d = plan.decide(2, 0);
+    EXPECT_FALSE(d.drop);
+    EXPECT_EQ(d.delay, topology.graph().edge(2).latency);
+  }
+}
+
+TEST(Impairment, DecideIsDeterministicPerSeed) {
+  const auto topology = trace::Topology::mesh5();
+  const auto schedule = alignedSchedule(topology);
+  live::ImpairmentPlan a(topology.graph(), schedule, 7, kResidualLoss);
+  live::ImpairmentPlan b(topology.graph(), schedule, 7, kResidualLoss);
+  const util::SimTime inWindow = util::milliseconds(1500);
+  for (int i = 0; i < 256; ++i) {
+    const live::ImpairmentDecision da = a.decide(0, inWindow);
+    const live::ImpairmentDecision db = b.decide(0, inWindow);
+    EXPECT_EQ(da.drop, db.drop) << "sample " << i;
+    EXPECT_EQ(da.delay, db.delay) << "sample " << i;
+  }
+}
+
+TEST(Impairment, FlapAlternatesOnOffPhases) {
+  const auto topology = trace::Topology::mesh5();
+  chaos::ChaosSchedule schedule(util::seconds(6), util::seconds(1));
+  chaos::ChaosFault flap;
+  flap.kind = chaos::ChaosFault::Kind::LinkFlap;
+  flap.start = 0;
+  flap.duration = util::seconds(6);
+  flap.link = 0;
+  flap.lossRate = 0.8;
+  flap.flapOn = util::seconds(1);
+  flap.flapOff = util::seconds(1);
+  schedule.add(flap);
+  live::ImpairmentPlan plan(topology.graph(), schedule, 42, kResidualLoss);
+  // Phases repeat on|off from the start: impaired in [0,1s), clean in
+  // [1s,2s), ...
+  EXPECT_GT(plan.conditionsAt(0, util::milliseconds(500)).lossRate, 0.79);
+  EXPECT_DOUBLE_EQ(plan.conditionsAt(0, util::milliseconds(1500)).lossRate,
+                   kResidualLoss);
+  EXPECT_GT(plan.conditionsAt(0, util::milliseconds(2500)).lossRate, 0.79);
+}
+
+}  // namespace
+}  // namespace dg

@@ -1,0 +1,69 @@
+// In-process live soak: a 5-daemon mesh5 fleet on one event loop runs a
+// short scripted chaos scenario and its measured per-flow unavailability
+// must match the playback model within the differential tolerance --
+// the subsystem's end-to-end acceptance gate, sized to stay fast. Real
+// wall time elapses here (daemons run on real sockets and timers), so
+// the test carries the "live" label alongside the usual suite.
+#include "live/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dg {
+namespace {
+
+/// One mid-soak interval-aligned loss burst on the NYC-DFW link (edge 2):
+/// severe enough to show up, short enough that the fleet finishes in
+/// about three wall seconds.
+chaos::ChaosSchedule shortSchedule() {
+  chaos::ChaosSchedule schedule(util::seconds(2), util::milliseconds(500));
+  chaos::ChaosFault loss;
+  loss.kind = chaos::ChaosFault::Kind::LinkLoss;
+  loss.start = util::milliseconds(500);
+  loss.duration = util::milliseconds(1000);
+  loss.link = 2;
+  loss.lossRate = 0.9;
+  schedule.add(loss);
+  return schedule;
+}
+
+live::FleetParams soakParams() {
+  live::FleetParams params;
+  params.schedule = shortSchedule();
+  params.flows.push_back({"NYC", "SJC", routing::SchemeKind::StaticTwoDisjoint});
+  params.packetInterval = util::milliseconds(5);
+  params.drain = util::milliseconds(500);
+  params.mcSamples = 2000;
+  return params;
+}
+
+TEST(LiveSoak, InProcessFleetMatchesPlaybackModel) {
+  const live::FleetParams params = soakParams();
+  const live::FleetResult result = live::runFleetInProcess(params);
+
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.completed);
+  ASSERT_EQ(result.flows.size(), 1u);
+
+  const live::FleetFlowResult& flow = result.flows[0];
+  // 2 s horizon / 5 ms interval: the source must have originated the
+  // full soak's worth of packets (exactly horizon/interval ticks).
+  EXPECT_EQ(flow.sent, 400u);
+  EXPECT_GT(flow.deliveredOnTime, 0u);
+  EXPECT_TRUE(flow.withinTolerance())
+      << "live " << flow.liveUnavailability << " vs predicted "
+      << flow.predictedUnavailability << " (tolerance " << flow.tolerance()
+      << ")";
+  EXPECT_TRUE(result.passed());
+
+  // Every daemon reported, and the ones on the dissemination graph
+  // actually touched the network.
+  EXPECT_EQ(result.nodeCounters.size(), 5u);
+  std::uint64_t totalSends = 0;
+  for (const auto& [node, counters] : result.nodeCounters) {
+    totalSends += counters.socketSends;
+  }
+  EXPECT_GT(totalSends, 0u);
+}
+
+}  // namespace
+}  // namespace dg

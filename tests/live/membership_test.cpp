@@ -1,0 +1,123 @@
+// Membership state machine with synthetic timestamps: seed/lookup,
+// discover on first Hello, heartbeat-timeout disappearance, graceful
+// Bye, rejoin, and restart detection via incarnation bumps.
+#include "live/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dg {
+namespace {
+
+live::MembershipConfig testConfig() {
+  live::MembershipConfig config;
+  config.heartbeatInterval = util::milliseconds(100);
+  config.missedHeartbeatsDead = 3;
+  return config;
+}
+
+TEST(Membership, SeedPopulatesLookupWithoutDiscovery) {
+  live::Membership membership(0, testConfig());
+  int discovered = 0;
+  membership.onDiscover([&](const live::PeerInfo&) { ++discovered; });
+  membership.seed(1, 5001);
+  EXPECT_EQ(membership.lookup(1), std::optional<std::uint16_t>(5001));
+  EXPECT_EQ(membership.lookup(2), std::nullopt);
+  EXPECT_EQ(discovered, 0);
+  EXPECT_EQ(membership.aliveCount(), 0u);
+}
+
+TEST(Membership, SeedIgnoresSelf) {
+  live::Membership membership(0, testConfig());
+  membership.seed(0, 5000);
+  EXPECT_EQ(membership.lookup(0), std::nullopt);
+}
+
+TEST(Membership, FirstHelloDiscovers) {
+  live::Membership membership(0, testConfig());
+  std::vector<graph::NodeId> discovered;
+  membership.onDiscover(
+      [&](const live::PeerInfo& peer) { discovered.push_back(peer.node); });
+  membership.recordHello(1, 5001, 1, util::milliseconds(10));
+  membership.recordHello(1, 5001, 1, util::milliseconds(20));  // refresh
+  EXPECT_EQ(discovered, (std::vector<graph::NodeId>{1}));
+  EXPECT_EQ(membership.aliveCount(), 1u);
+  EXPECT_EQ(membership.discoveries(), 1u);
+}
+
+TEST(Membership, HelloWithPortZeroKeepsSeededAddress) {
+  // The daemon cannot see the sender's source port, so it records Hellos
+  // with port 0 -- which must not clobber the seeded address book.
+  live::Membership membership(0, testConfig());
+  membership.seed(1, 5001);
+  membership.recordHello(1, 0, 1, util::milliseconds(10));
+  EXPECT_EQ(membership.lookup(1), std::optional<std::uint16_t>(5001));
+}
+
+TEST(Membership, MissedHeartbeatsDisappear) {
+  live::Membership membership(0, testConfig());
+  std::vector<graph::NodeId> gone;
+  membership.onDisappear(
+      [&](const live::PeerInfo& peer) { gone.push_back(peer.node); });
+  membership.recordHello(1, 5001, 1, util::milliseconds(0));
+  // Dead deadline is heartbeatInterval * missedHeartbeatsDead = 300 ms.
+  membership.tick(util::milliseconds(299));
+  EXPECT_TRUE(gone.empty());
+  EXPECT_EQ(membership.aliveCount(), 1u);
+  membership.tick(util::milliseconds(301));
+  EXPECT_EQ(gone, (std::vector<graph::NodeId>{1}));
+  EXPECT_EQ(membership.aliveCount(), 0u);
+  EXPECT_EQ(membership.disappearances(), 1u);
+}
+
+TEST(Membership, RejoinAfterTimeoutRediscovers) {
+  live::Membership membership(0, testConfig());
+  int discovered = 0;
+  membership.onDiscover([&](const live::PeerInfo&) { ++discovered; });
+  membership.recordHello(1, 5001, 1, util::milliseconds(0));
+  membership.tick(util::milliseconds(400));  // times out
+  membership.recordHello(1, 5001, 1, util::milliseconds(500));
+  EXPECT_EQ(discovered, 2);
+  EXPECT_EQ(membership.aliveCount(), 1u);
+}
+
+TEST(Membership, ByeDisappearsImmediately) {
+  live::Membership membership(0, testConfig());
+  int gone = 0;
+  membership.onDisappear([&](const live::PeerInfo&) { ++gone; });
+  membership.recordHello(1, 5001, 1, util::milliseconds(0));
+  membership.recordBye(1, util::milliseconds(10));
+  EXPECT_EQ(gone, 1);
+  EXPECT_EQ(membership.aliveCount(), 0u);
+  // Lookup still works: the address book outlives liveness.
+  EXPECT_EQ(membership.lookup(1), std::optional<std::uint16_t>(5001));
+}
+
+TEST(Membership, HigherIncarnationIsChurn) {
+  // A restarted peer bumps its incarnation: listeners must observe a
+  // disappear + rediscover pair even with no gap in Hellos.
+  live::Membership membership(0, testConfig());
+  std::vector<std::string> events;
+  membership.onDiscover(
+      [&](const live::PeerInfo&) { events.push_back("up"); });
+  membership.onDisappear(
+      [&](const live::PeerInfo&) { events.push_back("down"); });
+  membership.recordHello(1, 5001, 1, util::milliseconds(0));
+  membership.recordHello(1, 5001, 2, util::milliseconds(50));
+  EXPECT_EQ(events, (std::vector<std::string>{"up", "down", "up"}));
+  EXPECT_EQ(membership.aliveCount(), 1u);
+}
+
+TEST(Membership, LowerIncarnationIgnored) {
+  live::Membership membership(0, testConfig());
+  int churn = 0;
+  membership.onDisappear([&](const live::PeerInfo&) { ++churn; });
+  membership.recordHello(1, 5001, 5, util::milliseconds(0));
+  membership.recordHello(1, 5001, 4, util::milliseconds(10));  // stale
+  EXPECT_EQ(churn, 0);
+  EXPECT_EQ(membership.aliveCount(), 1u);
+}
+
+}  // namespace
+}  // namespace dg

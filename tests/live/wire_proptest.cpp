@@ -1,0 +1,176 @@
+// Property-based wire coverage: any well-formed Message survives an
+// encode/decode round trip bit-exactly, and no strict prefix of its
+// encoding decodes (strictness: a truncated datagram never yields a
+// Message). Failures shrink by dropping list entries and zeroing
+// fields, so counterexamples stay readable.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "live/wire.hpp"
+#include "proptest.hpp"
+#include "util/rng.hpp"
+
+namespace dg {
+namespace {
+
+live::MessageType randomType(util::Rng& rng) {
+  static constexpr live::MessageType kTypes[] = {
+      live::MessageType::Data,         live::MessageType::Retransmission,
+      live::MessageType::Nack,         live::MessageType::Hello,
+      live::MessageType::Bye,          live::MessageType::Go,
+      live::MessageType::StatsRequest, live::MessageType::StatsReply,
+      live::MessageType::Shutdown,
+  };
+  return kTypes[rng.uniformInt(0, 8)];
+}
+
+graph::NodeId randomNode(util::Rng& rng) {
+  if (rng.bernoulli(0.1)) return graph::kInvalidNode;
+  return static_cast<graph::NodeId>(rng.uniformInt(0, 0xFFFE));
+}
+
+live::Message generateMessage(util::Rng& rng) {
+  live::Message m;
+  m.type = randomType(rng);
+  m.sender = randomNode(rng);
+  switch (m.type) {
+    case live::MessageType::Data:
+    case live::MessageType::Retransmission:
+      m.edge = rng.bernoulli(0.1)
+                   ? graph::kInvalidEdge
+                   : static_cast<graph::EdgeId>(rng.uniformInt(0, 0xFFFE));
+      m.flow = static_cast<net::FlowId>(rng.uniformInt(0, 1 << 20));
+      m.sequence = rng.next();
+      m.originTime = static_cast<util::SimTime>(rng.uniformInt(0, 1 << 30));
+      m.deadline = static_cast<util::SimTime>(rng.uniformInt(0, 1 << 20));
+      m.graphMask = rng.next();
+      m.source = randomNode(rng);
+      m.destination = randomNode(rng);
+      break;
+    case live::MessageType::Nack: {
+      m.edge = static_cast<graph::EdgeId>(rng.uniformInt(0, 0xFFFE));
+      m.flow = static_cast<net::FlowId>(rng.uniformInt(0, 1 << 20));
+      const int count = static_cast<int>(rng.uniformInt(
+          0, static_cast<std::int64_t>(live::kMaxNackSequences)));
+      for (int i = 0; i < count; ++i) m.nackSequences.push_back(rng.next());
+      break;
+    }
+    case live::MessageType::Hello:
+    case live::MessageType::Bye:
+      m.incarnation = rng.next();
+      m.helloSeq = static_cast<std::uint32_t>(rng.uniformInt(0, 1 << 30));
+      break;
+    case live::MessageType::Go:
+      m.horizon = static_cast<util::SimTime>(rng.uniformInt(0, 1 << 30));
+      m.token = static_cast<std::uint32_t>(rng.uniformInt(0, 1 << 30));
+      break;
+    case live::MessageType::StatsRequest:
+    case live::MessageType::Shutdown:
+      m.token = static_cast<std::uint32_t>(rng.uniformInt(0, 1 << 30));
+      break;
+    case live::MessageType::StatsReply: {
+      m.token = static_cast<std::uint32_t>(rng.uniformInt(0, 1 << 30));
+      m.counters.socketSends = rng.next();
+      m.counters.socketReceives = rng.next();
+      m.counters.impairmentDrops = rng.next();
+      m.counters.nacksSent = rng.next();
+      m.counters.timersFired = rng.next();
+      m.counters.membershipAlive =
+          static_cast<std::uint32_t>(rng.uniformInt(0, 64));
+      const int entries = static_cast<int>(rng.uniformInt(0, 12));
+      for (int i = 0; i < entries; ++i) {
+        live::FlowStatsEntry entry;
+        entry.flow = static_cast<net::FlowId>(rng.uniformInt(0, 1 << 16));
+        entry.sent = rng.next();
+        entry.deliveredOnTime = rng.next();
+        entry.deliveredLate = rng.next();
+        entry.transmissions = rng.next();
+        entry.latencySumUs = rng.next();
+        m.flowStats.push_back(entry);
+      }
+      break;
+    }
+  }
+  return m;
+}
+
+std::string describeMessage(const live::Message& m) {
+  std::ostringstream out;
+  out << "  type=" << live::messageTypeName(m.type) << " sender=" << m.sender
+      << " nackSequences=" << m.nackSequences.size()
+      << " flowStats=" << m.flowStats.size()
+      << " encoded=" << live::encodeMessage(m).size() << " bytes\n";
+  return out.str();
+}
+
+/// Strictly simpler candidates: drop half/one of each list, zero the
+/// numeric payload fields.
+std::vector<live::Message> shrinkMessage(const live::Message& m) {
+  std::vector<live::Message> candidates;
+  if (!m.nackSequences.empty()) {
+    live::Message half = m;
+    half.nackSequences.resize(half.nackSequences.size() / 2);
+    candidates.push_back(std::move(half));
+    live::Message one = m;
+    one.nackSequences.pop_back();
+    candidates.push_back(std::move(one));
+  }
+  if (!m.flowStats.empty()) {
+    live::Message half = m;
+    half.flowStats.resize(half.flowStats.size() / 2);
+    candidates.push_back(std::move(half));
+    live::Message one = m;
+    one.flowStats.pop_back();
+    candidates.push_back(std::move(one));
+  }
+  live::Message zeroed = m;
+  zeroed.sequence = 0;
+  zeroed.originTime = 0;
+  zeroed.deadline = 0;
+  zeroed.graphMask = 0;
+  zeroed.incarnation = 0;
+  zeroed.horizon = 0;
+  zeroed.token = 0;
+  zeroed.counters = live::DaemonCounters{};
+  if (!(zeroed == m)) candidates.push_back(std::move(zeroed));
+  return candidates;
+}
+
+TEST(WireProperty, EncodeDecodeRoundTrip) {
+  test::prop::forAll(
+      "encode/decode round trip", generateMessage,
+      [](const live::Message& m) {
+        const auto bytes = live::encodeMessage(m);
+        std::string error;
+        const auto decoded = live::decodeMessage(bytes, &error);
+        if (!decoded.has_value())
+          return test::prop::fail("decode failed: " + error);
+        if (!(*decoded == m))
+          return test::prop::fail("decoded message differs from original");
+        return test::prop::pass();
+      },
+      describeMessage, shrinkMessage);
+}
+
+TEST(WireProperty, NoStrictPrefixDecodes) {
+  test::prop::forAll(
+      "no strict prefix of an encoding decodes", generateMessage,
+      [](const live::Message& m) {
+        const auto bytes = live::encodeMessage(m);
+        for (std::size_t len = 0; len < bytes.size(); ++len) {
+          if (live::decodeMessage(std::span(bytes.data(), len)).has_value())
+            return test::prop::fail("prefix of " + std::to_string(len) +
+                                    " of " + std::to_string(bytes.size()) +
+                                    " bytes decoded");
+        }
+        return test::prop::pass();
+      },
+      describeMessage, shrinkMessage);
+}
+
+}  // namespace
+}  // namespace dg

@@ -1,0 +1,211 @@
+// Wire-format fixtures: representative encodes of every message type
+// round trip exactly, and strict decoding rejects every malformed shape
+// (short header, bad magic, wrong version, unknown type, truncation,
+// over-cap lists, trailing bytes) without ever yielding a Message.
+#include "live/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dg {
+namespace {
+
+live::Message dataMessage() {
+  live::Message m;
+  m.type = live::MessageType::Data;
+  m.sender = 3;
+  m.edge = 12;
+  m.flow = 7;
+  m.sequence = 123456789;
+  m.originTime = util::milliseconds(1500);
+  m.deadline = util::milliseconds(65);
+  m.graphMask = 0x5014;
+  m.source = 0;
+  m.destination = 4;
+  return m;
+}
+
+live::Message nackMessage() {
+  live::Message m;
+  m.type = live::MessageType::Nack;
+  m.sender = 2;
+  m.edge = 13;
+  m.flow = 7;
+  m.nackSequences = {10, 11, 15};
+  return m;
+}
+
+live::Message statsReplyMessage() {
+  live::Message m;
+  m.type = live::MessageType::StatsReply;
+  m.sender = 1;
+  m.token = 2;
+  m.counters.socketSends = 100;
+  m.counters.socketReceives = 99;
+  m.counters.impairmentDrops = 3;
+  m.counters.nacksSent = 2;
+  m.counters.membershipAlive = 4;
+  live::FlowStatsEntry entry;
+  entry.flow = 0;
+  entry.sent = 800;
+  entry.deliveredOnTime = 794;
+  entry.deliveredLate = 4;
+  entry.transmissions = 2400;
+  entry.latencySumUs = 33000000;
+  m.flowStats.push_back(entry);
+  return m;
+}
+
+TEST(Wire, DataRoundTrip) {
+  const live::Message m = dataMessage();
+  const auto decoded = live::decodeMessage(live::encodeMessage(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(Wire, RetransmissionRoundTrip) {
+  live::Message m = dataMessage();
+  m.type = live::MessageType::Retransmission;
+  const auto decoded = live::decodeMessage(live::encodeMessage(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(Wire, NackRoundTrip) {
+  const live::Message m = nackMessage();
+  const auto decoded = live::decodeMessage(live::encodeMessage(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(Wire, MembershipAndControlRoundTrip) {
+  for (const live::MessageType type :
+       {live::MessageType::Hello, live::MessageType::Bye,
+        live::MessageType::Go, live::MessageType::StatsRequest,
+        live::MessageType::Shutdown}) {
+    live::Message m;
+    m.type = type;
+    m.sender = 2;
+    m.incarnation = 5;
+    m.helloSeq = 17;
+    m.horizon = util::seconds(4);
+    m.token = 9;
+    // Unserialized per-type fields must come back at defaults, so build
+    // the expectation from a default message plus the serialized fields.
+    const auto decoded = live::decodeMessage(live::encodeMessage(m));
+    ASSERT_TRUE(decoded.has_value()) << live::messageTypeName(type);
+    EXPECT_EQ(decoded->type, type);
+    EXPECT_EQ(decoded->sender, 2u);
+    if (type == live::MessageType::Hello || type == live::MessageType::Bye) {
+      EXPECT_EQ(decoded->incarnation, 5u);
+      EXPECT_EQ(decoded->helloSeq, 17u);
+    }
+    if (type == live::MessageType::Go) {
+      EXPECT_EQ(decoded->horizon, util::seconds(4));
+    }
+  }
+}
+
+TEST(Wire, StatsReplyRoundTrip) {
+  const live::Message m = statsReplyMessage();
+  const auto decoded = live::decodeMessage(live::encodeMessage(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(Wire, InvalidSenderRoundTrips) {
+  live::Message m;
+  m.type = live::MessageType::StatsRequest;
+  m.sender = graph::kInvalidNode;  // the coordinator has no node id
+  const auto decoded = live::decodeMessage(live::encodeMessage(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sender, graph::kInvalidNode);
+}
+
+TEST(Wire, EmptyAndShortHeaderRejected) {
+  std::string error;
+  EXPECT_FALSE(live::decodeMessage({}, &error).has_value());
+  EXPECT_FALSE(error.empty());
+  const std::vector<std::byte> five(5, std::byte{0x47});
+  EXPECT_FALSE(live::decodeMessage(five).has_value());
+}
+
+TEST(Wire, BadMagicRejected) {
+  auto bytes = live::encodeMessage(dataMessage());
+  bytes[0] = std::byte{0x00};
+  std::string error;
+  EXPECT_FALSE(live::decodeMessage(bytes, &error).has_value());
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(Wire, UnknownVersionRejected) {
+  auto bytes = live::encodeMessage(dataMessage());
+  bytes[2] = std::byte{0x7F};
+  std::string error;
+  EXPECT_FALSE(live::decodeMessage(bytes, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(Wire, UnknownTypeRejected) {
+  auto bytes = live::encodeMessage(dataMessage());
+  bytes[3] = std::byte{0xEE};
+  std::string error;
+  EXPECT_FALSE(live::decodeMessage(bytes, &error).has_value());
+  EXPECT_NE(error.find("type"), std::string::npos) << error;
+}
+
+TEST(Wire, EveryTruncationRejected) {
+  for (const live::Message& m :
+       {dataMessage(), nackMessage(), statsReplyMessage()}) {
+    const auto bytes = live::encodeMessage(m);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      EXPECT_FALSE(
+          live::decodeMessage(std::span(bytes.data(), len)).has_value())
+          << live::messageTypeName(m.type) << " truncated to " << len
+          << " of " << bytes.size() << " bytes";
+    }
+  }
+}
+
+TEST(Wire, TrailingBytesRejected) {
+  auto bytes = live::encodeMessage(dataMessage());
+  bytes.push_back(std::byte{0x00});
+  std::string error;
+  EXPECT_FALSE(live::decodeMessage(bytes, &error).has_value());
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+}
+
+TEST(Wire, OverCapNackRejectedAtEncodeAndDecode) {
+  live::Message m = nackMessage();
+  m.nackSequences.assign(live::kMaxNackSequences + 1, 1);
+  EXPECT_THROW((void)live::encodeMessage(m), std::length_error);
+
+  // Decode side: forge a count above the cap on an otherwise valid nack.
+  m.nackSequences.assign(live::kMaxNackSequences, 1);
+  auto bytes = live::encodeMessage(m);
+  // Nack body: edge u16, flow u32 follow the 6-byte header; count u16 next.
+  const std::size_t countOffset = 6 + 2 + 4;
+  const std::uint16_t forged = live::kMaxNackSequences + 1;
+  bytes[countOffset] = static_cast<std::byte>(forged & 0xFF);
+  bytes[countOffset + 1] = static_cast<std::byte>(forged >> 8);
+  std::string error;
+  EXPECT_FALSE(live::decodeMessage(bytes, &error).has_value());
+}
+
+TEST(Wire, OversizedNodeIdThrowsAtEncode) {
+  live::Message m = dataMessage();
+  m.source = 0xFFFF;  // collides with the invalid-node wire sentinel
+  EXPECT_THROW((void)live::encodeMessage(m), std::length_error);
+}
+
+TEST(Wire, TypeNamesAreKebab) {
+  EXPECT_EQ(live::messageTypeName(live::MessageType::Data), "data");
+  EXPECT_EQ(live::messageTypeName(live::MessageType::StatsReply),
+            "stats-reply");
+}
+
+}  // namespace
+}  // namespace dg

@@ -3,6 +3,7 @@
 #include "dglint.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -15,10 +16,11 @@ namespace fs = std::filesystem;
 class DglintDriver : public ::testing::Test {
  protected:
   DglintDriver() {
+    // The pid keeps concurrent ctest shards (one process per test) from
+    // sharing -- and tearing down -- each other's scratch tree.
     root_ = fs::temp_directory_path() /
-            ("dglint_test_" +
-             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
-             "_" + std::to_string(counter()++));
+            ("dglint_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter()++));
     fs::create_directories(root_ / "src" / "util");
     fs::create_directories(root_ / "src" / "telemetry");
   }

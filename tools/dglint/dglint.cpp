@@ -152,6 +152,7 @@ std::vector<std::string> DriverOptions::defaultOrderedScope() {
       "src/playback/report",     "src/playback/classification",
       "src/routing/decision_memo", "src/chaos/invariants",
       "src/chaos/bridge",        "src/store/",
+      "src/live/",
   };
 }
 

@@ -48,6 +48,29 @@
 //       writes the schedule to FILE for replay. Bit-reproducible: the
 //       same (topology, schedule, seed) always produces byte-identical
 //       output and metrics exports.
+//   dgnet fleet      [--topology=FILE] [--schedule=FILE | --seed=N
+//                    [--faults=K] [--seconds=N] [--interval_s=N]]
+//                    [--flows=SRC:DST:SCHEME,... |
+//                     --source=A --destination=B --scheme=NAME]
+//                    [--processes] [--port-base=47000] [--work-dir=DIR]
+//                    [--record=FILE] [--recovery=1] [--mc_samples=N]
+//                    [--packet-interval-us=5000] [--deadline-us=65000]
+//       Run one live overlay daemon per topology site on 127.0.0.1 (real
+//       UDP datagrams, epoll event loops), replay the chaos schedule as
+//       socket-layer drops/delays, and differentially compare each
+//       flow's live delivery against the playback model -- the same
+//       tolerance the simulator chaos soak is held to. Default is every
+//       daemon in-process on one event loop; --processes forks one dgnet
+//       child per site (ports portBase+1+i, coordinator on an ephemeral
+//       port). Only static schemes can run live.
+//   dgnet daemon     --node=I --topology=FILE --schedule=FILE ...
+//       Run a single live daemon until a coordinator's Shutdown arrives;
+//       normally exec'd by `dgnet fleet --processes`, see cmdDaemon for
+//       the full flag list.
+//
+// Exit codes: 0 success; 1 runtime failure (including a failed chaos or
+// fleet differential); 2 usage error; 64 unknown command; trace-store
+// errors map to 2..7 (see `dgnet trace`).
 //
 // playback/simulate/telemetry accept --trace=FILE in either trace
 // format -- the packed store is detected by its magic bytes.
@@ -60,6 +83,8 @@
 //
 // All schemes: static-single dynamic-single static-two-disjoint
 // dynamic-two-disjoint targeted flooding.
+#include <unistd.h>
+
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -69,6 +94,9 @@
 #include "chaos/invariants.hpp"
 #include "chaos/schedule.hpp"
 #include "core/transport.hpp"
+#include "live/daemon.hpp"
+#include "live/event_loop.hpp"
+#include "live/fleet.hpp"
 #include "playback/experiment.hpp"
 #include "playback/playback.hpp"
 #include "store/reader.hpp"
@@ -465,6 +493,224 @@ int cmdChaos(const util::Config& args) {
   return result.passed() ? 0 : 1;
 }
 
+/// Runs one live daemon until the coordinator's Shutdown datagram stops
+/// the loop. Normally exec'd by `dgnet fleet --processes`, which passes
+/// every flag; usable by hand for ad-hoc fleets. Flows arrive as one
+/// comma-joined --flows=ID:SRC:DST:SCHEME,... argument; the dissemination
+/// graph of each is recomputed here (selectLiveGraphMask is deterministic,
+/// so parent and children agree without shipping masks).
+int cmdDaemon(const util::Config& args) {
+  const trace::Topology topology =
+      trace::Topology::fromFile(args.getString("topology"));
+  const chaos::ChaosSchedule schedule =
+      chaos::ChaosSchedule::load(args.getString("schedule"));
+  schedule.validateAgainst(topology.graph());
+  const double residualLoss = args.getDouble("residual-loss", 1e-4);
+
+  live::DaemonConfig config;
+  config.node = static_cast<graph::NodeId>(args.getInt("node", 0));
+  config.port = static_cast<std::uint16_t>(args.getInt("port", 0));
+  config.coordinatorPort =
+      static_cast<std::uint16_t>(args.getInt("coordinator-port", 0));
+  config.incarnation =
+      static_cast<std::uint64_t>(args.getInt("incarnation", 1));
+  config.recoveryEnabled = args.getBool("recovery", false);
+  config.packetInterval =
+      args.getInt("packet-interval-us", config.packetInterval);
+  config.membership.heartbeatInterval =
+      args.getInt("heartbeat-us", config.membership.heartbeatInterval);
+
+  live::EventLoop loop;
+  live::Daemon daemon(loop, topology.graph(), config);
+  daemon.enableImpairment(schedule,
+                          static_cast<std::uint64_t>(args.getInt("seed", 42)),
+                          residualLoss);
+
+  routing::SchemeParams schemeParams;
+  schemeParams.deadline = args.getInt("deadline-us", schemeParams.deadline);
+  for (const std::string& item : util::split(args.getString("flows"), ',')) {
+    if (item.empty()) continue;
+    const auto fields = util::split(item, ':');
+    std::int64_t id = 0;
+    if (fields.size() != 4 || !util::parseInt64(fields[0], id) || id < 0)
+      throw std::runtime_error("daemon: bad --flows entry '" + item +
+                               "' (want ID:SRC:DST:SCHEME)");
+    live::LiveFlow flow;
+    flow.id = static_cast<net::FlowId>(id);
+    flow.source = topology.at(fields[1]);
+    flow.destination = topology.at(fields[2]);
+    flow.deadline = schemeParams.deadline;
+    flow.graphMask = live::selectLiveGraphMask(
+        topology, routing::parseSchemeKind(fields[3]), flow.source,
+        flow.destination, schemeParams, residualLoss);
+    daemon.addFlow(flow);
+  }
+
+  const auto portBase =
+      static_cast<std::uint16_t>(args.getInt("port-base", 0));
+  if (portBase != 0) {
+    for (std::size_t j = 0; j < topology.siteCount(); ++j) {
+      if (static_cast<graph::NodeId>(j) == config.node) continue;
+      daemon.seedPeer(static_cast<graph::NodeId>(j),
+                      static_cast<std::uint16_t>(portBase + 1 + j));
+    }
+  }
+
+  std::optional<telemetry::Telemetry> telemetry;
+  if (telemetryRequested(args)) {
+    telemetry.emplace();
+    // Live churn events carry loop (wall) time, not sim time.
+    telemetry->trace.setTimeBase("wall");
+    daemon.setTelemetry(&*telemetry);
+  }
+
+  daemon.start();
+  loop.run();  // until the coordinator's Shutdown stops the loop
+  daemon.stop();
+  if (telemetry) {
+    daemon.exportTelemetry(*telemetry);
+    emitTelemetry(*telemetry, args);
+  }
+  return 0;
+}
+
+std::string selfExePath() {
+  char buffer[4096];
+  const ssize_t n = readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n <= 0)
+    throw std::runtime_error("fleet: cannot resolve /proc/self/exe");
+  return std::string(buffer, static_cast<std::size_t>(n));
+}
+
+int cmdFleet(const util::Config& args) {
+  live::FleetParams params;
+  params.topology = args.has("topology")
+                        ? trace::Topology::fromFile(args.getString("topology"))
+                        : trace::Topology::mesh5();
+
+  if (args.has("schedule")) {
+    params.schedule = chaos::ChaosSchedule::load(args.getString("schedule"));
+  } else {
+    chaos::ChaosScheduleParams sp;
+    sp.seed = static_cast<std::uint64_t>(args.getInt("seed", 7));
+    sp.faults = static_cast<int>(args.getInt("faults", 4));
+    sp.horizon = util::seconds(args.getInt("seconds", 8));
+    sp.intervalLength = util::seconds(args.getInt("interval_s", 1));
+    // Live daemons do not crash mid-soak and run no monitoring plane, so
+    // random soak schedules stick to link/site condition impairments.
+    sp.nodeCrashWeight = 0.0;
+    sp.monitorDelayWeight = 0.0;
+    params.schedule = chaos::ChaosSchedule::random(params.topology, sp);
+  }
+  params.schedule.validateAgainst(params.topology.graph());
+  if (args.has("record")) {
+    params.schedule.save(args.getString("record"));
+    std::cerr << "recorded schedule -> " << args.getString("record") << '\n';
+  }
+
+  if (args.has("flows")) {
+    for (const std::string& item :
+         util::split(args.getString("flows"), ',')) {
+      if (item.empty()) continue;
+      const auto fields = util::split(item, ':');
+      if (fields.size() != 3)
+        throw std::runtime_error("fleet: bad --flows entry '" + item +
+                                 "' (want SRC:DST:SCHEME)");
+      live::FleetFlowSpec spec;
+      spec.source = fields[0];
+      spec.destination = fields[1];
+      spec.scheme = routing::parseSchemeKind(fields[2]);
+      params.flows.push_back(spec);
+    }
+  } else {
+    live::FleetFlowSpec spec;
+    spec.source = args.getString("source", "NYC");
+    spec.destination = args.getString("destination", "SJC");
+    spec.scheme = routing::parseSchemeKind(
+        args.getString("scheme", "static-two-disjoint"));
+    params.flows.push_back(spec);
+  }
+  if (params.flows.empty())
+    throw std::runtime_error("fleet: no flows configured");
+
+  params.schemeParams.deadline =
+      args.getInt("deadline-us", params.schemeParams.deadline);
+  params.packetInterval =
+      args.getInt("packet-interval-us", params.packetInterval);
+  params.impairmentSeed =
+      static_cast<std::uint64_t>(args.getInt("impairment-seed", 42));
+  params.residualLoss = args.getDouble("residual-loss", params.residualLoss);
+  params.recoveryEnabled = args.getBool("recovery", false);
+  params.drain = args.getInt("drain-us", params.drain);
+  params.mcSamples =
+      static_cast<int>(args.getInt("mc_samples", params.mcSamples));
+  params.playbackSeed = static_cast<std::uint64_t>(
+      args.getInt("playback-seed", static_cast<std::int64_t>(
+                                       params.playbackSeed)));
+  params.portBase =
+      static_cast<std::uint16_t>(args.getInt("port-base", params.portBase));
+  params.workDir = args.getString("work-dir", params.workDir);
+
+  const bool processes = args.getBool("processes", false);
+  std::cout << "fleet: " << params.topology.siteCount() << " daemons ("
+            << (processes ? "multi-process" : "in-process") << "), "
+            << params.schedule.faults().size() << " faults over "
+            << util::formatDuration(params.schedule.horizon()) << '\n';
+
+  std::optional<telemetry::Telemetry> telemetry;
+  if (telemetryRequested(args)) {
+    telemetry.emplace();
+    telemetry->trace.setTimeBase("wall");  // live churn events
+  }
+
+  live::FleetResult result;
+  if (processes) {
+    params.dgnetBinary = selfExePath();
+    result =
+        live::runFleetProcesses(params, telemetry ? &*telemetry : nullptr);
+  } else {
+    result =
+        live::runFleetInProcess(params, telemetry ? &*telemetry : nullptr);
+  }
+  if (telemetry) emitTelemetry(*telemetry, args);
+
+  std::cout << "converged: " << (result.converged ? "yes" : "NO")
+            << "  collected: " << (result.completed ? "yes" : "NO") << '\n';
+
+  std::cout << "\nlive vs playback (per flow):\n";
+  for (const live::FleetFlowResult& flow : result.flows) {
+    std::cout << "  " << flow.spec.source << "->" << flow.spec.destination
+              << " via " << routing::schemeName(flow.spec.scheme) << ":\n"
+              << "    sent:                  " << flow.sent << '\n'
+              << "    delivered on time:     " << flow.deliveredOnTime
+              << " (late " << flow.deliveredLate << ")\n"
+              << "    live unavailability:   "
+              << util::formatPercent(flow.liveUnavailability, 3) << '\n'
+              << "    predicted (playback):  "
+              << util::formatPercent(flow.predictedUnavailability, 3) << '\n'
+              << "    delta:                 "
+              << util::formatFixed(flow.unavailabilityDelta() * 100.0, 3)
+              << " pp (tolerance "
+              << util::formatFixed(flow.tolerance() * 100.0, 3) << " pp, "
+              << (flow.withinTolerance() ? "ok" : "EXCEEDED") << ")\n"
+              << "    live cost:             "
+              << util::formatFixed(flow.liveCost, 2) << " tx/pkt (model "
+              << util::formatFixed(flow.predictedCost, 2) << ")\n";
+  }
+
+  std::uint64_t sends = 0, receives = 0, drops = 0, nacks = 0;
+  for (const auto& [node, counters] : result.nodeCounters) {
+    sends += counters.socketSends;
+    receives += counters.socketReceives;
+    drops += counters.impairmentDrops;
+    nacks += counters.nacksSent;
+  }
+  std::cout << "sockets: " << sends << " sends, " << receives
+            << " receives, " << drops << " impairment drops, " << nacks
+            << " nacks\n";
+  return result.passed() ? 0 : 1;
+}
+
 /// Resolves the input file of a `dgnet trace` subcommand: --in=FILE or
 /// the positional after the subcommand.
 std::string traceStoreInput(const util::Config& args,
@@ -544,10 +790,25 @@ int cmdTraceStore(const util::Config& args,
   return 0;
 }
 
-void usage() {
-  std::cerr << "usage: dgnet <topology|gen-trace|inspect|import|playback|"
-               "simulate|telemetry|chaos|trace> [--key=value ...]\n"
-               "see the header of tools/dgnet.cpp for details\n";
+void printUsage(std::ostream& out) {
+  out << "usage: dgnet <command> [--key=value ...]\n"
+         "\n"
+         "commands:\n"
+         "  topology   print the overlay topology (sites, links, latencies)\n"
+         "  gen-trace  generate a synthetic condition trace (text or packed)\n"
+         "  inspect    summarize a trace: horizon, deviations, worst links\n"
+         "  import     convert external CSV measurements into a trace\n"
+         "  playback   replay a flow/scheme over a trace (availability/cost)\n"
+         "  simulate   drive the packet-level overlay (forwarding + recovery)\n"
+         "  telemetry  run the flows x schemes sweep with full telemetry\n"
+         "  chaos      differential chaos soak: live simulator vs playback\n"
+         "  trace      packed-trace store tooling (pack, info, verify, cat)\n"
+         "  daemon     run one live UDP overlay daemon (fleet child process)\n"
+         "  fleet      run a localhost daemon fleet through a live chaos "
+         "soak\n"
+         "  help       print this summary\n"
+         "\n"
+         "see the header of tools/dgnet.cpp for per-command flags\n";
 }
 
 }  // namespace
@@ -584,11 +845,19 @@ int main(int argc, char** argv) {
   args.applyArgs(static_cast<int>(normalizedPtrs.size()),
                  normalizedPtrs.data(), &positional);
   if (positional.empty()) {
-    usage();
+    if (args.getBool("help", false)) {
+      printUsage(std::cout);
+      return 0;
+    }
+    printUsage(std::cerr);
     return 2;
   }
   const std::string& command = positional.front();
   try {
+    if (command == "help") {
+      printUsage(std::cout);
+      return 0;
+    }
     if (command == "topology") return cmdTopology(args);
     if (command == "gen-trace") return cmdGenTrace(args);
     if (command == "inspect") return cmdInspect(args);
@@ -598,8 +867,16 @@ int main(int argc, char** argv) {
     if (command == "telemetry") return cmdTelemetry(args);
     if (command == "chaos") return cmdChaos(args);
     if (command == "trace") return cmdTraceStore(args, positional);
-    usage();
-    return 2;
+    if (command == "daemon") return cmdDaemon(args);
+    if (command == "fleet") return cmdFleet(args);
+    std::cerr << "dgnet: unknown command '" << command << "'\n";
+    printUsage(std::cerr);
+    return 64;
+  } catch (const store::StoreError& e) {
+    // Store errors outside `dgnet trace` (e.g. a truncated --trace=FILE)
+    // keep their distinct per-kind exit codes.
+    std::cerr << "dgnet " << command << ": " << e.what() << '\n';
+    return store::storeErrorExitCode(e.kind());
   } catch (const std::exception& e) {
     std::cerr << "dgnet " << command << ": " << e.what() << '\n';
     return 1;
