@@ -11,10 +11,22 @@
 // produce *identical* results, and writes everything to
 // BENCH_playback.json.
 //
+// Two further arms measure the chunk-parallel packed sweep: the trace is
+// packed into a temporary dgtrace container and runPackedExperiment is
+// timed cold (no decision-memo sidecar) and warm (sidecar written by the
+// cold run), end to end including container open and decode. Per-stage
+// wall-clock breakdowns (decode / Monte-Carlo / memo / merge) are
+// collected for every arm; the two extra clock reads per operation apply
+// to all arms equally, so the speedup stays a fair comparison.
+//
 // Keys: --days=7 --threads=1 --seed=S --mc_samples=N --out=FILE plus the
-// trace-generator keys of bench_common.hpp.
+// trace-generator keys of bench_common.hpp. With --baseline=FILE (a
+// previous BENCH_playback.json) the run acts as a regression gate: if
+// the optimized arm's intervals_per_second drops more than 10% below the
+// baseline's, the bench exits 3.
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -23,7 +35,9 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "playback/experiment.hpp"
 #include "playback/playback.hpp"
+#include "store/writer.hpp"
 #include "util/wall_clock.hpp"
 
 // ---------------------------------------------------------------------
@@ -122,6 +136,14 @@ bool resultsIdentical(const std::vector<playback::FlowSchemeResult>& a,
         x.averageCost != y.averageCost ||
         x.averageLatencyUs != y.averageLatencyUs ||
         x.problems.size() != y.problems.size()) {
+      std::cerr << "DIFF job " << i << ": unavail " << x.unavailability
+                << " vs " << y.unavailability << ", cost " << x.averageCost
+                << " vs " << y.averageCost << ", latency "
+                << x.averageLatencyUs << " vs " << y.averageLatencyUs
+                << ", problems " << x.problems.size() << " vs "
+                << y.problems.size() << ", probIntervals "
+                << x.problematicIntervals << " vs " << y.problematicIntervals
+                << "\n";
       return false;
     }
     for (std::size_t p = 0; p < x.problems.size(); ++p) {
@@ -144,10 +166,45 @@ void appendRunJson(std::ostringstream& json, const char* name,
        << "  }";
 }
 
+void appendStagesJson(std::ostringstream& json, const char* name,
+                      const playback::ExperimentResult::StageBreakdown& s) {
+  json << "  \"" << name << "\": {\n"
+       << "    \"decode_seconds\": " << static_cast<double>(s.decodeNs) / 1e9
+       << ",\n"
+       << "    \"mc_seconds\": " << static_cast<double>(s.mcNs) / 1e9
+       << ",\n"
+       << "    \"memo_seconds\": " << static_cast<double>(s.memoNs) / 1e9
+       << ",\n"
+       << "    \"merge_seconds\": " << static_cast<double>(s.mergeNs) / 1e9
+       << "\n  }";
+}
+
+/// Reads `optimized.intervals_per_second` out of a previous bench JSON.
+/// Hand-rolled scan (the repo has no JSON parser dependency): finds the
+/// "optimized" object, then the key within it. Returns 0 on any miss.
+double baselineIntervalsPerSecond(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0.0;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const std::size_t obj = text.find("\"optimized\"");
+  if (obj == std::string::npos) return 0.0;
+  const std::size_t key = text.find("\"intervals_per_second\":", obj);
+  if (key == std::string::npos) return 0.0;
+  return std::strtod(text.c_str() + key + 23, nullptr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = bench::parseArgs(argc, argv);
+  // Read the baseline before any output: --baseline and --out may name
+  // the same file (CI gates against the committed results in place).
+  const double baselineIps =
+      args.has("baseline")
+          ? baselineIntervalsPerSecond(args.getString("baseline", ""))
+          : 0.0;
   const auto topology = trace::Topology::ltn12();
 
   auto generator = bench::makeGeneratorParams(args);
@@ -165,6 +222,7 @@ int main(int argc, char** argv) {
   routing::SchemeParams schemeParams;
   playback::PlaybackParams base;
   base.mcSamples = static_cast<int>(args.getInt("mc_samples", 1000));
+  base.collectStageTimings = true;  // all arms pay the same clock reads
 
   std::cout << "=== playback throughput: " << flows.size() << " flows x "
             << schemes.size() << " schemes over "
@@ -206,6 +264,71 @@ int main(int argc, char** argv) {
             << memoStats.decisionHits << " hits / "
             << memoStats.decisionMisses << " misses\n";
 
+  playback::ExperimentResult::StageBreakdown optimizedStages;
+  {
+    const playback::StageTimings& st = optimizedEngine.stageTimings();
+    optimizedStages.decodeNs = st.decodeNs.load(std::memory_order_relaxed);
+    optimizedStages.mcNs = st.mcNs.load(std::memory_order_relaxed);
+    optimizedStages.memoNs = st.memoNs.load(std::memory_order_relaxed);
+    optimizedStages.mergeNs = st.mergeNs.load(std::memory_order_relaxed);
+  }
+
+  // ---- Chunk-parallel packed sweep, cold and warm memo cache ----------
+  const auto tmpDir = std::filesystem::temp_directory_path();
+  const std::string packedPath =
+      (tmpDir / "bench_playback_trace.dgtrace").string();
+  const std::string memoPath =
+      (tmpDir / "bench_playback_memo.dgmemo").string();
+  store::packTrace(trace, packedPath);
+  std::filesystem::remove(memoPath);
+
+  playback::ExperimentConfig chunkedConfig;
+  chunkedConfig.flows = flows;
+  chunkedConfig.schemes = schemes;
+  chunkedConfig.schemeParams = schemeParams;
+  chunkedConfig.playback = base;
+  chunkedConfig.threads = threads;
+  chunkedConfig.memoCachePath = memoPath;
+
+  const auto runChunked = [&](const char* label, RunMeasurement& m) {
+    const std::uint64_t allocBefore =
+        g_allocationCount.load(std::memory_order_relaxed);
+    const std::uint64_t bytesBefore =
+        g_allocationBytes.load(std::memory_order_relaxed);
+    util::WallClock stopwatch;
+    stopwatch.start();
+    auto result = playback::runPackedExperiment(topology.graph(), packedPath,
+                                                chunkedConfig);
+    m.wallSeconds = stopwatch.elapsedSeconds();
+    m.allocations =
+        g_allocationCount.load(std::memory_order_relaxed) - allocBefore;
+    m.allocatedBytes =
+        g_allocationBytes.load(std::memory_order_relaxed) - bytesBefore;
+    const double replayed = static_cast<double>(flows.size()) *
+                            static_cast<double>(schemes.size()) *
+                            static_cast<double>(trace.intervalCount());
+    m.intervalsPerSecond =
+        m.wallSeconds > 0 ? replayed / m.wallSeconds : 0.0;
+    m.results = std::move(result.perFlow);
+    std::cout << label << ": " << m.wallSeconds << " s, "
+              << m.intervalsPerSecond << " intervals/s (memo cache "
+              << playback::memoCacheLoadResultName(result.memoCacheLoad)
+              << ", " << result.memoStats.decisionHits << " hits)\n";
+    return result;
+  };
+
+  RunMeasurement chunkedCold;
+  const auto coldResult =
+      runChunked("chunked cold (packed)", chunkedCold);
+  RunMeasurement chunkedWarm;
+  const auto warmResult =
+      runChunked("chunked warm (packed)", chunkedWarm);
+  // The warm sidecar may change timing, never results.
+  const bool chunkedIdentical =
+      resultsIdentical(chunkedCold.results, chunkedWarm.results);
+  if (!chunkedIdentical)
+    std::cerr << "FAIL: warm memo cache changed chunked results\n";
+
   std::ostringstream json;
   json << std::setprecision(17);
   json << "{\n"
@@ -219,10 +342,34 @@ int main(int argc, char** argv) {
   appendRunJson(json, "baseline", legacy);
   json << ",\n";
   appendRunJson(json, "optimized", optimized);
+  json << ",\n";
+  appendStagesJson(json, "optimized_stages", optimizedStages);
+  json << ",\n";
+  appendRunJson(json, "chunked_cold", chunkedCold);
+  json << ",\n";
+  appendStagesJson(json, "chunked_cold_stages", coldResult.stages);
+  json << ",\n";
+  appendRunJson(json, "chunked_warm", chunkedWarm);
+  json << ",\n";
+  appendStagesJson(json, "chunked_warm_stages", warmResult.stages);
   json << ",\n"
        << "  \"speedup\": " << speedup << ",\n"
        << "  \"results_identical\": " << (identical ? "true" : "false")
        << ",\n"
+       << "  \"chunked_results_identical\": "
+       << (chunkedIdentical ? "true" : "false") << ",\n"
+       << "  \"memo_cache\": {\n"
+       << "    \"cold_load\": \""
+       << playback::memoCacheLoadResultName(coldResult.memoCacheLoad)
+       << "\",\n"
+       << "    \"warm_load\": \""
+       << playback::memoCacheLoadResultName(warmResult.memoCacheLoad)
+       << "\",\n"
+       << "    \"warm_hits\": " << warmResult.memoStats.decisionHits << ",\n"
+       << "    \"warm_misses\": " << warmResult.memoStats.decisionMisses
+       << ",\n"
+       << "    \"decisions\": " << warmResult.memoStats.decisions << "\n"
+       << "  },\n"
        << "  \"decision_memo\": {\n"
        << "    \"hits\": " << memoStats.decisionHits << ",\n"
        << "    \"misses\": " << memoStats.decisionMisses << ",\n"
@@ -245,6 +392,21 @@ int main(int argc, char** argv) {
   if (!identical) {
     std::cerr << "FAIL: legacy and optimized results differ\n";
     return 1;
+  }
+  if (!chunkedIdentical) return 1;
+
+  // Regression gate: compare against a previous run's optimized arm.
+  if (args.has("baseline")) {
+    const double previous = baselineIps;
+    if (previous > 0.0 &&
+        optimized.intervalsPerSecond < previous * 0.9) {
+      std::cerr << "FAIL: optimized throughput "
+                << optimized.intervalsPerSecond << " intervals/s is >10% below baseline "
+                << previous << " intervals/s\n";
+      return 3;
+    }
+    std::cout << "regression gate: " << optimized.intervalsPerSecond
+              << " vs baseline " << previous << " intervals/s -- ok\n";
   }
   return 0;
 }

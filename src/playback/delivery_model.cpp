@@ -7,9 +7,33 @@
 #include <utility>
 #include <vector>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define DG_MC_HAVE_AVX2_TARGET 1
+#include <immintrin.h>
+#endif
+
 namespace dg::playback {
 
 namespace detail {
+
+namespace {
+// Test-only kernel pin; every kernel is bit-identical, so the selection
+// cannot affect results -- only which code path the equivalence tests
+// exercise.
+McKernel g_mcKernelOverride =  // dglint: ok(R3): test-only kernel pin
+    McKernel::kAuto;
+}  // namespace
+
+void setMcKernelForTest(McKernel kernel) { g_mcKernelOverride = kernel; }
+
+bool mcKernelSupported(McKernel kernel) {
+  if (kernel != McKernel::kBlockAvx2) return true;
+#if DG_MC_HAVE_AVX2_TARGET
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
 
 void DaryHeap::push(util::SimTime time, graph::NodeId node) {
   entries_.push_back(Entry{time, node});
@@ -170,6 +194,120 @@ bool distancesWithin(const graph::DisseminationGraph& dg,
   return ws.dist[dg.destination()] <= deadline;
 }
 
+/// Samples per batched block. Bounded so the draw buffer (block *
+/// members * 8 bytes) stays inside L1 even for 64-member graphs.
+constexpr int kMcBlockSamples = 32;
+
+/// Portable SoA classify pass: turns a block of raw draws (sample-major,
+/// `memberCount` draws per sample) into per-sample 2-bit outcome-pattern
+/// keys. Identical classification to the fused loop -- same thresholds,
+/// same 53-bit integer comparison -- just decoupled from the RNG
+/// advance.
+void buildKeysScalar(const std::uint64_t* draws, std::size_t memberCount,
+                     int blockSamples, const std::uint64_t* thrOnTime,
+                     const std::uint64_t* thrRecovered,
+                     std::uint64_t* keyLo, std::uint64_t* keyHi) {
+  for (int b = 0; b < blockSamples; ++b) {
+    const std::uint64_t* d =
+        draws + static_cast<std::size_t>(b) * memberCount;
+    std::uint64_t key[2] = {0, 0};
+    for (std::size_t i = 0; i < memberCount; ++i) {
+      const std::uint64_t k = d[i] >> 11;
+      if (k >= thrOnTime[i]) [[unlikely]] {
+        const std::uint64_t code =
+            1 + static_cast<std::uint64_t>(k >= thrRecovered[i]);
+        key[i >> 5] |= code << (2 * (i & 31));
+      }
+    }
+    keyLo[b] = key[0];
+    keyHi[b] = key[1];
+  }
+}
+
+#if DG_MC_HAVE_AVX2_TARGET
+/// AVX2 classify pass: 4 member edges per vector, fully branchless. Both
+/// sides of the threshold comparisons are 53-bit integers, so the signed
+/// 64-bit compares are exact; per-lane the outcome code is
+/// 2 + (k < thrOnTime) + (k < thrRecovered) with the compares as 0/-1
+/// masks (0 = on-time, 1 = recovered, 2 = lost), shifted into key
+/// position with a variable shift and OR-folded across the block.
+__attribute__((target("avx2"))) void buildKeysAvx2(
+    const std::uint64_t* draws, std::size_t memberCount, int blockSamples,
+    const std::uint64_t* thrOnTime, const std::uint64_t* thrRecovered,
+    std::uint64_t* keyLo, std::uint64_t* keyHi) {
+  const __m256i laneShift = _mm256_set_epi64x(6, 4, 2, 0);
+  const __m256i two = _mm256_set1_epi64x(2);
+  for (int b = 0; b < blockSamples; ++b) {
+    const std::uint64_t* d =
+        draws + static_cast<std::size_t>(b) * memberCount;
+    __m256i accLo = _mm256_setzero_si256();
+    __m256i accHi = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 4 <= memberCount; i += 4) {
+      const __m256i k = _mm256_srli_epi64(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + i)), 11);
+      const __m256i tOn = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(thrOnTime + i));
+      const __m256i tRec = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(thrRecovered + i));
+      const __m256i onTimeMask = _mm256_cmpgt_epi64(tOn, k);    // k < tOn
+      const __m256i recMask = _mm256_cmpgt_epi64(tRec, k);      // k < tRec
+      const __m256i code = _mm256_add_epi64(
+          two, _mm256_add_epi64(onTimeMask, recMask));
+      const __m256i shift = _mm256_add_epi64(
+          _mm256_set1_epi64x(2 * static_cast<long long>(i & 31)),
+          laneShift);
+      const __m256i contrib = _mm256_sllv_epi64(code, shift);
+      if (i < 32) {
+        accLo = _mm256_or_si256(accLo, contrib);
+      } else {
+        accHi = _mm256_or_si256(accHi, contrib);
+      }
+    }
+    // Horizontal OR of the four lanes (a lambda would lose the target
+    // attribute, so spelled out for both accumulators).
+    const __m128i foldedLo = _mm_or_si128(_mm256_castsi256_si128(accLo),
+                                          _mm256_extracti128_si256(accLo, 1));
+    std::uint64_t kLo =
+        static_cast<std::uint64_t>(_mm_cvtsi128_si64(foldedLo)) |
+        static_cast<std::uint64_t>(_mm_extract_epi64(foldedLo, 1));
+    const __m128i foldedHi = _mm_or_si128(_mm256_castsi256_si128(accHi),
+                                          _mm256_extracti128_si256(accHi, 1));
+    std::uint64_t kHi =
+        static_cast<std::uint64_t>(_mm_cvtsi128_si64(foldedHi)) |
+        static_cast<std::uint64_t>(_mm_extract_epi64(foldedHi, 1));
+    for (; i < memberCount; ++i) {  // scalar tail (memberCount % 4)
+      const std::uint64_t k = d[i] >> 11;
+      if (k >= thrOnTime[i]) [[unlikely]] {
+        const std::uint64_t code =
+            1 + static_cast<std::uint64_t>(k >= thrRecovered[i]);
+        (i < 32 ? kLo : kHi) |= code << (2 * (i & 31));
+      }
+    }
+    keyLo[b] = kLo;
+    keyHi[b] = kHi;
+  }
+}
+#endif  // DG_MC_HAVE_AVX2_TARGET
+
+/// Kernel dispatch: honor a test override, otherwise pick by measured
+/// profitability. The fused loop wins for small member counts (the
+/// classify work hides under the serial RNG dependency chain); the
+/// branchless AVX2 block pass wins once the per-sample classify is wide
+/// enough to amortize the draw-buffer round trip.
+detail::McKernel resolveMcKernel(std::size_t memberCount) {
+  using detail::McKernel;
+  const McKernel forced = detail::g_mcKernelOverride;
+  if (forced != McKernel::kAuto) return forced;
+#if DG_MC_HAVE_AVX2_TARGET
+  static const bool haveAvx2 = __builtin_cpu_supports("avx2") != 0;
+  if (haveAvx2 && memberCount >= 16) return McKernel::kBlockAvx2;
+#else
+  (void)memberCount;
+#endif
+  return McKernel::kFusedScalar;
+}
+
 }  // namespace
 
 double onTimeProbabilityMC(const graph::DisseminationGraph& dg,
@@ -261,20 +399,83 @@ double onTimeProbabilityMC(const graph::DisseminationGraph& dg,
     }
   }
 
+  // Verdict for one sample's 2-bit outcome-pattern key. Collapse each
+  // 2-bit code to its even bit (a pair is never 11) and intersect with
+  // the clean-path mask: empty means the clean earliest path is intact
+  // (covers the all-on-time case as well). Only samples that slow the
+  // clean earliest path down consult the memo / run Dijkstra.
+  const auto scoreKey = [&](std::uint64_t keyLo, std::uint64_t keyHi) {
+    if (!cleanOnTime) return false;
+    if ((((keyLo | (keyLo >> 1)) & cleanPathLo) |
+         ((keyHi | (keyHi >> 1)) & cleanPathHi)) == 0) {
+      return true;
+    }
+    const int cached = ws.outcomeCache.find(keyLo, keyHi);
+    if (cached >= 0) return cached != 0;
+    // A Dijkstra run is actually needed: patch the deviating edges
+    // into the pre-filled clean weights. A code pair is never 11,
+    // so every set key bit identifies one deviating edge -- even
+    // bit means recovered, odd bit means lost.
+    const auto patch = [&](std::uint64_t bits, std::size_t base,
+                           bool restore) {
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        const std::size_t i = base + static_cast<std::size_t>(b >> 1);
+        ws.sampledHop[members[i]] =
+            restore ? ws.mcLatency[i]
+            : (b & 1) != 0 ? util::kNever
+                           : ws.mcRecoveredLatency[i];
+      }
+    };
+    patch(keyLo, 0, false);
+    patch(keyHi, 32, false);
+    const bool onTime = onTimeUnder(dg, ws.sampledHop, params.deadline, ws);
+    patch(keyLo, 0, true);
+    patch(keyHi, 32, true);
+    if (cached == detail::SampleOutcomeCache::kMiss) {
+      ws.outcomeCache.store(onTime);
+    }
+    return onTime;
+  };
+
   // Draw through a local generator so the four state words live in
   // registers for the whole loop nest (the caller's rng is advanced to
   // the same final state below).
   util::Rng localRng = rng;
 
-  for (int s = 0; s < samples; ++s) {
-    bool onTime;
-    if (patternMemo) {
-      // Draw loop: 2-bit outcome code per member edge (0 = on-time,
-      // 1 = recovered, 2 = lost; the thresholds nest, so 1 + the second
-      // comparison is the band index). The on-time branch is the
-      // overwhelmingly common case -- with baseline loss rates it is
-      // taken ~99.99% of the time -- so the key-building work is kept
-      // off that path entirely.
+  const detail::McKernel kernel =
+      patternMemo ? resolveMcKernel(memberCount) : detail::McKernel::kAuto;
+
+  if (!patternMemo) {
+    // Too many member edges for a 128-bit pattern key: sample straight
+    // into the weight array.
+    for (int s = 0; s < samples; ++s) {
+      bool deviates = false;
+      for (std::size_t i = 0; i < memberCount; ++i) {
+        const std::uint64_t k = localRng.next() >> 11;
+        const util::SimTime hop = k < ws.mcThrOnTime[i] ? ws.mcLatency[i]
+                                  : k < ws.mcThrRecovered[i]
+                                      ? ws.mcRecoveredLatency[i]
+                                      : util::kNever;
+        ws.sampledHop[members[i]] = hop;
+        deviates |= hop != ws.mcLatency[i];
+      }
+      const bool onTime =
+          deviates && cleanOnTime
+              ? onTimeUnder(dg, ws.sampledHop, params.deadline, ws)
+              : cleanOnTime;
+      if (onTime) ++delivered;
+    }
+  } else if (kernel == detail::McKernel::kFusedScalar) {
+    // Fused draw-and-classify loop: 2-bit outcome code per member edge
+    // (0 = on-time, 1 = recovered, 2 = lost; the thresholds nest, so
+    // 1 + the second comparison is the band index). The on-time branch
+    // is the overwhelmingly common case -- with baseline loss rates it
+    // is taken ~99.99% of the time -- so the key-building work is kept
+    // off that path entirely, and the classify work hides under the
+    // serial RNG dependency chain.
+    for (int s = 0; s < samples; ++s) {
       std::uint64_t keyLo = 0;
       std::uint64_t keyHi = 0;
       const std::size_t lowCount = std::min<std::size_t>(memberCount, 32);
@@ -294,63 +495,50 @@ double onTimeProbabilityMC(const graph::DisseminationGraph& dg,
           keyHi |= code << (2 * (i - 32));
         }
       }
-      // Collapse each 2-bit code to its even bit (a pair is never 11) and
-      // intersect with the clean-path mask: empty means the clean
-      // earliest path is intact (covers the all-on-time case as well).
-      if (!cleanOnTime) {
-        onTime = false;
-      } else if ((((keyLo | (keyLo >> 1)) & cleanPathLo) |
-                  ((keyHi | (keyHi >> 1)) & cleanPathHi)) == 0) {
-        onTime = true;
+      if (scoreKey(keyLo, keyHi)) ++delivered;
+    }
+  } else {
+    // Batched SoA kernels: draw a whole block of samples into the draw
+    // buffer (sample-major -- byte-for-byte the order the fused loop
+    // consumes), classify the block into per-sample pattern keys, then
+    // score the keys in sample order. The RNG advances by exactly
+    // blockSamples * memberCount draws either way, so the caller-visible
+    // generator state and every verdict are bit-identical across
+    // kernels.
+    const std::size_t blockDraws =
+        static_cast<std::size_t>(kMcBlockSamples) * memberCount;
+    if (ws.mcDraws.size() < blockDraws) ws.mcDraws.resize(blockDraws);
+    if (ws.mcKeyLo.size() < static_cast<std::size_t>(kMcBlockSamples)) {
+      ws.mcKeyLo.resize(static_cast<std::size_t>(kMcBlockSamples));
+      ws.mcKeyHi.resize(static_cast<std::size_t>(kMcBlockSamples));
+    }
+    for (int s0 = 0; s0 < samples; s0 += kMcBlockSamples) {
+      const int blockSamples = std::min(kMcBlockSamples, samples - s0);
+      localRng.nextBlock(ws.mcDraws.data(),
+                         static_cast<std::size_t>(blockSamples) *
+                             memberCount);
+#if DG_MC_HAVE_AVX2_TARGET
+      if (kernel == detail::McKernel::kBlockAvx2) {
+        buildKeysAvx2(ws.mcDraws.data(), memberCount, blockSamples,
+                      ws.mcThrOnTime.data(), ws.mcThrRecovered.data(),
+                      ws.mcKeyLo.data(), ws.mcKeyHi.data());
       } else {
-        const int cached = ws.outcomeCache.find(keyLo, keyHi);
-        if (cached >= 0) {
-          onTime = cached != 0;
-        } else {
-          // A Dijkstra run is actually needed: patch the deviating edges
-          // into the pre-filled clean weights. A code pair is never 11,
-          // so every set key bit identifies one deviating edge -- even
-          // bit means recovered, odd bit means lost.
-          const auto patch = [&](std::uint64_t bits, std::size_t base,
-                                 bool restore) {
-            while (bits != 0) {
-              const int b = std::countr_zero(bits);
-              bits &= bits - 1;
-              const std::size_t i = base + static_cast<std::size_t>(b >> 1);
-              ws.sampledHop[members[i]] =
-                  restore ? ws.mcLatency[i]
-                  : (b & 1) != 0 ? util::kNever
-                                 : ws.mcRecoveredLatency[i];
-            }
-          };
-          patch(keyLo, 0, false);
-          patch(keyHi, 32, false);
-          onTime = onTimeUnder(dg, ws.sampledHop, params.deadline, ws);
-          patch(keyLo, 0, true);
-          patch(keyHi, 32, true);
-          if (cached == detail::SampleOutcomeCache::kMiss) {
-            ws.outcomeCache.store(onTime);
-          }
+        buildKeysScalar(ws.mcDraws.data(), memberCount, blockSamples,
+                        ws.mcThrOnTime.data(), ws.mcThrRecovered.data(),
+                        ws.mcKeyLo.data(), ws.mcKeyHi.data());
+      }
+#else
+      buildKeysScalar(ws.mcDraws.data(), memberCount, blockSamples,
+                      ws.mcThrOnTime.data(), ws.mcThrRecovered.data(),
+                      ws.mcKeyLo.data(), ws.mcKeyHi.data());
+#endif
+      for (int b = 0; b < blockSamples; ++b) {
+        if (scoreKey(ws.mcKeyLo[static_cast<std::size_t>(b)],
+                     ws.mcKeyHi[static_cast<std::size_t>(b)])) {
+          ++delivered;
         }
       }
-    } else {
-      // Too many member edges for a 128-bit pattern key: sample straight
-      // into the weight array.
-      bool deviates = false;
-      for (std::size_t i = 0; i < memberCount; ++i) {
-        const std::uint64_t k = localRng.next() >> 11;
-        const util::SimTime hop = k < ws.mcThrOnTime[i] ? ws.mcLatency[i]
-                                  : k < ws.mcThrRecovered[i]
-                                      ? ws.mcRecoveredLatency[i]
-                                      : util::kNever;
-        ws.sampledHop[members[i]] = hop;
-        deviates |= hop != ws.mcLatency[i];
-      }
-      onTime = deviates && cleanOnTime
-                   ? onTimeUnder(dg, ws.sampledHop, params.deadline, ws)
-                   : cleanOnTime;
     }
-    if (onTime) ++delivered;
   }
   rng = localRng;
   return static_cast<double>(delivered) / static_cast<double>(samples);

@@ -102,6 +102,23 @@ class SampleOutcomeCache {
   std::size_t pending_ = 0;
 };
 
+/// Monte-Carlo classify-kernel selection. The batched evaluator draws
+/// RNG outcomes for a whole block of samples at once (structure-of-arrays
+/// draw buffer) and then classifies the block against the per-edge 53-bit
+/// thresholds either with a portable scalar pass or with an AVX2 pass;
+/// the fused kernel is the original draw-and-classify loop. All kernels
+/// consume draws in the identical order and produce bit-identical
+/// results -- kAuto picks per call based on runtime CPU support and the
+/// member-edge count, and the forced values let the equivalence suite pin
+/// every kernel against the frozen reference.
+enum class McKernel { kAuto, kFusedScalar, kBlockScalar, kBlockAvx2 };
+
+/// Forces a kernel for testing (kAuto restores normal dispatch). Not
+/// thread-safe; flip it only from single-threaded test setup.
+void setMcKernelForTest(McKernel kernel);
+/// True if this process can execute the given kernel.
+bool mcKernelSupported(McKernel kernel);
+
 }  // namespace detail
 
 /// Caller-owned scratch memory for the delivery evaluators. One workspace
@@ -124,6 +141,13 @@ struct DeliveryWorkspace {
   std::vector<std::uint64_t> mcThrRecovered;
   std::vector<util::SimTime> mcLatency;
   std::vector<util::SimTime> mcRecoveredLatency;
+  /// Structure-of-arrays block buffers for the batched Monte-Carlo
+  /// kernels: raw RNG draws for a block of samples (sample-major, so the
+  /// draw order equals the reference's), and the per-sample 2-bit
+  /// outcome-pattern keys classified from them.
+  std::vector<std::uint64_t> mcDraws;
+  std::vector<std::uint64_t> mcKeyLo;
+  std::vector<std::uint64_t> mcKeyHi;
 
   /// Ensures the per-edge/per-node arrays cover `overlay`.
   void prepare(const graph::Graph& overlay);

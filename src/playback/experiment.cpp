@@ -5,11 +5,86 @@
 #include <memory>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
+#include "store/reader.hpp"
 #include "util/logging.hpp"
 #include "util/stats.hpp"
+#include "util/wall_clock.hpp"
 
 namespace dg::playback {
+
+namespace {
+
+/// Per-scheme aggregation shared by both runners: flow-mean
+/// unavailability/cost, gap coverage against the configured baseline and
+/// optimal schemes, and cost relative to static two-disjoint-paths.
+void summarizeSchemes(ExperimentResult& result,
+                      const ExperimentConfig& config) {
+  const std::size_t schemeCount = config.schemes.size();
+  double baselineUnavailability = 0.0;
+  double optimalUnavailability = 0.0;
+  double twoDisjointCost = 0.0;
+  bool haveTwoDisjoint = false;
+  std::vector<SchemeSummary> summaries(schemeCount);
+  for (std::size_t s = 0; s < schemeCount; ++s) {
+    SchemeSummary& summary = summaries[s];
+    summary.scheme = config.schemes[s];
+    util::OnlineStats unavail;
+    util::OnlineStats cost;
+    for (std::size_t f = 0; f < config.flows.size(); ++f) {
+      const FlowSchemeResult& r = result.at(f, s, schemeCount);
+      unavail.add(r.unavailability);
+      cost.add(r.averageCost);
+      summary.unavailableSeconds += r.unavailableSeconds;
+      summary.problematicIntervals += r.problematicIntervals;
+    }
+    summary.unavailability = unavail.mean();
+    summary.averageCost = cost.mean();
+    if (summary.scheme == config.gapBaseline)
+      baselineUnavailability = summary.unavailability;
+    if (summary.scheme == config.gapOptimal)
+      optimalUnavailability = summary.unavailability;
+    if (summary.scheme == routing::SchemeKind::StaticTwoDisjoint) {
+      twoDisjointCost = summary.averageCost;
+      haveTwoDisjoint = true;
+    }
+  }
+
+  const double gap = baselineUnavailability - optimalUnavailability;
+  for (SchemeSummary& summary : summaries) {
+    summary.gapCoverage =
+        gap > 0 ? (baselineUnavailability - summary.unavailability) / gap
+                : 0.0;
+    summary.costVsTwoDisjoint =
+        haveTwoDisjoint && twoDisjointCost > 0
+            ? summary.averageCost / twoDisjointCost
+            : 0.0;
+  }
+  result.summary = std::move(summaries);
+}
+
+void captureStages(const PlaybackEngine& engine, ExperimentResult& result) {
+  const StageTimings& timings = engine.stageTimings();
+  result.stages.decodeNs = timings.decodeNs.load(std::memory_order_relaxed);
+  result.stages.mcNs = timings.mcNs.load(std::memory_order_relaxed);
+  result.stages.memoNs = timings.memoNs.load(std::memory_order_relaxed);
+  result.stages.mergeNs = timings.mergeNs.load(std::memory_order_relaxed);
+}
+
+/// Experiment-level counters recorded after the sequential telemetry
+/// merge; identical in both runners so exports stay comparable.
+void recordExperimentMetrics(telemetry::Telemetry& telemetry,
+                             std::size_t jobs,
+                             const ExperimentResult& result) {
+  telemetry.metrics.counter("dg_playback_jobs_total").inc(jobs);
+  telemetry::SummaryMetric& perJobUnavailable =
+      telemetry.metrics.summary("dg_playback_job_unavailable_seconds");
+  for (const FlowSchemeResult& r : result.perFlow)
+    perJobUnavailable.observe(r.unavailableSeconds);
+}
+
+}  // namespace
 
 ExperimentResult runExperiment(const graph::Graph& overlay,
                                const trace::Trace& trace,
@@ -65,55 +140,137 @@ ExperimentResult runExperiment(const graph::Graph& overlay,
 
   if (telemetry != nullptr) {
     for (const auto& jobResult : jobTelemetry) telemetry->merge(*jobResult);
-    telemetry->metrics.counter("dg_playback_jobs_total").inc(jobs);
-    telemetry::SummaryMetric& perJobUnavailable =
-        telemetry->metrics.summary("dg_playback_job_unavailable_seconds");
-    for (const FlowSchemeResult& r : result.perFlow)
-      perJobUnavailable.observe(r.unavailableSeconds);
+    recordExperimentMetrics(*telemetry, jobs, result);
   }
 
-  // ---- Aggregate per scheme -------------------------------------------
-  double baselineUnavailability = 0.0;
-  double optimalUnavailability = 0.0;
-  double twoDisjointCost = 0.0;
-  bool haveTwoDisjoint = false;
-  std::vector<SchemeSummary> summaries(schemeCount);
-  for (std::size_t s = 0; s < schemeCount; ++s) {
-    SchemeSummary& summary = summaries[s];
-    summary.scheme = config.schemes[s];
-    util::OnlineStats unavail;
-    util::OnlineStats cost;
-    for (std::size_t f = 0; f < config.flows.size(); ++f) {
-      const FlowSchemeResult& r = result.at(f, s, schemeCount);
-      unavail.add(r.unavailability);
-      cost.add(r.averageCost);
-      summary.unavailableSeconds += r.unavailableSeconds;
-      summary.problematicIntervals += r.problematicIntervals;
-    }
-    summary.unavailability = unavail.mean();
-    summary.averageCost = cost.mean();
-    if (summary.scheme == config.gapBaseline)
-      baselineUnavailability = summary.unavailability;
-    if (summary.scheme == config.gapOptimal)
-      optimalUnavailability = summary.unavailability;
-    if (summary.scheme == routing::SchemeKind::StaticTwoDisjoint) {
-      twoDisjointCost = summary.averageCost;
-      haveTwoDisjoint = true;
-    }
-  }
-
-  const double gap = baselineUnavailability - optimalUnavailability;
-  for (SchemeSummary& summary : summaries) {
-    summary.gapCoverage =
-        gap > 0 ? (baselineUnavailability - summary.unavailability) / gap
-                : 0.0;
-    summary.costVsTwoDisjoint =
-        haveTwoDisjoint && twoDisjointCost > 0
-            ? summary.averageCost / twoDisjointCost
-            : 0.0;
-  }
-  result.summary = std::move(summaries);
+  captureStages(engine, result);
+  summarizeSchemes(result, config);
   DG_LOG(Info) << "experiment complete: " << jobs << " runs";
+  return result;
+}
+
+ExperimentResult runPackedExperiment(const graph::Graph& overlay,
+                                     const std::string& packedPath,
+                                     const ExperimentConfig& config,
+                                     telemetry::Telemetry* telemetry) {
+  if (config.flows.empty() || config.schemes.empty())
+    throw std::invalid_argument(
+        "runPackedExperiment: empty flows or schemes");
+
+  store::PackedTraceReader reader = store::PackedTraceReader::open(packedPath);
+  if (reader.info().intervalCount == 0 || reader.info().chunkCount == 0)
+    throw std::invalid_argument("runPackedExperiment: empty trace");
+  const trace::Trace trace = reader.readAll();
+
+  // The chunk is the accumulation block: the per-job fold below then
+  // reproduces a single-threaded blocked run bit for bit (see
+  // PlaybackParams::accumBlockIntervals). The cursor mode is what
+  // runChunkPartial requires.
+  PlaybackParams playback = config.playback;
+  playback.conditionCursor = true;
+  playback.accumBlockIntervals = reader.info().chunkIntervals;
+  const PlaybackEngine engine(overlay, trace, playback);
+
+  ExperimentResult result;
+  const bool useMemoCache =
+      !config.memoCachePath.empty() && playback.decisionMemo;
+  std::uint64_t fingerprint = 0;
+  if (useMemoCache) {
+    fingerprint = reader.contentFingerprint();
+    result.memoCacheLoad = loadMemoCache(config.memoCachePath, fingerprint,
+                                         engine.decisionMemoMutable());
+    DG_LOG(Info) << "memo cache " << config.memoCachePath << ": "
+                 << memoCacheLoadResultName(result.memoCacheLoad);
+  }
+
+  const std::size_t schemeCount = config.schemes.size();
+  const std::size_t jobs = config.flows.size() * schemeCount;
+  const std::size_t chunkCount =
+      static_cast<std::size_t>(reader.info().chunkCount);
+  const std::size_t chunkIntervals = reader.info().chunkIntervals;
+  const std::size_t intervalCount =
+      static_cast<std::size_t>(reader.info().intervalCount);
+  const std::size_t tasks = jobs * chunkCount;
+
+  result.perFlow.resize(jobs);
+  std::vector<RunPartial> partials(tasks);
+
+  unsigned threadCount = config.threads != 0
+                             ? config.threads
+                             : std::thread::hardware_concurrency();
+  threadCount = std::max(
+      1u, std::min<unsigned>(threadCount, static_cast<unsigned>(tasks)));
+
+  std::vector<std::unique_ptr<telemetry::Telemetry>> taskTelemetry;
+  if (telemetry != nullptr) {
+    taskTelemetry.resize(tasks);
+    for (auto& t : taskTelemetry)
+      t = std::make_unique<telemetry::Telemetry>(telemetry->trace.capacity());
+  }
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    // Worker-private reader and cursor feeds: chunk decode state is never
+    // shared across threads. Two sources because the decision cursor lags
+    // the truth cursor by the view staleness, so near a chunk boundary
+    // they sit in different chunks -- one shared source would thrash.
+    store::PackedTraceReader workerReader =
+        store::PackedTraceReader::open(packedPath);
+    store::PackedConditionSource decisionSource(workerReader);
+    store::PackedConditionSource truthSource(workerReader);
+    for (;;) {
+      const std::size_t task = next.fetch_add(1);
+      if (task >= tasks) return;
+      const std::size_t job = task / chunkCount;
+      const std::size_t chunk = task % chunkCount;
+      const std::size_t first = chunk * chunkIntervals;
+      const std::size_t last =
+          std::min(first + chunkIntervals, intervalCount);
+      partials[task] = engine.runChunkPartial(
+          config.flows[job / schemeCount], config.schemes[job % schemeCount],
+          config.schemeParams, first, last, &decisionSource, &truthSource,
+          telemetry != nullptr ? taskTelemetry[task].get() : nullptr);
+    }
+  };
+  if (threadCount == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(threadCount);
+    for (unsigned i = 0; i < threadCount; ++i) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Deterministic fold: each job's chunk partials in ascending chunk
+  // order -- the same merge tree as the single-threaded blocked run.
+  const std::int64_t mergeStart =
+      playback.collectStageTimings ? util::nowNanos() : 0;
+  for (std::size_t job = 0; job < jobs; ++job) {
+    RunPartial total;
+    for (std::size_t chunk = 0; chunk < chunkCount; ++chunk)
+      total.merge(std::move(partials[job * chunkCount + chunk]));
+    result.perFlow[job] = engine.finalizePartial(
+        config.flows[job / schemeCount], config.schemes[job % schemeCount],
+        std::move(total));
+  }
+  if (playback.collectStageTimings)
+    engine.addStageMergeNs(
+        static_cast<std::uint64_t>(util::nowNanos() - mergeStart));
+
+  if (telemetry != nullptr) {
+    for (const auto& taskResult : taskTelemetry)
+      telemetry->merge(*taskResult);
+    recordExperimentMetrics(*telemetry, jobs, result);
+  }
+
+  if (useMemoCache)
+    saveMemoCache(config.memoCachePath, fingerprint, engine.decisionMemo());
+  result.memoStats = engine.decisionMemo().stats();
+
+  captureStages(engine, result);
+  summarizeSchemes(result, config);
+  DG_LOG(Info) << "packed experiment complete: " << jobs << " runs, "
+               << chunkCount << " chunks, " << threadCount << " threads";
   return result;
 }
 

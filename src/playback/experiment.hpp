@@ -2,8 +2,10 @@
 // gap-coverage aggregation (experiment E3 / the paper's headline table).
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "playback/memo_cache.hpp"
 #include "playback/playback.hpp"
 #include "routing/scheme.hpp"
 #include "trace/topology.hpp"
@@ -22,6 +24,11 @@ struct ExperimentConfig {
       routing::SchemeKind::TimeConstrainedFlooding;
   /// Worker threads; 0 = hardware concurrency.
   unsigned threads = 0;
+  /// Packed runner only: when non-empty, the persistent decision-memo
+  /// sidecar at this path is loaded (and validated against the trace's
+  /// content fingerprint) before the sweep and rewritten afterwards.
+  /// Ignored when PlaybackParams::decisionMemo is off.
+  std::string memoCachePath;
 };
 
 struct SchemeSummary {
@@ -46,6 +53,21 @@ struct ExperimentResult {
   std::vector<FlowSchemeResult> perFlow;
   std::vector<SchemeSummary> summary;  ///< in config.schemes order
 
+  /// Packed runner, when ExperimentConfig::memoCachePath was set: what
+  /// happened to the sidecar on load (kMissing also when no path given).
+  MemoCacheLoadResult memoCacheLoad = MemoCacheLoadResult::kMissing;
+  /// Decision-memo traffic of this run (hit rates; packed runner only).
+  routing::DecisionMemo::Stats memoStats;
+  /// Per-stage wall-clock totals summed over all workers (populated when
+  /// PlaybackParams::collectStageTimings is set; see StageTimings).
+  struct StageBreakdown {
+    std::uint64_t decodeNs = 0;
+    std::uint64_t mcNs = 0;
+    std::uint64_t memoNs = 0;
+    std::uint64_t mergeNs = 0;
+  };
+  StageBreakdown stages;
+
   const FlowSchemeResult& at(std::size_t flowIndex,
                              std::size_t schemeIndex,
                              std::size_t schemeCount) const {
@@ -64,6 +86,30 @@ ExperimentResult runExperiment(const graph::Graph& overlay,
                                const trace::Trace& trace,
                                const ExperimentConfig& config,
                                telemetry::Telemetry* telemetry = nullptr);
+
+/// Chunk-parallel variant of runExperiment over a packed dgtrace file:
+/// the work unit is (flow, scheme, chunk) rather than (flow, scheme), so
+/// a sweep saturates cores even with a single flow/scheme. Each worker
+/// thread opens its own PackedTraceReader and feeds its cursors from
+/// private PackedConditionSources (decode state is never shared); decision
+/// state is rolled forward per chunk via the schemes' steadyOnBaseline()
+/// fast path. PlaybackParams::conditionCursor is forced on and
+/// accumBlockIntervals is forced to the container's chunk length, so the
+/// per-job fold of chunk partials (done in ascending chunk order)
+/// reproduces the single-threaded blocked run bit for bit at any thread
+/// count. Telemetry follows the runExperiment discipline: per-task
+/// private instruments, merged sequentially in task order -- metric
+/// exports are byte-identical for any `threads` (chunk boundaries reset
+/// trace-event dedup, so *event* streams differ from the unchunked
+/// runner's, deterministically).
+///
+/// When config.memoCachePath is non-empty, the decision-memo sidecar is
+/// loaded (validated against the trace's content fingerprint; a bad file
+/// just means a cold start) before the sweep and rewritten afterwards.
+ExperimentResult runPackedExperiment(const graph::Graph& overlay,
+                                     const std::string& packedPath,
+                                     const ExperimentConfig& config,
+                                     telemetry::Telemetry* telemetry = nullptr);
 
 /// The default 16 transcontinental evaluation flows on the ltn12
 /// topology: four east-coast sites paired with four western sites, both

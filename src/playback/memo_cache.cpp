@@ -1,0 +1,249 @@
+#include "playback/memo_cache.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "store/crc32.hpp"
+#include "store/format.hpp"
+
+namespace dg::playback {
+
+namespace {
+
+constexpr std::array<char, 8> kMemoMagic = {'d', 'g', 'm', 'e',
+                                            'm', 'o', '\0', '\0'};
+constexpr std::size_t kMemoHeaderBytes = 32;
+
+/// Bounds-checked little-endian cursor. A cache file is untrusted input:
+/// any overrun just flips `ok` and the caller rejects the file.
+struct Cursor {
+  std::span<const std::byte> data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint32_t u32() {
+    if (!ok || data.size() - pos < 4) {
+      ok = false;
+      return 0;
+    }
+    const std::uint32_t v = store::getU32(data, pos);
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!ok || data.size() - pos < 8) {
+      ok = false;
+      return 0;
+    }
+    const std::uint64_t v = store::getU64(data, pos);
+    pos += 8;
+    return v;
+  }
+  double f64() { return store::doubleFromBits(u64()); }
+};
+
+void putParams(std::vector<std::byte>& out,
+               const routing::SchemeParams& params) {
+  store::putU64(out, store::doubleBits(params.view.unusableLoss));
+  store::putU64(out, store::doubleBits(params.view.degradedLoss));
+  store::putU64(out, store::doubleBits(params.view.lossPenaltyFactor));
+  store::putU64(out, store::doubleBits(params.detector.problemLoss));
+  store::putU64(out,
+                static_cast<std::uint64_t>(params.detector.problemExtraLatency));
+  store::putU32(out, static_cast<std::uint32_t>(params.detector.nodeMinLinks));
+  store::putU64(out, store::doubleBits(params.detector.nodeMinFraction));
+  store::putU64(out, static_cast<std::uint64_t>(params.deadline));
+  store::putU32(out, static_cast<std::uint32_t>(params.disjointPaths));
+  store::putU32(out, static_cast<std::uint32_t>(params.holdDownIntervals));
+}
+
+routing::SchemeParams readParams(Cursor& cursor) {
+  routing::SchemeParams params;
+  params.view.unusableLoss = cursor.f64();
+  params.view.degradedLoss = cursor.f64();
+  params.view.lossPenaltyFactor = cursor.f64();
+  params.detector.problemLoss = cursor.f64();
+  params.detector.problemExtraLatency =
+      static_cast<util::SimTime>(cursor.u64());
+  params.detector.nodeMinLinks = static_cast<int>(cursor.u32());
+  params.detector.nodeMinFraction = cursor.f64();
+  params.deadline = static_cast<util::SimTime>(cursor.u64());
+  params.disjointPaths = static_cast<int>(cursor.u32());
+  params.holdDownIntervals = static_cast<int>(cursor.u32());
+  return params;
+}
+
+bool validSchemeKind(std::uint32_t raw) {
+  for (const routing::SchemeKind kind : routing::allSchemeKinds()) {
+    if (raw == static_cast<std::uint32_t>(kind)) return true;
+  }
+  return false;
+}
+
+std::vector<std::byte> buildPayload(const routing::DecisionMemo::Snapshot&
+                                        snapshot) {
+  std::vector<std::byte> payload;
+  store::putU32(payload,
+                static_cast<std::uint32_t>(snapshot.edgeLists.size()));
+  for (const std::vector<graph::EdgeId>& list : snapshot.edgeLists) {
+    store::putU32(payload, static_cast<std::uint32_t>(list.size()));
+    for (const graph::EdgeId e : list)
+      store::putU32(payload, static_cast<std::uint32_t>(e));
+  }
+  store::putU32(payload,
+                static_cast<std::uint32_t>(snapshot.contexts.size()));
+  for (const auto& context : snapshot.contexts) {
+    store::putU32(payload, static_cast<std::uint32_t>(context.kind));
+    store::putU32(payload, static_cast<std::uint32_t>(context.flow.source));
+    store::putU32(payload,
+                  static_cast<std::uint32_t>(context.flow.destination));
+    putParams(payload, context.params);
+    store::putU32(payload,
+                  static_cast<std::uint32_t>(context.decisions.size()));
+    for (const auto& [fingerprint, edgeListId] : context.decisions) {
+      store::putU64(payload, fingerprint);
+      store::putU32(payload, edgeListId);
+    }
+  }
+  return payload;
+}
+
+/// Parses a payload back into a snapshot; false means reject the file.
+bool parsePayload(std::span<const std::byte> payload,
+                  routing::DecisionMemo::Snapshot& snapshot) {
+  Cursor cursor{payload};
+  const std::uint32_t edgeListCount = cursor.u32();
+  if (!cursor.ok) return false;
+  snapshot.edgeLists.reserve(edgeListCount);
+  for (std::uint32_t i = 0; i < edgeListCount; ++i) {
+    const std::uint32_t length = cursor.u32();
+    if (!cursor.ok || payload.size() - cursor.pos < length * 4ull)
+      return false;
+    std::vector<graph::EdgeId> list;
+    list.reserve(length);
+    for (std::uint32_t k = 0; k < length; ++k)
+      list.push_back(static_cast<graph::EdgeId>(cursor.u32()));
+    snapshot.edgeLists.push_back(std::move(list));
+  }
+  const std::uint32_t contextCount = cursor.u32();
+  if (!cursor.ok) return false;
+  snapshot.contexts.reserve(contextCount);
+  for (std::uint32_t i = 0; i < contextCount; ++i) {
+    routing::DecisionMemo::Snapshot::ContextEntry entry;
+    const std::uint32_t rawKind = cursor.u32();
+    if (!validSchemeKind(rawKind)) return false;
+    entry.kind = static_cast<routing::SchemeKind>(rawKind);
+    entry.flow.source = static_cast<graph::NodeId>(cursor.u32());
+    entry.flow.destination = static_cast<graph::NodeId>(cursor.u32());
+    entry.params = readParams(cursor);
+    const std::uint32_t decisionCount = cursor.u32();
+    if (!cursor.ok || payload.size() - cursor.pos < decisionCount * 12ull)
+      return false;
+    entry.decisions.reserve(decisionCount);
+    for (std::uint32_t d = 0; d < decisionCount; ++d) {
+      const std::uint64_t fingerprint = cursor.u64();
+      const std::uint32_t edgeListId = cursor.u32();
+      if (edgeListId != routing::DecisionMemo::kNoRoute &&
+          edgeListId >= edgeListCount)
+        return false;
+      entry.decisions.emplace_back(fingerprint, edgeListId);
+    }
+    snapshot.contexts.push_back(std::move(entry));
+  }
+  // Trailing garbage after a well-formed payload means the framing lied.
+  return cursor.ok && cursor.pos == payload.size();
+}
+
+}  // namespace
+
+const char* memoCacheLoadResultName(MemoCacheLoadResult result) {
+  switch (result) {
+    case MemoCacheLoadResult::kLoaded: return "loaded";
+    case MemoCacheLoadResult::kMissing: return "missing";
+    case MemoCacheLoadResult::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+MemoCacheLoadResult loadMemoCache(const std::string& path,
+                                  std::uint64_t traceFingerprint,
+                                  routing::DecisionMemo& memo) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return MemoCacheLoadResult::kMissing;
+  std::vector<std::byte> bytes;
+  {
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    if (size < 0) return MemoCacheLoadResult::kRejected;
+    in.seekg(0, std::ios::beg);
+    bytes.resize(static_cast<std::size_t>(size));
+    if (!bytes.empty() &&
+        !in.read(reinterpret_cast<char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size())))
+      return MemoCacheLoadResult::kRejected;
+  }
+  if (bytes.size() < kMemoHeaderBytes + 4)
+    return MemoCacheLoadResult::kRejected;
+  const std::span<const std::byte> data = bytes;
+  for (std::size_t i = 0; i < kMemoMagic.size(); ++i) {
+    if (static_cast<char>(data[i]) != kMemoMagic[i])
+      return MemoCacheLoadResult::kRejected;
+  }
+  if (store::crc32(data.first(kMemoHeaderBytes - 4)) !=
+      store::getU32(data, kMemoHeaderBytes - 4))
+    return MemoCacheLoadResult::kRejected;
+  if (store::getU32(data, 8) != kMemoCacheVersion)
+    return MemoCacheLoadResult::kRejected;
+  if (store::getU64(data, 12) != traceFingerprint)
+    return MemoCacheLoadResult::kRejected;
+  const std::uint64_t payloadBytes = store::getU64(data, 20);
+  if (kMemoHeaderBytes + payloadBytes + 4 != bytes.size())
+    return MemoCacheLoadResult::kRejected;
+  const std::span<const std::byte> payload =
+      data.subspan(kMemoHeaderBytes, static_cast<std::size_t>(payloadBytes));
+  if (store::crc32(payload) !=
+      store::getU32(data, kMemoHeaderBytes +
+                              static_cast<std::size_t>(payloadBytes)))
+    return MemoCacheLoadResult::kRejected;
+  routing::DecisionMemo::Snapshot snapshot;
+  if (!parsePayload(payload, snapshot)) return MemoCacheLoadResult::kRejected;
+  memo.absorb(snapshot);
+  return MemoCacheLoadResult::kLoaded;
+}
+
+void saveMemoCache(const std::string& path, std::uint64_t traceFingerprint,
+                   const routing::DecisionMemo& memo) {
+  const std::vector<std::byte> payload = buildPayload(memo.snapshot());
+
+  std::vector<std::byte> file;
+  file.reserve(kMemoHeaderBytes + payload.size() + 4);
+  for (const char c : kMemoMagic) file.push_back(static_cast<std::byte>(c));
+  store::putU32(file, kMemoCacheVersion);
+  store::putU64(file, traceFingerprint);
+  store::putU64(file, payload.size());
+  store::putU32(file, store::crc32(std::span(file).first(kMemoHeaderBytes -
+                                                         4)));
+  file.insert(file.end(), payload.begin(), payload.end());
+  store::putU32(file, store::crc32(payload));
+
+  // Atomic publish: a crash mid-write must not leave a half-cache that a
+  // later run would have to reject.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out ||
+        !out.write(reinterpret_cast<const char*>(file.data()),
+                   static_cast<std::streamsize>(file.size())))
+      throw store::StoreError(store::StoreErrorKind::Io,
+                              "cannot write memo cache: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw store::StoreError(store::StoreErrorKind::Io,
+                            "cannot move memo cache into place: " + path);
+}
+
+}  // namespace dg::playback

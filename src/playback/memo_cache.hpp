@@ -1,0 +1,59 @@
+// Persistent decision-memo sidecar ("dgmemo"): serializes a playback
+// engine's interned routing-decision memo next to a packed trace so a
+// later process starts with every (scheme, params, flow) x view-content
+// decision already made.
+//
+// Safety model: the cache is *only* an accelerator. Every stored decision
+// is a pure function of its exact key, so a loaded entry reproduces what
+// recomputation would produce bit for bit -- provided the cache actually
+// belongs to this trace and this build of the decision logic. Two guards
+// enforce that:
+//   - the trace content fingerprint (PackedTraceReader::contentFingerprint)
+//     is stored in the header and must match the file being replayed;
+//   - kMemoCacheVersion must match exactly; bump it whenever
+//     routing::SchemeParams, the decision logic, or this byte layout
+//     changes.
+// Any mismatch, truncation or CRC failure makes load() report the cache
+// unusable -- the caller just runs cold. A memo-cache problem can cost
+// time, never correctness.
+//
+// Layout (little-endian, CRC framing as in store/format.hpp):
+//   0  magic "dgmemo\0\0"      8 bytes
+//   8  version                 u32   kMemoCacheVersion
+//   12 traceFingerprint        u64
+//   20 payloadBytes            u64
+//   28 headerCrc               u32   CRC-32 of bytes [0, 28)
+//   32 payload (see memo_cache.cpp), then payloadCrc u32
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "routing/decision_memo.hpp"
+
+namespace dg::playback {
+
+inline constexpr std::uint32_t kMemoCacheVersion = 1;
+
+enum class MemoCacheLoadResult {
+  kLoaded,    ///< cache absorbed into the memo
+  kMissing,   ///< no file at `path` (normal cold start)
+  kRejected,  ///< wrong magic/version/fingerprint, truncated, or corrupt
+};
+
+/// Human-readable name ("loaded", "missing", "rejected").
+const char* memoCacheLoadResultName(MemoCacheLoadResult result);
+
+/// Loads the sidecar at `path` and absorbs it into `memo` iff the file
+/// is intact, the right version, and carries `traceFingerprint`. Never
+/// throws on a bad cache file -- that is what kRejected is for.
+MemoCacheLoadResult loadMemoCache(const std::string& path,
+                                  std::uint64_t traceFingerprint,
+                                  routing::DecisionMemo& memo);
+
+/// Serializes `memo` to `path` (atomically: temp file + rename), keyed by
+/// `traceFingerprint`. Throws store::StoreError{Io} on write failure.
+void saveMemoCache(const std::string& path, std::uint64_t traceFingerprint,
+                   const routing::DecisionMemo& memo);
+
+}  // namespace dg::playback

@@ -1,10 +1,12 @@
 #include "playback/playback.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "util/rng.hpp"
-#include "util/stats.hpp"
+#include "util/wall_clock.hpp"
 
 namespace dg::playback {
 
@@ -27,6 +29,27 @@ std::uint64_t mixSeed(std::uint64_t seed, routing::Flow flow,
 
 }  // namespace
 
+void RunPartial::merge(RunPartial&& later) {
+  missMean.merge(later.missMean);
+  costStats.merge(later.costStats);
+  latencyStats.merge(later.latencyStats);
+  unavailableSeconds += later.unavailableSeconds;
+  problematicIntervals += later.problematicIntervals;
+  if (problems.empty()) {
+    problems = std::move(later.problems);
+  } else {
+    problems.insert(problems.end(), later.problems.begin(),
+                    later.problems.end());
+  }
+  if (intervalLatenciesUs.empty()) {
+    intervalLatenciesUs = std::move(later.intervalLatenciesUs);
+  } else {
+    intervalLatenciesUs.insert(intervalLatenciesUs.end(),
+                               later.intervalLatenciesUs.begin(),
+                               later.intervalLatenciesUs.end());
+  }
+}
+
 PlaybackEngine::PlaybackEngine(const graph::Graph& overlay,
                                const trace::Trace& trace,
                                PlaybackParams params)
@@ -39,6 +62,23 @@ PlaybackEngine::PlaybackEngine(const graph::Graph& overlay,
         "PlaybackEngine: trace edge count does not match overlay");
   if (params_.viewStaleness < 0)
     throw std::invalid_argument("PlaybackEngine: negative staleness");
+  for (std::size_t t = 0; t < trace.intervalCount(); ++t) {
+    if (trace.hasDeviation(t)) deviatingIntervals_.push_back(t);
+  }
+}
+
+std::size_t PlaybackEngine::nextDeviatingDecision(std::size_t fromInterval,
+                                                  std::size_t staleness)
+    const {
+  // The decision at t sees interval t - staleness, so the first candidate
+  // deviation is at view interval max(fromInterval, staleness) -
+  // staleness.
+  const std::size_t fromView =
+      fromInterval > staleness ? fromInterval - staleness : 0;
+  const auto it = std::lower_bound(deviatingIntervals_.begin(),
+                                   deviatingIntervals_.end(), fromView);
+  if (it == deviatingIntervals_.end()) return trace_->intervalCount();
+  return std::max(fromInterval, *it + staleness);
 }
 
 std::optional<PlaybackEngine::IntervalEval> PlaybackEngine::findEval(
@@ -89,16 +129,8 @@ FlowSchemeResult PlaybackEngine::runCore(
     const routing::SchemeParams& schemeParams, std::size_t first,
     std::size_t last, telemetry::Telemetry* telemetry,
     std::vector<double>* timelineOut) const {
-  const bool useMemo = params_.decisionMemo;
-  const bool useCursor = params_.conditionCursor;
-  // runRange reuses the evaluation of clean intervals while the selected
-  // graph is unchanged (including Monte-Carlo ones -- identical inputs,
-  // identical distribution); missTimeline evaluates every interval fresh
-  // so each Monte-Carlo interval reflects its own RNG stream.
-  const bool reuseCleanEvals = timelineOut == nullptr;
-
   auto scheme = routing::makeScheme(kind, *overlay_, flow, schemeParams);
-  if (useMemo) {
+  if (params_.decisionMemo) {
     scheme->setDecisionMemo(
         &decisionMemo_, decisionMemo_.contextKey(kind, flow, schemeParams));
   }
@@ -106,17 +138,146 @@ FlowSchemeResult PlaybackEngine::runCore(
       routing::NetworkView::baseline(*trace_);
   scheme->initialize(baselineView);
 
-  // Telemetry handles, resolved once per run (null when detached).
+  // Replay cursors: the decision cursor tracks the (stale) interval the
+  // scheme sees, the truth cursor tracks the interval being scored.
+  trace::ConditionTimeline decisionCursor(*trace_);
+  trace::ConditionTimeline truthCursor(*trace_);
+
+  ScoreSpec spec;
+  spec.scheme = scheme.get();
+  spec.baselineView = &baselineView;
+  spec.flow = flow;
+  spec.kind = kind;
+  spec.first = first;
+  spec.last = last;
+  spec.warmupUntil = first + static_cast<std::size_t>(params_.viewStaleness);
+  spec.decisionCursor = &decisionCursor;
+  spec.truthCursor = &truthCursor;
+  spec.telemetry = telemetry;
+  spec.timelineOut = timelineOut;
+  // runRange reuses the evaluation of clean intervals while the selected
+  // graph is unchanged (including Monte-Carlo ones -- identical inputs,
+  // identical distribution); missTimeline evaluates every interval fresh
+  // so each Monte-Carlo interval reflects its own RNG stream.
+  spec.reuseCleanEvals = timelineOut == nullptr;
+  return finalizePartial(flow, kind, scoreIntervals(spec));
+}
+
+RunPartial PlaybackEngine::runChunkPartial(
+    routing::Flow flow, routing::SchemeKind kind,
+    const routing::SchemeParams& schemeParams, std::size_t first,
+    std::size_t last, trace::ConditionSource* decisionSource,
+    trace::ConditionSource* truthSource,
+    telemetry::Telemetry* telemetry) const {
+  if (first > last || last > trace_->intervalCount())
+    throw std::out_of_range("PlaybackEngine::runChunkPartial: bad range");
+  if (!params_.conditionCursor)
+    throw std::logic_error(
+        "PlaybackEngine::runChunkPartial requires conditionCursor mode");
+
+  auto scheme = routing::makeScheme(kind, *overlay_, flow, schemeParams);
+  if (params_.decisionMemo) {
+    scheme->setDecisionMemo(
+        &decisionMemo_, decisionMemo_.contextKey(kind, flow, schemeParams));
+  }
+  const routing::NetworkView baselineView =
+      routing::NetworkView::baseline(*trace_);
+  scheme->initialize(baselineView);
+
+  std::optional<trace::ConditionTimeline> decisionCursor;
+  std::optional<trace::ConditionTimeline> truthCursor;
+  if (decisionSource != nullptr) {
+    decisionCursor.emplace(*decisionSource);
+  } else {
+    decisionCursor.emplace(*trace_);
+  }
+  if (truthSource != nullptr) {
+    truthCursor.emplace(*truthSource);
+  } else {
+    truthCursor.emplace(*trace_);
+  }
+
+  // Warm-up replay: roll the scheme's decision state over [0, first)
+  // exactly as a full run would -- telemetry is detached, so skipped
+  // fixed-point selects are unobservable -- jumping over clean steady
+  // spans straight to the next interval whose decision view deviates.
+  const auto staleness = static_cast<std::size_t>(params_.viewStaleness);
+  const graph::DisseminationGraph* dg = nullptr;
+  std::size_t t = 0;
+  while (t < first) {
+    if (t < staleness || !trace_->hasDeviation(t - staleness)) {
+      dg = &scheme->select(baselineView);
+      if (scheme->steadyOnBaseline()) {
+        t = nextDeviatingDecision(t + 1, staleness);
+        continue;
+      }
+      ++t;
+    } else {
+      const std::size_t viewInterval = t - staleness;
+      decisionCursor->seek(viewInterval);
+      const routing::NetworkView view = routing::NetworkView::borrowing(
+          *decisionCursor, conditionIndex_.contentId(viewInterval));
+      dg = &scheme->select(view);
+      ++t;
+    }
+  }
+
+  ScoreSpec spec;
+  spec.scheme = scheme.get();
+  spec.baselineView = &baselineView;
+  spec.flow = flow;
+  spec.kind = kind;
+  spec.first = first;
+  spec.last = last;
+  spec.warmupUntil = staleness;  // scheme history starts at interval 0
+  spec.decisionCursor = &*decisionCursor;
+  spec.truthCursor = &*truthCursor;
+  spec.telemetry = telemetry;
+  spec.timelineOut = nullptr;
+  spec.reuseCleanEvals = true;
+  if (telemetry != nullptr && dg != nullptr) {
+    // GraphSwitch continuity: the previous chunk ended with this
+    // selection in force.
+    spec.lastSelectedEdges = dg->edges();
+    spec.haveSelected = true;
+  }
+  return scoreIntervals(spec);
+}
+
+FlowSchemeResult PlaybackEngine::finalizePartial(routing::Flow flow,
+                                                 routing::SchemeKind kind,
+                                                 RunPartial&& total) const {
+  FlowSchemeResult result;
+  result.flow = flow;
+  result.scheme = kind;
+  result.unavailability = total.missMean.mean();
+  result.unavailableSeconds = total.unavailableSeconds;
+  result.problematicIntervals = total.problematicIntervals;
+  result.averageCost = total.costStats.mean();
+  result.averageLatencyUs = total.latencyStats.mean();
+  result.problems = std::move(total.problems);
+  result.intervalLatenciesUs = std::move(total.intervalLatenciesUs);
+  return result;
+}
+
+RunPartial PlaybackEngine::scoreIntervals(ScoreSpec& spec) const {
+  const bool useMemo = params_.decisionMemo;
+  const bool useCursor = params_.conditionCursor;
+  const bool reuseCleanEvals = spec.reuseCleanEvals;
+  routing::RoutingScheme& scheme = *spec.scheme;
+  telemetry::Telemetry* telemetry = spec.telemetry;
+
+  // Telemetry handles, resolved once per range (null when detached).
   telemetry::Counter* intervalsCounter = nullptr;
   telemetry::Counter* mcIntervalsCounter = nullptr;
   telemetry::Counter* mcSamplesCounter = nullptr;
   telemetry::Counter* switchCounter = nullptr;
   telemetry::HistogramMetric* missHistogram = nullptr;
   if (telemetry != nullptr) {
-    const std::string flowLabel = std::to_string(flow.source) + "->" +
-                                  std::to_string(flow.destination);
-    const std::string schemeLabel{routing::schemeName(kind)};
-    scheme->setTelemetry(telemetry, flowLabel);
+    const std::string flowLabel = std::to_string(spec.flow.source) + "->" +
+                                  std::to_string(spec.flow.destination);
+    const std::string schemeLabel{routing::schemeName(spec.kind)};
+    scheme.setTelemetry(telemetry, flowLabel);
     const telemetry::Labels labels{{"flow", flowLabel},
                                    {"scheme", schemeLabel}};
     telemetry::MetricsRegistry& metrics = telemetry->metrics;
@@ -131,29 +292,32 @@ FlowSchemeResult PlaybackEngine::runCore(
     missHistogram = &metrics.histogram("dg_playback_miss_probability", 0.0,
                                        1.0, 20, labels);
   }
-  std::vector<graph::EdgeId> lastSelectedEdges;
-  bool haveSelected = false;
 
-  FlowSchemeResult result;
-  result.flow = flow;
-  result.scheme = kind;
+  // Steady fast path: while the scheme is at its clean fixed point and
+  // the decision view stays on baseline, select() calls are provably
+  // no-ops and may be skipped -- but only when nobody can observe them:
+  // telemetry counts classifications per call, and missTimeline
+  // (reuseCleanEvals == false) must evaluate every interval fresh.
+  const bool fastPathOk =
+      useCursor && telemetry == nullptr && reuseCleanEvals;
 
-  util::WeightedMean missMean;
-  util::OnlineStats costStats;
-  util::OnlineStats latencyStats;
+  RunPartial total;
+  RunPartial block;
+  const std::size_t blockLen = params_.accumBlockIntervals;
+  RunPartial* const acc = blockLen > 0 ? &block : &total;
+
   const double intervalSeconds = util::toSeconds(trace_->intervalLength());
-
-  // Replay cursors: the decision cursor tracks the (stale) interval the
-  // scheme sees, the truth cursor tracks the interval being scored.
-  trace::ConditionTimeline decisionCursor(*trace_);
-  trace::ConditionTimeline truthCursor(*trace_);
   DeliveryWorkspace workspace;
 
   // Run-local reuse: when the interval is clean and the scheme returns
-  // the same graph as last time, the evaluation is unchanged.
+  // the same graph as last time, the evaluation is unchanged. `cachedDg`
+  // short-circuits the edge-list comparison: it is reset on every actual
+  // select()/fold, so pointer equality implies the selection was not
+  // touched since the cache was filled.
   std::vector<graph::EdgeId> cachedEdges;
   IntervalEval cachedEval;
   bool cacheValid = false;
+  const graph::DisseminationGraph* cachedDg = nullptr;
 
   // Run-local interned edge-list id of the current selection (graph
   // switches are rare, so interning is amortized away).
@@ -161,62 +325,109 @@ FlowSchemeResult PlaybackEngine::runCore(
   std::uint32_t internedId = 0;
   bool haveInterned = false;
 
+  const bool timed = params_.collectStageTimings;
+  std::uint64_t decodeNs = 0;
+  std::uint64_t mcNs = 0;
+  std::uint64_t memoNs = 0;
+  std::uint64_t mergeNs = 0;
+  std::int64_t t0 = 0;
+
+  const graph::DisseminationGraph* dg = nullptr;
+  bool steady = false;
+
   const auto staleness = static_cast<std::size_t>(params_.viewStaleness);
-  for (std::size_t t = first; t < last; ++t) {
+  for (std::size_t t = spec.first; t < spec.last; ++t) {
+    if (blockLen > 0 && t != spec.first && t % blockLen == 0) {
+      // Fold the finished accumulation block and reset run-local reuse:
+      // chunk-parallel partials start cold at these exact boundaries, and
+      // bit-identical results require identical reuse decisions.
+      if (timed) t0 = util::nowNanos();
+      total.merge(std::move(block));
+      block = RunPartial{};
+      if (timed) mergeNs += static_cast<std::uint64_t>(util::nowNanos() - t0);
+      cacheValid = false;
+      cachedDg = nullptr;
+    }
     if (telemetry != nullptr) {
       telemetry->now =
           static_cast<util::SimTime>(t) * trace_->intervalLength();
     }
     // --- Decision: what does the scheme believe right now? -------------
-    const graph::DisseminationGraph* dg = nullptr;
-    const bool warmup = t < first + staleness;
-    if (warmup || !trace_->hasDeviation(t - staleness)) {
-      dg = &scheme->select(baselineView);
+    const bool baselineDecision =
+        t < spec.warmupUntil || !trace_->hasDeviation(t - staleness);
+    if (baselineDecision) {
+      if (!(steady && fastPathOk)) {
+        if (timed) t0 = util::nowNanos();
+        dg = &scheme.select(*spec.baselineView);
+        steady = scheme.steadyOnBaseline();
+        if (timed)
+          memoNs += static_cast<std::uint64_t>(util::nowNanos() - t0);
+        cachedDg = nullptr;
+      }
     } else if (useCursor) {
       const std::size_t viewInterval = t - staleness;
-      decisionCursor.seek(viewInterval);
+      if (timed) t0 = util::nowNanos();
+      spec.decisionCursor->seek(viewInterval);
       const routing::NetworkView view = routing::NetworkView::borrowing(
-          decisionCursor, conditionIndex_.contentId(viewInterval));
-      dg = &scheme->select(view);
+          *spec.decisionCursor, conditionIndex_.contentId(viewInterval));
+      if (timed) {
+        decodeNs += static_cast<std::uint64_t>(util::nowNanos() - t0);
+        t0 = util::nowNanos();
+      }
+      dg = &scheme.select(view);
+      if (timed) memoNs += static_cast<std::uint64_t>(util::nowNanos() - t0);
+      steady = false;
+      cachedDg = nullptr;
     } else {
+      if (timed) t0 = util::nowNanos();
       const routing::NetworkView view =
           routing::NetworkView::atInterval(*trace_, t - staleness);
-      dg = &scheme->select(view);
+      if (timed) {
+        decodeNs += static_cast<std::uint64_t>(util::nowNanos() - t0);
+        t0 = util::nowNanos();
+      }
+      dg = &scheme.select(view);
+      if (timed) memoNs += static_cast<std::uint64_t>(util::nowNanos() - t0);
+      steady = false;
+      cachedDg = nullptr;
     }
     if (telemetry != nullptr) {
-      if (haveSelected && dg->edges() != lastSelectedEdges) {
+      if (spec.haveSelected && dg->edges() != spec.lastSelectedEdges) {
         switchCounter->inc();
         telemetry->trace.record(
             telemetry->now, telemetry::TraceEventKind::GraphSwitch, -1,
-            flow.source, -1, static_cast<double>(dg->edges().size()),
-            std::string(routing::schemeName(kind)));
+            spec.flow.source, -1, static_cast<double>(dg->edges().size()),
+            std::string(routing::schemeName(spec.kind)));
       }
-      lastSelectedEdges = dg->edges();
-      haveSelected = true;
+      spec.lastSelectedEdges = dg->edges();
+      spec.haveSelected = true;
     }
 
     // --- Outcome under the interval's true conditions ------------------
-    std::span<const double> lossRates;
-    std::span<const util::SimTime> latencies;
-    std::vector<double> lossBuffer;
-    std::vector<util::SimTime> latencyBuffer;
-    if (useCursor) {
-      truthCursor.seek(t);
-      lossRates = truthCursor.lossRates();
-      latencies = truthCursor.latencies();
-    } else {
-      lossBuffer = trace_->lossRatesAt(t);
-      latencyBuffer = trace_->latenciesAt(t);
-      lossRates = lossBuffer;
-      latencies = latencyBuffer;
-    }
-
     IntervalEval eval;
     const bool clean = !trace_->hasDeviation(t);
     if (reuseCleanEvals && clean && cacheValid &&
-        dg->edges() == cachedEdges) {
+        (dg == cachedDg || dg->edges() == cachedEdges)) {
       eval = cachedEval;
     } else {
+      std::span<const double> lossRates;
+      std::span<const util::SimTime> latencies;
+      std::vector<double> lossBuffer;
+      std::vector<util::SimTime> latencyBuffer;
+      if (timed) t0 = util::nowNanos();
+      if (useCursor) {
+        spec.truthCursor->seek(t);
+        lossRates = spec.truthCursor->lossRates();
+        latencies = spec.truthCursor->latencies();
+      } else {
+        lossBuffer = trace_->lossRatesAt(t);
+        latencyBuffer = trace_->latenciesAt(t);
+        lossRates = lossBuffer;
+        latencies = latencyBuffer;
+      }
+      if (timed)
+        decodeNs += static_cast<std::uint64_t>(util::nowNanos() - t0);
+
       // Deterministic (near-lossless) evaluations are pure functions of
       // (flow, graph edges, interval content) and shared across jobs;
       // Monte-Carlo evaluations are always computed fresh from their own
@@ -226,17 +437,20 @@ FlowSchemeResult PlaybackEngine::runCore(
       bool evaluated = false;
       EvalKey evalKey{};
       if (deterministic && useMemo) {
+        if (timed) t0 = util::nowNanos();
         if (!haveInterned || dg->edges() != internedEdges) {
           internedId = decisionMemo_.internEdgeList(dg->edges());
           internedEdges = dg->edges();
           haveInterned = true;
         }
-        evalKey = EvalKey{flow.source, flow.destination, internedId,
-                          conditionIndex_.contentId(t)};
+        evalKey = EvalKey{spec.flow.source, spec.flow.destination,
+                          internedId, conditionIndex_.contentId(t)};
         if (const auto hit = findEval(evalKey)) {
           eval = *hit;
           evaluated = true;
         }
+        if (timed)
+          memoNs += static_cast<std::uint64_t>(util::nowNanos() - t0);
       }
       if (!evaluated) {
         // Legacy mode evaluates through the frozen reference
@@ -244,6 +458,7 @@ FlowSchemeResult PlaybackEngine::runCore(
         // pre-optimization behavior (and the equivalence tests pit the
         // optimized evaluators against the originals).
         if (deterministic) {
+          if (timed) t0 = util::nowNanos();
           eval.miss =
               useCursor ? missProbabilityNearLossless(*dg, lossRates,
                                                       latencies,
@@ -251,8 +466,11 @@ FlowSchemeResult PlaybackEngine::runCore(
                                                       workspace)
                         : missProbabilityNearLosslessReference(
                               *dg, lossRates, latencies, params_.delivery);
+          if (timed)
+            memoNs += static_cast<std::uint64_t>(util::nowNanos() - t0);
         } else {
-          util::Rng rng(mixSeed(params_.seed, flow, kind, t));
+          if (timed) t0 = util::nowNanos();
+          util::Rng rng(mixSeed(params_.seed, spec.flow, spec.kind, t));
           const double onTime =
               useCursor ? onTimeProbabilityMC(*dg, lossRates, latencies,
                                               params_.delivery,
@@ -263,15 +481,23 @@ FlowSchemeResult PlaybackEngine::runCore(
                               params_.mcSamples, rng);
           eval.miss = 1.0 - onTime;
           eval.monteCarlo = true;
+          if (timed)
+            mcNs += static_cast<std::uint64_t>(util::nowNanos() - t0);
         }
         eval.cost = static_cast<double>(dg->cost(latencies));
         eval.latency = dg->latencyToDestination(latencies);
-        if (deterministic && useMemo) storeEval(evalKey, eval);
+        if (deterministic && useMemo) {
+          if (timed) t0 = util::nowNanos();
+          storeEval(evalKey, eval);
+          if (timed)
+            memoNs += static_cast<std::uint64_t>(util::nowNanos() - t0);
+        }
       }
       if (reuseCleanEvals && clean) {
         cachedEdges = dg->edges();
         cachedEval = eval;
         cacheValid = true;
+        cachedDg = dg;
       }
       if (eval.monteCarlo && mcIntervalsCounter != nullptr) {
         mcIntervalsCounter->inc();
@@ -282,28 +508,35 @@ FlowSchemeResult PlaybackEngine::runCore(
       intervalsCounter->inc();
       missHistogram->observe(eval.miss);
     }
-    if (timelineOut != nullptr) timelineOut->push_back(eval.miss);
+    if (spec.timelineOut != nullptr) spec.timelineOut->push_back(eval.miss);
 
-    missMean.add(eval.miss, 1.0);
-    costStats.add(eval.cost);
+    acc->missMean.add(eval.miss, 1.0);
+    acc->costStats.add(eval.cost);
     if (eval.latency != util::kNever) {
-      latencyStats.add(static_cast<double>(eval.latency));
+      acc->latencyStats.add(static_cast<double>(eval.latency));
       if (params_.collectIntervalLatencies) {
-        result.intervalLatenciesUs.push_back(
+        acc->intervalLatenciesUs.push_back(
             static_cast<double>(eval.latency));
       }
     }
-    result.unavailableSeconds += eval.miss * intervalSeconds;
+    acc->unavailableSeconds += eval.miss * intervalSeconds;
     if (eval.miss > params_.problematicThreshold) {
-      ++result.problematicIntervals;
-      result.problems.push_back(ProblematicInterval{t, eval.miss});
+      ++acc->problematicIntervals;
+      acc->problems.push_back(ProblematicInterval{t, eval.miss});
     }
   }
-
-  result.unavailability = missMean.mean();
-  result.averageCost = costStats.mean();
-  result.averageLatencyUs = latencyStats.mean();
-  return result;
+  if (blockLen > 0) {
+    if (timed) t0 = util::nowNanos();
+    total.merge(std::move(block));
+    if (timed) mergeNs += static_cast<std::uint64_t>(util::nowNanos() - t0);
+  }
+  if (timed) {
+    stageTimings_.decodeNs.fetch_add(decodeNs, std::memory_order_relaxed);
+    stageTimings_.mcNs.fetch_add(mcNs, std::memory_order_relaxed);
+    stageTimings_.memoNs.fetch_add(memoNs, std::memory_order_relaxed);
+    stageTimings_.mergeNs.fetch_add(mergeNs, std::memory_order_relaxed);
+  }
+  return total;
 }
 
 }  // namespace dg::playback

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -37,6 +38,7 @@
 #include "telemetry/telemetry.hpp"
 #include "trace/condition_timeline.hpp"
 #include "trace/trace.hpp"
+#include "util/stats.hpp"
 
 namespace dg::playback {
 
@@ -67,6 +69,22 @@ struct PlaybackParams {
   /// views (off = legacy per-interval vector materialization; results
   /// are bit-identical either way).
   bool conditionCursor = true;
+  /// Accumulation block length in intervals. 0 (default) accumulates the
+  /// whole range into one block -- the historical behavior. When set,
+  /// per-interval statistics are folded into per-block partials at
+  /// absolute interval boundaries (t % block == 0) and the blocks are
+  /// merged in order, and the run-local clean-interval reuse cache is
+  /// reset at each boundary. This fixes the floating-point merge tree, so
+  /// a chunk-parallel sweep whose chunks coincide with the blocks
+  /// produces bit-identical results at any thread count -- and identical
+  /// to a single-threaded run with the same block length. (Results with
+  /// block B differ from block 0 in the last float bits; both are valid.)
+  std::size_t accumBlockIntervals = 0;
+  /// Accumulate per-stage wall-clock nanoseconds (decode / Monte-Carlo /
+  /// memo / merge) into PlaybackEngine::stageTimings(). Adds two clock
+  /// reads around each non-trivial operation; leave off outside
+  /// benchmarks.
+  bool collectStageTimings = false;
 };
 
 /// One problematic interval of a flow/scheme run (sparse record).
@@ -102,6 +120,38 @@ struct FlowSchemeResult {
   std::vector<double> intervalLatenciesUs;
 };
 
+/// Partial accumulation of one contiguous interval range of a (flow,
+/// scheme) run. Chunk-parallel sweeps compute one RunPartial per chunk
+/// and fold them in chunk order; merging partials of adjacent ranges in
+/// ascending order reproduces the single-threaded blocked accumulation
+/// bit for bit (see PlaybackParams::accumBlockIntervals).
+struct RunPartial {
+  util::WeightedMean missMean;
+  util::OnlineStats costStats;
+  util::OnlineStats latencyStats;
+  double unavailableSeconds = 0.0;
+  std::size_t problematicIntervals = 0;
+  std::vector<ProblematicInterval> problems;
+  std::vector<double> intervalLatenciesUs;
+
+  /// Folds a partial covering the range immediately *after* this one.
+  void merge(RunPartial&& later);
+};
+
+/// Cumulative wall-clock nanoseconds per replay stage, summed across all
+/// runs on one engine (workers add their local tallies once per range,
+/// relaxed). Collected only when PlaybackParams::collectStageTimings is
+/// set. "decode" is condition access (cursor seeks, span fetches, legacy
+/// vector materialization), "mc" is Monte-Carlo evaluation, "memo" is
+/// routing selects plus deterministic evaluations and memo traffic,
+/// "merge" is block folds and partial merges.
+struct StageTimings {
+  std::atomic<std::uint64_t> decodeNs{0};
+  std::atomic<std::uint64_t> mcNs{0};
+  std::atomic<std::uint64_t> memoNs{0};
+  std::atomic<std::uint64_t> mergeNs{0};
+};
+
 class PlaybackEngine {
  public:
   PlaybackEngine(const graph::Graph& overlay, const trace::Trace& trace,
@@ -131,6 +181,34 @@ class PlaybackEngine {
                                    const routing::SchemeParams& schemeParams,
                                    std::size_t first, std::size_t last) const;
 
+  /// Chunk-parallel building block: replays [first, last) and returns the
+  /// partial accumulation, after rolling the scheme's decision state
+  /// forward over [0, first) exactly as a full run would (telemetry
+  /// detached, clean steady spans skipped in O(log deviations) via the
+  /// schemes' steadyOnBaseline() fixed-point contract). `decisionSource`
+  /// and `truthSource` (nullable -> replay from the in-memory trace) let
+  /// each worker cursor over its own PackedConditionSource so no decode
+  /// state is shared across threads. Requires conditionCursor mode.
+  ///
+  /// With params().accumBlockIntervals == B > 0 and chunks aligned to B,
+  /// merging the partials of a run's chunks in ascending order yields the
+  /// same bits as runRange over the union -- at any thread count.
+  /// `telemetry` (nullable) collects this range's counters/events; chunk
+  /// boundaries reset the per-run "last classification" trace-event
+  /// dedup, so chunked trace *event* streams can differ from unchunked
+  /// ones (counters and results do not).
+  RunPartial runChunkPartial(routing::Flow flow, routing::SchemeKind kind,
+                             const routing::SchemeParams& schemeParams,
+                             std::size_t first, std::size_t last,
+                             trace::ConditionSource* decisionSource,
+                             trace::ConditionSource* truthSource,
+                             telemetry::Telemetry* telemetry = nullptr) const;
+
+  /// Converts a fully merged partial into the result record.
+  FlowSchemeResult finalizePartial(routing::Flow flow,
+                                   routing::SchemeKind kind,
+                                   RunPartial&& total) const;
+
   const trace::Trace& trace() const { return *trace_; }
   const PlaybackParams& params() const { return params_; }
 
@@ -141,6 +219,20 @@ class PlaybackEngine {
   }
   /// The engine's cross-job decision memo (for hit-rate reporting).
   const routing::DecisionMemo& decisionMemo() const { return decisionMemo_; }
+  /// Mutable handle for the persistent sidecar cache (memo_cache.*):
+  /// absorb a loaded snapshot before runs, snapshot after. Memoized
+  /// decisions are pure functions of their keys, so pre-seeding cannot
+  /// change results.
+  routing::DecisionMemo& decisionMemoMutable() const { return decisionMemo_; }
+
+  /// Per-stage wall-clock tallies (populated only when
+  /// PlaybackParams::collectStageTimings is set).
+  const StageTimings& stageTimings() const { return stageTimings_; }
+  /// Lets drivers (the experiment merge loop) account their own merge
+  /// work in the same place.
+  void addStageMergeNs(std::uint64_t ns) const {
+    stageTimings_.mergeNs.fetch_add(ns, std::memory_order_relaxed);
+  }
 
  private:
   struct IntervalEval {
@@ -155,6 +247,33 @@ class PlaybackEngine {
   /// these four components determine the evaluation completely.
   using EvalKey = std::array<std::uint32_t, 4>;
 
+  /// Everything the scoring loop needs. Bundled because the loop is
+  /// shared by three entry points (runRange, missTimeline,
+  /// runChunkPartial) with different warm-up offsets, cursors and
+  /// continuity seeds.
+  struct ScoreSpec {
+    routing::RoutingScheme* scheme = nullptr;
+    const routing::NetworkView* baselineView = nullptr;
+    routing::Flow flow;
+    routing::SchemeKind kind{};
+    std::size_t first = 0;
+    std::size_t last = 0;
+    /// Intervals below this are decided on the baseline view regardless
+    /// of trace content (the scheme cannot have observed anything yet).
+    /// runRange passes first + staleness; chunk partials pass the
+    /// absolute staleness because their scheme history starts at 0.
+    std::size_t warmupUntil = 0;
+    trace::ConditionTimeline* decisionCursor = nullptr;
+    trace::ConditionTimeline* truthCursor = nullptr;
+    telemetry::Telemetry* telemetry = nullptr;
+    std::vector<double>* timelineOut = nullptr;
+    bool reuseCleanEvals = true;
+    /// GraphSwitch continuity across chunk boundaries: the selection in
+    /// force at the end of warm-up (updated in place by the loop).
+    std::vector<graph::EdgeId> lastSelectedEdges;
+    bool haveSelected = false;
+  };
+
   /// Shared replay core behind runRange (timelineOut == nullptr) and
   /// missTimeline (timelineOut != nullptr; per-interval miss appended,
   /// no run-local evaluation reuse, no telemetry).
@@ -164,6 +283,16 @@ class PlaybackEngine {
                            telemetry::Telemetry* telemetry,
                            std::vector<double>* timelineOut) const;
 
+  /// The per-interval scoring loop (decision, truth conditions,
+  /// evaluation, accumulation) over [spec.first, spec.last).
+  RunPartial scoreIntervals(ScoreSpec& spec) const;
+
+  /// Smallest interval t >= fromInterval whose *decision* view (t -
+  /// staleness) carries a deviation; trace end if none. O(log
+  /// deviations) via the sorted deviation list built at construction.
+  std::size_t nextDeviatingDecision(std::size_t fromInterval,
+                                    std::size_t staleness) const;
+
   std::optional<IntervalEval> findEval(const EvalKey& key) const;
   void storeEval(const EvalKey& key, const IntervalEval& eval) const;
 
@@ -171,6 +300,9 @@ class PlaybackEngine {
   const trace::Trace* trace_;
   PlaybackParams params_;
   trace::ConditionIndex conditionIndex_;
+  /// Sorted intervals that deviate from baseline (for steady-span jumps).
+  std::vector<std::size_t> deviatingIntervals_;
+  mutable StageTimings stageTimings_;
 
   // Cross-job memos. Mutable + internally synchronized: one const engine
   // is shared across experiment worker threads, and every memoized value

@@ -1,5 +1,6 @@
 #include "routing/decision_memo.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "routing/scheme.hpp"
@@ -72,6 +73,49 @@ void DecisionMemo::edgeListInto(std::uint32_t id,
   const std::scoped_lock lock(mutex_);
   const std::vector<graph::EdgeId>& list = *edgeLists_.at(id);
   out.assign(list.begin(), list.end());
+}
+
+DecisionMemo::Snapshot DecisionMemo::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  Snapshot snap;
+  snap.edgeLists.reserve(edgeLists_.size());
+  for (const std::vector<graph::EdgeId>* list : edgeLists_)
+    snap.edgeLists.push_back(*list);
+  snap.contexts.resize(contexts_.size());
+  for (std::size_t i = 0; i < contexts_.size(); ++i) {
+    Snapshot::ContextEntry& entry = snap.contexts[i];
+    entry.kind = contexts_[i].kind;
+    entry.flow = contexts_[i].flow;
+    entry.params = contexts_[i].params;
+  }
+  for (const auto& [packed, edgeListId] : decisions_) {
+    const std::size_t context = static_cast<std::size_t>(packed >> 32);
+    const std::uint64_t fingerprint = packed & 0xFFFFFFFFULL;
+    snap.contexts.at(context).decisions.emplace_back(fingerprint, edgeListId);
+  }
+  for (Snapshot::ContextEntry& entry : snap.contexts) {
+    std::sort(entry.decisions.begin(), entry.decisions.end());
+  }
+  return snap;
+}
+
+void DecisionMemo::absorb(const Snapshot& snapshot) {
+  // Re-intern through the public API (it takes the lock itself): the
+  // snapshot's ids are the donor process's interning order, not ours.
+  std::vector<std::uint32_t> edgeListIds;
+  edgeListIds.reserve(snapshot.edgeLists.size());
+  for (const std::vector<graph::EdgeId>& list : snapshot.edgeLists)
+    edgeListIds.push_back(internEdgeList(list));
+  for (const Snapshot::ContextEntry& entry : snapshot.contexts) {
+    const std::uint64_t context =
+        contextKey(entry.kind, entry.flow, entry.params);
+    for (const auto& [fingerprint, edgeListId] : entry.decisions) {
+      const std::uint32_t mapped = edgeListId == kNoRoute
+                                       ? kNoRoute
+                                       : edgeListIds.at(edgeListId);
+      storeDecision(context, fingerprint, mapped);
+    }
+  }
 }
 
 DecisionMemo::Stats DecisionMemo::stats() const {

@@ -32,12 +32,9 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "routing/scheme.hpp"
 
 namespace dg::routing {
-
-struct Flow;
-enum class SchemeKind;
-struct SchemeParams;
 
 class DecisionMemo {
  public:
@@ -79,6 +76,34 @@ class DecisionMemo {
     std::size_t contexts = 0;
   };
   Stats stats() const;
+
+  /// Value-complete copy of the memo for the persistent sidecar cache
+  /// (src/playback/memo_cache.*). Context keys and edge-list ids are
+  /// process-local interning accidents, so the snapshot spells every
+  /// context out by (kind, flow, params) value and references edge lists
+  /// by index into its own table; absorb() re-interns both, which makes a
+  /// round trip independent of the id assignment order of either process.
+  struct Snapshot {
+    struct ContextEntry {
+      SchemeKind kind{};
+      Flow flow;
+      SchemeParams params;
+      /// (view fingerprint, index into Snapshot::edgeLists) -- or
+      /// kNoRoute for a memoized no-route decision.
+      std::vector<std::pair<std::uint64_t, std::uint32_t>> decisions;
+    };
+    std::vector<std::vector<graph::EdgeId>> edgeLists;
+    std::vector<ContextEntry> contexts;
+  };
+
+  /// Deterministic snapshot: contexts in interning order, decisions
+  /// sorted by fingerprint (serializing twice yields identical bytes).
+  Snapshot snapshot() const;
+
+  /// Merges a snapshot in. Existing entries win on conflict (emplace
+  /// semantics), which cannot change results -- every decision is a pure
+  /// function of its key -- only hit rates.
+  void absorb(const Snapshot& snapshot);
 
  private:
   struct Context;

@@ -85,6 +85,18 @@ class RoutingScheme {
   /// select()/initialize() call on this scheme.
   virtual const graph::DisseminationGraph& select(const NetworkView& view) = 0;
 
+  /// True when the scheme has reached a fixed point under clean
+  /// conditions: another select() on the fingerprinted baseline view
+  /// would return the current selection unchanged and leave every
+  /// decision-affecting state variable unchanged. The playback engine
+  /// uses this to elide per-interval select() calls across clean steady
+  /// spans (only while telemetry is detached -- classification counters
+  /// must still tick per call when attached) and to bulk-skip clean
+  /// prefixes during chunk-parallel warm-up replay. Schemes that cannot
+  /// promise a fixed point return false (the default), which is always
+  /// safe.
+  virtual bool steadyOnBaseline() const { return false; }
+
   const graph::Graph& overlay() const { return *overlay_; }
   Flow flow() const { return flow_; }
   const SchemeParams& params() const { return params_; }

@@ -141,6 +141,17 @@ class CachedGraphScheme : public RoutingScheme {
       : RoutingScheme(overlay, flow, params),
         current_(overlay, flow.source, flow.destination) {}
 
+ public:
+  /// Fixed point iff the last decision (initialize or select) was made on
+  /// the fingerprinted clean-baseline view: selectDynamic's same-content
+  /// fast path then returns current_ without touching any state, and the
+  /// static variants never mutate state in select() at all. Dynamic
+  /// schemes driven with unfingerprinted views report false (safe: the
+  /// playback fast path only ever sees fingerprinted views).
+  bool steadyOnBaseline() const override {
+    return lastFingerprint_ == NetworkView::kBaselineFingerprint;
+  }
+
  protected:
   DisseminationGraph current_;
   std::vector<util::SimTime> cachedWeights_;
@@ -315,6 +326,11 @@ class FloodingScheme : public CachedGraphScheme {
   const DisseminationGraph& select(const NetworkView&) override {
     return current_;
   }
+
+  // Flooding never looks at the view (initialize() does not call
+  // noteDecision, so the inherited fingerprint check would wrongly say
+  // "not steady").
+  bool steadyOnBaseline() const override { return true; }
 };
 
 // ---------------------------------------------------------------------
@@ -344,7 +360,10 @@ class TargetedScheme : public RoutingScheme {
     dynamicWeights_.clear();
     sourceHold_ = 0;
     destinationHold_ = 0;
+    steadyOnBaseline_ = false;
   }
+
+  bool steadyOnBaseline() const override { return steadyOnBaseline_; }
 
   const DisseminationGraph& select(const NetworkView& view) override {
     const FlowProblem detected =
@@ -365,6 +384,21 @@ class TargetedScheme : public RoutingScheme {
     } else if (destinationHold_ > 0) {
       --destinationHold_;
     }
+    // Fixed point check for steadyOnBaseline(): on the baseline view the
+    // detector's classification is a pure function of the view, so a
+    // repeat select() returns the same graph and leaves state unchanged
+    // exactly when no hold-down counter masked the detector this call
+    // (problem == detected). That covers both moving parts: a draining
+    // hold (problem true, detected false -- including the final drain
+    // step, whose *returned* graph is still the targeted one) and the
+    // pinned case (detector keeps re-arming the hold, problem ==
+    // detected == true, selection stable). A middle problem is stable
+    // too because dynamicWeights_ was just brought equal to this view's
+    // weights below.
+    steadyOnBaseline_ =
+        view.fingerprint() == NetworkView::kBaselineFingerprint &&
+        problem.source == detected.source &&
+        problem.destination == detected.destination;
     lastProblem_ = problem;
     if (problem.source && problem.destination) return graphs_.robust;
     if (problem.source) return graphs_.sourceProblem;
@@ -403,6 +437,7 @@ class TargetedScheme : public RoutingScheme {
   FlowProblem lastProblem_;
   int sourceHold_ = 0;
   int destinationHold_ = 0;
+  bool steadyOnBaseline_ = false;
 };
 
 }  // namespace

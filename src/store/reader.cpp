@@ -304,6 +304,58 @@ void PackedTraceReader::parseContainer() {
                      "data section does not reach the footer");
 }
 
+PackedTraceReader::ChunkGeometry PackedTraceReader::chunkGeometry(
+    std::uint64_t index) const {
+  if (index >= index_.size())
+    throw std::out_of_range("PackedTraceReader::chunkGeometry: chunk " +
+                            std::to_string(index) + " of " +
+                            std::to_string(index_.size()));
+  const IndexEntry& entry = index_[static_cast<std::size_t>(index)];
+  ChunkGeometry geometry;
+  geometry.firstInterval = index * info_.chunkIntervals;
+  geometry.intervals = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(info_.chunkIntervals,
+                              info_.intervalCount - geometry.firstInterval));
+  geometry.recordCount = entry.recordCount;
+  geometry.payloadBytes = entry.payloadBytes;
+  geometry.offset = entry.offset;
+  return geometry;
+}
+
+std::uint64_t PackedTraceReader::contentFingerprint() {
+  // Fold the header, the baseline frame's CRC and each chunk's
+  // (CRC, payloadBytes, recordCount) into two CRC-32 streams with
+  // different seeds, packed into one u64.
+  std::vector<std::byte> acc;
+  acc.reserve(kHeaderBytes + 8 + index_.size() * 12);
+  {
+    const std::span<const std::byte> header =
+        viewChecked(0, kHeaderBytes, "header");
+    acc.insert(acc.end(), header.begin(), header.end());
+  }
+  {
+    // Stored CRC of the baseline frame (offset kHeaderBytes + 4).
+    const std::span<const std::byte> baselineCrc =
+        viewChecked(kHeaderBytes + 4, 4, "baseline frame");
+    acc.insert(acc.end(), baselineCrc.begin(), baselineCrc.end());
+  }
+  for (const IndexEntry& entry : index_) {
+    const std::span<const std::byte> chunkCrc =
+        viewChecked(entry.offset + 4, 4, "chunk frame");
+    acc.insert(acc.end(), chunkCrc.begin(), chunkCrc.end());
+    putU32(acc, entry.payloadBytes);
+    putU32(acc, entry.recordCount);
+  }
+  const std::uint32_t lo = crc32(acc);
+  std::uint32_t hi = crc32Init();
+  const std::array<std::byte, 4> seed = {
+      std::byte{0xD6}, std::byte{0x17}, std::byte{0xAB}, std::byte{0x59}};
+  hi = crc32Update(hi, seed);
+  hi = crc32Update(hi, acc);
+  hi = crc32Final(hi);
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
 void PackedTraceReader::parseBaseline(std::uint64_t offset) {
   std::uint32_t payloadBytes = 0;
   std::span<const std::byte> payload =

@@ -100,6 +100,26 @@ class PackedTraceReader {
     return interval / info_.chunkIntervals;
   }
 
+  /// Geometry of one chunk, O(1) from the footer index (no decode).
+  struct ChunkGeometry {
+    std::uint64_t firstInterval = 0;
+    std::uint32_t intervals = 0;     ///< intervals covered (tail may be short)
+    std::uint32_t recordCount = 0;   ///< deviation records in the chunk
+    std::uint32_t payloadBytes = 0;  ///< compressed payload size
+    std::uint64_t offset = 0;        ///< file offset of the chunk frame
+  };
+  ChunkGeometry chunkGeometry(std::uint64_t index) const;
+
+  /// Container identity for cache keying (the decision-memo sidecar):
+  /// CRC-32s folded over the header bytes, the baseline frame's stored
+  /// CRC, and every chunk's stored CRC / payload size / record count,
+  /// packed into 64 bits. Reads only O(chunkCount) frame headers -- no
+  /// payload decode -- yet changes whenever any payload byte changes,
+  /// because each frame's CRC covers its payload. Not an integrity check
+  /// (decode paths verify CRCs themselves); two files with equal
+  /// fingerprints are the same recorded trace for caching purposes.
+  std::uint64_t contentFingerprint();
+
   /// Decodes chunk `index` into `out` (reusing its capacity). CRC is
   /// verified before decode.
   void decodeChunk(std::uint64_t index, ChunkData& out);

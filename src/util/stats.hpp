@@ -98,6 +98,15 @@ class EmpiricalCdf {
 class WeightedMean {
  public:
   void add(double value, double weight);
+  /// Folds another accumulator in by summing the partial numerator and
+  /// denominator. Deterministic, but the *grouping* (unlike with integer
+  /// counters) affects the final bits -- callers that need bit-stable
+  /// results must merge partials at fixed boundaries in a fixed order
+  /// (see the playback engine's blocked accumulation).
+  void merge(const WeightedMean& other) {
+    sum_ += other.sum_;
+    weight_ += other.weight_;
+  }
   double mean() const { return weight_ > 0 ? sum_ / weight_ : 0.0; }
   double totalWeight() const { return weight_; }
 

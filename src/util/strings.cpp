@@ -82,6 +82,13 @@ std::string formatFixed(double value, int decimals) {
   return buffer;
 }
 
+std::string formatHex64(std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
 std::string formatPercent(double fraction, int decimals) {
   return formatFixed(fraction * 100.0, decimals) + "%";
 }

@@ -2,6 +2,7 @@
 // files, rendering report tables).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,6 +29,10 @@ bool parseInt64(std::string_view text, std::int64_t& out);
 
 /// Formats a double with fixed precision (report tables).
 std::string formatFixed(double value, int decimals);
+
+/// Formats a 64-bit value as "0x" + 16 lowercase hex digits (content
+/// fingerprints, cache keys).
+std::string formatHex64(std::uint64_t value);
 
 /// Formats a fraction as a percentage string, e.g. 0.9912 -> "99.12%".
 std::string formatPercent(double fraction, int decimals = 2);

@@ -27,6 +27,16 @@ inline std::int64_t nowMicros() {
       .count();
 }
 
+/// Same monotonic reading at nanosecond resolution, for stage timers
+/// that bracket individual hot-path operations (a microsecond tick is
+/// too coarse for a single Dijkstra or memo lookup). Reporting-only,
+/// like everything else in this file.
+inline std::int64_t nowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Opaque monotonic timestamp for measuring elapsed wall time.
 class WallClock {
  public:

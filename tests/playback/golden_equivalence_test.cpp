@@ -115,6 +115,45 @@ TEST_F(GoldenEquivalence, CursorVsLegacyByteIdentical) {
   EXPECT_EQ(tOpt, tLegacy);
 }
 
+// With telemetry detached the cursor path may elide select() calls
+// across clean steady spans (RoutingScheme::steadyOnBaseline). A
+// deviation burst followed by a long clean tail is the adversarial
+// shape: the targeted scheme's hold-down counters drain inside the
+// tail, and a premature "steady" verdict would freeze the expensive
+// targeted graph for the rest of the run (visible as an averageCost
+// mismatch against the legacy path, which never elides).
+TEST(SteadyFastPath, MatchesLegacyWithoutTelemetry) {
+  const auto topology = trace::Topology::ltn12();
+  const graph::Graph& g = topology.graph();
+  trace::Trace tr = test::healthyTrace(g, 120, util::seconds(10), 1e-4);
+  util::Rng rng(777);
+  for (std::size_t k = 0; k < 90; ++k) {
+    const auto e = static_cast<graph::EdgeId>(
+        rng.uniformInt(static_cast<std::uint64_t>(g.edgeCount())));
+    const auto t = static_cast<std::size_t>(rng.uniformInt(50));
+    trace::LinkConditions c = tr.baseline(e);
+    c.lossRate = rng.uniform(0.1, 0.9);
+    tr.setCondition(e, t, c);  // deviations only in [0, 50): clean tail
+  }
+
+  playback::PlaybackParams optimizedParams;
+  optimizedParams.mcSamples = 150;
+  playback::PlaybackParams legacyParams = optimizedParams;
+  legacyParams.decisionMemo = false;
+  legacyParams.conditionCursor = false;
+
+  const playback::PlaybackEngine optimized(g, tr, optimizedParams);
+  const playback::PlaybackEngine legacy(g, tr, legacyParams);
+  auto flows = playback::transcontinentalFlows(topology);
+  flows.resize(4);
+  for (const routing::Flow flow : flows) {
+    for (const routing::SchemeKind kind : routing::allSchemeKinds()) {
+      expectResultsIdentical(optimized.run(flow, kind, {}),
+                             legacy.run(flow, kind, {}));
+    }
+  }
+}
+
 TEST_F(GoldenEquivalence, ThreadCountInvariant) {
   playback::ExperimentConfig config;
   config.flows = flows_;
@@ -197,6 +236,72 @@ TEST(DeliveryEquivalence, OptimizedEvaluatorsMatchReference) {
                 playback::missProbabilityNearLosslessReference(
                     *dg_, losses, latencies, params))
           << "seed " << seed;
+    }
+  }
+}
+
+// Every batched Monte-Carlo kernel (fused scalar, portable SoA block,
+// AVX2 block when the CPU has it) must agree with the frozen reference
+// draw for draw: same verdicts, same final RNG state. Odd sample counts
+// straddle the block size so partial tail blocks are exercised, and the
+// graph set spans small member counts (scalar-dispatch territory), a
+// 64-member flooding graph (both key words), and the AVX2 tail path.
+TEST(DeliveryEquivalence, AllKernelsMatchReferenceAcrossSeedsAndCounts) {
+  const auto topology = trace::Topology::ltn12();
+  const graph::Graph& g = topology.graph();
+  const routing::Flow flow{0, 7};
+  const auto targeted = routing::buildTargetedGraphs(
+      g, flow, g.baseLatencies(), util::milliseconds(65));
+
+  graph::DisseminationGraph floodingGraph(g, flow.source, flow.destination);
+  for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) {
+    floodingGraph.addEdge(e);
+  }
+
+  std::vector<playback::detail::McKernel> kernels = {
+      playback::detail::McKernel::kFusedScalar,
+      playback::detail::McKernel::kBlockScalar};
+  if (playback::detail::mcKernelSupported(
+          playback::detail::McKernel::kBlockAvx2)) {
+    kernels.push_back(playback::detail::McKernel::kBlockAvx2);
+  }
+
+  const playback::DeliveryModelParams params;
+  playback::DeliveryWorkspace ws;
+  // 1 and 31 stay inside one 32-sample block, 33/63/65 cross one
+  // boundary at different offsets, 257 crosses eight.
+  const int sampleCounts[] = {1, 31, 33, 63, 65, 257};
+  for (std::uint64_t seed = 100; seed < 107; ++seed) {
+    util::Rng setup(seed * 1979 + 11);
+    std::vector<double> losses(g.edgeCount());
+    std::vector<util::SimTime> latencies = g.baseLatencies();
+    for (graph::EdgeId e = 0; e < g.edgeCount(); ++e) {
+      losses[e] = setup.bernoulli(0.25) ? setup.uniform(0.0, 0.9) : 1e-4;
+      if (setup.bernoulli(0.1)) latencies[e] *= 4;
+    }
+    for (const graph::DisseminationGraph* dg_ :
+         {&targeted.sourceProblem, &targeted.destinationProblem,
+          static_cast<const graph::DisseminationGraph*>(&floodingGraph)}) {
+      for (const int samples : sampleCounts) {
+        util::Rng refRng(seed);
+        const double reference = playback::onTimeProbabilityMCReference(
+            *dg_, losses, latencies, params, samples, refRng);
+        const std::uint64_t refFinal = refRng.next();
+        for (const auto kernel : kernels) {
+          playback::detail::setMcKernelForTest(kernel);
+          util::Rng rng(seed);
+          const double got = playback::onTimeProbabilityMC(
+              *dg_, losses, latencies, params, samples, rng, ws);
+          EXPECT_EQ(got, reference)
+              << "kernel " << static_cast<int>(kernel) << " seed " << seed
+              << " samples " << samples;
+          EXPECT_EQ(rng.next(), refFinal)
+              << "RNG state diverged: kernel " << static_cast<int>(kernel)
+              << " seed " << seed << " samples " << samples;
+        }
+        playback::detail::setMcKernelForTest(
+            playback::detail::McKernel::kAuto);
+      }
     }
   }
 }

@@ -150,6 +150,7 @@ std::vector<std::string> DriverOptions::defaultOrderedScope() {
   return {
       "src/telemetry/",          "src/playback/experiment",
       "src/playback/report",     "src/playback/classification",
+      "src/playback/playback",   "src/playback/memo_cache",
       "src/routing/decision_memo", "src/chaos/invariants",
       "src/chaos/bridge",        "src/store/",
       "src/live/",

@@ -16,7 +16,9 @@
 //   dgnet trace cat    --in=FILE [--out=FILE]
 //       Packed-trace ("dgtrace") tooling: pack converts a text or packed
 //       trace into the columnar binary store; info prints the container
-//       geometry without decoding chunks; verify CRC-checks and decodes
+//       geometry, content fingerprint and per-chunk layout (interval
+//       range, record count, payload bytes, file offset -- footer index
+//       only) without decoding chunks; verify CRC-checks and decodes
 //       every region (exit codes: 2 io-error, 3 bad-magic,
 //       4 version-mismatch, 5 truncated, 6 checksum-mismatch,
 //       7 corrupt); cat decodes a packed trace to the text format.
@@ -34,9 +36,21 @@
 //       Drive the packet-level overlay (forwarding + recovery) live.
 //   dgnet telemetry  [--schemes=a,b,...] [--threads=N]
 //                    [--memo=0] [--cursor=0]
+//                    [--chunked] [--memo-cache=FILE]
 //                    (--trace=FILE | --days=N [--seed=S])
 //       Run the flows x schemes playback sweep with full telemetry and
 //       print the merged metrics (byte-identical for any --threads).
+//       --chunked parallelizes per (flow, scheme, chunk) straight off a
+//       packed --trace=FILE (required) instead of per (flow, scheme);
+//       --memo-cache=FILE (implies --chunked) persists the routing
+//       decision memo in a sidecar keyed by the trace's content
+//       fingerprint, so repeat sweeps start warm. A stale or corrupt
+//       sidecar is rejected and the run starts cold; it never changes
+//       results.
+//
+// Integer flags are validated: --mc-samples=N (alias --mc_samples) must
+// be in [1, 1e7] and --threads=N in [0, 4096] (0 = all cores); anything
+// else -- including non-numeric values -- is a usage error (exit 2).
 //   dgnet chaos      [--schedule=FILE | --seed=N [--faults=K] [--seconds=N]]
 //                    [--record=FILE] [--compile-out=FILE]
 //                    [--source=A --destination=B]
@@ -112,6 +126,47 @@
 namespace {
 
 using namespace dg;
+
+/// A flag value the user got wrong (not a runtime failure): main prints
+/// the message plus the usage summary and exits 2.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Validated integer flag: present-but-malformed or out-of-range values
+/// are usage errors, so a typo like --threads=-3 or --mc-samples=abc
+/// fails fast with exit 2 instead of a confusing runtime error (or a
+/// silently absurd run).
+std::int64_t getCheckedInt(const util::Config& args, std::string_view key,
+                           std::int64_t fallback, std::int64_t min,
+                           std::int64_t max) {
+  if (!args.has(key)) return fallback;
+  std::int64_t value = 0;
+  try {
+    value = args.getInt(key, fallback);
+  } catch (const std::exception&) {
+    throw UsageError("--" + std::string(key) + "=" + args.getString(key) +
+                     " is not an integer");
+  }
+  if (value < min || value > max)
+    throw UsageError("--" + std::string(key) + "=" + std::to_string(value) +
+                     " out of range [" + std::to_string(min) + ", " +
+                     std::to_string(max) + "]");
+  return value;
+}
+
+/// Monte-Carlo sample count; accepts --mc-samples and the historical
+/// --mc_samples spelling.
+int mcSamplesFlag(const util::Config& args, std::int64_t fallback) {
+  const std::string_view key =
+      args.has("mc-samples") ? "mc-samples" : "mc_samples";
+  return static_cast<int>(getCheckedInt(args, key, fallback, 1, 10'000'000));
+}
+
+/// Worker thread count; 0 = hardware concurrency.
+unsigned threadsFlag(const util::Config& args) {
+  return static_cast<unsigned>(getCheckedInt(args, "threads", 0, 0, 4096));
+}
 
 trace::Topology loadTopology(const util::Config& args) {
   if (args.has("topology"))
@@ -311,7 +366,7 @@ int cmdPlayback(const util::Config& args) {
   const auto kind = routing::parseSchemeKind(
       args.getString("scheme", "targeted"));
   playback::PlaybackParams params;
-  params.mcSamples = static_cast<int>(args.getInt("mc_samples", 1000));
+  params.mcSamples = mcSamplesFlag(args, 1000);
   params.decisionMemo = args.getBool("memo", true);
   params.conditionCursor = args.getBool("cursor", true);
   const playback::PlaybackEngine engine(topology.graph(), tr, params);
@@ -369,7 +424,6 @@ int cmdSimulate(const util::Config& args) {
 
 int cmdTelemetry(const util::Config& args) {
   const auto topology = loadTopology(args);
-  const auto tr = loadOrGenerateTrace(topology, args);
 
   playback::ExperimentConfig config;
   config.flows = playback::transcontinentalFlows(topology);
@@ -378,13 +432,34 @@ int cmdTelemetry(const util::Config& args) {
     for (const std::string& name : util::split(args.getString("schemes"), ','))
       config.schemes.push_back(routing::parseSchemeKind(name));
   }
-  config.playback.mcSamples = static_cast<int>(args.getInt("mc_samples", 1000));
+  config.playback.mcSamples = mcSamplesFlag(args, 1000);
   config.playback.decisionMemo = args.getBool("memo", true);
   config.playback.conditionCursor = args.getBool("cursor", true);
-  config.threads = static_cast<unsigned>(args.getInt("threads", 0));
+  config.threads = threadsFlag(args);
 
   telemetry::Telemetry telemetry;
-  playback::runExperiment(topology.graph(), tr, config, &telemetry);
+  const bool chunked = args.getBool("chunked", false) || args.has("memo-cache");
+  if (chunked) {
+    // Chunk-parallel sweep straight off the packed container; the only
+    // mode where the persistent decision-memo sidecar applies.
+    if (!args.has("trace") || !store::isPackedTraceFile(args.getString("trace")))
+      throw UsageError(
+          "--chunked / --memo-cache need --trace=FILE in the packed "
+          "dgtrace format (see `dgnet trace pack`)");
+    config.memoCachePath = args.getString("memo-cache", "");
+    const auto result = playback::runPackedExperiment(
+        topology.graph(), args.getString("trace"), config, &telemetry);
+    if (!config.memoCachePath.empty())
+      std::cerr << "memo cache "
+                << playback::memoCacheLoadResultName(result.memoCacheLoad)
+                << ": " << result.memoStats.decisionHits << " hits / "
+                << result.memoStats.decisionMisses << " misses, "
+                << result.memoStats.decisions << " decisions saved -> "
+                << config.memoCachePath << '\n';
+  } else {
+    const auto tr = loadOrGenerateTrace(topology, args);
+    playback::runExperiment(topology.graph(), tr, config, &telemetry);
+  }
 
   if (telemetryRequested(args)) {
     emitTelemetry(telemetry, args);
@@ -457,7 +532,7 @@ int cmdChaos(const util::Config& args) {
 
   chaos::DifferentialParams params;
   params.recoveryEnabled = args.getBool("recovery", false);
-  params.mcSamples = static_cast<int>(args.getInt("mc_samples", 4000));
+  params.mcSamples = mcSamplesFlag(args, 4000);
 
   std::optional<telemetry::Telemetry> telemetry;
   if (telemetryRequested(args)) telemetry.emplace();
@@ -642,8 +717,7 @@ int cmdFleet(const util::Config& args) {
   params.residualLoss = args.getDouble("residual-loss", params.residualLoss);
   params.recoveryEnabled = args.getBool("recovery", false);
   params.drain = args.getInt("drain-us", params.drain);
-  params.mcSamples =
-      static_cast<int>(args.getInt("mc_samples", params.mcSamples));
+  params.mcSamples = mcSamplesFlag(args, params.mcSamples);
   params.playbackSeed = static_cast<std::uint64_t>(
       args.getInt("playback-seed", static_cast<std::int64_t>(
                                        params.playbackSeed)));
@@ -749,7 +823,7 @@ int cmdTraceStore(const util::Config& args,
                 << reader.info().chunkCount << " chunks, "
                 << reader.info().recordCount << " deviation records\n";
     } else if (sub == "info") {
-      const auto reader = store::PackedTraceReader::open(
+      auto reader = store::PackedTraceReader::open(
           traceStoreInput(args, positional), metrics);
       const store::PackedTraceInfo& info = reader.info();
       std::cout << "format:          dgtrace v" << info.version << '\n'
@@ -764,7 +838,20 @@ int cmdTraceStore(const util::Config& args,
                 << "chunks:          " << info.chunkCount << " x "
                 << info.chunkIntervals << " intervals\n"
                 << "records:         " << info.recordCount
-                << " deviation records\n";
+                << " deviation records\n"
+                << "fingerprint:     " << util::formatHex64(
+                       reader.contentFingerprint()) << '\n';
+      // Per-chunk layout from the footer index alone (no chunk decode):
+      // where each chunk sits, what it covers, and how dense it is.
+      for (std::uint64_t c = 0; c < info.chunkCount; ++c) {
+        const auto geometry = reader.chunkGeometry(c);
+        std::cout << "  chunk " << util::padRight(std::to_string(c) + ":", 7)
+                  << "intervals [" << geometry.firstInterval << ", "
+                  << geometry.firstInterval + geometry.intervals << ")  "
+                  << geometry.recordCount << " records  "
+                  << geometry.payloadBytes << " payload bytes  @ offset "
+                  << geometry.offset << '\n';
+      }
     } else if (sub == "verify") {
       auto reader = store::PackedTraceReader::open(
           traceStoreInput(args, positional), metrics);
@@ -872,6 +959,10 @@ int main(int argc, char** argv) {
     std::cerr << "dgnet: unknown command '" << command << "'\n";
     printUsage(std::cerr);
     return 64;
+  } catch (const UsageError& e) {
+    std::cerr << "dgnet " << command << ": " << e.what() << '\n';
+    printUsage(std::cerr);
+    return 2;
   } catch (const store::StoreError& e) {
     // Store errors outside `dgnet trace` (e.g. a truncated --trace=FILE)
     // keep their distinct per-kind exit codes.
