@@ -64,6 +64,31 @@ void summarizeSchemes(ExperimentResult& result,
   result.summary = std::move(summaries);
 }
 
+/// Clamps and validates config.flowWindows against the trace geometry:
+/// one [first, last) pair per flow, {0, intervalCount} for every flow
+/// when no windows are configured. Throws std::invalid_argument on a
+/// length mismatch or a window that clamps to empty.
+std::vector<std::pair<std::size_t, std::size_t>> resolveWindows(
+    const ExperimentConfig& config, std::size_t intervalCount) {
+  std::vector<std::pair<std::size_t, std::size_t>> windows(
+      config.flows.size(), {std::size_t{0}, intervalCount});
+  if (config.flowWindows.empty()) return windows;
+  if (config.flowWindows.size() != config.flows.size())
+    throw std::invalid_argument(
+        "flowWindows must be empty or parallel to flows");
+  for (std::size_t f = 0; f < config.flows.size(); ++f) {
+    const std::size_t first =
+        std::min(config.flowWindows[f].firstInterval, intervalCount);
+    const std::size_t last =
+        std::min(config.flowWindows[f].lastInterval, intervalCount);
+    if (first >= last)
+      throw std::invalid_argument("flowWindows: empty window for flow " +
+                                  std::to_string(f));
+    windows[f] = {first, last};
+  }
+  return windows;
+}
+
 void captureStages(const PlaybackEngine& engine, ExperimentResult& result) {
   const StageTimings& timings = engine.stageTimings();
   result.stages.decodeNs = timings.decodeNs.load(std::memory_order_relaxed);
@@ -93,7 +118,14 @@ ExperimentResult runExperiment(const graph::Graph& overlay,
   if (config.flows.empty() || config.schemes.empty())
     throw std::invalid_argument("runExperiment: empty flows or schemes");
 
-  const PlaybackEngine engine(overlay, trace, config.playback);
+  // Windowed jobs replay through runChunkPartial (full-history warm-up,
+  // same semantics as the packed runner), which requires cursor mode.
+  const bool windowed = !config.flowWindows.empty();
+  PlaybackParams playback = config.playback;
+  if (windowed) playback.conditionCursor = true;
+  const PlaybackEngine engine(overlay, trace, playback);
+  const std::vector<std::pair<std::size_t, std::size_t>> windows =
+      resolveWindows(config, trace.intervalCount());
   const std::size_t schemeCount = config.schemes.size();
   const std::size_t jobs = config.flows.size() * schemeCount;
 
@@ -123,10 +155,21 @@ ExperimentResult runExperiment(const graph::Graph& overlay,
       if (job >= jobs) return;
       const std::size_t flowIndex = job / schemeCount;
       const std::size_t schemeIndex = job % schemeCount;
-      result.perFlow[job] =
-          engine.run(config.flows[flowIndex], config.schemes[schemeIndex],
-                     config.schemeParams,
-                     telemetry != nullptr ? jobTelemetry[job].get() : nullptr);
+      telemetry::Telemetry* jobSink =
+          telemetry != nullptr ? jobTelemetry[job].get() : nullptr;
+      if (windowed) {
+        const auto [first, last] = windows[flowIndex];
+        RunPartial partial = engine.runChunkPartial(
+            config.flows[flowIndex], config.schemes[schemeIndex],
+            config.schemeParams, first, last, nullptr, nullptr, jobSink);
+        result.perFlow[job] = engine.finalizePartial(
+            config.flows[flowIndex], config.schemes[schemeIndex],
+            std::move(partial));
+      } else {
+        result.perFlow[job] =
+            engine.run(config.flows[flowIndex], config.schemes[schemeIndex],
+                       config.schemeParams, jobSink);
+      }
     }
   };
   if (threadCount == 1) {
@@ -185,6 +228,9 @@ ExperimentResult runPackedExperiment(const graph::Graph& overlay,
 
   const std::size_t schemeCount = config.schemes.size();
   const std::size_t jobs = config.flows.size() * schemeCount;
+  const std::vector<std::pair<std::size_t, std::size_t>> windows =
+      resolveWindows(config,
+                     static_cast<std::size_t>(reader.info().intervalCount));
   const std::size_t chunkCount =
       static_cast<std::size_t>(reader.info().chunkCount);
   const std::size_t chunkIntervals = reader.info().chunkIntervals;
@@ -223,9 +269,19 @@ ExperimentResult runPackedExperiment(const graph::Graph& overlay,
       if (task >= tasks) return;
       const std::size_t job = task / chunkCount;
       const std::size_t chunk = task % chunkCount;
-      const std::size_t first = chunk * chunkIntervals;
-      const std::size_t last =
-          std::min(first + chunkIntervals, intervalCount);
+      // Clamp the chunk to the flow's active window; chunks entirely
+      // outside leave their partial empty (merging an empty partial is a
+      // no-op). Accumulation blocks sit at absolute chunk boundaries, so
+      // the clamped fold still reproduces the single-threaded blocked
+      // run over the window -- and the skip decision depends only on the
+      // task index, preserving thread invariance.
+      const auto [windowFirst, windowLast] = windows[job / schemeCount];
+      const std::size_t first =
+          std::max(chunk * chunkIntervals, windowFirst);
+      const std::size_t last = std::min(
+          {chunk * chunkIntervals + chunkIntervals, intervalCount,
+           windowLast});
+      if (first >= last) continue;
       partials[task] = engine.runChunkPartial(
           config.flows[job / schemeCount], config.schemes[job % schemeCount],
           config.schemeParams, first, last, &decisionSource, &truthSource,

@@ -12,8 +12,23 @@
 
 namespace dg::playback {
 
+/// Half-open interval range a flow is active over. lastInterval values
+/// beyond the trace end are clamped to it.
+struct FlowWindow {
+  std::size_t firstInterval = 0;
+  std::size_t lastInterval = static_cast<std::size_t>(-1);
+};
+
 struct ExperimentConfig {
   std::vector<routing::Flow> flows;
+  /// Per-flow active windows for open-loop fleet workloads. Empty =
+  /// every flow scores the whole trace (the historical behavior).
+  /// Otherwise must parallel `flows` with a non-empty clamped window per
+  /// flow. Windowed jobs roll routing-decision state forward over the
+  /// pre-window history exactly like the packed runner's chunk warm-up,
+  /// so the two runners agree bit for bit when their accumulation block
+  /// lengths match.
+  std::vector<FlowWindow> flowWindows;
   std::vector<routing::SchemeKind> schemes = routing::allSchemeKinds();
   routing::SchemeParams schemeParams;
   PlaybackParams playback;

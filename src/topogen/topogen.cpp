@@ -1,0 +1,471 @@
+#include "topogen/topogen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace dg::topogen {
+
+namespace {
+
+/// World metro table the geographic families sample from. Coordinates
+/// are city centers, rounded to two decimals; codes are IATA-like and
+/// unique. Order is fixed -- generation depends on it.
+struct Metro {
+  const char* code;
+  double latDeg;
+  double lonDeg;
+};
+
+constexpr Metro kMetros[] = {
+    {"NYC", 40.71, -73.99},  {"LAX", 34.05, -118.24}, {"CHI", 41.88, -87.63},
+    {"DFW", 32.78, -96.80},  {"DEN", 39.74, -104.99}, {"SJC", 37.34, -121.89},
+    {"SEA", 47.61, -122.33}, {"ATL", 33.75, -84.39},  {"MIA", 25.76, -80.19},
+    {"WAS", 38.91, -77.04},  {"BOS", 42.36, -71.06},  {"PHX", 33.45, -112.07},
+    {"MSP", 44.98, -93.27},  {"SLC", 40.76, -111.89}, {"PDX", 45.52, -122.68},
+    {"CLT", 35.23, -80.84},  {"IAH", 29.76, -95.37},  {"KCY", 39.10, -94.58},
+    {"YYZ", 43.65, -79.38},  {"YVR", 49.28, -123.12}, {"MEX", 19.43, -99.13},
+    {"GRU", -23.55, -46.63}, {"EZE", -34.60, -58.38}, {"BOG", 4.71, -74.07},
+    {"SCL", -33.45, -70.67}, {"LON", 51.51, -0.13},   {"FRA", 50.11, 8.68},
+    {"AMS", 52.37, 4.90},    {"PAR", 48.86, 2.35},    {"MAD", 40.42, -3.70},
+    {"MIL", 45.46, 9.19},    {"STO", 59.33, 18.07},   {"WAW", 52.23, 21.01},
+    {"DUB", 53.35, -6.26},   {"ZRH", 47.38, 8.54},    {"IST", 41.01, 28.98},
+    {"TLV", 32.08, 34.78},   {"DXB", 25.20, 55.27},   {"JNB", -26.20, 28.05},
+    {"CAI", 30.04, 31.24},   {"LOS", 6.52, 3.38},     {"BOM", 19.08, 72.88},
+    {"DEL", 28.61, 77.21},   {"SIN", 1.35, 103.82},   {"HKG", 22.32, 114.17},
+    {"TPE", 25.03, 121.57},  {"TYO", 35.68, 139.69},  {"ICN", 37.57, 126.98},
+    {"SYD", -33.87, 151.21}, {"AKL", -36.85, 174.76}, {"PEK", 39.90, 116.41},
+    {"BKK", 13.76, 100.50},
+};
+constexpr std::size_t kMetroCount = sizeof(kMetros) / sizeof(kMetros[0]);
+
+[[noreturn]] void badSpec(const std::string& what) {
+  throw std::invalid_argument("topology spec: " + what);
+}
+
+/// Rejects parameter keys outside the family's documented set, so typos
+/// ("seeds=7") fail loudly instead of silently using defaults.
+void requireKnownKeys(const FamilySpec& spec,
+                      std::initializer_list<std::string_view> known) {
+  for (const auto& [key, value] : spec.params) {
+    if (std::find(known.begin(), known.end(), key) == known.end())
+      badSpec("unknown parameter '" + key + "' for family '" + spec.family +
+              "'");
+  }
+}
+
+/// Fisher-Yates over indices [0, n) with the repo Rng (std::shuffle is
+/// implementation-defined and would break cross-platform determinism).
+std::vector<std::size_t> shuffledIndices(std::size_t n, util::Rng& rng) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (std::size_t i = n; i > 1; --i)
+    std::swap(order[i - 1], order[rng.uniformInt(static_cast<std::uint64_t>(i))]);
+  return order;
+}
+
+/// Connects two sites with geographic latency, clamped to >= 1 us so
+/// co-located members (sub-kilometre jitter) never yield a zero-latency
+/// edge (fiberLatency rounds to the nearest microsecond).
+void connectGeo(trace::Topology& topo, const std::string& a,
+                const std::string& b) {
+  const trace::Site& sa = topo.site(topo.at(a));
+  const trace::Site& sb = topo.site(topo.at(b));
+  const double km = trace::haversineKm(sa.latitudeDeg, sa.longitudeDeg,
+                                       sb.latitudeDeg, sb.longitudeDeg);
+  const util::SimTime latency = std::max<util::SimTime>(
+      util::SimTime{1}, trace::fiberLatency(km));
+  topo.connectWithLatency(a, b, latency);
+}
+
+bool connected(const trace::Topology& topo, const std::string& a,
+               const std::string& b) {
+  return topo.graph()
+      .findEdge(topo.at(a), topo.at(b))
+      .has_value();
+}
+
+void connectGeoIfAbsent(trace::Topology& topo, const std::string& a,
+                        const std::string& b) {
+  if (a != b && !connected(topo, a, b)) connectGeo(topo, a, b);
+}
+
+std::string memberName(const Metro& metro, std::size_t index) {
+  return std::string(metro.code) + "-" + std::to_string(index);
+}
+
+/// Picks `count` distinct metros by seeded shuffle and distributes `n`
+/// member nodes round-robin across them (every metro gets at least one).
+/// Member 0 of each metro sits at the city center (the gateway); further
+/// members are jittered around it. Returns, per metro, the member site
+/// names in member order.
+struct MetroPlan {
+  std::vector<Metro> metros;
+  std::vector<std::vector<std::string>> members;
+};
+
+MetroPlan planMetros(trace::Topology& topo, std::size_t n, std::size_t count,
+                     double jitterDeg, util::Rng& rng) {
+  MetroPlan plan;
+  const std::vector<std::size_t> order = shuffledIndices(kMetroCount, rng);
+  for (std::size_t i = 0; i < count; ++i)
+    plan.metros.push_back(kMetros[order[i]]);
+  plan.members.resize(count);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t m = i % count;
+    const Metro& metro = plan.metros[m];
+    const std::size_t index = plan.members[m].size();
+    trace::Site site;
+    site.name = memberName(metro, index);
+    if (index == 0) {
+      site.latitudeDeg = metro.latDeg;
+      site.longitudeDeg = metro.lonDeg;
+    } else {
+      // Jitter keeps members geographically distinct (positive
+      // great-circle distance between any connected pair) while staying
+      // within the metro area; latitude is clamped to the valid range.
+      site.latitudeDeg = std::clamp(
+          metro.latDeg + rng.uniform(-jitterDeg, jitterDeg), -89.9, 89.9);
+      site.longitudeDeg = metro.lonDeg + rng.uniform(-jitterDeg, jitterDeg);
+      if (site.longitudeDeg > 180.0) site.longitudeDeg -= 360.0;
+      if (site.longitudeDeg < -180.0) site.longitudeDeg += 360.0;
+    }
+    topo.addSite(std::move(site));
+    plan.members[m].push_back(memberName(metro, index));
+  }
+  return plan;
+}
+
+/// Intra-metro wiring shared by mesh and ring: members form a ring (k >=
+/// 3), or a single link (k == 2); members beyond the ring neighbors of
+/// the gateway get a chord to the gateway so every member is at most one
+/// hop from the backbone.
+void wireMetroMembers(trace::Topology& topo,
+                      const std::vector<std::string>& members) {
+  const std::size_t k = members.size();
+  if (k < 2) return;
+  if (k == 2) {
+    connectGeoIfAbsent(topo, members[0], members[1]);
+    return;
+  }
+  for (std::size_t i = 0; i < k; ++i)
+    connectGeoIfAbsent(topo, members[i], members[(i + 1) % k]);
+  for (std::size_t i = 2; i + 1 < k; ++i)
+    connectGeoIfAbsent(topo, members[0], members[i]);
+}
+
+std::size_t defaultMetroCount(std::size_t n) {
+  return std::clamp<std::size_t>(n / 10, 4, kMetroCount);
+}
+
+// ---------------------------------------------------------------------------
+// mesh: continental/global metro mesh
+
+class MeshFamily final : public TopologyFamily {
+ public:
+  std::string_view name() const override { return "mesh"; }
+  std::string_view parameterHelp() const override {
+    return "n=<nodes,4..5000> metros=<4..52> degree=<backbone nearest "
+           "neighbors,1..8> jitter=<member spread deg,0..5> seed=<u64>";
+  }
+
+  trace::Topology generate(const FamilySpec& spec) const override {
+    requireKnownKeys(spec, {"n", "metros", "degree", "jitter", "seed"});
+    const auto n = static_cast<std::size_t>(spec.getInt("n", 200, 4, 5000));
+    const auto metros = static_cast<std::size_t>(spec.getInt(
+        "metros", static_cast<std::int64_t>(defaultMetroCount(n)), 2,
+        static_cast<std::int64_t>(std::min(kMetroCount, n))));
+    const auto degree =
+        static_cast<std::size_t>(spec.getInt("degree", 3, 1, 8));
+    const double jitter = spec.getDouble("jitter", 0.5, 0.0, 5.0);
+    util::Rng rng(spec.seed());
+
+    trace::Topology topo;
+    const MetroPlan plan = planMetros(topo, n, metros, jitter, rng);
+
+    // Backbone: each gateway to its `degree` nearest gateways, plus a
+    // ring over metros sorted by longitude (ties by code) so the
+    // backbone is connected even at degree=1 with distant clusters.
+    std::vector<std::size_t> byLongitude(plan.metros.size());
+    for (std::size_t i = 0; i < byLongitude.size(); ++i) byLongitude[i] = i;
+    std::sort(byLongitude.begin(), byLongitude.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (plan.metros[a].lonDeg != plan.metros[b].lonDeg)
+                  return plan.metros[a].lonDeg < plan.metros[b].lonDeg;
+                return std::string_view(plan.metros[a].code) <
+                       std::string_view(plan.metros[b].code);
+              });
+    for (std::size_t i = 0; i < byLongitude.size(); ++i) {
+      const std::size_t a = byLongitude[i];
+      const std::size_t b = byLongitude[(i + 1) % byLongitude.size()];
+      if (a != b)
+        connectGeoIfAbsent(topo, plan.members[a][0], plan.members[b][0]);
+    }
+    for (std::size_t m = 0; m < plan.metros.size(); ++m) {
+      std::vector<std::pair<double, std::size_t>> byDistance;
+      for (std::size_t other = 0; other < plan.metros.size(); ++other) {
+        if (other == m) continue;
+        byDistance.emplace_back(
+            trace::haversineKm(plan.metros[m].latDeg, plan.metros[m].lonDeg,
+                               plan.metros[other].latDeg,
+                               plan.metros[other].lonDeg),
+            other);
+      }
+      std::sort(byDistance.begin(), byDistance.end());
+      const std::size_t take = std::min(degree, byDistance.size());
+      for (std::size_t i = 0; i < take; ++i)
+        connectGeoIfAbsent(topo, plan.members[m][0],
+                           plan.members[byDistance[i].second][0]);
+    }
+    for (const std::vector<std::string>& members : plan.members)
+      wireMetroMembers(topo, members);
+    return topo;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ring: rings-of-metros
+
+class RingFamily final : public TopologyFamily {
+ public:
+  std::string_view name() const override { return "ring"; }
+  std::string_view parameterHelp() const override {
+    return "n=<nodes,4..5000> metros=<2..52> jitter=<member spread deg,"
+           "0..5> seed=<u64>";
+  }
+
+  trace::Topology generate(const FamilySpec& spec) const override {
+    requireKnownKeys(spec, {"n", "metros", "jitter", "seed"});
+    const auto n = static_cast<std::size_t>(spec.getInt("n", 200, 4, 5000));
+    const auto metros = static_cast<std::size_t>(spec.getInt(
+        "metros", static_cast<std::int64_t>(defaultMetroCount(n)), 2,
+        static_cast<std::int64_t>(std::min(kMetroCount, n))));
+    const double jitter = spec.getDouble("jitter", 0.5, 0.0, 5.0);
+    util::Rng rng(spec.seed());
+
+    trace::Topology topo;
+    const MetroPlan plan = planMetros(topo, n, metros, jitter, rng);
+
+    // Metro-level ring in longitude order. Adjacent metros are joined by
+    // two inter-metro links from *distinct* endpoints on each side
+    // (member 0/1 to member 0/1) whenever both sides have two members,
+    // so losing a single gateway node never partitions the ring -- any
+    // metro pair keeps two node-disjoint paths.
+    std::vector<std::size_t> byLongitude(plan.metros.size());
+    for (std::size_t i = 0; i < byLongitude.size(); ++i) byLongitude[i] = i;
+    std::sort(byLongitude.begin(), byLongitude.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (plan.metros[a].lonDeg != plan.metros[b].lonDeg)
+                  return plan.metros[a].lonDeg < plan.metros[b].lonDeg;
+                return std::string_view(plan.metros[a].code) <
+                       std::string_view(plan.metros[b].code);
+              });
+    const std::size_t ringLength = byLongitude.size();
+    for (std::size_t i = 0; i < ringLength; ++i) {
+      const std::size_t a = byLongitude[i];
+      const std::size_t b = byLongitude[(i + 1) % ringLength];
+      if (a == b) continue;
+      connectGeoIfAbsent(topo, plan.members[a][0], plan.members[b][0]);
+      if (plan.members[a].size() > 1 && plan.members[b].size() > 1)
+        connectGeoIfAbsent(topo, plan.members[a][1], plan.members[b][1]);
+    }
+    for (const std::vector<std::string>& members : plan.members)
+      wireMetroMembers(topo, members);
+    return topo;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// scale-free: Barabasi-Albert preferential attachment
+
+class ScaleFreeFamily final : public TopologyFamily {
+ public:
+  std::string_view name() const override { return "scale-free"; }
+  std::string_view parameterHelp() const override {
+    return "n=<nodes,4..5000> m=<links per new node,1..8> seed=<u64>";
+  }
+
+  trace::Topology generate(const FamilySpec& spec) const override {
+    requireKnownKeys(spec, {"n", "m", "seed"});
+    const auto n = static_cast<std::size_t>(spec.getInt("n", 500, 4, 5000));
+    const auto m = static_cast<std::size_t>(spec.getInt(
+        "m", 2, 1, static_cast<std::int64_t>(std::min<std::size_t>(8, n - 1))));
+    util::Rng rng(spec.seed());
+
+    trace::Topology topo;
+    std::vector<std::string> names;
+    names.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Uniform placement on the sphere: longitude uniform, latitude via
+      // asin(2u - 1) so area density is constant (uniform latitude would
+      // crowd the poles).
+      trace::Site site;
+      site.name = "N" + std::to_string(i);
+      site.longitudeDeg = rng.uniform(-180.0, 180.0);
+      site.latitudeDeg =
+          std::asin(2.0 * rng.uniform() - 1.0) * 180.0 / 3.14159265358979323846;
+      names.push_back(site.name);
+      topo.addSite(std::move(site));
+    }
+
+    // `endpoints` lists every edge endpoint once, so sampling it
+    // uniformly is sampling nodes proportionally to degree -- the
+    // classic preferential-attachment trick.
+    std::vector<std::size_t> endpoints;
+    const std::size_t seedClique = std::min(n, m + 1);
+    for (std::size_t a = 0; a < seedClique; ++a) {
+      for (std::size_t b = a + 1; b < seedClique; ++b) {
+        connectGeo(topo, names[a], names[b]);
+        endpoints.push_back(a);
+        endpoints.push_back(b);
+      }
+    }
+    for (std::size_t node = seedClique; node < n; ++node) {
+      std::vector<std::size_t> targets;
+      while (targets.size() < m) {
+        const std::size_t candidate =
+            endpoints[rng.uniformInt(static_cast<std::uint64_t>(
+                endpoints.size()))];
+        if (std::find(targets.begin(), targets.end(), candidate) ==
+            targets.end())
+          targets.push_back(candidate);
+      }
+      for (const std::size_t target : targets) {
+        connectGeo(topo, names[node], names[target]);
+        endpoints.push_back(node);
+        endpoints.push_back(target);
+      }
+    }
+    return topo;
+  }
+};
+
+const MeshFamily kMesh;
+const RingFamily kRing;
+const ScaleFreeFamily kScaleFree;
+
+trace::Topology builtinByName(std::string_view name, bool& found) {
+  found = true;
+  if (name == "ltn12") return trace::Topology::ltn12();
+  if (name == "abilene11") return trace::Topology::abilene11();
+  if (name == "mesh5") return trace::Topology::mesh5();
+  found = false;
+  return {};
+}
+
+bool isBuiltinName(std::string_view name) {
+  return name == "ltn12" || name == "abilene11" || name == "mesh5";
+}
+
+}  // namespace
+
+std::int64_t FamilySpec::getInt(std::string_view key, std::int64_t fallback,
+                                std::int64_t lo, std::int64_t hi) const {
+  const auto it = params.find(key);
+  std::int64_t value = fallback;
+  if (it != params.end() && !util::parseInt64(it->second, value))
+    badSpec("parameter '" + std::string(key) + "' is not an integer: '" +
+            it->second + "'");
+  if (value < lo || value > hi)
+    badSpec("parameter '" + std::string(key) + "'=" + std::to_string(value) +
+            " out of range [" + std::to_string(lo) + ", " +
+            std::to_string(hi) + "]");
+  return value;
+}
+
+double FamilySpec::getDouble(std::string_view key, double fallback, double lo,
+                             double hi) const {
+  const auto it = params.find(key);
+  double value = fallback;
+  if (it != params.end() && !util::parseDouble(it->second, value))
+    badSpec("parameter '" + std::string(key) + "' is not a number: '" +
+            it->second + "'");
+  if (!(value >= lo && value <= hi))
+    badSpec("parameter '" + std::string(key) + "' out of range");
+  return value;
+}
+
+std::uint64_t FamilySpec::seed() const {
+  const auto it = params.find("seed");
+  if (it == params.end()) return 1;
+  std::int64_t value = 0;
+  if (!util::parseInt64(it->second, value) || value < 0)
+    badSpec("parameter 'seed' is not a non-negative integer: '" + it->second +
+            "'");
+  return static_cast<std::uint64_t>(value);
+}
+
+std::string FamilySpec::toString() const {
+  std::string out = family;
+  char sep = ':';
+  for (const auto& [key, value] : params) {
+    out += sep;
+    out += key;
+    out += '=';
+    out += value;
+    sep = ',';
+  }
+  return out;
+}
+
+FamilySpec parseFamilySpec(std::string_view spec) {
+  FamilySpec out;
+  const std::size_t colon = spec.find(':');
+  out.family = util::toLower(util::trim(spec.substr(0, colon)));
+  if (out.family.empty()) badSpec("empty family name in '" + std::string(spec) + "'");
+  if (colon == std::string_view::npos) return out;
+  const std::string_view rest = spec.substr(colon + 1);
+  for (const std::string& field : util::split(rest, ',')) {
+    const std::string_view trimmed = util::trim(field);
+    if (trimmed.empty()) continue;
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos || eq == 0)
+      badSpec("expected key=value, got '" + std::string(trimmed) + "'");
+    std::string key = util::toLower(util::trim(trimmed.substr(0, eq)));
+    std::string value{util::trim(trimmed.substr(eq + 1))};
+    if (value.empty()) badSpec("empty value for parameter '" + key + "'");
+    if (!out.params.emplace(std::move(key), std::move(value)).second)
+      badSpec("duplicate parameter in '" + std::string(spec) + "'");
+  }
+  return out;
+}
+
+const std::vector<const TopologyFamily*>& allFamilies() {
+  static const std::vector<const TopologyFamily*> families = {
+      &kMesh, &kRing, &kScaleFree};
+  return families;
+}
+
+const TopologyFamily* findFamily(std::string_view name) {
+  for (const TopologyFamily* family : allFamilies())
+    if (family->name() == name) return family;
+  return nullptr;
+}
+
+bool isFamilySpec(std::string_view text) {
+  const std::size_t colon = text.find(':');
+  const std::string head = util::toLower(util::trim(text.substr(0, colon)));
+  if (colon != std::string_view::npos) return findFamily(head) != nullptr;
+  return findFamily(head) != nullptr || isBuiltinName(head);
+}
+
+trace::Topology generateTopology(std::string_view spec) {
+  const FamilySpec parsed = parseFamilySpec(spec);
+  if (parsed.params.empty()) {
+    bool found = false;
+    trace::Topology builtin = builtinByName(parsed.family, found);
+    if (found) return builtin;
+  }
+  const TopologyFamily* family = findFamily(parsed.family);
+  if (family == nullptr)
+    badSpec("unknown family '" + parsed.family +
+            "' (families: mesh, ring, scale-free; builtins: ltn12, "
+            "abilene11, mesh5)");
+  return family->generate(parsed);
+}
+
+}  // namespace dg::topogen

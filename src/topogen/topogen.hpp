@@ -1,0 +1,93 @@
+// Parameterized topology families: deterministic, seeded generators that
+// emit valid Topology instances at fleet scale (100-1000 nodes), so the
+// scheme-separation experiments are not tied to the 12-site LTN overlay.
+//
+// Three families plus the named builtins:
+//
+//   mesh        continental/global metro mesh: metros sampled from a
+//               builtin world city table, nearest-neighbor backbone plus
+//               a longitude ring (connectivity), member nodes jittered
+//               around their metro with intra-metro ring + gateway chords
+//   ring        rings-of-metros: a metro-level ring where adjacent metros
+//               are joined by two links from distinct member nodes (so
+//               two node-disjoint paths exist between any pair), and each
+//               metro's members form their own ring
+//   scale-free  Barabasi-Albert preferential attachment (m links per new
+//               node onto a seed clique), nodes placed uniformly on the
+//               sphere
+//
+// Every edge latency is the great-circle fiber latency of its endpoints
+// (clamped to >= 1 us), so generated overlays carry realistic geography.
+// Generation is a pure function of the spec: the same family string
+// yields a byte-identical Topology::toString() on every platform.
+//
+// Specs are compact strings: "FAMILY:key=value,key=value", e.g.
+// "scale-free:n=500,seed=7" or "mesh:n=200,metros=20,seed=3". A bare
+// builtin name ("ltn12", "abilene11", "mesh5") is also a valid spec.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/topology.hpp"
+
+namespace dg::topogen {
+
+/// A parsed family spec: the family name plus its key=value parameters.
+struct FamilySpec {
+  std::string family;
+  std::map<std::string, std::string, std::less<>> params;
+
+  /// Typed parameter access with range checks; throw std::invalid_argument
+  /// on unparsable or out-of-range values (silent fallback would hide
+  /// typos in sweep scripts).
+  std::int64_t getInt(std::string_view key, std::int64_t fallback,
+                      std::int64_t lo, std::int64_t hi) const;
+  double getDouble(std::string_view key, double fallback, double lo,
+                   double hi) const;
+  std::uint64_t seed() const;
+
+  /// Canonical round-trippable form: family:k=v,... with keys sorted.
+  std::string toString() const;
+};
+
+/// Parses "family:k=v,k=v" (or a bare family/builtin name). Throws
+/// std::invalid_argument on malformed input with the offending fragment.
+FamilySpec parseFamilySpec(std::string_view spec);
+
+/// One seeded topology generator. Implementations are stateless: all
+/// variability comes from the spec parameters (including `seed`).
+class TopologyFamily {
+ public:
+  virtual ~TopologyFamily() = default;
+
+  virtual std::string_view name() const = 0;
+  /// One-line parameter documentation for `dgnet topo` help output.
+  virtual std::string_view parameterHelp() const = 0;
+  /// Generates the topology. Deterministic: equal specs give
+  /// byte-identical topologies. Throws std::invalid_argument on bad
+  /// parameters. Unknown parameter keys are rejected, not ignored.
+  virtual trace::Topology generate(const FamilySpec& spec) const = 0;
+};
+
+/// All registered families, in a fixed documented order (mesh, ring,
+/// scale-free). Pointers are to process-lifetime singletons.
+const std::vector<const TopologyFamily*>& allFamilies();
+
+/// Looks up a family by name; nullptr when unknown.
+const TopologyFamily* findFamily(std::string_view name);
+
+/// True when `text` looks like a generator spec rather than a file path:
+/// either "family:..." for a registered family, or a bare family/builtin
+/// name. Used by the CLI to route --topology values.
+bool isFamilySpec(std::string_view text);
+
+/// Generates a topology from a spec string. Resolves builtin names
+/// (ltn12, abilene11, mesh5) as well as registered families. Throws
+/// std::invalid_argument on unknown family or bad parameters.
+trace::Topology generateTopology(std::string_view spec);
+
+}  // namespace dg::topogen

@@ -1,0 +1,226 @@
+#include "topogen/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "topogen/topogen.hpp"
+#include "util/strings.hpp"
+
+namespace dg::topogen {
+
+namespace {
+
+[[noreturn]] void badWorkload(const std::string& what) {
+  throw std::invalid_argument("workload: " + what);
+}
+
+/// Rounds a positive time in seconds to integer microseconds, at least 1.
+util::SimTime toMicros(double seconds) {
+  const double us = seconds * 1e6;
+  if (us >= 9.0e18) badWorkload("time overflows SimTime");
+  return std::max<util::SimTime>(util::SimTime{1},
+                                 static_cast<util::SimTime>(std::llround(us)));
+}
+
+}  // namespace
+
+double boundedPareto(util::Rng& rng, double alpha, double lo, double hi) {
+  const double u = rng.uniform();
+  const double ratio = std::pow(lo / hi, alpha);
+  return lo / std::pow(1.0 - u * (1.0 - ratio), 1.0 / alpha);
+}
+
+FlowWorkload generateWorkload(const trace::Topology& topology,
+                              const WorkloadParams& params) {
+  const std::size_t sites = topology.siteCount();
+  if (sites < 2) badWorkload("topology needs at least two sites");
+  if (params.flowCount == 0) badWorkload("flowCount must be positive");
+  if (params.meanInterarrivalSeconds <= 0 || params.meanDurationSeconds <= 0 ||
+      params.minDurationSeconds <= 0)
+    badWorkload("time parameters must be positive");
+  if (params.paretoAlpha <= 0 || params.paretoMinSeconds <= 0 ||
+      params.paretoMaxSeconds <= params.paretoMinSeconds)
+    badWorkload("bounded-Pareto parameters need alpha > 0 and max > min > 0");
+  if (params.gravityExponent < 0)
+    badWorkload("gravityExponent must be >= 0");
+
+  // Gravity weights: degree^exponent per site (out-degree == in-degree
+  // for these bidirectional overlays). A degree-0 site gets weight 0 and
+  // is never chosen; if every site is isolated, fall back to uniform.
+  std::vector<double> weights(sites);
+  double total = 0.0;
+  for (std::size_t i = 0; i < sites; ++i) {
+    const double degree = static_cast<double>(
+        topology.graph().outEdges(static_cast<graph::NodeId>(i)).size());
+    weights[i] = params.gravityExponent == 0.0
+                     ? 1.0
+                     : std::pow(degree, params.gravityExponent);
+    total += weights[i];
+  }
+  if (total <= 0.0) std::fill(weights.begin(), weights.end(), 1.0);
+
+  util::Rng rng(params.seed);
+  util::Rng arrivalRng = rng.fork();
+  util::Rng endpointRng = rng.fork();
+  util::Rng durationRng = rng.fork();
+
+  FlowWorkload workload;
+  workload.flows.reserve(params.flowCount);
+  double clockSeconds = 0.0;
+  for (std::size_t i = 0; i < params.flowCount; ++i) {
+    clockSeconds += params.arrival == ArrivalProcess::kPoisson
+                        ? arrivalRng.exponential(params.meanInterarrivalSeconds)
+                        : boundedPareto(arrivalRng, params.paretoAlpha,
+                                        params.paretoMinSeconds,
+                                        params.paretoMaxSeconds);
+    WorkloadFlow flow;
+    flow.start = toMicros(clockSeconds);
+    const double duration =
+        std::max(params.minDurationSeconds,
+                 durationRng.exponential(params.meanDurationSeconds));
+    flow.stop = flow.start + toMicros(duration);
+
+    const std::size_t src = endpointRng.weightedIndex(weights);
+    std::size_t dst = src;
+    for (int attempt = 0; dst == src && attempt < 64; ++attempt)
+      dst = endpointRng.weightedIndex(weights);
+    // Degenerate weight vectors (one positive entry) cannot produce a
+    // distinct destination by sampling; rotate deterministically.
+    if (dst == src) dst = (src + 1) % sites;
+    flow.flow.source = static_cast<graph::NodeId>(src);
+    flow.flow.destination = static_cast<graph::NodeId>(dst);
+    workload.flows.push_back(flow);
+  }
+  return workload;
+}
+
+WorkloadParams parseWorkloadSpec(std::string_view spec) {
+  const FamilySpec parsed = parseFamilySpec(spec);
+  WorkloadParams params;
+  if (parsed.family == "poisson") {
+    params.arrival = ArrivalProcess::kPoisson;
+  } else if (parsed.family == "pareto") {
+    params.arrival = ArrivalProcess::kBoundedPareto;
+  } else {
+    badWorkload("unknown arrival process '" + parsed.family +
+                "' (expected poisson or pareto)");
+  }
+  for (const auto& [key, value] : parsed.params) {
+    if (key != "flows" && key != "seed" && key != "mean" && key != "alpha" &&
+        key != "min" && key != "max" && key != "duration" &&
+        key != "min-duration" && key != "gravity")
+      badWorkload("unknown parameter '" + key + "'");
+  }
+  params.seed = parsed.seed();
+  params.flowCount = static_cast<std::size_t>(
+      parsed.getInt("flows", 1000, 1, 1'000'000));
+  params.meanInterarrivalSeconds =
+      parsed.getDouble("mean", params.meanInterarrivalSeconds, 1e-6, 1e9);
+  params.paretoAlpha =
+      parsed.getDouble("alpha", params.paretoAlpha, 1e-6, 100.0);
+  params.paretoMinSeconds =
+      parsed.getDouble("min", params.paretoMinSeconds, 1e-6, 1e9);
+  params.paretoMaxSeconds =
+      parsed.getDouble("max", params.paretoMaxSeconds, 1e-6, 1e9);
+  params.meanDurationSeconds =
+      parsed.getDouble("duration", params.meanDurationSeconds, 1e-6, 1e9);
+  params.minDurationSeconds =
+      parsed.getDouble("min-duration", params.minDurationSeconds, 1e-6, 1e9);
+  params.gravityExponent =
+      parsed.getDouble("gravity", params.gravityExponent, 0.0, 16.0);
+  return params;
+}
+
+std::string workloadToString(const FlowWorkload& workload,
+                             const trace::Topology& topology) {
+  std::string out = "workload v1\n";
+  for (const WorkloadFlow& flow : workload.flows) {
+    out += "flow ";
+    out += topology.name(flow.flow.source);
+    out += ' ';
+    out += topology.name(flow.flow.destination);
+    out += ' ';
+    out += std::to_string(flow.start);
+    out += ' ';
+    out += std::to_string(flow.stop);
+    out += '\n';
+  }
+  return out;
+}
+
+FlowWorkload workloadFromString(std::string_view text,
+                                const trace::Topology& topology) {
+  FlowWorkload workload;
+  bool sawHeader = false;
+  std::size_t lineNumber = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line = util::trim(
+        text.substr(pos, eol == std::string_view::npos ? eol : eol - pos));
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++lineNumber;
+    if (line.empty() || line.front() == '#') continue;
+    const std::vector<std::string> fields = util::splitWhitespace(line);
+    const std::string where = " at line " + std::to_string(lineNumber);
+    if (!sawHeader) {
+      if (fields.size() != 2 || fields[0] != "workload" || fields[1] != "v1")
+        badWorkload("expected 'workload v1' header" + where);
+      sawHeader = true;
+      continue;
+    }
+    if (fields[0] != "flow" || fields.size() != 5)
+      badWorkload("expected 'flow SRC DST START STOP'" + where);
+    WorkloadFlow flow;
+    const auto src = topology.byName(fields[1]);
+    const auto dst = topology.byName(fields[2]);
+    if (!src || !dst)
+      badWorkload("unknown site '" + (src ? fields[2] : fields[1]) + "'" +
+                  where);
+    if (*src == *dst)
+      badWorkload("flow source equals destination" + where);
+    std::int64_t start = 0;
+    std::int64_t stop = 0;
+    if (!util::parseInt64(fields[3], start) ||
+        !util::parseInt64(fields[4], stop) || start < 0 || stop <= start)
+      badWorkload("bad flow times" + where);
+    flow.flow.source = *src;
+    flow.flow.destination = *dst;
+    flow.start = start;
+    flow.stop = stop;
+    workload.flows.push_back(flow);
+  }
+  if (!sawHeader) badWorkload("missing 'workload v1' header");
+  return workload;
+}
+
+FlowWorkload workloadFromFile(const std::string& path,
+                              const trace::Topology& topology) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) badWorkload("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return workloadFromString(buffer.str(), topology);
+}
+
+std::pair<std::size_t, std::size_t> flowIntervalWindow(
+    const WorkloadFlow& flow, util::SimTime intervalLength,
+    std::size_t intervalCount) {
+  if (intervalLength <= 0 || intervalCount == 0)
+    badWorkload("flowIntervalWindow needs a non-empty interval geometry");
+  const auto cap = static_cast<util::SimTime>(intervalCount);
+  std::size_t first = static_cast<std::size_t>(
+      std::min(flow.start / intervalLength, cap));
+  std::size_t last = static_cast<std::size_t>(std::min(
+      (flow.stop + intervalLength - 1) / intervalLength, cap));
+  // Flows starting at or after trace end still score their final
+  // interval; never return an empty window.
+  if (first >= intervalCount) first = intervalCount - 1;
+  if (last <= first) last = first + 1;
+  return {first, last};
+}
+
+}  // namespace dg::topogen

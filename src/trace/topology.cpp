@@ -1,5 +1,6 @@
 #include "trace/topology.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <fstream>
 #include <numbers>
@@ -32,6 +33,17 @@ util::SimTime fiberLatency(double km, double inflation) {
 }
 
 graph::NodeId Topology::addSite(Site site) {
+  if (site.name.empty())
+    throw std::invalid_argument("Topology: empty site name");
+  for (const char c : site.name) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '#')
+      throw std::invalid_argument(
+          "Topology: site name would break the text format: " + site.name);
+  }
+  if (!(site.latitudeDeg >= -90.0 && site.latitudeDeg <= 90.0) ||
+      !(site.longitudeDeg >= -180.0 && site.longitudeDeg <= 180.0))
+    throw std::invalid_argument("Topology: coordinates out of range for " +
+                                site.name);
   if (byName_.count(site.name) > 0)
     throw std::invalid_argument("Topology: duplicate site " + site.name);
   const graph::NodeId id = graph_.addNode();
@@ -46,13 +58,27 @@ graph::EdgeId Topology::connect(std::string_view a, std::string_view b) {
   const double km =
       haversineKm(sites_[na].latitudeDeg, sites_[na].longitudeDeg,
                   sites_[nb].latitudeDeg, sites_[nb].longitudeDeg);
-  return graph_.addBidirectional(na, nb, fiberLatency(km));
+  return connectChecked(na, nb, fiberLatency(km));
 }
 
 graph::EdgeId Topology::connectWithLatency(std::string_view a,
                                            std::string_view b,
                                            util::SimTime latency) {
-  return graph_.addBidirectional(at(a), at(b), latency);
+  return connectChecked(at(a), at(b), latency);
+}
+
+graph::EdgeId Topology::connectChecked(graph::NodeId a, graph::NodeId b,
+                                       util::SimTime latency) {
+  if (a == b)
+    throw std::invalid_argument("Topology: self-loop on site " +
+                                sites_[a].name);
+  if (graph_.findEdge(a, b).has_value() || graph_.findEdge(b, a).has_value())
+    throw std::invalid_argument("Topology: duplicate link " + sites_[a].name +
+                                " -- " + sites_[b].name);
+  if (latency <= 0)
+    throw std::invalid_argument("Topology: non-positive latency on link " +
+                                sites_[a].name + " -- " + sites_[b].name);
+  return graph_.addBidirectional(a, b, latency);
 }
 
 std::optional<graph::NodeId> Topology::byName(std::string_view name) const {

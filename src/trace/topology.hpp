@@ -2,11 +2,20 @@
 // graph connecting them, with propagation latencies derived from
 // great-circle distances over fiber.
 //
-// The builtin `ltn12()` topology is a synthetic stand-in for the 12-data-
-// center commercial overlay the paper evaluated on (proprietary): same
-// node count, same 64-directed-edge scale, and comparable transcontinental
-// latency structure, so the paper's 65 ms one-way budget is binding for
-// cross-US flows exactly as in the original evaluation.
+// Three builtins ship with the library: `ltn12()` (a synthetic stand-in
+// for the 12-data-center commercial overlay the paper evaluated on --
+// same node count, same 64-directed-edge scale, and comparable
+// transcontinental latency structure, so the paper's 65 ms one-way
+// budget is binding for cross-US flows exactly as in the original
+// evaluation), the sparser `abilene11()` backbone, and the compact
+// `mesh5()` used by localhost live-fleet soaks. Larger parameterized
+// overlays come from the generator families in src/topogen/.
+//
+// Construction enforces the invariants every consumer assumes: unique,
+// whitespace-free site names with in-range coordinates; no self-loops;
+// no duplicate links; strictly positive latencies; and links added
+// bidirectionally so a forward edge id is always even with its reverse
+// at forward + 1.
 #pragma once
 
 #include <optional>
@@ -42,10 +51,13 @@ class Topology {
   graph::NodeId addSite(Site site);
 
   /// Connects two sites bidirectionally with geo-derived latency.
-  /// Returns the forward edge id (backward is forward + 1).
+  /// Returns the forward edge id (backward is forward + 1). Throws
+  /// std::invalid_argument on self-loops, duplicate links (either
+  /// direction) and non-positive latencies.
   graph::EdgeId connect(std::string_view a, std::string_view b);
 
-  /// Connects two sites bidirectionally with an explicit latency.
+  /// Connects two sites bidirectionally with an explicit latency; same
+  /// validation as connect().
   graph::EdgeId connectWithLatency(std::string_view a, std::string_view b,
                                    util::SimTime latency);
 
@@ -86,6 +98,10 @@ class Topology {
   std::string toString() const;
 
  private:
+  /// Shared invariant enforcement behind both connect flavours.
+  graph::EdgeId connectChecked(graph::NodeId a, graph::NodeId b,
+                               util::SimTime latency);
+
   graph::Graph graph_;
   std::vector<Site> sites_;
   std::unordered_map<std::string, graph::NodeId> byName_;

@@ -1,0 +1,275 @@
+// Property-based suite for the topology generator families (see
+// tests/proptest.hpp): forAll over random (family, size, seed) cases,
+// asserting the structural invariants every downstream consumer relies
+// on, with shrinking toward smaller node counts on failure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "proptest.hpp"
+#include "topogen/topogen.hpp"
+#include "trace/topology.hpp"
+#include "util/rng.hpp"
+
+namespace dg::topogen {
+namespace {
+
+namespace prop = dg::test::prop;
+
+/// A generator case is kept as a spec recipe so the shrinker can rebuild
+/// with a smaller n.
+struct FamilyCase {
+  std::string family;
+  std::size_t n = 4;
+  std::size_t m = 2;  ///< scale-free attachment links
+  std::uint64_t seed = 1;
+
+  std::string spec() const {
+    std::string s = family + ":n=" + std::to_string(n) +
+                    ",seed=" + std::to_string(seed);
+    if (family == "scale-free") s += ",m=" + std::to_string(m);
+    return s;
+  }
+
+  std::string describe() const { return "  spec: " + spec() + "\n"; }
+};
+
+FamilyCase genFamilyCase(util::Rng& rng) {
+  static const char* kFamilies[] = {"mesh", "ring", "scale-free"};
+  FamilyCase c;
+  c.family = kFamilies[rng.uniformInt(std::uint64_t{3})];
+  c.n = static_cast<std::size_t>(4 + rng.uniformInt(std::uint64_t{253}));
+  c.m = static_cast<std::size_t>(
+      1 + rng.uniformInt(std::uint64_t{std::min<std::size_t>(4, c.n - 1)}));
+  // Seeds travel through the text spec parser, which bounds them to the
+  // non-negative int64 range.
+  c.seed = rng.next() >> 1;
+  return c;
+}
+
+/// Shrinker: strictly smaller node counts (and attachment widths) with
+/// the family and seed held fixed, so a failure report lands on the
+/// smallest topology that still falsifies.
+std::vector<FamilyCase> shrinkFamilyCase(const FamilyCase& c) {
+  std::vector<FamilyCase> out;
+  if (c.n > 4) {
+    FamilyCase half = c;
+    half.n = std::max<std::size_t>(4, c.n / 2);
+    half.m = std::min(half.m, half.n - 1);
+    out.push_back(half);
+    FamilyCase less = c;
+    less.n = c.n - 1;
+    less.m = std::min(less.m, less.n - 1);
+    out.push_back(less);
+  }
+  if (c.family == "scale-free" && c.m > 1) {
+    FamilyCase narrower = c;
+    narrower.m = c.m - 1;
+    out.push_back(narrower);
+  }
+  return out;
+}
+
+std::string describeCase(const FamilyCase& c) { return c.describe(); }
+
+/// Undirected connectivity over the directed overlay (every link is a
+/// bidirectional pair, so directed BFS from node 0 must reach everyone).
+bool connectedFromZero(const graph::Graph& g) {
+  if (g.nodeCount() == 0) return false;
+  std::vector<char> seen(g.nodeCount(), 0);
+  std::queue<graph::NodeId> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const graph::NodeId node = frontier.front();
+    frontier.pop();
+    for (const graph::EdgeId e : g.outEdges(node)) {
+      const graph::NodeId next = g.edge(e).to;
+      if (seen[next]) continue;
+      seen[next] = 1;
+      ++reached;
+      frontier.push(next);
+    }
+  }
+  return reached == g.nodeCount();
+}
+
+TEST(TopogenProperties, GeneratedTopologiesAreConnected) {
+  prop::forAll(
+      "every generated topology is connected", genFamilyCase,
+      [](const FamilyCase& c) {
+        const trace::Topology topo = generateTopology(c.spec());
+        if (topo.siteCount() != c.n)
+          return prop::fail("siteCount " + std::to_string(topo.siteCount()) +
+                            " != n " + std::to_string(c.n));
+        if (!connectedFromZero(topo.graph()))
+          return prop::fail("graph is disconnected");
+        return prop::pass();
+      },
+      describeCase, shrinkFamilyCase, prop::Config{0xF00D1ULL, 120});
+}
+
+TEST(TopogenProperties, DegreesStayWithinBounds) {
+  prop::forAll(
+      "node degrees stay within [1, n-1] (and >= m for scale-free)",
+      genFamilyCase,
+      [](const FamilyCase& c) {
+        const trace::Topology topo = generateTopology(c.spec());
+        const graph::Graph& g = topo.graph();
+        for (std::size_t node = 0; node < g.nodeCount(); ++node) {
+          const std::size_t degree =
+              g.outEdges(static_cast<graph::NodeId>(node)).size();
+          const std::size_t minDegree =
+              c.family == "scale-free" ? std::min(c.m, c.n - 1) : 1;
+          if (degree < minDegree || degree > c.n - 1)
+            return prop::fail("node " + topo.name(
+                                  static_cast<graph::NodeId>(node)) +
+                              " degree " + std::to_string(degree) +
+                              " outside [" + std::to_string(minDegree) +
+                              ", " + std::to_string(c.n - 1) + "]");
+        }
+        return prop::pass();
+      },
+      describeCase, shrinkFamilyCase, prop::Config{0xF00D2ULL, 120});
+}
+
+TEST(TopogenProperties, LatenciesAreSymmetricAndPositive) {
+  prop::forAll(
+      "every link is a forward/backward pair with equal positive latency",
+      genFamilyCase,
+      [](const FamilyCase& c) {
+        const trace::Topology topo = generateTopology(c.spec());
+        const graph::Graph& g = topo.graph();
+        if (g.edgeCount() % 2 != 0)
+          return prop::fail("odd directed edge count");
+        for (graph::EdgeId e = 0; e < g.edgeCount(); e += 2) {
+          const graph::Edge& fwd = g.edge(e);
+          const graph::Edge& bwd = g.edge(e + 1);
+          if (fwd.from != bwd.to || fwd.to != bwd.from)
+            return prop::fail("edge " + std::to_string(e) +
+                              " reverse endpoints mismatch");
+          if (fwd.latency != bwd.latency)
+            return prop::fail("edge " + std::to_string(e) +
+                              " asymmetric latency");
+          if (fwd.latency <= 0)
+            return prop::fail("edge " + topo.edgeName(e) +
+                              " non-positive latency");
+        }
+        return prop::pass();
+      },
+      describeCase, shrinkFamilyCase, prop::Config{0xF00D3ULL, 120});
+}
+
+TEST(TopogenProperties, ConnectedSitesAreGeographicallyDistinct) {
+  prop::forAll(
+      "great-circle distance between connected sites is positive",
+      genFamilyCase,
+      [](const FamilyCase& c) {
+        const trace::Topology topo = generateTopology(c.spec());
+        const graph::Graph& g = topo.graph();
+        for (graph::EdgeId e = 0; e < g.edgeCount(); e += 2) {
+          const trace::Site& a = topo.site(g.edge(e).from);
+          const trace::Site& b = topo.site(g.edge(e).to);
+          if (!(a.latitudeDeg >= -90.0 && a.latitudeDeg <= 90.0) ||
+              !(a.longitudeDeg >= -180.0 && a.longitudeDeg <= 180.0))
+            return prop::fail("site " + a.name + " out-of-range coordinates");
+          const double km =
+              trace::haversineKm(a.latitudeDeg, a.longitudeDeg,
+                                 b.latitudeDeg, b.longitudeDeg);
+          if (!(km > 0.0))
+            return prop::fail("link " + topo.edgeName(e) +
+                              " has zero great-circle distance");
+        }
+        return prop::pass();
+      },
+      describeCase, shrinkFamilyCase, prop::Config{0xF00D4ULL, 120});
+}
+
+TEST(TopogenProperties, SameSeedIsByteIdentical) {
+  prop::forAll(
+      "same spec => byte-identical topology text", genFamilyCase,
+      [](const FamilyCase& c) {
+        const std::string first = generateTopology(c.spec()).toString();
+        const std::string second = generateTopology(c.spec()).toString();
+        if (first != second)
+          return prop::fail("two generations of the same spec differ");
+        // The text form must also round-trip through the parser.
+        const trace::Topology reparsed = trace::Topology::fromString(first);
+        if (reparsed.toString() != first)
+          return prop::fail("toString/fromString round trip drifted");
+        return prop::pass();
+      },
+      describeCase, shrinkFamilyCase, prop::Config{0xF00D5ULL, 60});
+}
+
+TEST(TopogenProperties, DifferentSeedsUsuallyDiffer) {
+  // Not a hard invariant (two seeds could collide), but across 40 cases
+  // at n >= 50 every pair differing only in seed must not be identical
+  // every time; a frozen generator would fail instantly.
+  int differing = 0;
+  int total = 0;
+  util::Rng rng(0xF00D6ULL);
+  for (int i = 0; i < 40; ++i) {
+    FamilyCase c = genFamilyCase(rng);
+    c.n = 50 + c.n % 100;
+    FamilyCase other = c;
+    other.seed = c.seed + 1;
+    ++total;
+    if (generateTopology(c.spec()).toString() !=
+        generateTopology(other.spec()).toString())
+      ++differing;
+  }
+  EXPECT_GT(differing, total / 2);
+}
+
+TEST(TopogenScale, EveryFamilyEmitsValidFleetSizes) {
+  for (const char* family : {"mesh", "ring", "scale-free"}) {
+    for (const std::size_t n : {std::size_t{100}, std::size_t{1000}}) {
+      const std::string spec = std::string(family) + ":n=" +
+                               std::to_string(n) + ",seed=9";
+      const trace::Topology topo = generateTopology(spec);
+      EXPECT_EQ(topo.siteCount(), n) << spec;
+      EXPECT_TRUE(connectedFromZero(topo.graph())) << spec;
+      EXPECT_GE(topo.graph().edgeCount(), 2 * (n - 1)) << spec;
+    }
+  }
+}
+
+TEST(TopogenSpec, ParsesFamiliesBuiltinsAndRejectsGarbage) {
+  EXPECT_TRUE(isFamilySpec("mesh:n=100"));
+  EXPECT_TRUE(isFamilySpec("scale-free:n=500,seed=7"));
+  EXPECT_TRUE(isFamilySpec("ring"));
+  EXPECT_TRUE(isFamilySpec("ltn12"));
+  EXPECT_FALSE(isFamilySpec("topo.txt"));
+  EXPECT_FALSE(isFamilySpec("/path/to/file"));
+
+  EXPECT_EQ(generateTopology("ltn12").siteCount(), 12u);
+  EXPECT_EQ(generateTopology("abilene11").siteCount(), 11u);
+  EXPECT_EQ(generateTopology("mesh5").siteCount(), 5u);
+
+  EXPECT_THROW(generateTopology("nope:n=10"), std::invalid_argument);
+  EXPECT_THROW(generateTopology("mesh:n=banana"), std::invalid_argument);
+  EXPECT_THROW(generateTopology("mesh:n=3"), std::invalid_argument);
+  EXPECT_THROW(generateTopology("mesh:n=10,bogus=1"), std::invalid_argument);
+  EXPECT_THROW(generateTopology("mesh:n=10,n=20"), std::invalid_argument);
+  EXPECT_THROW(generateTopology("scale-free:n=10,m=0"),
+               std::invalid_argument);
+  EXPECT_THROW(parseFamilySpec(":n=1"), std::invalid_argument);
+  EXPECT_THROW(parseFamilySpec("mesh:n"), std::invalid_argument);
+}
+
+TEST(TopogenSpec, CanonicalFormRoundTrips) {
+  const FamilySpec spec = parseFamilySpec("Scale-Free: n=500 , seed=7");
+  EXPECT_EQ(spec.family, "scale-free");
+  EXPECT_EQ(spec.toString(), "scale-free:n=500,seed=7");
+  EXPECT_EQ(parseFamilySpec(spec.toString()).toString(), spec.toString());
+}
+
+}  // namespace
+}  // namespace dg::topogen

@@ -138,5 +138,60 @@ TEST(Topology, Abilene11RoundTrips) {
   EXPECT_EQ(copy.graph().edgeCount(), t.graph().edgeCount());
 }
 
+// One regression test per construction-invariant rejection: these are
+// the invariants the topogen generators (and every consumer of
+// Topology) rely on, so each rejection path is pinned individually.
+
+TEST(TopologyValidation, RejectsSelfLoop) {
+  Topology t;
+  t.addSite({"A", 0, 0});
+  EXPECT_THROW(t.connectWithLatency("A", "A", 100), std::invalid_argument);
+}
+
+TEST(TopologyValidation, RejectsDuplicateLinkEitherDirection) {
+  Topology t;
+  t.addSite({"A", 0, 0});
+  t.addSite({"B", 0, 10});
+  t.connectWithLatency("A", "B", 100);
+  EXPECT_THROW(t.connectWithLatency("A", "B", 100), std::invalid_argument);
+  EXPECT_THROW(t.connectWithLatency("B", "A", 100), std::invalid_argument);
+}
+
+TEST(TopologyValidation, RejectsNonPositiveLatency) {
+  Topology t;
+  t.addSite({"A", 0, 0});
+  t.addSite({"B", 0, 10});
+  EXPECT_THROW(t.connectWithLatency("A", "B", 0), std::invalid_argument);
+  EXPECT_THROW(t.connectWithLatency("A", "B", -5), std::invalid_argument);
+  // connect() derives latency from geography; co-located sites round to
+  // zero and must be rejected rather than silently admitted.
+  Topology u;
+  u.addSite({"X", 10, 20});
+  u.addSite({"Y", 10, 20});
+  EXPECT_THROW(u.connect("X", "Y"), std::invalid_argument);
+}
+
+TEST(TopologyValidation, RejectsMalformedSiteNames) {
+  Topology t;
+  EXPECT_THROW(t.addSite({"", 0, 0}), std::invalid_argument);
+  EXPECT_THROW(t.addSite({"A B", 0, 0}), std::invalid_argument);
+  EXPECT_THROW(t.addSite({"A\tB", 0, 0}), std::invalid_argument);
+  // '#' starts a comment in the text format, so it cannot appear in a
+  // name that must round-trip through toString().
+  EXPECT_THROW(t.addSite({"A#1", 0, 0}), std::invalid_argument);
+}
+
+TEST(TopologyValidation, RejectsOutOfRangeCoordinates) {
+  Topology t;
+  EXPECT_THROW(t.addSite({"A", 90.5, 0}), std::invalid_argument);
+  EXPECT_THROW(t.addSite({"B", -91, 0}), std::invalid_argument);
+  EXPECT_THROW(t.addSite({"C", 0, 180.5}), std::invalid_argument);
+  EXPECT_THROW(t.addSite({"D", 0, -181}), std::invalid_argument);
+  // The extremes themselves are legal.
+  t.addSite({"N", 90, 180});
+  t.addSite({"S", -90, -180});
+  EXPECT_EQ(t.siteCount(), 2u);
+}
+
 }  // namespace
 }  // namespace dg::trace

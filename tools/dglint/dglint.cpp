@@ -153,7 +153,7 @@ std::vector<std::string> DriverOptions::defaultOrderedScope() {
       "src/playback/playback",   "src/playback/memo_cache",
       "src/routing/decision_memo", "src/chaos/invariants",
       "src/chaos/bridge",        "src/store/",
-      "src/live/",
+      "src/live/",               "src/topogen/",
   };
 }
 

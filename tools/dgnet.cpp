@@ -1,13 +1,23 @@
 // dgnet -- command-line front end for the dissemination-graphs library.
 //
-//   dgnet topology   [--topology=FILE]
+//   dgnet topology   [--topology=FILE|SPEC]
 //       Print the overlay (sites, links, latencies).
-//   dgnet gen-trace  --days=N [--seed=S] --out=FILE [--csv=FILE]
+//   dgnet topo gen   --family=SPEC [--out=FILE]
+//   dgnet topo info  [--family=SPEC | --topology=FILE|SPEC]
+//       Generator-family tooling: gen emits a topology in the text
+//       format (stdout when --out is omitted), info prints size, degree
+//       and latency statistics plus the per-family parameter reference.
+//       SPEC is "family:key=value,..." -- families mesh, ring,
+//       scale-free; bare builtin names (ltn12, abilene11, mesh5) also
+//       work. Example: scale-free:n=500,seed=7.
+//   dgnet gen-trace  (--days=N | --hours=N) [--seed=S] --out=FILE
+//                    [--csv=FILE] [--chunk-intervals=N]
 //       Generate a synthetic condition trace (and optionally a CSV
 //       measurement export) plus its ground-truth event log on stderr.
 //       When --out ends in .dgtrace the trace is STREAMED into the
 //       packed binary store (bounded memory, full double precision)
-//       instead of materialized and saved as text.
+//       instead of materialized and saved as text; --chunk-intervals
+//       sets the store's chunk geometry (packed output only).
 //   dgnet inspect    --trace=FILE
 //       Summarize a trace: horizon, deviation density, worst links.
 //   dgnet trace pack   --in=FILE --out=FILE [--chunk-intervals=N]
@@ -37,6 +47,8 @@
 //   dgnet telemetry  [--schemes=a,b,...] [--threads=N]
 //                    [--memo=0] [--cursor=0]
 //                    [--chunked] [--memo-cache=FILE]
+//                    [--workload=SPEC | --workload-file=FILE]
+//                    [--workload-out=FILE]
 //                    (--trace=FILE | --days=N [--seed=S])
 //       Run the flows x schemes playback sweep with full telemetry and
 //       print the merged metrics (byte-identical for any --threads).
@@ -47,6 +59,13 @@
 //       fingerprint, so repeat sweeps start warm. A stale or corrupt
 //       sidecar is rejected and the run starts cold; it never changes
 //       results.
+//       --workload replaces the default 16 transcontinental flows with
+//       an open-loop generated fleet (SPEC like
+//       "poisson:flows=1000,seed=3,mean=0.5"; see src/topogen/
+//       workload.hpp for all keys) whose per-flow start/stop times
+//       become per-flow scoring windows; --workload-file replays a
+//       previously recorded workload and --workload-out records the
+//       generated one for exact replay.
 //
 // Integer flags are validated: --mc-samples=N (alias --mc_samples) must
 // be in [1, 1e7] and --threads=N in [0, 4096] (0 = all cores); anything
@@ -99,6 +118,7 @@
 // dynamic-two-disjoint targeted flooding.
 #include <unistd.h>
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -117,10 +137,13 @@
 #include "store/writer.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
+#include "topogen/topogen.hpp"
+#include "topogen/workload.hpp"
 #include "trace/importer.hpp"
 #include "trace/synth.hpp"
 #include "trace/topology.hpp"
 #include "util/config.hpp"
+#include "util/stats.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -168,10 +191,25 @@ unsigned threadsFlag(const util::Config& args) {
   return static_cast<unsigned>(getCheckedInt(args, "threads", 0, 0, 4096));
 }
 
+/// Resolves a --topology / --family value: generator specs
+/// ("scale-free:n=500,seed=7", bare family or builtin names) go through
+/// the topogen families, anything else is a file path.
+trace::Topology topologyFromValue(const std::string& value) {
+  if (topogen::isFamilySpec(value)) return topogen::generateTopology(value);
+  return trace::Topology::fromFile(value);
+}
+
 trace::Topology loadTopology(const util::Config& args) {
-  if (args.has("topology"))
-    return trace::Topology::fromFile(args.getString("topology"));
+  if (args.has("topology")) return topologyFromValue(args.getString("topology"));
   return trace::Topology::ltn12();
+}
+
+/// Synthetic-trace span: --hours=N wins over --days=N (default 1 day).
+/// Sub-day traces keep fleet-scale smokes tractable.
+util::SimTime traceDuration(const util::Config& args) {
+  if (args.has("hours"))
+    return util::hours(getCheckedInt(args, "hours", 24, 1, 24 * 3650));
+  return util::days(getCheckedInt(args, "days", 1, 1, 3650));
 }
 
 trace::Trace loadOrGenerateTrace(const trace::Topology& topology,
@@ -180,10 +218,10 @@ trace::Trace loadOrGenerateTrace(const trace::Topology& topology,
     return store::loadAnyTrace(args.getString("trace"));
   trace::GeneratorParams params;
   params.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
-  params.duration = util::days(args.getInt("days", 1));
+  params.duration = traceDuration(args);
   auto synthetic = generateSyntheticTrace(topology.graph(), params);
-  std::cerr << "generated " << args.getInt("days", 1)
-            << "-day synthetic trace (" << synthetic.events.size()
+  std::cerr << "generated " << util::formatDuration(params.duration)
+            << " synthetic trace (" << synthetic.events.size()
             << " events, seed " << params.seed << ")\n";
   return std::move(synthetic.trace);
 }
@@ -232,6 +270,66 @@ int cmdTopology(const util::Config& args) {
   return 0;
 }
 
+/// `dgnet topo gen|info`: generator-family front end.
+int cmdTopo(const util::Config& args,
+            const std::vector<std::string>& positional) {
+  if (positional.size() < 2) {
+    std::cerr << "usage: dgnet topo <gen|info> [--family=SPEC] ...\n";
+    return 2;
+  }
+  const std::string& sub = positional[1];
+  if (sub == "gen") {
+    if (!args.has("family"))
+      throw UsageError("topo gen: --family=SPEC required (e.g. "
+                       "--family=scale-free:n=500,seed=7)");
+    const auto topology = topogen::generateTopology(args.getString("family"));
+    writeOrPrint(args.getString("out", "-"), topology.toString());
+    std::cerr << "generated " << topology.siteCount() << " sites, "
+              << topology.graph().edgeCount() << " directed links\n";
+    return 0;
+  }
+  if (sub == "info") {
+    const auto topology = args.has("family")
+                              ? topogen::generateTopology(
+                                    args.getString("family"))
+                              : loadTopology(args);
+    const graph::Graph& g = topology.graph();
+    std::size_t minDegree = g.nodeCount() == 0 ? 0 : SIZE_MAX;
+    std::size_t maxDegree = 0;
+    for (std::size_t n = 0; n < g.nodeCount(); ++n) {
+      const std::size_t degree =
+          g.outEdges(static_cast<graph::NodeId>(n)).size();
+      minDegree = std::min(minDegree, degree);
+      maxDegree = std::max(maxDegree, degree);
+    }
+    util::OnlineStats latency;
+    for (const util::SimTime l : g.baseLatencies())
+      latency.add(util::toMillis(l));
+    std::cout << "sites:           " << topology.siteCount() << '\n'
+              << "directed links:  " << g.edgeCount() << '\n'
+              << "degree:          " << minDegree << " min, "
+              << util::formatFixed(
+                     g.nodeCount() > 0
+                         ? static_cast<double>(g.edgeCount()) /
+                               static_cast<double>(g.nodeCount())
+                         : 0.0,
+                     2)
+              << " mean, " << maxDegree << " max\n"
+              << "link latency:    "
+              << util::formatFixed(latency.min(), 2) << " ms min, "
+              << util::formatFixed(latency.mean(), 2) << " ms mean, "
+              << util::formatFixed(latency.max(), 2) << " ms max\n";
+    std::cout << "\nfamilies:\n";
+    for (const topogen::TopologyFamily* family : topogen::allFamilies())
+      std::cout << "  " << util::padRight(std::string(family->name()), 12)
+                << family->parameterHelp() << '\n';
+    return 0;
+  }
+  std::cerr << "dgnet topo: unknown subcommand '" << sub
+            << "' (want gen or info)\n";
+  return 2;
+}
+
 bool wantsPackedOutput(const std::string& path) {
   return path.size() >= 8 && path.ends_with(".dgtrace");
 }
@@ -244,7 +342,7 @@ int cmdGenTrace(const util::Config& args) {
   const auto topology = loadTopology(args);
   trace::GeneratorParams params;
   params.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
-  params.duration = util::days(args.getInt("days", 1));
+  params.duration = traceDuration(args);
   const std::string out = args.getString("out");
 
   std::vector<trace::ProblemEvent> events;
@@ -255,7 +353,11 @@ int cmdGenTrace(const util::Config& args) {
     // window plus one chunk, independent of --days.
     std::ofstream packed(out, std::ios::binary | std::ios::trunc);
     if (!packed) throw std::runtime_error("cannot open " + out);
-    store::StoreWriter writer(packed);
+    store::WriterOptions writerOptions;
+    writerOptions.chunkIntervals = static_cast<std::uint32_t>(getCheckedInt(
+        args, "chunk-intervals", store::kDefaultChunkIntervals, 1,
+        1'000'000));
+    store::StoreWriter writer(packed, writerOptions);
     trace::StreamGenerationStats stats;
     events = streamSyntheticTrace(topology.graph(), params, writer, &stats);
     packed.close();
@@ -425,8 +527,44 @@ int cmdSimulate(const util::Config& args) {
 int cmdTelemetry(const util::Config& args) {
   const auto topology = loadTopology(args);
 
+  // Open-loop fleet workloads: generate (--workload) or replay
+  // (--workload-file) thousands of flows with per-flow scoring windows
+  // instead of the fixed transcontinental list.
+  std::optional<topogen::FlowWorkload> workload;
+  if (args.has("workload") && args.has("workload-file"))
+    throw UsageError("choose one of --workload / --workload-file");
+  if (args.has("workload")) {
+    workload = topogen::generateWorkload(
+        topology, topogen::parseWorkloadSpec(args.getString("workload")));
+  } else if (args.has("workload-file")) {
+    workload =
+        topogen::workloadFromFile(args.getString("workload-file"), topology);
+  }
+  if (workload && args.has("workload-out"))
+    writeOrPrint(args.getString("workload-out"),
+                 topogen::workloadToString(*workload, topology));
+
   playback::ExperimentConfig config;
-  config.flows = playback::transcontinentalFlows(topology);
+  if (workload) {
+    config.flows.reserve(workload->flows.size());
+    for (const topogen::WorkloadFlow& f : workload->flows)
+      config.flows.push_back(f.flow);
+    std::cerr << "workload: " << config.flows.size() << " flows\n";
+  } else {
+    config.flows = playback::transcontinentalFlows(topology);
+  }
+  // Windows depend on the trace geometry, known only once the trace (or
+  // the packed container's footer) has been opened below.
+  const auto applyWindows = [&](util::SimTime intervalLength,
+                                std::size_t intervalCount) {
+    if (!workload) return;
+    config.flowWindows.reserve(workload->flows.size());
+    for (const topogen::WorkloadFlow& f : workload->flows) {
+      const auto [first, last] =
+          topogen::flowIntervalWindow(f, intervalLength, intervalCount);
+      config.flowWindows.push_back({first, last});
+    }
+  };
   if (args.has("schemes")) {
     config.schemes.clear();
     for (const std::string& name : util::split(args.getString("schemes"), ','))
@@ -447,6 +585,12 @@ int cmdTelemetry(const util::Config& args) {
           "--chunked / --memo-cache need --trace=FILE in the packed "
           "dgtrace format (see `dgnet trace pack`)");
     config.memoCachePath = args.getString("memo-cache", "");
+    if (workload) {
+      const auto reader =
+          store::PackedTraceReader::open(args.getString("trace"));
+      applyWindows(reader.info().intervalLength,
+                   static_cast<std::size_t>(reader.info().intervalCount));
+    }
     const auto result = playback::runPackedExperiment(
         topology.graph(), args.getString("trace"), config, &telemetry);
     if (!config.memoCachePath.empty())
@@ -458,6 +602,7 @@ int cmdTelemetry(const util::Config& args) {
                 << config.memoCachePath << '\n';
   } else {
     const auto tr = loadOrGenerateTrace(topology, args);
+    applyWindows(tr.intervalLength(), tr.intervalCount());
     playback::runExperiment(topology.graph(), tr, config, &telemetry);
   }
 
@@ -882,6 +1027,8 @@ void printUsage(std::ostream& out) {
          "\n"
          "commands:\n"
          "  topology   print the overlay topology (sites, links, latencies)\n"
+         "  topo       topology-family tooling (gen, info); "
+         "--family=mesh|ring|scale-free:...\n"
          "  gen-trace  generate a synthetic condition trace (text or packed)\n"
          "  inspect    summarize a trace: horizon, deviations, worst links\n"
          "  import     convert external CSV measurements into a trace\n"
@@ -946,6 +1093,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "topology") return cmdTopology(args);
+    if (command == "topo") return cmdTopo(args, positional);
     if (command == "gen-trace") return cmdGenTrace(args);
     if (command == "inspect") return cmdInspect(args);
     if (command == "import") return cmdImport(args);
