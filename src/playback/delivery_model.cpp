@@ -203,6 +203,7 @@ constexpr int kMcBlockSamples = 32;
 /// keys. Identical classification to the fused loop -- same thresholds,
 /// same 53-bit integer comparison -- just decoupled from the RNG
 /// advance.
+// dgcheck: hot
 void buildKeysScalar(const std::uint64_t* draws, std::size_t memberCount,
                      int blockSamples, const std::uint64_t* thrOnTime,
                      const std::uint64_t* thrRecovered,
@@ -231,6 +232,7 @@ void buildKeysScalar(const std::uint64_t* draws, std::size_t memberCount,
 /// 2 + (k < thrOnTime) + (k < thrRecovered) with the compares as 0/-1
 /// masks (0 = on-time, 1 = recovered, 2 = lost), shifted into key
 /// position with a variable shift and OR-folded across the block.
+// dgcheck: hot
 __attribute__((target("avx2"))) void buildKeysAvx2(
     const std::uint64_t* draws, std::size_t memberCount, int blockSamples,
     const std::uint64_t* thrOnTime, const std::uint64_t* thrRecovered,
@@ -310,6 +312,7 @@ detail::McKernel resolveMcKernel(std::size_t memberCount) {
 
 }  // namespace
 
+// dgcheck: hot
 double onTimeProbabilityMC(const graph::DisseminationGraph& dg,
                            std::span<const double> lossRates,
                            std::span<const util::SimTime> latencies,
@@ -626,6 +629,7 @@ double missProbabilityNearLossless(const graph::DisseminationGraph& dg,
 // the optimized versions are proven bit-identical against.
 // ---------------------------------------------------------------------
 
+// dgcheck: cold: frozen reference implementation; exists to be the unoptimized baseline the fast path is proven bit-identical against
 double onTimeProbabilityMCReference(const graph::DisseminationGraph& dg,
                                     std::span<const double> lossRates,
                                     std::span<const util::SimTime> latencies,
@@ -639,7 +643,7 @@ double onTimeProbabilityMCReference(const graph::DisseminationGraph& dg,
 
   for (int s = 0; s < samples; ++s) {
     for (const graph::EdgeId e : dg.edges()) {
-      sampled[e] = sampleHopLatency(lossRates[e], latencies[e], params, rng);
+      sampled[e] = sampleHopLatency(lossRates[e], latencies[e], params, rng);  // dgcheck: ok(R6): reference impl; sequential draws are the frozen spec the fast path is proven bit-identical against
     }
     std::fill(dist.begin(), dist.end(), util::kNever);
     using Entry = std::pair<util::SimTime, graph::NodeId>;
@@ -671,6 +675,7 @@ double onTimeProbabilityMCReference(const graph::DisseminationGraph& dg,
   return static_cast<double>(delivered) / static_cast<double>(samples);
 }
 
+// dgcheck: cold: frozen reference implementation; exists to be the unoptimized baseline the fast path is proven bit-identical against
 double missProbabilityNearLosslessReference(
     const graph::DisseminationGraph& dg, std::span<const double> lossRates,
     std::span<const util::SimTime> latencies,

@@ -111,6 +111,7 @@ void recordExperimentMetrics(telemetry::Telemetry& telemetry,
 
 }  // namespace
 
+// dgcheck: worker
 ExperimentResult runExperiment(const graph::Graph& overlay,
                                const trace::Trace& trace,
                                const ExperimentConfig& config,
@@ -192,6 +193,7 @@ ExperimentResult runExperiment(const graph::Graph& overlay,
   return result;
 }
 
+// dgcheck: worker
 ExperimentResult runPackedExperiment(const graph::Graph& overlay,
                                      const std::string& packedPath,
                                      const ExperimentConfig& config,

@@ -29,6 +29,7 @@ std::uint64_t mixSeed(std::uint64_t seed, routing::Flow flow,
 
 }  // namespace
 
+// dgcheck: cold: runs once per chunk at merge time, not per interval
 void RunPartial::merge(RunPartial&& later) {
   missMean.merge(later.missMean);
   costStats.merge(later.costStats);
@@ -163,6 +164,7 @@ FlowSchemeResult PlaybackEngine::runCore(
   return finalizePartial(flow, kind, scoreIntervals(spec));
 }
 
+// dgcheck: hot
 RunPartial PlaybackEngine::runChunkPartial(
     routing::Flow flow, routing::SchemeKind kind,
     const routing::SchemeParams& schemeParams, std::size_t first,
@@ -261,6 +263,7 @@ FlowSchemeResult PlaybackEngine::finalizePartial(routing::Flow flow,
 }
 
 RunPartial PlaybackEngine::scoreIntervals(ScoreSpec& spec) const {
+  // dgcheck: setup begin
   const bool useMemo = params_.decisionMemo;
   const bool useCursor = params_.conditionCursor;
   const bool reuseCleanEvals = spec.reuseCleanEvals;
@@ -336,6 +339,7 @@ RunPartial PlaybackEngine::scoreIntervals(ScoreSpec& spec) const {
   bool steady = false;
 
   const auto staleness = static_cast<std::size_t>(params_.viewStaleness);
+  // dgcheck: setup end
   for (std::size_t t = spec.first; t < spec.last; ++t) {
     if (blockLen > 0 && t != spec.first && t % blockLen == 0) {
       // Fold the finished accumulation block and reset run-local reuse:
@@ -412,8 +416,8 @@ RunPartial PlaybackEngine::scoreIntervals(ScoreSpec& spec) const {
     } else {
       std::span<const double> lossRates;
       std::span<const util::SimTime> latencies;
-      std::vector<double> lossBuffer;
-      std::vector<util::SimTime> latencyBuffer;
+      std::vector<double> lossBuffer;  // dgcheck: ok(R5): non-cursor fallback; conditionCursor runs never construct these
+      std::vector<util::SimTime> latencyBuffer;  // dgcheck: ok(R5): non-cursor fallback; conditionCursor runs never construct these
       if (timed) t0 = util::nowNanos();
       if (useCursor) {
         spec.truthCursor->seek(t);
@@ -478,7 +482,7 @@ RunPartial PlaybackEngine::scoreIntervals(ScoreSpec& spec) const {
                                               workspace)
                         : onTimeProbabilityMCReference(
                               *dg, lossRates, latencies, params_.delivery,
-                              params_.mcSamples, rng);
+                              params_.mcSamples, rng);  // dgcheck: ok(R6): ternary branches are mutually exclusive; exactly one callee draws from this rng
           eval.miss = 1.0 - onTime;
           eval.monteCarlo = true;
           if (timed)
@@ -508,21 +512,21 @@ RunPartial PlaybackEngine::scoreIntervals(ScoreSpec& spec) const {
       intervalsCounter->inc();
       missHistogram->observe(eval.miss);
     }
-    if (spec.timelineOut != nullptr) spec.timelineOut->push_back(eval.miss);
+    if (spec.timelineOut != nullptr) spec.timelineOut->push_back(eval.miss);  // dgcheck: ok(R5): diagnostic miss-timeline output; absent in benchmark runs
 
     acc->missMean.add(eval.miss, 1.0);
     acc->costStats.add(eval.cost);
     if (eval.latency != util::kNever) {
       acc->latencyStats.add(static_cast<double>(eval.latency));
       if (params_.collectIntervalLatencies) {
-        acc->intervalLatenciesUs.push_back(
+        acc->intervalLatenciesUs.push_back(  // dgcheck: ok(R5): opt-in interval-latency capture; amortized push on the diagnostic path
             static_cast<double>(eval.latency));
       }
     }
     acc->unavailableSeconds += eval.miss * intervalSeconds;
     if (eval.miss > params_.problematicThreshold) {
       ++acc->problematicIntervals;
-      acc->problems.push_back(ProblematicInterval{t, eval.miss});
+      acc->problems.push_back(ProblematicInterval{t, eval.miss});  // dgcheck: ok(R5): bounded by problematic intervals; diagnostic record with amortized growth
     }
   }
   if (blockLen > 0) {

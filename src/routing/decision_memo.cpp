@@ -26,6 +26,7 @@ std::uint64_t packKey(std::uint64_t contextKey, std::uint64_t fingerprint) {
 
 }  // namespace
 
+// dgcheck: cold: runs once per (flow, scheme, chunk) registration
 std::uint64_t DecisionMemo::contextKey(SchemeKind kind, const Flow& flow,
                                        const SchemeParams& params) {
   const std::scoped_lock lock(mutex_);
@@ -58,6 +59,7 @@ void DecisionMemo::storeDecision(std::uint64_t contextKey,
   decisions_.emplace(packKey(contextKey, viewFingerprint), edgeListId);
 }
 
+// dgcheck: cold: runs only on a memo miss (new edge list); amortized to zero in steady state
 std::uint32_t DecisionMemo::internEdgeList(
     std::span<const graph::EdgeId> edges) {
   const std::scoped_lock lock(mutex_);

@@ -62,6 +62,7 @@ NetworkView& NetworkView::operator=(NetworkView&& other) noexcept {
   return *this;
 }
 
+// dgcheck: cold: materializes the baseline view once per chunk open
 NetworkView NetworkView::baseline(const trace::Trace& trace) {
   std::vector<double> loss;
   std::vector<util::SimTime> latency;

@@ -229,11 +229,13 @@ class SinglePathScheme : public CachedGraphScheme {
                     : schemeName(SchemeKind::StaticSinglePath);
   }
 
+  // dgcheck: cold: runs once per (flow, scheme, chunk) task before interval playback
   void initialize(const NetworkView& baselineView) override {
     recompute(baselineView);
     noteDecision(baselineView);
   }
 
+  // dgcheck: cold: decision path; steady-state selects are fixed-point no-ops, re-planning is amortized by the decision memo
   const DisseminationGraph& select(const NetworkView& view) override {
     if (!dynamic_) return current_;
     return selectDynamic(view,
@@ -271,11 +273,13 @@ class DisjointPathsScheme : public CachedGraphScheme {
                     : schemeName(SchemeKind::StaticTwoDisjoint);
   }
 
+  // dgcheck: cold: runs once per (flow, scheme, chunk) task before interval playback
   void initialize(const NetworkView& baselineView) override {
     recompute(baselineView);
     noteDecision(baselineView);
   }
 
+  // dgcheck: cold: decision path; steady-state selects are fixed-point no-ops, re-planning is amortized by the decision memo
   const DisseminationGraph& select(const NetworkView& view) override {
     if (!dynamic_) return current_;
     return selectDynamic(view,
@@ -312,6 +316,7 @@ class FloodingScheme : public CachedGraphScheme {
     return schemeName(SchemeKind::TimeConstrainedFlooding);
   }
 
+  // dgcheck: cold: runs once per (flow, scheme, chunk) task before interval playback
   void initialize(const NetworkView& baselineView) override {
     // Pruning uses plain latencies (not loss-penalized weights): flooding
     // never avoids lossy links, it only refuses to pay for edges that
@@ -323,6 +328,7 @@ class FloodingScheme : public CachedGraphScheme {
     current_.pruneDeadlineInfeasible(latencies, params_.deadline);
   }
 
+  // dgcheck: cold: static scheme; select never re-plans after initialize
   const DisseminationGraph& select(const NetworkView&) override {
     return current_;
   }
@@ -352,6 +358,7 @@ class TargetedScheme : public RoutingScheme {
     return schemeName(SchemeKind::TargetedRedundancy);
   }
 
+  // dgcheck: cold: runs once per (flow, scheme, chunk) task before interval playback
   void initialize(const NetworkView& baselineView) override {
     const auto weights = baselineView.routingWeights(params_.view);
     graphs_ = buildTargetedGraphs(*overlay_, flow_, weights,
@@ -365,6 +372,7 @@ class TargetedScheme : public RoutingScheme {
 
   bool steadyOnBaseline() const override { return steadyOnBaseline_; }
 
+  // dgcheck: cold: decision path; steady-state selects are fixed-point no-ops, allocation only on classification change (amortized by the decision memo)
   const DisseminationGraph& select(const NetworkView& view) override {
     const FlowProblem detected =
         detector_.classify(view, flow_.source, flow_.destination);
@@ -442,6 +450,7 @@ class TargetedScheme : public RoutingScheme {
 
 }  // namespace
 
+// dgcheck: cold: scheme factory; runs once per (flow, scheme, chunk) task
 std::unique_ptr<RoutingScheme> makeScheme(SchemeKind kind,
                                           const graph::Graph& overlay,
                                           Flow flow,

@@ -382,6 +382,7 @@ void PackedTraceReader::parseBaseline(std::uint64_t offset) {
                      "baseline block has trailing bytes");
 }
 
+// dgcheck: cold: decodes once per chunk boundary; amortized across the chunk's intervals
 void PackedTraceReader::decodeChunk(std::uint64_t index, ChunkData& out) {
   if (index >= info_.chunkCount)
     throw std::out_of_range("PackedTraceReader: chunk index out of range");
@@ -550,6 +551,7 @@ std::span<const trace::LinkConditions> PackedConditionSource::baseline()
   return reader_->baseline();
 }
 
+// dgcheck: hot
 std::span<const std::pair<graph::EdgeId, trace::LinkConditions>>
 PackedConditionSource::deviationsAt(std::size_t interval) {
   if (interval >= intervalCount())

@@ -63,16 +63,19 @@ const T* findExisting(
 
 }  // namespace
 
+// dgcheck: cold: metric registration; resolved once per series at range start, steady-state updates go through the returned handle
 Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
   return findOrCreate(counters_, name, std::move(labels),
                       [] { return std::make_unique<Counter>(); });
 }
 
+// dgcheck: cold: metric registration; resolved once per series at range start, steady-state updates go through the returned handle
 Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
   return findOrCreate(gauges_, name, std::move(labels),
                       [] { return std::make_unique<Gauge>(); });
 }
 
+// dgcheck: cold: metric registration; resolved once per series at range start, steady-state updates go through the returned handle
 HistogramMetric& MetricsRegistry::histogram(std::string_view name, double lo,
                                             double hi, std::size_t buckets,
                                             Labels labels) {

@@ -33,6 +33,7 @@ TraceLog::TraceLog(std::size_t capacity) : capacity_(capacity) {
   events_.reserve(std::min<std::size_t>(capacity, 1024));
 }
 
+// dgcheck: cold: event log writes are bounded by decision changes, not interval count
 void TraceLog::record(TraceEvent event) {
   ++recorded_;
   if (events_.size() < capacity_) {
@@ -44,6 +45,7 @@ void TraceLog::record(TraceEvent event) {
   head_ = (head_ + 1) % capacity_;
 }
 
+// dgcheck: cold: event log writes are bounded by decision changes, not interval count
 void TraceLog::record(util::SimTime time, TraceEventKind kind,
                       std::int64_t flow, std::int64_t node,
                       std::int64_t edge, double value, std::string detail) {

@@ -73,7 +73,7 @@ FlowWorkload generateWorkload(const trace::Topology& topology,
   for (std::size_t i = 0; i < params.flowCount; ++i) {
     clockSeconds += params.arrival == ArrivalProcess::kPoisson
                         ? arrivalRng.exponential(params.meanInterarrivalSeconds)
-                        : boundedPareto(arrivalRng, params.paretoAlpha,
+                        : boundedPareto(arrivalRng, params.paretoAlpha,  // dgcheck: ok(R6): arrivalRng is a dedicated forked stream and the arrival clock is a running sum, so draws are inherently sequential
                                         params.paretoMinSeconds,
                                         params.paretoMaxSeconds);
     WorkloadFlow flow;

@@ -69,6 +69,7 @@ ConditionTimeline::ConditionTimeline(ConditionSource& source)
   }
 }
 
+// dgcheck: hot
 void ConditionTimeline::seek(std::size_t interval) {
   const std::size_t count =
       trace_ ? trace_->intervalCount() : source_->intervalCount();

@@ -258,7 +258,7 @@ std::vector<ProblemEvent> generateEventList(const graph::Graph& graph,
         placementRng.uniformInt(intervalCount));
     const std::size_t length = durationIntervals(
         params.nodeEventMedianSeconds, params.nodeEventSigma,
-        params.intervalLength, shapeRng);
+        params.intervalLength, shapeRng);  // dgcheck: ok(R6): shapeRng is a dedicated forked stream; the event list fixes draw order by design
 
     const bool blackout = shapeRng.bernoulli(params.nodeBlackoutProb);
     if (blackout) {
@@ -266,7 +266,7 @@ std::vector<ProblemEvent> generateEventList(const graph::Graph& graph,
       events.push_back(makeNodeEvent(graph, node, start, length,
                                             /*coverage=*/1.0,
                                             /*activity=*/1.0,
-                                            /*severity=*/1.0, 0, shapeRng));
+                                            /*severity=*/1.0, 0, shapeRng));  // dgcheck: ok(R6): shapeRng is a dedicated forked stream; the event list fixes draw order by design
     } else if (shapeRng.bernoulli(params.nodePartialOutageProb)) {
       // Partial outage: all links dark except a surviving few.
       const int alive = static_cast<int>(shapeRng.uniformInt(
@@ -281,7 +281,7 @@ std::vector<ProblemEvent> generateEventList(const graph::Graph& graph,
       }
       events.push_back(makeNodeOutageEvent(graph, node, start, length,
                                                   alive, severity,
-                                                  latencyPenalty, shapeRng));
+                                                  latencyPenalty, shapeRng));  // dgcheck: ok(R6): shapeRng is a dedicated forked stream; the event list fixes draw order by design
     } else {
       // Site degradation: every link impaired, moderately, possibly
       // intermittently.
@@ -308,7 +308,7 @@ std::vector<ProblemEvent> generateEventList(const graph::Graph& graph,
         placementRng.uniformInt(intervalCount));
     const std::size_t length = durationIntervals(
         params.linkEventMedianSeconds, params.linkEventSigma,
-        params.intervalLength, shapeRng);
+        params.intervalLength, shapeRng);  // dgcheck: ok(R6): shapeRng is a dedicated forked stream; the event list fixes draw order by design
     const double activity =
         shapeRng.uniform(params.linkActivityMin, params.linkActivityMax);
     double severity = 0.0;
@@ -351,7 +351,7 @@ std::vector<ScheduledBlip> generateBlipSchedule(
   const double blipMean = params.blipsPerLinkPerDay * durationDays;
   std::vector<ScheduledBlip> schedule;
   for (graph::EdgeId e = 0; e < graph.edgeCount(); ++e) {
-    const std::size_t blips = poisson(blipMean, blipRng);
+    const std::size_t blips = poisson(blipMean, blipRng);  // dgcheck: ok(R6): blipRng is a dedicated forked stream; per-edge draw order is the trace format contract
     for (std::size_t i = 0; i < blips; ++i) {
       ScheduledBlip blip;
       blip.interval = static_cast<std::size_t>(
@@ -383,7 +383,7 @@ SyntheticTrace generateSyntheticTrace(const graph::Graph& graph,
                         shapeRng)};
 
   for (const ProblemEvent& event : result.events) {
-    applyEvent(result.trace, graph, event, activityRng,
+    applyEvent(result.trace, graph, event, activityRng,  // dgcheck: ok(R6): activityRng is a dedicated forked stream; event order fixes draw order by design
                params.boundaryActivityFactor);
   }
 
@@ -392,7 +392,7 @@ SyntheticTrace generateSyntheticTrace(const graph::Graph& graph,
   // Drawn through the same schedule helper the streaming path uses (the
   // helper consumes blipRng exactly as the historical inline loop did).
   for (const ScheduledBlip& blip :
-       generateBlipSchedule(graph, params, intervalCount, blipRng)) {
+       generateBlipSchedule(graph, params, intervalCount, blipRng)) {  // dgcheck: ok(R6): blipRng is a dedicated forked stream; per-edge draw order is the trace format contract
     LinkConditions impairment;
     impairment.lossRate = blip.loss;
     impairment.latency = result.trace.baseline(blip.edge).latency;
@@ -456,7 +456,7 @@ std::vector<ProblemEvent> streamSyntheticTrace(
     while (nextEvent < events.size() &&
            events[nextEvent].startInterval <= t) {
       drawEventImpairments(
-          graph, events[nextEvent], activityRng,
+          graph, events[nextEvent], activityRng,  // dgcheck: ok(R6): activityRng consumption mirrors the batch path draw-for-draw; order is the contract
           params.boundaryActivityFactor, intervalCount, baseline,
           [&pending, &pendingOps](std::size_t interval, graph::EdgeId edge,
                                   const LinkConditions& impairment) {

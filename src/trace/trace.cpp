@@ -57,6 +57,7 @@ const LinkConditions& Trace::at(graph::EdgeId edge,
   return baseline_[edge];
 }
 
+// dgcheck: cold: non-cursor fallback; conditionCursor runs (the hot configuration) never materialize per-interval vectors
 std::vector<util::SimTime> Trace::latenciesAt(std::size_t interval) const {
   std::vector<util::SimTime> out;
   out.reserve(baseline_.size());
@@ -66,6 +67,7 @@ std::vector<util::SimTime> Trace::latenciesAt(std::size_t interval) const {
   return out;
 }
 
+// dgcheck: cold: non-cursor fallback; conditionCursor runs (the hot configuration) never materialize per-interval vectors
 std::vector<double> Trace::lossRatesAt(std::size_t interval) const {
   std::vector<double> out;
   out.reserve(baseline_.size());

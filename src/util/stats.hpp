@@ -73,7 +73,7 @@ class Histogram {
 /// per-packet data (use Histogram there).
 class EmpiricalCdf {
  public:
-  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void add(double x) { samples_.push_back(x); sorted_ = false; }  // dgcheck: ok(R5): exact quantiles require retaining samples; growth is amortized O(1)
   std::size_t count() const { return samples_.size(); }
 
   /// Exact quantile q in [0,1] (nearest-rank with interpolation).

@@ -1,0 +1,369 @@
+// Tests for the dgcheck semantic pass: fixture-driven positives and
+// negatives for R5-R8 (including the cross-file two-hop allocation
+// case), directive binding (R0), suppression handling, and the
+// incremental cache / baseline driver behavior in a temp repo.
+#include "semantic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifdef _WIN32
+#include <process.h>
+#define DGCHECK_GETPID _getpid
+#else
+#include <unistd.h>
+#define DGCHECK_GETPID getpid
+#endif
+
+namespace dg::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string readFixture(const std::string& name) {
+  const std::string path = std::string(DGLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::size_t countRule(const std::vector<Finding>& findings,
+                      const std::string& rule) {
+  return static_cast<std::size_t>(std::count_if(
+      findings.begin(), findings.end(),
+      [&](const Finding& f) { return f.rule == rule; }));
+}
+
+std::vector<std::size_t> linesOf(const std::vector<Finding>& findings,
+                                 const std::string& rule) {
+  std::vector<std::size_t> lines;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) lines.push_back(f.line);
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+std::string dump(const SemanticResult& result) {
+  std::ostringstream out;
+  for (const Finding& f : result.findings) {
+    out << f.path << ":" << f.line << " [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  return out.str();
+}
+
+// ---- R5: hot-path allocation ----------------------------------------
+
+TEST(DgcheckR5, FlagsEveryAllocationClassInAHotFunction) {
+  const auto result = analyzeSemanticSources(
+      {{"src/fixture/r5_hot_alloc.cpp", readFixture("r5_hot_alloc.cpp")}});
+  // hotAlloc: local vector, push_back-without-reserve, new, malloc.
+  EXPECT_EQ(countRule(result.findings, "R5"), 4u) << dump(result);
+  EXPECT_EQ(linesOf(result.findings, "R5"),
+            (std::vector<std::size_t>{15, 16, 17, 18}));
+  EXPECT_EQ(countRule(result.findings, "R0"), 0u) << dump(result);
+}
+
+TEST(DgcheckR5, SetupRegionAndReserveSilenceHotAllocations) {
+  const auto result = analyzeSemanticSources(
+      {{"src/fixture/r5_hot_alloc.cpp", readFixture("r5_hot_alloc.cpp")}});
+  // Everything in hotClean (lines 25-34) is sanctioned: nothing may
+  // anchor there.
+  for (const Finding& f : result.findings) {
+    EXPECT_LT(f.line, 25u) << dump(result);
+  }
+}
+
+TEST(DgcheckR5, CrossFileAllocationTwoHopsAway) {
+  const auto result = analyzeSemanticSources(
+      {{"src/fixture/r5_cross_entry.cpp", readFixture("r5_cross_entry.cpp")},
+       {"src/fixture/r5_cross_leaf.cpp", readFixture("r5_cross_leaf.cpp")}});
+  // leafAlloc's vector + push_back, reached hot -> middle -> leaf.
+  EXPECT_EQ(countRule(result.findings, "R5"), 2u) << dump(result);
+  for (const Finding& f : result.findings) {
+    EXPECT_EQ(f.path, "src/fixture/r5_cross_leaf.cpp");
+    EXPECT_NE(f.message.find("hotEntry"), std::string::npos) << f.message;
+    EXPECT_NE(f.message.find("leafAlloc"), std::string::npos) << f.message;
+  }
+}
+
+TEST(DgcheckR5, ColdAnnotationStopsTheTraversal) {
+  const std::string source = R"cpp(
+namespace fixture {
+// dgcheck: cold: fixture — amortized path
+int coldLeaf(int n) {
+  int* p = new int(n);
+  const int r = *p;
+  delete p;
+  return r;
+}
+// dgcheck: hot
+int hotViaCold(int n) { return coldLeaf(n); }
+}  // namespace fixture
+)cpp";
+  const auto result =
+      analyzeSemanticSources({{"src/fixture/cold.cpp", source}});
+  EXPECT_EQ(countRule(result.findings, "R5"), 0u) << dump(result);
+  EXPECT_EQ(countRule(result.findings, "R0"), 0u) << dump(result);
+}
+
+TEST(DgcheckR5, TrailingSuppressionConsumesTheFinding) {
+  const std::string source = R"cpp(
+namespace fixture {
+// dgcheck: hot
+int hotSuppressed(int n) {
+  int* p = new int(n);  // dgcheck: ok(R5): fixture exercises suppression
+  const int r = *p;
+  delete p;
+  return r;
+}
+}  // namespace fixture
+)cpp";
+  const auto result =
+      analyzeSemanticSources({{"src/fixture/suppress.cpp", source}});
+  EXPECT_TRUE(result.findings.empty()) << dump(result);
+  EXPECT_EQ(result.suppressed, 1u);
+}
+
+// ---- R6: RNG stream discipline --------------------------------------
+
+TEST(DgcheckR6, FlagsLoopAndSiblingStreamsWithoutFork) {
+  const auto result = analyzeSemanticSources(
+      {{"src/fixture/r6_rng.cpp", readFixture("r6_rng.cpp")}});
+  // loopNoFork (line 19: loop without per-iteration fork) and
+  // siblingsNoFork (line 25: second callee on the same stream).
+  EXPECT_EQ(countRule(result.findings, "R6"), 2u) << dump(result);
+  EXPECT_EQ(linesOf(result.findings, "R6"),
+            (std::vector<std::size_t>{19, 25}));
+}
+
+TEST(DgcheckR6, PerIterationAndPerSiblingForksAreClean) {
+  const auto result = analyzeSemanticSources(
+      {{"src/fixture/r6_rng.cpp", readFixture("r6_rng.cpp")}});
+  // Nothing may anchor in loopForked/siblingsForked (lines 28-41).
+  for (const Finding& f : result.findings) {
+    EXPECT_LT(f.line, 28u) << dump(result);
+  }
+}
+
+TEST(DgcheckR6, DeletingTheForkMakesTheLoopFire) {
+  // The acceptance shape: take the clean loop from the fixture and
+  // delete its fork line — the rule must fire on the now-shared stream.
+  std::string source = readFixture("r6_rng.cpp");
+  const std::string forkLine = "util::Rng sub = rng.fork();";
+  const std::size_t at = source.find(forkLine);
+  ASSERT_NE(at, std::string::npos);
+  source.erase(at, forkLine.size());
+  const std::string drawSub = "draw(sub)";
+  const std::size_t use = source.find(drawSub);
+  ASSERT_NE(use, std::string::npos);
+  source.replace(use, drawSub.size(), "draw(rng)");
+  const auto result =
+      analyzeSemanticSources({{"src/fixture/r6_rng.cpp", source}});
+  EXPECT_EQ(countRule(result.findings, "R6"), 3u) << dump(result);
+}
+
+// ---- R7: worker-shared mutable state --------------------------------
+
+TEST(DgcheckR7, FlagsGlobalWritesAndMutableStaticsFromWorkers) {
+  const auto result = analyzeSemanticSources(
+      {{"src/fixture/r7_worker.cpp", readFixture("r7_worker.cpp")}});
+  // workerBad: static local (line 14) + g_counter write (line 16).
+  EXPECT_EQ(countRule(result.findings, "R7"), 2u) << dump(result);
+  EXPECT_EQ(linesOf(result.findings, "R7"),
+            (std::vector<std::size_t>{14, 16}));
+}
+
+TEST(DgcheckR7, WorkspaceMutationAndConstStaticsAreClean) {
+  const auto result = analyzeSemanticSources(
+      {{"src/fixture/r7_worker.cpp", readFixture("r7_worker.cpp")}});
+  // Nothing may anchor in workerGood (lines 20-25).
+  for (const Finding& f : result.findings) {
+    EXPECT_LT(f.line, 20u) << dump(result);
+  }
+}
+
+TEST(DgcheckR7, NonWorkerCodeMayTouchGlobals) {
+  const std::string source = R"cpp(
+namespace fixture {
+int g_total = 0;
+int accumulate(int n) {
+  g_total += n;  // not worker-reachable: fine
+  return g_total;
+}
+}  // namespace fixture
+)cpp";
+  const auto result =
+      analyzeSemanticSources({{"src/fixture/not_worker.cpp", source}});
+  EXPECT_EQ(countRule(result.findings, "R7"), 0u) << dump(result);
+}
+
+// ---- R8: wire-decode bounds -----------------------------------------
+
+TEST(DgcheckR8, FlagsUncheckedLengthAndAcceptsGuardedOne) {
+  const auto result = analyzeSemanticSources(
+      {{"src/live/r8_wire.cpp", readFixture("r8_wire.cpp")}});
+  // decodeBad's resize (line 17); decodeGood is fully guarded.
+  EXPECT_EQ(countRule(result.findings, "R8"), 1u) << dump(result);
+  EXPECT_EQ(linesOf(result.findings, "R8"),
+            (std::vector<std::size_t>{17}));
+}
+
+TEST(DgcheckR8, OnlyAppliesUnderSrcLive) {
+  const auto result = analyzeSemanticSources(
+      {{"src/fixture/r8_wire.cpp", readFixture("r8_wire.cpp")}});
+  EXPECT_EQ(countRule(result.findings, "R8"), 0u) << dump(result);
+}
+
+// ---- R0: directive binding ------------------------------------------
+
+TEST(DgcheckR0, MalformedAndUnboundDirectivesAreReported) {
+  const std::string source = R"cpp(
+// dgcheck: hott
+namespace fixture {
+// dgcheck: hot
+
+int unboundTarget = 3;
+int fine(int x) { return x + unboundTarget; }
+}  // namespace fixture
+)cpp";
+  const auto result =
+      analyzeSemanticSources({{"src/fixture/r0.cpp", source}});
+  // One malformed verb ("hott"), one hot annotation bound to a
+  // non-function line.
+  EXPECT_EQ(countRule(result.findings, "R0"), 2u) << dump(result);
+}
+
+TEST(DgcheckR0, RuleFilterSelectsFamilies) {
+  const auto result = analyzeSemanticSources(
+      {{"src/fixture/r5_hot_alloc.cpp", readFixture("r5_hot_alloc.cpp")},
+       {"src/fixture/r6_rng.cpp", readFixture("r6_rng.cpp")}},
+      {"R6"});
+  EXPECT_EQ(countRule(result.findings, "R5"), 0u) << dump(result);
+  EXPECT_EQ(countRule(result.findings, "R6"), 2u) << dump(result);
+}
+
+// ---- Driver: incremental cache + baseline ---------------------------
+
+class DgcheckDriver : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    root_ = fs::temp_directory_path() /
+            ("dgcheck_test_" + std::to_string(DGCHECK_GETPID()) + "_" +
+             std::to_string(counter++));
+    fs::create_directories(root_ / "src");
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void write(const std::string& rel, const std::string& content) {
+    const fs::path path = root_ / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  SemanticOptions optionsFor() {
+    SemanticOptions options;
+    options.root = root_.string();
+    options.paths = {"src"};
+    options.cachePath = (root_ / "dgcheck.cache").string();
+    return options;
+  }
+
+  fs::path root_;
+};
+
+constexpr const char* kHotEntry = R"cpp(
+namespace fixture {
+int helper(int n);
+// dgcheck: hot
+int hotEntry(int n) { return helper(n); }
+}  // namespace fixture
+)cpp";
+
+constexpr const char* kHelperAllocating = R"cpp(
+#include <vector>
+namespace fixture {
+int helper(int n) {
+  std::vector<int> buf;
+  buf.push_back(n);
+  return buf[0];
+}
+}  // namespace fixture
+)cpp";
+
+constexpr const char* kHelperClean = R"cpp(
+namespace fixture {
+int helper(int n) { return n + 1; }
+}  // namespace fixture
+)cpp";
+
+TEST_F(DgcheckDriver, WarmRunReusesSummariesAndKeepsFindings) {
+  write("src/entry.cpp", kHotEntry);
+  write("src/helper.cpp", kHelperAllocating);
+
+  const SemanticResult cold = runSemantic(optionsFor());
+  EXPECT_EQ(cold.filesScanned, 2u);
+  EXPECT_EQ(cold.filesReused, 0u);
+  EXPECT_EQ(countRule(cold.findings, "R5"), 2u) << dump(cold);
+
+  const SemanticResult warm = runSemantic(optionsFor());
+  EXPECT_EQ(warm.filesScanned, 2u);
+  EXPECT_EQ(warm.filesReused, 2u);
+  // Cached summaries must reproduce the cross-file findings exactly.
+  EXPECT_EQ(warm.findings, cold.findings) << dump(warm);
+}
+
+TEST_F(DgcheckDriver, EditedFileIsResummarizedOthersStayCached) {
+  write("src/entry.cpp", kHotEntry);
+  write("src/helper.cpp", kHelperAllocating);
+  (void)runSemantic(optionsFor());
+
+  write("src/helper.cpp", kHelperClean);
+  const SemanticResult after = runSemantic(optionsFor());
+  EXPECT_EQ(after.filesScanned, 2u);
+  EXPECT_EQ(after.filesReused, 1u);  // entry.cpp untouched
+  EXPECT_TRUE(after.findings.empty()) << dump(after);
+}
+
+TEST_F(DgcheckDriver, BaselineAbsorbsKnownFindingsAndReportsStale) {
+  write("src/entry.cpp", kHotEntry);
+  write("src/helper.cpp", kHelperAllocating);
+
+  SemanticOptions writeOptions = optionsFor();
+  writeOptions.writeBaselinePath = ".dgcheck-baseline";
+  const SemanticResult first = runSemantic(writeOptions);
+  // Writing a baseline records findings; it does not consume them.
+  EXPECT_EQ(countRule(first.findings, "R5"), 2u) << dump(first);
+
+  SemanticOptions readOptions = optionsFor();
+  readOptions.baselinePath = ".dgcheck-baseline";
+  const SemanticResult second = runSemantic(readOptions);
+  EXPECT_TRUE(second.findings.empty()) << dump(second);
+  EXPECT_EQ(second.baselined, 2u);
+  EXPECT_EQ(second.staleBaseline, 0u);
+
+  // Fixing the code turns the baseline entries stale, not silent.
+  write("src/helper.cpp", kHelperClean);
+  const SemanticResult third = runSemantic(readOptions);
+  EXPECT_TRUE(third.findings.empty()) << dump(third);
+  EXPECT_EQ(third.baselined, 0u);
+  EXPECT_EQ(third.staleBaseline, 2u);
+}
+
+}  // namespace
+}  // namespace dg::lint

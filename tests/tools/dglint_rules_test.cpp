@@ -137,6 +137,32 @@ TEST(DglintSuppressions, FormsAndFailures) {
   EXPECT_EQ(countRule(result.findings, "R0"), 3u);
 }
 
+TEST(DglintSuppressions, ContinuationLineSuppressesTheDirectiveFinding) {
+  const auto result = analyzeSource("src/fixture/suppress_preproc.cpp",
+                                    readFixture("suppress_preproc.cpp"), {});
+  // R1 findings for macro replacement text anchor at the #define's
+  // first line; a directive on any physical continuation line must
+  // reach it. FIXTURE_STAMP is suppressed, FIXTURE_STAMP_BAD is not.
+  EXPECT_EQ(result.suppressed, 1u);
+  EXPECT_EQ(countRule(result.findings, "R1"), 1u)
+      << formatFindings({result.findings}, "text");
+  ASSERT_FALSE(result.findings.empty());
+  EXPECT_EQ(result.findings[0].line, 10u);
+}
+
+TEST(DglintSuppressions, RawStringsNeitherEmitNorSwallowDirectives) {
+  const auto result = analyzeSource("src/fixture/suppress_rawstring.cpp",
+                                    readFixture("suppress_rawstring.cpp"), {});
+  // The ok(R1) inside raw-string content is content: bad() still
+  // fires. The real trailing directive on the raw string's closing
+  // line consumes good()'s finding.
+  EXPECT_EQ(result.suppressed, 1u);
+  EXPECT_EQ(countRule(result.findings, "R1"), 1u)
+      << formatFindings({result.findings}, "text");
+  ASSERT_FALSE(result.findings.empty());
+  EXPECT_EQ(result.findings[0].line, 14u);
+}
+
 TEST(DglintSuppressions, RulesFilterSelectsSubset) {
   DriverOptions options;
   options.rules = {"R1"};

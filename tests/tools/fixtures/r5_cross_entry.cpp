@@ -1,0 +1,11 @@
+// R5 cross-file fixture, entry half: the hot function is here, the
+// allocation it reaches is two call-graph hops away in
+// r5_cross_leaf.cpp. Exercises the cross-translation-unit link phase.
+namespace fixture {
+
+int middleHelper(int n);
+
+// dgcheck: hot
+int hotEntry(int n) { return middleHelper(n); }
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// R5 cross-file fixture, leaf half: middleHelper forwards to
+// leafAlloc, which allocates. The finding must anchor here while the
+// traversal path names hotEntry from r5_cross_entry.cpp.
+#include <vector>
+
+namespace fixture {
+
+int leafAlloc(int n) {
+  std::vector<int> buf;
+  buf.push_back(n);
+  return buf[0];
+}
+
+int middleHelper(int n) { return leafAlloc(n); }
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// R6 fixture: RNG stream discipline. loopNoFork and siblingsNoFork are
+// the two violation shapes (same stream into loop iterations, same
+// stream into two callees); loopForked and siblingsForked are the
+// sanctioned fixes. Deleting a fork() from the *Forked functions must
+// make the rule fire -- that is the acceptance shape for the MC
+// sampler regression.
+namespace util {
+class Rng;
+}
+
+namespace fixture {
+
+double draw(util::Rng& rng);
+double consume(util::Rng& rng);
+
+double loopNoFork(util::Rng& rng, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += draw(rng);  // BAD: same stream every iteration
+  }
+  return acc;
+}
+
+double siblingsNoFork(util::Rng& rng) {
+  return draw(rng) + consume(rng);  // BAD: two callees, one stream
+}
+
+double loopForked(util::Rng& rng, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    util::Rng sub = rng.fork();  // fresh stream per iteration
+    acc += draw(sub);
+  }
+  return acc;
+}
+
+double siblingsForked(util::Rng& rng) {
+  util::Rng a = rng.fork();
+  util::Rng b = rng.fork();
+  return draw(a) + consume(b);
+}
+
+}  // namespace fixture

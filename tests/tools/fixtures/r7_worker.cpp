@@ -1,0 +1,27 @@
+// R7 fixture: worker-shared mutable state. workerBad writes a
+// file-scope global and declares a mutable local static; workerGood
+// confines all mutation to its per-task workspace.
+namespace fixture {
+
+int g_counter = 0;  // mutable file-scope global
+
+struct Workspace {
+  int scratch = 0;
+};
+
+// dgcheck: worker
+int workerBad(Workspace& ws, int n) {
+  static int calls = 0;  // BAD: shared across workers
+  ++calls;
+  g_counter += n;  // BAD: write to file-scope mutable state
+  return ws.scratch + calls;
+}
+
+// dgcheck: worker
+int workerGood(Workspace& ws, int n) {
+  static const int kBias = 7;  // immutable: fine
+  ws.scratch += n;             // per-task workspace: fine
+  return ws.scratch + kBias;
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// R8 fixture: wire-decode bounds. Analyzed under a synthetic
+// src/live/ path (the rule is scoped to live wire code). decodeBad
+// indexes with an unchecked length field; decodeGood guards it first,
+// mirroring the Cursor idiom in src/live/wire.cpp.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Cursor {
+  std::uint32_t u32();
+  bool ok() const;
+};
+
+int decodeBad(Cursor& cur, std::vector<int>& out) {
+  const std::uint32_t count = cur.u32();
+  out.resize(count);  // BAD: unchecked wire length sizes a buffer
+  int acc = 0;
+  for (std::uint32_t i = 0; i < count; ++i) acc += out[i];
+  return acc;
+}
+
+int decodeGood(Cursor& cur, std::vector<int>& out,
+               std::uint32_t maxCount) {
+  const std::uint32_t count = cur.u32();
+  if (count > maxCount) return -1;  // bounds check guards every use
+  out.resize(count);
+  int acc = 0;
+  for (std::uint32_t i = 0; i < count; ++i) acc += out[i];
+  return acc;
+}
+
+}  // namespace fixture

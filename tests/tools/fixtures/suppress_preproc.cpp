@@ -1,0 +1,13 @@
+// Regression fixture: a suppression on a physical continuation line of
+// a multi-line #define applies to the directive itself, because R1
+// findings for macro replacement text anchor at the directive's first
+// line.
+#include <ctime>
+
+#define FIXTURE_STAMP() \
+  time(nullptr)  // dglint: ok(R1): frozen fixture timestamp, never reaches results
+
+#define FIXTURE_STAMP_BAD() \
+  time(nullptr)
+
+long stamp() { return FIXTURE_STAMP() + FIXTURE_STAMP_BAD(); }

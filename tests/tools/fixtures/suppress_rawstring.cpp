@@ -1,0 +1,23 @@
+// Regression fixture: raw strings and suppressions interact in two
+// ways that must both hold. (1) Directive-looking text *inside* a raw
+// string is content, not a suppression -- bad() below must still fire.
+// (2) A real trailing directive on a line a raw string also occupies
+// targets its own line, not the next one.
+#include <cstdlib>
+
+namespace fixture {
+
+const char* kDoc = R"doc(
+// dglint: ok(R1): this is raw-string CONTENT, not a directive
+)doc";
+
+int bad() { return std::rand(); }
+
+int good() {
+  const char* page = R"x(
+multi-line raw content
+)x"; return std::rand();  // dglint: ok(R1): fixture exercises a trailing directive on the raw string's closing line
+  (void)page;
+}
+
+}  // namespace fixture

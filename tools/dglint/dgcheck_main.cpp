@@ -1,0 +1,5 @@
+// dgcheck — cross-file semantic analysis (stage two of the analyzer).
+// See semantic.hpp for the rule set and DESIGN.md for the rationale.
+#include "semantic.hpp"
+
+int main(int argc, char** argv) { return dg::lint::dgcheckMain(argc, argv); }

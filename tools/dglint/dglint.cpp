@@ -1,11 +1,16 @@
 #include "dglint.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
+
+#include "directives.hpp"
 
 namespace dg::lint {
 namespace fs = std::filesystem;
@@ -43,81 +48,6 @@ std::uint64_t fnv1a(std::string_view s, std::uint64_t h = 0xcbf29ce484222325ULL)
     h *= 0x100000001b3ULL;
   }
   return h;
-}
-
-/// One parsed suppression comment.
-struct Suppression {
-  std::size_t targetLine;
-  std::string rule;  ///< "" for malformed (already reported as R0)
-  bool used = false;
-};
-
-/// Extracts suppressions from comment tokens; malformed ones become R0
-/// findings directly.
-std::vector<Suppression> parseSuppressions(
-    const std::string& relPath, const std::vector<Token>& tokens,
-    const std::vector<std::string>& lines, std::vector<Finding>& r0) {
-  std::vector<Suppression> out;
-  for (const Token& t : tokens) {
-    if (t.kind != TokenKind::Comment) continue;
-    // Only comments that START with `dglint:` are directives; prose
-    // that merely mentions the syntax is ignored.
-    const std::string text = trim(t.text);
-    if (text.rfind("dglint:", 0) != 0) continue;
-    std::string directive = trim(text.substr(7));
-
-    std::string rule;
-    std::string reason;
-    if (directive.rfind("ordered-ok", 0) == 0) {
-      rule = "R2";
-      const std::size_t colon = directive.find(':');
-      reason = colon == std::string::npos ? ""
-                                          : trim(directive.substr(colon + 1));
-    } else if (directive.rfind("fp-merge-ok", 0) == 0) {
-      rule = "R4";
-      const std::size_t colon = directive.find(':');
-      reason = colon == std::string::npos ? ""
-                                          : trim(directive.substr(colon + 1));
-    } else if (directive.rfind("ok(", 0) == 0) {
-      const std::size_t close = directive.find(')');
-      if (close != std::string::npos) {
-        rule = trim(directive.substr(3, close - 3));
-        const std::size_t colon = directive.find(':', close);
-        reason = colon == std::string::npos
-                     ? ""
-                     : trim(directive.substr(colon + 1));
-      }
-    } else {
-      r0.push_back({relPath, t.line, "R0",
-                    "unrecognized dglint directive '" + directive +
-                        "'; expected ok(Rn): <why>, ordered-ok: <why> "
-                        "or fp-merge-ok: <why>"});
-      continue;
-    }
-    const auto& ids = allRuleIds();
-    if (rule.empty() ||
-        std::find(ids.begin(), ids.end(), rule) == ids.end()) {
-      r0.push_back({relPath, t.line, "R0",
-                    "dglint suppression names unknown rule '" + rule + "'"});
-      continue;
-    }
-    if (reason.empty()) {
-      r0.push_back({relPath, t.line, "R0",
-                    "dglint suppression for " + rule +
-                        " is missing its justification; write `// "
-                        "dglint: ...: <why this is safe>`"});
-      continue;
-    }
-    // Comment alone on its line suppresses the NEXT line; a trailing
-    // comment suppresses its own line.
-    std::size_t target = t.line;
-    if (t.line - 1 < lines.size()) {
-      const std::string lineText = trim(lines[t.line - 1]);
-      if (lineText.rfind("//", 0) == 0) target = t.line + 1;
-    }
-    out.push_back({target, rule, false});
-  }
-  return out;
 }
 
 std::string jsonEscape(const std::string& s) {
@@ -176,9 +106,9 @@ SourceResult analyzeSource(const std::string& relPath,
   std::vector<Finding> raw = runRules(context);
   const std::vector<std::string> lines = splitLines(source);
 
-  std::vector<Finding> r0;
-  std::vector<Suppression> suppressions =
-      parseSuppressions(relPath, context.tokens, lines, r0);
+  Directives directives = parseDirectives(relPath, context.tokens, lines);
+  std::vector<Suppression>& suppressions = directives.suppressions;
+  std::vector<Finding>& r0 = directives.malformed;
 
   SourceResult result;
   for (Finding& f : raw) {
@@ -218,13 +148,12 @@ std::uint64_t baselineKey(const Finding& finding,
   return h;
 }
 
-LintResult runLint(const DriverOptions& options) {
-  LintResult result;
-  const fs::path root = options.root;
-
+std::vector<std::string> collectSourceFiles(
+    const std::string& rootPath, const std::vector<std::string>& paths) {
+  const fs::path root = rootPath;
   // Deterministic file list: collect, normalize, sort.
   std::vector<std::string> files;
-  for (const std::string& p : options.paths) {
+  for (const std::string& p : paths) {
     const fs::path full = root / p;
     std::error_code ec;
     if (fs::is_directory(full, ec)) {
@@ -248,6 +177,14 @@ LintResult runLint(const DriverOptions& options) {
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+LintResult runLint(const DriverOptions& options) {
+  LintResult result;
+  const fs::path root = options.root;
+  const std::vector<std::string> files =
+      collectSourceFiles(options.root, options.paths);
 
   // Baseline: key -> unconsumed count.
   std::map<std::uint64_t, std::size_t> baseline;
@@ -310,8 +247,40 @@ LintResult runLint(const DriverOptions& options) {
 }
 
 std::string formatFindings(const LintResult& result,
-                           const std::string& format) {
+                           const std::string& format,
+                           const std::string& toolName) {
   std::ostringstream out;
+  if (format == "sarif") {
+    // Minimal SARIF 2.1.0 for GitHub code scanning upload.
+    out << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+        << "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+        << "\"name\":\"" << jsonEscape(toolName) << "\","
+        << "\"informationUri\":"
+        << "\"https://example.invalid/dgnet/tools/dglint\",\"rules\":[";
+    std::vector<std::string> ruleIds;
+    for (const Finding& f : result.findings) {
+      if (std::find(ruleIds.begin(), ruleIds.end(), f.rule) == ruleIds.end())
+        ruleIds.push_back(f.rule);
+    }
+    std::sort(ruleIds.begin(), ruleIds.end());
+    for (std::size_t i = 0; i < ruleIds.size(); ++i) {
+      if (i > 0) out << ',';
+      out << "{\"id\":\"" << ruleIds[i] << "\"}";
+    }
+    out << "]}},\"results\":[";
+    for (std::size_t i = 0; i < result.findings.size(); ++i) {
+      const Finding& f = result.findings[i];
+      if (i > 0) out << ',';
+      out << "{\"ruleId\":\"" << f.rule << "\",\"level\":\"error\","
+          << "\"message\":{\"text\":\"" << jsonEscape(f.message) << "\"},"
+          << "\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{"
+          << "\"uri\":\"" << jsonEscape(f.path)
+          << "\",\"uriBaseId\":\"%SRCROOT%\"},\"region\":{\"startLine\":"
+          << f.line << "}}}]}";
+    }
+    out << "]}]}\n";
+    return out.str();
+  }
   if (format == "json") {
     out << "{\"findings\":[";
     for (std::size_t i = 0; i < result.findings.size(); ++i) {
@@ -341,10 +310,101 @@ std::string formatFindings(const LintResult& result,
   return out.str();
 }
 
+std::string reportSuppressions(const DriverOptions& options) {
+  struct Entry {
+    std::string path;
+    Suppression s;
+  };
+  std::vector<Entry> all;
+  const fs::path root = options.root;
+  for (const std::string& relPath :
+       collectSourceFiles(options.root, options.paths)) {
+    std::ifstream in(root / relPath, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string source = buffer.str();
+    const std::vector<Token> tokens = tokenize(source);
+    const std::vector<std::string> lines = splitLines(source);
+    const Directives d = parseDirectives(relPath, tokens, lines);
+    for (const Suppression& s : d.suppressions) all.push_back({relPath, s});
+  }
+
+  std::map<std::string, std::size_t> byRule;
+  std::map<std::string, std::size_t> byFile;
+  for (const Entry& e : all) {
+    ++byRule[e.s.rule];
+    ++byFile[e.path];
+  }
+
+  // Oldest suppression via git blame (committer time of the directive
+  // comment's line). Degrades to "n/a" outside a git checkout or when
+  // the tree is too large to blame line by line.
+  std::string oldest = "n/a";
+  if (!all.empty() && all.size() <= 500) {
+    long long oldestEpoch = -1;
+    std::string oldestWhere;
+    for (const Entry& e : all) {
+      std::string cmd = "git -C '" + options.root + "' blame -L " +
+                        std::to_string(e.s.commentLine) + "," +
+                        std::to_string(e.s.commentLine) +
+                        " --porcelain -- '" + e.path + "' 2>/dev/null";
+      FILE* pipe = popen(cmd.c_str(), "r");
+      if (pipe == nullptr) break;
+      std::string blame;
+      char buf[512];
+      while (fgets(buf, sizeof buf, pipe) != nullptr) blame += buf;
+      pclose(pipe);
+      const std::size_t at = blame.find("committer-time ");
+      if (at == std::string::npos) continue;
+      const long long epoch = std::atoll(blame.c_str() + at + 15);
+      if (epoch > 0 && (oldestEpoch < 0 || epoch < oldestEpoch)) {
+        oldestEpoch = epoch;
+        oldestWhere = e.path + ":" + std::to_string(e.s.commentLine) + " (" +
+                      e.s.rule + ")";
+      }
+    }
+    if (oldestEpoch > 0) {
+      char date[32];
+      const std::time_t t = static_cast<std::time_t>(oldestEpoch);
+      std::tm tmBuf{};
+      if (gmtime_r(&t, &tmBuf) != nullptr &&
+          std::strftime(date, sizeof date, "%Y-%m-%d", &tmBuf) > 0) {
+        oldest = oldestWhere + ", committed " + date;
+      } else {
+        oldest = oldestWhere;
+      }
+    }
+  }
+
+  std::ostringstream out;
+  out << "## Suppression debt report\n\n";
+  out << "Total: " << all.size() << " suppression"
+      << (all.size() == 1 ? "" : "s") << " across " << byFile.size()
+      << " file" << (byFile.size() == 1 ? "" : "s") << "\n\n";
+  if (!all.empty()) {
+    out << "| Rule | Count |\n|---|---|\n";
+    for (const auto& [rule, count] : byRule)
+      out << "| " << rule << " | " << count << " |\n";
+    out << "\n| File | Count |\n|---|---|\n";
+    for (const auto& [file, count] : byFile)
+      out << "| " << file << " | " << count << " |\n";
+    out << "\nOldest suppression: " << oldest << "\n\n";
+    out << "<details><summary>All suppressions</summary>\n\n";
+    for (const Entry& e : all) {
+      out << "- `" << e.path << ":" << e.s.commentLine << "` " << e.s.rule
+          << " — " << e.s.reason << "\n";
+    }
+    out << "\n</details>\n";
+  }
+  return out.str();
+}
+
 int lintMain(int argc, const char* const* argv) {
   DriverOptions options;
   options.paths.clear();
   std::string format = "text";
+  bool suppressionReport = false;
 
   const auto value = [](const std::string& arg) {
     return arg.substr(arg.find('=') + 1);
@@ -355,10 +415,13 @@ int lintMain(int argc, const char* const* argv) {
       options.root = value(arg);
     } else if (arg.rfind("--format=", 0) == 0) {
       format = value(arg);
-      if (format != "text" && format != "json" && format != "github") {
+      if (format != "text" && format != "json" && format != "github" &&
+          format != "sarif") {
         std::cerr << "dglint: unknown --format '" << format << "'\n";
         return 2;
       }
+    } else if (arg == "--report-suppressions") {
+      suppressionReport = true;
     } else if (arg.rfind("--baseline=", 0) == 0) {
       options.baselinePath = value(arg);
     } else if (arg.rfind("--write-baseline=", 0) == 0) {
@@ -373,12 +436,15 @@ int lintMain(int argc, const char* const* argv) {
       options.clockAllow.push_back(value(arg));
     } else if (arg == "--help" || arg == "-h") {
       std::cerr
-          << "usage: dglint [--root=DIR] [--format=text|json|github]\n"
+          << "usage: dglint [--root=DIR] [--format=text|json|github|sarif]\n"
           << "              [--baseline=FILE] [--write-baseline=FILE]\n"
           << "              [--rules=R1,R2,...] [--ordered-scope=PAT]\n"
-          << "              [--clock-allow=PAT] [paths...]\n"
+          << "              [--clock-allow=PAT] [--report-suppressions]\n"
+          << "              [paths...]\n"
           << "Scans src/ and tools/ under --root by default. Exit code\n"
-          << "is 1 when any unsuppressed, unbaselined finding remains.\n";
+          << "is 1 when any unsuppressed, unbaselined finding remains.\n"
+          << "--report-suppressions prints a markdown debt report of\n"
+          << "every suppression (with reasons) instead of linting.\n";
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "dglint: unknown option " << arg << " (see --help)\n";
@@ -388,6 +454,11 @@ int lintMain(int argc, const char* const* argv) {
     }
   }
   if (options.paths.empty()) options.paths = {"src", "tools"};
+
+  if (suppressionReport) {
+    std::cout << reportSuppressions(options);
+    return 0;
+  }
 
   const LintResult result = runLint(options);
   std::cout << formatFindings(result, format);

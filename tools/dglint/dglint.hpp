@@ -69,9 +69,22 @@ SourceResult analyzeSource(const std::string& relPath,
 /// fresh baseline of the remaining findings.
 LintResult runLint(const DriverOptions& options);
 
-/// Renders findings as "text", "json" or "github" (workflow commands).
+/// Renders findings as "text", "json", "github" (workflow commands) or
+/// "sarif" (SARIF 2.1.0 for GitHub code scanning). `toolName` labels the
+/// SARIF driver so dglint and dgcheck uploads stay distinct.
 std::string formatFindings(const LintResult& result,
-                           const std::string& format);
+                           const std::string& format,
+                           const std::string& toolName = "dglint");
+
+/// Deterministic (sorted, deduplicated) list of .h/.hpp/.cpp/.cc/.cxx
+/// files under `paths` relative to `root`, skipping .git and build*.
+std::vector<std::string> collectSourceFiles(
+    const std::string& root, const std::vector<std::string>& paths);
+
+/// Markdown debt report over every suppression directive found under
+/// options.paths: counts per rule and per file, the full reason list,
+/// and the oldest suppression (via `git blame` when available).
+std::string reportSuppressions(const DriverOptions& options);
 
 /// Stable 64-bit key of a finding for the baseline file: hashes rule,
 /// path and the trimmed text of the finding's source line.

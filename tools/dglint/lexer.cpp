@@ -79,7 +79,7 @@ class Lexer {
 
  private:
   void emit(TokenKind kind, std::string text, std::size_t line) {
-    tokens_.push_back(Token{kind, std::move(text), line});
+    tokens_.push_back(Token{kind, std::move(text), line, line_});
   }
 
   /// True when pos starts a string literal, including encoding/raw
@@ -112,9 +112,18 @@ class Lexer {
         continue;
       }
       if (c == '\n') break;
-      // Strip trailing // comments from the directive text.
+      // Strip trailing // comments from the directive text. The comment
+      // still becomes a Comment token, so suppression directives on any
+      // physical line of the directive are honored.
       if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
         lexLineComment();
+        continue;
+      }
+      // Block comments inside a directive act as whitespace and may
+      // span lines (GCC keeps the directive going across them).
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        lexBlockComment();
+        text += ' ';
         continue;
       }
       text += c;
@@ -127,7 +136,18 @@ class Lexer {
     const std::size_t startLine = line_;
     pos_ += 2;  // skip //
     std::string text;
-    while (pos_ < src_.size() && src_[pos_] != '\n') text += src_[pos_++];
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      // Phase-2 line splicing: a backslash-newline continues the
+      // comment onto the next physical line.
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size() &&
+          src_[pos_ + 1] == '\n') {
+        text += ' ';
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      text += src_[pos_++];
+    }
     emit(TokenKind::Comment, std::move(text), startLine);
   }
 

@@ -29,6 +29,10 @@ struct Token {
   TokenKind kind;
   std::string text;
   std::size_t line;  ///< 1-based line of the token's first character
+  /// 1-based line of the token's last character for multi-line tokens
+  /// (raw strings, block comments, continued preprocessor directives).
+  /// 0 (the aggregate-init default) means "same as `line`".
+  std::size_t endLine = 0;
 };
 
 /// Tokenizes `source`. Never throws on malformed input: unterminated

@@ -113,6 +113,73 @@ void runR1(const FileContext& file, const TokenList& code,
   }
 }
 
+/// R1 inside `#define` bodies: macro expansions smuggle banned calls
+/// past the token rules (the call only appears at expansion sites, which
+/// may be in excluded contexts), so the replacement text is re-lexed and
+/// scanned with the same matcher. Findings anchor at the directive's
+/// first line, which is also where suppressions on any continuation line
+/// resolve to.
+void runR1Defines(const FileContext& file, std::vector<Finding>& out) {
+  if (!file.libraryCode) return;
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokenKind::Preprocessor) continue;
+    std::string text = t.text;
+    if (!text.empty() && text[0] == '#') text = text.substr(1);
+    const std::size_t word = text.find_first_not_of(" \t");
+    if (word == std::string::npos || text.compare(word, 6, "define") != 0)
+      continue;
+    const TokenList body = codeTokens(tokenize(text.substr(word + 6)));
+    // Skip the macro's own name (and parameter list, for function-like
+    // macros) — `#define time(x) ...` defines, it does not call.
+    std::size_t start = 0;
+    if (start < body.size() && body[start].kind == TokenKind::Identifier) {
+      ++start;
+      if (start < body.size() && isPunct(body[start], "(")) {
+        int depth = 0;
+        for (; start < body.size(); ++start) {
+          if (isPunct(body[start], "(")) ++depth;
+          if (isPunct(body[start], ")") && --depth == 0) {
+            ++start;
+            break;
+          }
+        }
+      }
+    }
+    for (std::size_t i = start; i < body.size(); ++i) {
+      const Token& b = body[i];
+      if (b.kind != TokenKind::Identifier) continue;
+      if (i > 0 && (isPunct(body[i - 1], ".") || isPunct(body[i - 1], "->")))
+        continue;
+      bool qualifiedOther = false;
+      if (i >= 2 && isPunct(body[i - 1], "::") &&
+          !isIdent(body[i - 2], "std"))
+        qualifiedOther = true;
+      if (isIdent(b, "random_device") && !qualifiedOther) {
+        out.push_back({file.path, t.line, "R1",
+                       "std::random_device in a macro definition; seed a "
+                       "util::Rng from configuration instead"});
+        continue;
+      }
+      if (kBannedClockIdents.count(b.text) > 0 && !file.clockAllowed) {
+        out.push_back({file.path, t.line, "R1",
+                       "raw <chrono> clock '" + b.text +
+                           "' in a macro definition outside the wall-clock "
+                           "shim; use util::SimTime or util/wall_clock.hpp"});
+        continue;
+      }
+      const bool call = i + 1 < body.size() && isPunct(body[i + 1], "(");
+      if (call && !qualifiedOther &&
+          (isIdent(b, "time") || kBannedCalls.count(b.text) > 0)) {
+        out.push_back({file.path, t.line, "R1",
+                       "banned nondeterminism source '" + b.text +
+                           "()' in a macro definition; route randomness "
+                           "through util::Rng and time through "
+                           "util::SimTime / the wall-clock shim"});
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------
 // Shared unordered-container tracking for R2 / R4
 // ---------------------------------------------------------------------
@@ -531,6 +598,7 @@ std::vector<Finding> runRules(const FileContext& file) {
   const TokenList code = codeTokens(file.tokens);
 
   runR1(file, code, out);
+  runR1Defines(file, out);
 
   const UnorderedNames unordered = collectUnordered(code);
   const auto loops = findUnorderedLoops(code, unordered);
@@ -549,7 +617,10 @@ std::vector<Finding> runRules(const FileContext& file) {
 }
 
 const std::vector<std::string>& allRuleIds() {
-  static const std::vector<std::string> ids = {"R0", "R1", "R2", "R3", "R4"};
+  // R1-R4 are dglint's token rules; R5-R8 are dgcheck's semantic rules
+  // (see semantic.hpp). Both tools honor suppressions for any of them.
+  static const std::vector<std::string> ids = {"R0", "R1", "R2", "R3", "R4",
+                                               "R5", "R6", "R7", "R8"};
   return ids;
 }
 
