@@ -1,0 +1,88 @@
+#include "mcast/builders.hpp"
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/k_shortest.hpp"
+#include "util/sim_time.hpp"
+
+namespace dg::mcast {
+
+namespace {
+
+/// Candidate paths considered per receiver when growing the tree union.
+/// Beyond ~8 the marginal-edge savings flatten out while Yen's algorithm
+/// cost keeps growing.
+constexpr int kTreeCandidates = 8;
+
+/// Edges a candidate path would add on top of the union built so far.
+std::size_t marginalNewEdges(const graph::DisseminationGraph& out,
+                             const graph::Path& path) {
+  std::size_t fresh = 0;
+  for (const graph::EdgeId e : path) {
+    if (!out.contains(e)) ++fresh;
+  }
+  return fresh;
+}
+
+}  // namespace
+
+graph::DisseminationGraph buildReceiverUnion(
+    const graph::Graph& overlay, const Group& group,
+    const routing::NetworkView& baselineView, routing::SchemeKind kind,
+    std::span<const routing::SchemeParams> receiverParams) {
+  graph::DisseminationGraph out(overlay, group.source,
+                                group.receivers.front());
+  for (std::size_t i = 0; i < group.receivers.size(); ++i) {
+    const auto sub = routing::makeScheme(kind, overlay,
+                                         receiverFlow(group, i),
+                                         receiverParams[i]);
+    sub->initialize(baselineView);
+    out.unite(sub->select(baselineView));
+  }
+  return out;
+}
+
+graph::DisseminationGraph buildTreeUnion(
+    const graph::Graph& overlay, const Group& group,
+    const routing::NetworkView& baselineView,
+    std::span<const routing::SchemeParams> receiverParams) {
+  // Receiver 0 takes its unicast static-single selection verbatim, which
+  // anchors single-receiver groups to the unicast scheme bit for bit.
+  graph::DisseminationGraph out = buildReceiverUnion(
+      overlay, Group{group.source, {group.receivers.front()}, {}},
+      baselineView, routing::SchemeKind::StaticSinglePath,
+      receiverParams.subspan(0, 1));
+
+  const std::vector<util::SimTime> latencies(baselineView.latencies().begin(),
+                                             baselineView.latencies().end());
+  for (std::size_t i = 1; i < group.receivers.size(); ++i) {
+    const auto& params = receiverParams[i];
+    const auto weights = baselineView.routingWeights(params.view);
+    const auto candidates =
+        graph::kShortestPaths(overlay, group.source, group.receivers[i],
+                              weights, kTreeCandidates);
+    const graph::Path* best = nullptr;
+    std::size_t bestFresh = 0;
+    for (const graph::Path& path : candidates) {
+      const util::SimTime latency = pathLatency(overlay, path, latencies);
+      if (latency == util::kNever || latency > params.deadline) continue;
+      const std::size_t fresh = marginalNewEdges(out, path);
+      if (best == nullptr || fresh < bestFresh) {
+        best = &path;
+        bestFresh = fresh;
+      }
+    }
+    if (best != nullptr) {
+      out.addPath(*best);
+    } else if (!candidates.empty()) {
+      // No candidate meets this receiver's deadline: fall back to the
+      // shortest candidate so the receiver is at least reachable; the
+      // scorer will charge the lateness.
+      out.addPath(candidates.front());
+    }
+  }
+  return out;
+}
+
+}  // namespace dg::mcast

@@ -1,0 +1,36 @@
+// Multicast graph builders: construct one dissemination graph covering a
+// whole receiver set from the healthy-baseline view.
+#pragma once
+
+#include <span>
+
+#include "graph/dissemination_graph.hpp"
+#include "graph/graph.hpp"
+#include "mcast/group.hpp"
+#include "routing/network_view.hpp"
+#include "routing/scheme.hpp"
+
+namespace dg::mcast {
+
+/// Shared redundant mesh (or flooding cover): instantiates the unicast
+/// scheme `kind` once per receiver with that receiver's params, selects
+/// each against the baseline view, and unites the selections. The
+/// returned graph's nominal flow is source -> receivers.front().
+graph::DisseminationGraph buildReceiverUnion(
+    const graph::Graph& overlay, const Group& group,
+    const routing::NetworkView& baselineView, routing::SchemeKind kind,
+    std::span<const routing::SchemeParams> receiverParams);
+
+/// Steiner-ish tree union: receiver 0 takes its shortest latency path;
+/// each later receiver picks, among its k-shortest deadline-feasible
+/// candidate paths, the one adding the fewest edges not already in the
+/// union (ties break toward the shorter path, which k-shortest orders
+/// first). Falls back to the receiver's plain shortest path when no
+/// candidate meets its deadline -- coverage beats timeliness for the
+/// graph structure; scoring will still charge the lateness.
+graph::DisseminationGraph buildTreeUnion(
+    const graph::Graph& overlay, const Group& group,
+    const routing::NetworkView& baselineView,
+    std::span<const routing::SchemeParams> receiverParams);
+
+}  // namespace dg::mcast

@@ -1,0 +1,164 @@
+#include "mcast/graph_dump.hpp"
+
+#include <span>
+#include <stdexcept>
+#include <string_view>
+
+#include "graph/dissemination_graph.hpp"
+#include "routing/network_view.hpp"
+#include "trace/condition_timeline.hpp"
+
+namespace dg::mcast {
+
+namespace {
+
+std::string jsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Replays decisions over [0, interval] exactly as the playback engines'
+/// warm-up loop does (minus the steady-span jump, which only skips
+/// fixed-point selects), returning the selection in force at `interval`.
+template <typename Scheme>
+const graph::DisseminationGraph& replaySelect(
+    Scheme& scheme, const trace::Trace& trace,
+    const routing::NetworkView& baselineView,
+    const trace::ConditionIndex& index, trace::ConditionTimeline& cursor,
+    std::size_t interval, std::size_t staleness) {
+  const graph::DisseminationGraph* dg = nullptr;
+  for (std::size_t t = 0; t <= interval; ++t) {
+    if (t < staleness || !trace.hasDeviation(t - staleness)) {
+      dg = &scheme.select(baselineView);
+    } else {
+      const std::size_t viewInterval = t - staleness;
+      cursor.seek(viewInterval);
+      const routing::NetworkView view = routing::NetworkView::borrowing(
+          cursor, index.contentId(viewInterval));
+      dg = &scheme.select(view);
+    }
+  }
+  return *dg;
+}
+
+std::string renderDot(const graph::DisseminationGraph& dg,
+                      const trace::Topology& topology, graph::NodeId source,
+                      std::span<const graph::NodeId> receivers) {
+  const graph::Graph& overlay = dg.overlay();
+  std::string out = "digraph dissemination {\n  rankdir=LR;\n";
+  out += "  \"" + topology.name(source) + "\" [shape=doublecircle];\n";
+  for (const graph::NodeId receiver : receivers)
+    out += "  \"" + topology.name(receiver) + "\" [shape=doubleoctagon];\n";
+  for (const graph::EdgeId e : dg.edges()) {
+    const graph::Edge& edge = overlay.edge(e);
+    out += "  \"" + topology.name(edge.from) + "\" -> \"" +
+           topology.name(edge.to) +
+           "\" [label=\"" + std::to_string(edge.latency) + "us\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string renderJson(const graph::DisseminationGraph& dg,
+                       const trace::Topology& topology, graph::NodeId source,
+                       std::span<const graph::NodeId> receivers,
+                       std::string_view schemeName, std::size_t interval) {
+  const graph::Graph& overlay = dg.overlay();
+  std::string out = "{\n  \"source\": \"";
+  out += jsonEscape(topology.name(source));
+  out += "\",\n  \"receivers\": [";
+  for (std::size_t r = 0; r < receivers.size(); ++r) {
+    if (r != 0) out += ", ";
+    out += '"';
+    out += jsonEscape(topology.name(receivers[r]));
+    out += '"';
+  }
+  out += "],\n  \"interval\": " + std::to_string(interval);
+  out += ",\n  \"scheme\": \"";
+  out += jsonEscape(schemeName);
+  out += "\",\n  \"edges\": [";
+  for (std::size_t i = 0; i < dg.edges().size(); ++i) {
+    const graph::EdgeId e = dg.edges()[i];
+    const graph::Edge& edge = overlay.edge(e);
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"id\": " + std::to_string(e) + ", \"from\": \"" +
+           jsonEscape(topology.name(edge.from)) + "\", \"to\": \"" +
+           jsonEscape(topology.name(edge.to)) +
+           "\", \"latency_us\": " + std::to_string(edge.latency) + "}";
+  }
+  out += dg.edges().empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+void validateRequest(const trace::Trace& trace,
+                     const GraphDumpRequest& request) {
+  if (request.interval >= trace.intervalCount())
+    throw std::invalid_argument("graph dump: interval " +
+                                std::to_string(request.interval) +
+                                " out of range (trace has " +
+                                std::to_string(trace.intervalCount()) +
+                                " intervals)");
+  if (request.viewStaleness < 0)
+    throw std::invalid_argument("graph dump: negative staleness");
+}
+
+}  // namespace
+
+DumpFormat parseDumpFormat(std::string_view name) {
+  if (name == "dot") return DumpFormat::kDot;
+  if (name == "json") return DumpFormat::kJson;
+  throw std::invalid_argument("unknown dump format: " + std::string(name) +
+                              " (valid: dot, json)");
+}
+
+std::string dumpUnicastGraph(const graph::Graph& overlay,
+                             const trace::Trace& trace,
+                             const trace::Topology& topology,
+                             routing::Flow flow, routing::SchemeKind kind,
+                             const routing::SchemeParams& schemeParams,
+                             const GraphDumpRequest& request) {
+  validateRequest(trace, request);
+  auto scheme = routing::makeScheme(kind, overlay, flow, schemeParams);
+  const routing::NetworkView baselineView =
+      routing::NetworkView::baseline(trace);
+  scheme->initialize(baselineView);
+  const trace::ConditionIndex index(trace);
+  trace::ConditionTimeline cursor(trace);
+  const graph::DisseminationGraph& dg = replaySelect(
+      *scheme, trace, baselineView, index, cursor, request.interval,
+      static_cast<std::size_t>(request.viewStaleness));
+  const graph::NodeId receivers[] = {flow.destination};
+  return request.format == DumpFormat::kDot
+             ? renderDot(dg, topology, flow.source, receivers)
+             : renderJson(dg, topology, flow.source, receivers,
+                          routing::schemeName(kind), request.interval);
+}
+
+std::string dumpGroupGraph(const graph::Graph& overlay,
+                           const trace::Trace& trace,
+                           const trace::Topology& topology, const Group& group,
+                           GroupSchemeKind kind,
+                           const routing::SchemeParams& schemeParams,
+                           const GraphDumpRequest& request) {
+  validateRequest(trace, request);
+  auto scheme = makeGroupScheme(kind, overlay, group, schemeParams);
+  const routing::NetworkView baselineView =
+      routing::NetworkView::baseline(trace);
+  scheme->initialize(baselineView);
+  const trace::ConditionIndex index(trace);
+  trace::ConditionTimeline cursor(trace);
+  const graph::DisseminationGraph& dg = replaySelect(
+      *scheme, trace, baselineView, index, cursor, request.interval,
+      static_cast<std::size_t>(request.viewStaleness));
+  return request.format == DumpFormat::kDot
+             ? renderDot(dg, topology, group.source, group.receivers)
+             : renderJson(dg, topology, group.source, group.receivers,
+                          groupSchemeName(kind), request.interval);
+}
+
+}  // namespace dg::mcast

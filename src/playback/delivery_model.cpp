@@ -624,6 +624,207 @@ double missProbabilityNearLossless(const graph::DisseminationGraph& dg,
 }
 
 // ---------------------------------------------------------------------
+// Receiver-set (multicast) evaluators.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Unbounded earliest-arrival run over the dissemination graph with
+/// predecessor tracking -- the exact loop missProbabilityNearLossless
+/// runs, shared so the group variant finalizes every receiver in one
+/// pass. Leaves exact distances in ws.dist and the predecessor edge of
+/// each reached node in ws.via.
+void groupDistancesUnbounded(const graph::DisseminationGraph& dg,
+                             std::span<const util::SimTime> weights,
+                             DeliveryWorkspace& ws) {
+  const graph::Graph& overlay = dg.overlay();
+  ws.prepare(overlay);
+  const std::size_t nodeCount = overlay.nodeCount();
+  std::fill_n(ws.dist.begin(), static_cast<std::ptrdiff_t>(nodeCount),
+              util::kNever);
+  std::fill_n(ws.via.begin(), static_cast<std::ptrdiff_t>(nodeCount),
+              graph::kInvalidEdge);
+  ws.heap.clear();
+  ws.dist[dg.source()] = 0;
+  ws.heap.push(0, dg.source());
+  while (!ws.heap.empty()) {
+    const auto [d, u] = ws.heap.popMin();
+    if (d > ws.dist[u]) continue;
+    for (const graph::EdgeId e : dg.outEdges(u)) {
+      const util::SimTime w = weights[e];
+      if (w == util::kNever) continue;
+      const graph::NodeId v = overlay.edge(e).to;
+      if (d + w < ws.dist[v]) {
+        ws.dist[v] = d + w;
+        ws.via[v] = e;
+        ws.heap.push(d + w, v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void missGroupNearLossless(const graph::DisseminationGraph& dg,
+                           std::span<const graph::NodeId> receivers,
+                           std::span<const util::SimTime> deadlines,
+                           std::span<const double> lossRates,
+                           std::span<const util::SimTime> latencies,
+                           const DeliveryModelParams& params,
+                           DeliveryWorkspace& ws, std::span<double> missOut,
+                           std::span<util::SimTime> arrivalOut) {
+  const graph::Graph& overlay = dg.overlay();
+  groupDistancesUnbounded(dg, latencies, ws);
+  for (std::size_t r = 0; r < receivers.size(); ++r) {
+    const util::SimTime at = ws.dist[receivers[r]];
+    arrivalOut[r] = at;
+    if (at == util::kNever || at > deadlines[r]) {
+      missOut[r] = 1.0;
+      continue;
+    }
+    // Residual miss along this receiver's earliest-path predecessor
+    // chain, exactly as the unicast near-lossless fast path charges it.
+    double residual = 0.0;
+    for (graph::NodeId n = receivers[r]; n != dg.source();) {
+      const graph::EdgeId e = ws.via[n];
+      const double p = lossRates[e];
+      residual += params.recoveryEnabled ? p * p : p;
+      n = overlay.edge(e).from;
+    }
+    missOut[r] = std::min(residual, 1.0);
+  }
+}
+
+void groupCleanArrivals(const graph::DisseminationGraph& dg,
+                        std::span<const util::SimTime> latencies,
+                        std::span<const graph::NodeId> receivers,
+                        DeliveryWorkspace& ws,
+                        std::span<util::SimTime> arrivalOut) {
+  groupDistancesUnbounded(dg, latencies, ws);
+  for (std::size_t r = 0; r < receivers.size(); ++r) {
+    arrivalOut[r] = ws.dist[receivers[r]];
+  }
+}
+
+// dgcheck: hot
+void onTimeCountsMCGroup(const graph::DisseminationGraph& dg,
+                         std::span<const graph::NodeId> receivers,
+                         std::span<const util::SimTime> deadlines,
+                         std::span<const double> lossRates,
+                         std::span<const util::SimTime> latencies,
+                         const DeliveryModelParams& params, int samples,
+                         util::Rng& rng, DeliveryWorkspace& ws,
+                         std::span<int> onTimeCounts,
+                         std::span<int> deliveredHistogram) {
+  // dgcheck: setup begin
+  const std::size_t receiverCount = receivers.size();
+  std::fill(onTimeCounts.begin(), onTimeCounts.end(), 0);
+  std::fill(deliveredHistogram.begin(), deliveredHistogram.end(), 0);
+  if (samples <= 0) return;
+  ws.prepare(dg.overlay());
+
+  // One clean (all edges on time) run bounded by the loosest deadline
+  // finalizes every receiver: a receiver left beyond maxDeadline has true
+  // arrival beyond *every* deadline. Per-receiver clean verdicts are
+  // saved before the sample loop clobbers ws.dist.
+  util::SimTime maxDeadline = 0;
+  for (const util::SimTime d : deadlines) maxDeadline = std::max(maxDeadline, d);
+  distancesWithin(dg, latencies, maxDeadline, ws);
+  if (ws.groupCleanOnTime.size() < receiverCount)
+    ws.groupCleanOnTime.resize(receiverCount);
+  for (std::size_t r = 0; r < receiverCount; ++r) {
+    ws.groupCleanOnTime[r] = ws.dist[receivers[r]] <= deadlines[r] ? 1 : 0;
+  }
+
+  // Per-member sampling tables, identical to the unicast evaluator's (see
+  // onTimeProbabilityMC for the 53-bit threshold equivalence proof).
+  const std::vector<graph::EdgeId>& members = dg.edges();
+  const std::size_t memberCount = members.size();
+  if (ws.mcThrOnTime.size() < memberCount) {
+    ws.mcThrOnTime.resize(memberCount);
+    ws.mcThrRecovered.resize(memberCount);
+    ws.mcLatency.resize(memberCount);
+    ws.mcRecoveredLatency.resize(memberCount);
+  }
+  constexpr double kScale53 = 9007199254740992.0;  // 2^53
+  for (std::size_t i = 0; i < memberCount; ++i) {
+    const double p = lossRates[members[i]];
+    const util::SimTime lat = latencies[members[i]];
+    ws.mcThrOnTime[i] =
+        static_cast<std::uint64_t>(std::ceil((1.0 - p) * kScale53));
+    ws.mcThrRecovered[i] =
+        params.recoveryEnabled
+            ? static_cast<std::uint64_t>(std::ceil((1.0 - p * p) * kScale53))
+            : ws.mcThrOnTime[i];
+    ws.mcLatency[i] = lat;
+    ws.mcRecoveredLatency[i] = 3 * lat + params.packetInterval;
+  }
+
+  // Monotonicity shortcut, generalized from the unicast clean-path mask:
+  // sampled outcomes only ever slow edges down, so (a) a clean-late
+  // receiver stays late in every sample, and (b) if a sample's deviating
+  // edges all avoid every clean-on-time receiver's earliest path, those
+  // paths are intact and every clean verdict stands. Only samples that
+  // slow some clean earliest path down need a Dijkstra run.
+  if (ws.groupMemberOnCleanPath.size() < memberCount)
+    ws.groupMemberOnCleanPath.resize(memberCount);
+  std::fill_n(ws.groupMemberOnCleanPath.begin(),
+              static_cast<std::ptrdiff_t>(memberCount), char{0});
+  {
+    const graph::Graph& overlay = dg.overlay();
+    for (std::size_t r = 0; r < receiverCount; ++r) {
+      if (ws.groupCleanOnTime[r] == 0) continue;
+      for (graph::NodeId n = receivers[r]; n != dg.source();) {
+        const graph::EdgeId e = ws.via[n];
+        const std::size_t i = static_cast<std::size_t>(
+            std::lower_bound(members.begin(), members.end(), e) -
+            members.begin());
+        ws.groupMemberOnCleanPath[i] = 1;
+        n = overlay.edge(e).from;
+      }
+    }
+  }
+  // dgcheck: setup end
+
+  util::Rng localRng = rng;
+  for (int s = 0; s < samples; ++s) {
+    bool deviates = false;
+    bool touches = false;
+    for (std::size_t i = 0; i < memberCount; ++i) {
+      const std::uint64_t k = localRng.next() >> 11;
+      const util::SimTime hop = k < ws.mcThrOnTime[i] ? ws.mcLatency[i]
+                                : k < ws.mcThrRecovered[i]
+                                    ? ws.mcRecoveredLatency[i]
+                                    : util::kNever;
+      ws.sampledHop[members[i]] = hop;
+      if (hop != ws.mcLatency[i]) {
+        deviates = true;
+        touches |= ws.groupMemberOnCleanPath[i] != 0;
+      }
+    }
+    int deliveredCount = 0;
+    if (deviates && touches) {
+      distancesWithin(dg, ws.sampledHop, maxDeadline, ws);
+      for (std::size_t r = 0; r < receiverCount; ++r) {
+        if (ws.dist[receivers[r]] <= deadlines[r]) {
+          ++onTimeCounts[r];
+          ++deliveredCount;
+        }
+      }
+    } else {
+      for (std::size_t r = 0; r < receiverCount; ++r) {
+        if (ws.groupCleanOnTime[r] != 0) {
+          ++onTimeCounts[r];
+          ++deliveredCount;
+        }
+      }
+    }
+    ++deliveredHistogram[static_cast<std::size_t>(deliveredCount)];
+  }
+  rng = localRng;
+}
+
+// ---------------------------------------------------------------------
 // Reference implementations: the pre-optimization code, frozen. Do not
 // "improve" these -- their entire value is being the unchanged baseline
 // the optimized versions are proven bit-identical against.

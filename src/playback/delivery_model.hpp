@@ -149,6 +149,12 @@ struct DeliveryWorkspace {
   std::vector<std::uint64_t> mcKeyLo;
   std::vector<std::uint64_t> mcKeyHi;
 
+  /// Group-evaluator scratch: per-receiver clean-run verdicts and the
+  /// per-member-edge "lies on some clean-on-time receiver's earliest
+  /// path" mask (see onTimeCountsMCGroup).
+  std::vector<char> groupCleanOnTime;
+  std::vector<char> groupMemberOnCleanPath;
+
   /// Ensures the per-edge/per-node arrays cover `overlay`.
   void prepare(const graph::Graph& overlay);
 };
@@ -201,6 +207,56 @@ double missProbabilityNearLossless(const graph::DisseminationGraph& dg,
 /// True if the fast path above is applicable.
 bool nearLossless(const graph::DisseminationGraph& dg,
                   std::span<const double> lossRates, double lossEpsilon);
+
+// ---------------------------------------------------------------------
+// Receiver-set (multicast) evaluators. One flooded send on `dg` is
+// scored against every receiver's own deadline. For a single receiver
+// these are bit-identical to the unicast evaluators above (same RNG draw
+// discipline, same Dijkstra, same arithmetic) -- pinned by test.
+// ---------------------------------------------------------------------
+
+/// Near-lossless group evaluation: one unbounded earliest-arrival run,
+/// then per receiver the unicast deterministic verdict -- miss 1.0 when
+/// unreachable or late, otherwise the residual loss summed along that
+/// receiver's earliest-path predecessor chain. Fills missOut[i] and
+/// arrivalOut[i] (util::kNever when unreachable), both sized to the
+/// receiver count.
+void missGroupNearLossless(const graph::DisseminationGraph& dg,
+                           std::span<const graph::NodeId> receivers,
+                           std::span<const util::SimTime> deadlines,
+                           std::span<const double> lossRates,
+                           std::span<const util::SimTime> latencies,
+                           const DeliveryModelParams& params,
+                           DeliveryWorkspace& workspace,
+                           std::span<double> missOut,
+                           std::span<util::SimTime> arrivalOut);
+
+/// Clean (no-loss) earliest arrival per receiver under the given
+/// latencies; util::kNever where unreachable. Equals
+/// DisseminationGraph::latencyToDestination for each receiver.
+void groupCleanArrivals(const graph::DisseminationGraph& dg,
+                        std::span<const util::SimTime> latencies,
+                        std::span<const graph::NodeId> receivers,
+                        DeliveryWorkspace& workspace,
+                        std::span<util::SimTime> arrivalOut);
+
+/// Monte-Carlo group evaluation: for each sample every member edge draws
+/// its hop outcome exactly as the unicast evaluator does (identical RNG
+/// stream; `rng` is advanced by samples * memberCount draws), and every
+/// receiver gets an on-time verdict against its own deadline.
+/// onTimeCounts[i] (receiver count) accumulates per-receiver on-time
+/// samples; deliveredHistogram[c] (receiver count + 1) counts samples
+/// delivered on time to exactly c receivers -- delivered-to-all is the
+/// last bin, delivered-to-k is an upper tail sum. Both are zeroed here.
+void onTimeCountsMCGroup(const graph::DisseminationGraph& dg,
+                         std::span<const graph::NodeId> receivers,
+                         std::span<const util::SimTime> deadlines,
+                         std::span<const double> lossRates,
+                         std::span<const util::SimTime> latencies,
+                         const DeliveryModelParams& params, int samples,
+                         util::Rng& rng, DeliveryWorkspace& workspace,
+                         std::span<int> onTimeCounts,
+                         std::span<int> deliveredHistogram);
 
 /// Pre-optimization reference implementations (per-call vector
 /// allocations, per-sample std::priority_queue, no clean-sample

@@ -27,7 +27,13 @@ SchemeKind parseSchemeKind(std::string_view name) {
   for (const SchemeKind kind : allSchemeKinds()) {
     if (schemeName(kind) == name) return kind;
   }
-  throw std::invalid_argument("unknown routing scheme: " + std::string(name));
+  std::string valid;
+  for (const SchemeKind kind : allSchemeKinds()) {
+    if (!valid.empty()) valid += ", ";
+    valid += schemeName(kind);
+  }
+  throw std::invalid_argument("unknown routing scheme: " + std::string(name) +
+                              " (valid: " + valid + ")");
 }
 
 std::vector<SchemeKind> allSchemeKinds() {

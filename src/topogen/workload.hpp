@@ -105,4 +105,59 @@ std::pair<std::size_t, std::size_t> flowIntervalWindow(
     const WorkloadFlow& flow, util::SimTime intervalLength,
     std::size_t intervalCount);
 
+// ---------------------------------------------------------------------
+// Group (receiver-set) workloads for the multicast subsystem.
+
+struct GroupWorkloadParams {
+  WorkloadParams base;
+  /// Receiver-set size, drawn uniformly from [receiversMin, receiversMax]
+  /// per group arrival.
+  std::size_t receiversMin = 2;
+  std::size_t receiversMax = 4;
+};
+
+/// One group arrival of the fleet with its active [start, stop) span.
+/// Receiver order is significant downstream (it feeds the group RNG
+/// stream derivation), so it is preserved exactly by serialization.
+struct WorkloadGroup {
+  graph::NodeId source = graph::kInvalidNode;
+  std::vector<graph::NodeId> receivers;
+  util::SimTime start = 0;  ///< inclusive, microseconds
+  util::SimTime stop = 0;   ///< exclusive, microseconds; always > start
+};
+
+struct GroupWorkload {
+  std::vector<WorkloadGroup> groups;
+};
+
+/// Generates a group fleet: same arrival/duration processes as
+/// generateWorkload (the arrival, endpoint, and duration RNG streams are
+/// forked in the same order, so a group fleet's clock matches the flow
+/// fleet's for equal base params), with the receiver set gravity-sampled
+/// without replacement. Throws std::invalid_argument when receiversMin
+/// is 0, receiversMax < receiversMin, or receiversMax > siteCount - 1.
+GroupWorkload generateGroupWorkload(const trace::Topology& topology,
+                                    const GroupWorkloadParams& params);
+
+/// Parses group workload specs: same processes and keys as
+/// parseWorkloadSpec plus receivers-min / receivers-max, e.g.
+///   "poisson:flows=200,seed=7,receivers-min=2,receivers-max=8"
+GroupWorkloadParams parseGroupWorkloadSpec(std::string_view spec);
+
+/// Exact text round-trip: "group-workload v1" header, then one
+/// "group SRC R1+R2+R3 START_US STOP_US" line per group.
+/// groupWorkloadFromString(groupWorkloadToString(w)) reproduces w
+/// exactly, receiver order included.
+std::string groupWorkloadToString(const GroupWorkload& workload,
+                                  const trace::Topology& topology);
+GroupWorkload groupWorkloadFromString(std::string_view text,
+                                      const trace::Topology& topology);
+GroupWorkload groupWorkloadFromFile(const std::string& path,
+                                    const trace::Topology& topology);
+
+/// flowIntervalWindow's arithmetic applied to a group's active span.
+std::pair<std::size_t, std::size_t> groupIntervalWindow(
+    const WorkloadGroup& group, util::SimTime intervalLength,
+    std::size_t intervalCount);
+
 }  // namespace dg::topogen

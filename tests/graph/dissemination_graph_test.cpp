@@ -134,6 +134,64 @@ TEST(DisseminationGraph, ToDotMentionsEndpointsAndEdges) {
   EXPECT_NE(dot.find("doubleoctagon"), std::string::npos);
 }
 
+TEST(DisseminationGraph, DisconnectedDestinationReachesPartway) {
+  // S->A only: the walk reaches A but never D, so the graph neither
+  // connects the flow nor reports a finite latency, yet reachableNodes
+  // still reports the partial frontier in ascending order.
+  test::Diamond d;
+  DisseminationGraph dg(d.g, d.s, d.d);
+  dg.addEdge(d.sa);
+  EXPECT_FALSE(dg.connectsFlow());
+  EXPECT_EQ(dg.latencyToDestination(d.g.baseLatencies()), util::kNever);
+  const auto nodes = dg.reachableNodes();
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0], d.s);
+  EXPECT_EQ(nodes[1], d.a);
+}
+
+TEST(DisseminationGraph, SourceOnlyGraphReachesJustTheSource) {
+  // Edges exist but none leave the source: reachability is {source},
+  // and the flow is unconnected even though edgeCount() > 0.
+  test::Diamond d;
+  DisseminationGraph dg(d.g, d.s, d.d);
+  dg.addEdge(d.ad);  // downstream edge the source can never reach
+  EXPECT_EQ(dg.edgeCount(), 1u);
+  EXPECT_FALSE(dg.connectsFlow());
+  const auto nodes = dg.reachableNodes();
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], d.s);
+}
+
+TEST(DisseminationGraph, UniteWithOverlappingEdgeSetsDeduplicates) {
+  // The two operands share S->A; the union must count it once, and the
+  // union of two disconnected halves connects the flow end to end.
+  test::Diamond d;
+  DisseminationGraph upper(d.g, d.s, d.d);
+  upper.addEdge(d.sa);
+  DisseminationGraph lower(d.g, d.s, d.d);
+  lower.addEdge(d.sa);
+  lower.addEdge(d.ad);
+  EXPECT_FALSE(upper.connectsFlow());
+  upper.unite(lower);
+  EXPECT_EQ(upper.edgeCount(), 2u);
+  EXPECT_TRUE(upper.connectsFlow());
+  EXPECT_TRUE(upper.contains(d.sa));
+  EXPECT_TRUE(upper.contains(d.ad));
+  // Uniting an identical graph is a no-op.
+  upper.unite(lower);
+  EXPECT_EQ(upper.edgeCount(), 2u);
+  EXPECT_EQ(upper, upper);
+}
+
+TEST(DisseminationGraph, UniteWithSelfEquivalentIsIdempotent) {
+  test::Diamond d;
+  DisseminationGraph dg(d.g, d.s, d.d);
+  dg.addPath(Path{d.sa, d.ad});
+  DisseminationGraph copy = dg;
+  dg.unite(copy);
+  EXPECT_EQ(dg, copy);
+}
+
 TEST(DisseminationGraph, OutEdgesPerNode) {
   test::Diamond d;
   DisseminationGraph dg(d.g, d.s, d.d);

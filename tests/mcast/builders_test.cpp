@@ -1,0 +1,126 @@
+// Multicast graph builders: union covers every receiver, the tree union
+// shares edges, and single-receiver builds anchor to the unicast graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mcast/builders.hpp"
+#include "routing/network_view.hpp"
+#include "routing/scheme.hpp"
+#include "trace/synth.hpp"
+#include "trace/topology.hpp"
+
+namespace dg::mcast {
+namespace {
+
+trace::Trace shortTrace(const graph::Graph& overlay) {
+  trace::GeneratorParams params;
+  params.seed = 5;
+  params.duration = util::minutes(10);
+  return trace::generateSyntheticTrace(overlay, params).trace;
+}
+
+bool reaches(const graph::DisseminationGraph& dg, graph::NodeId node) {
+  const auto nodes = dg.reachableNodes();
+  return std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+}
+
+TEST(Builders, ReceiverUnionCoversEveryReceiver) {
+  const trace::Topology topology = trace::Topology::ltn12();
+  const trace::Trace tr = shortTrace(topology.graph());
+  const routing::NetworkView baseline = routing::NetworkView::baseline(tr);
+
+  Group group;
+  group.source = topology.at("NYC");
+  group.receivers = {topology.at("SJC"), topology.at("LAX"),
+                     topology.at("FRA")};
+  const std::vector<routing::SchemeParams> params(group.receivers.size());
+
+  for (const routing::SchemeKind kind :
+       {routing::SchemeKind::StaticSinglePath,
+        routing::SchemeKind::StaticTwoDisjoint,
+        routing::SchemeKind::TimeConstrainedFlooding}) {
+    const graph::DisseminationGraph dg = buildReceiverUnion(
+        topology.graph(), group, baseline, kind, params);
+    EXPECT_EQ(dg.source(), group.source);
+    for (const graph::NodeId receiver : group.receivers) {
+      EXPECT_TRUE(reaches(dg, receiver))
+          << routing::schemeName(kind) << " union misses receiver "
+          << topology.name(receiver);
+    }
+  }
+}
+
+TEST(Builders, TreeUnionCoversReceiversAndSharesEdges) {
+  const trace::Topology topology = trace::Topology::ltn12();
+  const trace::Trace tr = shortTrace(topology.graph());
+  const routing::NetworkView baseline = routing::NetworkView::baseline(tr);
+
+  Group group;
+  group.source = topology.at("NYC");
+  group.receivers = {topology.at("SJC"), topology.at("LAX"),
+                     topology.at("DEN")};
+  const std::vector<routing::SchemeParams> params(group.receivers.size());
+
+  const graph::DisseminationGraph tree =
+      buildTreeUnion(topology.graph(), group, baseline, params);
+  for (const graph::NodeId receiver : group.receivers)
+    EXPECT_TRUE(reaches(tree, receiver));
+
+  // The whole point of the tree union: sharing beats three independent
+  // paths. The union can never have more edges than the per-receiver
+  // single-path union, and on ltn12's west-coast cluster it has fewer.
+  const graph::DisseminationGraph independent = buildReceiverUnion(
+      topology.graph(), group, baseline,
+      routing::SchemeKind::StaticSinglePath, params);
+  EXPECT_LE(tree.edgeCount(), independent.edgeCount());
+}
+
+TEST(Builders, SingleReceiverTreeEqualsUnicastStaticSingleGraph) {
+  const trace::Topology topology = trace::Topology::ltn12();
+  const trace::Trace tr = shortTrace(topology.graph());
+  const routing::NetworkView baseline = routing::NetworkView::baseline(tr);
+
+  Group group;
+  group.source = topology.at("NYC");
+  group.receivers = {topology.at("SJC")};
+  const std::vector<routing::SchemeParams> params(1);
+
+  const graph::DisseminationGraph tree =
+      buildTreeUnion(topology.graph(), group, baseline, params);
+
+  const routing::Flow flow{group.source, group.receivers.front()};
+  auto unicast = routing::makeScheme(routing::SchemeKind::StaticSinglePath,
+                                     topology.graph(), flow, params.front());
+  unicast->initialize(baseline);
+  EXPECT_EQ(tree.edges(), unicast->select(baseline).edges());
+}
+
+TEST(Builders, UnreachableReceiverLeavesGraphPartialNotThrowing)
+{
+  // A two-component overlay: 0-1 connected, 2 isolated from them, with
+  // an edge 2->3 so node 2 has degree > 0.
+  graph::Graph overlay;
+  overlay.addNodes(4);
+  overlay.addBidirectional(0, 1, util::milliseconds(5));
+  overlay.addBidirectional(2, 3, util::milliseconds(5));
+  trace::GeneratorParams traceParams;
+  traceParams.seed = 1;
+  traceParams.duration = util::minutes(10);
+  const trace::Trace tr =
+      trace::generateSyntheticTrace(overlay, traceParams).trace;
+  const routing::NetworkView baseline = routing::NetworkView::baseline(tr);
+
+  Group group;
+  group.source = 0;
+  group.receivers = {1, 2};
+  const std::vector<routing::SchemeParams> params(2);
+  const graph::DisseminationGraph dg =
+      buildTreeUnion(overlay, group, baseline, params);
+  EXPECT_TRUE(reaches(dg, 1));
+  EXPECT_FALSE(reaches(dg, 2));
+}
+
+}  // namespace
+}  // namespace dg::mcast

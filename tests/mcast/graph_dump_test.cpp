@@ -1,0 +1,130 @@
+// The `dgnet graph dump` backend: DOT/JSON rendering and the replayed
+// selection matching what the playback engines would score with.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "mcast/graph_dump.hpp"
+#include "routing/network_view.hpp"
+#include "trace/synth.hpp"
+#include "trace/topology.hpp"
+
+namespace dg::mcast {
+namespace {
+
+trace::Trace quietTrace(const graph::Graph& overlay) {
+  trace::GeneratorParams params;
+  params.seed = 5;
+  params.duration = util::minutes(30);
+  params.nodeEventsPerDay = 0.0;
+  params.linkEventsPerDay = 0.0;
+  return trace::generateSyntheticTrace(overlay, params).trace;
+}
+
+TEST(GraphDump, ParseDumpFormatRoundTripsAndListsValidNames) {
+  EXPECT_EQ(parseDumpFormat("dot"), DumpFormat::kDot);
+  EXPECT_EQ(parseDumpFormat("json"), DumpFormat::kJson);
+  try {
+    parseDumpFormat("svg");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("svg"), std::string::npos) << what;
+    EXPECT_NE(what.find("dot"), std::string::npos) << what;
+    EXPECT_NE(what.find("json"), std::string::npos) << what;
+  }
+}
+
+TEST(GraphDump, UnicastDotMarksEndpointsAndEdges) {
+  const trace::Topology topology = trace::Topology::ltn12();
+  const trace::Trace tr = quietTrace(topology.graph());
+
+  GraphDumpRequest request;
+  request.format = DumpFormat::kDot;
+  const std::string dot = dumpUnicastGraph(
+      topology.graph(), tr, topology,
+      {topology.at("NYC"), topology.at("SJC")},
+      routing::SchemeKind::StaticTwoDisjoint, routing::SchemeParams{},
+      request);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // source
+  EXPECT_NE(dot.find("doubleoctagon"), std::string::npos);  // receiver
+  EXPECT_NE(dot.find("NYC"), std::string::npos);
+  EXPECT_NE(dot.find("SJC"), std::string::npos);
+  EXPECT_NE(dot.find("us\""), std::string::npos);  // latency edge labels
+}
+
+TEST(GraphDump, GroupJsonListsEveryReceiverAndSelectedEdges) {
+  const trace::Topology topology = trace::Topology::ltn12();
+  const trace::Trace tr = quietTrace(topology.graph());
+
+  Group group;
+  group.source = topology.at("NYC");
+  group.receivers = {topology.at("SJC"), topology.at("LAX")};
+
+  GraphDumpRequest request;
+  request.format = DumpFormat::kJson;
+  const std::string json = dumpGroupGraph(
+      topology.graph(), tr, topology, group, GroupSchemeKind::kStaticMesh,
+      routing::SchemeParams{}, request);
+  EXPECT_NE(json.find("\"source\""), std::string::npos);
+  EXPECT_NE(json.find("\"receivers\""), std::string::npos);
+  EXPECT_NE(json.find("\"edges\""), std::string::npos);
+  EXPECT_NE(json.find("\"SJC\""), std::string::npos);
+  EXPECT_NE(json.find("\"LAX\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos);
+
+  // On a quiet trace the selection at any interval is the baseline
+  // selection: the dump must equal the scheme's own baseline select.
+  const routing::NetworkView baseline = routing::NetworkView::baseline(tr);
+  const auto scheme = makeGroupScheme(GroupSchemeKind::kStaticMesh,
+                                      topology.graph(), group,
+                                      routing::SchemeParams{});
+  scheme->initialize(baseline);
+  const graph::DisseminationGraph& selected = scheme->select(baseline);
+  for (const graph::EdgeId e : selected.edges()) {
+    EXPECT_NE(json.find("\"id\": " + std::to_string(e)), std::string::npos)
+        << "selected edge " << e << " missing from dump";
+  }
+}
+
+TEST(GraphDump, LaterIntervalReplaysDeviatedSelection) {
+  const trace::Topology topology = trace::Topology::ltn12();
+  // A denser trace so a dynamic scheme has something to react to.
+  trace::GeneratorParams params;
+  params.seed = 11;
+  params.duration = util::hours(2);
+  params.nodeEventsPerDay = 60.0;
+  params.linkEventsPerDay = 60.0;
+  const trace::Trace tr =
+      trace::generateSyntheticTrace(topology.graph(), params).trace;
+
+  GraphDumpRequest request;
+  request.format = DumpFormat::kJson;
+  request.interval = tr.intervalCount() - 1;
+  const std::string late = dumpUnicastGraph(
+      topology.graph(), tr, topology,
+      {topology.at("NYC"), topology.at("SJC")},
+      routing::SchemeKind::DynamicSinglePath, routing::SchemeParams{},
+      request);
+  EXPECT_NE(late.find("\"edges\""), std::string::npos);
+  EXPECT_NE(late.find("\"interval\": " +
+                      std::to_string(tr.intervalCount() - 1)),
+            std::string::npos);
+}
+
+TEST(GraphDump, RejectsOutOfRangeIntervals) {
+  const trace::Topology topology = trace::Topology::ltn12();
+  const trace::Trace tr = quietTrace(topology.graph());
+  GraphDumpRequest request;
+  request.interval = tr.intervalCount();  // one past the end
+  EXPECT_THROW(dumpUnicastGraph(topology.graph(), tr, topology,
+                                {topology.at("NYC"), topology.at("SJC")},
+                                routing::SchemeKind::StaticSinglePath,
+                                routing::SchemeParams{}, request),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dg::mcast

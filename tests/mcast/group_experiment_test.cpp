@@ -1,0 +1,188 @@
+// Group experiment runners: bit-identical results and byte-identical
+// telemetry exports at any thread count, packed == in-memory blocked
+// run, and per-group window semantics.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "mcast/experiment.hpp"
+#include "store/writer.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+#include "trace/synth.hpp"
+#include "trace/topology.hpp"
+
+namespace dg::mcast {
+namespace {
+
+trace::Trace experimentTrace(const graph::Graph& overlay) {
+  trace::GeneratorParams params;
+  params.seed = 11;
+  params.duration = util::hours(4);
+  params.nodeEventsPerDay = 40.0;
+  params.linkEventsPerDay = 40.0;
+  return trace::generateSyntheticTrace(overlay, params).trace;
+}
+
+GroupExperimentConfig baseConfig(const trace::Topology& topology) {
+  GroupExperimentConfig config;
+  Group a;
+  a.source = topology.at("NYC");
+  a.receivers = {topology.at("SJC"), topology.at("LAX")};
+  Group b;
+  b.source = topology.at("FRA");
+  b.receivers = {topology.at("SEA"), topology.at("ATL"), topology.at("CHI")};
+  config.groups = {a, b};
+  config.schemes = {GroupSchemeKind::kStaticTrees,
+                    GroupSchemeKind::kDynamicMesh,
+                    GroupSchemeKind::kTargetedReceivers};
+  config.playback.base.mcSamples = 100;
+  return config;
+}
+
+void expectResultsIdentical(const GroupExperimentResult& a,
+                            const GroupExperimentResult& b) {
+  ASSERT_EQ(a.perGroup.size(), b.perGroup.size());
+  for (std::size_t i = 0; i < a.perGroup.size(); ++i) {
+    const GroupSchemeResult& x = a.perGroup[i];
+    const GroupSchemeResult& y = b.perGroup[i];
+    EXPECT_EQ(x.unavailabilityAll, y.unavailabilityAll) << "job " << i;
+    EXPECT_EQ(x.unavailabilityK, y.unavailabilityK) << "job " << i;
+    EXPECT_EQ(x.unavailableAllSeconds, y.unavailableAllSeconds) << "job " << i;
+    EXPECT_EQ(x.problematicIntervals, y.problematicIntervals) << "job " << i;
+    EXPECT_EQ(x.averageCost, y.averageCost) << "job " << i;
+    ASSERT_EQ(x.receivers.size(), y.receivers.size());
+    for (std::size_t r = 0; r < x.receivers.size(); ++r) {
+      EXPECT_EQ(x.receivers[r].unavailability, y.receivers[r].unavailability);
+      EXPECT_EQ(x.receivers[r].averageLatencyUs,
+                y.receivers[r].averageLatencyUs);
+    }
+  }
+  ASSERT_EQ(a.summary.size(), b.summary.size());
+  for (std::size_t s = 0; s < a.summary.size(); ++s) {
+    EXPECT_EQ(a.summary[s].unavailabilityAll, b.summary[s].unavailabilityAll);
+    EXPECT_EQ(a.summary[s].averageCost, b.summary[s].averageCost);
+    EXPECT_EQ(a.summary[s].worstReceiverUnavailability,
+              b.summary[s].worstReceiverUnavailability);
+  }
+}
+
+TEST(GroupExperiment, ThreadCountDoesNotChangeResultsOrTelemetry) {
+  const trace::Topology topology = trace::Topology::ltn12();
+  const trace::Trace tr = experimentTrace(topology.graph());
+  GroupExperimentConfig config = baseConfig(topology);
+
+  config.threads = 1;
+  telemetry::Telemetry t1;
+  const GroupExperimentResult r1 =
+      runGroupExperiment(topology.graph(), tr, config, &t1);
+
+  config.threads = 4;
+  telemetry::Telemetry t4;
+  const GroupExperimentResult r4 =
+      runGroupExperiment(topology.graph(), tr, config, &t4);
+
+  expectResultsIdentical(r1, r4);
+  EXPECT_EQ(telemetry::toPrometheus(t1.metrics),
+            telemetry::toPrometheus(t4.metrics));
+  EXPECT_GT(t1.metrics.counterValue("dg_mcast_jobs_total", {}), 0.0);
+}
+
+TEST(GroupExperiment, PackedRunnerMatchesInMemoryBlockedRun) {
+  const trace::Topology topology = trace::Topology::ltn12();
+  const trace::Trace tr = experimentTrace(topology.graph());
+
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "mcast_experiment.dgtrace")
+          .string();
+  store::WriterOptions options;
+  options.chunkIntervals = 64;
+  store::packTrace(tr, path, options);
+
+  GroupExperimentConfig config = baseConfig(topology);
+  config.threads = 4;
+  telemetry::Telemetry packedT1;
+  const GroupExperimentResult packed =
+      runPackedGroupExperiment(topology.graph(), path, config, &packedT1);
+
+  // The packed runner's contract: bit-identical to an in-memory run with
+  // chunk-aligned accumulation blocks and cursor-fed decisions.
+  GroupExperimentConfig blocked = config;
+  blocked.playback.base.conditionCursor = true;
+  blocked.playback.base.accumBlockIntervals = 64;
+  const GroupExperimentResult inMemory =
+      runGroupExperiment(topology.graph(), tr, blocked);
+  expectResultsIdentical(packed, inMemory);
+
+  // And thread invariance with byte-identical telemetry on the packed
+  // path itself.
+  config.threads = 1;
+  telemetry::Telemetry packedSeq;
+  const GroupExperimentResult packedAt1 =
+      runPackedGroupExperiment(topology.graph(), path, config, &packedSeq);
+  expectResultsIdentical(packed, packedAt1);
+  EXPECT_EQ(telemetry::toPrometheus(packedSeq.metrics),
+            telemetry::toPrometheus(packedT1.metrics));
+}
+
+TEST(GroupExperiment, FullCoverWindowMatchesUnwindowedRun) {
+  const trace::Topology topology = trace::Topology::ltn12();
+  const trace::Trace tr = experimentTrace(topology.graph());
+
+  GroupExperimentConfig config = baseConfig(topology);
+  config.threads = 2;
+  config.playback.base.conditionCursor = true;
+  const GroupExperimentResult whole =
+      runGroupExperiment(topology.graph(), tr, config);
+
+  config.groupWindows = {GroupWindow{}, GroupWindow{}};
+  const GroupExperimentResult windowed =
+      runGroupExperiment(topology.graph(), tr, config);
+  expectResultsIdentical(whole, windowed);
+}
+
+TEST(GroupExperiment, NarrowWindowScoresOnlyItsIntervals) {
+  const trace::Topology topology = trace::Topology::ltn12();
+  const trace::Trace tr = experimentTrace(topology.graph());
+  const std::size_t intervals = tr.intervalCount();
+
+  GroupExperimentConfig config = baseConfig(topology);
+  config.threads = 2;
+  config.schemes = {GroupSchemeKind::kStaticMesh};
+  const GroupExperimentResult whole =
+      runGroupExperiment(topology.graph(), tr, config);
+
+  config.groupWindows = {GroupWindow{0, intervals / 4},
+                         GroupWindow{intervals / 4, intervals / 2}};
+  const GroupExperimentResult windowed =
+      runGroupExperiment(topology.graph(), tr, config);
+  for (std::size_t g = 0; g < config.groups.size(); ++g) {
+    EXPECT_LE(windowed.at(g, 0, 1).unavailableAllSeconds,
+              whole.at(g, 0, 1).unavailableAllSeconds + 1e-9);
+    EXPECT_LE(windowed.at(g, 0, 1).problematicIntervals,
+              whole.at(g, 0, 1).problematicIntervals);
+  }
+}
+
+TEST(GroupExperiment, RejectsMalformedConfigs) {
+  const trace::Topology topology = trace::Topology::ltn12();
+  const trace::Trace tr = experimentTrace(topology.graph());
+
+  GroupExperimentConfig empty;
+  EXPECT_THROW(runGroupExperiment(topology.graph(), tr, empty),
+               std::invalid_argument);
+
+  GroupExperimentConfig config = baseConfig(topology);
+  config.groupWindows = {GroupWindow{}};  // not parallel to groups
+  EXPECT_THROW(runGroupExperiment(topology.graph(), tr, config),
+               std::invalid_argument);
+
+  config.groupWindows = {GroupWindow{10, 10}, GroupWindow{}};  // empty window
+  EXPECT_THROW(runGroupExperiment(topology.graph(), tr, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dg::mcast

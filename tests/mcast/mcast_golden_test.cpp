@@ -1,0 +1,149 @@
+// Golden group-fleet regression: a pinned generated topology, a pinned
+// group workload with 8..10-receiver groups, and a pinned synthetic
+// trace are swept by the chunk-parallel packed group runner. The
+// per-scheme summary AND the full telemetry export are compared
+// byte-for-byte between --threads 1 and --threads 8; the summary is then
+// compared EXACTLY (every double at %.17g) against a committed fixture.
+//
+// To regenerate after an intentional behavior change:
+//   DG_UPDATE_MCAST_GOLDEN=1 ./test_mcast --gtest_filter='McastGolden.*'
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "mcast/experiment.hpp"
+#include "store/writer.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+#include "topogen/topogen.hpp"
+#include "topogen/workload.hpp"
+#include "trace/synth.hpp"
+#include "trace/topology.hpp"
+
+namespace dg::mcast {
+namespace {
+
+std::string fixturePath() {
+  return std::string(DG_MCAST_FIXTURE_DIR) + "/mcast_golden.txt";
+}
+
+std::string g17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string renderSummary(const GroupExperimentResult& result) {
+  std::ostringstream out;
+  out << "mcast-golden v1 ring:n=60,metros=12,seed=4 groups=24 receivers=8..10\n";
+  for (const GroupSchemeSummary& s : result.summary) {
+    out << "scheme " << groupSchemeName(s.scheme)
+        << " unavailability-all " << g17(s.unavailabilityAll)
+        << " unavailability-k " << g17(s.unavailabilityK)
+        << " unavailable-seconds " << g17(s.unavailableAllSeconds)
+        << " problematic-intervals " << s.problematicIntervals
+        << " cost " << g17(s.averageCost)
+        << " worst-receiver " << g17(s.worstReceiverUnavailability) << "\n";
+  }
+  return out.str();
+}
+
+TEST(McastGolden, PackedGroupSweepMatchesCommittedFixtureAtAnyThreadCount) {
+  // Every input below is pinned; nothing may depend on machine, thread
+  // count, or wall clock.
+  const trace::Topology topo = topogen::generateTopology(
+      "ring:n=60,metros=12,seed=4");
+  ASSERT_EQ(topo.siteCount(), 60u);
+
+  trace::GeneratorParams traceParams;
+  traceParams.seed = 1234;
+  traceParams.duration = util::seconds(3600);
+  traceParams.nodeEventsPerDay = 300.0;
+  traceParams.linkEventsPerDay = 60.0;
+  const trace::SyntheticTrace synth =
+      trace::generateSyntheticTrace(topo.graph(), traceParams);
+  ASSERT_EQ(synth.trace.intervalCount(), 360u);
+
+  topogen::GroupWorkloadParams workloadParams;
+  workloadParams.base.seed = 99;
+  workloadParams.base.flowCount = 24;
+  workloadParams.base.meanInterarrivalSeconds = 120.0;
+  workloadParams.base.meanDurationSeconds = 900.0;
+  workloadParams.base.minDurationSeconds = 120.0;
+  workloadParams.receiversMin = 8;
+  workloadParams.receiversMax = 10;
+  const topogen::GroupWorkload workload =
+      topogen::generateGroupWorkload(topo, workloadParams);
+  ASSERT_EQ(workload.groups.size(), 24u);
+
+  GroupExperimentConfig config;
+  config.schemes = {GroupSchemeKind::kStaticTrees,
+                    GroupSchemeKind::kStaticMesh,
+                    GroupSchemeKind::kDynamicTrees,
+                    GroupSchemeKind::kTargetedReceivers};
+  config.playback.base.mcSamples = 32;
+  // A 12-metro global ring routes antipodal members the long way around;
+  // score against a deadline wide enough that baseline routing is
+  // feasible for every receiver (same reasoning as the fleet golden).
+  config.playback.base.delivery.deadline = util::milliseconds(400);
+  config.schemeParams.deadline = util::milliseconds(400);
+  for (const topogen::WorkloadGroup& g : workload.groups) {
+    Group group;
+    group.source = g.source;
+    group.receivers = g.receivers;
+    ASSERT_GE(group.receivers.size(), 8u);
+    config.groups.push_back(std::move(group));
+    const auto [first, last] = topogen::groupIntervalWindow(
+        g, synth.trace.intervalLength(), synth.trace.intervalCount());
+    config.groupWindows.push_back({first, last});
+  }
+
+  const std::string packed =
+      (std::filesystem::path(::testing::TempDir()) / "mcast_golden.dgtrace")
+          .string();
+  store::WriterOptions options;
+  options.chunkIntervals = 128;
+  store::packTrace(synth.trace, packed, options);
+
+  config.threads = 8;
+  telemetry::Telemetry telemetry8;
+  const GroupExperimentResult r8 =
+      runPackedGroupExperiment(topo.graph(), packed, config, &telemetry8);
+  config.threads = 1;
+  telemetry::Telemetry telemetry1;
+  const GroupExperimentResult r1 =
+      runPackedGroupExperiment(topo.graph(), packed, config, &telemetry1);
+  std::filesystem::remove(packed);
+
+  const std::string summary8 = renderSummary(r8);
+  const std::string summary1 = renderSummary(r1);
+  ASSERT_EQ(summary1, summary8)
+      << "packed group sweep is not thread-invariant";
+  ASSERT_EQ(telemetry::toPrometheus(telemetry1.metrics),
+            telemetry::toPrometheus(telemetry8.metrics))
+      << "group telemetry export is not byte-identical across thread counts";
+
+  if (std::getenv("DG_UPDATE_MCAST_GOLDEN") != nullptr) {
+    std::ofstream out(fixturePath(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << fixturePath();
+    out << summary1;
+    GTEST_SKIP() << "fixture regenerated at " << fixturePath();
+  }
+
+  std::ifstream in(fixturePath(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing fixture " << fixturePath()
+                         << " (run with DG_UPDATE_MCAST_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(summary1, expected.str())
+      << "group summary drifted from the committed golden fixture; if the "
+         "change is intentional, regenerate with DG_UPDATE_MCAST_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace dg::mcast

@@ -48,6 +48,20 @@ TEST(SchemeNames, RoundTrip) {
   EXPECT_EQ(allSchemeKinds().size(), 6u);
 }
 
+TEST(SchemeNames, ParseErrorListsEveryValidName) {
+  try {
+    parseSchemeKind("nope");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nope"), std::string::npos) << what;
+    for (const SchemeKind kind : allSchemeKinds()) {
+      EXPECT_NE(what.find(std::string(schemeName(kind))), std::string::npos)
+          << "error message should list " << schemeName(kind) << ": " << what;
+    }
+  }
+}
+
 TEST_F(SchemesOnLtn, EverySchemeConnectsOnHealthyNetwork) {
   for (const SchemeKind kind : allSchemeKinds()) {
     auto scheme = makeInitialized(kind);

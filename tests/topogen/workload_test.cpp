@@ -400,5 +400,138 @@ TEST(WorkloadWindows, RunnerRejectsMalformedWindowLists) {
                std::invalid_argument);
 }
 
+TEST(GroupWorkload, DeterministicWithValidatedReceiverSets) {
+  const trace::Topology topo = trace::Topology::ltn12();
+  GroupWorkloadParams params;
+  params.base.seed = 21;
+  params.base.flowCount = 300;
+  params.receiversMin = 2;
+  params.receiversMax = 5;
+
+  const GroupWorkload first = generateGroupWorkload(topo, params);
+  const GroupWorkload second = generateGroupWorkload(topo, params);
+  ASSERT_EQ(first.groups.size(), 300u);
+  EXPECT_EQ(groupWorkloadToString(first, topo),
+            groupWorkloadToString(second, topo));
+
+  for (const WorkloadGroup& g : first.groups) {
+    EXPECT_LT(g.source, topo.siteCount());
+    EXPECT_GE(g.receivers.size(), params.receiversMin);
+    EXPECT_LE(g.receivers.size(), params.receiversMax);
+    EXPECT_LT(g.start, g.stop);
+    std::vector<graph::NodeId> sorted = g.receivers;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+              sorted.end())
+        << "duplicate receiver";
+    for (const graph::NodeId r : g.receivers) {
+      EXPECT_LT(r, topo.siteCount());
+      EXPECT_NE(r, g.source);
+    }
+  }
+}
+
+TEST(GroupWorkload, ArrivalClockMatchesFlowWorkloadForEqualBaseParams) {
+  // The arrival, endpoint, and duration streams are forked in the same
+  // order as generateWorkload, so the group fleet's spans line up with
+  // the flow fleet's exactly.
+  const trace::Topology topo = trace::Topology::ltn12();
+  WorkloadParams base;
+  base.seed = 77;
+  base.flowCount = 100;
+  GroupWorkloadParams params;
+  params.base = base;
+
+  const FlowWorkload flows = generateWorkload(topo, base);
+  const GroupWorkload groups = generateGroupWorkload(topo, params);
+  ASSERT_EQ(flows.flows.size(), groups.groups.size());
+  for (std::size_t i = 0; i < flows.flows.size(); ++i) {
+    EXPECT_EQ(flows.flows[i].start, groups.groups[i].start) << i;
+    EXPECT_EQ(flows.flows[i].stop, groups.groups[i].stop) << i;
+  }
+}
+
+TEST(GroupWorkload, SpecParsesReceiverBoundsAndRejectsGarbage) {
+  const GroupWorkloadParams params = parseGroupWorkloadSpec(
+      "poisson:flows=200,seed=7,receivers-min=3,receivers-max=8");
+  EXPECT_EQ(params.base.flowCount, 200u);
+  EXPECT_EQ(params.base.seed, 7u);
+  EXPECT_EQ(params.receiversMin, 3u);
+  EXPECT_EQ(params.receiversMax, 8u);
+
+  // receivers-max defaults to at least receivers-min.
+  const GroupWorkloadParams wide =
+      parseGroupWorkloadSpec("poisson:flows=10,receivers-min=6");
+  EXPECT_EQ(wide.receiversMin, 6u);
+  EXPECT_GE(wide.receiversMax, 6u);
+
+  EXPECT_THROW(parseGroupWorkloadSpec("poisson:receivers-min=0"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parseGroupWorkloadSpec("poisson:receivers-min=4,receivers-max=2"),
+      std::invalid_argument);
+  EXPECT_THROW(parseGroupWorkloadSpec("poisson:bogus=1"),
+               std::invalid_argument);
+}
+
+TEST(GroupWorkload, TextAndFileRoundTripExactly) {
+  const trace::Topology topo = trace::Topology::ltn12();
+  GroupWorkloadParams params;
+  params.base.seed = 3;
+  params.base.flowCount = 50;
+  params.receiversMin = 2;
+  params.receiversMax = 6;
+  const GroupWorkload workload = generateGroupWorkload(topo, params);
+
+  const std::string text = groupWorkloadToString(workload, topo);
+  EXPECT_EQ(text.rfind("group-workload v1", 0), 0u);
+  const GroupWorkload reparsed = groupWorkloadFromString(text, topo);
+  ASSERT_EQ(reparsed.groups.size(), workload.groups.size());
+  for (std::size_t i = 0; i < workload.groups.size(); ++i) {
+    EXPECT_EQ(reparsed.groups[i].source, workload.groups[i].source);
+    EXPECT_EQ(reparsed.groups[i].receivers, workload.groups[i].receivers);
+    EXPECT_EQ(reparsed.groups[i].start, workload.groups[i].start);
+    EXPECT_EQ(reparsed.groups[i].stop, workload.groups[i].stop);
+  }
+  EXPECT_EQ(groupWorkloadToString(reparsed, topo), text);
+
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "groups.workload")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  }
+  const GroupWorkload fromFile = groupWorkloadFromFile(path, topo);
+  EXPECT_EQ(groupWorkloadToString(fromFile, topo), text);
+  std::filesystem::remove(path);
+
+  EXPECT_THROW(groupWorkloadFromString("bogus header\n", topo),
+               std::invalid_argument);
+  EXPECT_THROW(groupWorkloadFromString(
+                   "group-workload v1\ngroup NYC NYC 0 10\n", topo),
+               std::invalid_argument);
+}
+
+TEST(GroupWorkload, IntervalWindowMatchesFlowArithmetic) {
+  WorkloadGroup group;
+  group.source = 0;
+  group.receivers = {1, 2};
+  group.start = util::seconds(25);
+  group.stop = util::seconds(95);
+
+  WorkloadFlow flow;
+  flow.flow = {0, 1};
+  flow.start = group.start;
+  flow.stop = group.stop;
+
+  const auto fromGroup =
+      groupIntervalWindow(group, util::seconds(10), 100);
+  const auto fromFlow = flowIntervalWindow(flow, util::seconds(10), 100);
+  EXPECT_EQ(fromGroup, fromFlow);
+  EXPECT_EQ(fromGroup.first, 2u);
+  EXPECT_EQ(fromGroup.second, 10u);
+}
+
 }  // namespace
 }  // namespace dg::topogen

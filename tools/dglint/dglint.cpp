@@ -84,6 +84,7 @@ std::vector<std::string> DriverOptions::defaultOrderedScope() {
       "src/routing/decision_memo", "src/chaos/invariants",
       "src/chaos/bridge",        "src/store/",
       "src/live/",               "src/topogen/",
+      "src/mcast/",
   };
 }
 

@@ -66,6 +66,32 @@
 //       become per-flow scoring windows; --workload-file replays a
 //       previously recorded workload and --workload-out records the
 //       generated one for exact replay.
+//   dgnet mcast      (--groups=SRC:R1+R2+R3,... |
+//                     --group-workload=SPEC | --group-workload-file=FILE)
+//                    [--group-workload-out=FILE]
+//                    [--schemes=a,b,...] [--threads=N] [--chunked]
+//                    [--delivered-k=K] [--per-group] [--mc-samples=N]
+//                    [--deadline-us=65000]
+//                    (--trace=FILE | --days=N [--seed=S])
+//       Run the groups x group-schemes multicast sweep: each group is
+//       one source with a receiver set, scored against every receiver's
+//       deadline per send (delivered-to-all, and delivered-to-k when
+//       --delivered-k is set). --groups lists receiver sets by site
+//       name; --group-workload generates an open-loop group fleet
+//       (workload keys plus receivers-min / receivers-max) whose
+//       start/stop spans become per-group scoring windows. --chunked
+//       parallelizes per (group, scheme, chunk) off a packed trace.
+//       Results are bit-identical for any --threads, and a
+//       single-receiver group is bit-identical to the unicast playback
+//       of the scheme's unicast equivalent.
+//   dgnet graph dump --interval=N [--staleness=1] [--format=dot|json]
+//                    [--out=FILE] [--deadline-us=65000]
+//                    (--source=A --destination=B --scheme=NAME |
+//                     --group=SRC:R1+R2 --group-scheme=NAME)
+//                    (--trace=FILE | --days=N [--seed=S])
+//       Export the dissemination graph any scheme (unicast or group) has
+//       in force at a given interval, reproduced by replaying decisions
+//       over [0, interval] exactly as playback would.
 //
 // Integer flags are validated: --mc-samples=N (alias --mc_samples) must
 // be in [1, 1e7] and --threads=N in [0, 4096] (0 = all cores); anything
@@ -131,6 +157,9 @@
 #include "live/daemon.hpp"
 #include "live/event_loop.hpp"
 #include "live/fleet.hpp"
+#include "mcast/experiment.hpp"
+#include "mcast/graph_dump.hpp"
+#include "mcast/report.hpp"
 #include "playback/experiment.hpp"
 #include "playback/playback.hpp"
 #include "store/reader.hpp"
@@ -620,6 +649,150 @@ int cmdTelemetry(const util::Config& args) {
   return 0;
 }
 
+/// `dgnet mcast`: the groups x group-schemes multicast sweep.
+int cmdMcast(const util::Config& args) {
+  const auto topology = loadTopology(args);
+
+  const int sourcesGiven = (args.has("groups") ? 1 : 0) +
+                           (args.has("group-workload") ? 1 : 0) +
+                           (args.has("group-workload-file") ? 1 : 0);
+  if (sourcesGiven != 1)
+    throw UsageError(
+        "choose exactly one of --groups / --group-workload / "
+        "--group-workload-file");
+
+  mcast::GroupExperimentConfig config;
+  std::optional<topogen::GroupWorkload> workload;
+  if (args.has("groups")) {
+    config.groups = mcast::parseGroupList(args.getString("groups"), topology);
+  } else {
+    if (args.has("group-workload")) {
+      workload = topogen::generateGroupWorkload(
+          topology,
+          topogen::parseGroupWorkloadSpec(args.getString("group-workload")));
+    } else {
+      workload = topogen::groupWorkloadFromFile(
+          args.getString("group-workload-file"), topology);
+    }
+    if (args.has("group-workload-out"))
+      writeOrPrint(args.getString("group-workload-out"),
+                   topogen::groupWorkloadToString(*workload, topology));
+    config.groups.reserve(workload->groups.size());
+    for (const topogen::WorkloadGroup& g : workload->groups) {
+      mcast::Group group;
+      group.source = g.source;
+      group.receivers = g.receivers;
+      config.groups.push_back(std::move(group));
+    }
+    std::cerr << "group workload: " << config.groups.size() << " groups\n";
+  }
+  // Per-group scoring windows depend on the trace geometry, known only
+  // once the trace (or the packed footer) has been opened below.
+  const auto applyWindows = [&](util::SimTime intervalLength,
+                                std::size_t intervalCount) {
+    if (!workload) return;
+    config.groupWindows.reserve(workload->groups.size());
+    for (const topogen::WorkloadGroup& g : workload->groups) {
+      const auto [first, last] =
+          topogen::groupIntervalWindow(g, intervalLength, intervalCount);
+      config.groupWindows.push_back({first, last});
+    }
+  };
+
+  if (args.has("schemes")) {
+    config.schemes.clear();
+    for (const std::string& name : util::split(args.getString("schemes"), ','))
+      config.schemes.push_back(mcast::parseGroupSchemeKind(name));
+  }
+  config.playback.base.mcSamples = mcSamplesFlag(args, 1000);
+  config.playback.base.delivery.deadline =
+      args.getInt("deadline-us", config.playback.base.delivery.deadline);
+  config.schemeParams.deadline = config.playback.base.delivery.deadline;
+  config.playback.base.decisionMemo = args.getBool("memo", true);
+  config.playback.base.conditionCursor = args.getBool("cursor", true);
+  config.playback.deliveredK = static_cast<std::size_t>(
+      getCheckedInt(args, "delivered-k", 0, 0, 1'000'000));
+  config.threads = threadsFlag(args);
+
+  telemetry::Telemetry telemetry;
+  mcast::GroupExperimentResult result;
+  std::optional<trace::Trace> tr;
+  if (args.getBool("chunked", false)) {
+    if (!args.has("trace") ||
+        !store::isPackedTraceFile(args.getString("trace")))
+      throw UsageError(
+          "--chunked needs --trace=FILE in the packed dgtrace format (see "
+          "`dgnet trace pack`)");
+    {
+      auto reader = store::PackedTraceReader::open(args.getString("trace"));
+      applyWindows(reader.info().intervalLength,
+                   static_cast<std::size_t>(reader.info().intervalCount));
+      tr.emplace(reader.readAll());
+    }
+    result = mcast::runPackedGroupExperiment(
+        topology.graph(), args.getString("trace"), config, &telemetry);
+  } else {
+    tr.emplace(loadOrGenerateTrace(topology, args));
+    applyWindows(tr->intervalLength(), tr->intervalCount());
+    result = mcast::runGroupExperiment(topology.graph(), *tr, config,
+                                       &telemetry);
+  }
+
+  std::cout << mcast::renderGroupSummaryTable(result, *tr,
+                                              config.groups.size());
+  if (args.getBool("per-group", false))
+    std::cout << '\n' << mcast::renderPerGroupTable(result, config, topology);
+  if (telemetryRequested(args)) emitTelemetry(telemetry, args);
+  return 0;
+}
+
+/// `dgnet graph dump`: export any scheme's dissemination graph at an
+/// interval as DOT or JSON.
+int cmdGraph(const util::Config& args,
+             const std::vector<std::string>& positional) {
+  if (positional.size() < 2 || positional[1] != "dump") {
+    std::cerr << "usage: dgnet graph dump --interval=N ...\n";
+    return 2;
+  }
+  const auto topology = loadTopology(args);
+  const auto tr = loadOrGenerateTrace(topology, args);
+
+  mcast::GraphDumpRequest request;
+  request.interval = static_cast<std::size_t>(getCheckedInt(
+      args, "interval", 0, 0,
+      static_cast<std::int64_t>(tr.intervalCount()) - 1));
+  request.viewStaleness =
+      static_cast<int>(getCheckedInt(args, "staleness", 1, 0, 1'000'000));
+  try {
+    request.format = mcast::parseDumpFormat(args.getString("format", "dot"));
+  } catch (const std::invalid_argument& e) {
+    throw UsageError(e.what());
+  }
+
+  routing::SchemeParams schemeParams;
+  schemeParams.deadline = args.getInt("deadline-us", schemeParams.deadline);
+
+  std::string rendered;
+  if (args.has("group")) {
+    const mcast::Group group =
+        mcast::parseGroupSpec(args.getString("group"), topology);
+    const auto kind = mcast::parseGroupSchemeKind(
+        args.getString("group-scheme", "dynamic-mesh"));
+    rendered = mcast::dumpGroupGraph(topology.graph(), tr, topology, group,
+                                     kind, schemeParams, request);
+  } else {
+    const routing::Flow flow{
+        topology.at(args.getString("source", "NYC")),
+        topology.at(args.getString("destination", "SJC"))};
+    const auto kind =
+        routing::parseSchemeKind(args.getString("scheme", "targeted"));
+    rendered = mcast::dumpUnicastGraph(topology.graph(), tr, topology, flow,
+                                       kind, schemeParams, request);
+  }
+  writeOrPrint(args.getString("out", "-"), rendered);
+  return 0;
+}
+
 int cmdChaos(const util::Config& args) {
   const auto topology = loadTopology(args);
 
@@ -1035,6 +1208,8 @@ void printUsage(std::ostream& out) {
          "  playback   replay a flow/scheme over a trace (availability/cost)\n"
          "  simulate   drive the packet-level overlay (forwarding + recovery)\n"
          "  telemetry  run the flows x schemes sweep with full telemetry\n"
+         "  mcast      run the groups x group-schemes multicast sweep\n"
+         "  graph      dissemination-graph tooling (dump as DOT/JSON)\n"
          "  chaos      differential chaos soak: live simulator vs playback\n"
          "  trace      packed-trace store tooling (pack, info, verify, cat)\n"
          "  daemon     run one live UDP overlay daemon (fleet child process)\n"
@@ -1100,6 +1275,8 @@ int main(int argc, char** argv) {
     if (command == "playback") return cmdPlayback(args);
     if (command == "simulate") return cmdSimulate(args);
     if (command == "telemetry") return cmdTelemetry(args);
+    if (command == "mcast") return cmdMcast(args);
+    if (command == "graph") return cmdGraph(args, positional);
     if (command == "chaos") return cmdChaos(args);
     if (command == "trace") return cmdTraceStore(args, positional);
     if (command == "daemon") return cmdDaemon(args);
